@@ -1,0 +1,112 @@
+// Command discfsd is the DisCFS server daemon: the user-level
+// credential-checked file server of the paper, exporting an FFS-style
+// store (optionally CFS-encrypted) over the secure channel.
+//
+// Usage:
+//
+//	discfsd -addr :20049 -key server.key [-policy policy.kn] [-encrypt -passphrase s]
+//
+// On startup the daemon prints its administrator principal; grant access
+// by signing credentials with that key (see cmd/keynote and cmd/discfs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"discfs"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:20049", "listen address")
+		keyPath    = flag.String("key", "discfsd.key", "server (administrator) key file; created if missing")
+		policyPath = flag.String("policy", "", "additional KeyNote policy file")
+		cacheSize  = flag.Int("cache", 128, "policy decision cache size (the paper used 128)")
+		encrypt    = flag.Bool("encrypt", false, "enable CFS content/name encryption")
+		passphrase = flag.String("passphrase", "", "CFS passphrase (with -encrypt)")
+		blockSize  = flag.Int("bs", 8192, "FFS block size")
+		numBlocks  = flag.Uint("blocks", 1<<18, "FFS device size in blocks")
+		auditFlag  = flag.Bool("audit", false, "write the audit log to stderr")
+		imagePath  = flag.String("image", "", "filesystem image: loaded at startup if present, saved on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	key, err := discfs.LoadOrCreateKey(*keyPath)
+	if err != nil {
+		log.Fatalf("discfsd: key: %v", err)
+	}
+
+	storeCfg := discfs.StoreConfig{
+		BlockSize:  *blockSize,
+		NumBlocks:  uint32(*numBlocks),
+		Encrypt:    *encrypt,
+		Passphrase: *passphrase,
+	}
+	var store discfs.FS
+	if *imagePath != "" {
+		if _, statErr := os.Stat(*imagePath); statErr == nil {
+			store, err = discfs.LoadStore(*imagePath, storeCfg)
+			if err != nil {
+				log.Fatalf("discfsd: loading image: %v", err)
+			}
+			fmt.Printf("discfsd: restored filesystem image %s\n", *imagePath)
+		}
+	}
+	if store == nil {
+		store, err = discfs.NewMemStore(storeCfg)
+		if err != nil {
+			log.Fatalf("discfsd: store: %v", err)
+		}
+	}
+
+	cfg := discfs.ServerConfig{
+		Backing:   store,
+		ServerKey: key,
+		CacheSize: *cacheSize,
+	}
+	if *policyPath != "" {
+		text, err := os.ReadFile(*policyPath)
+		if err != nil {
+			log.Fatalf("discfsd: policy: %v", err)
+		}
+		cfg.PolicyText = string(text)
+	}
+	if *auditFlag {
+		cfg.Audit = discfs.NewAuditLog(4096, os.Stderr)
+	}
+
+	srv, err := discfs.NewServer(cfg)
+	if err != nil {
+		log.Fatalf("discfsd: %v", err)
+	}
+	fmt.Printf("discfsd: administrator principal:\n  %s\n", srv.Principal())
+	fmt.Printf("discfsd: listening on %s\n", *addr)
+
+	// Graceful shutdown: dump the filesystem image, then exit.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-sigc
+		fmt.Printf("discfsd: %v\n", sig)
+		srv.Close() // stop serving first so the image is quiescent
+		if *imagePath != "" {
+			if err := discfs.SaveStore(*imagePath, store); err != nil {
+				log.Printf("discfsd: saving image: %v", err)
+			} else {
+				fmt.Printf("discfsd: saved filesystem image %s\n", *imagePath)
+			}
+		}
+	}()
+
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("discfsd: serve: %v", err)
+	}
+	<-done // serving stopped by the signal handler; wait for the dump
+}

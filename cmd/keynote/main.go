@@ -1,0 +1,165 @@
+// Command keynote is a standalone trust-management utility in the spirit
+// of the OpenBSD keynote(1) tool: generate keys, sign credential
+// assertions, verify them, and run compliance queries — all offline.
+//
+//	keynote keygen -out me.key
+//	keynote sign -key me.key -licensee <principal> -conditions '...' [-comment s]
+//	keynote verify cred.kn ...
+//	keynote query -policy policy.kn [-cred cred.kn ...] \
+//	    -requester <principal> [-attr k=v ...] [-values "false,...,RWX"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"discfs"
+	"discfs/internal/keynote"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: keynote <keygen|sign|verify|query> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "keygen":
+		keygen(os.Args[2:])
+	case "sign":
+		sign(os.Args[2:])
+	case "verify":
+		verify(os.Args[2:])
+	case "query":
+		query(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func keygen(args []string) {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	out := fs.String("out", "keynote.key", "output key file")
+	fs.Parse(args)
+	key, err := discfs.GenerateKey()
+	check(err)
+	check(discfs.SaveKey(*out, key))
+	fmt.Printf("wrote %s\nprincipal: %s\n", *out, key.Principal)
+}
+
+func sign(args []string) {
+	fs := flag.NewFlagSet("sign", flag.ExitOnError)
+	keyPath := fs.String("key", "keynote.key", "signing key file")
+	licensees := fs.String("licensee", "", "licensee principal(s), comma separated")
+	conditions := fs.String("conditions", "", "Conditions field body")
+	comment := fs.String("comment", "", "Comment field")
+	fs.Parse(args)
+	if *licensees == "" {
+		fmt.Fprintln(os.Stderr, "keynote sign: -licensee required")
+		os.Exit(2)
+	}
+	key, err := discfs.LoadKey(*keyPath)
+	check(err)
+	var ps []keynote.Principal
+	for _, l := range strings.Split(*licensees, ",") {
+		ps = append(ps, keynote.Principal(strings.TrimSpace(l)))
+	}
+	cred, err := keynote.Sign(key, keynote.AssertionSpec{
+		Licensees:  keynote.LicenseesOr(ps...),
+		Conditions: *conditions,
+		Comment:    *comment,
+	})
+	check(err)
+	fmt.Print(cred.Source)
+}
+
+func verify(args []string) {
+	bad := 0
+	for _, path := range args {
+		text, err := os.ReadFile(path)
+		check(err)
+		creds, err := keynote.ParseAssertions(string(text))
+		if err != nil {
+			fmt.Printf("%s: PARSE ERROR: %v\n", path, err)
+			bad++
+			continue
+		}
+		for i, c := range creds {
+			if err := c.Verify(); err != nil {
+				fmt.Printf("%s[%d]: INVALID: %v\n", path, i, err)
+				bad++
+			} else {
+				fmt.Printf("%s[%d]: OK (authorizer %s)\n", path, i, c.Authorizer.Short())
+			}
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+type attrList map[string]string
+
+func (a attrList) String() string { return "" }
+func (a attrList) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("attribute %q is not k=v", v)
+	}
+	a[k] = val
+	return nil
+}
+
+type fileList []string
+
+func (f *fileList) String() string { return "" }
+func (f *fileList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func query(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	policyPath := fs.String("policy", "", "policy assertion file (Authorizer: POLICY)")
+	requester := fs.String("requester", "", "requesting principal")
+	valuesFlag := fs.String("values", strings.Join(discfs.Values, ","), "ordered compliance values")
+	attrs := attrList{}
+	fs.Var(attrs, "attr", "action attribute k=v (repeatable)")
+	var credPaths fileList
+	fs.Var(&credPaths, "cred", "credential file (repeatable)")
+	fs.Parse(args)
+	if *policyPath == "" || *requester == "" {
+		fmt.Fprintln(os.Stderr, "keynote query: -policy and -requester required")
+		os.Exit(2)
+	}
+	values := strings.Split(*valuesFlag, ",")
+	session, err := keynote.NewSession(values)
+	check(err)
+	ptext, err := os.ReadFile(*policyPath)
+	check(err)
+	check(session.AddPolicyText(string(ptext)))
+	for _, p := range credPaths {
+		text, err := os.ReadFile(p)
+		check(err)
+		_, err = session.AddCredentialText(string(text))
+		check(err)
+	}
+	res, err := session.Query(attrs, keynote.Principal(*requester))
+	check(err)
+	fmt.Printf("compliance value: %s (index %d of %d)\n", res.Value, res.Index, len(values)-1)
+	if res.Index == 0 {
+		os.Exit(1)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "keynote: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,279 @@
+// Package discfs is the public API of the Distributed Credential
+// Filesystem (DisCFS), a reproduction of "Secure and Flexible Global File
+// Sharing" (Miltchev, Prevelakis, Ioannidis, Keromytis, Smith; UPenn
+// MS-CIS-01-23 / USENIX 2003).
+//
+// DisCFS replaces accounts, groups and access-control lists with signed
+// KeyNote credentials: a credential identifies the file (by handle), the
+// user (by public key), and the conditions of access, and users share
+// files simply by issuing new credentials — no administrator involvement.
+//
+// A minimal exchange looks like this:
+//
+//	// Server side: back a DisCFS server with an in-memory store.
+//	adminKey, _ := discfs.GenerateKey()
+//	store, _ := discfs.NewMemStore(discfs.StoreConfig{})
+//	srv, _ := discfs.NewServer(discfs.ServerConfig{
+//		Backing:   store,
+//		ServerKey: adminKey,
+//	})
+//	addr, _ := srv.Start()
+//
+//	// The administrator delegates the tree to Bob (1st certificate).
+//	bobKey, _ := discfs.GenerateKey()
+//	srv.IssueCredential(bobKey.Principal, store.Root().Ino, "RWX", "bob")
+//
+//	// Bob attaches, stores a file, and delegates read access to Alice
+//	// (2nd certificate) — e.g. mailing her the credential text.
+//	bob, _ := discfs.Dial(addr, bobKey)
+//	attr, _, _ := bob.WriteFile("/paper.txt", []byte("..."))
+//	cred, _ := bob.Delegate(alice.Principal, attr.Handle.Ino, "R", "")
+//
+//	// Alice attaches, submits the credential chain, and reads.
+//	alice, _ := discfs.Dial(addr, aliceKey)
+//	alice.SubmitCredentials(cred)
+//	data, _ := alice.ReadFile("/paper.txt")
+//
+// The package re-exports the building blocks for advanced use: the
+// KeyNote engine (credential composition, compliance queries), the FFS
+// and CFS storage substrates, and the NFSv2 client.
+package discfs
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+
+	"discfs/internal/audit"
+	"discfs/internal/cfs"
+	"discfs/internal/core"
+	"discfs/internal/ffs"
+	"discfs/internal/keynote"
+	"discfs/internal/nfs"
+	"discfs/internal/vfs"
+)
+
+// Re-exported core types. See the respective internal packages for full
+// documentation.
+type (
+	// KeyPair is a principal with its signing key.
+	KeyPair = keynote.KeyPair
+	// Principal is a KeyNote principal (a public key or opaque name).
+	Principal = keynote.Principal
+	// Credential is a parsed KeyNote assertion.
+	Credential = keynote.Assertion
+	// CredentialSpec describes a credential to compose and sign.
+	CredentialSpec = keynote.AssertionSpec
+	// Session is a persistent KeyNote session.
+	Session = keynote.Session
+
+	// Handle identifies a file (inode + generation).
+	Handle = vfs.Handle
+	// Attr holds file attributes.
+	Attr = vfs.Attr
+	// FS is the filesystem interface of the storage substrates.
+	FS = vfs.FS
+
+	// Server is a DisCFS server.
+	Server = core.Server
+	// ServerConfig parameterizes NewServer.
+	ServerConfig = core.ServerConfig
+	// Client is an attached DisCFS client.
+	Client = core.Client
+	// Stats summarizes the server's policy-engine work.
+	Stats = core.Stats
+
+	// AuditLog records access decisions.
+	AuditLog = audit.Log
+	// AuditRecord is one decision.
+	AuditRecord = audit.Record
+
+	// NFSClient is the raw NFSv2 client, reachable via Client.NFS.
+	NFSClient = nfs.Client
+	// DirEntry is a directory listing entry.
+	DirEntry = nfs.DirEntry
+)
+
+// Values is the ordered compliance value set of DisCFS; the index of a
+// value equals its rwx permission bitmask.
+var Values = core.Values
+
+// Permission bits.
+const (
+	PermX = core.PermX
+	PermW = core.PermW
+	PermR = core.PermR
+)
+
+// GenerateKey creates a new Ed25519 key pair.
+func GenerateKey() (*KeyPair, error) { return keynote.GenerateKey() }
+
+// DeterministicKey derives a stable key pair from a seed string — for
+// tests and examples only.
+func DeterministicKey(seed string) *KeyPair { return keynote.DeterministicKey(seed) }
+
+// NewServer constructs a DisCFS server.
+func NewServer(cfg ServerConfig) (*Server, error) { return core.NewServer(cfg) }
+
+// Dial attaches to a DisCFS server, authenticating as identity. The
+// attach always succeeds; operations are denied until credentials are
+// submitted.
+func Dial(addr string, identity *KeyPair) (*Client, error) { return core.Dial(addr, identity) }
+
+// NewAuditLog creates an audit log keeping the most recent capacity
+// records, optionally mirrored as text to w (may be nil).
+func NewAuditLog(capacity int, w *os.File) *AuditLog {
+	if w == nil {
+		return audit.New(capacity, nil)
+	}
+	return audit.New(capacity, w)
+}
+
+// SubtreeConditions builds a KeyNote Conditions body granting value on
+// the object with inode ino and, when subtree is true, everything
+// beneath it. extra, if non-empty, is ANDed in.
+func SubtreeConditions(ino uint64, value string, subtree bool, extra string) string {
+	return core.SubtreeConditions(ino, value, subtree, extra)
+}
+
+// SignCredential composes and signs a credential.
+func SignCredential(key *KeyPair, spec CredentialSpec) (*Credential, error) {
+	return keynote.Sign(key, spec)
+}
+
+// ParseCredentials parses one or more assertions from text (without
+// verifying signatures; submission verifies).
+func ParseCredentials(text string) ([]*Credential, error) {
+	return keynote.ParseAssertions(text)
+}
+
+// LicenseesOr renders a Licensees field authorizing any of the given
+// principals; see also keynote.LicenseesAnd and LicenseesThreshold.
+func LicenseesOr(ps ...Principal) string { return keynote.LicenseesOr(ps...) }
+
+// ---- storage substrates ----
+
+// StoreConfig parameterizes NewMemStore.
+type StoreConfig struct {
+	// BlockSize is the FFS block size (default 8192).
+	BlockSize int
+	// NumBlocks is the device capacity in blocks (default 1<<18).
+	NumBlocks uint32
+	// Encrypt stacks CFS content/name encryption over the store using
+	// Passphrase. When false the CFS-NE layer is still stacked (the
+	// paper's configuration) so the code path matches the prototype.
+	Encrypt bool
+	// Passphrase keys the CFS layer when Encrypt is true.
+	Passphrase string
+}
+
+// NewMemStore builds the paper's storage stack: an FFS-style inode
+// filesystem on a RAM-backed block device, wrapped in a CFS layer
+// (encrypting if requested, CFS-NE otherwise).
+func NewMemStore(cfg StoreConfig) (FS, error) {
+	under, err := ffs.New(ffs.Config{BlockSize: cfg.BlockSize, NumBlocks: cfg.NumBlocks})
+	if err != nil {
+		return nil, err
+	}
+	return cfs.New(under, cfg.Passphrase, cfg.Encrypt)
+}
+
+// ---- key persistence ----
+
+// SaveKey writes an Ed25519 key pair to path as a hex seed with a
+// principal comment, mode 0600.
+func SaveKey(path string, k *KeyPair) error {
+	seed := k.Seed()
+	if seed == nil {
+		return fmt.Errorf("discfs: only Ed25519 keys can be saved")
+	}
+	data := "# DisCFS identity: " + string(k.Principal) + "\n" +
+		hex.EncodeToString(seed) + "\n"
+	return os.WriteFile(path, []byte(data), 0o600)
+}
+
+// LoadKey reads a key pair saved by SaveKey.
+func LoadKey(path string) (*KeyPair, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		seed, err := hex.DecodeString(line)
+		if err != nil {
+			return nil, fmt.Errorf("discfs: bad key file %s: %w", path, err)
+		}
+		return keynote.KeyFromSeed(seed)
+	}
+	return nil, fmt.Errorf("discfs: no key material in %s", path)
+}
+
+// LoadOrCreateKey loads the key at path, generating and saving a new one
+// if the file does not exist.
+func LoadOrCreateKey(path string) (*KeyPair, error) {
+	if _, err := os.Stat(path); err == nil {
+		return LoadKey(path)
+	}
+	k, err := GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	if err := SaveKey(path, k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// LoadStore restores a filesystem image written by SaveStore and stacks
+// the CFS layer per cfg (BlockSize/NumBlocks are taken from the image).
+func LoadStore(path string, cfg StoreConfig) (FS, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	under, err := ffs.Load(f, nil)
+	if err != nil {
+		return nil, err
+	}
+	return cfs.New(under, cfg.Passphrase, cfg.Encrypt)
+}
+
+// SaveStore writes the FFS image underlying a store built by NewMemStore
+// or LoadStore to path (atomically, via a temporary file).
+func SaveStore(path string, fs FS) error {
+	c, ok := fs.(*cfs.CFS)
+	if !ok {
+		return fmt.Errorf("discfs: store is %T, not a CFS-stacked FFS", fs)
+	}
+	under, ok := c.Under().(*ffs.FFS)
+	if !ok {
+		return fmt.Errorf("discfs: backing store is %T, not FFS", c.Under())
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := under.Dump(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// DialWithCredentials attaches and immediately submits the given
+// credentials (the wallet pattern).
+func DialWithCredentials(addr string, identity *KeyPair, creds ...*Credential) (*Client, error) {
+	return core.DialWithCredentials(addr, identity, creds...)
+}

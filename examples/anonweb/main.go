@@ -1,0 +1,103 @@
+// Anonweb: the paper's §7 future work — "new file sharing policies for
+// unusual scenarios, such as the untrusted users characteristic of the
+// WWW". The Web's access model (§2) is anonymous download without prior
+// registration; DisCFS expresses it as one line of local policy granting
+// the distinguished "anonymous" principal read access, while the same
+// server keeps enforcing credentials for everyone with a key.
+//
+//	go run ./examples/anonweb
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"discfs"
+	"discfs/internal/core"
+	"discfs/internal/nfs"
+	"discfs/internal/sunrpc"
+)
+
+func main() {
+	adminKey, _ := discfs.GenerateKey()
+	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Default policy (§2's first requirement): the administrator decides
+	// that anonymous users may read and search, nothing else.
+	policy := `Authorizer: "POLICY"
+Licensees: "anonymous"
+Conditions: app_domain == "DisCFS" -> "RX";
+`
+	srv, err := discfs.NewServer(discfs.ServerConfig{
+		Backing:    store,
+		ServerKey:  adminKey,
+		PolicyText: policy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	secureAddr, err := srv.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The same server also listens on plain TCP for anonymous peers.
+	plainLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.ServePlain(plainLn)
+	fmt.Printf("server: secure channel on %s, anonymous TCP on %s\n\n",
+		secureAddr, plainLn.Addr())
+
+	// A keyed internal user publishes content over the secure channel.
+	authorKey, _ := discfs.GenerateKey()
+	srv.IssueCredential(authorKey.Principal, store.Root().Ino, "RWX", "author")
+	author, err := discfs.Dial(secureAddr, authorKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer author.Close()
+	author.WriteFile("/index.html", []byte("<h1>DisCFS</h1><p>No accounts were created for this page.</p>\n"))
+	author.WriteFile("/draft.html", []byte("work in progress\n"))
+	fmt.Println("author published /index.html and /draft.html")
+
+	// An anonymous "browser": plain TCP, no key, no handshake.
+	conn, err := net.Dial("tcp", plainLn.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	browser := nfs.NewClient(sunrpc.NewClient(conn))
+	defer browser.RPC().Close()
+	root, err := browser.Mount("/discfs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ents, err := browser.ReadDirAll(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanonymous browser lists %d public files:\n", len(ents))
+	for _, e := range ents {
+		fmt.Printf("  %s\n", e.Name)
+	}
+	attr, err := browser.Lookup(root, "index.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	page, _, err := browser.Read(attr.Handle, 0, nfs.MaxData)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nanonymous GET /index.html:\n%s\n", page)
+
+	// The anonymous principal is read-only; uploads bounce.
+	if _, err := browser.Create(root, "upload.bin", 0o644); err != nil {
+		fmt.Printf("anonymous upload attempt: %v\n", err)
+	}
+	_ = core.AnonymousPrincipal // the principal policy names, re-exported
+}

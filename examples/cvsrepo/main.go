@@ -1,0 +1,118 @@
+// Cvsrepo: the paper's §4.2 war story. While writing the paper, its five
+// authors had no common Unix group on the host carrying the CVS
+// repository, so the repository had to be made world-writable. "If the
+// central server supported DisCFS then the owner of the repository would
+// simply need to issue read-write certificates to all the other
+// authors."
+//
+// This example is that fix: the repository owner issues RWX certificates
+// to four co-authors; everyone commits; the rest of the world stays
+// locked out.
+//
+//	go run ./examples/cvsrepo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"discfs"
+)
+
+func main() {
+	adminKey, _ := discfs.GenerateKey()
+	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := discfs.NewServer(discfs.ServerConfig{Backing: store, ServerKey: adminKey})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, _ := srv.Start()
+	defer srv.Close()
+
+	// miltchev owns the repository.
+	ownerKey, _ := discfs.GenerateKey()
+	srv.IssueCredential(ownerKey.Principal, store.Root().Ino, "RWX", "repository owner")
+	owner, err := discfs.Dial(addr, ownerKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer owner.Close()
+
+	repo, _, err := owner.MkdirPath("/cvsroot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner.WriteFile("/cvsroot/paper.tex,v", []byte("head 1.1;\n1.1 log: initial import\n"))
+	fmt.Println("miltchev created /cvsroot and imported paper.tex,v")
+
+	// Read-write certificates for the co-authors — no group, no
+	// administrator, no world-writable repository.
+	coauthors := []string{"vassilip", "sotiris", "angelos", "jms"}
+	keys := make(map[string]*discfs.KeyPair, len(coauthors))
+	for _, name := range coauthors {
+		k, _ := discfs.GenerateKey()
+		keys[name] = k
+		repoCred, err := owner.Delegate(k.Principal, repo.Handle.Ino, "RWX", "co-author "+name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		walkCred, err := discfs.SignCredential(owner.Identity(), discfs.CredentialSpec{
+			Licensees:  discfs.LicenseesOr(k.Principal),
+			Conditions: discfs.SubtreeConditions(store.Root().Ino, "X", false, ""),
+			Comment:    "path walk for " + name,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// In real life these travel by email; here each author submits
+		// their own pair below.
+		saveFor(name, repoCred, walkCred)
+	}
+	fmt.Printf("miltchev issued read-write certificates to %d co-authors\n\n", len(coauthors))
+
+	// Every co-author commits a revision.
+	for i, name := range coauthors {
+		c, err := discfs.Dial(addr, keys[name])
+		if err != nil {
+			log.Fatal(err)
+		}
+		creds := load(name)
+		if _, err := c.SubmitCredentials(creds...); err != nil {
+			log.Fatal(err)
+		}
+		rev := fmt.Sprintf("1.%d log: edits by %s\n", i+2, name)
+		old, err := c.ReadFile("/cvsroot/paper.tex,v")
+		if err != nil {
+			log.Fatalf("%s checkout: %v", name, err)
+		}
+		if _, _, err := c.WriteFile("/cvsroot/paper.tex,v", append(old, rev...)); err != nil {
+			log.Fatalf("%s commit: %v", name, err)
+		}
+		fmt.Printf("%s committed revision 1.%d\n", name, i+2)
+		c.Close()
+	}
+
+	// An outsider (the rest of the world) gets nothing — unlike the
+	// world-writable workaround the authors actually suffered.
+	nobodyKey, _ := discfs.GenerateKey()
+	nobody, err := discfs.Dial(addr, nobodyKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer nobody.Close()
+	if _, err := nobody.ReadFile("/cvsroot/paper.tex,v"); err != nil {
+		fmt.Printf("\noutsider checkout attempt: %v\n", err)
+	}
+
+	final, _ := owner.ReadFile("/cvsroot/paper.tex,v")
+	fmt.Printf("\nfinal ,v file:\n%s", final)
+}
+
+// saveFor/load stand in for the email hop of credentials.
+var mailbox = map[string][]*discfs.Credential{}
+
+func saveFor(name string, creds ...*discfs.Credential) { mailbox[name] = creds }
+func load(name string) []*discfs.Credential            { return mailbox[name] }

@@ -1,0 +1,86 @@
+// Timeofday: the paper contrasts DisCFS with Exokernel capabilities by
+// noting its access policies "can consider factors such as time-of-day,
+// so that, for example, leisure-related files may not be available
+// during office hours" (§3.1). This example encodes exactly that policy
+// in a credential's Conditions field and shows it flip as the clock
+// moves.
+//
+//	go run ./examples/timeofday
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"discfs"
+)
+
+func main() {
+	clock := time.Date(2026, 6, 1, 8, 0, 0, 0, time.UTC)
+	adminKey, _ := discfs.GenerateKey()
+	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := discfs.NewServer(discfs.ServerConfig{
+		Backing:   store,
+		ServerKey: adminKey,
+		CacheSize: -1, // re-evaluate conditions on every access, for the demo
+		Now:       func() time.Time { return clock },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, _ := srv.Start()
+	defer srv.Close()
+
+	// The office admin stores the leisure content.
+	bossKey, _ := discfs.GenerateKey()
+	srv.IssueCredential(bossKey.Principal, store.Root().Ino, "RWX", "boss")
+	boss, err := discfs.Dial(addr, bossKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer boss.Close()
+	fun, _, err := boss.MkdirPath("/leisure")
+	if err != nil {
+		log.Fatal(err)
+	}
+	boss.WriteFile("/leisure/crossword.txt", []byte("1 across: trust-management system (7)\n"))
+
+	// The employee's credential: read+search on /leisure, but only
+	// outside office hours (09:00–17:00), plus unconditional path walk.
+	empKey, _ := discfs.GenerateKey()
+	offHours := `@hour < 9 || @hour >= 17`
+	credFun, err := boss.DelegateWithConditions(empKey.Principal, fun.Handle.Ino, "RX", offHours, "leisure outside office hours")
+	if err != nil {
+		log.Fatal(err)
+	}
+	credWalk, err := discfs.SignCredential(boss.Identity(), discfs.CredentialSpec{
+		Licensees:  discfs.LicenseesOr(empKey.Principal),
+		Conditions: discfs.SubtreeConditions(store.Root().Ino, "X", false, ""),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	emp, err := discfs.Dial(addr, empKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer emp.Close()
+	emp.SubmitCredentials(credFun, credWalk)
+
+	fmt.Println("credential condition:", offHours)
+	fmt.Println()
+	for _, h := range []int{8, 9, 12, 16, 17, 22} {
+		clock = time.Date(2026, 6, 1, h, 0, 0, 0, time.UTC)
+		_, err := emp.ReadFile("/leisure/crossword.txt")
+		verdict := "ALLOWED"
+		if err != nil {
+			verdict = "DENIED "
+		}
+		fmt.Printf("%02d:00  crossword access: %s\n", h, verdict)
+	}
+}

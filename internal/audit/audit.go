@@ -1,0 +1,110 @@
+// Package audit implements the DisCFS access log. The paper (§4.2): "the
+// system may not know that Alice is trying to get at a file, but it can
+// log that key A was used and that key B authorized the operation" — the
+// log records the requesting key, the operation, the handle, and the
+// policy outcome.
+package audit
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is one access-control decision.
+type Record struct {
+	Time    time.Time
+	Peer    string // requesting principal (canonical form)
+	Op      string // operation class, e.g. "read", "write", "lookup"
+	Ino     uint64
+	Gen     uint32
+	Name    string // entry name for directory operations
+	Value   string // compliance value, e.g. "RWX" or "false"
+	Allowed bool
+	Cached  bool // decision came from the policy cache
+}
+
+// Log is a bounded in-memory ring of records, optionally mirrored to an
+// io.Writer as text lines. Safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	w      io.Writer
+	ring   []Record
+	next   int
+	filled bool
+
+	total  uint64
+	denied uint64
+}
+
+// New creates a log retaining the most recent capacity records; w may be
+// nil.
+func New(capacity int, w io.Writer) *Log {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Log{ring: make([]Record, capacity), w: w}
+}
+
+// Append records one decision.
+func (l *Log) Append(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring[l.next] = r
+	l.next = (l.next + 1) % len(l.ring)
+	if l.next == 0 {
+		l.filled = true
+	}
+	l.total++
+	if !r.Allowed {
+		l.denied++
+	}
+	if l.w != nil {
+		verdict := "DENY"
+		if r.Allowed {
+			verdict = "ALLOW"
+		}
+		cached := ""
+		if r.Cached {
+			cached = " (cached)"
+		}
+		fmt.Fprintf(l.w, "%s %s %s ino=%d gen=%d name=%q value=%s%s peer=%s\n",
+			r.Time.Format(time.RFC3339), verdict, r.Op, r.Ino, r.Gen, r.Name,
+			r.Value, cached, shorten(r.Peer))
+	}
+}
+
+// shorten abbreviates principals for readable log lines.
+func shorten(p string) string {
+	if len(p) > 28 {
+		return p[:28] + "…"
+	}
+	return p
+}
+
+// Recent returns up to n of the most recent records, newest first.
+func (l *Log) Recent(n int) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := l.next
+	if l.filled {
+		size = len(l.ring)
+	}
+	if n > size {
+		n = size
+	}
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (l.next - 1 - i + len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+// Totals reports cumulative decision counts.
+func (l *Log) Totals() (total, denied uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total, l.denied
+}

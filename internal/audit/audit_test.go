@@ -1,0 +1,98 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(peer string, allowed bool) Record {
+	return Record{
+		Time: time.Date(2001, 6, 15, 12, 0, 0, 0, time.UTC),
+		Peer: peer, Op: "read", Ino: 42, Gen: 1,
+		Value: "R", Allowed: allowed,
+	}
+}
+
+func TestAppendAndRecent(t *testing.T) {
+	l := New(4, nil)
+	for i := 0; i < 3; i++ {
+		l.Append(rec("k", true))
+	}
+	if got := l.Recent(10); len(got) != 3 {
+		t.Errorf("Recent = %d records, want 3", len(got))
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	l := New(4, nil)
+	for i := 0; i < 10; i++ {
+		r := rec("k", true)
+		r.Ino = uint64(i)
+		l.Append(r)
+	}
+	got := l.Recent(10)
+	if len(got) != 4 {
+		t.Fatalf("Recent = %d records, want 4 (capacity)", len(got))
+	}
+	// Newest first: inos 9, 8, 7, 6.
+	for i, want := range []uint64{9, 8, 7, 6} {
+		if got[i].Ino != want {
+			t.Errorf("recent[%d].Ino = %d, want %d", i, got[i].Ino, want)
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	l := New(8, nil)
+	l.Append(rec("a", true))
+	l.Append(rec("b", false))
+	l.Append(rec("c", false))
+	total, denied := l.Totals()
+	if total != 3 || denied != 2 {
+		t.Errorf("totals = %d/%d, want 3/2", total, denied)
+	}
+}
+
+func TestWriterOutput(t *testing.T) {
+	var sb strings.Builder
+	l := New(8, &sb)
+	r := rec("ed25519-hex:abcdef0123456789abcdef0123456789", false)
+	r.Cached = true
+	r.Name = "secret.txt"
+	l.Append(r)
+	line := sb.String()
+	for _, want := range []string{"DENY", "read", "ino=42", `name="secret.txt"`, "(cached)", "value=R"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := New(128, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append(rec("k", i%2 == 0))
+			}
+		}()
+	}
+	wg.Wait()
+	total, denied := l.Totals()
+	if total != 800 || denied != 400 {
+		t.Errorf("totals = %d/%d, want 800/400", total, denied)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := New(0, nil)
+	l.Append(rec("k", true))
+	if len(l.Recent(5)) != 1 {
+		t.Error("zero-capacity constructor broke the ring")
+	}
+}

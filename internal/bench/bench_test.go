@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"discfs/internal/vfs"
+)
+
+func TestBonnieRunsOnAllSetups(t *testing.T) {
+	setups, err := AllSetups()
+	if err != nil {
+		t.Fatalf("AllSetups: %v", err)
+	}
+	for _, s := range setups {
+		defer s.Close()
+	}
+	const size = 256 * 1024 // small: correctness, not measurement
+	for _, s := range setups {
+		res, err := Bonnie(s.FS, s.FS.Root(), size)
+		if err != nil {
+			t.Fatalf("%s: Bonnie: %v", s.Name, err)
+		}
+		for phase, v := range map[string]float64{
+			"output-char":  res.OutputCharKBps,
+			"output-block": res.OutputBlockKBps,
+			"rewrite":      res.RewriteKBps,
+			"input-char":   res.InputCharKBps,
+			"input-block":  res.InputBlockKBps,
+		} {
+			if v <= 0 {
+				t.Errorf("%s: %s throughput = %v", s.Name, phase, v)
+			}
+		}
+	}
+}
+
+func TestBonniePhasesProduceCorrectData(t *testing.T) {
+	s, err := SetupFFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	root := s.FS.Root()
+	h, err := bonnieFile(s.FS, root, "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 20000 // not chunk-aligned on purpose
+	if err := OutputChar(s.FS, h, size); err != nil {
+		t.Fatalf("OutputChar: %v", err)
+	}
+	a, err := s.FS.GetAttr(h)
+	if err != nil || a.Size != size {
+		t.Fatalf("size after char output = %d, want %d (%v)", a.Size, size, err)
+	}
+	data, _, err := s.FS.Read(h, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range data {
+		if b != byte(i&0x7f) {
+			t.Fatalf("byte %d = %d, want %d", i, b, byte(i&0x7f))
+		}
+	}
+	if err := Rewrite(s.FS, h, size); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	// Rewrite flips the first byte of each chunk.
+	data, _, _ = s.FS.Read(h, 0, size)
+	if data[0] != byte(0)^1 {
+		t.Errorf("rewrite did not dirty byte 0")
+	}
+	if data[1] != 1 {
+		t.Errorf("rewrite corrupted byte 1: %d", data[1])
+	}
+	if err := InputChar(s.FS, h, size); err != nil {
+		t.Errorf("InputChar: %v", err)
+	}
+	if err := InputBlock(s.FS, h, size); err != nil {
+		t.Errorf("InputBlock: %v", err)
+	}
+}
+
+func TestGenerateTreeDeterministic(t *testing.T) {
+	spec := TreeSpec{Subsystems: 3, FilesPerDir: 5, MeanFileSize: 2048, Seed: 7}
+	s1, _ := SetupFFS()
+	defer s1.Close()
+	s2, _ := SetupFFS()
+	defer s2.Close()
+	f1, b1, err := GenerateTree(s1.FS, s1.FS.Root(), spec)
+	if err != nil {
+		t.Fatalf("GenerateTree: %v", err)
+	}
+	f2, b2, err := GenerateTree(s2.FS, s2.FS.Root(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 || b1 != b2 {
+		t.Errorf("generation not deterministic: %d/%d vs %d/%d", f1, b1, f2, b2)
+	}
+	if f1 != 15 {
+		t.Errorf("files = %d, want 15", f1)
+	}
+	// The content looks like C source.
+	sys, err := s1.FS.Lookup(s1.FS.Root(), "sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := s1.FS.ReadDir(sys.Handle)
+	if err != nil || len(dirs) != 3 {
+		t.Fatalf("subsystems = %d, %v", len(dirs), err)
+	}
+	d0, _ := s1.FS.Lookup(sys.Handle, dirs[0].Name)
+	files, _ := s1.FS.ReadDir(d0.Handle)
+	var cCount, hCount int
+	for _, f := range files {
+		switch {
+		case strings.HasSuffix(f.Name, ".c"):
+			cCount++
+		case strings.HasSuffix(f.Name, ".h"):
+			hCount++
+		}
+	}
+	if cCount == 0 || hCount == 0 {
+		t.Errorf("file mix: %d .c, %d .h", cCount, hCount)
+	}
+	attr, _ := s1.FS.Lookup(d0.Handle, files[0].Name)
+	content, _, err := s1.FS.Read(attr.Handle, 0, 256)
+	if err != nil || !strings.Contains(string(content), "#include <sys/param.h>") {
+		t.Errorf("content not C-like: %q (%v)", content[:min(64, len(content))], err)
+	}
+}
+
+func TestSearchCountsMatchAcrossSetups(t *testing.T) {
+	spec := TreeSpec{Subsystems: 4, FilesPerDir: 6, MeanFileSize: 4096, Seed: 11}
+	setups, err := AllSetups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []SearchResult
+	for _, s := range setups {
+		defer s.Close()
+		if _, _, err := GenerateTree(s.Populate, s.Populate.Root(), spec); err != nil {
+			t.Fatalf("%s: GenerateTree: %v", s.Name, err)
+		}
+		res, err := Search(s.FS, s.FS.Root())
+		if err != nil {
+			t.Fatalf("%s: Search: %v", s.Name, err)
+		}
+		if res.Files != 24 || res.Lines == 0 || res.Words == 0 || res.Bytes == 0 {
+			t.Errorf("%s: result = %+v", s.Name, res)
+		}
+		results = append(results, res)
+	}
+	// Identical trees must yield identical counts through every stack.
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Errorf("setup %d result %+v differs from FFS %+v", i, results[i], results[0])
+		}
+	}
+}
+
+func TestSearchSkipsNonSourceFiles(t *testing.T) {
+	s, _ := SetupFFS()
+	defer s.Close()
+	root := s.FS.Root()
+	a, _ := s.FS.Create(root, "README", 0o644)
+	s.FS.Write(a.Handle, 0, []byte("not counted\n"))
+	c, _ := s.FS.Create(root, "x.c", 0o644)
+	s.FS.Write(c.Handle, 0, []byte("int x;\n"))
+	res, err := Search(s.FS, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Files != 1 {
+		t.Errorf("files = %d, want 1", res.Files)
+	}
+	if res.Bytes != 7 {
+		t.Errorf("bytes = %d, want 7", res.Bytes)
+	}
+	if res.Lines != 1 || res.Words != 2 {
+		t.Errorf("lines/words = %d/%d, want 1/2", res.Lines, res.Words)
+	}
+}
+
+func TestDisCFSStatsExposed(t *testing.T) {
+	s, err := SetupDisCFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Stats == nil {
+		t.Fatal("no Stats on DisCFS setup")
+	}
+	// Drive some traffic and observe cache effectiveness.
+	h, err := bonnieFile(s.FS, s.FS.Root(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := s.FS.Write(h, 0, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CacheHits == 0 {
+		t.Errorf("no cache hits after repeated writes: %+v", st)
+	}
+	if st.Decisions == 0 {
+		t.Errorf("no decisions recorded: %+v", st)
+	}
+}
+
+func TestRemoteFSLargeIO(t *testing.T) {
+	s, err := SetupCFSNE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	root := s.FS.Root()
+	a, err := s.FS.Create(root, "big", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A write larger than one NFS transfer must be split transparently.
+	data := make([]byte, 40000)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	if _, err := s.FS.Write(a.Handle, 0, data); err != nil {
+		t.Fatalf("large write: %v", err)
+	}
+	got, _, err := s.FS.Read(a.Handle, 0, 40000)
+	if err != nil {
+		t.Fatalf("large read: %v", err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(data))
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSetupsExposeExpectedNames(t *testing.T) {
+	setups, err := AllSetups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"FFS", "CFS-NE", "DisCFS"}
+	for i, s := range setups {
+		defer s.Close()
+		if s.Name != want[i] {
+			t.Errorf("setup %d = %q, want %q", i, s.Name, want[i])
+		}
+		if _, err := s.FS.GetAttr(s.FS.Root()); err != nil {
+			t.Errorf("%s: root GetAttr: %v", s.Name, err)
+		}
+		var _ vfs.FS = s.FS
+	}
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"discfs/internal/vfs"
+)
+
+// Bonnie is a port of Tim Bray's Bonnie benchmark (the paper's Figures
+// 7-11): five sequential phases over one large file.
+//
+// Per-character phases go through a stdio-like 8 KiB buffer, exactly as
+// Bonnie's putc/getc do — the per-character cost is the user-space loop,
+// while the filesystem sees buffer-sized transfers.
+
+// ChunkSize is the I/O unit of the block phases and the stdio buffer of
+// the char phases (Bonnie used the stdio default; 8 KiB matches both
+// 2001-era stdio and the NFSv2 transfer limit).
+const ChunkSize = 8192
+
+// BonnieResult holds throughputs in KiB/s for the five phases, in the
+// paper's figure order.
+type BonnieResult struct {
+	OutputCharKBps  float64 // Figure 7: Sequential Output (Char)
+	OutputBlockKBps float64 // Figure 8: Sequential Output (Block)
+	RewriteKBps     float64 // Figure 9: Sequential Output (Rewrite)
+	InputCharKBps   float64 // Figure 10: Sequential Input (Char)
+	InputBlockKBps  float64 // Figure 11: Sequential Input (Block)
+}
+
+// kbps converts (bytes, duration) to KiB/s.
+func kbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1024 / d.Seconds()
+}
+
+// bonnieFile creates (or truncates) the benchmark file.
+func bonnieFile(fs vfs.FS, dir vfs.Handle, name string) (vfs.Handle, error) {
+	if a, err := fs.Lookup(dir, name); err == nil {
+		zero := uint64(0)
+		if _, err := fs.SetAttr(a.Handle, vfs.SetAttr{Size: &zero}); err != nil {
+			return vfs.Handle{}, err
+		}
+		return a.Handle, nil
+	}
+	a, err := fs.Create(dir, name, 0o644)
+	if err != nil {
+		return vfs.Handle{}, err
+	}
+	return a.Handle, nil
+}
+
+// OutputChar writes size bytes one character at a time through the
+// stdio-style buffer (Figure 7's workload).
+func OutputChar(fs vfs.FS, h vfs.Handle, size int64) error {
+	buf := make([]byte, 0, ChunkSize)
+	var off uint64
+	for i := int64(0); i < size; i++ {
+		// putc(i & 0x7f): one call per byte, buffered.
+		buf = append(buf, byte(i&0x7f))
+		if len(buf) == ChunkSize {
+			if _, err := fs.Write(h, off, buf); err != nil {
+				return err
+			}
+			off += uint64(len(buf))
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := fs.Write(h, off, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OutputBlock writes size bytes in ChunkSize blocks (Figure 8).
+func OutputBlock(fs vfs.FS, h vfs.Handle, size int64) error {
+	block := make([]byte, ChunkSize)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	for off := int64(0); off < size; off += ChunkSize {
+		n := int64(ChunkSize)
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := fs.Write(h, uint64(off), block[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rewrite reads each block, dirties one byte, and writes it back
+// (Figure 9) — Bonnie's read/modify/write pass.
+func Rewrite(fs vfs.FS, h vfs.Handle, size int64) error {
+	for off := int64(0); off < size; off += ChunkSize {
+		n := uint32(ChunkSize)
+		if off+int64(n) > size {
+			n = uint32(size - off)
+		}
+		data, _, err := fs.Read(h, uint64(off), n)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			break
+		}
+		data[0] ^= 1
+		if _, err := fs.Write(h, uint64(off), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InputChar reads the file one character at a time through the buffer
+// (Figure 10).
+func InputChar(fs vfs.FS, h vfs.Handle, size int64) error {
+	var sum byte
+	for off := int64(0); off < size; off += ChunkSize {
+		n := uint32(ChunkSize)
+		if off+int64(n) > size {
+			n = uint32(size - off)
+		}
+		data, _, err := fs.Read(h, uint64(off), n)
+		if err != nil {
+			return err
+		}
+		// getc(): consume byte by byte so the per-character loop cost is
+		// paid, as in Bonnie.
+		for _, b := range data {
+			sum += b
+		}
+		if len(data) == 0 {
+			break
+		}
+	}
+	_ = sum
+	return nil
+}
+
+// InputBlock reads the file in ChunkSize blocks (Figure 11).
+func InputBlock(fs vfs.FS, h vfs.Handle, size int64) error {
+	for off := int64(0); off < size; off += ChunkSize {
+		n := uint32(ChunkSize)
+		if off+int64(n) > size {
+			n = uint32(size - off)
+		}
+		data, _, err := fs.Read(h, uint64(off), n)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// Bonnie runs all five phases on a fresh file under dir and reports
+// throughputs. The paper used a 100 MB file on 2001 hardware; size
+// scales it.
+func Bonnie(fs vfs.FS, dir vfs.Handle, size int64) (BonnieResult, error) {
+	h, err := bonnieFile(fs, dir, "bonnie.scratch")
+	if err != nil {
+		return BonnieResult{}, fmt.Errorf("bench: creating scratch file: %w", err)
+	}
+	var res BonnieResult
+
+	start := time.Now()
+	if err := OutputChar(fs, h, size); err != nil {
+		return res, fmt.Errorf("bench: output char: %w", err)
+	}
+	res.OutputCharKBps = kbps(size, time.Since(start))
+
+	start = time.Now()
+	if err := OutputBlock(fs, h, size); err != nil {
+		return res, fmt.Errorf("bench: output block: %w", err)
+	}
+	res.OutputBlockKBps = kbps(size, time.Since(start))
+
+	start = time.Now()
+	if err := Rewrite(fs, h, size); err != nil {
+		return res, fmt.Errorf("bench: rewrite: %w", err)
+	}
+	res.RewriteKBps = kbps(size, time.Since(start))
+
+	start = time.Now()
+	if err := InputChar(fs, h, size); err != nil {
+		return res, fmt.Errorf("bench: input char: %w", err)
+	}
+	res.InputCharKBps = kbps(size, time.Since(start))
+
+	start = time.Now()
+	if err := InputBlock(fs, h, size); err != nil {
+		return res, fmt.Errorf("bench: input block: %w", err)
+	}
+	res.InputBlockKBps = kbps(size, time.Since(start))
+
+	if err := fs.Remove(dir, "bonnie.scratch"); err != nil {
+		return res, fmt.Errorf("bench: cleanup: %w", err)
+	}
+	return res, nil
+}

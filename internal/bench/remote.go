@@ -1,0 +1,209 @@
+// Package bench contains the paper's evaluation harness: a port of the
+// Bonnie filesystem benchmark (Figures 7-11), the kernel-source search
+// macro-benchmark (Figure 12), the synthetic source tree it runs over,
+// and the three filesystem setups compared throughout §6 — FFS (local),
+// CFS-NE (user-level NFS loopback, no encryption) and DisCFS (CFS-NE
+// plus credential access control over the secure channel).
+package bench
+
+import (
+	"discfs/internal/nfs"
+	"discfs/internal/vfs"
+)
+
+// ClientAPI is the NFS client surface RemoteFS needs; both *nfs.Client
+// and *nfs.CachingClient satisfy it, so workloads can run over a raw or
+// an attribute-caching client.
+type ClientAPI interface {
+	GetAttr(h vfs.Handle) (vfs.Attr, error)
+	SetAttr(h vfs.Handle, sa nfs.SAttr) (vfs.Attr, error)
+	Lookup(dir vfs.Handle, name string) (vfs.Attr, error)
+	Readlink(h vfs.Handle) (string, error)
+	Read(h vfs.Handle, offset, count uint32) ([]byte, vfs.Attr, error)
+	Write(h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error)
+	Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error)
+	Remove(dir vfs.Handle, name string) error
+	Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error
+	Link(target vfs.Handle, dir vfs.Handle, name string) error
+	Symlink(dir vfs.Handle, name, target string, mode uint32) error
+	Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error)
+	Rmdir(dir vfs.Handle, name string) error
+	ReadDirAll(dir vfs.Handle) ([]nfs.DirEntry, error)
+	StatFS(h vfs.Handle) (nfs.StatFSResult, error)
+}
+
+var (
+	_ ClientAPI = (*nfs.Client)(nil)
+	_ ClientAPI = (*nfs.CachingClient)(nil)
+)
+
+// RemoteFS adapts an NFS client connection to the vfs.FS interface, so
+// every benchmark workload runs unchanged against local and remote
+// filesystems — the role the kernel NFS client plays in the paper.
+type RemoteFS struct {
+	c    ClientAPI
+	root vfs.Handle
+}
+
+// NewRemoteFS wraps an NFS client with a known root handle.
+func NewRemoteFS(c ClientAPI, root vfs.Handle) *RemoteFS {
+	return &RemoteFS{c: c, root: root}
+}
+
+var _ vfs.FS = (*RemoteFS)(nil)
+
+// Root implements vfs.FS.
+func (r *RemoteFS) Root() vfs.Handle { return r.root }
+
+// GetAttr implements vfs.FS.
+func (r *RemoteFS) GetAttr(h vfs.Handle) (vfs.Attr, error) { return r.c.GetAttr(h) }
+
+// SetAttr implements vfs.FS.
+func (r *RemoteFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
+	sa := nfs.NewSAttr()
+	if s.Mode != nil {
+		sa.Mode = *s.Mode
+	}
+	if s.UID != nil {
+		sa.UID = *s.UID
+	}
+	if s.GID != nil {
+		sa.GID = *s.GID
+	}
+	if s.Size != nil {
+		sa.Size = uint32(*s.Size)
+	}
+	if s.Atime != nil {
+		sa.SetAtime = true
+		sa.Atime = *s.Atime
+	}
+	if s.Mtime != nil {
+		sa.SetMtime = true
+		sa.Mtime = *s.Mtime
+	}
+	return r.c.SetAttr(h, sa)
+}
+
+// Lookup implements vfs.FS.
+func (r *RemoteFS) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
+	return r.c.Lookup(dir, name)
+}
+
+// Read implements vfs.FS, splitting large reads into wire-sized RPCs.
+func (r *RemoteFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, error) {
+	var out []byte
+	remaining := count
+	for remaining > 0 {
+		n := remaining
+		if n > nfs.MaxData {
+			n = nfs.MaxData
+		}
+		data, attr, err := r.c.Read(h, uint32(off)+uint32(len(out)), n)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, data...)
+		remaining -= uint32(len(data))
+		if len(data) == 0 || uint64(off)+uint64(len(out)) >= attr.Size {
+			return out, true, nil
+		}
+		if uint32(len(data)) < n {
+			return out, false, nil
+		}
+	}
+	return out, false, nil
+}
+
+// Write implements vfs.FS, splitting large writes into wire-sized RPCs.
+func (r *RemoteFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
+	var attr vfs.Attr
+	var err error
+	for done := 0; done < len(data) || len(data) == 0; {
+		n := len(data) - done
+		if n > nfs.MaxData {
+			n = nfs.MaxData
+		}
+		attr, err = r.c.Write(h, uint32(off)+uint32(done), data[done:done+n])
+		if err != nil {
+			return vfs.Attr{}, err
+		}
+		done += n
+		if len(data) == 0 {
+			break
+		}
+		if done >= len(data) {
+			break
+		}
+	}
+	return attr, nil
+}
+
+// Create implements vfs.FS.
+func (r *RemoteFS) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	return r.c.Create(dir, name, mode)
+}
+
+// Remove implements vfs.FS.
+func (r *RemoteFS) Remove(dir vfs.Handle, name string) error { return r.c.Remove(dir, name) }
+
+// Rename implements vfs.FS.
+func (r *RemoteFS) Rename(fd vfs.Handle, fn string, td vfs.Handle, tn string) error {
+	return r.c.Rename(fd, fn, td, tn)
+}
+
+// Mkdir implements vfs.FS.
+func (r *RemoteFS) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	return r.c.Mkdir(dir, name, mode)
+}
+
+// Rmdir implements vfs.FS.
+func (r *RemoteFS) Rmdir(dir vfs.Handle, name string) error { return r.c.Rmdir(dir, name) }
+
+// ReadDir implements vfs.FS.
+func (r *RemoteFS) ReadDir(dir vfs.Handle) ([]vfs.DirEntry, error) {
+	ents, err := r.c.ReadDirAll(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vfs.DirEntry, 0, len(ents))
+	for _, e := range ents {
+		// READDIR returns fileids only; resolve handles lazily via
+		// Lookup when the caller needs them. For benchmark walks the
+		// name is what matters; the handle is filled by Lookup.
+		out = append(out, vfs.DirEntry{Name: e.Name, Handle: vfs.Handle{Ino: uint64(e.FileID)}})
+	}
+	return out, nil
+}
+
+// Symlink implements vfs.FS.
+func (r *RemoteFS) Symlink(dir vfs.Handle, name, target string, mode uint32) (vfs.Attr, error) {
+	if err := r.c.Symlink(dir, name, target, mode); err != nil {
+		return vfs.Attr{}, err
+	}
+	return r.c.Lookup(dir, name)
+}
+
+// Readlink implements vfs.FS.
+func (r *RemoteFS) Readlink(h vfs.Handle) (string, error) { return r.c.Readlink(h) }
+
+// Link implements vfs.FS.
+func (r *RemoteFS) Link(dir vfs.Handle, name string, target vfs.Handle) (vfs.Attr, error) {
+	if err := r.c.Link(target, dir, name); err != nil {
+		return vfs.Attr{}, err
+	}
+	return r.c.Lookup(dir, name)
+}
+
+// StatFS implements vfs.FS.
+func (r *RemoteFS) StatFS() (vfs.StatFS, error) {
+	st, err := r.c.StatFS(r.root)
+	if err != nil {
+		return vfs.StatFS{}, err
+	}
+	return vfs.StatFS{
+		BlockSize:   st.BSize,
+		TotalBlocks: uint64(st.Blocks),
+		FreeBlocks:  uint64(st.BFree),
+		AvailBlocks: uint64(st.BAvail),
+	}, nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"strings"
+
+	"discfs/internal/vfs"
+)
+
+// SearchResult aggregates the wc-style counts of the Figure 12 workload.
+type SearchResult struct {
+	Files int
+	Lines int64
+	Words int64
+	Bytes int64
+}
+
+// Search walks the tree under root and, for every .c and .h file, reads
+// the full contents and counts lines, words and bytes — the paper's
+// "simple script that goes through every .c and .h file of the OpenBSD
+// kernel source code and counts the number of lines, words and bytes".
+func Search(fs vfs.FS, root vfs.Handle) (SearchResult, error) {
+	var res SearchResult
+	err := walkDir(fs, root, &res)
+	return res, err
+}
+
+func walkDir(fs vfs.FS, dir vfs.Handle, res *SearchResult) error {
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		// Resolve through Lookup: remote backends return names only,
+		// and this is the per-file LOOKUP the real script incurs.
+		attr, err := fs.Lookup(dir, e.Name)
+		if err != nil {
+			return err
+		}
+		switch attr.Type {
+		case vfs.TypeDir:
+			if err := walkDir(fs, attr.Handle, res); err != nil {
+				return err
+			}
+		case vfs.TypeRegular:
+			if !strings.HasSuffix(e.Name, ".c") && !strings.HasSuffix(e.Name, ".h") {
+				continue
+			}
+			if err := wcFile(fs, attr.Handle, attr.Size, res); err != nil {
+				return err
+			}
+			res.Files++
+		}
+	}
+	return nil
+}
+
+// wcFile reads a file in ChunkSize pieces and counts lines/words/bytes.
+func wcFile(fs vfs.FS, h vfs.Handle, size uint64, res *SearchResult) error {
+	inWord := false
+	var off uint64
+	for off < size {
+		n := uint32(ChunkSize)
+		if off+uint64(n) > size {
+			n = uint32(size - off)
+		}
+		data, eof, err := fs.Read(h, off, n)
+		if err != nil {
+			return err
+		}
+		if len(data) == 0 {
+			break
+		}
+		for _, c := range data {
+			res.Bytes++
+			if c == '\n' {
+				res.Lines++
+			}
+			isSpace := c == ' ' || c == '\t' || c == '\n' || c == '\r'
+			if isSpace {
+				inWord = false
+			} else if !inWord {
+				inWord = true
+				res.Words++
+			}
+		}
+		off += uint64(len(data))
+		if eof {
+			break
+		}
+	}
+	return nil
+}

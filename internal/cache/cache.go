@@ -1,0 +1,131 @@
+// Package cache provides the policy-decision cache of the DisCFS server.
+//
+// The paper's prototype keeps "a cache of requested operations and policy
+// results" (§5) and runs its macro-benchmark with a cache of 128 policy
+// results (§6). This is that cache: a bounded LRU mapping (principal,
+// handle) to the compliance value the KeyNote engine computed, with
+// generation- and time-based invalidation so credential submissions,
+// revocations, and time-of-day policies take effect.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Entry is a cached policy decision.
+type Entry struct {
+	// Perm is the rwx permission bitmask (0-7) the compliance check
+	// yielded.
+	Perm uint8
+	// Gen is the policy-session generation at decision time; a differing
+	// generation invalidates the entry.
+	Gen uint64
+	// Expires is the wall-clock expiry (time-dependent conditions are
+	// re-evaluated at most this much later).
+	Expires time.Time
+}
+
+// LRU is a bounded least-recently-used decision cache, safe for
+// concurrent use.
+type LRU struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits   uint64
+	misses uint64
+}
+
+type lruItem struct {
+	key string
+	val Entry
+}
+
+// New creates a cache holding up to capacity decisions. The paper used
+// 128. A capacity of 0 disables caching (every Get misses).
+func New(capacity int) *LRU {
+	return &LRU{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get looks up a decision, applying generation and expiry checks.
+func (c *LRU) Get(key string, gen uint64, now time.Time) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	ent := el.Value.(*lruItem).val
+	if ent.Gen != gen || now.After(ent.Expires) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.misses++
+		return Entry{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent, true
+}
+
+// Put stores a decision, evicting the least recently used entry if full.
+func (c *LRU) Put(key string, ent Entry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).val = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&lruItem{key: key, val: ent})
+	c.items[key] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*lruItem).key)
+		}
+	}
+}
+
+// Remove drops one key.
+func (c *LRU) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Purge drops every entry (e.g. after a revocation).
+func (c *LRU) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.cap)
+}
+
+// Len returns the current entry count.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *LRU) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,174 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2001, 6, 15, 12, 0, 0, 0, time.UTC)
+
+func entry(perm uint8, gen uint64) Entry {
+	return Entry{Perm: perm, Gen: gen, Expires: t0.Add(time.Minute)}
+}
+
+func TestPutGet(t *testing.T) {
+	c := New(4)
+	c.Put("a", entry(7, 1))
+	got, ok := c.Get("a", 1, t0)
+	if !ok || got.Perm != 7 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := c.Get("missing", 1, t0); ok {
+		t.Error("missing key hit")
+	}
+}
+
+func TestGenerationInvalidates(t *testing.T) {
+	c := New(4)
+	c.Put("a", entry(7, 1))
+	if _, ok := c.Get("a", 2, t0); ok {
+		t.Error("stale generation hit")
+	}
+	// The stale entry is evicted.
+	if c.Len() != 0 {
+		t.Errorf("len = %d after stale hit", c.Len())
+	}
+}
+
+func TestExpiryInvalidates(t *testing.T) {
+	c := New(4)
+	c.Put("a", entry(7, 1))
+	if _, ok := c.Get("a", 1, t0.Add(2*time.Minute)); ok {
+		t.Error("expired entry hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	c.Put("a", entry(1, 1))
+	c.Put("b", entry(2, 1))
+	c.Put("c", entry(3, 1))
+	// Touch "a" so "b" is the oldest.
+	c.Get("a", 1, t0)
+	c.Put("d", entry(4, 1))
+	if _, ok := c.Get("b", 1, t0); ok {
+		t.Error("LRU victim survived")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k, 1, t0); !ok {
+			t.Errorf("%q evicted wrongly", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	c := New(2)
+	c.Put("a", entry(1, 1))
+	c.Put("a", entry(5, 1))
+	got, _ := c.Get("a", 1, t0)
+	if got.Perm != 5 {
+		t.Errorf("perm = %d", got.Perm)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestPurgeAndRemove(t *testing.T) {
+	c := New(4)
+	c.Put("a", entry(1, 1))
+	c.Put("b", entry(2, 1))
+	c.Remove("a")
+	if _, ok := c.Get("a", 1, t0); ok {
+		t.Error("removed key hit")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get("b", 1, t0); ok {
+		t.Error("purged key hit")
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	c.Put("a", entry(1, 1))
+	if _, ok := c.Get("a", 1, t0); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	c := New(4)
+	c.Put("a", entry(1, 1))
+	c.Get("a", 1, t0)
+	c.Get("a", 1, t0)
+	c.Get("miss", 1, t0)
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 2/1", hits, misses)
+	}
+}
+
+// TestAgainstModel checks the LRU against a brute-force model under a
+// random workload.
+func TestAgainstModel(t *testing.T) {
+	const capn = 8
+	c := New(capn)
+	type modelEnt struct {
+		val  Entry
+		used int
+	}
+	model := map[string]*modelEnt{}
+	tick := 0
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 5000; step++ {
+		key := fmt.Sprintf("k%d", rng.Intn(20))
+		tick++
+		switch rng.Intn(3) {
+		case 0: // put
+			e := entry(uint8(rng.Intn(8)), 1)
+			c.Put(key, e)
+			if m, ok := model[key]; ok {
+				m.val, m.used = e, tick
+			} else {
+				if len(model) == capn {
+					// evict least recently used
+					var victim string
+					min := 1 << 30
+					for k, m := range model {
+						if m.used < min {
+							min, victim = m.used, k
+						}
+					}
+					delete(model, victim)
+				}
+				model[key] = &modelEnt{val: e, used: tick}
+			}
+		case 1: // get
+			got, ok := c.Get(key, 1, t0)
+			m, mok := model[key]
+			if ok != mok {
+				t.Fatalf("step %d: Get(%q) ok=%v, model=%v", step, key, ok, mok)
+			}
+			if ok {
+				if got.Perm != m.val.Perm {
+					t.Fatalf("step %d: Get(%q) perm=%d, model=%d", step, key, got.Perm, m.val.Perm)
+				}
+				m.used = tick
+			}
+		case 2: // remove
+			c.Remove(key)
+			delete(model, key)
+		}
+		if c.Len() != len(model) {
+			t.Fatalf("step %d: len=%d model=%d", step, c.Len(), len(model))
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package cfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"discfs/internal/ffs"
+	"discfs/internal/vfs"
+)
+
+func newStack(t *testing.T, encrypt bool) (*CFS, *ffs.FFS) {
+	t.Helper()
+	under, err := ffs.New(ffs.Config{BlockSize: 1024, NumBlocks: 4096})
+	if err != nil {
+		t.Fatalf("ffs.New: %v", err)
+	}
+	c, err := New(under, "test passphrase", encrypt)
+	if err != nil {
+		t.Fatalf("cfs.New: %v", err)
+	}
+	return c, under
+}
+
+func TestEncryptedRoundTrip(t *testing.T) {
+	c, _ := newStack(t, true)
+	root := c.Root()
+	attr, err := c.Create(root, "secret.txt", 0o600)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	msg := []byte("attack at dawn")
+	if _, err := c.Write(attr.Handle, 0, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, eof, err := c.Read(attr.Handle, 0, 100)
+	if err != nil || !eof {
+		t.Fatalf("Read: %v eof=%v", err, eof)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("read = %q, want %q", got, msg)
+	}
+}
+
+func TestCiphertextActuallyDiffers(t *testing.T) {
+	c, under := newStack(t, true)
+	root := c.Root()
+	attr, _ := c.Create(root, "f", 0o600)
+	msg := []byte("plaintext must not reach the store")
+	c.Write(attr.Handle, 0, msg)
+	// Read through the backing store directly: must be ciphertext.
+	raw, _, err := under.Read(attr.Handle, 0, 100)
+	if err != nil {
+		t.Fatalf("raw read: %v", err)
+	}
+	if bytes.Equal(raw, msg) {
+		t.Error("backing store holds plaintext")
+	}
+	if bytes.Contains(raw, []byte("plaintext")) {
+		t.Error("backing store leaks plaintext fragment")
+	}
+}
+
+func TestNamesEncryptedInStore(t *testing.T) {
+	c, under := newStack(t, true)
+	root := c.Root()
+	if _, err := c.Create(root, "visible-name.txt", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := under.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 1 {
+		t.Fatalf("%d raw entries", len(raw))
+	}
+	if strings.Contains(raw[0].Name, "visible") {
+		t.Errorf("stored name %q leaks plaintext", raw[0].Name)
+	}
+	// Through the layer the cleartext name is back.
+	ents, err := c.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name != "visible-name.txt" {
+		t.Errorf("decrypted listing = %v", ents)
+	}
+	// Lookup by cleartext name works (deterministic encryption).
+	if _, err := c.Lookup(root, "visible-name.txt"); err != nil {
+		t.Errorf("Lookup: %v", err)
+	}
+}
+
+func TestNEModeIsIdentity(t *testing.T) {
+	c, under := newStack(t, false)
+	if c.Encrypting() {
+		t.Fatal("NE mode reports encrypting")
+	}
+	root := c.Root()
+	attr, _ := c.Create(root, "clear.txt", 0o644)
+	msg := []byte("cfs-ne passes bytes through")
+	c.Write(attr.Handle, 0, msg)
+	raw, _, err := under.Read(attr.Handle, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, msg) {
+		t.Error("NE mode altered data")
+	}
+	ents, _ := under.ReadDir(root)
+	if ents[0].Name != "clear.txt" {
+		t.Errorf("NE mode altered name: %q", ents[0].Name)
+	}
+}
+
+func TestRandomAccessCrypto(t *testing.T) {
+	c, _ := newStack(t, true)
+	root := c.Root()
+	attr, _ := c.Create(root, "ra", 0o600)
+	data := make([]byte, 10000)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(data)
+	// Write the file in shuffled odd-sized pieces.
+	type span struct{ off, end int }
+	var spans []span
+	for off := 0; off < len(data); off += 613 {
+		end := off + 613
+		if end > len(data) {
+			end = len(data)
+		}
+		spans = append(spans, span{off, end})
+	}
+	rng.Shuffle(len(spans), func(i, j int) { spans[i], spans[j] = spans[j], spans[i] })
+	for _, s := range spans {
+		if _, err := c.Write(attr.Handle, uint64(s.off), data[s.off:s.end]); err != nil {
+			t.Fatalf("Write(%d): %v", s.off, err)
+		}
+	}
+	// Read back at random offsets.
+	for i := 0; i < 50; i++ {
+		off := rng.Intn(len(data) - 1)
+		n := 1 + rng.Intn(len(data)-off)
+		got, _, err := c.Read(attr.Handle, uint64(off), uint32(n))
+		if err != nil {
+			t.Fatalf("Read(%d,%d): %v", off, n, err)
+		}
+		if !bytes.Equal(got, data[off:off+len(got)]) {
+			t.Fatalf("random access mismatch at %d+%d", off, n)
+		}
+	}
+}
+
+func TestDifferentFilesDifferentKeystreams(t *testing.T) {
+	c, under := newStack(t, true)
+	root := c.Root()
+	a1, _ := c.Create(root, "f1", 0o600)
+	a2, _ := c.Create(root, "f2", 0o600)
+	msg := bytes.Repeat([]byte("same plaintext! "), 4)
+	c.Write(a1.Handle, 0, msg)
+	c.Write(a2.Handle, 0, msg)
+	r1, _, _ := under.Read(a1.Handle, 0, 100)
+	r2, _, _ := under.Read(a2.Handle, 0, 100)
+	if bytes.Equal(r1, r2) {
+		t.Error("two files share a keystream (ECB-style leak)")
+	}
+}
+
+func TestSymlinkTargetEncrypted(t *testing.T) {
+	c, under := newStack(t, true)
+	root := c.Root()
+	attr, err := c.Symlink(root, "link", "secret-target", 0o777)
+	if err != nil {
+		t.Fatalf("Symlink: %v", err)
+	}
+	rawTarget, err := under.Readlink(attr.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rawTarget, "secret") {
+		t.Errorf("stored target %q leaks", rawTarget)
+	}
+	got, err := c.Readlink(attr.Handle)
+	if err != nil || got != "secret-target" {
+		t.Errorf("Readlink = %q, %v", got, err)
+	}
+}
+
+func TestNamespaceOpsThroughLayer(t *testing.T) {
+	for _, encrypt := range []bool{true, false} {
+		c, _ := newStack(t, encrypt)
+		root := c.Root()
+		d, err := c.Mkdir(root, "docs", 0o755)
+		if err != nil {
+			t.Fatalf("Mkdir: %v", err)
+		}
+		f, err := c.Create(d.Handle, "a.txt", 0o644)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		if _, err := c.Link(d.Handle, "b.txt", f.Handle); err != nil {
+			t.Fatalf("Link: %v", err)
+		}
+		if err := c.Rename(d.Handle, "a.txt", root, "moved.txt"); err != nil {
+			t.Fatalf("Rename: %v", err)
+		}
+		if _, err := c.Lookup(root, "moved.txt"); err != nil {
+			t.Errorf("Lookup(moved): %v", err)
+		}
+		if err := c.Remove(d.Handle, "b.txt"); err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+		if err := c.Rmdir(root, "docs"); err != nil {
+			t.Fatalf("Rmdir: %v", err)
+		}
+		if _, err := c.Lookup(root, "docs"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("Lookup(docs) after rmdir = %v", err)
+		}
+		// Dot lookups pass through un-mapped.
+		if _, err := c.Lookup(root, "."); err != nil {
+			t.Errorf("Lookup(.): %v", err)
+		}
+	}
+}
+
+func TestWrongKeyCannotRead(t *testing.T) {
+	under, err := ffs.New(ffs.Config{BlockSize: 1024, NumBlocks: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := New(under, "right key", true)
+	c2, _ := New(under, "wrong key", true)
+	root := c1.Root()
+	attr, _ := c1.Create(root, "f", 0o600)
+	msg := []byte("confidential")
+	c1.Write(attr.Handle, 0, msg)
+	// Name lookup with the wrong key fails (different name mapping).
+	if _, err := c2.Lookup(root, "f"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("wrong-key lookup = %v, want ErrNotExist", err)
+	}
+	// Even with the handle, the content decrypts to garbage.
+	got, _, err := c2.Read(attr.Handle, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Error("wrong key decrypted the data")
+	}
+}
+
+func TestQuickContentRoundTrip(t *testing.T) {
+	c, _ := newStack(t, true)
+	root := c.Root()
+	attr, err := c.Create(root, "q", 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off16 uint16, data []byte) bool {
+		off := uint64(off16)
+		if _, err := c.Write(attr.Handle, off, data); err != nil {
+			return false
+		}
+		got, _, err := c.Read(attr.Handle, off, uint32(len(data)))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data) || (len(data) == 0 && len(got) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNameRoundTrip(t *testing.T) {
+	c, _ := newStack(t, true)
+	f := func(raw []byte) bool {
+		if len(raw) == 0 || len(raw) > 80 {
+			return true
+		}
+		name := make([]byte, len(raw))
+		for i, b := range raw {
+			name[i] = "abcdefghijklmnopqrstuvwxyz0123456789._-"[int(b)%39]
+		}
+		n := string(name)
+		if !vfs.ValidName(n) {
+			return true
+		}
+		enc, err := c.encodeName(n)
+		if err != nil {
+			return false
+		}
+		dec, err := c.decodeName(enc)
+		return err == nil && dec == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForeignEntriesStayVisible(t *testing.T) {
+	// A file written to the backing store without the CFS key (e.g. by
+	// an out-of-band tool) has an undecodable name; CFS lists it under
+	// its stored name rather than hiding it, as the original CFS did.
+	under, err := ffs.New(ffs.Config{BlockSize: 1024, NumBlocks: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(under, "the key", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := c.Root()
+	if _, err := c.Create(root, "mine.txt", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := under.Create(root, "foreign-plaintext-name", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := c.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("listed %d entries, want 2", len(ents))
+	}
+	var sawMine, sawForeign bool
+	for _, e := range ents {
+		switch e.Name {
+		case "mine.txt":
+			sawMine = true
+		case "foreign-plaintext-name":
+			sawForeign = true
+		}
+	}
+	if !sawMine || !sawForeign {
+		t.Errorf("listing = %v, want decrypted own name and raw foreign name", ents)
+	}
+}
+
+func TestLongNamesRejectedWhenEncrypted(t *testing.T) {
+	under, _ := ffs.New(ffs.Config{BlockSize: 1024, NumBlocks: 512})
+	c, _ := New(under, "k", true)
+	// Base32 + IV expansion can push an otherwise-legal name past the
+	// limit; the layer must reject it rather than truncate.
+	long := strings.Repeat("n", 200) // 200 plaintext → >255 encoded
+	if _, err := c.Create(c.Root(), long, 0o644); !errors.Is(err, vfs.ErrNameTooLong) {
+		t.Errorf("long name = %v, want ErrNameTooLong", err)
+	}
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"discfs/internal/keynote"
+	"discfs/internal/nfs"
+	"discfs/internal/secchan"
+	"discfs/internal/sunrpc"
+	"discfs/internal/vfs"
+	"discfs/internal/xdr"
+)
+
+// Client is the DisCFS client: the cattach-equivalent. Dialing a server
+// establishes the secure channel (the paper's IPsec tunnel), mounts the
+// remote filesystem, and exposes file operations plus the credential
+// procedures.
+type Client struct {
+	conn     *secchan.Conn
+	rpc      *sunrpc.Client
+	nfs      *nfs.Client
+	root     vfs.Handle
+	identity *keynote.KeyPair
+	server   keynote.Principal
+}
+
+// ErrNotAdmin is returned by administrative procedures when the caller's
+// key is not an administrator of the server.
+var ErrNotAdmin = errors.New("core: not an administrator")
+
+// Dial connects to a DisCFS server at addr, authenticating as identity,
+// and mounts the export. The returned client carries no credentials: per
+// the paper, the attached directory appears with mode 000 until
+// credentials are submitted.
+func Dial(addr string, identity *keynote.KeyPair) (*Client, error) {
+	conn, err := secchan.Dial(addr, secchan.Config{Identity: identity})
+	if err != nil {
+		return nil, err
+	}
+	rpc := sunrpc.NewClient(conn)
+	nc := nfs.NewClient(rpc)
+	root, err := nc.Mount("/discfs")
+	if err != nil {
+		rpc.Close()
+		return nil, fmt.Errorf("core: mount: %w", err)
+	}
+	return &Client{
+		conn:     conn,
+		rpc:      rpc,
+		nfs:      nc,
+		root:     root,
+		identity: identity,
+		server:   conn.Peer(),
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// NFS exposes the NFS client for direct protocol access.
+func (c *Client) NFS() *nfs.Client { return c.nfs }
+
+// Root returns the mounted root handle.
+func (c *Client) Root() vfs.Handle { return c.root }
+
+// Principal returns the client's own principal.
+func (c *Client) Principal() keynote.Principal { return c.identity.Principal }
+
+// ServerPrincipal returns the authenticated server identity.
+func (c *Client) ServerPrincipal() keynote.Principal { return c.server }
+
+// Identity returns the client's key pair (for issuing delegations).
+func (c *Client) Identity() *keynote.KeyPair { return c.identity }
+
+// ---- extension procedures ----
+
+// SubmitCredentialText submits credential assertion text (one or more
+// assertions) to the server's persistent KeyNote session. It returns the
+// number of newly accepted credentials.
+func (c *Client) SubmitCredentialText(text string) (int, error) {
+	e := xdr.NewEncoder()
+	e.String(text)
+	d, err := c.rpc.Call(ExtProg, ExtVers, ExtSubmitCred, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	status := d.Uint32()
+	n := d.Uint32()
+	msg := d.String(4096)
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	if status != extOK {
+		return int(n), fmt.Errorf("core: credential rejected: %s", msg)
+	}
+	return int(n), nil
+}
+
+// SubmitCredentials submits parsed credentials.
+func (c *Client) SubmitCredentials(creds ...*keynote.Assertion) (int, error) {
+	var b strings.Builder
+	for _, cr := range creds {
+		b.WriteString(cr.Source)
+		if !strings.HasSuffix(cr.Source, "\n") {
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return c.SubmitCredentialText(b.String())
+}
+
+// WhoAmI asks the server which principal this connection authenticated.
+func (c *Client) WhoAmI() (keynote.Principal, error) {
+	d, err := c.rpc.Call(ExtProg, ExtVers, ExtWhoAmI, nil)
+	if err != nil {
+		return "", err
+	}
+	p := d.String(4096)
+	return keynote.Principal(p), d.Err()
+}
+
+// createLike runs CREATECRED or MKDIRCRED.
+func (c *Client) createLike(proc uint32, dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
+	e := xdr.NewEncoder()
+	fh := nfs.EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.String(name)
+	sa := nfs.NewSAttr()
+	sa.Mode = mode
+	sa.Encode(e)
+	d, err := c.rpc.Call(ExtProg, ExtVers, proc, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, "", err
+	}
+	if st := nfs.Stat(d.Uint32()); st != nfs.OK {
+		return vfs.Attr{}, "", &nfs.Error{Stat: st}
+	}
+	raw := d.OpaqueFixed(nfs.FHSize)
+	if err := d.Err(); err != nil {
+		return vfs.Attr{}, "", err
+	}
+	h, err := nfs.DecodeFH(raw)
+	if err != nil {
+		return vfs.Attr{}, "", err
+	}
+	fa := nfs.DecodeFAttr(d)
+	cred := d.String(maxCredText)
+	if err := d.Err(); err != nil {
+		return vfs.Attr{}, "", err
+	}
+	attr := vfs.Attr{
+		Handle: h,
+		Mode:   fa.Mode & 0o7777,
+		Size:   uint64(fa.Size),
+		Nlink:  fa.Nlink,
+	}
+	switch fa.Type {
+	case 1:
+		attr.Type = vfs.TypeRegular
+	case 2:
+		attr.Type = vfs.TypeDir
+	case 5:
+		attr.Type = vfs.TypeSymlink
+	}
+	return attr, cred, nil
+}
+
+// CreateWithCredential creates a file and returns the server-issued
+// credential granting the creator full access — the paper's added
+// procedure.
+func (c *Client) CreateWithCredential(dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
+	return c.createLike(ExtCreateCred, dir, name, mode)
+}
+
+// MkdirWithCredential creates a directory and returns the creator's
+// credential.
+func (c *Client) MkdirWithCredential(dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
+	return c.createLike(ExtMkdirCred, dir, name, mode)
+}
+
+// RevokeKey asks the server to revoke a principal (administrators only).
+// It returns the number of credentials dropped.
+func (c *Client) RevokeKey(target keynote.Principal) (int, error) {
+	e := xdr.NewEncoder()
+	e.String(string(target))
+	d, err := c.rpc.Call(ExtProg, ExtVers, ExtRevokeKey, e.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	status := d.Uint32()
+	n := d.Uint32()
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	if status == extNotAdmin {
+		return 0, ErrNotAdmin
+	}
+	return int(n), nil
+}
+
+// RevokeCredential revokes one credential by its signature value
+// (administrators only). It reports whether the credential was present.
+func (c *Client) RevokeCredential(signatureValue string) (bool, error) {
+	e := xdr.NewEncoder()
+	e.String(signatureValue)
+	d, err := c.rpc.Call(ExtProg, ExtVers, ExtRevokeCred, e.Bytes())
+	if err != nil {
+		return false, err
+	}
+	status := d.Uint32()
+	found := d.Bool()
+	if err := d.Err(); err != nil {
+		return false, err
+	}
+	if status == extNotAdmin {
+		return false, ErrNotAdmin
+	}
+	return found, nil
+}
+
+// ListCredentials returns the text of every credential in the server's
+// session (administrators only).
+func (c *Client) ListCredentials() ([]string, error) {
+	d, err := c.rpc.Call(ExtProg, ExtVers, ExtListCreds, nil)
+	if err != nil {
+		return nil, err
+	}
+	status := d.Uint32()
+	if status == extNotAdmin {
+		return nil, ErrNotAdmin
+	}
+	n := d.Count(1 << 16)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String(maxCredText))
+	}
+	return out, d.Err()
+}
+
+// ServerStats fetches the policy-engine statistics.
+func (c *Client) ServerStats() (Stats, error) {
+	d, err := c.rpc.Call(ExtProg, ExtVers, ExtStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	_ = d.Uint32() // status, always OK
+	st := Stats{
+		Queries:     d.Uint64(),
+		CacheHits:   d.Uint64(),
+		CacheMisses: d.Uint64(),
+		Credentials: int(d.Uint32()),
+		Decisions:   d.Uint64(),
+		Denials:     d.Uint64(),
+	}
+	return st, d.Err()
+}
+
+// ---- delegation ----
+
+// Delegate signs, with this client's key, a credential granting holder
+// the given compliance value (e.g. "R", "RW") on the object with inode
+// ino and everything beneath it — the paper's user-to-user sharing step
+// (Bob issues Alice a credential, Figure 1). The credential is returned
+// for transmission to the holder (e.g. via email); whoever holds it
+// submits it before access.
+func (c *Client) Delegate(holder keynote.Principal, ino uint64, value, comment string) (*keynote.Assertion, error) {
+	return keynote.Sign(c.identity, keynote.AssertionSpec{
+		Licensees:  keynote.LicenseesOr(holder),
+		Conditions: SubtreeConditions(ino, value, true, ""),
+		Comment:    comment,
+	})
+}
+
+// DelegateWithConditions is Delegate with an extra conditions clause
+// ANDed in (e.g. `@hour >= 17 || @hour < 9` or an expiry bound on now).
+func (c *Client) DelegateWithConditions(holder keynote.Principal, ino uint64, value, extra, comment string) (*keynote.Assertion, error) {
+	return keynote.Sign(c.identity, keynote.AssertionSpec{
+		Licensees:  keynote.LicenseesOr(holder),
+		Conditions: SubtreeConditions(ino, value, true, extra),
+		Comment:    comment,
+	})
+}
+
+// ---- path convenience API ----
+
+// ResolvePath walks a slash-separated path from the root.
+func (c *Client) ResolvePath(path string) (vfs.Attr, error) {
+	cur := c.root
+	attr, err := c.nfs.GetAttr(cur)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		attr, err = c.nfs.Lookup(cur, part)
+		if err != nil {
+			return vfs.Attr{}, err
+		}
+		cur = attr.Handle
+	}
+	return attr, nil
+}
+
+// splitPath returns (parent directory handle, leaf name).
+func (c *Client) splitPath(path string) (vfs.Handle, string, error) {
+	parts := make([]string, 0, 8)
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return vfs.Handle{}, "", fmt.Errorf("core: empty path")
+	}
+	dir := c.root
+	for _, p := range parts[:len(parts)-1] {
+		a, err := c.nfs.Lookup(dir, p)
+		if err != nil {
+			return vfs.Handle{}, "", err
+		}
+		dir = a.Handle
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// ReadFile reads a whole file by path.
+func (c *Client) ReadFile(path string) ([]byte, error) {
+	attr, err := c.ResolvePath(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.nfs.ReadAll(attr.Handle)
+}
+
+// WriteFile creates (or truncates) a file by path and writes data. It
+// returns the file's attributes and, when the file was newly created,
+// the creator credential text.
+func (c *Client) WriteFile(path string, data []byte) (vfs.Attr, string, error) {
+	dir, name, err := c.splitPath(path)
+	if err != nil {
+		return vfs.Attr{}, "", err
+	}
+	var cred string
+	attr, err := c.nfs.Lookup(dir, name)
+	if err == nil {
+		sa := nfs.NewSAttr()
+		sa.Size = 0
+		if _, err := c.nfs.SetAttr(attr.Handle, sa); err != nil {
+			return vfs.Attr{}, "", err
+		}
+	} else {
+		attr, cred, err = c.CreateWithCredential(dir, name, 0o644)
+		if err != nil {
+			return vfs.Attr{}, "", err
+		}
+	}
+	if err := c.nfs.WriteAll(attr.Handle, data); err != nil {
+		return vfs.Attr{}, "", err
+	}
+	return attr, cred, nil
+}
+
+// MkdirPath creates one directory by path, returning the credential.
+func (c *Client) MkdirPath(path string) (vfs.Attr, string, error) {
+	dir, name, err := c.splitPath(path)
+	if err != nil {
+		return vfs.Attr{}, "", err
+	}
+	return c.MkdirWithCredential(dir, name, 0o755)
+}
+
+// List returns the directory entries at path.
+func (c *Client) List(path string) ([]nfs.DirEntry, error) {
+	attr, err := c.ResolvePath(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.nfs.ReadDirAll(attr.Handle)
+}
+
+// DialWithCredentials attaches and immediately submits the given
+// credentials — the wallet pattern: a user keeps received credentials
+// locally and presents them at every attach, as the paper's clients
+// resubmit (or rely on server-side caching of) their chains.
+func DialWithCredentials(addr string, identity *keynote.KeyPair, creds ...*keynote.Assertion) (*Client, error) {
+	c, err := Dial(addr, identity)
+	if err != nil {
+		return nil, err
+	}
+	if len(creds) > 0 {
+		if _, err := c.SubmitCredentials(creds...); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// WalkFunc is called by Walk for every visited entry with its
+// slash-separated path from the mount root.
+type WalkFunc func(path string, attr vfs.Attr) error
+
+// Walk traverses the mounted tree depth-first in directory-listing
+// order, calling fn for every entry the client's credentials allow it to
+// see. Permission errors on individual subtrees are skipped (the walk
+// visits what the caller may see, like ls -R under Unix permissions);
+// other errors abort.
+func (c *Client) Walk(fn WalkFunc) error {
+	return c.walkDir(c.root, "", fn)
+}
+
+func (c *Client) walkDir(dir vfs.Handle, prefix string, fn WalkFunc) error {
+	ents, err := c.nfs.ReadDirAll(dir)
+	if err != nil {
+		if nfs.StatOf(err) == nfs.ErrAcces {
+			return nil
+		}
+		return err
+	}
+	for _, e := range ents {
+		attr, err := c.nfs.Lookup(dir, e.Name)
+		if err != nil {
+			if nfs.StatOf(err) == nfs.ErrAcces {
+				continue
+			}
+			return err
+		}
+		path := prefix + "/" + e.Name
+		if err := fn(path, attr); err != nil {
+			return err
+		}
+		if attr.Type == vfs.TypeDir {
+			if err := c.walkDir(attr.Handle, path, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

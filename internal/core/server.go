@@ -1,0 +1,412 @@
+// Package core implements DisCFS itself: the credential-checked file
+// server (the paper's contribution) and its client library.
+//
+// The server wraps any vfs.FS backing store (the prototype used the CFS
+// daemon with encryption off) and enforces, on every NFS operation, a
+// KeyNote compliance check binding the requesting principal — learned
+// from the secure channel at attach time — to the file handle being
+// accessed. Compliance values are the eight rwx permission combinations;
+// their index is exactly the octal permission bitmask (§5 of the paper).
+//
+// As in the prototype, an attached filesystem appears with mode 000
+// until credentials are submitted over RPC into a persistent KeyNote
+// session; creating a file or directory issues the creator a credential
+// with full access to the new object, which the owner can then delegate.
+package core
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"discfs/internal/audit"
+	"discfs/internal/cache"
+	"discfs/internal/keynote"
+	"discfs/internal/nfs"
+	"discfs/internal/secchan"
+	"discfs/internal/sunrpc"
+	"discfs/internal/vfs"
+)
+
+// Values is the ordered compliance value set of DisCFS: the paper's
+// partial order of 8 permission combinations. The index of a value in
+// this list equals its rwx bitmask (X=1, W=2, R=4).
+var Values = []string{"false", "X", "W", "WX", "R", "RX", "RW", "RWX"}
+
+// Permission bits (octal rwx).
+const (
+	PermX uint8 = 1
+	PermW uint8 = 2
+	PermR uint8 = 4
+)
+
+// PermString renders a bitmask as its compliance value name.
+func PermString(perm uint8) string { return Values[perm&7] }
+
+// AppDomain is the KeyNote application domain of DisCFS queries.
+const AppDomain = "DisCFS"
+
+// anonymousPrincipal is used for peers with no authenticated identity
+// (plain TCP transports); policy can grant it nothing or limited access.
+const anonymousPrincipal = keynote.Principal("anonymous")
+
+// ServerConfig parameterizes a DisCFS server.
+type ServerConfig struct {
+	// Backing is the filesystem to export (typically cfs over ffs).
+	Backing vfs.FS
+	// ServerKey is the administrator identity: it anchors the delegation
+	// graph, signs credentials issued on create/mkdir, and authenticates
+	// the secure channel. Required.
+	ServerKey *keynote.KeyPair
+	// PolicyText, if non-empty, is additional KeyNote policy installed
+	// verbatim (Authorizer: "POLICY" assertions). The policy delegating
+	// _MAX_TRUST to ServerKey is always installed; per the paper, "the
+	// server would trust only the administrator's key".
+	PolicyText string
+	// Admins may invoke revocation and credential-listing procedures in
+	// addition to ServerKey itself.
+	Admins []keynote.Principal
+	// CacheSize bounds the policy decision cache; the paper used 128.
+	// Negative disables caching; 0 means 128.
+	CacheSize int
+	// CacheTTL bounds staleness of cached decisions under
+	// time-dependent policies. 0 means 60s.
+	CacheTTL time.Duration
+	// Audit receives access decisions; nil allocates an in-memory log.
+	Audit *audit.Log
+	// Now injects a clock (tests, benchmarks); nil means time.Now.
+	Now func() time.Time
+}
+
+// Server is a DisCFS server.
+type Server struct {
+	backing vfs.FS
+	key     *keynote.KeyPair
+	session *keynote.Session
+	cache   *cache.LRU
+	ttl     time.Duration
+	audit   *audit.Log
+	now     func() time.Time
+	admins  map[keynote.Principal]bool
+
+	queries atomic.Uint64 // full compliance checks (cache misses)
+
+	// ancestry maps a handle to its containing directory, learned from
+	// namespace traffic; it backs the PATH action attribute that gives
+	// credentials subtree scope.
+	ancMu    sync.RWMutex
+	ancestry map[vfs.Handle]vfs.Handle
+
+	rpc *sunrpc.Server
+}
+
+// NewServer builds a server from cfg.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Backing == nil {
+		return nil, fmt.Errorf("core: no backing filesystem")
+	}
+	if cfg.ServerKey == nil {
+		return nil, fmt.Errorf("core: no server key")
+	}
+	session, err := keynote.NewSession(Values)
+	if err != nil {
+		return nil, err
+	}
+	// Root of trust: POLICY delegates everything to the administrator
+	// key (the paper's Figure 1, top edge).
+	rootPolicy, err := keynote.NewPolicy(keynote.AssertionSpec{
+		Licensees:  keynote.LicenseesOr(cfg.ServerKey.Principal),
+		Conditions: `app_domain == "` + AppDomain + `" -> _MAX_TRUST;`,
+		Comment:    "root of trust: the administrator key",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := session.AddPolicy(rootPolicy); err != nil {
+		return nil, err
+	}
+	if cfg.PolicyText != "" {
+		if err := session.AddPolicyText(cfg.PolicyText); err != nil {
+			return nil, err
+		}
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 128 // the paper's configuration
+	}
+	if size < 0 {
+		size = 0
+	}
+	ttl := cfg.CacheTTL
+	if ttl == 0 {
+		ttl = time.Minute
+	}
+	log := cfg.Audit
+	if log == nil {
+		log = audit.New(1024, nil)
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	admins := make(map[keynote.Principal]bool, len(cfg.Admins)+1)
+	admins[cfg.ServerKey.Principal] = true
+	for _, a := range cfg.Admins {
+		admins[a] = true
+	}
+	s := &Server{
+		backing:  cfg.Backing,
+		key:      cfg.ServerKey,
+		session:  session,
+		cache:    cache.New(size),
+		ttl:      ttl,
+		audit:    log,
+		now:      now,
+		admins:   admins,
+		ancestry: make(map[vfs.Handle]vfs.Handle),
+		rpc:      sunrpc.NewServer(),
+	}
+	nfs.NewServer(s).RegisterAll(s.rpc)
+	s.registerExt(s.rpc)
+	return s, nil
+}
+
+// Session exposes the server's KeyNote session (tests, local tooling).
+func (s *Server) Session() *keynote.Session { return s.session }
+
+// Audit exposes the audit log.
+func (s *Server) Audit() *audit.Log { return s.audit }
+
+// Principal returns the server's administrator principal.
+func (s *Server) Principal() keynote.Principal { return s.key.Principal }
+
+// View implements nfs.Exporter: each peer sees the backing store through
+// a policy-enforcing filter bound to its authenticated principal.
+func (s *Server) View(peer string) (vfs.FS, error) {
+	p := keynote.Principal(peer)
+	if peer == "" {
+		p = anonymousPrincipal
+	}
+	return &view{s: s, peer: p}, nil
+}
+
+// ---- ancestry tracking (PATH attribute) ----
+
+// noteParent records that child lives in dir.
+func (s *Server) noteParent(child, dir vfs.Handle) {
+	s.ancMu.Lock()
+	s.ancestry[child] = dir
+	s.ancMu.Unlock()
+}
+
+// dropParent forgets a mapping (after remove).
+func (s *Server) dropParent(child vfs.Handle) {
+	s.ancMu.Lock()
+	delete(s.ancestry, child)
+	s.ancMu.Unlock()
+}
+
+// pathOf renders the inode ancestry of h as "/ino1/ino2/.../inoN/" with
+// h's own inode last. Unknown ancestry yields just "/ino/".
+func (s *Server) pathOf(h vfs.Handle) string {
+	const maxDepth = 64
+	chain := make([]uint64, 0, 8)
+	chain = append(chain, h.Ino)
+	s.ancMu.RLock()
+	cur := h
+	root := s.backing.Root()
+	for i := 0; i < maxDepth; i++ {
+		if cur == root {
+			break
+		}
+		parent, ok := s.ancestry[cur]
+		if !ok {
+			break
+		}
+		chain = append(chain, parent.Ino)
+		cur = parent
+	}
+	s.ancMu.RUnlock()
+	// chain is leaf→root; render root→leaf.
+	var b []byte
+	b = append(b, '/')
+	for i := len(chain) - 1; i >= 0; i-- {
+		b = strconv.AppendUint(b, chain[i], 10)
+		b = append(b, '/')
+	}
+	return string(b)
+}
+
+// ---- policy decisions ----
+
+// decide computes (with caching) the permission bits granted to peer on
+// handle h.
+func (s *Server) decide(peer keynote.Principal, h vfs.Handle) (perm uint8, cached bool) {
+	now := s.now()
+	gen := s.session.Generation()
+	key := string(peer) + "|" + strconv.FormatUint(h.Ino, 10) + "." + strconv.FormatUint(uint64(h.Gen), 10)
+	if e, ok := s.cache.Get(key, gen, now); ok {
+		return e.Perm, true
+	}
+	attrs := map[string]string{
+		"app_domain": AppDomain,
+		"HANDLE":     strconv.FormatUint(h.Ino, 10),
+		"GENERATION": strconv.FormatUint(uint64(h.Gen), 10),
+		"PATH":       s.pathOf(h),
+		"peer":       string(peer),
+		"hour":       strconv.Itoa(now.Hour()),
+		"minute":     strconv.Itoa(now.Minute()),
+		"weekday":    now.Weekday().String(),
+		"now":        now.UTC().Format(time.RFC3339),
+	}
+	res, err := s.session.Query(attrs, peer)
+	if err != nil {
+		// Fail closed on evaluation errors.
+		res = keynote.Result{Value: Values[0], Index: 0}
+	}
+	s.queries.Add(1)
+	perm = uint8(res.Index) & 7
+	s.cache.Put(key, cache.Entry{Perm: perm, Gen: gen, Expires: now.Add(s.ttl)})
+	return perm, false
+}
+
+// check requires the given permission bits on h, appending to the audit
+// log, and returns vfs.ErrPerm when denied.
+func (s *Server) check(peer keynote.Principal, h vfs.Handle, need uint8, op, name string) error {
+	perm, cached := s.decide(peer, h)
+	allowed := perm&need == need
+	s.audit.Append(audit.Record{
+		Time: s.now(), Peer: string(peer), Op: op,
+		Ino: h.Ino, Gen: h.Gen, Name: name,
+		Value: PermString(perm), Allowed: allowed, Cached: cached,
+	})
+	if !allowed {
+		return vfs.ErrPerm
+	}
+	return nil
+}
+
+// ---- credential issuance ----
+
+// SubtreeConditions builds a Conditions body granting value on the object
+// with inode ino and (when subtree) everything beneath it. extra, if
+// non-empty, is ANDed in (e.g. a time bound).
+func SubtreeConditions(ino uint64, value string, subtree bool, extra string) string {
+	inoStr := strconv.FormatUint(ino, 10)
+	target := `HANDLE == "` + inoStr + `"`
+	if subtree {
+		target = "(" + target + ` || PATH ~= "/` + inoStr + `/")`
+	}
+	cond := `app_domain == "` + AppDomain + `" && ` + target
+	if extra != "" {
+		cond += " && (" + extra + ")"
+	}
+	return cond + ` -> "` + value + `";`
+}
+
+// IssueCredential signs, with the server (administrator) key, a
+// credential granting holder the given compliance value on ino
+// (subtree-scoped), as the paper's create/mkdir procedures do.
+func (s *Server) IssueCredential(holder keynote.Principal, ino uint64, value, comment string) (*keynote.Assertion, error) {
+	cred, err := keynote.Sign(s.key, keynote.AssertionSpec{
+		Licensees:  keynote.LicenseesOr(holder),
+		Conditions: SubtreeConditions(ino, value, true, ""),
+		Comment:    comment,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The issued credential joins the server's persistent session so the
+	// holder can operate immediately.
+	if err := s.session.AddCredential(cred); err != nil {
+		return nil, err
+	}
+	return cred, nil
+}
+
+// ---- serving ----
+
+// Authorize rejects connections from revoked keys at handshake time.
+func (s *Server) Authorize(peer keynote.Principal) error {
+	if s.session.Revoked(peer) {
+		return fmt.Errorf("key revoked")
+	}
+	return nil
+}
+
+// Serve accepts secure-channel connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	secl := secchan.NewListener(ln, secchan.Config{
+		Identity:  s.key,
+		Authorize: s.Authorize,
+	})
+	return s.rpc.Serve(secl)
+}
+
+// ServePlain accepts unauthenticated plain-TCP connections on ln. Peers
+// are the distinguished "anonymous" principal: they hold no key, cannot
+// submit credentials usefully, and receive exactly what local policy
+// grants the anonymous principal — the paper's future-work scenario of
+// "untrusted users characteristic of the WWW" (§7), where browsers fetch
+// public files without prior registration.
+func (s *Server) ServePlain(ln net.Listener) error {
+	return s.rpc.Serve(ln)
+}
+
+// AnonymousPrincipal is the principal assigned to unauthenticated peers;
+// grant it access in PolicyText to publish files to the world.
+const AnonymousPrincipal = anonymousPrincipal
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Start listens on a loopback port and serves in the background,
+// returning the address (tests, examples).
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	go s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server: every listener is closed (the RPC layer owns
+// them once Serve is called) and in-flight connections drain.
+func (s *Server) Close() error {
+	return s.rpc.Close()
+}
+
+// Stats summarizes the policy engine's work, for monitoring and the
+// micro-benchmarks.
+type Stats struct {
+	Queries     uint64 // full KeyNote evaluations (cache misses)
+	CacheHits   uint64
+	CacheMisses uint64
+	Credentials int
+	Decisions   uint64
+	Denials     uint64
+}
+
+// Stats returns a snapshot.
+func (s *Server) Stats() Stats {
+	hits, misses := s.cache.Stats()
+	total, denied := s.audit.Totals()
+	return Stats{
+		Queries:     s.queries.Load(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+		Credentials: len(s.session.Credentials()),
+		Decisions:   total,
+		Denials:     denied,
+	}
+}

@@ -1,0 +1,500 @@
+package ffs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"discfs/internal/vfs"
+)
+
+// Directory entries are stored packed in the directory's data blocks:
+//
+//	ino   uint64  (big endian)
+//	gen   uint32
+//	nlen  uint16
+//	name  nlen bytes
+//
+// "." and ".." are synthesized by Lookup, not stored; each directory
+// inode carries its parent handle instead (root is its own parent).
+
+const direntHeader = 8 + 4 + 2
+
+// appendDirent serializes one entry.
+func appendDirent(buf []byte, h vfs.Handle, name string) []byte {
+	var hdr [direntHeader]byte
+	binary.BigEndian.PutUint64(hdr[0:], h.Ino)
+	binary.BigEndian.PutUint32(hdr[8:], h.Gen)
+	binary.BigEndian.PutUint16(hdr[12:], uint16(len(name)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, name...)
+}
+
+// parseDirents decodes a directory's full content.
+func parseDirents(data []byte) ([]vfs.DirEntry, error) {
+	var out []vfs.DirEntry
+	for off := 0; off < len(data); {
+		if off+direntHeader > len(data) {
+			return nil, fmt.Errorf("%w: truncated directory entry", vfs.ErrIO)
+		}
+		ino := binary.BigEndian.Uint64(data[off:])
+		gen := binary.BigEndian.Uint32(data[off+8:])
+		nlen := int(binary.BigEndian.Uint16(data[off+12:]))
+		off += direntHeader
+		if off+nlen > len(data) {
+			return nil, fmt.Errorf("%w: truncated directory name", vfs.ErrIO)
+		}
+		out = append(out, vfs.DirEntry{
+			Name:   string(data[off : off+nlen]),
+			Handle: vfs.Handle{Ino: ino, Gen: gen},
+		})
+		off += nlen
+	}
+	return out, nil
+}
+
+// readDirLocked returns the parsed entries of dir. Caller holds fs.mu.
+func (fs *FFS) readDirLocked(dir *inode) ([]vfs.DirEntry, error) {
+	if dir.ftype != vfs.TypeDir {
+		return nil, vfs.ErrNotDir
+	}
+	data, _, err := fs.readDirBytes(dir)
+	if err != nil {
+		return nil, err
+	}
+	return parseDirents(data)
+}
+
+// readDirBytes reads the raw directory content.
+func (fs *FFS) readDirBytes(dir *inode) ([]byte, bool, error) {
+	if dir.size == 0 {
+		return nil, true, nil
+	}
+	if dir.size > uint64(int(^uint(0)>>1)) {
+		return nil, false, vfs.ErrFBig
+	}
+	return fs.readLocked(dir, 0, uint32(dir.size))
+}
+
+// dirLookupLocked finds name in dir.
+func (fs *FFS) dirLookupLocked(dir *inode, name string) (vfs.Handle, bool, error) {
+	ents, err := fs.readDirLocked(dir)
+	if err != nil {
+		return vfs.Handle{}, false, err
+	}
+	for _, e := range ents {
+		if e.Name == name {
+			return e.Handle, true, nil
+		}
+	}
+	return vfs.Handle{}, false, nil
+}
+
+// dirAddLocked appends an entry (caller has checked for duplicates).
+func (fs *FFS) dirAddLocked(dir *inode, h vfs.Handle, name string) error {
+	ent := appendDirent(nil, h, name)
+	return fs.writeLocked(dir, dir.size, ent)
+}
+
+// dirRemoveLocked deletes name from dir, rewriting the remaining
+// entries. Reports whether the entry existed.
+func (fs *FFS) dirRemoveLocked(dir *inode, name string) (vfs.Handle, bool, error) {
+	ents, err := fs.readDirLocked(dir)
+	if err != nil {
+		return vfs.Handle{}, false, err
+	}
+	var removed vfs.Handle
+	found := false
+	var buf []byte
+	for _, e := range ents {
+		if !found && e.Name == name {
+			removed = e.Handle
+			found = true
+			continue
+		}
+		buf = appendDirent(buf, e.Handle, e.Name)
+	}
+	if !found {
+		return vfs.Handle{}, false, nil
+	}
+	if err := fs.truncateTo(dir, 0); err != nil {
+		return vfs.Handle{}, false, err
+	}
+	if len(buf) > 0 {
+		if err := fs.writeLocked(dir, 0, buf); err != nil {
+			return vfs.Handle{}, false, err
+		}
+	} else {
+		dir.mtime = fs.now()
+	}
+	return removed, true, nil
+}
+
+// Lookup implements vfs.FS.
+func (fs *FFS) Lookup(dirH vfs.Handle, name string) (vfs.Attr, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	dir, err := fs.getInode(dirH)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if dir.ftype != vfs.TypeDir {
+		return vfs.Attr{}, vfs.ErrNotDir
+	}
+	switch name {
+	case ".":
+		return dir.attr(), nil
+	case "..":
+		parent, err := fs.getInode(dir.parent)
+		if err != nil {
+			return vfs.Attr{}, err
+		}
+		return parent.attr(), nil
+	}
+	if !vfs.ValidName(name) {
+		if len(name) > vfs.MaxNameLen {
+			return vfs.Attr{}, vfs.ErrNameTooLong
+		}
+		return vfs.Attr{}, vfs.ErrInval
+	}
+	h, ok, err := fs.dirLookupLocked(dir, name)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if !ok {
+		return vfs.Attr{}, vfs.ErrNotExist
+	}
+	child, err := fs.getInode(h)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return child.attr(), nil
+}
+
+// ReadDir implements vfs.FS.
+func (fs *FFS) ReadDir(dirH vfs.Handle) ([]vfs.DirEntry, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	dir, err := fs.getInode(dirH)
+	if err != nil {
+		return nil, err
+	}
+	return fs.readDirLocked(dir)
+}
+
+// checkNewName validates name and ensures it is absent from dir.
+func (fs *FFS) checkNewName(dir *inode, name string) error {
+	if dir.ftype != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	if !vfs.ValidName(name) {
+		if len(name) > vfs.MaxNameLen {
+			return vfs.ErrNameTooLong
+		}
+		return vfs.ErrInval
+	}
+	_, exists, err := fs.dirLookupLocked(dir, name)
+	if err != nil {
+		return err
+	}
+	if exists {
+		return vfs.ErrExist
+	}
+	return nil
+}
+
+// Create implements vfs.FS.
+func (fs *FFS) Create(dirH vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.getInode(dirH)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if err := fs.checkNewName(dir, name); err != nil {
+		return vfs.Attr{}, err
+	}
+	if uint64(len(fs.inodes)) >= fs.maxInodes {
+		return vfs.Attr{}, vfs.ErrNoSpace
+	}
+	ip := fs.allocInode(vfs.TypeRegular, mode, 0, 0)
+	if err := fs.dirAddLocked(dir, vfs.Handle{Ino: ip.ino, Gen: ip.gen}, name); err != nil {
+		fs.dropInode(ip)
+		return vfs.Attr{}, err
+	}
+	return ip.attr(), nil
+}
+
+// Mkdir implements vfs.FS.
+func (fs *FFS) Mkdir(dirH vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.getInode(dirH)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if err := fs.checkNewName(dir, name); err != nil {
+		return vfs.Attr{}, err
+	}
+	if uint64(len(fs.inodes)) >= fs.maxInodes {
+		return vfs.Attr{}, vfs.ErrNoSpace
+	}
+	ip := fs.allocInode(vfs.TypeDir, mode, 0, 0)
+	ip.nlink = 2 // "." plus the entry in the parent
+	ip.parent = vfs.Handle{Ino: dir.ino, Gen: dir.gen}
+	if err := fs.dirAddLocked(dir, vfs.Handle{Ino: ip.ino, Gen: ip.gen}, name); err != nil {
+		fs.dropInode(ip)
+		return vfs.Attr{}, err
+	}
+	dir.nlink++ // the child's ".."
+	return ip.attr(), nil
+}
+
+// Remove implements vfs.FS.
+func (fs *FFS) Remove(dirH vfs.Handle, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.getInode(dirH)
+	if err != nil {
+		return err
+	}
+	if dir.ftype != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	h, ok, err := fs.dirLookupLocked(dir, name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	ip, err := fs.getInode(h)
+	if err != nil {
+		return err
+	}
+	if ip.ftype == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	if _, _, err := fs.dirRemoveLocked(dir, name); err != nil {
+		return err
+	}
+	ip.nlink--
+	ip.ctime = fs.now()
+	if ip.nlink == 0 {
+		return fs.dropInode(ip)
+	}
+	return nil
+}
+
+// Rmdir implements vfs.FS.
+func (fs *FFS) Rmdir(dirH vfs.Handle, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.getInode(dirH)
+	if err != nil {
+		return err
+	}
+	if dir.ftype != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	h, ok, err := fs.dirLookupLocked(dir, name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	ip, err := fs.getInode(h)
+	if err != nil {
+		return err
+	}
+	if ip.ftype != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	ents, err := fs.readDirLocked(ip)
+	if err != nil {
+		return err
+	}
+	if len(ents) != 0 {
+		return vfs.ErrNotEmpty
+	}
+	if _, _, err := fs.dirRemoveLocked(dir, name); err != nil {
+		return err
+	}
+	dir.nlink-- // the child's ".." is gone
+	return fs.dropInode(ip)
+}
+
+// Rename implements vfs.FS.
+func (fs *FFS) Rename(fromDirH vfs.Handle, fromName string, toDirH vfs.Handle, toName string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fromDir, err := fs.getInode(fromDirH)
+	if err != nil {
+		return err
+	}
+	toDir, err := fs.getInode(toDirH)
+	if err != nil {
+		return err
+	}
+	if fromDir.ftype != vfs.TypeDir || toDir.ftype != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	if !vfs.ValidName(toName) {
+		if len(toName) > vfs.MaxNameLen {
+			return vfs.ErrNameTooLong
+		}
+		return vfs.ErrInval
+	}
+	srcH, ok, err := fs.dirLookupLocked(fromDir, fromName)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	src, err := fs.getInode(srcH)
+	if err != nil {
+		return err
+	}
+	if fromDir == toDir && fromName == toName {
+		return nil
+	}
+	// A directory must not be moved into its own subtree.
+	if src.ftype == vfs.TypeDir {
+		for d := toDir; ; {
+			if d == src {
+				return vfs.ErrInval
+			}
+			if d.ino == 1 { // reached root
+				break
+			}
+			p, err := fs.getInode(d.parent)
+			if err != nil {
+				return err
+			}
+			d = p
+		}
+	}
+	// Handle an existing target.
+	dstH, dstExists, err := fs.dirLookupLocked(toDir, toName)
+	if err != nil {
+		return err
+	}
+	if dstExists {
+		dst, err := fs.getInode(dstH)
+		if err != nil {
+			return err
+		}
+		if dst == src {
+			return nil // hard links to the same inode: no-op
+		}
+		switch {
+		case dst.ftype == vfs.TypeDir && src.ftype != vfs.TypeDir:
+			return vfs.ErrIsDir
+		case dst.ftype != vfs.TypeDir && src.ftype == vfs.TypeDir:
+			return vfs.ErrNotDir
+		case dst.ftype == vfs.TypeDir:
+			ents, err := fs.readDirLocked(dst)
+			if err != nil {
+				return err
+			}
+			if len(ents) != 0 {
+				return vfs.ErrNotEmpty
+			}
+			if _, _, err := fs.dirRemoveLocked(toDir, toName); err != nil {
+				return err
+			}
+			toDir.nlink--
+			if err := fs.dropInode(dst); err != nil {
+				return err
+			}
+		default:
+			if _, _, err := fs.dirRemoveLocked(toDir, toName); err != nil {
+				return err
+			}
+			dst.nlink--
+			if dst.nlink == 0 {
+				if err := fs.dropInode(dst); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, _, err := fs.dirRemoveLocked(fromDir, fromName); err != nil {
+		return err
+	}
+	if err := fs.dirAddLocked(toDir, srcH, toName); err != nil {
+		return err
+	}
+	if src.ftype == vfs.TypeDir && fromDir != toDir {
+		src.parent = vfs.Handle{Ino: toDir.ino, Gen: toDir.gen}
+		fromDir.nlink--
+		toDir.nlink++
+	}
+	src.ctime = fs.now()
+	return nil
+}
+
+// Symlink implements vfs.FS.
+func (fs *FFS) Symlink(dirH vfs.Handle, name, target string, mode uint32) (vfs.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.getInode(dirH)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if err := fs.checkNewName(dir, name); err != nil {
+		return vfs.Attr{}, err
+	}
+	if uint64(len(fs.inodes)) >= fs.maxInodes {
+		return vfs.Attr{}, vfs.ErrNoSpace
+	}
+	ip := fs.allocInode(vfs.TypeSymlink, mode, 0, 0)
+	ip.linkTarget = target
+	ip.size = uint64(len(target))
+	if err := fs.dirAddLocked(dir, vfs.Handle{Ino: ip.ino, Gen: ip.gen}, name); err != nil {
+		fs.dropInode(ip)
+		return vfs.Attr{}, err
+	}
+	return ip.attr(), nil
+}
+
+// Readlink implements vfs.FS.
+func (fs *FFS) Readlink(h vfs.Handle) (string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	ip, err := fs.getInode(h)
+	if err != nil {
+		return "", err
+	}
+	if ip.ftype != vfs.TypeSymlink {
+		return "", vfs.ErrInval
+	}
+	return ip.linkTarget, nil
+}
+
+// Link implements vfs.FS.
+func (fs *FFS) Link(dirH vfs.Handle, name string, target vfs.Handle) (vfs.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, err := fs.getInode(dirH)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	tp, err := fs.getInode(target)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if tp.ftype == vfs.TypeDir {
+		return vfs.Attr{}, vfs.ErrIsDir
+	}
+	if err := fs.checkNewName(dir, name); err != nil {
+		return vfs.Attr{}, err
+	}
+	if err := fs.dirAddLocked(dir, target, name); err != nil {
+		return vfs.Attr{}, err
+	}
+	tp.nlink++
+	tp.ctime = fs.now()
+	return tp.attr(), nil
+}

@@ -1,0 +1,386 @@
+package ffs
+
+import (
+	"sync"
+	"time"
+
+	"discfs/internal/vfs"
+)
+
+// Default geometry: 8 KiB blocks (the FFS default of the paper's era and
+// the NFSv2 maximum transfer size) on a 2 GiB device.
+const (
+	DefaultBlockSize = 8192
+	DefaultNumBlocks = 1 << 18
+)
+
+// Config parameterizes a new filesystem.
+type Config struct {
+	// BlockSize is the block size in bytes; it must be a multiple of 4.
+	// 0 means DefaultBlockSize.
+	BlockSize int
+	// NumBlocks is the device capacity; 0 means DefaultNumBlocks.
+	NumBlocks uint32
+	// MaxInodes bounds the inode table; 0 derives it from NumBlocks.
+	MaxInodes uint64
+	// Disk adds a synthetic seek/bandwidth cost model.
+	Disk DiskModel
+	// Device supplies the block device; nil means a MemDevice with the
+	// geometry above. Tests inject fault-injecting devices here.
+	Device BlockDevice
+	// Now supplies timestamps; nil means time.Now. Benchmarks inject a
+	// cheap clock here.
+	Now func() time.Time
+}
+
+// FFS is the filesystem. All methods are safe for concurrent use.
+type FFS struct {
+	dev       BlockDevice
+	blockSize int
+
+	mu        sync.RWMutex
+	inodes    map[uint64]*inode
+	nextIno   uint64
+	gens      map[uint64]uint32 // last generation per inode slot, survives frees
+	maxInodes uint64
+
+	freeBitmap []uint64 // one bit per device block; 1 = in use
+	freeBlocks uint32
+	rotor      uint32 // next-fit allocation pointer
+
+	now func() time.Time
+
+	bufPool sync.Pool
+}
+
+// New creates a filesystem per cfg and formats it with an empty root
+// directory.
+func New(cfg Config) (*FFS, error) {
+	bs := cfg.BlockSize
+	if bs == 0 {
+		bs = DefaultBlockSize
+	}
+	if bs < 512 || bs%4 != 0 {
+		return nil, vfs.ErrInval
+	}
+	nb := cfg.NumBlocks
+	if nb == 0 {
+		nb = DefaultNumBlocks
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	dev := cfg.Device
+	if dev == nil {
+		dev = NewMemDevice(bs, nb, cfg.Disk)
+	} else {
+		if dev.BlockSize() != bs && cfg.BlockSize != 0 {
+			return nil, vfs.ErrInval
+		}
+		bs = dev.BlockSize()
+		nb = dev.NumBlocks()
+	}
+	maxInodes := cfg.MaxInodes
+	if maxInodes == 0 {
+		maxInodes = uint64(nb) // one file per block, as good a bound as any
+	}
+	fs := &FFS{
+		dev:        dev,
+		blockSize:  bs,
+		inodes:     make(map[uint64]*inode),
+		gens:       make(map[uint64]uint32),
+		nextIno:    1,
+		maxInodes:  maxInodes,
+		freeBitmap: make([]uint64, (int(nb)+63)/64),
+		freeBlocks: nb - 1, // block 0 is the superblock
+		rotor:      1,
+		now:        now,
+	}
+	fs.bufPool.New = func() any {
+		b := make([]byte, bs)
+		return &b
+	}
+	fs.markUsed(0) // superblock
+	// Format: create the root directory (ino 1).
+	root := fs.allocInode(vfs.TypeDir, 0o755, 0, 0)
+	root.nlink = 2 // "." and the root's self-reference
+	root.parent = vfs.Handle{Ino: root.ino, Gen: root.gen}
+	return fs, nil
+}
+
+// Device exposes the underlying block device (tests and df).
+func (fs *FFS) Device() BlockDevice { return fs.dev }
+
+func (fs *FFS) getBlockBuf() []byte  { return *(fs.bufPool.Get().(*[]byte)) }
+func (fs *FFS) putBlockBuf(b []byte) { fs.bufPool.Put(&b) }
+
+// ---- allocation ----
+
+func (fs *FFS) markUsed(bn uint32) { fs.freeBitmap[bn/64] |= 1 << (bn % 64) }
+func (fs *FFS) markFree(bn uint32) { fs.freeBitmap[bn/64] &^= 1 << (bn % 64) }
+func (fs *FFS) isUsed(bn uint32) bool {
+	return fs.freeBitmap[bn/64]&(1<<(bn%64)) != 0
+}
+
+// allocBlock finds a free block next-fit from the rotor, charging it to
+// ip's block count. Caller holds fs.mu.
+func (fs *FFS) allocBlock(ip *inode) (uint32, error) {
+	if fs.freeBlocks == 0 {
+		return 0, vfs.ErrNoSpace
+	}
+	nb := fs.dev.NumBlocks()
+	bn := fs.rotor
+	for i := uint32(0); i < nb; i++ {
+		if bn >= nb {
+			bn = 1
+		}
+		if !fs.isUsed(bn) {
+			fs.markUsed(bn)
+			fs.freeBlocks--
+			fs.rotor = bn + 1
+			ip.nblocks++
+			// Freshly allocated blocks must read as zeros even if the
+			// device slot held stale data.
+			if err := fs.dev.WriteBlock(bn, nil); err != nil {
+				return 0, err
+			}
+			return bn, nil
+		}
+		bn++
+	}
+	return 0, vfs.ErrNoSpace
+}
+
+func (fs *FFS) freeBlock(ip *inode, bn uint32) {
+	fs.markFree(bn)
+	fs.freeBlocks++
+	if ip.nblocks > 0 {
+		ip.nblocks--
+	}
+}
+
+// allocInode creates a new in-core inode with a fresh generation.
+// Caller holds fs.mu (or is the constructor).
+func (fs *FFS) allocInode(t vfs.FileType, mode, uid, gid uint32) *inode {
+	ino := fs.nextIno
+	fs.nextIno++
+	gen := fs.gens[ino] + 1
+	fs.gens[ino] = gen
+	n := fs.now()
+	ip := &inode{
+		ino: ino, gen: gen, ftype: t, mode: mode & 0o7777,
+		nlink: 1, uid: uid, gid: gid,
+		atime: n, mtime: n, ctime: n,
+	}
+	fs.inodes[ino] = ip
+	return ip
+}
+
+// getInode resolves a handle, checking the generation number.
+// Caller holds fs.mu (read or write).
+func (fs *FFS) getInode(h vfs.Handle) (*inode, error) {
+	ip, ok := fs.inodes[h.Ino]
+	if !ok {
+		return nil, vfs.ErrStale
+	}
+	if ip.gen != h.Gen {
+		return nil, vfs.ErrStale
+	}
+	return ip, nil
+}
+
+// dropInode frees an inode whose link count reached zero.
+func (fs *FFS) dropInode(ip *inode) error {
+	if err := fs.freeAllBlocks(ip); err != nil {
+		return err
+	}
+	delete(fs.inodes, ip.ino)
+	return nil
+}
+
+// ---- vfs.FS implementation ----
+
+// Root returns the root directory handle.
+func (fs *FFS) Root() vfs.Handle {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return vfs.Handle{Ino: 1, Gen: fs.inodes[1].gen}
+}
+
+// GetAttr implements vfs.FS.
+func (fs *FFS) GetAttr(h vfs.Handle) (vfs.Attr, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	ip, err := fs.getInode(h)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return ip.attr(), nil
+}
+
+// SetAttr implements vfs.FS.
+func (fs *FFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ip, err := fs.getInode(h)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if s.Mode != nil {
+		ip.mode = *s.Mode & 0o7777
+	}
+	if s.UID != nil {
+		ip.uid = *s.UID
+	}
+	if s.GID != nil {
+		ip.gid = *s.GID
+	}
+	if s.Size != nil {
+		if ip.ftype == vfs.TypeDir {
+			return vfs.Attr{}, vfs.ErrIsDir
+		}
+		if err := fs.truncateTo(ip, *s.Size); err != nil {
+			return vfs.Attr{}, err
+		}
+		ip.mtime = fs.now()
+	}
+	if s.Atime != nil {
+		ip.atime = *s.Atime
+	}
+	if s.Mtime != nil {
+		ip.mtime = *s.Mtime
+	}
+	ip.ctime = fs.now()
+	return ip.attr(), nil
+}
+
+// Read implements vfs.FS.
+func (fs *FFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	ip, err := fs.getInode(h)
+	if err != nil {
+		return nil, false, err
+	}
+	if ip.ftype == vfs.TypeDir {
+		return nil, false, vfs.ErrIsDir
+	}
+	return fs.readLocked(ip, off, count)
+}
+
+func (fs *FFS) readLocked(ip *inode, off uint64, count uint32) ([]byte, bool, error) {
+	if off >= ip.size {
+		return nil, true, nil
+	}
+	n := uint64(count)
+	if off+n > ip.size {
+		n = ip.size - off
+	}
+	out := make([]byte, n)
+	bs := uint64(fs.blockSize)
+	buf := fs.getBlockBuf()
+	defer fs.putBlockBuf(buf)
+	for done := uint64(0); done < n; {
+		lbn := (off + done) / bs
+		boff := (off + done) % bs
+		chunk := bs - boff
+		if chunk > n-done {
+			chunk = n - done
+		}
+		bn, err := fs.bmap(ip, lbn, false)
+		if err != nil {
+			return nil, false, err
+		}
+		if bn == 0 {
+			// hole: zeros
+			for i := uint64(0); i < chunk; i++ {
+				out[done+i] = 0
+			}
+		} else {
+			if err := fs.dev.ReadBlock(bn, buf); err != nil {
+				return nil, false, err
+			}
+			copy(out[done:done+chunk], buf[boff:boff+chunk])
+		}
+		done += chunk
+	}
+	return out, off+n >= ip.size, nil
+}
+
+// Write implements vfs.FS.
+func (fs *FFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ip, err := fs.getInode(h)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if ip.ftype == vfs.TypeDir {
+		return vfs.Attr{}, vfs.ErrIsDir
+	}
+	if err := fs.writeLocked(ip, off, data); err != nil {
+		return vfs.Attr{}, err
+	}
+	return ip.attr(), nil
+}
+
+func (fs *FFS) writeLocked(ip *inode, off uint64, data []byte) error {
+	bs := uint64(fs.blockSize)
+	end := off + uint64(len(data))
+	if end/bs >= fs.maxFileBlocks() {
+		return vfs.ErrFBig
+	}
+	buf := fs.getBlockBuf()
+	defer fs.putBlockBuf(buf)
+	for done := uint64(0); done < uint64(len(data)); {
+		lbn := (off + done) / bs
+		boff := (off + done) % bs
+		chunk := bs - boff
+		if chunk > uint64(len(data))-done {
+			chunk = uint64(len(data)) - done
+		}
+		bn, err := fs.bmap(ip, lbn, true)
+		if err != nil {
+			return err
+		}
+		if boff == 0 && chunk == bs {
+			// Full-block write: no read-modify-write.
+			if err := fs.dev.WriteBlock(bn, data[done:done+chunk]); err != nil {
+				return err
+			}
+		} else {
+			if err := fs.dev.ReadBlock(bn, buf); err != nil {
+				return err
+			}
+			copy(buf[boff:boff+chunk], data[done:done+chunk])
+			if err := fs.dev.WriteBlock(bn, buf); err != nil {
+				return err
+			}
+		}
+		done += chunk
+	}
+	if end > ip.size {
+		ip.size = end
+	}
+	n := fs.now()
+	ip.mtime = n
+	ip.ctime = n
+	return nil
+}
+
+// StatFS implements vfs.FS.
+func (fs *FFS) StatFS() (vfs.StatFS, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	nb := uint64(fs.dev.NumBlocks())
+	free := uint64(fs.freeBlocks)
+	return vfs.StatFS{
+		BlockSize:   uint32(fs.blockSize),
+		TotalBlocks: nb,
+		FreeBlocks:  free,
+		AvailBlocks: free,
+		TotalInodes: fs.maxInodes,
+		FreeInodes:  fs.maxInodes - uint64(len(fs.inodes)),
+	}, nil
+}

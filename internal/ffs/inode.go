@@ -1,0 +1,298 @@
+package ffs
+
+import (
+	"encoding/binary"
+	"time"
+
+	"discfs/internal/vfs"
+)
+
+// nDirect is the number of direct block pointers per inode, as in FFS.
+const nDirect = 12
+
+// inode is the in-core inode. Block pointer 0 means "unallocated" (block
+// 0 is reserved for the superblock), so sparse files read as zeros.
+type inode struct {
+	ino   uint64
+	gen   uint32
+	ftype vfs.FileType
+	mode  uint32
+	nlink uint32
+	uid   uint32
+	gid   uint32
+	size  uint64
+	atime time.Time
+	mtime time.Time
+	ctime time.Time
+
+	direct    [nDirect]uint32
+	indirect  uint32 // single-indirect block of pointers
+	dindirect uint32 // double-indirect block
+
+	// linkTarget holds symlink targets. FFS stores short targets in the
+	// inode ("fast symlinks"); we keep all targets in-core.
+	linkTarget string
+
+	// parent is the containing directory (directories only; the root is
+	// its own parent). It backs Lookup("..").
+	parent vfs.Handle
+
+	// nblocks counts allocated data+indirect blocks, for fattr and df.
+	nblocks uint64
+}
+
+func (ip *inode) attr() vfs.Attr {
+	return vfs.Attr{
+		Handle: vfs.Handle{Ino: ip.ino, Gen: ip.gen},
+		Type:   ip.ftype,
+		Mode:   ip.mode,
+		Nlink:  ip.nlink,
+		UID:    ip.uid,
+		GID:    ip.gid,
+		Size:   ip.size,
+		Blocks: ip.nblocks,
+		Atime:  ip.atime,
+		Mtime:  ip.mtime,
+		Ctime:  ip.ctime,
+	}
+}
+
+// ptrsPerBlock returns how many block pointers fit one block.
+func (fs *FFS) ptrsPerBlock() uint64 { return uint64(fs.blockSize) / 4 }
+
+// maxBlocks returns the largest block index addressable by an inode.
+func (fs *FFS) maxFileBlocks() uint64 {
+	p := fs.ptrsPerBlock()
+	return nDirect + p + p*p
+}
+
+// blockOfPtr reads pointer slot idx of indirect block bn.
+func (fs *FFS) readPtr(bn uint32, idx uint64) (uint32, error) {
+	buf := fs.getBlockBuf()
+	defer fs.putBlockBuf(buf)
+	if err := fs.dev.ReadBlock(bn, buf); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(buf[idx*4:]), nil
+}
+
+// writePtr sets pointer slot idx of indirect block bn.
+func (fs *FFS) writePtr(bn uint32, idx uint64, val uint32) error {
+	buf := fs.getBlockBuf()
+	defer fs.putBlockBuf(buf)
+	if err := fs.dev.ReadBlock(bn, buf); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(buf[idx*4:], val)
+	return fs.dev.WriteBlock(bn, buf)
+}
+
+// bmap resolves logical block lbn of ip to a device block. When alloc is
+// true, missing blocks (including indirect blocks) are allocated.
+// Returns 0 for holes when alloc is false.
+func (fs *FFS) bmap(ip *inode, lbn uint64, alloc bool) (uint32, error) {
+	p := fs.ptrsPerBlock()
+	switch {
+	case lbn < nDirect:
+		bn := ip.direct[lbn]
+		if bn == 0 && alloc {
+			var err error
+			bn, err = fs.allocBlock(ip)
+			if err != nil {
+				return 0, err
+			}
+			ip.direct[lbn] = bn
+		}
+		return bn, nil
+
+	case lbn < nDirect+p:
+		if ip.indirect == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			bn, err := fs.allocBlock(ip)
+			if err != nil {
+				return 0, err
+			}
+			ip.indirect = bn
+		}
+		idx := lbn - nDirect
+		bn, err := fs.readPtr(ip.indirect, idx)
+		if err != nil {
+			return 0, err
+		}
+		if bn == 0 && alloc {
+			bn, err = fs.allocBlock(ip)
+			if err != nil {
+				return 0, err
+			}
+			if err := fs.writePtr(ip.indirect, idx, bn); err != nil {
+				return 0, err
+			}
+		}
+		return bn, nil
+
+	case lbn < nDirect+p+p*p:
+		if ip.dindirect == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			bn, err := fs.allocBlock(ip)
+			if err != nil {
+				return 0, err
+			}
+			ip.dindirect = bn
+		}
+		rel := lbn - nDirect - p
+		l1, l2 := rel/p, rel%p
+		mid, err := fs.readPtr(ip.dindirect, l1)
+		if err != nil {
+			return 0, err
+		}
+		if mid == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			mid, err = fs.allocBlock(ip)
+			if err != nil {
+				return 0, err
+			}
+			if err := fs.writePtr(ip.dindirect, l1, mid); err != nil {
+				return 0, err
+			}
+		}
+		bn, err := fs.readPtr(mid, l2)
+		if err != nil {
+			return 0, err
+		}
+		if bn == 0 && alloc {
+			bn, err = fs.allocBlock(ip)
+			if err != nil {
+				return 0, err
+			}
+			if err := fs.writePtr(mid, l2, bn); err != nil {
+				return 0, err
+			}
+		}
+		return bn, nil
+	}
+	return 0, vfs.ErrFBig
+}
+
+// truncateTo frees blocks beyond newSize and updates ip.size.
+func (fs *FFS) truncateTo(ip *inode, newSize uint64) error {
+	if newSize >= ip.size {
+		ip.size = newSize
+		return nil
+	}
+	p := fs.ptrsPerBlock()
+	bs := uint64(fs.blockSize)
+	keep := (newSize + bs - 1) / bs // first logical block to free
+
+	// Zero the tail of the last kept block so a later grow reads zeros.
+	if newSize%bs != 0 {
+		if bn, err := fs.bmap(ip, newSize/bs, false); err != nil {
+			return err
+		} else if bn != 0 {
+			buf := fs.getBlockBuf()
+			if err := fs.dev.ReadBlock(bn, buf); err != nil {
+				fs.putBlockBuf(buf)
+				return err
+			}
+			for i := newSize % bs; i < bs; i++ {
+				buf[i] = 0
+			}
+			err := fs.dev.WriteBlock(bn, buf)
+			fs.putBlockBuf(buf)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	// Direct blocks.
+	for l := keep; l < nDirect; l++ {
+		if ip.direct[l] != 0 {
+			fs.freeBlock(ip, ip.direct[l])
+			ip.direct[l] = 0
+		}
+	}
+	// Single indirect.
+	if ip.indirect != 0 {
+		start := uint64(0)
+		if keep > nDirect {
+			start = keep - nDirect
+		}
+		if start < p {
+			for i := start; i < p; i++ {
+				bn, err := fs.readPtr(ip.indirect, i)
+				if err != nil {
+					return err
+				}
+				if bn != 0 {
+					fs.freeBlock(ip, bn)
+					if err := fs.writePtr(ip.indirect, i, 0); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if start == 0 {
+			fs.freeBlock(ip, ip.indirect)
+			ip.indirect = 0
+		}
+	}
+	// Double indirect.
+	if ip.dindirect != 0 {
+		start := uint64(0)
+		if keep > nDirect+p {
+			start = keep - nDirect - p
+		}
+		for l1 := uint64(0); l1 < p; l1++ {
+			mid, err := fs.readPtr(ip.dindirect, l1)
+			if err != nil {
+				return err
+			}
+			if mid == 0 {
+				continue
+			}
+			lo, hi := l1*p, (l1+1)*p
+			if start >= hi {
+				continue // fully retained
+			}
+			from := uint64(0)
+			if start > lo {
+				from = start - lo
+			}
+			for l2 := from; l2 < p; l2++ {
+				bn, err := fs.readPtr(mid, l2)
+				if err != nil {
+					return err
+				}
+				if bn != 0 {
+					fs.freeBlock(ip, bn)
+					if err := fs.writePtr(mid, l2, 0); err != nil {
+						return err
+					}
+				}
+			}
+			if from == 0 {
+				fs.freeBlock(ip, mid)
+				if err := fs.writePtr(ip.dindirect, l1, 0); err != nil {
+					return err
+				}
+			}
+		}
+		if start == 0 {
+			fs.freeBlock(ip, ip.dindirect)
+			ip.dindirect = 0
+		}
+	}
+	ip.size = newSize
+	return nil
+}
+
+// freeAllBlocks releases every block of ip (used when the inode dies).
+func (fs *FFS) freeAllBlocks(ip *inode) error {
+	return fs.truncateTo(ip, 0)
+}

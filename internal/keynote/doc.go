@@ -1,0 +1,27 @@
+// Package keynote implements the KeyNote trust-management system
+// (RFC 2704), the policy engine at the heart of DisCFS.
+//
+// KeyNote dispenses with user names and access-control lists: principals
+// are public keys, and authority flows through signed assertions
+// (credentials) from a locally trusted policy to the key making a request.
+// A compliance check answers the question "does this set of policies and
+// credentials authorize this action, requested by these keys, and at what
+// level?" where the levels are an application-chosen ordered set of
+// compliance values (DisCFS uses false < X < W < WX < R < RX < RW < RWX).
+//
+// The package provides:
+//
+//   - Parsing of KeyNote assertions (Authorizer, Licensees, Local-Constants,
+//     Conditions, Comment, Signature fields) with RFC 2704 quoting rules.
+//   - The conditions expression language: string, numeric and regular
+//     expression tests over an action attribute set, combined with
+//     && || ! and structured into "test -> value" clauses.
+//   - Licensee expressions: conjunction (&&), disjunction (||) and
+//     threshold (k-of) combinations of principals.
+//   - The query semantics of RFC 2704 section 5: a monotone fixpoint over
+//     the delegation graph computing the compliance value of the action.
+//   - Signed credentials using Ed25519 (primary) or RSA-SHA256. The paper's
+//     prototype used DSA; see DESIGN.md for the substitution rationale.
+//   - Sessions: long-lived collections of verified credentials, matching
+//     the persistent KeyNote session the DisCFS daemon keeps per client.
+package keynote

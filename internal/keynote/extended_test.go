@@ -1,0 +1,265 @@
+package keynote
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRSACredentialEndToEnd signs and verifies with RSA, and mixes RSA
+// and Ed25519 principals in one delegation chain — the engine must be
+// algorithm-agnostic, as KeyNote is.
+func TestRSACredentialEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA keygen is slow")
+	}
+	rsaKey, err := GenerateRSAKey(2048)
+	if err != nil {
+		t.Fatalf("GenerateRSAKey: %v", err)
+	}
+	edKey := DeterministicKey("mixed-ed")
+
+	// RSA authorizer → Ed25519 licensee.
+	cred, err := Sign(rsaKey, AssertionSpec{
+		Licensees:  LicenseesOr(edKey.Principal),
+		Conditions: `HANDLE == "5" -> "RW";`,
+		Comment:    "rsa signs for ed25519",
+	})
+	if err != nil {
+		t.Fatalf("Sign(rsa): %v", err)
+	}
+	if !strings.Contains(cred.Source, "sig-rsa-sha256-hex:") {
+		t.Errorf("signature algorithm missing from source")
+	}
+	re, err := ParseAssertion(cred.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Verify(); err != nil {
+		t.Fatalf("Verify(rsa): %v", err)
+	}
+	// Tampering is caught for RSA too.
+	tampered := strings.Replace(cred.Source, `"RW"`, `"RWX"`, 1)
+	ta, err := ParseAssertion(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Verify(); err == nil {
+		t.Error("tampered RSA credential verified")
+	}
+
+	// Full chain: POLICY → rsa → ed25519.
+	session, err := NewSession(discfsValues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := NewPolicy(AssertionSpec{
+		Licensees:  LicenseesOr(rsaKey.Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := session.AddPolicy(pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.AddCredential(cred); err != nil {
+		t.Fatal(err)
+	}
+	res, err := session.Query(map[string]string{"HANDLE": "5"}, edKey.Principal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "RW" {
+		t.Errorf("mixed-algorithm chain = %q, want RW", res.Value)
+	}
+}
+
+// TestOperatorPrecedence pins the precedence rules of the conditions
+// grammar.
+func TestOperatorPrecedence(t *testing.T) {
+	attrs := map[string]string{"a": "2", "b": "3", "c": "4"}
+	cases := []struct {
+		cond string
+		want string
+	}{
+		// * binds tighter than +.
+		{`@a + @b * @c == 14 -> "true";`, "true"},
+		// unary minus binds tighter than *.
+		{`-@a * @b == -6 -> "true";`, "true"},
+		// ^ binds tighter than * and is right-associative.
+		{`@a * @b ^ @a == 18 -> "true";`, "true"},
+		{`@b ^ @a ^ 0 == 3 -> "true";`, "true"}, // 3^(2^0) = 3
+		// && binds tighter than ||.
+		{`false && false || true -> "true";`, "true"},
+		{`true || false && false -> "true";`, "true"},
+		// relational binds tighter than &&.
+		{`@a < @b && @b < @c -> "true";`, "true"},
+		// . (concat) binds tighter than ==.
+		{`a . b == "23" -> "true";`, "true"},
+		// parentheses override.
+		{`(@a + @b) * @c == 20 -> "true";`, "true"},
+	}
+	for _, c := range cases {
+		if got := evalCond(t, c.cond, attrs, binVals); got != c.want {
+			t.Errorf("%q = %q, want %q", c.cond, got, c.want)
+		}
+	}
+}
+
+// TestNestedLicenseeExpressions combines &&, || and k-of in one field.
+func TestNestedLicenseeExpressions(t *testing.T) {
+	val := func(vals map[Principal]int) func(Principal) int {
+		return func(p Principal) int { return vals[p] }
+	}
+	// (A && B) || 2-of(C, D, E)
+	expr, err := parseLicensees(`("A" && "B") || 2-of("C", "D", "E")`, nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	cases := []struct {
+		vals map[Principal]int
+		want int
+	}{
+		{map[Principal]int{"A": 7, "B": 7}, 7},                 // left arm
+		{map[Principal]int{"A": 7}, 0},                         // A alone: no
+		{map[Principal]int{"C": 7, "D": 7}, 7},                 // right arm
+		{map[Principal]int{"C": 7}, 0},                         // C alone: no
+		{map[Principal]int{"A": 3, "B": 5, "C": 7, "D": 6}, 6}, // max(min(3,5), 2nd(7,6,0)) = max(3,6)
+	}
+	for i, c := range cases {
+		if got := expr.eval(val(c.vals)); got != c.want {
+			t.Errorf("case %d: eval = %d, want %d", i, got, c.want)
+		}
+	}
+
+	// k-of over sub-expressions.
+	expr, err = parseLicensees(`2-of("A" && "B", "C", "D")`, nil)
+	if err != nil {
+		t.Fatalf("parse nested k-of: %v", err)
+	}
+	got := expr.eval(val(map[Principal]int{"A": 7, "B": 7, "C": 7}))
+	if got != 7 {
+		t.Errorf("2-of with satisfied && arm = %d, want 7", got)
+	}
+	got = expr.eval(val(map[Principal]int{"A": 7, "C": 7}))
+	if got != 0 {
+		// arm values: min(7,0)=0, 7, 0 → 2nd largest 0.
+		t.Errorf("2-of with broken && arm = %d, want 0", got)
+	}
+}
+
+// TestMultipleClausesAcrossValues exercises programs returning different
+// values for different conditions — the paper's flexible-policy pitch.
+func TestMultipleClausesAcrossValues(t *testing.T) {
+	cond := `
+		role == "owner" -> "RWX";
+		role == "editor" -> "RW";
+		role == "reviewer" -> "R";
+		role == "ci" && target ~= "\\.log$" -> "W";
+	`
+	cases := []struct {
+		role, target, want string
+	}{
+		{"owner", "x", "RWX"},
+		{"editor", "x", "RW"},
+		{"reviewer", "x", "R"},
+		{"ci", "build.log", "W"},
+		{"ci", "main.c", "false"},
+		{"stranger", "x", "false"},
+	}
+	for _, c := range cases {
+		got := evalCond(t, cond, map[string]string{"role": c.role, "target": c.target}, rwxVals)
+		if got != c.want {
+			t.Errorf("role=%s target=%s: %q, want %q", c.role, c.target, got, c.want)
+		}
+	}
+}
+
+// TestSessionWithManyPrincipals is a scale smoke test: 200 users each
+// with a credential, queries resolve correctly for each.
+func TestSessionWithManyPrincipals(t *testing.T) {
+	admin := DeterministicKey("scale-admin")
+	s, err := NewSession(discfsValues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := NewPolicy(AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPolicy(pol); err != nil {
+		t.Fatal(err)
+	}
+	users := make([]*KeyPair, 200)
+	for i := range users {
+		users[i] = DeterministicKey("scale-user-" + itoa(i))
+		value := discfsValues[1+i%7] // everything but "false"
+		cred, err := Sign(admin, AssertionSpec{
+			Licensees:  LicenseesOr(users[i].Principal),
+			Conditions: `HANDLE == "` + itoa(i) + `" -> "` + value + `";`,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddCredential(cred); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, u := range users {
+		res, err := s.Query(map[string]string{"HANDLE": itoa(i)}, u.Principal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := discfsValues[1+i%7]
+		if res.Value != want {
+			t.Errorf("user %d = %q, want %q", i, res.Value, want)
+		}
+		// And on someone else's handle: nothing.
+		res, err = s.Query(map[string]string{"HANDLE": itoa(i + 1000)}, u.Principal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != "false" {
+			t.Errorf("user %d on foreign handle = %q", i, res.Value)
+		}
+	}
+}
+
+// TestConditionsWhitespaceAndComments: conditions spread over
+// continuation lines with odd spacing parse identically.
+func TestConditionsWhitespaceRobustness(t *testing.T) {
+	tight := `a=="1"&&b=="2"->"true";`
+	loose := "a  ==  \"1\"\n\t&& b == \"2\"\n\t-> \"true\" ;"
+	attrs := map[string]string{"a": "1", "b": "2"}
+	if got := evalCond(t, tight, attrs, binVals); got != "true" {
+		t.Errorf("tight spacing: %q", got)
+	}
+	if got := evalCond(t, loose, attrs, binVals); got != "true" {
+		t.Errorf("loose spacing: %q", got)
+	}
+}
+
+// TestEmptyConditionsMeansMaxTrust per RFC 2704: a credential without a
+// Conditions field places no restrictions.
+func TestEmptyConditionsMeansMaxTrust(t *testing.T) {
+	admin := DeterministicKey("nc-admin")
+	bob := DeterministicKey("nc-bob")
+	s, _ := NewSession(discfsValues)
+	pol, _ := NewPolicy(AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	s.AddPolicy(pol)
+	cred := mustSign(t, admin, AssertionSpec{Licensees: LicenseesOr(bob.Principal)})
+	s.AddCredential(cred)
+	res, err := s.Query(nil, bob.Principal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "RWX" {
+		t.Errorf("no-conditions credential = %q, want RWX", res.Value)
+	}
+}

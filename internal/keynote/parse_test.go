@@ -1,0 +1,287 @@
+package keynote
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperFigure5Shape(t *testing.T) {
+	// The credential of the paper's Figure 5, with Ed25519 standing in
+	// for DSA and without a real signature (parse-only).
+	admin := DeterministicKey("admin")
+	user := DeterministicKey("miltchev")
+	text := "KeyNote-Version: 2\n" +
+		"Authorizer: " + quotePrincipal(admin.Principal) + "\n" +
+		"Licensees: " + quotePrincipal(user.Principal) + "\n" +
+		"Conditions: (app_domain == \"DisCFS\") &&\n" +
+		"\t(HANDLE == \"666240\") -> \"RWX\";\n" +
+		"Comment: testdir\n"
+	a, err := ParseAssertion(text)
+	if err != nil {
+		t.Fatalf("ParseAssertion: %v", err)
+	}
+	if a.Authorizer != admin.Principal {
+		t.Errorf("authorizer = %s, want admin", a.Authorizer.Short())
+	}
+	lics := a.Licensees()
+	if len(lics) != 1 || lics[0] != user.Principal {
+		t.Errorf("licensees = %v, want [user]", lics)
+	}
+	if a.Comment != "testdir" {
+		t.Errorf("comment = %q", a.Comment)
+	}
+	if a.Signed() {
+		t.Error("unsigned assertion reports Signed")
+	}
+}
+
+func TestParseContinuationLines(t *testing.T) {
+	text := "KeyNote-Version: 2\n" +
+		"Authorizer: \"POLICY\"\n" +
+		"Licensees: \"user-one\" ||\n" +
+		"   \"user-two\" ||\n" +
+		"\t\"user-three\"\n" +
+		"Conditions: a == \"1\"\n" +
+		"  -> \"true\";\n"
+	a, err := ParseAssertion(text)
+	if err != nil {
+		t.Fatalf("ParseAssertion: %v", err)
+	}
+	if got := len(a.Licensees()); got != 3 {
+		t.Errorf("licensees count = %d, want 3", got)
+	}
+}
+
+func TestParseFieldErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"no colon", "KeyNote-Version 2\n"},
+		{"unknown field", "KeyNote-Version: 2\nAuthorizer: \"POLICY\"\nFrobnicate: yes\n"},
+		{"duplicate field", "Authorizer: \"POLICY\"\nAuthorizer: \"POLICY\"\n"},
+		{"missing authorizer", "KeyNote-Version: 2\nLicensees: \"a\"\n"},
+		{"bad version", "KeyNote-Version: 3\nAuthorizer: \"POLICY\"\n"},
+		{"continuation first", "  Licensees: \"a\"\n"},
+		{"signature not last", "Authorizer: \"POLICY\"\nSignature: \"sig-ed25519-hex:00\"\nComment: after\n"},
+		{"empty signature", "Authorizer: \"POLICY\"\nSignature:\n"},
+		{"two principals", "Authorizer: \"POLICY\" \"other\"\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseAssertion(c.text); err == nil {
+			t.Errorf("%s: parse succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestParseAssertionsSplitting(t *testing.T) {
+	text := "# leading comment\n" +
+		"Authorizer: \"POLICY\"\nLicensees: \"a\"\n" +
+		"\n" +
+		"# comment between\n" +
+		"\n" +
+		"Authorizer: \"POLICY\"\nLicensees: \"b\"\n\n\n"
+	as, err := ParseAssertions(text)
+	if err != nil {
+		t.Fatalf("ParseAssertions: %v", err)
+	}
+	if len(as) != 2 {
+		t.Fatalf("got %d assertions, want 2", len(as))
+	}
+	if as[0].Licensees()[0] != "a" || as[1].Licensees()[0] != "b" {
+		t.Errorf("licensees parsed wrong: %v / %v", as[0].Licensees(), as[1].Licensees())
+	}
+}
+
+func TestLocalConstants(t *testing.T) {
+	text := "KeyNote-Version: 2\n" +
+		"Local-Constants: ALICE = \"ed25519-hex:" + strings.Repeat("ab", 32) + "\"\n" +
+		"Authorizer: \"POLICY\"\n" +
+		"Licensees: ALICE\n" +
+		"Conditions: user == ALICE -> \"true\";\n"
+	a, err := ParseAssertion(text)
+	if err != nil {
+		t.Fatalf("ParseAssertion: %v", err)
+	}
+	want := Principal("ed25519-hex:" + strings.Repeat("ab", 32))
+	if got := a.Licensees(); len(got) != 1 || got[0] != want {
+		t.Errorf("licensees = %v, want [%s]", got, want.Short())
+	}
+}
+
+func TestLocalConstantsErrors(t *testing.T) {
+	bad := []string{
+		"Local-Constants: A\nAuthorizer: \"POLICY\"\n",
+		"Local-Constants: A = \nAuthorizer: \"POLICY\"\n",
+		"Local-Constants: A = \"x\" A = \"y\"\nAuthorizer: \"POLICY\"\n",
+		"Local-Constants: = \"x\"\nAuthorizer: \"POLICY\"\n",
+	}
+	for _, text := range bad {
+		if _, err := ParseAssertion(text); err == nil {
+			t.Errorf("parse %q succeeded, want error", text)
+		}
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	bob := DeterministicKey("bob")
+	alice := DeterministicKey("alice")
+	cred, err := Sign(bob, AssertionSpec{
+		Licensees:  LicenseesOr(alice.Principal),
+		Conditions: `app_domain == "DisCFS" && HANDLE == "17" -> "R";`,
+		Comment:    "bob delegates read on 17 to alice",
+	})
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if !cred.Signed() || !cred.Verified() {
+		t.Fatal("signed credential not marked signed+verified")
+	}
+	// Re-parse from text: must verify from scratch.
+	re, err := ParseAssertion(cred.Source)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if re.Verified() {
+		t.Error("fresh parse claims verified before Verify()")
+	}
+	if err := re.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if re.Authorizer != bob.Principal {
+		t.Errorf("authorizer = %s", re.Authorizer.Short())
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	bob := DeterministicKey("bob")
+	alice := DeterministicKey("alice")
+	eve := DeterministicKey("eve")
+	cred, err := Sign(bob, AssertionSpec{
+		Licensees:  LicenseesOr(alice.Principal),
+		Conditions: `HANDLE == "17" -> "R";`,
+	})
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+
+	// Tamper 1: upgrade R to RWX.
+	tampered := strings.Replace(cred.Source, `"R";`, `"RWX";`, 1)
+	a, err := ParseAssertion(tampered)
+	if err != nil {
+		t.Fatalf("parse tampered: %v", err)
+	}
+	if err := a.Verify(); err == nil {
+		t.Error("conditions tampering not detected")
+	}
+
+	// Tamper 2: swap the licensee for eve.
+	tampered = strings.Replace(cred.Source, string(alice.Principal), string(eve.Principal), 1)
+	a, err = ParseAssertion(tampered)
+	if err != nil {
+		t.Fatalf("parse tampered: %v", err)
+	}
+	if err := a.Verify(); err == nil {
+		t.Error("licensee tampering not detected")
+	}
+
+	// Tamper 3: swap the authorizer (signature is by bob's key).
+	tampered = strings.Replace(cred.Source, string(bob.Principal), string(eve.Principal), 1)
+	a, err = ParseAssertion(tampered)
+	if err != nil {
+		t.Fatalf("parse tampered: %v", err)
+	}
+	if err := a.Verify(); err == nil {
+		t.Error("authorizer substitution not detected")
+	}
+}
+
+func TestVerifyUnsignedCredential(t *testing.T) {
+	bob := DeterministicKey("bob")
+	text := "KeyNote-Version: 2\nAuthorizer: " + quotePrincipal(bob.Principal) + "\nLicensees: \"x\"\n"
+	a, err := ParseAssertion(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := a.Verify(); err != ErrUnsigned {
+		t.Errorf("Verify = %v, want ErrUnsigned", err)
+	}
+}
+
+func TestVerifyOpaqueAuthorizerRejected(t *testing.T) {
+	text := "Authorizer: \"not-a-key\"\nLicensees: \"x\"\nSignature: \"sig-ed25519-hex:00ff\"\n"
+	a, err := ParseAssertion(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := a.Verify(); err == nil {
+		t.Error("opaque authorizer verified")
+	}
+}
+
+func TestPolicyVerifiesTrivially(t *testing.T) {
+	a, err := ParseAssertion("Authorizer: \"POLICY\"\nLicensees: \"x\"\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := a.Verify(); err != nil {
+		t.Errorf("policy Verify: %v", err)
+	}
+}
+
+func TestNewPolicyHelper(t *testing.T) {
+	admin := DeterministicKey("admin")
+	pol, err := NewPolicy(AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `app_domain == "DisCFS" -> "RWX";`,
+		Comment:    "root of trust",
+	})
+	if err != nil {
+		t.Fatalf("NewPolicy: %v", err)
+	}
+	if pol.Authorizer != PolicyPrincipal {
+		t.Errorf("authorizer = %v", pol.Authorizer)
+	}
+	if !pol.Verified() {
+		t.Error("policy not marked verified")
+	}
+}
+
+func TestLicenseesHelpers(t *testing.T) {
+	a, b, c := Principal("ka"), Principal("kb"), Principal("kc")
+	if got := LicenseesOr(a, b); got != `"ka" || "kb"` {
+		t.Errorf("LicenseesOr = %q", got)
+	}
+	if got := LicenseesAnd(a, b, c); got != `"ka" && "kb" && "kc"` {
+		t.Errorf("LicenseesAnd = %q", got)
+	}
+	if got := LicenseesThreshold(2, a, b, c); got != `2-of("ka", "kb", "kc")` {
+		t.Errorf("LicenseesThreshold = %q", got)
+	}
+	// All three must parse.
+	for _, body := range []string{LicenseesOr(a, b), LicenseesAnd(a, b, c), LicenseesThreshold(2, a, b, c)} {
+		if _, err := parseLicensees(body, nil); err != nil {
+			t.Errorf("parseLicensees(%q): %v", body, err)
+		}
+	}
+}
+
+func TestLicenseesParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`"a" &&`,
+		`|| "a"`,
+		`5-of("a", "b")`,  // k > operands
+		`0-of("a")`,       // k < 1
+		`2-of("a" "b")`,   // missing comma
+		`2-off("a", "b")`, // misspelled of
+		`("a"`,            // unbalanced
+		`"a" "b"`,         // juxtaposition
+	}
+	for _, body := range bad {
+		if _, err := parseLicensees(body, nil); err == nil {
+			t.Errorf("parseLicensees(%q) succeeded, want error", body)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package keynote
+
+import (
+	"fmt"
+	"strings"
+)
+
+// valueOrder is an ordered set of compliance values, lowest (least trust)
+// first. DisCFS uses: false, X, W, WX, R, RX, RW, RWX.
+type valueOrder struct {
+	names []string
+	idx   map[string]int
+}
+
+func newValueOrder(values []string) (*valueOrder, error) {
+	if len(values) == 0 {
+		return nil, ErrNoValues
+	}
+	v := &valueOrder{names: values, idx: make(map[string]int, len(values))}
+	for i, n := range values {
+		if _, dup := v.idx[n]; dup {
+			return nil, fmt.Errorf("keynote: duplicate compliance value %q", n)
+		}
+		v.idx[n] = i
+	}
+	return v, nil
+}
+
+// index maps a value name to its position; unknown names collapse to
+// _MIN_TRUST (0), which fails closed.
+func (v *valueOrder) index(name string) int {
+	if i, ok := v.idx[name]; ok {
+		return i
+	}
+	return 0
+}
+
+func (v *valueOrder) max() int { return len(v.names) - 1 }
+
+// Query is one compliance-check request: does policy plus credentials
+// authorize the action described by Attributes, requested by Requesters,
+// and at which of the ordered Values?
+type Query struct {
+	// Values is the ordered compliance value set, least trust first,
+	// e.g. {"false", "true"} or DisCFS's 8 permission combinations.
+	Values []string
+	// Attributes is the action attribute set.
+	Attributes map[string]string
+	// Requesters are the principals requesting the action (the
+	// _ACTION_AUTHORIZERS); typically the key that signed the request or
+	// was authenticated on the secure channel.
+	Requesters []Principal
+}
+
+// Result is the outcome of a compliance check.
+type Result struct {
+	// Value is the compliance value name, e.g. "RWX" or "false".
+	Value string
+	// Index is Value's position in the query's ordered set; 0 is least
+	// trust.
+	Index int
+}
+
+// Evaluate runs the RFC 2704 query semantics over the given policy and
+// credential assertions. Credential assertions must already be verified
+// (Session handles this); unverified credentials are ignored, failing
+// closed rather than trusting unchecked signatures.
+func Evaluate(policies, credentials []*Assertion, q Query) (Result, error) {
+	order, err := newValueOrder(q.Values)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(q.Requesters) == 0 {
+		return Result{}, fmt.Errorf("keynote: query has no requester principals")
+	}
+
+	// Canonicalize requesters for comparison.
+	requesters := make(map[Principal]bool, len(q.Requesters))
+	reqNames := make([]string, 0, len(q.Requesters))
+	for _, r := range q.Requesters {
+		c, err := canonicalPrincipal(string(r))
+		if err != nil {
+			return Result{}, err
+		}
+		requesters[c] = true
+		reqNames = append(reqNames, string(c))
+	}
+
+	// Intrinsic attributes visible to every conditions program.
+	intrinsics := map[string]string{
+		"_MIN_TRUST":          order.names[0],
+		"_MAX_TRUST":          order.names[order.max()],
+		"_VALUES":             strings.Join(order.names, ","),
+		"_ACTION_AUTHORIZERS": strings.Join(reqNames, ","),
+	}
+	ev := &env{attrs: func(name string) (string, bool) {
+		if v, ok := intrinsics[name]; ok {
+			return v, true
+		}
+		v, ok := q.Attributes[name]
+		return v, ok
+	}}
+
+	// Index assertions by authorizer and precompute each assertion's
+	// conditions value (it does not depend on the principal valuation).
+	type node struct {
+		cond int
+		lic  licExpr
+	}
+	byAuth := make(map[Principal][]node)
+	addAssertion := func(a *Assertion) {
+		cond := order.max()
+		if a.conditions != nil {
+			cond = a.conditions.eval(ev, order)
+		}
+		byAuth[a.Authorizer] = append(byAuth[a.Authorizer], node{cond: cond, lic: a.licensees})
+	}
+	for _, a := range policies {
+		if a.Authorizer != PolicyPrincipal {
+			continue // defense in depth; Session enforces this
+		}
+		addAssertion(a)
+	}
+	for _, a := range credentials {
+		if !a.Verified() {
+			continue
+		}
+		addAssertion(a)
+	}
+
+	// Monotone fixpoint: principal values only increase, so iteration
+	// terminates after at most |principals| × |values| rounds.
+	val := make(map[Principal]int)
+	lookup := func(p Principal) int {
+		if requesters[p] {
+			return order.max()
+		}
+		return val[p]
+	}
+	maxRounds := (len(byAuth)+1)*len(order.names) + 2
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for auth, nodes := range byAuth {
+			if requesters[auth] {
+				continue // requesters are pinned at _MAX_TRUST
+			}
+			best := val[auth]
+			for _, n := range nodes {
+				lv := 0
+				if n.lic != nil {
+					lv = n.lic.eval(lookup)
+				}
+				v := n.cond
+				if lv < v {
+					v = lv
+				}
+				if v > best {
+					best = v
+				}
+			}
+			if best != val[auth] {
+				val[auth] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	idx := lookup(PolicyPrincipal)
+	return Result{Value: order.names[idx], Index: idx}, nil
+}

@@ -1,0 +1,439 @@
+package keynote
+
+import (
+	"testing"
+)
+
+// discfsValues is the paper's ordered compliance set (§5): the eight
+// permission combinations translating to octal rwx bits.
+var discfsValues = []string{"false", "X", "W", "WX", "R", "RX", "RW", "RWX"}
+
+// mustPolicy/mustSign are small test helpers.
+func mustPolicy(t *testing.T, spec AssertionSpec) *Assertion {
+	t.Helper()
+	a, err := NewPolicy(spec)
+	if err != nil {
+		t.Fatalf("NewPolicy: %v", err)
+	}
+	return a
+}
+
+func mustSign(t *testing.T, key *KeyPair, spec AssertionSpec) *Assertion {
+	t.Helper()
+	a, err := Sign(key, spec)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	return a
+}
+
+// TestDelegationChain reproduces the paper's Figure 1: the administrator
+// issues a credential to Bob (RWX on a handle), Bob issues one to Alice
+// (R only). Alice's request must be granted at exactly R, and only when
+// both credentials are presented.
+func TestDelegationChain(t *testing.T) {
+	admin := DeterministicKey("admin")
+	bob := DeterministicKey("bob")
+	alice := DeterministicKey("alice")
+
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `app_domain == "DisCFS" -> "RWX";`,
+	})
+	adminToBob := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" && HANDLE == "666240" -> "RWX";`,
+	})
+	bobToAlice := mustSign(t, bob, AssertionSpec{
+		Licensees:  LicenseesOr(alice.Principal),
+		Conditions: `app_domain == "DisCFS" && HANDLE == "666240" -> "R";`,
+	})
+
+	attrs := map[string]string{"app_domain": "DisCFS", "HANDLE": "666240"}
+
+	q := func(creds []*Assertion, who Principal) string {
+		res, err := Evaluate([]*Assertion{policy}, creds, Query{
+			Values: discfsValues, Attributes: attrs, Requesters: []Principal{who},
+		})
+		if err != nil {
+			t.Fatalf("Evaluate: %v", err)
+		}
+		return res.Value
+	}
+
+	if got := q([]*Assertion{adminToBob, bobToAlice}, alice.Principal); got != "R" {
+		t.Errorf("alice with full chain = %q, want R", got)
+	}
+	if got := q([]*Assertion{bobToAlice}, alice.Principal); got != "false" {
+		t.Errorf("alice without bob's credential = %q, want false", got)
+	}
+	if got := q([]*Assertion{adminToBob}, alice.Principal); got != "false" {
+		t.Errorf("alice without her credential = %q, want false", got)
+	}
+	if got := q([]*Assertion{adminToBob, bobToAlice}, bob.Principal); got != "RWX" {
+		t.Errorf("bob = %q, want RWX", got)
+	}
+	// Wrong handle: nothing granted.
+	attrs["HANDLE"] = "1"
+	if got := q([]*Assertion{adminToBob, bobToAlice}, alice.Principal); got != "false" {
+		t.Errorf("alice on wrong handle = %q, want false", got)
+	}
+}
+
+// TestDelegationCannotAmplify checks the min() semantics: Bob holds only R
+// but issues Alice an RWX credential; Alice must still get at most R.
+func TestDelegationCannotAmplify(t *testing.T) {
+	admin := DeterministicKey("admin")
+	bob := DeterministicKey("bob")
+	alice := DeterministicKey("alice")
+
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `app_domain == "DisCFS" -> "RWX";`,
+	})
+	adminToBob := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `HANDLE == "7" -> "R";`,
+	})
+	bobToAlice := mustSign(t, bob, AssertionSpec{
+		Licensees:  LicenseesOr(alice.Principal),
+		Conditions: `HANDLE == "7" -> "RWX";`, // overreach
+	})
+	res, err := Evaluate([]*Assertion{policy}, []*Assertion{adminToBob, bobToAlice}, Query{
+		Values:     discfsValues,
+		Attributes: map[string]string{"app_domain": "DisCFS", "HANDLE": "7"},
+		Requesters: []Principal{alice.Principal},
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Value != "R" {
+		t.Errorf("amplified delegation = %q, want R", res.Value)
+	}
+}
+
+// TestArbitraryChainLength: the paper contrasts DisCFS with the Exokernel's
+// 8-level capability tree — chains here can be arbitrarily long.
+func TestArbitraryChainLength(t *testing.T) {
+	admin := DeterministicKey("admin")
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `app_domain == "DisCFS" -> "RWX";`,
+	})
+	const depth = 20
+	keys := make([]*KeyPair, depth)
+	for i := range keys {
+		keys[i] = DeterministicKey("chain-" + string(rune('a'+i)))
+	}
+	creds := make([]*Assertion, 0, depth)
+	prev := admin
+	for _, k := range keys {
+		creds = append(creds, mustSign(t, prev, AssertionSpec{
+			Licensees:  LicenseesOr(k.Principal),
+			Conditions: `app_domain == "DisCFS" -> "RWX";`,
+		}))
+		prev = k
+	}
+	res, err := Evaluate([]*Assertion{policy}, creds, Query{
+		Values:     discfsValues,
+		Attributes: map[string]string{"app_domain": "DisCFS"},
+		Requesters: []Principal{keys[depth-1].Principal},
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Value != "RWX" {
+		t.Errorf("deep chain = %q, want RWX", res.Value)
+	}
+}
+
+func TestThresholdLicensees(t *testing.T) {
+	admin := DeterministicKey("admin")
+	k1, k2, k3 := DeterministicKey("t1"), DeterministicKey("t2"), DeterministicKey("t3")
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	// Admin requires 2-of-3 signers for RWX on handle 9.
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesThreshold(2, k1.Principal, k2.Principal, k3.Principal),
+		Conditions: `HANDLE == "9" -> "RWX";`,
+	})
+	attrs := map[string]string{"HANDLE": "9"}
+	q := func(reqs ...Principal) string {
+		res, err := Evaluate([]*Assertion{policy}, []*Assertion{cred}, Query{
+			Values: discfsValues, Attributes: attrs, Requesters: reqs,
+		})
+		if err != nil {
+			t.Fatalf("Evaluate: %v", err)
+		}
+		return res.Value
+	}
+	if got := q(k1.Principal); got != "false" {
+		t.Errorf("1 of 3 = %q, want false", got)
+	}
+	if got := q(k1.Principal, k3.Principal); got != "RWX" {
+		t.Errorf("2 of 3 = %q, want RWX", got)
+	}
+	if got := q(k1.Principal, k2.Principal, k3.Principal); got != "RWX" {
+		t.Errorf("3 of 3 = %q, want RWX", got)
+	}
+}
+
+func TestConjunctiveLicensees(t *testing.T) {
+	admin := DeterministicKey("admin")
+	k1, k2 := DeterministicKey("c1"), DeterministicKey("c2")
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees: LicenseesAnd(k1.Principal, k2.Principal),
+	})
+	q := func(reqs ...Principal) string {
+		res, err := Evaluate([]*Assertion{policy}, []*Assertion{cred}, Query{
+			Values: discfsValues, Attributes: nil, Requesters: reqs,
+		})
+		if err != nil {
+			t.Fatalf("Evaluate: %v", err)
+		}
+		return res.Value
+	}
+	if got := q(k1.Principal); got != "false" {
+		t.Errorf("k1 alone = %q, want false", got)
+	}
+	if got := q(k1.Principal, k2.Principal); got != "RWX" {
+		t.Errorf("k1&&k2 = %q, want RWX", got)
+	}
+}
+
+// TestDelegationCycle: two keys delegating to each other must not grant
+// authority that does not flow from policy, and evaluation must terminate.
+func TestDelegationCycle(t *testing.T) {
+	a := DeterministicKey("cyc-a")
+	b := DeterministicKey("cyc-b")
+	aToB := mustSign(t, a, AssertionSpec{Licensees: LicenseesOr(b.Principal)})
+	bToA := mustSign(t, b, AssertionSpec{Licensees: LicenseesOr(a.Principal)})
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(DeterministicKey("admin").Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	res, err := Evaluate([]*Assertion{policy}, []*Assertion{aToB, bToA}, Query{
+		Values:     discfsValues,
+		Requesters: []Principal{b.Principal},
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Value != "false" {
+		t.Errorf("cycle without policy path = %q, want false", res.Value)
+	}
+
+	// Now give the cycle a policy entry point: admin delegates to a; the
+	// cycle must not amplify and b must be granted via a→b.
+	admin := DeterministicKey("admin")
+	adminToA := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(a.Principal),
+		Conditions: `true -> "R";`,
+	})
+	res, err = Evaluate([]*Assertion{policy}, []*Assertion{aToB, bToA, adminToA}, Query{
+		Values:     discfsValues,
+		Requesters: []Principal{b.Principal},
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Value != "R" {
+		t.Errorf("cycle with policy path = %q, want R", res.Value)
+	}
+}
+
+func TestUnverifiedCredentialsIgnored(t *testing.T) {
+	admin := DeterministicKey("admin")
+	bob := DeterministicKey("bob")
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	cred := mustSign(t, admin, AssertionSpec{Licensees: LicenseesOr(bob.Principal)})
+	// Re-parse without verifying: Evaluate must fail closed.
+	unverified, err := ParseAssertion(cred.Source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Evaluate([]*Assertion{policy}, []*Assertion{unverified}, Query{
+		Values:     discfsValues,
+		Requesters: []Principal{bob.Principal},
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Value != "false" {
+		t.Errorf("unverified credential honored: %q", res.Value)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	if _, err := Evaluate(nil, nil, Query{Values: nil, Requesters: []Principal{"k"}}); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := Evaluate(nil, nil, Query{Values: []string{"a", "a"}, Requesters: []Principal{"k"}}); err == nil {
+		t.Error("duplicate values accepted")
+	}
+	if _, err := Evaluate(nil, nil, Query{Values: []string{"false", "true"}}); err == nil {
+		t.Error("no requesters accepted")
+	}
+}
+
+func TestIntrinsicAttributes(t *testing.T) {
+	admin := DeterministicKey("admin")
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees: LicenseesOr(admin.Principal),
+		Conditions: `_MIN_TRUST == "false" && _MAX_TRUST == "RWX" ` +
+			`&& _VALUES == "false,X,W,WX,R,RX,RW,RWX" ` +
+			`&& _ACTION_AUTHORIZERS ~= "ed25519-hex:" -> "RWX";`,
+	})
+	res, err := Evaluate([]*Assertion{policy}, nil, Query{
+		Values:     discfsValues,
+		Requesters: []Principal{admin.Principal},
+	})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Value != "RWX" {
+		t.Errorf("intrinsics = %q, want RWX", res.Value)
+	}
+}
+
+// TestTimeOfDayPolicy exercises the paper's §3.1 example: leisure files
+// unavailable during office hours.
+func TestTimeOfDayPolicy(t *testing.T) {
+	admin := DeterministicKey("admin")
+	user := DeterministicKey("user")
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(user.Principal),
+		Conditions: `file_class == "leisure" && (@hour < 9 || @hour >= 17) -> "R";`,
+	})
+	q := func(hour string) string {
+		res, err := Evaluate([]*Assertion{policy}, []*Assertion{cred}, Query{
+			Values:     discfsValues,
+			Attributes: map[string]string{"file_class": "leisure", "hour": hour},
+			Requesters: []Principal{user.Principal},
+		})
+		if err != nil {
+			t.Fatalf("Evaluate: %v", err)
+		}
+		return res.Value
+	}
+	if got := q("12"); got != "false" {
+		t.Errorf("noon = %q, want false", got)
+	}
+	if got := q("20"); got != "R" {
+		t.Errorf("evening = %q, want R", got)
+	}
+	if got := q("8"); got != "R" {
+		t.Errorf("early morning = %q, want R", got)
+	}
+}
+
+// TestExpiryCondition shows credential lifetime via a date attribute, the
+// mechanism behind the paper's "short-lived credentials" revocation note.
+func TestExpiryCondition(t *testing.T) {
+	admin := DeterministicKey("admin")
+	user := DeterministicKey("user")
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(user.Principal),
+		Conditions: `now < "2002-01-01T00:00:00Z" -> "R";`,
+	})
+	q := func(now string) string {
+		res, err := Evaluate([]*Assertion{policy}, []*Assertion{cred}, Query{
+			Values:     discfsValues,
+			Attributes: map[string]string{"now": now},
+			Requesters: []Principal{user.Principal},
+		})
+		if err != nil {
+			t.Fatalf("Evaluate: %v", err)
+		}
+		return res.Value
+	}
+	if got := q("2001-06-15T12:00:00Z"); got != "R" {
+		t.Errorf("before expiry = %q, want R", got)
+	}
+	if got := q("2002-06-15T12:00:00Z"); got != "false" {
+		t.Errorf("after expiry = %q, want false", got)
+	}
+}
+
+// TestMultiRequesterIntrinsics: _ACTION_AUTHORIZERS lists every
+// requester, and conditions can match individual principals in it.
+func TestMultiRequesterIntrinsics(t *testing.T) {
+	admin := DeterministicKey("mri-admin")
+	k1 := DeterministicKey("mri-1")
+	k2 := DeterministicKey("mri-2")
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees: LicenseesAnd(k1.Principal, k2.Principal),
+		Conditions: `_ACTION_AUTHORIZERS ~= "` + string(k1.Principal) + `" ` +
+			`&& _ACTION_AUTHORIZERS ~= "` + string(k2.Principal) + `" -> "RWX";`,
+	})
+	_ = admin
+	res, err := Evaluate([]*Assertion{policy}, nil, Query{
+		Values:     discfsValues,
+		Requesters: []Principal{k1.Principal, k2.Principal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "RWX" {
+		t.Errorf("joint request = %q, want RWX", res.Value)
+	}
+	res, err = Evaluate([]*Assertion{policy}, nil, Query{
+		Values:     discfsValues,
+		Requesters: []Principal{k1.Principal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "false" {
+		t.Errorf("single request = %q, want false", res.Value)
+	}
+}
+
+// TestRequesterAuthoringAssertionStaysPinned: a requester that also
+// authored assertions keeps its _MAX_TRUST valuation (requesters are
+// trusted for their own request by definition).
+func TestRequesterAuthoringAssertionStaysPinned(t *testing.T) {
+	admin := DeterministicKey("pin-admin")
+	bob := DeterministicKey("pin-bob")
+	policy := mustPolicy(t, AssertionSpec{
+		Licensees:  LicenseesOr(admin.Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	adminToBob := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `true -> "R";`,
+	})
+	// Bob also signed something (to a third party) — it must not
+	// perturb his own valuation as requester.
+	bobToCarol := mustSign(t, bob, AssertionSpec{
+		Licensees:  LicenseesOr(DeterministicKey("pin-carol").Principal),
+		Conditions: `true -> "RWX";`,
+	})
+	res, err := Evaluate([]*Assertion{policy}, []*Assertion{adminToBob, bobToCarol}, Query{
+		Values:     discfsValues,
+		Requesters: []Principal{bob.Principal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "R" {
+		t.Errorf("bob = %q, want R", res.Value)
+	}
+}

@@ -1,0 +1,234 @@
+package keynote
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Session is a persistent collection of policy and verified credential
+// assertions, mirroring the "persistent KeyNote session" the DisCFS
+// daemon keeps per attached client. Sessions are safe for concurrent use.
+type Session struct {
+	mu       sync.RWMutex
+	values   []string
+	policies []*Assertion
+	creds    []*Assertion
+	bySig    map[string]*Assertion
+	// revokedKeys holds principals whose credentials are disregarded,
+	// implementing the paper's "notify the server about bad keys"
+	// revocation model (§4.1).
+	revokedKeys map[Principal]bool
+	gen         uint64 // bumped on every mutation, for cache invalidation
+}
+
+// NewSession creates a session with the given ordered compliance values
+// (least trust first).
+func NewSession(values []string) (*Session, error) {
+	if _, err := newValueOrder(values); err != nil {
+		return nil, err
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	return &Session{
+		values:      vals,
+		bySig:       make(map[string]*Assertion),
+		revokedKeys: make(map[Principal]bool),
+	}, nil
+}
+
+// Values returns the session's ordered compliance value set.
+func (s *Session) Values() []string {
+	out := make([]string, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// Generation returns a counter that changes whenever the session's
+// assertion set changes; policy-decision caches key their validity on it.
+func (s *Session) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// AddPolicyText parses and installs unsigned local policy assertions
+// (Authorizer: "POLICY"). Multiple assertions may be separated by blank
+// lines.
+func (s *Session) AddPolicyText(text string) error {
+	as, err := ParseAssertions(text)
+	if err != nil {
+		return err
+	}
+	for _, a := range as {
+		if a.Authorizer != PolicyPrincipal {
+			return ErrNotPolicy
+		}
+		a.verified = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policies = append(s.policies, as...)
+	s.gen++
+	return nil
+}
+
+// AddPolicy installs an already-composed policy assertion.
+func (s *Session) AddPolicy(a *Assertion) error {
+	if a.Authorizer != PolicyPrincipal {
+		return ErrNotPolicy
+	}
+	a.verified = true
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policies = append(s.policies, a)
+	s.gen++
+	return nil
+}
+
+// AddCredentialText parses, verifies, and installs credential assertions.
+// Unsigned assertions and bad signatures are rejected; credentials from
+// revoked keys are rejected.
+func (s *Session) AddCredentialText(text string) ([]*Assertion, error) {
+	as, err := ParseAssertions(text)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range as {
+		if err := a.Verify(); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := make([]*Assertion, 0, len(as))
+	for _, a := range as {
+		if s.revokedKeys[a.Authorizer] {
+			return added, fmt.Errorf("keynote: credential authorizer %s is revoked", a.Authorizer.Short())
+		}
+		if _, dup := s.bySig[a.SignatureValue]; dup {
+			continue // idempotent re-submission
+		}
+		s.creds = append(s.creds, a)
+		s.bySig[a.SignatureValue] = a
+		added = append(added, a)
+	}
+	if len(added) > 0 {
+		s.gen++
+	}
+	return added, nil
+}
+
+// AddCredential verifies and installs one credential assertion.
+func (s *Session) AddCredential(a *Assertion) error {
+	if err := a.Verify(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.revokedKeys[a.Authorizer] {
+		return fmt.Errorf("keynote: credential authorizer %s is revoked", a.Authorizer.Short())
+	}
+	if _, dup := s.bySig[a.SignatureValue]; dup {
+		return nil
+	}
+	s.creds = append(s.creds, a)
+	s.bySig[a.SignatureValue] = a
+	s.gen++
+	return nil
+}
+
+// RevokeCredential removes the credential with the given signature value.
+// It reports whether a credential was removed.
+func (s *Session) RevokeCredential(signatureValue string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.bySig[signatureValue]
+	if !ok {
+		return false
+	}
+	delete(s.bySig, signatureValue)
+	for i, c := range s.creds {
+		if c == a {
+			s.creds = append(s.creds[:i], s.creds[i+1:]...)
+			break
+		}
+	}
+	s.gen++
+	return true
+}
+
+// RevokeKey marks a principal as bad: all its existing credentials are
+// dropped and future submissions are refused. It returns the number of
+// credentials removed.
+func (s *Session) RevokeKey(p Principal) int {
+	c, err := canonicalPrincipal(string(p))
+	if err != nil {
+		c = p
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revokedKeys[c] = true
+	removed := 0
+	kept := s.creds[:0]
+	for _, a := range s.creds {
+		if a.Authorizer == c {
+			delete(s.bySig, a.SignatureValue)
+			removed++
+			continue
+		}
+		kept = append(kept, a)
+	}
+	s.creds = kept
+	s.gen++
+	return removed
+}
+
+// Revoked reports whether a principal has been revoked.
+func (s *Session) Revoked(p Principal) bool {
+	c, err := canonicalPrincipal(string(p))
+	if err != nil {
+		c = p
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.revokedKeys[c]
+}
+
+// Credentials returns the verified credentials currently in the session.
+func (s *Session) Credentials() []*Assertion {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Assertion, len(s.creds))
+	copy(out, s.creds)
+	return out
+}
+
+// Policies returns the installed policy assertions.
+func (s *Session) Policies() []*Assertion {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Assertion, len(s.policies))
+	copy(out, s.policies)
+	return out
+}
+
+// Query runs a compliance check with the session's assertions and value
+// order. Requesters that have been revoked fail closed to _MIN_TRUST.
+func (s *Session) Query(attributes map[string]string, requesters ...Principal) (Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range requesters {
+		c, err := canonicalPrincipal(string(r))
+		if err != nil {
+			return Result{}, err
+		}
+		if s.revokedKeys[c] {
+			return Result{Value: s.values[0], Index: 0}, nil
+		}
+	}
+	return Evaluate(s.policies, s.creds, Query{
+		Values:     s.values,
+		Attributes: attributes,
+		Requesters: requesters,
+	})
+}

@@ -1,0 +1,230 @@
+package nfs
+
+import (
+	"sync"
+	"time"
+
+	"discfs/internal/vfs"
+)
+
+// CachingClient wraps a Client with attribute and lookup caching, the
+// way kernel NFS clients do (the acregmin/acregmax "actimeo" machinery).
+// GETATTR and LOOKUP results are served from cache within the TTL; local
+// mutations invalidate the affected entries. This buys the usual NFS
+// trade: dramatically fewer metadata RPCs for close-to-open consistency
+// instead of strict consistency — remote writers may be invisible for up
+// to TTL.
+type CachingClient struct {
+	*Client
+	ttl time.Duration
+	now func() time.Time
+
+	mu    sync.Mutex
+	attrs map[vfs.Handle]attrEntry
+	looks map[lookupKey]lookupEntry
+
+	hits, misses uint64
+}
+
+type attrEntry struct {
+	attr    vfs.Attr
+	expires time.Time
+}
+
+type lookupKey struct {
+	dir  vfs.Handle
+	name string
+}
+
+type lookupEntry struct {
+	attr    vfs.Attr
+	expires time.Time
+}
+
+// DefaultAttrTTL matches the traditional acregmin default of 3 seconds.
+const DefaultAttrTTL = 3 * time.Second
+
+// NewCachingClient wraps c. ttl of 0 means DefaultAttrTTL.
+func NewCachingClient(c *Client, ttl time.Duration) *CachingClient {
+	if ttl == 0 {
+		ttl = DefaultAttrTTL
+	}
+	return &CachingClient{
+		Client: c,
+		ttl:    ttl,
+		now:    time.Now,
+		attrs:  make(map[vfs.Handle]attrEntry),
+		looks:  make(map[lookupKey]lookupEntry),
+	}
+}
+
+// CacheStats reports cumulative hit/miss counts across both caches.
+func (c *CachingClient) CacheStats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// remember stores attrs in both caches as appropriate.
+func (c *CachingClient) remember(a vfs.Attr) {
+	c.mu.Lock()
+	c.attrs[a.Handle] = attrEntry{attr: a, expires: c.now().Add(c.ttl)}
+	c.mu.Unlock()
+}
+
+// forgetHandle drops the attribute entry for h.
+func (c *CachingClient) forgetHandle(h vfs.Handle) {
+	c.mu.Lock()
+	delete(c.attrs, h)
+	c.mu.Unlock()
+}
+
+// forgetDir drops the dir's attribute entry and every lookup under it.
+func (c *CachingClient) forgetDir(dir vfs.Handle) {
+	c.mu.Lock()
+	delete(c.attrs, dir)
+	for k := range c.looks {
+		if k.dir == dir {
+			delete(c.looks, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// GetAttr serves from cache within the TTL.
+func (c *CachingClient) GetAttr(h vfs.Handle) (vfs.Attr, error) {
+	c.mu.Lock()
+	if e, ok := c.attrs[h]; ok && c.now().Before(e.expires) {
+		c.hits++
+		c.mu.Unlock()
+		return e.attr, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	a, err := c.Client.GetAttr(h)
+	if err != nil {
+		c.forgetHandle(h)
+		return a, err
+	}
+	c.remember(a)
+	return a, nil
+}
+
+// Lookup serves from cache within the TTL.
+func (c *CachingClient) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
+	key := lookupKey{dir, name}
+	c.mu.Lock()
+	if e, ok := c.looks[key]; ok && c.now().Before(e.expires) {
+		c.hits++
+		c.mu.Unlock()
+		return e.attr, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+	a, err := c.Client.Lookup(dir, name)
+	if err != nil {
+		return a, err
+	}
+	c.mu.Lock()
+	c.looks[key] = lookupEntry{attr: a, expires: c.now().Add(c.ttl)}
+	c.attrs[a.Handle] = attrEntry{attr: a, expires: c.now().Add(c.ttl)}
+	c.mu.Unlock()
+	return a, nil
+}
+
+// Read updates the attribute cache from the piggybacked fattr.
+func (c *CachingClient) Read(h vfs.Handle, offset, count uint32) ([]byte, vfs.Attr, error) {
+	data, a, err := c.Client.Read(h, offset, count)
+	if err == nil {
+		c.remember(a)
+	}
+	return data, a, err
+}
+
+// Write invalidates and refreshes the file's attributes.
+func (c *CachingClient) Write(h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error) {
+	a, err := c.Client.Write(h, offset, data)
+	if err != nil {
+		c.forgetHandle(h)
+		return a, err
+	}
+	c.remember(a)
+	return a, nil
+}
+
+// SetAttr refreshes the cache with the returned attributes.
+func (c *CachingClient) SetAttr(h vfs.Handle, sa SAttr) (vfs.Attr, error) {
+	a, err := c.Client.SetAttr(h, sa)
+	if err != nil {
+		c.forgetHandle(h)
+		return a, err
+	}
+	c.remember(a)
+	return a, nil
+}
+
+// Create invalidates the directory and caches the new file.
+func (c *CachingClient) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	a, err := c.Client.Create(dir, name, mode)
+	c.forgetDir(dir)
+	if err == nil {
+		c.remember(a)
+	}
+	return a, err
+}
+
+// Mkdir invalidates the parent and caches the new directory.
+func (c *CachingClient) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	a, err := c.Client.Mkdir(dir, name, mode)
+	c.forgetDir(dir)
+	if err == nil {
+		c.remember(a)
+	}
+	return a, err
+}
+
+// Remove invalidates the directory and the dead entry.
+func (c *CachingClient) Remove(dir vfs.Handle, name string) error {
+	err := c.Client.Remove(dir, name)
+	c.forgetDir(dir)
+	return err
+}
+
+// Rmdir invalidates the parent.
+func (c *CachingClient) Rmdir(dir vfs.Handle, name string) error {
+	err := c.Client.Rmdir(dir, name)
+	c.forgetDir(dir)
+	return err
+}
+
+// Rename invalidates both directories.
+func (c *CachingClient) Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error {
+	err := c.Client.Rename(fromDir, fromName, toDir, toName)
+	c.forgetDir(fromDir)
+	c.forgetDir(toDir)
+	return err
+}
+
+// Link invalidates the directory and the target's attributes (nlink).
+func (c *CachingClient) Link(target vfs.Handle, dir vfs.Handle, name string) error {
+	err := c.Client.Link(target, dir, name)
+	c.forgetDir(dir)
+	c.forgetHandle(target)
+	return err
+}
+
+// Symlink invalidates the directory.
+func (c *CachingClient) Symlink(dir vfs.Handle, name, targetPath string, mode uint32) error {
+	err := c.Client.Symlink(dir, name, targetPath, mode)
+	c.forgetDir(dir)
+	return err
+}
+
+// Purge drops every cached entry (e.g. after credential changes alter
+// what the masked modes look like).
+func (c *CachingClient) Purge() {
+	c.mu.Lock()
+	c.attrs = make(map[vfs.Handle]attrEntry)
+	c.looks = make(map[lookupKey]lookupEntry)
+	c.mu.Unlock()
+}

@@ -1,0 +1,146 @@
+package nfs
+
+import (
+	"testing"
+	"time"
+
+	"discfs/internal/vfs"
+)
+
+func cachedStack(t *testing.T, ttl time.Duration) (*CachingClient, vfs.Handle) {
+	t.Helper()
+	c, _ := startStack(t)
+	root := mountRoot(t, c)
+	return NewCachingClient(c, ttl), root
+}
+
+func TestAttrCacheServesRepeatedGetattr(t *testing.T) {
+	cc, root := cachedStack(t, time.Minute)
+	attr, err := cc.Create(root, "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := cc.GetAttr(attr.Handle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := cc.CacheStats()
+	if hits < 9 {
+		t.Errorf("hits = %d over 10 repeated GETATTRs, want ≥9", hits)
+	}
+	_ = misses
+}
+
+func TestLookupCacheServesRepeatedLookups(t *testing.T) {
+	cc, root := cachedStack(t, time.Minute)
+	if _, err := cc.Create(root, "f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := cc.CacheStats()
+	for i := 0; i < 10; i++ {
+		if _, err := cc.Lookup(root, "f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, m1 := cc.CacheStats()
+	if h1-h0 < 9 {
+		t.Errorf("lookup hits = %d, want ≥9", h1-h0)
+	}
+	if m1-m0 > 1 {
+		t.Errorf("lookup misses = %d, want ≤1", m1-m0)
+	}
+}
+
+func TestWriteUpdatesCachedSize(t *testing.T) {
+	cc, root := cachedStack(t, time.Minute)
+	attr, _ := cc.Create(root, "f", 0o644)
+	cc.GetAttr(attr.Handle) // prime cache with size 0
+	if _, err := cc.Write(attr.Handle, 0, []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cc.GetAttr(attr.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 5 {
+		t.Errorf("cached size after write = %d, want 5", got.Size)
+	}
+}
+
+func TestMutationInvalidatesLookup(t *testing.T) {
+	cc, root := cachedStack(t, time.Minute)
+	cc.Create(root, "old", 0o644)
+	if _, err := cc.Lookup(root, "old"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Rename(root, "old", root, "new"); err != nil {
+		t.Fatal(err)
+	}
+	// The stale lookup entry must be gone: "old" now misses for real.
+	if _, err := cc.Lookup(root, "old"); StatOf(err) != ErrNoEnt {
+		t.Errorf("lookup of renamed entry = %v, want NOENT", err)
+	}
+	if _, err := cc.Lookup(root, "new"); err != nil {
+		t.Errorf("lookup of new name: %v", err)
+	}
+	// Remove invalidates too.
+	if err := cc.Remove(root, "new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Lookup(root, "new"); StatOf(err) != ErrNoEnt {
+		t.Errorf("lookup after remove = %v, want NOENT", err)
+	}
+}
+
+func TestTTLExpiryRefetches(t *testing.T) {
+	cc, root := cachedStack(t, time.Minute)
+	// Deterministic clock.
+	clock := time.Date(2026, 6, 1, 12, 0, 0, 0, time.UTC)
+	cc.now = func() time.Time { return clock }
+	attr, _ := cc.Create(root, "f", 0o644)
+	cc.GetAttr(attr.Handle)
+	h0, _ := cc.CacheStats()
+	cc.GetAttr(attr.Handle) // within TTL: hit
+	h1, _ := cc.CacheStats()
+	if h1 != h0+1 {
+		t.Fatalf("expected a hit within TTL")
+	}
+	clock = clock.Add(2 * time.Minute) // past TTL
+	_, m0 := cc.CacheStats()
+	cc.GetAttr(attr.Handle)
+	_, m1 := cc.CacheStats()
+	if m1 != m0+1 {
+		t.Errorf("expected a miss after TTL expiry")
+	}
+}
+
+func TestStaleWindowIsBounded(t *testing.T) {
+	// A second (uncached) client mutates behind the cache's back: the
+	// caching client sees stale data within TTL and fresh data after
+	// Purge — the NFS close-to-open trade, made explicit.
+	raw, _ := startStack(t)
+	root := mountRoot(t, raw)
+	cc := NewCachingClient(raw, time.Hour)
+	attr, _ := cc.Create(root, "f", 0o644)
+	cc.Write(attr.Handle, 0, []byte("v1"))
+	cc.GetAttr(attr.Handle) // prime: size 2
+
+	// Out-of-band truncate through the same underlying client (bypassing
+	// the cache wrapper entirely).
+	sa := NewSAttr()
+	sa.Size = 0
+	if _, err := raw.SetAttr(attr.Handle, sa); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _ := cc.GetAttr(attr.Handle)
+	if got.Size != 2 {
+		t.Errorf("within TTL, expected stale size 2, got %d", got.Size)
+	}
+	cc.Purge()
+	got, _ = cc.GetAttr(attr.Handle)
+	if got.Size != 0 {
+		t.Errorf("after purge, size = %d, want fresh 0", got.Size)
+	}
+}

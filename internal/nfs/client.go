@@ -1,0 +1,397 @@
+package nfs
+
+import (
+	"discfs/internal/sunrpc"
+	"discfs/internal/vfs"
+	"discfs/internal/xdr"
+)
+
+// Client is an NFSv2 client over a sunrpc connection. It stands in for
+// the kernel NFS client of the paper's prototype: same procedures, same
+// wire format, usable from tests, tools and the DisCFS client library.
+type Client struct {
+	rpc *sunrpc.Client
+}
+
+// NewClient wraps an RPC client.
+func NewClient(rpc *sunrpc.Client) *Client { return &Client{rpc: rpc} }
+
+// RPC exposes the underlying RPC client (for the DisCFS extension
+// program, which shares the connection).
+func (c *Client) RPC() *sunrpc.Client { return c.rpc }
+
+// Mount issues MOUNTPROC_MNT and returns the root file handle.
+func (c *Client) Mount(dirpath string) (vfs.Handle, error) {
+	e := xdr.NewEncoder()
+	e.String(dirpath)
+	d, err := c.rpc.Call(MountProg, MountVers, MountProcMnt, e.Bytes())
+	if err != nil {
+		return vfs.Handle{}, err
+	}
+	if st := Stat(d.Uint32()); st != OK {
+		return vfs.Handle{}, &Error{Stat: st}
+	}
+	raw := d.OpaqueFixed(FHSize)
+	if d.Err() != nil {
+		return vfs.Handle{}, d.Err()
+	}
+	return DecodeFH(raw)
+}
+
+// Unmount issues MOUNTPROC_UMNT.
+func (c *Client) Unmount(dirpath string) error {
+	e := xdr.NewEncoder()
+	e.String(dirpath)
+	_, err := c.rpc.Call(MountProg, MountVers, MountProcUmnt, e.Bytes())
+	return err
+}
+
+// Null issues the NFS NULL procedure (an RPC round-trip).
+func (c *Client) Null() error {
+	_, err := c.rpc.Call(Prog, Vers, ProcNull, nil)
+	return err
+}
+
+// call runs an NFS procedure and checks the leading status word.
+func (c *Client) call(proc uint32, args []byte) (*xdr.Decoder, error) {
+	d, err := c.rpc.Call(Prog, Vers, proc, args)
+	if err != nil {
+		return nil, err
+	}
+	if st := Stat(d.Uint32()); st != OK {
+		return nil, &Error{Stat: st}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// decodeAttr reads an fattr result into a vfs.Attr plus the wire fattr.
+func decodeAttr(d *xdr.Decoder, h vfs.Handle) (vfs.Attr, FAttr, error) {
+	fa := DecodeFAttr(d)
+	if err := d.Err(); err != nil {
+		return vfs.Attr{}, FAttr{}, err
+	}
+	a := vfs.Attr{
+		Handle: h,
+		Mode:   fa.Mode & 0o7777,
+		Nlink:  fa.Nlink,
+		UID:    fa.UID,
+		GID:    fa.GID,
+		Size:   uint64(fa.Size),
+		Blocks: uint64(fa.Blocks),
+		Atime:  fa.Atime,
+		Mtime:  fa.Mtime,
+		Ctime:  fa.Ctime,
+	}
+	switch fa.Type {
+	case ftypeReg:
+		a.Type = vfs.TypeRegular
+	case ftypeDir:
+		a.Type = vfs.TypeDir
+	case ftypeLink:
+		a.Type = vfs.TypeSymlink
+	}
+	return a, fa, nil
+}
+
+// decodeDiropres reads (fhandle, fattr).
+func decodeDiropres(d *xdr.Decoder) (vfs.Attr, error) {
+	raw := d.OpaqueFixed(FHSize)
+	if err := d.Err(); err != nil {
+		return vfs.Attr{}, err
+	}
+	h, err := DecodeFH(raw)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	a, _, err := decodeAttr(d, h)
+	return a, err
+}
+
+// GetAttr issues GETATTR.
+func (c *Client) GetAttr(h vfs.Handle) (vfs.Attr, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(h)
+	e.OpaqueFixed(fh[:])
+	d, err := c.call(ProcGetattr, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	a, _, err := decodeAttr(d, h)
+	return a, err
+}
+
+// SetAttr issues SETATTR.
+func (c *Client) SetAttr(h vfs.Handle, sa SAttr) (vfs.Attr, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(h)
+	e.OpaqueFixed(fh[:])
+	sa.Encode(e)
+	d, err := c.call(ProcSetattr, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	a, _, err := decodeAttr(d, h)
+	return a, err
+}
+
+// Lookup issues LOOKUP.
+func (c *Client) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.String(name)
+	d, err := c.call(ProcLookup, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return decodeDiropres(d)
+}
+
+// Readlink issues READLINK.
+func (c *Client) Readlink(h vfs.Handle) (string, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(h)
+	e.OpaqueFixed(fh[:])
+	d, err := c.call(ProcReadlink, e.Bytes())
+	if err != nil {
+		return "", err
+	}
+	s := d.String(MaxPath)
+	return s, d.Err()
+}
+
+// Read issues READ; at most MaxData bytes are returned.
+func (c *Client) Read(h vfs.Handle, offset uint32, count uint32) ([]byte, vfs.Attr, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(h)
+	e.OpaqueFixed(fh[:])
+	e.Uint32(offset)
+	e.Uint32(count)
+	e.Uint32(count) // totalcount
+	d, err := c.call(ProcRead, e.Bytes())
+	if err != nil {
+		return nil, vfs.Attr{}, err
+	}
+	a, _, err := decodeAttr(d, h)
+	if err != nil {
+		return nil, vfs.Attr{}, err
+	}
+	data := d.Opaque(MaxData)
+	if err := d.Err(); err != nil {
+		return nil, vfs.Attr{}, err
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, a, nil
+}
+
+// Write issues WRITE; data must be at most MaxData bytes.
+func (c *Client) Write(h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(h)
+	e.OpaqueFixed(fh[:])
+	e.Uint32(0) // beginoffset
+	e.Uint32(offset)
+	e.Uint32(uint32(len(data))) // totalcount
+	e.Opaque(data)
+	d, err := c.call(ProcWrite, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	a, _, err := decodeAttr(d, h)
+	return a, err
+}
+
+// Create issues CREATE.
+func (c *Client) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.String(name)
+	sa := NewSAttr()
+	sa.Mode = mode
+	sa.Encode(e)
+	d, err := c.call(ProcCreate, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return decodeDiropres(d)
+}
+
+// Remove issues REMOVE.
+func (c *Client) Remove(dir vfs.Handle, name string) error {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.String(name)
+	_, err := c.call(ProcRemove, e.Bytes())
+	return err
+}
+
+// Rename issues RENAME.
+func (c *Client) Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error {
+	e := xdr.NewEncoder()
+	f1 := EncodeFH(fromDir)
+	e.OpaqueFixed(f1[:])
+	e.String(fromName)
+	f2 := EncodeFH(toDir)
+	e.OpaqueFixed(f2[:])
+	e.String(toName)
+	_, err := c.call(ProcRename, e.Bytes())
+	return err
+}
+
+// Link issues LINK.
+func (c *Client) Link(target vfs.Handle, dir vfs.Handle, name string) error {
+	e := xdr.NewEncoder()
+	ft := EncodeFH(target)
+	e.OpaqueFixed(ft[:])
+	fd := EncodeFH(dir)
+	e.OpaqueFixed(fd[:])
+	e.String(name)
+	_, err := c.call(ProcLink, e.Bytes())
+	return err
+}
+
+// Symlink issues SYMLINK.
+func (c *Client) Symlink(dir vfs.Handle, name, target string, mode uint32) error {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.String(name)
+	e.String(target)
+	sa := NewSAttr()
+	sa.Mode = mode
+	sa.Encode(e)
+	_, err := c.call(ProcSymlink, e.Bytes())
+	return err
+}
+
+// Mkdir issues MKDIR.
+func (c *Client) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.String(name)
+	sa := NewSAttr()
+	sa.Mode = mode
+	sa.Encode(e)
+	d, err := c.call(ProcMkdir, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return decodeDiropres(d)
+}
+
+// Rmdir issues RMDIR.
+func (c *Client) Rmdir(dir vfs.Handle, name string) error {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.String(name)
+	_, err := c.call(ProcRmdir, e.Bytes())
+	return err
+}
+
+// ReadDirPage issues one READDIR call from cookie.
+func (c *Client) ReadDirPage(dir vfs.Handle, cookie, count uint32) ([]DirEntry, bool, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.Uint32(cookie)
+	e.Uint32(count)
+	d, err := c.call(ProcReaddir, e.Bytes())
+	if err != nil {
+		return nil, false, err
+	}
+	var ents []DirEntry
+	for d.Bool() {
+		ent := DirEntry{
+			FileID: d.Uint32(),
+			Name:   d.String(MaxName),
+			Cookie: d.Uint32(),
+		}
+		if d.Err() != nil {
+			return nil, false, d.Err()
+		}
+		ents = append(ents, ent)
+	}
+	eof := d.Bool()
+	return ents, eof, d.Err()
+}
+
+// ReadDirAll pages through READDIR until eof.
+func (c *Client) ReadDirAll(dir vfs.Handle) ([]DirEntry, error) {
+	var all []DirEntry
+	cookie := uint32(0)
+	for {
+		ents, eof, err := c.ReadDirPage(dir, cookie, MaxData)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ents...)
+		if eof || len(ents) == 0 {
+			return all, nil
+		}
+		cookie = ents[len(ents)-1].Cookie
+	}
+}
+
+// StatFSResult is the STATFS reply.
+type StatFSResult struct {
+	TSize  uint32 // optimal transfer size
+	BSize  uint32
+	Blocks uint32
+	BFree  uint32
+	BAvail uint32
+}
+
+// StatFS issues STATFS.
+func (c *Client) StatFS(h vfs.Handle) (StatFSResult, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(h)
+	e.OpaqueFixed(fh[:])
+	d, err := c.call(ProcStatfs, e.Bytes())
+	if err != nil {
+		return StatFSResult{}, err
+	}
+	r := StatFSResult{
+		TSize: d.Uint32(), BSize: d.Uint32(),
+		Blocks: d.Uint32(), BFree: d.Uint32(), BAvail: d.Uint32(),
+	}
+	return r, d.Err()
+}
+
+// ReadAll reads the entire file through sequential MaxData READs.
+func (c *Client) ReadAll(h vfs.Handle) ([]byte, error) {
+	var out []byte
+	off := uint32(0)
+	for {
+		data, attr, err := c.Read(h, off, MaxData)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+		off += uint32(len(data))
+		if len(data) == 0 || uint64(off) >= attr.Size {
+			return out, nil
+		}
+	}
+}
+
+// WriteAll writes data through sequential MaxData WRITEs at offset 0.
+func (c *Client) WriteAll(h vfs.Handle, data []byte) error {
+	for off := 0; off < len(data); off += MaxData {
+		end := off + MaxData
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := c.Write(h, uint32(off), data[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

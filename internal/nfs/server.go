@@ -1,0 +1,473 @@
+package nfs
+
+import (
+	"discfs/internal/sunrpc"
+	"discfs/internal/vfs"
+	"discfs/internal/xdr"
+)
+
+// Exporter supplies the filesystem view served to a given peer. DisCFS
+// returns a per-principal policy-enforcing view; plain exports ignore the
+// peer.
+type Exporter interface {
+	// View returns the filesystem to serve to peer (the transport's
+	// authenticated identity; empty over plain TCP).
+	View(peer string) (vfs.FS, error)
+}
+
+// StaticExport serves one filesystem to every peer.
+type StaticExport struct{ FS vfs.FS }
+
+// View implements Exporter.
+func (s StaticExport) View(string) (vfs.FS, error) { return s.FS, nil }
+
+// Server dispatches the NFS and MOUNT programs into an Exporter.
+type Server struct {
+	exp Exporter
+}
+
+// NewServer creates an NFS server over exp.
+func NewServer(exp Exporter) *Server { return &Server{exp: exp} }
+
+// RegisterAll installs the NFS and MOUNT programs on rpc.
+func (s *Server) RegisterAll(rpc *sunrpc.Server) {
+	rpc.Register(Prog, Vers, s.dispatch)
+	rpc.Register(MountProg, MountVers, s.dispatchMount)
+}
+
+// dispatchMount handles the MOUNT program: MNT returns the root handle of
+// the peer's view. DisCFS semantics: the mount itself always succeeds —
+// access control happens per-operation once credentials arrive.
+func (s *Server) dispatchMount(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, res *xdr.Encoder) (sunrpc.AcceptStat, error) {
+	switch proc {
+	case MountProcNull:
+		return sunrpc.Success, nil
+	case MountProcMnt:
+		_ = args.String(MaxPath) // dirpath; a single export is served
+		if args.Err() != nil {
+			return sunrpc.GarbageArgs, nil
+		}
+		fs, err := s.exp.View(ctx.Peer)
+		if err != nil {
+			res.Uint32(uint32(ErrAcces))
+			return sunrpc.Success, nil
+		}
+		fh := EncodeFH(fs.Root())
+		res.Uint32(uint32(OK))
+		res.OpaqueFixed(fh[:])
+		return sunrpc.Success, nil
+	case MountProcUmnt:
+		_ = args.String(MaxPath)
+		return sunrpc.Success, nil
+	}
+	return sunrpc.ProcUnavail, nil
+}
+
+// dispatch handles the NFS program.
+func (s *Server) dispatch(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, res *xdr.Encoder) (sunrpc.AcceptStat, error) {
+	if proc == ProcNull {
+		return sunrpc.Success, nil
+	}
+	fs, err := s.exp.View(ctx.Peer)
+	if err != nil {
+		res.Uint32(uint32(ErrAcces))
+		return sunrpc.Success, nil
+	}
+	h := &procHandler{fs: fs, args: args, res: res}
+	var fn func()
+	switch proc {
+	case ProcGetattr:
+		fn = h.getattr
+	case ProcSetattr:
+		fn = h.setattr
+	case ProcLookup:
+		fn = h.lookup
+	case ProcReadlink:
+		fn = h.readlink
+	case ProcRead:
+		fn = h.read
+	case ProcWrite:
+		fn = h.write
+	case ProcCreate:
+		fn = h.create
+	case ProcRemove:
+		fn = h.remove
+	case ProcRename:
+		fn = h.rename
+	case ProcLink:
+		fn = h.link
+	case ProcSymlink:
+		fn = h.symlink
+	case ProcMkdir:
+		fn = h.mkdir
+	case ProcRmdir:
+		fn = h.rmdir
+	case ProcReaddir:
+		fn = h.readdir
+	case ProcStatfs:
+		fn = h.statfs
+	case ProcRoot, ProcWritecache:
+		return sunrpc.Success, nil // obsolete no-ops per RFC 1094
+	default:
+		return sunrpc.ProcUnavail, nil
+	}
+	fn()
+	if h.garbage || args.Err() != nil {
+		return sunrpc.GarbageArgs, nil
+	}
+	return sunrpc.Success, nil
+}
+
+// procHandler carries per-call state for the procedure bodies.
+type procHandler struct {
+	fs      vfs.FS
+	args    *xdr.Decoder
+	res     *xdr.Encoder
+	garbage bool
+}
+
+// fh decodes a file handle argument.
+func (h *procHandler) fh() (vfs.Handle, bool) {
+	raw := h.args.OpaqueFixed(FHSize)
+	if h.args.Err() != nil {
+		h.garbage = true
+		return vfs.Handle{}, false
+	}
+	vh, err := DecodeFH(raw)
+	if err != nil {
+		// A well-formed but foreign handle is a STALE error, not garbage.
+		h.res.Uint32(uint32(ErrStale))
+		return vfs.Handle{}, false
+	}
+	return vh, true
+}
+
+// name decodes a filename argument.
+func (h *procHandler) name() (string, bool) {
+	n := h.args.String(MaxName + 1)
+	if h.args.Err() != nil {
+		h.garbage = true
+		return "", false
+	}
+	return n, true
+}
+
+// blockSize fetches the backend block size for fattr, defaulting sanely.
+func (h *procHandler) blockSize() uint32 {
+	if st, err := h.fs.StatFS(); err == nil && st.BlockSize > 0 {
+		return st.BlockSize
+	}
+	return MaxData
+}
+
+// attrstat encodes the common (status, fattr) result.
+func (h *procHandler) attrstat(a vfs.Attr, err error) {
+	if err != nil {
+		h.res.Uint32(uint32(MapError(err)))
+		return
+	}
+	h.res.Uint32(uint32(OK))
+	fa := FAttrFromVFS(a, h.blockSize())
+	fa.Encode(h.res)
+}
+
+// diropres encodes the common (status, fhandle, fattr) result.
+func (h *procHandler) diropres(a vfs.Attr, err error) {
+	if err != nil {
+		h.res.Uint32(uint32(MapError(err)))
+		return
+	}
+	h.res.Uint32(uint32(OK))
+	fh := EncodeFH(a.Handle)
+	h.res.OpaqueFixed(fh[:])
+	fa := FAttrFromVFS(a, h.blockSize())
+	fa.Encode(h.res)
+}
+
+// status encodes a bare status result.
+func (h *procHandler) status(err error) {
+	h.res.Uint32(uint32(MapError(err)))
+}
+
+func (h *procHandler) getattr() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	h.attrstat(h.fs.GetAttr(vh))
+}
+
+func (h *procHandler) setattr() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	sa := DecodeSAttr(h.args)
+	if h.args.Err() != nil {
+		h.garbage = true
+		return
+	}
+	h.attrstat(h.fs.SetAttr(vh, sa.ToVFS()))
+}
+
+func (h *procHandler) lookup() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	name, ok := h.name()
+	if !ok {
+		return
+	}
+	h.diropres(h.fs.Lookup(vh, name))
+}
+
+func (h *procHandler) readlink() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	target, err := h.fs.Readlink(vh)
+	if err != nil {
+		h.res.Uint32(uint32(MapError(err)))
+		return
+	}
+	h.res.Uint32(uint32(OK))
+	h.res.String(target)
+}
+
+func (h *procHandler) read() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	offset := h.args.Uint32()
+	count := h.args.Uint32()
+	_ = h.args.Uint32() // totalcount, unused per RFC
+	if h.args.Err() != nil {
+		h.garbage = true
+		return
+	}
+	if count > MaxData {
+		count = MaxData
+	}
+	data, _, err := h.fs.Read(vh, uint64(offset), count)
+	if err != nil {
+		h.res.Uint32(uint32(MapError(err)))
+		return
+	}
+	attr, err := h.fs.GetAttr(vh)
+	if err != nil {
+		h.res.Uint32(uint32(MapError(err)))
+		return
+	}
+	h.res.Uint32(uint32(OK))
+	fa := FAttrFromVFS(attr, h.blockSize())
+	fa.Encode(h.res)
+	h.res.Opaque(data)
+}
+
+func (h *procHandler) write() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	_ = h.args.Uint32() // beginoffset, unused
+	offset := h.args.Uint32()
+	_ = h.args.Uint32() // totalcount, unused
+	data := h.args.Opaque(MaxData)
+	if h.args.Err() != nil {
+		h.garbage = true
+		return
+	}
+	h.attrstat(h.fs.Write(vh, uint64(offset), data))
+}
+
+func (h *procHandler) create() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	name, ok := h.name()
+	if !ok {
+		return
+	}
+	sa := DecodeSAttr(h.args)
+	if h.args.Err() != nil {
+		h.garbage = true
+		return
+	}
+	mode := sa.Mode
+	if mode == noVal {
+		mode = 0o644
+	}
+	attr, err := h.fs.Create(vh, name, mode&0o7777)
+	if err == nil && sa.Size != noVal {
+		sz := uint64(sa.Size)
+		attr, err = h.fs.SetAttr(attr.Handle, vfs.SetAttr{Size: &sz})
+	}
+	h.diropres(attr, err)
+}
+
+func (h *procHandler) remove() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	name, ok := h.name()
+	if !ok {
+		return
+	}
+	h.status(h.fs.Remove(vh, name))
+}
+
+func (h *procHandler) rename() {
+	fromH, ok := h.fh()
+	if !ok {
+		return
+	}
+	fromName, ok := h.name()
+	if !ok {
+		return
+	}
+	toH, ok := h.fh()
+	if !ok {
+		return
+	}
+	toName, ok := h.name()
+	if !ok {
+		return
+	}
+	h.status(h.fs.Rename(fromH, fromName, toH, toName))
+}
+
+func (h *procHandler) link() {
+	target, ok := h.fh()
+	if !ok {
+		return
+	}
+	dirH, ok := h.fh()
+	if !ok {
+		return
+	}
+	name, ok := h.name()
+	if !ok {
+		return
+	}
+	_, err := h.fs.Link(dirH, name, target)
+	h.status(err)
+}
+
+func (h *procHandler) symlink() {
+	dirH, ok := h.fh()
+	if !ok {
+		return
+	}
+	name, ok := h.name()
+	if !ok {
+		return
+	}
+	target := h.args.String(MaxPath)
+	sa := DecodeSAttr(h.args)
+	if h.args.Err() != nil {
+		h.garbage = true
+		return
+	}
+	mode := sa.Mode
+	if mode == noVal {
+		mode = 0o777
+	}
+	_, err := h.fs.Symlink(dirH, name, target, mode&0o7777)
+	h.status(err)
+}
+
+func (h *procHandler) mkdir() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	name, ok := h.name()
+	if !ok {
+		return
+	}
+	sa := DecodeSAttr(h.args)
+	if h.args.Err() != nil {
+		h.garbage = true
+		return
+	}
+	mode := sa.Mode
+	if mode == noVal {
+		mode = 0o755
+	}
+	h.diropres(h.fs.Mkdir(vh, name, mode&0o7777))
+}
+
+func (h *procHandler) rmdir() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	name, ok := h.name()
+	if !ok {
+		return
+	}
+	h.status(h.fs.Rmdir(vh, name))
+}
+
+func (h *procHandler) readdir() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	cookie := h.args.Uint32()
+	count := h.args.Uint32()
+	if h.args.Err() != nil {
+		h.garbage = true
+		return
+	}
+	ents, err := h.fs.ReadDir(vh)
+	if err != nil {
+		h.res.Uint32(uint32(MapError(err)))
+		return
+	}
+	h.res.Uint32(uint32(OK))
+	// The cookie is the index of the next entry; stable because the
+	// backend returns a deterministic ordering.
+	budget := int(count)
+	if budget > MaxData {
+		budget = MaxData
+	}
+	i := int(cookie)
+	for ; i < len(ents); i++ {
+		e := ents[i]
+		need := 4 + 4 + 4 + len(e.Name) + 8 // entry overhead estimate
+		if budget < need {
+			break
+		}
+		budget -= need
+		h.res.Bool(true) // another entry follows
+		h.res.Uint32(uint32(e.Handle.Ino))
+		h.res.String(e.Name)
+		h.res.Uint32(uint32(i + 1)) // cookie of the next entry
+	}
+	h.res.Bool(false)          // end of entry list
+	h.res.Bool(i >= len(ents)) // eof
+}
+
+func (h *procHandler) statfs() {
+	_, ok := h.fh()
+	if !ok {
+		return
+	}
+	st, err := h.fs.StatFS()
+	if err != nil {
+		h.res.Uint32(uint32(MapError(err)))
+		return
+	}
+	h.res.Uint32(uint32(OK))
+	h.res.Uint32(MaxData) // tsize: optimal transfer size
+	h.res.Uint32(st.BlockSize)
+	h.res.Uint32(uint32(st.TotalBlocks))
+	h.res.Uint32(uint32(st.FreeBlocks))
+	h.res.Uint32(uint32(st.AvailBlocks))
+}

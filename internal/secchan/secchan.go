@@ -1,0 +1,622 @@
+// Package secchan provides the authenticated, encrypted transport that
+// stands in for the paper's IPsec/IKE layer.
+//
+// DisCFS relies on IPsec for exactly two properties (paper §4.3, §5):
+//
+//  1. During connection setup (IKE), the server learns the client's
+//     public key and can associate it with the connection.
+//  2. Subsequent NFS requests on that connection are integrity- and
+//     confidentiality-protected, so they can be attributed to that key.
+//
+// secchan provides both with modern stdlib cryptography: a SIGMA-style
+// authenticated key exchange (X25519 ephemeral ECDH, Ed25519 identity
+// signatures, HKDF-SHA256 key derivation) followed by an AES-256-GCM
+// record layer with strictly sequenced nonces (replay of a record fails
+// authentication). The server's Conn exposes PeerID — the client's
+// canonical KeyNote principal — which the RPC layer passes to the DisCFS
+// policy engine, exactly the role IKE plays in the prototype.
+package secchan
+
+import (
+	"bufio"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"discfs/internal/keynote"
+)
+
+// protocol constants.
+const (
+	protoVersion = 1
+	nonceLen     = 32
+	// maxRecord bounds one encrypted record's plaintext.
+	maxRecord = 1 << 16
+	// maxHandshakeMsg bounds handshake messages.
+	maxHandshakeMsg = 4096
+)
+
+// Handshake message types.
+const (
+	msgClientHello = 1
+	msgServerHello = 2
+	msgClientAuth  = 3
+)
+
+// Errors.
+var (
+	// ErrHandshake indicates a failed key exchange or peer authentication.
+	ErrHandshake = errors.New("secchan: handshake failed")
+	// ErrRecord indicates record-layer corruption, tampering or replay.
+	ErrRecord = errors.New("secchan: record authentication failed")
+	// ErrRejected indicates the server's Authorize callback refused the peer.
+	ErrRejected = errors.New("secchan: peer rejected")
+)
+
+// Config holds the local identity and policy hooks.
+type Config struct {
+	// Identity is the local key pair (the same Ed25519 identity used to
+	// sign KeyNote credentials).
+	Identity *keynote.KeyPair
+	// Authorize, if set, decides whether to accept an authenticated
+	// peer. The DisCFS server rejects revoked keys here.
+	Authorize func(peer keynote.Principal) error
+	// HandshakeTimeout bounds the key exchange (default 10s).
+	HandshakeTimeout time.Duration
+	// RekeyRecords is the security-association lifetime in records per
+	// direction: after this many records the traffic key is ratcheted
+	// forward (HKDF of the old key), as IPsec re-keys SAs. Both ends of
+	// a connection must use the same value. 0 means DefaultRekeyRecords.
+	RekeyRecords uint64
+}
+
+// DefaultRekeyRecords is the default SA lifetime in records.
+const DefaultRekeyRecords = 1 << 20
+
+func (c *Config) rekeyRecords() uint64 {
+	if c.RekeyRecords > 0 {
+		return c.RekeyRecords
+	}
+	return DefaultRekeyRecords
+}
+
+func (c *Config) timeout() time.Duration {
+	if c.HandshakeTimeout > 0 {
+		return c.HandshakeTimeout
+	}
+	return 10 * time.Second
+}
+
+// Conn is an established secure channel. It implements net.Conn and
+// sunrpc.PeerIdentifier.
+type Conn struct {
+	raw  net.Conn
+	br   *bufio.Reader // buffered raw reads: one syscall per record
+	peer keynote.Principal
+
+	rekeyEvery uint64
+
+	wmu   sync.Mutex
+	wseq  uint64
+	waead cipher.AEAD
+	wkey  []byte // current write traffic key (ratcheted)
+	wbuf  []byte // reusable record assembly buffer
+
+	rmu     sync.Mutex
+	rseq    uint64
+	raead   cipher.AEAD
+	rkey    []byte // current read traffic key (ratcheted)
+	rbuf    []byte // decrypted bytes not yet delivered
+	readErr error
+}
+
+// ratchet derives the next traffic key from the current one, giving the
+// channel forward secrecy across SA lifetimes: compromise of a current
+// key does not reveal records sealed under earlier keys.
+func ratchet(key []byte) []byte {
+	return hkdf(key, []byte("discfs-secchan"), "rekey", 32)
+}
+
+// maybeRekeyWrite ratchets the write key at SA-lifetime boundaries.
+// Caller holds wmu.
+func (c *Conn) maybeRekeyWrite(seq uint64) error {
+	if seq == 0 || c.rekeyEvery == 0 || seq%c.rekeyEvery != 0 {
+		return nil
+	}
+	c.wkey = ratchet(c.wkey)
+	aead, err := newAEAD(c.wkey)
+	if err != nil {
+		return err
+	}
+	c.waead = aead
+	return nil
+}
+
+// maybeRekeyRead mirrors maybeRekeyWrite for the receive direction.
+func (c *Conn) maybeRekeyRead(seq uint64) error {
+	if seq == 0 || c.rekeyEvery == 0 || seq%c.rekeyEvery != 0 {
+		return nil
+	}
+	c.rkey = ratchet(c.rkey)
+	aead, err := newAEAD(c.rkey)
+	if err != nil {
+		return err
+	}
+	c.raead = aead
+	return nil
+}
+
+// PeerID returns the authenticated peer principal (canonical form).
+func (c *Conn) PeerID() string { return string(c.peer) }
+
+// Peer returns the authenticated peer principal.
+func (c *Conn) Peer() keynote.Principal { return c.peer }
+
+// ---- handshake wire helpers ----
+
+func writeMsg(w io.Writer, msgType byte, fields ...[]byte) error {
+	var body []byte
+	body = append(body, msgType)
+	for _, f := range fields {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(f)))
+		body = append(body, l[:]...)
+		body = append(body, f...)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readMsg(r io.Reader, wantType byte, nFields int) ([][]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxHandshakeMsg {
+		return nil, fmt.Errorf("%w: message size %d", ErrHandshake, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if body[0] != wantType {
+		return nil, fmt.Errorf("%w: message type %d, want %d", ErrHandshake, body[0], wantType)
+	}
+	fields := make([][]byte, 0, nFields)
+	rest := body[1:]
+	for i := 0; i < nFields; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: truncated message", ErrHandshake)
+		}
+		l := binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint32(len(rest)) < l {
+			return nil, fmt.Errorf("%w: truncated field", ErrHandshake)
+		}
+		fields = append(fields, rest[:l])
+		rest = rest[l:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrHandshake)
+	}
+	return fields, nil
+}
+
+// hkdf implements HKDF-SHA256 (RFC 5869) extract-and-expand.
+func hkdf(secret, salt []byte, info string, n int) []byte {
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(secret)
+	prk := ext.Sum(nil)
+	var out []byte
+	var prev []byte
+	for counter := byte(1); len(out) < n; counter++ {
+		h := hmac.New(sha256.New, prk)
+		h.Write(prev)
+		h.Write([]byte(info))
+		h.Write([]byte{counter})
+		prev = h.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:n]
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	blk, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(blk)
+}
+
+// identityFromWire validates an Ed25519 public key from the handshake and
+// returns its canonical principal.
+func identityFromWire(pub []byte) (keynote.Principal, ed25519.PublicKey, error) {
+	if len(pub) != ed25519.PublicKeySize {
+		return "", nil, fmt.Errorf("%w: identity key is %d bytes", ErrHandshake, len(pub))
+	}
+	p := keynote.Principal("ed25519-hex:" + fmt.Sprintf("%x", pub))
+	return p, ed25519.PublicKey(pub), nil
+}
+
+// transcript binds the signatures to every public handshake value.
+func transcript(role string, fields ...[]byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("discfs-secchan-v1:" + role))
+	for _, f := range fields {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(f)))
+		h.Write(l[:])
+		h.Write(f)
+	}
+	return h.Sum(nil)
+}
+
+// edSigner extracts the ed25519 private key from a keynote KeyPair.
+func edSigner(id *keynote.KeyPair) (ed25519.PrivateKey, ed25519.PublicKey, error) {
+	priv, ok := id.Signer().(ed25519.PrivateKey)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: identity must be an Ed25519 key", ErrHandshake)
+	}
+	return priv, priv.Public().(ed25519.PublicKey), nil
+}
+
+// Client performs the initiator handshake over raw.
+func Client(raw net.Conn, cfg Config) (*Conn, error) {
+	if cfg.Identity == nil {
+		return nil, fmt.Errorf("%w: no identity", ErrHandshake)
+	}
+	priv, pub, err := edSigner(cfg.Identity)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(cfg.timeout())
+	_ = raw.SetDeadline(deadline)
+	defer raw.SetDeadline(time.Time{})
+	br := bufio.NewReaderSize(raw, 64<<10)
+
+	curve := ecdh.X25519()
+	eph, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	nonceC := make([]byte, nonceLen)
+	if _, err := rand.Read(nonceC); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+
+	// -> ClientHello{version, ephC, nonceC}
+	if err := writeMsg(raw, msgClientHello, []byte{protoVersion}, eph.PublicKey().Bytes(), nonceC); err != nil {
+		return nil, err
+	}
+
+	// <- ServerHello{ephS, nonceS, identityS, sigS}
+	fields, err := readMsg(br, msgServerHello, 4)
+	if err != nil {
+		return nil, err
+	}
+	ephSBytes, nonceS, idS, sigS := fields[0], fields[1], fields[2], fields[3]
+	peer, peerPub, err := identityFromWire(idS)
+	if err != nil {
+		return nil, err
+	}
+	serverTranscript := transcript("server", eph.PublicKey().Bytes(), nonceC, ephSBytes, nonceS, idS)
+	if !ed25519.Verify(peerPub, serverTranscript, sigS) {
+		return nil, fmt.Errorf("%w: server signature invalid", ErrHandshake)
+	}
+	ephS, err := curve.NewPublicKey(ephSBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad server ephemeral: %v", ErrHandshake, err)
+	}
+	shared, err := eph.ECDH(ephS)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	salt := transcript("keys", eph.PublicKey().Bytes(), nonceC, ephSBytes, nonceS)
+	keys := hkdf(shared, salt, "discfs-secchan keys", 64)
+	c2s, err := newAEAD(keys[:32])
+	if err != nil {
+		return nil, err
+	}
+	s2c, err := newAEAD(keys[32:])
+	if err != nil {
+		return nil, err
+	}
+	conn := &Conn{
+		raw: raw, br: br, waead: c2s, raead: s2c,
+		wkey: keys[:32], rkey: keys[32:],
+		rekeyEvery: cfg.rekeyRecords(),
+	}
+
+	// -> ClientAuth{identityC, sigC}, sent through the record layer so
+	// the client identity is not visible on the wire (SIGMA-I).
+	clientTranscript := transcript("client", eph.PublicKey().Bytes(), nonceC, ephSBytes, nonceS, pub)
+	sigC := ed25519.Sign(priv, clientTranscript)
+	var authMsg []byte
+	authMsg = append(authMsg, byte(len(pub)))
+	authMsg = append(authMsg, pub...)
+	authMsg = append(authMsg, sigC...)
+	if err := conn.writeRecord(authMsg); err != nil {
+		return nil, err
+	}
+	conn.peer = peer
+	return conn, nil
+}
+
+// Server performs the responder handshake over raw.
+func Server(raw net.Conn, cfg Config) (*Conn, error) {
+	if cfg.Identity == nil {
+		return nil, fmt.Errorf("%w: no identity", ErrHandshake)
+	}
+	priv, pub, err := edSigner(cfg.Identity)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(cfg.timeout())
+	_ = raw.SetDeadline(deadline)
+	defer raw.SetDeadline(time.Time{})
+	br := bufio.NewReaderSize(raw, 64<<10)
+
+	// <- ClientHello
+	fields, err := readMsg(br, msgClientHello, 3)
+	if err != nil {
+		return nil, err
+	}
+	ver, ephCBytes, nonceC := fields[0], fields[1], fields[2]
+	if len(ver) != 1 || ver[0] != protoVersion {
+		return nil, fmt.Errorf("%w: protocol version %v", ErrHandshake, ver)
+	}
+	curve := ecdh.X25519()
+	ephC, err := curve.NewPublicKey(ephCBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad client ephemeral: %v", ErrHandshake, err)
+	}
+	eph, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	nonceS := make([]byte, nonceLen)
+	if _, err := rand.Read(nonceS); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+
+	// -> ServerHello{ephS, nonceS, identityS, sigS}
+	serverTranscript := transcript("server", ephCBytes, nonceC, eph.PublicKey().Bytes(), nonceS, pub)
+	sigS := ed25519.Sign(priv, serverTranscript)
+	if err := writeMsg(raw, msgServerHello, eph.PublicKey().Bytes(), nonceS, pub, sigS); err != nil {
+		return nil, err
+	}
+
+	shared, err := eph.ECDH(ephC)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	salt := transcript("keys", ephCBytes, nonceC, eph.PublicKey().Bytes(), nonceS)
+	keys := hkdf(shared, salt, "discfs-secchan keys", 64)
+	c2s, err := newAEAD(keys[:32])
+	if err != nil {
+		return nil, err
+	}
+	s2c, err := newAEAD(keys[32:])
+	if err != nil {
+		return nil, err
+	}
+	conn := &Conn{
+		raw: raw, br: br, waead: s2c, raead: c2s,
+		wkey: keys[32:], rkey: keys[:32],
+		rekeyEvery: cfg.rekeyRecords(),
+	}
+
+	// <- ClientAuth (first record on the channel).
+	authMsg, err := conn.readRecord()
+	if err != nil {
+		return nil, fmt.Errorf("%w: client auth: %v", ErrHandshake, err)
+	}
+	if len(authMsg) < 1 {
+		return nil, fmt.Errorf("%w: empty client auth", ErrHandshake)
+	}
+	idLen := int(authMsg[0])
+	if len(authMsg) < 1+idLen+ed25519.SignatureSize {
+		return nil, fmt.Errorf("%w: short client auth", ErrHandshake)
+	}
+	idC := authMsg[1 : 1+idLen]
+	sigC := authMsg[1+idLen : 1+idLen+ed25519.SignatureSize]
+	peer, peerPub, err := identityFromWire(idC)
+	if err != nil {
+		return nil, err
+	}
+	clientTranscript := transcript("client", ephCBytes, nonceC, eph.PublicKey().Bytes(), nonceS, idC)
+	if !ed25519.Verify(peerPub, clientTranscript, sigC) {
+		return nil, fmt.Errorf("%w: client signature invalid", ErrHandshake)
+	}
+	if cfg.Authorize != nil {
+		if err := cfg.Authorize(peer); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+	}
+	conn.peer = peer
+	return conn, nil
+}
+
+// ---- record layer ----
+
+// sealNonce builds the 12-byte GCM nonce from a sequence number.
+func sealNonce(seq uint64) []byte {
+	var n [12]byte
+	binary.BigEndian.PutUint64(n[4:], seq)
+	return n[:]
+}
+
+// writeRecord encrypts and sends one record: the 4-byte length header
+// and the ciphertext leave in a single Write (one segment on the wire).
+func (c *Conn) writeRecord(plaintext []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	seq := c.wseq
+	c.wseq++
+	if err := c.maybeRekeyWrite(seq); err != nil {
+		return err
+	}
+	var aad [8]byte
+	binary.BigEndian.PutUint64(aad[:], seq)
+	need := 4 + len(plaintext) + c.waead.Overhead()
+	if cap(c.wbuf) < need {
+		c.wbuf = make([]byte, 0, need)
+	}
+	msg := c.waead.Seal(c.wbuf[:4], sealNonce(seq), plaintext, aad[:])
+	binary.BigEndian.PutUint32(msg[:4], uint32(len(msg)-4))
+	_, err := c.raw.Write(msg)
+	return err
+}
+
+// readRecord receives and decrypts one record. Caller holds c.rmu or is
+// single-threaded (handshake).
+func (c *Conn) readRecord() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxRecord+uint32(c.raead.Overhead()) {
+		return nil, fmt.Errorf("%w: record of %d bytes", ErrRecord, n)
+	}
+	ct := make([]byte, n)
+	if _, err := io.ReadFull(c.br, ct); err != nil {
+		return nil, err
+	}
+	seq := c.rseq
+	c.rseq++
+	if err := c.maybeRekeyRead(seq); err != nil {
+		return nil, err
+	}
+	var aad [8]byte
+	binary.BigEndian.PutUint64(aad[:], seq)
+	pt, err := c.raead.Open(nil, sealNonce(seq), ct, aad[:])
+	if err != nil {
+		// Tampering or replay: a replayed record carries a stale
+		// sequence number and fails authentication here.
+		return nil, ErrRecord
+	}
+	return pt, nil
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for len(c.rbuf) == 0 {
+		if c.readErr != nil {
+			return 0, c.readErr
+		}
+		pt, err := c.readRecord()
+		if err != nil {
+			c.readErr = err
+			return 0, err
+		}
+		c.rbuf = pt
+	}
+	n := copy(p, c.rbuf)
+	c.rbuf = c.rbuf[n:]
+	return n, nil
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxRecord {
+			n = maxRecord
+		}
+		if err := c.writeRecord(p[:n]); err != nil {
+			return total, err
+		}
+		total += n
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.raw.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
+// Listener wraps a net.Listener, performing the server handshake on each
+// accepted connection.
+type Listener struct {
+	ln  net.Listener
+	cfg Config
+}
+
+// NewListener wraps ln.
+func NewListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{ln: ln, cfg: cfg}
+}
+
+// Accept waits for a connection and completes the handshake. Handshake
+// failures are reported per-connection; Accept retries on the next
+// connection rather than tearing down the listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		raw, err := l.ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		conn, err := Server(raw, l.cfg)
+		if err != nil {
+			raw.Close()
+			continue // a hostile peer must not kill the listener
+		}
+		return conn, nil
+	}
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Dial connects to addr over TCP and performs the client handshake.
+func Dial(addr string, cfg Config) (*Conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := Client(raw, cfg)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return conn, nil
+}

@@ -1,0 +1,156 @@
+package sunrpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"discfs/internal/xdr"
+)
+
+// Client is a concurrent ONC RPC client over a single connection.
+// Multiple goroutines may issue calls; replies are matched by xid.
+type Client struct {
+	conn io.ReadWriteCloser
+
+	wmu  sync.Mutex // serializes record writes
+	mu   sync.Mutex // guards xid, pending, err
+	xid  uint32
+	pend map[uint32]chan clientReply
+	err  error // sticky connection failure
+}
+
+type clientReply struct {
+	data []byte
+	err  error
+}
+
+// NewClient wraps an established connection (plain TCP or a secure
+// channel) and starts the reply reader.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	c := &Client{
+		conn: conn,
+		xid:  1,
+		pend: make(map[uint32]chan clientReply),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		rec, err := readRecord(br)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		d := xdr.NewDecoder(rec)
+		xid := d.Uint32()
+		c.mu.Lock()
+		ch, ok := c.pend[xid]
+		if ok {
+			delete(c.pend, xid)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- clientReply{data: rec}
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.err = err
+	for xid, ch := range c.pend {
+		delete(c.pend, xid)
+		ch <- clientReply{err: err}
+	}
+}
+
+// Call invokes (prog, vers, proc) with pre-encoded args and returns a
+// decoder positioned at the start of the results.
+func (c *Client) Call(prog, vers, proc uint32, args []byte) (*xdr.Decoder, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	xid := c.xid
+	c.xid++
+	ch := make(chan clientReply, 1)
+	c.pend[xid] = ch
+	c.mu.Unlock()
+
+	e := xdr.NewEncoder()
+	encodeCall(e, callHeader{
+		Xid:  xid,
+		Prog: prog,
+		Vers: vers,
+		Proc: proc,
+		Cred: OpaqueAuth{Flavor: AuthNone},
+		Verf: OpaqueAuth{Flavor: AuthNone},
+	}, args)
+
+	c.wmu.Lock()
+	err := writeRecord(c.conn, e.Bytes())
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pend, xid)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	rep := <-ch
+	if rep.err != nil {
+		return nil, rep.err
+	}
+	return decodeReply(rep.data)
+}
+
+// decodeReply validates the RPC reply envelope and returns a decoder over
+// the procedure results.
+func decodeReply(rec []byte) (*xdr.Decoder, error) {
+	d := xdr.NewDecoder(rec)
+	_ = d.Uint32() // xid, already matched
+	if mt := d.Uint32(); mt != msgTypeReply {
+		return nil, fmt.Errorf("sunrpc: message type %d is not a reply", mt)
+	}
+	switch stat := d.Uint32(); stat {
+	case replyStatAccepted:
+		_ = decodeAuth(d) // verf
+		astat := AcceptStat(d.Uint32())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if astat != Success {
+			return nil, &RPCError{Stat: astat}
+		}
+		return d, nil
+	case replyStatDenied:
+		reason := d.Uint32()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		switch reason {
+		case rejectRPCMismatch:
+			return nil, fmt.Errorf("%w: rpc version mismatch", ErrDenied)
+		case rejectAuthError:
+			return nil, fmt.Errorf("%w: authentication error", ErrDenied)
+		}
+		return nil, fmt.Errorf("%w: reason %d", ErrDenied, reason)
+	default:
+		return nil, errors.New("sunrpc: bad reply status")
+	}
+}

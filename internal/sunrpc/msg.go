@@ -1,0 +1,129 @@
+// Package sunrpc implements ONC RPC version 2 (RFC 5531) over TCP with
+// record marking, the remote procedure call layer NFS is defined on.
+//
+// The package provides a concurrent Client with xid matching and a
+// Server that dispatches by (program, version, procedure) and exposes
+// the transport's authenticated peer identity to handlers — the hook the
+// DisCFS server uses to bind NFS requests to the client's public key.
+package sunrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"discfs/internal/xdr"
+)
+
+// RPC protocol constants (RFC 5531).
+const (
+	rpcVersion = 2
+
+	msgTypeCall  = 0
+	msgTypeReply = 1
+
+	replyStatAccepted = 0
+	replyStatDenied   = 1
+)
+
+// AcceptStat is the status of an accepted RPC reply.
+type AcceptStat uint32
+
+// Accepted-reply status codes.
+const (
+	Success      AcceptStat = 0 // call executed
+	ProgUnavail  AcceptStat = 1 // program not exported here
+	ProgMismatch AcceptStat = 2 // version not supported
+	ProcUnavail  AcceptStat = 3 // procedure not defined
+	GarbageArgs  AcceptStat = 4 // arguments failed to decode
+	SystemErr    AcceptStat = 5 // internal error
+)
+
+func (s AcceptStat) String() string {
+	switch s {
+	case Success:
+		return "success"
+	case ProgUnavail:
+		return "program unavailable"
+	case ProgMismatch:
+		return "program version mismatch"
+	case ProcUnavail:
+		return "procedure unavailable"
+	case GarbageArgs:
+		return "garbage arguments"
+	case SystemErr:
+		return "system error"
+	}
+	return fmt.Sprintf("accept status %d", uint32(s))
+}
+
+// Reject status codes for denied replies.
+const (
+	rejectRPCMismatch = 0
+	rejectAuthError   = 1
+)
+
+// Auth flavors.
+const (
+	AuthNone = 0
+	AuthSys  = 1
+)
+
+// maxAuthBody is the RFC limit on opaque_auth body length.
+const maxAuthBody = 400
+
+// OpaqueAuth is an RPC authenticator.
+type OpaqueAuth struct {
+	Flavor uint32
+	Body   []byte
+}
+
+func (a OpaqueAuth) encode(e *xdr.Encoder) {
+	e.Uint32(a.Flavor)
+	e.Opaque(a.Body)
+}
+
+func decodeAuth(d *xdr.Decoder) OpaqueAuth {
+	return OpaqueAuth{Flavor: d.Uint32(), Body: d.Opaque(maxAuthBody)}
+}
+
+// callHeader is the decoded body of an RPC CALL message.
+type callHeader struct {
+	Xid  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred OpaqueAuth
+	Verf OpaqueAuth
+}
+
+// encodeCall serializes a call message; args are the pre-encoded
+// procedure arguments.
+func encodeCall(e *xdr.Encoder, h callHeader, args []byte) {
+	e.Uint32(h.Xid)
+	e.Uint32(msgTypeCall)
+	e.Uint32(rpcVersion)
+	e.Uint32(h.Prog)
+	e.Uint32(h.Vers)
+	e.Uint32(h.Proc)
+	h.Cred.encode(e)
+	h.Verf.encode(e)
+	e.OpaqueFixed(args)
+}
+
+// RPCError is a non-success RPC-level outcome (the call never reached, or
+// was rejected by, the remote procedure).
+type RPCError struct {
+	Stat AcceptStat // for accepted-but-failed replies
+	Msg  string
+}
+
+func (e *RPCError) Error() string {
+	if e.Msg != "" {
+		return "sunrpc: " + e.Msg
+	}
+	return "sunrpc: " + e.Stat.String()
+}
+
+// ErrDenied indicates the server denied the call (auth error or RPC
+// version mismatch).
+var ErrDenied = errors.New("sunrpc: call denied")

@@ -1,0 +1,241 @@
+package sunrpc
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"discfs/internal/xdr"
+)
+
+// PeerIdentifier is implemented by transports that authenticate the
+// remote end (the secure channel). When a server connection implements
+// it, handlers receive the peer identity in the call Context.
+type PeerIdentifier interface {
+	PeerID() string
+}
+
+// Context carries per-call transport information to procedure handlers.
+type Context struct {
+	// Peer is the authenticated identity of the caller ("" over plain
+	// TCP). For DisCFS this is the client's canonical principal.
+	Peer string
+	// RemoteAddr is the transport address of the caller.
+	RemoteAddr net.Addr
+}
+
+// Handler executes one procedure. It decodes arguments from args and
+// encodes results into res. Returning a non-Success status discards res
+// and reports the status to the caller; returning an error produces
+// SystemErr.
+type Handler func(ctx *Context, proc uint32, args *xdr.Decoder, res *xdr.Encoder) (AcceptStat, error)
+
+// progVers keys the dispatch table.
+type progVers struct {
+	prog, vers uint32
+}
+
+// Server is an ONC RPC server multiplexing any number of programs over
+// one listener.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[progVers]Handler
+	versions map[uint32][2]uint32 // prog -> [low, high] for ProgMismatch replies
+	// Logf, if set, receives per-connection error diagnostics.
+	Logf func(format string, args ...any)
+
+	wg        sync.WaitGroup
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	closed    bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[progVers]Handler),
+		versions: make(map[uint32][2]uint32),
+	}
+}
+
+// Register installs a handler for (prog, vers).
+func (s *Server) Register(prog, vers uint32, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[progVers{prog, vers}] = h
+	lo, hi := vers, vers
+	if v, ok := s.versions[prog]; ok {
+		lo, hi = v[0], v[1]
+		if vers < lo {
+			lo = vers
+		}
+		if vers > hi {
+			hi = vers
+		}
+	}
+	s.versions[prog] = [2]uint32{lo, hi}
+}
+
+// Serve accepts connections from ln until Close. It blocks. A server
+// may serve several listeners concurrently (e.g. a secure channel and a
+// plain TCP endpoint).
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return errors.New("sunrpc: server closed")
+	}
+	s.listeners = append(s.listeners, ln)
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.lnMu.Lock()
+			closed := s.closed
+			s.lnMu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops every listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	s.closed = true
+	lns := s.listeners
+	s.listeners = nil
+	s.lnMu.Unlock()
+	var err error
+	for _, ln := range lns {
+		if e := ln.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// ServeConn processes RPC calls from a single connection until EOF.
+// Exported so transports that perform their own accept loop (the secure
+// channel listener) can hand connections to the RPC layer.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	ctx := &Context{RemoteAddr: conn.RemoteAddr()}
+	if pi, ok := conn.(PeerIdentifier); ok {
+		ctx.Peer = pi.PeerID()
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var wmu sync.Mutex // replies may be written from concurrent handlers
+	for {
+		rec, err := readRecord(br)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("sunrpc: read: %v", err)
+			}
+			return
+		}
+		// NFS clients pipeline requests; serve each call in its own
+		// goroutine so a slow operation does not stall the connection.
+		s.wg.Add(1)
+		go func(rec []byte) {
+			defer s.wg.Done()
+			reply, err := s.dispatch(ctx, rec)
+			if err != nil {
+				s.logf("sunrpc: dispatch: %v", err)
+				return // undecodable call: drop it
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := writeRecord(conn, reply); err != nil {
+				s.logf("sunrpc: write: %v", err)
+			}
+		}(rec)
+	}
+}
+
+// dispatch decodes one call record and produces the encoded reply record.
+func (s *Server) dispatch(ctx *Context, rec []byte) ([]byte, error) {
+	d := xdr.NewDecoder(rec)
+	xid := d.Uint32()
+	mtype := d.Uint32()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if mtype != msgTypeCall {
+		return nil, errors.New("not a call message")
+	}
+	rpcvers := d.Uint32()
+	prog := d.Uint32()
+	vers := d.Uint32()
+	proc := d.Uint32()
+	_ = decodeAuth(d) // cred: transport handles authentication
+	_ = decodeAuth(d) // verf
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+
+	e := xdr.NewEncoder()
+	e.Uint32(xid)
+	e.Uint32(msgTypeReply)
+	if rpcvers != rpcVersion {
+		e.Uint32(replyStatDenied)
+		e.Uint32(rejectRPCMismatch)
+		e.Uint32(rpcVersion) // low
+		e.Uint32(rpcVersion) // high
+		return e.Bytes(), nil
+	}
+	e.Uint32(replyStatAccepted)
+	OpaqueAuth{Flavor: AuthNone}.encode(e)
+
+	s.mu.RLock()
+	h, ok := s.handlers[progVers{prog, vers}]
+	verRange, progKnown := s.versions[prog]
+	s.mu.RUnlock()
+
+	switch {
+	case !progKnown:
+		e.Uint32(uint32(ProgUnavail))
+	case !ok:
+		e.Uint32(uint32(ProgMismatch))
+		e.Uint32(verRange[0])
+		e.Uint32(verRange[1])
+	default:
+		res := xdr.NewEncoder()
+		stat, err := func() (stat AcceptStat, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					log.Printf("sunrpc: handler panic: prog=%d proc=%d: %v", prog, proc, r)
+					stat, err = SystemErr, nil
+				}
+			}()
+			return h(ctx, proc, d, res)
+		}()
+		if err != nil {
+			s.logf("sunrpc: handler error: prog=%d proc=%d: %v", prog, proc, err)
+			stat = SystemErr
+		}
+		e.Uint32(uint32(stat))
+		if stat == Success {
+			e.OpaqueFixed(res.Bytes())
+		}
+	}
+	return e.Bytes(), nil
+}

@@ -1,0 +1,55 @@
+package vfs
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidName(t *testing.T) {
+	valid := []string{"a", "file.txt", "with space", "UPPER", "x.y.z", "-dash", "名前"}
+	for _, n := range valid {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	invalid := []string{"", ".", "..", "a/b", "/", "nul\x00", strings.Repeat("x", MaxNameLen+1)}
+	for _, n := range invalid {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+	// Exactly MaxNameLen is allowed.
+	if !ValidName(strings.Repeat("x", MaxNameLen)) {
+		t.Error("name of exactly MaxNameLen rejected")
+	}
+}
+
+func TestQuickValidNameNeverAcceptsSeparators(t *testing.T) {
+	f := func(s string) bool {
+		if ValidName(s) {
+			return !strings.ContainsAny(s, "/\x00") && s != "" && s != "." && s != ".."
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHandleZero(t *testing.T) {
+	if !(Handle{}).IsZero() {
+		t.Error("zero handle not IsZero")
+	}
+	if (Handle{Ino: 1}).IsZero() || (Handle{Gen: 1}).IsZero() {
+		t.Error("non-zero handle reported IsZero")
+	}
+}
+
+func TestFileTypeValues(t *testing.T) {
+	// NFSv2 ftype codes must match; the wire protocol depends on these.
+	if TypeRegular != 1 || TypeDir != 2 || TypeSymlink != 5 {
+		t.Errorf("file type codes drifted: reg=%d dir=%d link=%d",
+			TypeRegular, TypeDir, TypeSymlink)
+	}
+}

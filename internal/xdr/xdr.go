@@ -1,0 +1,220 @@
+// Package xdr implements the External Data Representation standard
+// (RFC 4506), the wire encoding underneath ONC RPC and NFS.
+//
+// The Encoder is infallible (it writes to memory); the Decoder uses a
+// sticky error so protocol code can decode a whole structure and check
+// the error once at the end.
+package xdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShort indicates a decode past the end of the buffer.
+var ErrShort = errors.New("xdr: short buffer")
+
+// ErrTooLong indicates a variable-length item exceeding its declared
+// maximum.
+var ErrTooLong = errors.New("xdr: item exceeds maximum length")
+
+// pad returns the number of zero bytes that pad n to a 4-byte boundary.
+func pad(n int) int { return (4 - n%4) % 4 }
+
+// Encoder serializes values into an in-memory XDR stream.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded stream. The slice aliases the encoder's
+// buffer; it is valid until the next method call.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the encoder's contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned integer (XDR unsigned hyper).
+func (e *Encoder) Uint64(v uint64) {
+	e.Uint32(uint32(v >> 32))
+	e.Uint32(uint32(v))
+}
+
+// Int64 encodes a 64-bit signed integer (XDR hyper).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool encodes an XDR boolean (a 32-bit 0 or 1).
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// Opaque encodes variable-length opaque data with its length prefix.
+func (e *Encoder) Opaque(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	for i := 0; i < pad(len(b)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// OpaqueFixed encodes fixed-length opaque data (no length prefix).
+func (e *Encoder) OpaqueFixed(b []byte) {
+	e.buf = append(e.buf, b...)
+	for i := 0; i < pad(len(b)); i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// String encodes an XDR string.
+func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// OptionalFlag encodes the boolean discriminant of an XDR optional; the
+// caller encodes the body if present is true.
+func (e *Encoder) OptionalFlag(present bool) { e.Bool(present) }
+
+// Decoder deserializes values from an XDR stream. The first failure
+// sticks: subsequent calls return zero values and Err reports the error.
+type Decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewDecoder returns a decoder over data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// Err returns the sticky decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of undecoded bytes.
+func (d *Decoder) Remaining() int { return len(d.data) - d.off }
+
+// fail records the first error.
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.data) {
+		d.fail(ErrShort)
+		return 0
+	}
+	b := d.data[d.off:]
+	d.off += 4
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Uint64 decodes an unsigned hyper.
+func (d *Decoder) Uint64() uint64 {
+	hi := d.Uint32()
+	lo := d.Uint32()
+	return uint64(hi)<<32 | uint64(lo)
+}
+
+// Int64 decodes a hyper.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Bool decodes an XDR boolean, failing on values other than 0 and 1.
+func (d *Decoder) Bool() bool {
+	v := d.Uint32()
+	if d.err != nil {
+		return false
+	}
+	switch v {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	d.fail(fmt.Errorf("xdr: bad bool value %d", v))
+	return false
+}
+
+// Opaque decodes variable-length opaque data, enforcing maxLen (use a
+// negative maxLen for "no limit"). The returned slice aliases the input.
+func (d *Decoder) Opaque(maxLen int) []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if maxLen >= 0 && n > uint32(maxLen) {
+		d.fail(fmt.Errorf("%w: %d > %d", ErrTooLong, n, maxLen))
+		return nil
+	}
+	if uint32(d.Remaining()) < n {
+		d.fail(ErrShort)
+		return nil
+	}
+	b := d.data[d.off : d.off+int(n)]
+	d.off += int(n)
+	p := pad(int(n))
+	if d.Remaining() < p {
+		d.fail(ErrShort)
+		return nil
+	}
+	d.off += p
+	return b
+}
+
+// OpaqueFixed decodes n bytes of fixed-length opaque data.
+func (d *Decoder) OpaqueFixed(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n+pad(n) {
+		d.fail(ErrShort)
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n + pad(n)
+	return b
+}
+
+// String decodes an XDR string with the given maximum length.
+func (d *Decoder) String(maxLen int) string {
+	return string(d.Opaque(maxLen))
+}
+
+// OptionalFlag decodes the discriminant of an XDR optional.
+func (d *Decoder) OptionalFlag() bool { return d.Bool() }
+
+// Count decodes an array length, bounding it to max to prevent
+// attacker-controlled allocations.
+func (d *Decoder) Count(max int) int {
+	n := d.Uint32()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint32(max) || n > math.MaxInt32 {
+		d.fail(fmt.Errorf("%w: array of %d (max %d)", ErrTooLong, n, max))
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,223 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenVectors(t *testing.T) {
+	// Hand-checked encodings per RFC 4506.
+	e := NewEncoder()
+	e.Uint32(0x01020304)
+	want := []byte{1, 2, 3, 4}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("uint32 = %x, want %x", e.Bytes(), want)
+	}
+
+	e.Reset()
+	e.Int32(-1)
+	want = []byte{0xff, 0xff, 0xff, 0xff}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("int32(-1) = %x, want %x", e.Bytes(), want)
+	}
+
+	e.Reset()
+	e.Uint64(0x0102030405060708)
+	want = []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("uint64 = %x, want %x", e.Bytes(), want)
+	}
+
+	e.Reset()
+	e.String("hi!")
+	// length 3, then "hi!" padded with one zero.
+	want = []byte{0, 0, 0, 3, 'h', 'i', '!', 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("string = %x, want %x", e.Bytes(), want)
+	}
+
+	e.Reset()
+	e.Bool(true)
+	e.Bool(false)
+	want = []byte{0, 0, 0, 1, 0, 0, 0, 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("bools = %x, want %x", e.Bytes(), want)
+	}
+
+	e.Reset()
+	e.OpaqueFixed([]byte{0xaa, 0xbb})
+	want = []byte{0xaa, 0xbb, 0, 0}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Errorf("fixed opaque = %x, want %x", e.Bytes(), want)
+	}
+}
+
+func TestPaddingAlwaysFourByteAligned(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		e := NewEncoder()
+		e.Opaque(make([]byte, n))
+		if e.Len()%4 != 0 {
+			t.Errorf("opaque(%d) length %d not aligned", n, e.Len())
+		}
+		e.Reset()
+		e.OpaqueFixed(make([]byte, n))
+		if e.Len()%4 != 0 {
+			t.Errorf("fixed(%d) length %d not aligned", n, e.Len())
+		}
+	}
+}
+
+func TestDecoderRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(42)
+	e.Int32(-7)
+	e.Uint64(math.MaxUint64)
+	e.Int64(math.MinInt64)
+	e.Bool(true)
+	e.String("hello, world")
+	e.Opaque([]byte{1, 2, 3, 4, 5})
+	e.OpaqueFixed([]byte{9, 8, 7})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uint32(); got != 42 {
+		t.Errorf("uint32 = %d", got)
+	}
+	if got := d.Int32(); got != -7 {
+		t.Errorf("int32 = %d", got)
+	}
+	if got := d.Uint64(); got != math.MaxUint64 {
+		t.Errorf("uint64 = %d", got)
+	}
+	if got := d.Int64(); got != math.MinInt64 {
+		t.Errorf("int64 = %d", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("bool = false")
+	}
+	if got := d.String(100); got != "hello, world" {
+		t.Errorf("string = %q", got)
+	}
+	if got := d.Opaque(100); !bytes.Equal(got, []byte{1, 2, 3, 4, 5}) {
+		t.Errorf("opaque = %v", got)
+	}
+	if got := d.OpaqueFixed(3); !bytes.Equal(got, []byte{9, 8, 7}) {
+		t.Errorf("fixed = %v", got)
+	}
+	if d.Err() != nil {
+		t.Errorf("err = %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	_ = d.Uint32() // short
+	if !errors.Is(d.Err(), ErrShort) {
+		t.Fatalf("err = %v, want ErrShort", d.Err())
+	}
+	// Subsequent reads return zero values without panicking.
+	if v := d.Uint64(); v != 0 {
+		t.Errorf("after error, uint64 = %d", v)
+	}
+	if s := d.String(10); s != "" {
+		t.Errorf("after error, string = %q", s)
+	}
+	if b := d.Opaque(10); b != nil {
+		t.Errorf("after error, opaque = %v", b)
+	}
+}
+
+func TestDecoderBadBool(t *testing.T) {
+	d := NewDecoder([]byte{0, 0, 0, 2})
+	_ = d.Bool()
+	if d.Err() == nil {
+		t.Error("bool=2 accepted")
+	}
+}
+
+func TestDecoderMaxLenEnforced(t *testing.T) {
+	e := NewEncoder()
+	e.String("toolongforthis")
+	d := NewDecoder(e.Bytes())
+	_ = d.String(4)
+	if !errors.Is(d.Err(), ErrTooLong) {
+		t.Errorf("err = %v, want ErrTooLong", d.Err())
+	}
+}
+
+func TestDecoderTruncatedOpaque(t *testing.T) {
+	// Claims 100 bytes, supplies 4.
+	d := NewDecoder([]byte{0, 0, 0, 100, 1, 2, 3, 4})
+	_ = d.Opaque(-1)
+	if !errors.Is(d.Err(), ErrShort) {
+		t.Errorf("err = %v, want ErrShort", d.Err())
+	}
+}
+
+func TestDecoderTruncatedPadding(t *testing.T) {
+	// length 3 but only 3 data bytes and no padding byte.
+	d := NewDecoder([]byte{0, 0, 0, 3, 'a', 'b', 'c'})
+	_ = d.Opaque(-1)
+	if !errors.Is(d.Err(), ErrShort) {
+		t.Errorf("err = %v, want ErrShort", d.Err())
+	}
+}
+
+func TestCountBounds(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(5)
+	d := NewDecoder(e.Bytes())
+	if n := d.Count(10); n != 5 || d.Err() != nil {
+		t.Errorf("count = %d err %v", n, d.Err())
+	}
+	d = NewDecoder(e.Bytes())
+	_ = d.Count(4)
+	if !errors.Is(d.Err(), ErrTooLong) {
+		t.Errorf("err = %v, want ErrTooLong", d.Err())
+	}
+}
+
+func TestQuickRoundTripPrimitives(t *testing.T) {
+	f := func(a uint32, b int32, c uint64, d64 int64, s string, blob []byte) bool {
+		e := NewEncoder()
+		e.Uint32(a)
+		e.Int32(b)
+		e.Uint64(c)
+		e.Int64(d64)
+		e.String(s)
+		e.Opaque(blob)
+		d := NewDecoder(e.Bytes())
+		okA := d.Uint32() == a
+		okB := d.Int32() == b
+		okC := d.Uint64() == c
+		okD := d.Int64() == d64
+		okS := d.String(-1) == s
+		got := d.Opaque(-1)
+		okBlob := bytes.Equal(got, blob) || (len(blob) == 0 && len(got) == 0)
+		return okA && okB && okC && okD && okS && okBlob && d.Err() == nil && d.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecoderNeverPanicsOnJunk(t *testing.T) {
+	f := func(junk []byte) bool {
+		d := NewDecoder(junk)
+		_ = d.Uint32()
+		_ = d.String(1 << 20)
+		_ = d.Opaque(1 << 20)
+		_ = d.Bool()
+		_ = d.Uint64()
+		_ = d.OpaqueFixed(8)
+		return true // completing without panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
