@@ -1,0 +1,78 @@
+package discfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"discfs/internal/cfs"
+	"discfs/internal/ffs"
+)
+
+// A BackendFactory builds a storage backend from a StoreConfig. Register
+// one to plug a store other than the built-in FFS+CFS stack behind the
+// server's vfs.FS seam — the role SafeBucket's storage providers and
+// OmniShare's cloud stores play in related systems.
+type BackendFactory func(cfg StoreConfig) (FS, error)
+
+// DefaultBackend is the backend NewServer and NewMemStore use when none
+// is named: the paper's FFS-on-RAM store wrapped in the CFS layer.
+const DefaultBackend = "mem"
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[string]BackendFactory{}
+)
+
+// RegisterBackend makes a storage backend available to OpenBackend and
+// WithBackend under name, replacing any previous registration. Typically
+// called from an init function in the backend's package.
+func RegisterBackend(name string, f BackendFactory) {
+	if name == "" || f == nil {
+		panic("discfs: RegisterBackend with empty name or nil factory")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	backends[name] = f
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	out := make([]string, 0, len(backends))
+	for name := range backends {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpenBackend builds a store from the named registered backend.
+func OpenBackend(name string, opts ...StoreOption) (FS, error) {
+	backendMu.RLock()
+	f, ok := backends[name]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("discfs: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return f(storeConfig(opts))
+}
+
+func init() {
+	// "mem": the paper's storage stack — an FFS-style inode filesystem on
+	// a RAM-backed block device, wrapped in a CFS layer (encrypting if
+	// requested, CFS-NE otherwise).
+	RegisterBackend(DefaultBackend, func(cfg StoreConfig) (FS, error) {
+		under, err := ffs.New(ffs.Config{BlockSize: cfg.BlockSize, NumBlocks: cfg.NumBlocks})
+		if err != nil {
+			return nil, err
+		}
+		return cfs.New(under, cfg.Passphrase, cfg.Encrypt)
+	})
+	// "ffs": the bare FFS substrate with no CFS layer — the paper's local
+	// baseline, useful when the cryptographic layer is provided elsewhere.
+	RegisterBackend("ffs", func(cfg StoreConfig) (FS, error) {
+		return ffs.New(ffs.Config{BlockSize: cfg.BlockSize, NumBlocks: cfg.NumBlocks})
+	})
+}

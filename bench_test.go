@@ -12,6 +12,7 @@
 package discfs_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -350,7 +351,8 @@ func BenchmarkMicro_NullRPC(b *testing.B) {
 // credential to a live server: RPC round-trip + parse + signature
 // verification + session insert — the cattach utility's core step.
 func BenchmarkMicro_SubmitCredential(b *testing.B) {
-	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	ctx := context.Background()
+	store, err := discfs.NewMemStore()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -365,7 +367,7 @@ func BenchmarkMicro_SubmitCredential(b *testing.B) {
 		b.Fatal(err)
 	}
 	bobKey := keynote.DeterministicKey("submit-bob")
-	client, err := core.Dial(addr, bobKey)
+	client, err := core.Dial(ctx, addr, bobKey)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -385,7 +387,7 @@ func BenchmarkMicro_SubmitCredential(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.SubmitCredentialText(creds[i]); err != nil {
+		if _, err := client.SubmitCredentialText(ctx, creds[i]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -424,6 +426,7 @@ func BenchmarkMicro_DecisionCached(b *testing.B) {
 // the paper's claim that "the overhead incurred by the KeyNote credential
 // lookups when using cached policy results is minimal".
 func BenchmarkAblation_PolicyCache(b *testing.B) {
+	ctx := context.Background()
 	for _, cfg := range []struct {
 		name string
 		size int
@@ -432,7 +435,7 @@ func BenchmarkAblation_PolicyCache(b *testing.B) {
 		{"Cache128", 128},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			store, err := discfs.NewMemStore(discfs.StoreConfig{})
+			store, err := discfs.NewMemStore()
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -452,18 +455,18 @@ func BenchmarkAblation_PolicyCache(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			client, err := core.Dial(addr, userKey)
+			client, err := core.Dial(ctx, addr, userKey)
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer client.Close()
-			attr, _, err := client.WriteFile("/f", []byte("payload"))
+			attr, _, err := client.WriteFile(ctx, "/f", []byte("payload"))
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := client.NFS().Read(attr.Handle, 0, 7); err != nil {
+				if _, _, err := client.NFS().Read(ctx, attr.Handle, 0, 7); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -21,11 +21,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"discfs"
 )
@@ -39,8 +42,16 @@ func main() {
 	var (
 		server  = flag.String("server", "127.0.0.1:20049", "DisCFS server address")
 		keyPath = flag.String("key", "discfs.key", "identity key file")
+		timeout = flag.Duration("timeout", 0, "overall deadline for the operation (0: none)")
 	)
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -74,13 +85,13 @@ func main() {
 		return
 	}
 
-	c, err := discfs.Dial(*server, key)
+	c, err := discfs.Dial(ctx, *server, key)
 	check(err)
 	defer c.Close()
 
 	switch cmd {
 	case "whoami":
-		p, err := c.WhoAmI()
+		p, err := c.WhoAmI(ctx)
 		check(err)
 		fmt.Println(p)
 
@@ -89,7 +100,7 @@ func main() {
 		if len(rest) > 0 {
 			path = rest[0]
 		}
-		ents, err := c.List(path)
+		ents, err := c.List(ctx, path)
 		check(err)
 		for _, e := range ents {
 			fmt.Printf("%10d  %s\n", e.FileID, e.Name)
@@ -99,7 +110,7 @@ func main() {
 		if len(rest) != 1 {
 			usage()
 		}
-		data, err := c.ReadFile(rest[0])
+		data, err := c.ReadFile(ctx, rest[0])
 		check(err)
 		os.Stdout.Write(data)
 
@@ -109,7 +120,7 @@ func main() {
 		}
 		data, err := io.ReadAll(os.Stdin)
 		check(err)
-		attr, cred, err := c.WriteFile(rest[0], data)
+		attr, cred, err := c.WriteFile(ctx, rest[0], data)
 		check(err)
 		fmt.Fprintf(os.Stderr, "stored %s (ino %d, %d bytes)\n", rest[0], attr.Handle.Ino, len(data))
 		if cred != "" {
@@ -120,7 +131,7 @@ func main() {
 		if len(rest) != 1 {
 			usage()
 		}
-		attr, cred, err := c.MkdirPath(rest[0])
+		attr, cred, err := c.MkdirPath(ctx, rest[0])
 		check(err)
 		fmt.Fprintf(os.Stderr, "created %s (ino %d)\n", rest[0], attr.Handle.Ino)
 		fmt.Print(cred)
@@ -129,12 +140,9 @@ func main() {
 		if len(rest) != 1 {
 			usage()
 		}
-		attr, err := c.ResolvePath(rest[0])
+		dirAttr, name, err := splitForRemove(ctx, c, rest[0])
 		check(err)
-		_ = attr
-		dirAttr, name, err := splitForRemove(c, rest[0])
-		check(err)
-		check(c.NFS().Remove(dirAttr, name))
+		check(c.NFS().Remove(ctx, dirAttr, name))
 
 	case "submit":
 		if len(rest) == 0 {
@@ -144,7 +152,7 @@ func main() {
 		for _, f := range rest {
 			text, err := os.ReadFile(f)
 			check(err)
-			n, err := c.SubmitCredentialText(string(text))
+			n, err := c.SubmitCredentialText(ctx, string(text))
 			check(err)
 			total += n
 		}
@@ -154,7 +162,7 @@ func main() {
 		if len(rest) != 1 {
 			usage()
 		}
-		n, err := c.RevokeKey(discfs.Principal(rest[0]))
+		n, err := c.RevokeKey(ctx, discfs.Principal(rest[0]))
 		check(err)
 		fmt.Printf("revoked; %d credential(s) dropped\n", n)
 
@@ -167,20 +175,20 @@ func main() {
 		creds, err := discfs.ParseCredentials(string(text))
 		check(err)
 		for _, cr := range creds {
-			found, err := c.RevokeCredential(cr.SignatureValue)
+			found, err := c.RevokeCredential(ctx, cr.SignatureValue)
 			check(err)
 			fmt.Printf("revoked (present: %v)\n", found)
 		}
 
 	case "creds":
-		list, err := c.ListCredentials()
+		list, err := c.ListCredentials(ctx)
 		check(err)
 		for i, cr := range list {
 			fmt.Printf("# credential %d\n%s\n", i+1, cr)
 		}
 
 	case "stats":
-		st, err := c.ServerStats()
+		st, err := c.ServerStats(ctx)
 		check(err)
 		fmt.Printf("compliance queries: %d\ncache hits:         %d\ncache misses:       %d\ncredentials:        %d\ndecisions:          %d\ndenials:            %d\n",
 			st.Queries, st.CacheHits, st.CacheMisses, st.Credentials, st.Decisions, st.Denials)
@@ -191,7 +199,7 @@ func main() {
 }
 
 // splitForRemove resolves the parent directory handle and leaf name.
-func splitForRemove(c *discfs.Client, path string) (discfs.Handle, string, error) {
+func splitForRemove(ctx context.Context, c *discfs.Client, path string) (discfs.Handle, string, error) {
 	dir := "/"
 	name := path
 	for i := len(path) - 1; i >= 0; i-- {
@@ -203,7 +211,7 @@ func splitForRemove(c *discfs.Client, path string) (discfs.Handle, string, error
 	if dir == "" {
 		dir = "/"
 	}
-	attr, err := c.ResolvePath(dir)
+	attr, err := c.ResolvePath(ctx, dir)
 	if err != nil {
 		return discfs.Handle{}, "", err
 	}

@@ -33,6 +33,7 @@ func main() {
 		numBlocks  = flag.Uint("blocks", 1<<18, "FFS device size in blocks")
 		auditFlag  = flag.Bool("audit", false, "write the audit log to stderr")
 		imagePath  = flag.String("image", "", "filesystem image: loaded at startup if present, saved on SIGINT/SIGTERM")
+		backend    = flag.String("backend", discfs.DefaultBackend, "storage backend (see discfs.Backends)")
 	)
 	flag.Parse()
 
@@ -41,16 +42,17 @@ func main() {
 		log.Fatalf("discfsd: key: %v", err)
 	}
 
-	storeCfg := discfs.StoreConfig{
-		BlockSize:  *blockSize,
-		NumBlocks:  uint32(*numBlocks),
-		Encrypt:    *encrypt,
-		Passphrase: *passphrase,
+	storeOpts := []discfs.StoreOption{
+		discfs.WithBlockSize(*blockSize),
+		discfs.WithNumBlocks(uint32(*numBlocks)),
+	}
+	if *encrypt {
+		storeOpts = append(storeOpts, discfs.WithEncryption(*passphrase))
 	}
 	var store discfs.FS
 	if *imagePath != "" {
 		if _, statErr := os.Stat(*imagePath); statErr == nil {
-			store, err = discfs.LoadStore(*imagePath, storeCfg)
+			store, err = discfs.LoadStore(*imagePath, storeOpts...)
 			if err != nil {
 				log.Fatalf("discfsd: loading image: %v", err)
 			}
@@ -58,29 +60,28 @@ func main() {
 		}
 	}
 	if store == nil {
-		store, err = discfs.NewMemStore(storeCfg)
+		store, err = discfs.OpenBackend(*backend, storeOpts...)
 		if err != nil {
 			log.Fatalf("discfsd: store: %v", err)
 		}
 	}
 
-	cfg := discfs.ServerConfig{
-		Backing:   store,
-		ServerKey: key,
-		CacheSize: *cacheSize,
+	opts := []discfs.ServerOption{
+		discfs.WithBacking(store),
+		discfs.WithCacheSize(*cacheSize),
 	}
 	if *policyPath != "" {
 		text, err := os.ReadFile(*policyPath)
 		if err != nil {
 			log.Fatalf("discfsd: policy: %v", err)
 		}
-		cfg.PolicyText = string(text)
+		opts = append(opts, discfs.WithPolicyText(string(text)))
 	}
 	if *auditFlag {
-		cfg.Audit = discfs.NewAuditLog(4096, os.Stderr)
+		opts = append(opts, discfs.WithAudit(discfs.NewAuditLog(4096, os.Stderr)))
 	}
 
-	srv, err := discfs.NewServer(cfg)
+	srv, err := discfs.NewServer(key, opts...)
 	if err != nil {
 		log.Fatalf("discfsd: %v", err)
 	}

@@ -8,40 +8,48 @@
 // user (by public key), and the conditions of access, and users share
 // files simply by issuing new credentials — no administrator involvement.
 //
-// A minimal exchange looks like this:
+// Every client operation takes a context.Context that bounds the RPC
+// (cancellation and deadlines propagate to the wire), constructors take
+// functional options, and failures wrap the typed error taxonomy
+// (ErrAccessDenied, ErrNoCredentials, ErrStale, ErrNotAdmin, ErrRevoked)
+// for errors.Is classification. A minimal exchange:
 //
-//	// Server side: back a DisCFS server with an in-memory store.
+//	ctx := context.Background()
+//
+//	// Server side: a DisCFS server over an in-memory store.
 //	adminKey, _ := discfs.GenerateKey()
-//	store, _ := discfs.NewMemStore(discfs.StoreConfig{})
-//	srv, _ := discfs.NewServer(discfs.ServerConfig{
-//		Backing:   store,
-//		ServerKey: adminKey,
-//	})
+//	store, _ := discfs.NewMemStore()
+//	srv, _ := discfs.NewServer(adminKey, discfs.WithBacking(store))
 //	addr, _ := srv.Start()
 //
 //	// The administrator delegates the tree to Bob (1st certificate).
 //	bobKey, _ := discfs.GenerateKey()
 //	srv.IssueCredential(bobKey.Principal, store.Root().Ino, "RWX", "bob")
 //
-//	// Bob attaches, stores a file, and delegates read access to Alice
-//	// (2nd certificate) — e.g. mailing her the credential text.
-//	bob, _ := discfs.Dial(addr, bobKey)
-//	attr, _, _ := bob.WriteFile("/paper.txt", []byte("..."))
-//	cred, _ := bob.Delegate(alice.Principal, attr.Handle.Ino, "R", "")
+//	// Bob attaches, streams a file in, and delegates read access to
+//	// Alice (2nd certificate) — e.g. mailing her the credential text.
+//	bob, _ := discfs.Dial(ctx, addr, bobKey)
+//	f, _ := bob.Open(ctx, "/paper.txt", os.O_CREATE|os.O_WRONLY)
+//	io.Copy(f, manuscript)
+//	f.Close()
+//	cred, _ := bob.Delegate(ctx, alice.Principal, f.Handle().Ino, "R", "")
 //
 //	// Alice attaches, submits the credential chain, and reads.
-//	alice, _ := discfs.Dial(addr, aliceKey)
-//	alice.SubmitCredentials(cred)
-//	data, _ := alice.ReadFile("/paper.txt")
+//	alice, _ := discfs.Dial(ctx, addr, aliceKey)
+//	alice.SubmitCredentials(ctx, cred)
+//	data, _ := alice.ReadFile(ctx, "/paper.txt")
 //
 // The package re-exports the building blocks for advanced use: the
 // KeyNote engine (credential composition, compliance queries), the FFS
-// and CFS storage substrates, and the NFSv2 client.
+// and CFS storage substrates (pluggable via RegisterBackend), and the
+// NFSv2 client.
 package discfs
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -77,10 +85,16 @@ type (
 
 	// Server is a DisCFS server.
 	Server = core.Server
-	// ServerConfig parameterizes NewServer.
+	// ServerConfig parameterizes NewServerFromConfig.
+	//
+	// Deprecated: configure NewServer with ServerOption values.
 	ServerConfig = core.ServerConfig
 	// Client is an attached DisCFS client.
 	Client = core.Client
+	// File is a streaming handle on a remote file, returned by
+	// Client.Open; it implements io.Reader, io.Writer, io.Seeker,
+	// io.ReaderAt, io.WriterAt and io.Closer.
+	File = core.File
 	// Stats summarizes the server's policy-engine work.
 	Stats = core.Stats
 
@@ -113,19 +127,27 @@ func GenerateKey() (*KeyPair, error) { return keynote.GenerateKey() }
 // tests and examples only.
 func DeterministicKey(seed string) *KeyPair { return keynote.DeterministicKey(seed) }
 
-// NewServer constructs a DisCFS server.
-func NewServer(cfg ServerConfig) (*Server, error) { return core.NewServer(cfg) }
-
 // Dial attaches to a DisCFS server, authenticating as identity. The
-// attach always succeeds; operations are denied until credentials are
-// submitted.
-func Dial(addr string, identity *KeyPair) (*Client, error) { return core.Dial(addr, identity) }
+// attach succeeds without credentials; operations are denied until
+// credentials are submitted. ctx bounds the connection establishment,
+// handshake and mount. A revoked identity is refused with an error
+// matching ErrRevoked.
+func Dial(ctx context.Context, addr string, identity *KeyPair) (*Client, error) {
+	return core.Dial(ctx, addr, identity)
+}
+
+// DialWithCredentials attaches and immediately submits the given
+// credentials (the wallet pattern).
+func DialWithCredentials(ctx context.Context, addr string, identity *KeyPair, creds ...*Credential) (*Client, error) {
+	return core.DialWithCredentials(ctx, addr, identity, creds...)
+}
 
 // NewAuditLog creates an audit log keeping the most recent capacity
-// records, optionally mirrored as text to w (may be nil).
-func NewAuditLog(capacity int, w *os.File) *AuditLog {
-	if w == nil {
-		return audit.New(capacity, nil)
+// records, optionally mirrored as text to w (nil for none). Any
+// io.Writer works: a file, a network sink, a test buffer.
+func NewAuditLog(capacity int, w io.Writer) *AuditLog {
+	if f, ok := w.(*os.File); ok && f == nil {
+		w = nil // a typed-nil *os.File is not a usable writer
 	}
 	return audit.New(capacity, w)
 }
@@ -154,7 +176,9 @@ func LicenseesOr(ps ...Principal) string { return keynote.LicenseesOr(ps...) }
 
 // ---- storage substrates ----
 
-// StoreConfig parameterizes NewMemStore.
+// StoreConfig parameterizes the built-in storage backends. Construct it
+// through StoreOption values; the struct is exported for BackendFactory
+// implementations and the deprecated *FromConfig shims.
 type StoreConfig struct {
 	// BlockSize is the FFS block size (default 8192).
 	BlockSize int
@@ -170,13 +194,17 @@ type StoreConfig struct {
 
 // NewMemStore builds the paper's storage stack: an FFS-style inode
 // filesystem on a RAM-backed block device, wrapped in a CFS layer
-// (encrypting if requested, CFS-NE otherwise).
-func NewMemStore(cfg StoreConfig) (FS, error) {
-	under, err := ffs.New(ffs.Config{BlockSize: cfg.BlockSize, NumBlocks: cfg.NumBlocks})
-	if err != nil {
-		return nil, err
-	}
-	return cfs.New(under, cfg.Passphrase, cfg.Encrypt)
+// (encrypting when WithEncryption is given, CFS-NE otherwise).
+func NewMemStore(opts ...StoreOption) (FS, error) {
+	return OpenBackend(DefaultBackend, opts...)
+}
+
+// NewMemStoreFromConfig is NewMemStore from a v1-style positional
+// configuration struct.
+//
+// Deprecated: use NewMemStore with StoreOption values.
+func NewMemStoreFromConfig(cfg StoreConfig) (FS, error) {
+	return NewMemStore(func(c *StoreConfig) { *c = cfg })
 }
 
 // ---- key persistence ----
@@ -229,9 +257,12 @@ func LoadOrCreateKey(path string) (*KeyPair, error) {
 	return k, nil
 }
 
+// ---- store persistence ----
+
 // LoadStore restores a filesystem image written by SaveStore and stacks
-// the CFS layer per cfg (BlockSize/NumBlocks are taken from the image).
-func LoadStore(path string, cfg StoreConfig) (FS, error) {
+// the CFS layer per opts (BlockSize/NumBlocks are taken from the image).
+func LoadStore(path string, opts ...StoreOption) (FS, error) {
+	cfg := storeConfig(opts)
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -270,10 +301,4 @@ func SaveStore(path string, fs FS) error {
 		return err
 	}
 	return os.Rename(tmp, path)
-}
-
-// DialWithCredentials attaches and immediately submits the given
-// credentials (the wallet pattern).
-func DialWithCredentials(addr string, identity *KeyPair, creds ...*Credential) (*Client, error) {
-	return core.DialWithCredentials(addr, identity, creds...)
 }

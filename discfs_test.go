@@ -6,6 +6,7 @@ package discfs_test
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -13,15 +14,13 @@ import (
 )
 
 func TestPublicAPIEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	adminKey := discfs.DeterministicKey("api-admin")
-	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	store, err := discfs.NewMemStore()
 	if err != nil {
 		t.Fatalf("NewMemStore: %v", err)
 	}
-	srv, err := discfs.NewServer(discfs.ServerConfig{
-		Backing:   store,
-		ServerKey: adminKey,
-	})
+	srv, err := discfs.NewServer(adminKey, discfs.WithBacking(store))
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
 	}
@@ -37,30 +36,30 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("IssueCredential: %v", err)
 	}
 
-	bob, err := discfs.Dial(addr, bobKey)
+	bob, err := discfs.Dial(ctx, addr, bobKey)
 	if err != nil {
 		t.Fatalf("Dial(bob): %v", err)
 	}
 	defer bob.Close()
 	content := []byte("shared via credentials, not accounts")
-	if _, _, err := bob.WriteFile("/doc.txt", content); err != nil {
+	if _, _, err := bob.WriteFile(ctx, "/doc.txt", content); err != nil {
 		t.Fatalf("WriteFile: %v", err)
 	}
 
-	cred, err := bob.Delegate(aliceKey.Principal, store.Root().Ino, "RX", "alice reads")
+	cred, err := bob.Delegate(ctx, aliceKey.Principal, store.Root().Ino, "RX", "alice reads")
 	if err != nil {
 		t.Fatalf("Delegate: %v", err)
 	}
 
-	alice, err := discfs.Dial(addr, aliceKey)
+	alice, err := discfs.Dial(ctx, addr, aliceKey)
 	if err != nil {
 		t.Fatalf("Dial(alice): %v", err)
 	}
 	defer alice.Close()
-	if _, err := alice.SubmitCredentials(cred); err != nil {
+	if _, err := alice.SubmitCredentials(ctx, cred); err != nil {
 		t.Fatalf("SubmitCredentials: %v", err)
 	}
-	got, err := alice.ReadFile("/doc.txt")
+	got, err := alice.ReadFile(ctx, "/doc.txt")
 	if err != nil {
 		t.Fatalf("ReadFile: %v", err)
 	}
@@ -74,13 +73,41 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
-func TestPublicAPIEncryptedStore(t *testing.T) {
-	store, err := discfs.NewMemStore(discfs.StoreConfig{
-		Encrypt:    true,
-		Passphrase: "correct horse battery staple",
-		BlockSize:  4096,
-		NumBlocks:  2048,
+func TestDeprecatedConfigShims(t *testing.T) {
+	ctx := context.Background()
+	adminKey := discfs.DeterministicKey("shim-admin")
+	store, err := discfs.NewMemStoreFromConfig(discfs.StoreConfig{BlockSize: 4096, NumBlocks: 2048})
+	if err != nil {
+		t.Fatalf("NewMemStoreFromConfig: %v", err)
+	}
+	srv, err := discfs.NewServerFromConfig(discfs.ServerConfig{
+		Backing:   store,
+		ServerKey: adminKey,
 	})
+	if err != nil {
+		t.Fatalf("NewServerFromConfig: %v", err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	admin, err := discfs.Dial(ctx, addr, adminKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if _, _, err := admin.WriteFile(ctx, "/legacy.txt", []byte("v1 shim")); err != nil {
+		t.Fatalf("WriteFile over shim-built server: %v", err)
+	}
+}
+
+func TestPublicAPIEncryptedStore(t *testing.T) {
+	store, err := discfs.NewMemStore(
+		discfs.WithEncryption("correct horse battery staple"),
+		discfs.WithBlockSize(4096),
+		discfs.WithNumBlocks(2048),
+	)
 	if err != nil {
 		t.Fatalf("NewMemStore: %v", err)
 	}
@@ -95,6 +122,58 @@ func TestPublicAPIEncryptedStore(t *testing.T) {
 	data, _, err := store.Read(attr.Handle, 0, 16)
 	if err != nil || string(data) != "sealed" {
 		t.Errorf("read = %q, %v", data, err)
+	}
+}
+
+func TestBackendRegistry(t *testing.T) {
+	names := discfs.Backends()
+	want := map[string]bool{"mem": false, "ffs": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("builtin backend %q not registered (got %v)", n, names)
+		}
+	}
+
+	// The bare-FFS backend serves a DisCFS server like any other.
+	fs, err := discfs.OpenBackend("ffs", discfs.WithBlockSize(4096), discfs.WithNumBlocks(2048))
+	if err != nil {
+		t.Fatalf("OpenBackend(ffs): %v", err)
+	}
+	if _, err := fs.Create(fs.Root(), "x", 0o644); err != nil {
+		t.Fatalf("Create on ffs backend: %v", err)
+	}
+
+	if _, err := discfs.OpenBackend("no-such-backend"); err == nil {
+		t.Error("unknown backend opened")
+	}
+
+	// A custom backend plugs in through the registry.
+	discfs.RegisterBackend("test-custom", func(cfg discfs.StoreConfig) (discfs.FS, error) {
+		return discfs.NewMemStore(discfs.WithBlockSize(cfg.BlockSize), discfs.WithNumBlocks(cfg.NumBlocks))
+	})
+	ctx := context.Background()
+	key := discfs.DeterministicKey("backend-admin")
+	srv, err := discfs.NewServer(key, discfs.WithBackend("test-custom", discfs.WithBlockSize(4096)))
+	if err != nil {
+		t.Fatalf("NewServer(WithBackend): %v", err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := discfs.Dial(ctx, addr, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.WriteFile(ctx, "/on-custom-backend", []byte("ok")); err != nil {
+		t.Fatalf("WriteFile on custom backend: %v", err)
 	}
 }
 
@@ -143,10 +222,11 @@ func TestSignAndParseCredentials(t *testing.T) {
 }
 
 func TestStorePersistence(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	img := filepath.Join(dir, "store.ffs")
 
-	store, err := discfs.NewMemStore(discfs.StoreConfig{BlockSize: 1024, NumBlocks: 2048})
+	store, err := discfs.NewMemStore(discfs.WithBlockSize(1024), discfs.WithNumBlocks(2048))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +242,7 @@ func TestStorePersistence(t *testing.T) {
 		t.Fatalf("SaveStore: %v", err)
 	}
 
-	restored, err := discfs.LoadStore(img, discfs.StoreConfig{})
+	restored, err := discfs.LoadStore(img)
 	if err != nil {
 		t.Fatalf("LoadStore: %v", err)
 	}
@@ -179,10 +259,7 @@ func TestStorePersistence(t *testing.T) {
 		t.Errorf("handle changed across persistence: %+v vs %+v", a.Handle, attr.Handle)
 	}
 	// A DisCFS server runs fine on the restored store.
-	srv, err := discfs.NewServer(discfs.ServerConfig{
-		Backing:   restored,
-		ServerKey: discfs.DeterministicKey("persist-admin"),
-	})
+	srv, err := discfs.NewServer(discfs.DeterministicKey("persist-admin"), discfs.WithBacking(restored))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,12 +268,12 @@ func TestStorePersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	admin, err := discfs.Dial(addr, discfs.DeterministicKey("persist-admin"))
+	admin, err := discfs.Dial(ctx, addr, discfs.DeterministicKey("persist-admin"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer admin.Close()
-	got, err := admin.ReadFile("/persisted.txt")
+	got, err := admin.ReadFile(ctx, "/persisted.txt")
 	if err != nil || string(got) != "survives restarts" {
 		t.Errorf("served read after restore = %q, %v", got, err)
 	}

@@ -1,0 +1,35 @@
+package discfs
+
+import "discfs/internal/core"
+
+// The DisCFS error taxonomy. Client operations wrap these sentinels so
+// callers classify failures with errors.Is across the RPC boundary:
+//
+//	if _, err := c.ReadFile(ctx, "/secret"); errors.Is(err, discfs.ErrAccessDenied) {
+//		// ask the owner for a credential
+//	}
+//
+// The sentinels compose: a denial on a connection that never submitted
+// credentials matches both ErrAccessDenied and ErrNoCredentials.
+var (
+	// ErrAccessDenied reports a policy denial: the submitted credentials
+	// do not grant the permission the operation needs.
+	ErrAccessDenied = core.ErrAccessDenied
+	// ErrNoCredentials qualifies a denial observed before this client
+	// submitted any credentials — the paper's freshly-attached mode-000
+	// state. It always accompanies ErrAccessDenied.
+	ErrNoCredentials = core.ErrNoCredentials
+	// ErrStale reports a file handle that no longer names a live file.
+	ErrStale = core.ErrStale
+	// ErrNotAdmin is returned by administrative procedures (revocation,
+	// credential listing) when the caller is not an administrator.
+	ErrNotAdmin = core.ErrNotAdmin
+	// ErrRevoked reports an attach attempt with a revoked key, refused
+	// during the secure-channel handshake.
+	ErrRevoked = core.ErrRevoked
+	// ErrNotExist reports a missing file or directory.
+	ErrNotExist = core.ErrNotExist
+	// ErrCredentialRejected reports a submitted credential the server's
+	// KeyNote session refused.
+	ErrCredentialRejected = core.ErrCredentialRejected
+)

@@ -1,0 +1,263 @@
+package discfs_test
+
+// Typed-error taxonomy tests: every sentinel must survive the RPC
+// boundary and classify with errors.Is on the client side.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"discfs"
+)
+
+// errServer starts a server on a fresh store and returns its address.
+func errServer(t *testing.T, adminKey *discfs.KeyPair) (*discfs.Server, discfs.FS, string) {
+	t.Helper()
+	store, err := discfs.NewMemStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := discfs.NewServer(adminKey, discfs.WithBacking(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, store, addr
+}
+
+func TestErrAccessDeniedRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	adminKey := discfs.DeterministicKey("errs-admin")
+	srv, store, addr := errServer(t, adminKey)
+
+	admin, err := discfs.Dial(ctx, addr, adminKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if _, _, err := admin.WriteFile(ctx, "/secret.txt", []byte("classified")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stranger with no credentials: the denial matches both
+	// ErrAccessDenied and ErrNoCredentials.
+	guestKey := discfs.DeterministicKey("errs-guest")
+	guest, err := discfs.Dial(ctx, addr, guestKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer guest.Close()
+	_, err = guest.ReadFile(ctx, "/secret.txt")
+	if !errors.Is(err, discfs.ErrAccessDenied) {
+		t.Errorf("uncredentialed read = %v, want ErrAccessDenied", err)
+	}
+	if !errors.Is(err, discfs.ErrNoCredentials) {
+		t.Errorf("uncredentialed read = %v, want ErrNoCredentials qualifier", err)
+	}
+
+	// After submitting a read-only credential the write denial is a plain
+	// ErrAccessDenied — the no-credentials qualifier must be gone.
+	cred, err := srv.IssueCredential(guestKey.Principal, store.Root().Ino, "RX", "guest reads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := guest.SubmitCredentials(ctx, cred); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := guest.ReadFile(ctx, "/secret.txt"); err != nil {
+		t.Fatalf("credentialed read: %v", err)
+	}
+	_, _, err = guest.WriteFile(ctx, "/secret.txt", []byte("defaced"))
+	if !errors.Is(err, discfs.ErrAccessDenied) {
+		t.Errorf("read-only write = %v, want ErrAccessDenied", err)
+	}
+	if errors.Is(err, discfs.ErrNoCredentials) {
+		t.Errorf("read-only write = %v, must not match ErrNoCredentials after submit", err)
+	}
+}
+
+func TestErrNotAdminRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	adminKey := discfs.DeterministicKey("admin-err-admin")
+	_, _, addr := errServer(t, adminKey)
+
+	mallory, err := discfs.Dial(ctx, addr, discfs.DeterministicKey("admin-err-mallory"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mallory.Close()
+	if _, err := mallory.RevokeKey(ctx, discfs.DeterministicKey("victim").Principal); !errors.Is(err, discfs.ErrNotAdmin) {
+		t.Errorf("non-admin RevokeKey = %v, want ErrNotAdmin", err)
+	}
+	if _, err := mallory.RevokeCredential(ctx, "sig"); !errors.Is(err, discfs.ErrNotAdmin) {
+		t.Errorf("non-admin RevokeCredential = %v, want ErrNotAdmin", err)
+	}
+	if _, err := mallory.ListCredentials(ctx); !errors.Is(err, discfs.ErrNotAdmin) {
+		t.Errorf("non-admin ListCredentials = %v, want ErrNotAdmin", err)
+	}
+
+	// The administrator is allowed.
+	admin, err := discfs.Dial(ctx, addr, adminKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if _, err := admin.ListCredentials(ctx); err != nil {
+		t.Errorf("admin ListCredentials: %v", err)
+	}
+}
+
+func TestErrRevokedRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	adminKey := discfs.DeterministicKey("revoked-admin")
+	srv, store, addr := errServer(t, adminKey)
+
+	bobKey := discfs.DeterministicKey("revoked-bob")
+	if _, err := srv.IssueCredential(bobKey.Principal, store.Root().Ino, "RWX", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := discfs.Dial(ctx, addr, bobKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob.Close()
+
+	admin, err := discfs.Dial(ctx, addr, adminKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	if _, err := admin.RevokeKey(ctx, bobKey.Principal); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob's re-attach is refused during the handshake with a typed error.
+	_, err = discfs.Dial(ctx, addr, bobKey)
+	if !errors.Is(err, discfs.ErrRevoked) {
+		t.Errorf("dial after revocation = %v, want ErrRevoked", err)
+	}
+}
+
+func TestErrNotExistAndStaleRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	adminKey := discfs.DeterministicKey("stale-admin")
+	_, _, addr := errServer(t, adminKey)
+
+	admin, err := discfs.Dial(ctx, addr, adminKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	if _, err := admin.ReadFile(ctx, "/never-created"); !errors.Is(err, discfs.ErrNotExist) {
+		t.Errorf("read of missing file = %v, want ErrNotExist", err)
+	}
+	if _, err := admin.Open(ctx, "/never-created", os.O_RDONLY); !errors.Is(err, discfs.ErrNotExist) {
+		t.Errorf("open of missing file = %v, want ErrNotExist", err)
+	}
+
+	// A handle goes stale when the file is removed behind it.
+	f, err := admin.Open(ctx, "/doomed.txt", os.O_CREATE|os.O_RDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("short-lived")); err != nil {
+		t.Fatal(err)
+	}
+	dirAttr, err := admin.ResolvePath(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.NFS().Remove(ctx, dirAttr.Handle, "doomed.txt"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, discfs.ErrStale) {
+		t.Errorf("read through removed handle = %v, want ErrStale", err)
+	}
+}
+
+func TestErrCredentialRejected(t *testing.T) {
+	ctx := context.Background()
+	adminKey := discfs.DeterministicKey("credrej-admin")
+	_, _, addr := errServer(t, adminKey)
+	c, err := discfs.Dial(ctx, addr, discfs.DeterministicKey("credrej-user"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.SubmitCredentialText(ctx, "this is not a keynote assertion"); !errors.Is(err, discfs.ErrCredentialRejected) {
+		t.Errorf("garbage submission = %v, want ErrCredentialRejected", err)
+	}
+}
+
+// ---- key persistence error paths ----
+
+func TestLoadKeyCorruptHex(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.key")
+	if err := os.WriteFile(path, []byte("zz-not-hex-zz\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := discfs.LoadKey(path); err == nil {
+		t.Error("corrupt hex key loaded")
+	}
+}
+
+func TestLoadKeyEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.key")
+	if err := os.WriteFile(path, nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := discfs.LoadKey(path); err == nil {
+		t.Error("empty key file loaded")
+	}
+}
+
+func TestLoadKeyCommentOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "comment.key")
+	if err := os.WriteFile(path, []byte("# no key material here\n\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := discfs.LoadKey(path); err == nil {
+		t.Error("comment-only key file loaded")
+	}
+}
+
+func TestLoadKeyWrongSeedLength(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "short.key")
+	if err := os.WriteFile(path, []byte("deadbeef\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := discfs.LoadKey(path); err == nil {
+		t.Error("8-hex-digit seed loaded as an Ed25519 key")
+	}
+}
+
+func TestSaveKeyRoundTripsThroughLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ok.key")
+	k := discfs.DeterministicKey("save-load")
+	if err := discfs.SaveKey(path, k); err != nil {
+		t.Fatal(err)
+	}
+	got, err := discfs.LoadKey(path)
+	if err != nil || got.Principal != k.Principal {
+		t.Errorf("LoadKey = %v, %v", got, err)
+	}
+	// SaveKey must refuse an unwritable path rather than silently drop.
+	if err := discfs.SaveKey(filepath.Join(dir, "no-such-dir", "k"), k); err == nil {
+		t.Error("SaveKey into missing directory succeeded")
+	}
+}

@@ -1,8 +1,12 @@
 package discfs_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"discfs"
 )
@@ -11,12 +15,13 @@ import (
 // delegates to Bob, Bob stores a file and delegates read access to
 // Alice, Alice presents the credential and reads — no accounts anywhere.
 func Example_delegation() {
+	ctx := context.Background()
 	adminKey := discfs.DeterministicKey("ex-admin")
-	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	store, err := discfs.NewMemStore()
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := discfs.NewServer(discfs.ServerConfig{Backing: store, ServerKey: adminKey})
+	srv, err := discfs.NewServer(adminKey, discfs.WithBacking(store))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,40 +37,86 @@ func Example_delegation() {
 		log.Fatal(err)
 	}
 
-	bob, err := discfs.Dial(addr, bobKey)
+	bob, err := discfs.Dial(ctx, addr, bobKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer bob.Close()
-	if _, _, err := bob.WriteFile("/paper.txt", []byte("shared by credential")); err != nil {
+	if _, _, err := bob.WriteFile(ctx, "/paper.txt", []byte("shared by credential")); err != nil {
 		log.Fatal(err)
 	}
 
 	// 2nd certificate: Bob → Alice (read + search on the tree).
 	aliceKey := discfs.DeterministicKey("ex-alice")
-	cred, err := bob.Delegate(aliceKey.Principal, store.Root().Ino, "RX", "for alice")
+	cred, err := bob.Delegate(ctx, aliceKey.Principal, store.Root().Ino, "RX", "for alice")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	alice, err := discfs.DialWithCredentials(addr, aliceKey, cred)
+	alice, err := discfs.DialWithCredentials(ctx, addr, aliceKey, cred)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer alice.Close()
-	data, err := alice.ReadFile("/paper.txt")
+	data, err := alice.ReadFile(ctx, "/paper.txt")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(string(data))
 
-	// Alice's grant has no write bit.
-	if _, _, err := alice.WriteFile("/paper.txt", []byte("vandalism")); err != nil {
+	// Alice's grant has no write bit: the denial is a typed error.
+	if _, _, err := alice.WriteFile(ctx, "/paper.txt", []byte("vandalism")); errors.Is(err, discfs.ErrAccessDenied) {
 		fmt.Println("write denied")
 	}
 	// Output:
 	// shared by credential
 	// write denied
+}
+
+// ExampleClient_Open streams a file through the io.Reader/io.Writer
+// interfaces: writes chunk over the NFS wire as they happen, and reads
+// never buffer the whole file.
+func ExampleClient_Open() {
+	ctx := context.Background()
+	adminKey := discfs.DeterministicKey("ex-stream-admin")
+	store, err := discfs.NewMemStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := discfs.NewServer(adminKey, discfs.WithBacking(store))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	addr, err := srv.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := discfs.Dial(ctx, addr, adminKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	w, err := c.Open(ctx, "/big.log", os.O_CREATE|os.O_WRONLY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(w, "line one")
+	fmt.Fprintln(w, "line two")
+	w.Close()
+
+	r, err := c.Open(ctx, "/big.log", os.O_RDONLY)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := io.Copy(os.Stdout, r); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// line one
+	// line two
 }
 
 // ExampleSignCredential shows composing a conditional credential offline:
@@ -95,7 +146,7 @@ func ExampleSignCredential() {
 // ExampleNewMemStore builds the paper's storage stack and uses it
 // directly as a local filesystem.
 func ExampleNewMemStore() {
-	store, err := discfs.NewMemStore(discfs.StoreConfig{BlockSize: 4096, NumBlocks: 1024})
+	store, err := discfs.NewMemStore(discfs.WithBlockSize(4096), discfs.WithNumBlocks(1024))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -20,8 +21,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	adminKey, _ := discfs.GenerateKey()
-	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	store, err := discfs.NewMemStore()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,11 +33,10 @@ func main() {
 Licensees: "anonymous"
 Conditions: app_domain == "DisCFS" -> "RX";
 `
-	srv, err := discfs.NewServer(discfs.ServerConfig{
-		Backing:    store,
-		ServerKey:  adminKey,
-		PolicyText: policy,
-	})
+	srv, err := discfs.NewServer(adminKey,
+		discfs.WithBacking(store),
+		discfs.WithPolicyText(policy),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,13 +58,13 @@ Conditions: app_domain == "DisCFS" -> "RX";
 	// A keyed internal user publishes content over the secure channel.
 	authorKey, _ := discfs.GenerateKey()
 	srv.IssueCredential(authorKey.Principal, store.Root().Ino, "RWX", "author")
-	author, err := discfs.Dial(secureAddr, authorKey)
+	author, err := discfs.Dial(ctx, secureAddr, authorKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer author.Close()
-	author.WriteFile("/index.html", []byte("<h1>DisCFS</h1><p>No accounts were created for this page.</p>\n"))
-	author.WriteFile("/draft.html", []byte("work in progress\n"))
+	author.WriteFile(ctx, "/index.html", []byte("<h1>DisCFS</h1><p>No accounts were created for this page.</p>\n"))
+	author.WriteFile(ctx, "/draft.html", []byte("work in progress\n"))
 	fmt.Println("author published /index.html and /draft.html")
 
 	// An anonymous "browser": plain TCP, no key, no handshake.
@@ -73,11 +74,11 @@ Conditions: app_domain == "DisCFS" -> "RX";
 	}
 	browser := nfs.NewClient(sunrpc.NewClient(conn))
 	defer browser.RPC().Close()
-	root, err := browser.Mount("/discfs")
+	root, err := browser.Mount(ctx, "/discfs")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ents, err := browser.ReadDirAll(root)
+	ents, err := browser.ReadDirAll(ctx, root)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,18 +86,18 @@ Conditions: app_domain == "DisCFS" -> "RX";
 	for _, e := range ents {
 		fmt.Printf("  %s\n", e.Name)
 	}
-	attr, err := browser.Lookup(root, "index.html")
+	attr, err := browser.Lookup(ctx, root, "index.html")
 	if err != nil {
 		log.Fatal(err)
 	}
-	page, _, err := browser.Read(attr.Handle, 0, nfs.MaxData)
+	page, _, err := browser.Read(ctx, attr.Handle, 0, nfs.MaxData)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nanonymous GET /index.html:\n%s\n", page)
 
 	// The anonymous principal is read-only; uploads bounce.
-	if _, err := browser.Create(root, "upload.bin", 0o644); err != nil {
+	if _, err := browser.Create(ctx, root, "upload.bin", 0o644); err != nil {
 		fmt.Printf("anonymous upload attempt: %v\n", err)
 	}
 	_ = core.AnonymousPrincipal // the principal policy names, re-exported

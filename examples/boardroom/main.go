@@ -22,11 +22,11 @@ import (
 
 func main() {
 	adminKey, _ := discfs.GenerateKey()
-	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	store, err := discfs.NewMemStore()
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := discfs.NewServer(discfs.ServerConfig{Backing: store, ServerKey: adminKey})
+	srv, err := discfs.NewServer(adminKey, discfs.WithBacking(store))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,12 +21,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	adminKey, _ := discfs.GenerateKey()
-	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	store, err := discfs.NewMemStore()
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := discfs.NewServer(discfs.ServerConfig{Backing: store, ServerKey: adminKey})
+	srv, err := discfs.NewServer(adminKey, discfs.WithBacking(store))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,17 +37,17 @@ func main() {
 	// miltchev owns the repository.
 	ownerKey, _ := discfs.GenerateKey()
 	srv.IssueCredential(ownerKey.Principal, store.Root().Ino, "RWX", "repository owner")
-	owner, err := discfs.Dial(addr, ownerKey)
+	owner, err := discfs.Dial(ctx, addr, ownerKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer owner.Close()
 
-	repo, _, err := owner.MkdirPath("/cvsroot")
+	repo, _, err := owner.MkdirPath(ctx, "/cvsroot")
 	if err != nil {
 		log.Fatal(err)
 	}
-	owner.WriteFile("/cvsroot/paper.tex,v", []byte("head 1.1;\n1.1 log: initial import\n"))
+	owner.WriteFile(ctx, "/cvsroot/paper.tex,v", []byte("head 1.1;\n1.1 log: initial import\n"))
 	fmt.Println("miltchev created /cvsroot and imported paper.tex,v")
 
 	// Read-write certificates for the co-authors — no group, no
@@ -55,7 +57,7 @@ func main() {
 	for _, name := range coauthors {
 		k, _ := discfs.GenerateKey()
 		keys[name] = k
-		repoCred, err := owner.Delegate(k.Principal, repo.Handle.Ino, "RWX", "co-author "+name)
+		repoCred, err := owner.Delegate(ctx, k.Principal, repo.Handle.Ino, "RWX", "co-author "+name)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,20 +77,20 @@ func main() {
 
 	// Every co-author commits a revision.
 	for i, name := range coauthors {
-		c, err := discfs.Dial(addr, keys[name])
+		c, err := discfs.Dial(ctx, addr, keys[name])
 		if err != nil {
 			log.Fatal(err)
 		}
 		creds := load(name)
-		if _, err := c.SubmitCredentials(creds...); err != nil {
+		if _, err := c.SubmitCredentials(ctx, creds...); err != nil {
 			log.Fatal(err)
 		}
 		rev := fmt.Sprintf("1.%d log: edits by %s\n", i+2, name)
-		old, err := c.ReadFile("/cvsroot/paper.tex,v")
+		old, err := c.ReadFile(ctx, "/cvsroot/paper.tex,v")
 		if err != nil {
 			log.Fatalf("%s checkout: %v", name, err)
 		}
-		if _, _, err := c.WriteFile("/cvsroot/paper.tex,v", append(old, rev...)); err != nil {
+		if _, _, err := c.WriteFile(ctx, "/cvsroot/paper.tex,v", append(old, rev...)); err != nil {
 			log.Fatalf("%s commit: %v", name, err)
 		}
 		fmt.Printf("%s committed revision 1.%d\n", name, i+2)
@@ -98,16 +100,16 @@ func main() {
 	// An outsider (the rest of the world) gets nothing — unlike the
 	// world-writable workaround the authors actually suffered.
 	nobodyKey, _ := discfs.GenerateKey()
-	nobody, err := discfs.Dial(addr, nobodyKey)
+	nobody, err := discfs.Dial(ctx, addr, nobodyKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer nobody.Close()
-	if _, err := nobody.ReadFile("/cvsroot/paper.tex,v"); err != nil {
+	if _, err := nobody.ReadFile(ctx, "/cvsroot/paper.tex,v"); err != nil {
 		fmt.Printf("\noutsider checkout attempt: %v\n", err)
 	}
 
-	final, _ := owner.ReadFile("/cvsroot/paper.tex,v")
+	final, _ := owner.ReadFile(ctx, "/cvsroot/paper.tex,v")
 	fmt.Printf("\nfinal ,v file:\n%s", final)
 }
 

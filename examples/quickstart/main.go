@@ -1,4 +1,6 @@
-// Quickstart: the paper's Figure 1 in one runnable program.
+// Quickstart: the paper's Figure 1 in one runnable program, written
+// against the v2 API — contexts on every operation, functional options,
+// streaming file I/O, and typed errors.
 //
 // An administrator runs a DisCFS server; Bob receives the 1st certificate
 // (administrator → Bob) and stores a paper; Bob issues Alice the 2nd
@@ -9,26 +11,37 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"strings"
+	"time"
 
 	"discfs"
 )
 
 func main() {
+	// Every operation below runs under this context; a deadline here
+	// bounds the whole session, RPCs included.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// --- The server (Alice's machine in the paper's testbed). ---
 	adminKey, err := discfs.GenerateKey()
 	if err != nil {
 		log.Fatal(err)
 	}
-	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	store, err := discfs.NewMemStore()
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := discfs.NewServer(discfs.ServerConfig{
-		Backing:   store,
-		ServerKey: adminKey,
-	})
+	srv, err := discfs.NewServer(adminKey,
+		discfs.WithBacking(store),
+		discfs.WithCacheSize(128), // the paper's configuration
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,56 +59,61 @@ func main() {
 	}
 	fmt.Printf("1st certificate issued: admin → bob (%s), RWX on the tree\n", bobKey.Principal.Short())
 
-	// --- Bob attaches and stores his paper. ---
-	bob, err := discfs.Dial(addr, bobKey)
+	// --- Bob attaches and streams his paper in. ---
+	bob, err := discfs.Dial(ctx, addr, bobKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer bob.Close()
-	paper := []byte("DisCFS: credentials identify the files, the users, and the conditions of access.\n")
-	attr, _, err := bob.WriteFile("/paper.txt", paper)
+	f, err := bob.Open(ctx, "/paper.txt", os.O_CREATE|os.O_WRONLY)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("bob stored /paper.txt (inode %d)\n\n", attr.Handle.Ino)
+	manuscript := strings.NewReader("DisCFS: credentials identify the files, the users, and the conditions of access.\n")
+	if _, err := io.Copy(f, manuscript); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("bob streamed /paper.txt (inode %d)\n\n", f.Handle().Ino)
 
 	// --- 2nd certificate: Bob → Alice (read + search). Bob can mail
 	// this text to Alice; no administrator is involved. ---
 	aliceKey, _ := discfs.GenerateKey()
-	cred, err := bob.Delegate(aliceKey.Principal, store.Root().Ino, "RX", "bob lets alice read his paper")
+	cred, err := bob.Delegate(ctx, aliceKey.Principal, store.Root().Ino, "RX", "bob lets alice read his paper")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("2nd certificate issued: bob → alice (%s), RX\n", aliceKey.Principal.Short())
 	fmt.Printf("--- credential text (as mailed to alice) ---\n%s---\n\n", cred.Source)
 
-	// --- Alice attaches. Without credentials: mode 000, access denied. ---
-	alice, err := discfs.Dial(addr, aliceKey)
+	// --- Alice attaches. Without credentials: mode 000 and a typed
+	// denial that matches both ErrAccessDenied and ErrNoCredentials. ---
+	alice, err := discfs.Dial(ctx, addr, aliceKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer alice.Close()
-	rootAttr, _ := alice.NFS().GetAttr(alice.Root())
+	rootAttr, _ := alice.NFS().GetAttr(ctx, alice.Root())
 	fmt.Printf("alice attached; root mode without credentials: %03o\n", rootAttr.Mode)
-	if _, err := alice.ReadFile("/paper.txt"); err != nil {
-		fmt.Printf("alice read before submitting credentials: %v\n", err)
+	if _, err := alice.ReadFile(ctx, "/paper.txt"); errors.Is(err, discfs.ErrNoCredentials) {
+		fmt.Println("alice read before submitting credentials: denied (no credentials submitted)")
 	}
 
 	// --- Alice submits the credential and reads. ---
-	if _, err := alice.SubmitCredentials(cred); err != nil {
+	if _, err := alice.SubmitCredentials(ctx, cred); err != nil {
 		log.Fatal(err)
 	}
-	rootAttr, _ = alice.NFS().GetAttr(alice.Root())
+	rootAttr, _ = alice.NFS().GetAttr(ctx, alice.Root())
 	fmt.Printf("alice submitted the credential; root mode now: %03o\n", rootAttr.Mode)
-	data, err := alice.ReadFile("/paper.txt")
+	data, err := alice.ReadFile(ctx, "/paper.txt")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("alice reads: %s", data)
 
-	// --- Alice's grant is read-only: writes are refused. ---
-	if _, err := alice.NFS().Write(attr.Handle, 0, []byte("defaced")); err != nil {
-		fmt.Printf("alice write attempt: %v\n", err)
+	// --- Alice's grant is read-only: writes fail with ErrAccessDenied. ---
+	if _, _, err := alice.WriteFile(ctx, "/paper.txt", []byte("defaced")); errors.Is(err, discfs.ErrAccessDenied) {
+		fmt.Println("alice write attempt: access denied (as issued: read-only)")
 	}
 
 	st := srv.Stats()

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -17,18 +18,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	clock := time.Date(2026, 6, 1, 8, 0, 0, 0, time.UTC)
 	adminKey, _ := discfs.GenerateKey()
-	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	store, err := discfs.NewMemStore()
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := discfs.NewServer(discfs.ServerConfig{
-		Backing:   store,
-		ServerKey: adminKey,
-		CacheSize: -1, // re-evaluate conditions on every access, for the demo
-		Now:       func() time.Time { return clock },
-	})
+	srv, err := discfs.NewServer(adminKey,
+		discfs.WithBacking(store),
+		discfs.WithCacheSize(-1), // re-evaluate conditions on every access, for the demo
+		discfs.WithClock(func() time.Time { return clock }),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,22 +39,22 @@ func main() {
 	// The office admin stores the leisure content.
 	bossKey, _ := discfs.GenerateKey()
 	srv.IssueCredential(bossKey.Principal, store.Root().Ino, "RWX", "boss")
-	boss, err := discfs.Dial(addr, bossKey)
+	boss, err := discfs.Dial(ctx, addr, bossKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer boss.Close()
-	fun, _, err := boss.MkdirPath("/leisure")
+	fun, _, err := boss.MkdirPath(ctx, "/leisure")
 	if err != nil {
 		log.Fatal(err)
 	}
-	boss.WriteFile("/leisure/crossword.txt", []byte("1 across: trust-management system (7)\n"))
+	boss.WriteFile(ctx, "/leisure/crossword.txt", []byte("1 across: trust-management system (7)\n"))
 
 	// The employee's credential: read+search on /leisure, but only
 	// outside office hours (09:00–17:00), plus unconditional path walk.
 	empKey, _ := discfs.GenerateKey()
 	offHours := `@hour < 9 || @hour >= 17`
-	credFun, err := boss.DelegateWithConditions(empKey.Principal, fun.Handle.Ino, "RX", offHours, "leisure outside office hours")
+	credFun, err := boss.DelegateWithConditions(ctx, empKey.Principal, fun.Handle.Ino, "RX", offHours, "leisure outside office hours")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,18 +66,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	emp, err := discfs.Dial(addr, empKey)
+	emp, err := discfs.Dial(ctx, addr, empKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer emp.Close()
-	emp.SubmitCredentials(credFun, credWalk)
+	emp.SubmitCredentials(ctx, credFun, credWalk)
 
 	fmt.Println("credential condition:", offHours)
 	fmt.Println()
 	for _, h := range []int{8, 9, 12, 16, 17, 22} {
 		clock = time.Date(2026, 6, 1, h, 0, 0, 0, time.UTC)
-		_, err := emp.ReadFile("/leisure/crossword.txt")
+		_, err := emp.ReadFile(ctx, "/leisure/crossword.txt")
 		verdict := "ALLOWED"
 		if err != nil {
 			verdict = "DENIED "

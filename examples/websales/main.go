@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,22 +20,21 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A controllable clock demonstrates credential expiry.
 	clock := time.Date(2026, 6, 1, 10, 0, 0, 0, time.UTC)
 	now := func() time.Time { return clock }
 
 	adminKey, _ := discfs.GenerateKey()
-	store, err := discfs.NewMemStore(discfs.StoreConfig{})
+	store, err := discfs.NewMemStore()
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := discfs.NewServer(discfs.ServerConfig{
-		Backing:   store,
-		ServerKey: adminKey,
-		Admins:    nil,
-		CacheSize: -1, // immediate effect of clock changes, for the demo
-		Now:       now,
-	})
+	srv, err := discfs.NewServer(adminKey,
+		discfs.WithBacking(store),
+		discfs.WithCacheSize(-1), // immediate effect of clock changes, for the demo
+		discfs.WithClock(now),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,19 +45,19 @@ func main() {
 	// of the corporate server, once.
 	bobKey, _ := discfs.GenerateKey()
 	srv.IssueCredential(bobKey.Principal, store.Root().Ino, "RWX", "bob's sales area")
-	bob, err := discfs.Dial(addr, bobKey)
+	bob, err := discfs.Dial(ctx, addr, bobKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer bob.Close()
 
 	// Bob prepares the restricted product literature.
-	lit, _, err := bob.MkdirPath("/literature")
+	lit, _, err := bob.MkdirPath(ctx, "/literature")
 	if err != nil {
 		log.Fatal(err)
 	}
-	bob.WriteFile("/literature/roadmap.txt", []byte("Q3: the flux capacitor ships.\n"))
-	bob.WriteFile("/literature/pricing.txt", []byte("Introductory price: $999.\n"))
+	bob.WriteFile(ctx, "/literature/roadmap.txt", []byte("Q3: the flux capacitor ships.\n"))
+	bob.WriteFile(ctx, "/literature/pricing.txt", []byte("Introductory price: $999.\n"))
 	fmt.Println("bob published 2 documents under /literature")
 
 	// Two external clients — no accounts, unknown to the administrator.
@@ -67,67 +67,67 @@ func main() {
 	// Credentials: read+search on /literature, valid for 30 days.
 	expiry := clock.Add(30 * 24 * time.Hour).Format(time.RFC3339)
 	expiryCond := `now < "` + expiry + `"`
-	credCarol, err := bob.DelegateWithConditions(carolKey.Principal, lit.Handle.Ino, "RX", expiryCond, "client carol, 30 days")
+	credCarol, err := bob.DelegateWithConditions(ctx, carolKey.Principal, lit.Handle.Ino, "RX", expiryCond, "client carol, 30 days")
 	if err != nil {
 		log.Fatal(err)
 	}
-	credDanger, err := bob.DelegateWithConditions(dangerKey.Principal, lit.Handle.Ino, "RX", expiryCond, "client danger-corp, 30 days")
+	credDanger, err := bob.DelegateWithConditions(ctx, dangerKey.Principal, lit.Handle.Ino, "RX", expiryCond, "client danger-corp, 30 days")
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Clients also need search on the path to /literature.
-	walkCarol, _ := bob.DelegateWithConditions(carolKey.Principal, store.Root().Ino, "X", expiryCond, "path walk")
-	walkDanger, _ := bob.DelegateWithConditions(dangerKey.Principal, store.Root().Ino, "X", expiryCond, "path walk")
+	walkCarol, _ := bob.DelegateWithConditions(ctx, carolKey.Principal, store.Root().Ino, "X", expiryCond, "path walk")
+	walkDanger, _ := bob.DelegateWithConditions(ctx, dangerKey.Principal, store.Root().Ino, "X", expiryCond, "path walk")
 	fmt.Printf("bob mailed credentials to 2 clients (expire %s)\n\n", expiry)
 
-	carol, err := discfs.Dial(addr, carolKey)
+	carol, err := discfs.Dial(ctx, addr, carolKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer carol.Close()
-	carol.SubmitCredentials(credCarol, walkCarol)
-	data, err := carol.ReadFile("/literature/roadmap.txt")
+	carol.SubmitCredentials(ctx, credCarol, walkCarol)
+	data, err := carol.ReadFile(ctx, "/literature/roadmap.txt")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("carol reads the roadmap: %s", data)
 
 	// Clients cannot modify or create.
-	if _, _, err := carol.WriteFile("/literature/roadmap.txt", []byte("better roadmap")); err != nil {
+	if _, _, err := carol.WriteFile(ctx, "/literature/roadmap.txt", []byte("better roadmap")); err != nil {
 		fmt.Printf("carol write attempt: %v\n", err)
 	}
 
-	dc, err := discfs.Dial(addr, dangerKey)
+	dc, err := discfs.Dial(ctx, addr, dangerKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer dc.Close()
-	dc.SubmitCredentials(credDanger, walkDanger)
-	if _, err := dc.ReadFile("/literature/pricing.txt"); err == nil {
+	dc.SubmitCredentials(ctx, credDanger, walkDanger)
+	if _, err := dc.ReadFile(ctx, "/literature/pricing.txt"); err == nil {
 		fmt.Println("danger-corp reads the pricing sheet")
 	}
 
 	// danger-corp leaks the pricing sheet; the administrator revokes
 	// their key. Carol is unaffected.
-	admin, err := discfs.Dial(addr, adminKey)
+	admin, err := discfs.Dial(ctx, addr, adminKey)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer admin.Close()
-	if _, err := admin.RevokeKey(dangerKey.Principal); err != nil {
+	if _, err := admin.RevokeKey(ctx, dangerKey.Principal); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nadministrator revoked danger-corp's key")
-	if _, err := dc.ReadFile("/literature/pricing.txt"); err != nil {
+	if _, err := dc.ReadFile(ctx, "/literature/pricing.txt"); err != nil {
 		fmt.Printf("danger-corp read after revocation: %v\n", err)
 	}
-	if _, err := carol.ReadFile("/literature/pricing.txt"); err == nil {
+	if _, err := carol.ReadFile(ctx, "/literature/pricing.txt"); err == nil {
 		fmt.Println("carol still reads fine")
 	}
 
 	// Time passes: 31 days later, Carol's credential has expired.
 	clock = clock.Add(31 * 24 * time.Hour)
-	if _, err := carol.ReadFile("/literature/roadmap.txt"); err != nil {
+	if _, err := carol.ReadFile(ctx, "/literature/roadmap.txt"); err != nil {
 		fmt.Printf("\n31 days later, carol's credential expired: %v\n", err)
 	}
 }

@@ -1,0 +1,3 @@
+module discfs
+
+go 1.24

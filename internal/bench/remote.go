@@ -7,6 +7,8 @@
 package bench
 
 import (
+	"context"
+
 	"discfs/internal/nfs"
 	"discfs/internal/vfs"
 )
@@ -15,21 +17,21 @@ import (
 // and *nfs.CachingClient satisfy it, so workloads can run over a raw or
 // an attribute-caching client.
 type ClientAPI interface {
-	GetAttr(h vfs.Handle) (vfs.Attr, error)
-	SetAttr(h vfs.Handle, sa nfs.SAttr) (vfs.Attr, error)
-	Lookup(dir vfs.Handle, name string) (vfs.Attr, error)
-	Readlink(h vfs.Handle) (string, error)
-	Read(h vfs.Handle, offset, count uint32) ([]byte, vfs.Attr, error)
-	Write(h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error)
-	Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error)
-	Remove(dir vfs.Handle, name string) error
-	Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error
-	Link(target vfs.Handle, dir vfs.Handle, name string) error
-	Symlink(dir vfs.Handle, name, target string, mode uint32) error
-	Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error)
-	Rmdir(dir vfs.Handle, name string) error
-	ReadDirAll(dir vfs.Handle) ([]nfs.DirEntry, error)
-	StatFS(h vfs.Handle) (nfs.StatFSResult, error)
+	GetAttr(ctx context.Context, h vfs.Handle) (vfs.Attr, error)
+	SetAttr(ctx context.Context, h vfs.Handle, sa nfs.SAttr) (vfs.Attr, error)
+	Lookup(ctx context.Context, dir vfs.Handle, name string) (vfs.Attr, error)
+	Readlink(ctx context.Context, h vfs.Handle) (string, error)
+	Read(ctx context.Context, h vfs.Handle, offset, count uint32) ([]byte, vfs.Attr, error)
+	Write(ctx context.Context, h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error)
+	Create(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, error)
+	Remove(ctx context.Context, dir vfs.Handle, name string) error
+	Rename(ctx context.Context, fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error
+	Link(ctx context.Context, target vfs.Handle, dir vfs.Handle, name string) error
+	Symlink(ctx context.Context, dir vfs.Handle, name, target string, mode uint32) error
+	Mkdir(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, error)
+	Rmdir(ctx context.Context, dir vfs.Handle, name string) error
+	ReadDirAll(ctx context.Context, dir vfs.Handle) ([]nfs.DirEntry, error)
+	StatFS(ctx context.Context, h vfs.Handle) (nfs.StatFSResult, error)
 }
 
 var (
@@ -43,11 +45,19 @@ var (
 type RemoteFS struct {
 	c    ClientAPI
 	root vfs.Handle
+	ctx  context.Context
 }
 
-// NewRemoteFS wraps an NFS client with a known root handle.
+// NewRemoteFS wraps an NFS client with a known root handle. The vfs.FS
+// interface carries no context, so RemoteFS issues every RPC under
+// context.Background; use NewRemoteFSContext to bound the whole run.
 func NewRemoteFS(c ClientAPI, root vfs.Handle) *RemoteFS {
-	return &RemoteFS{c: c, root: root}
+	return NewRemoteFSContext(context.Background(), c, root)
+}
+
+// NewRemoteFSContext is NewRemoteFS with every RPC issued under ctx.
+func NewRemoteFSContext(ctx context.Context, c ClientAPI, root vfs.Handle) *RemoteFS {
+	return &RemoteFS{c: c, root: root, ctx: ctx}
 }
 
 var _ vfs.FS = (*RemoteFS)(nil)
@@ -56,7 +66,7 @@ var _ vfs.FS = (*RemoteFS)(nil)
 func (r *RemoteFS) Root() vfs.Handle { return r.root }
 
 // GetAttr implements vfs.FS.
-func (r *RemoteFS) GetAttr(h vfs.Handle) (vfs.Attr, error) { return r.c.GetAttr(h) }
+func (r *RemoteFS) GetAttr(h vfs.Handle) (vfs.Attr, error) { return r.c.GetAttr(r.ctx, h) }
 
 // SetAttr implements vfs.FS.
 func (r *RemoteFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
@@ -81,12 +91,12 @@ func (r *RemoteFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
 		sa.SetMtime = true
 		sa.Mtime = *s.Mtime
 	}
-	return r.c.SetAttr(h, sa)
+	return r.c.SetAttr(r.ctx, h, sa)
 }
 
 // Lookup implements vfs.FS.
 func (r *RemoteFS) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
-	return r.c.Lookup(dir, name)
+	return r.c.Lookup(r.ctx, dir, name)
 }
 
 // Read implements vfs.FS, splitting large reads into wire-sized RPCs.
@@ -98,7 +108,7 @@ func (r *RemoteFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, e
 		if n > nfs.MaxData {
 			n = nfs.MaxData
 		}
-		data, attr, err := r.c.Read(h, uint32(off)+uint32(len(out)), n)
+		data, attr, err := r.c.Read(r.ctx, h, uint32(off)+uint32(len(out)), n)
 		if err != nil {
 			return nil, false, err
 		}
@@ -123,7 +133,7 @@ func (r *RemoteFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error
 		if n > nfs.MaxData {
 			n = nfs.MaxData
 		}
-		attr, err = r.c.Write(h, uint32(off)+uint32(done), data[done:done+n])
+		attr, err = r.c.Write(r.ctx, h, uint32(off)+uint32(done), data[done:done+n])
 		if err != nil {
 			return vfs.Attr{}, err
 		}
@@ -140,28 +150,28 @@ func (r *RemoteFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error
 
 // Create implements vfs.FS.
 func (r *RemoteFS) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
-	return r.c.Create(dir, name, mode)
+	return r.c.Create(r.ctx, dir, name, mode)
 }
 
 // Remove implements vfs.FS.
-func (r *RemoteFS) Remove(dir vfs.Handle, name string) error { return r.c.Remove(dir, name) }
+func (r *RemoteFS) Remove(dir vfs.Handle, name string) error { return r.c.Remove(r.ctx, dir, name) }
 
 // Rename implements vfs.FS.
 func (r *RemoteFS) Rename(fd vfs.Handle, fn string, td vfs.Handle, tn string) error {
-	return r.c.Rename(fd, fn, td, tn)
+	return r.c.Rename(r.ctx, fd, fn, td, tn)
 }
 
 // Mkdir implements vfs.FS.
 func (r *RemoteFS) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
-	return r.c.Mkdir(dir, name, mode)
+	return r.c.Mkdir(r.ctx, dir, name, mode)
 }
 
 // Rmdir implements vfs.FS.
-func (r *RemoteFS) Rmdir(dir vfs.Handle, name string) error { return r.c.Rmdir(dir, name) }
+func (r *RemoteFS) Rmdir(dir vfs.Handle, name string) error { return r.c.Rmdir(r.ctx, dir, name) }
 
 // ReadDir implements vfs.FS.
 func (r *RemoteFS) ReadDir(dir vfs.Handle) ([]vfs.DirEntry, error) {
-	ents, err := r.c.ReadDirAll(dir)
+	ents, err := r.c.ReadDirAll(r.ctx, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -177,26 +187,26 @@ func (r *RemoteFS) ReadDir(dir vfs.Handle) ([]vfs.DirEntry, error) {
 
 // Symlink implements vfs.FS.
 func (r *RemoteFS) Symlink(dir vfs.Handle, name, target string, mode uint32) (vfs.Attr, error) {
-	if err := r.c.Symlink(dir, name, target, mode); err != nil {
+	if err := r.c.Symlink(r.ctx, dir, name, target, mode); err != nil {
 		return vfs.Attr{}, err
 	}
-	return r.c.Lookup(dir, name)
+	return r.c.Lookup(r.ctx, dir, name)
 }
 
 // Readlink implements vfs.FS.
-func (r *RemoteFS) Readlink(h vfs.Handle) (string, error) { return r.c.Readlink(h) }
+func (r *RemoteFS) Readlink(h vfs.Handle) (string, error) { return r.c.Readlink(r.ctx, h) }
 
 // Link implements vfs.FS.
 func (r *RemoteFS) Link(dir vfs.Handle, name string, target vfs.Handle) (vfs.Attr, error) {
-	if err := r.c.Link(target, dir, name); err != nil {
+	if err := r.c.Link(r.ctx, target, dir, name); err != nil {
 		return vfs.Attr{}, err
 	}
-	return r.c.Lookup(dir, name)
+	return r.c.Lookup(r.ctx, dir, name)
 }
 
 // StatFS implements vfs.FS.
 func (r *RemoteFS) StatFS() (vfs.StatFS, error) {
-	st, err := r.c.StatFS(r.root)
+	st, err := r.c.StatFS(r.ctx, r.root)
 	if err != nil {
 		return vfs.StatFS{}, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"net"
 
@@ -75,7 +76,7 @@ func SetupCFSNE() (*Setup, error) {
 		return nil, err
 	}
 	client := nfs.NewClient(sunrpc.NewClient(conn))
-	root, err := client.Mount("/export")
+	root, err := client.Mount(context.Background(), "/export")
 	if err != nil {
 		rpcSrv.Close()
 		return nil, err
@@ -125,7 +126,7 @@ func SetupDisCFS() (*Setup, error) {
 		srv.Close()
 		return nil, err
 	}
-	client, err := core.Dial(addr, userKey)
+	client, err := core.Dial(context.Background(), addr, userKey)
 	if err != nil {
 		srv.Close()
 		return nil, err
@@ -170,7 +171,7 @@ func DialCFSNECached(s *Setup) (*nfs.CachingClient, vfs.Handle, func(), error) {
 		return nil, vfs.Handle{}, nil, err
 	}
 	client := nfs.NewClient(sunrpc.NewClient(conn))
-	root, err := client.Mount("/export")
+	root, err := client.Mount(context.Background(), "/export")
 	if err != nil {
 		client.RPC().Close()
 		return nil, vfs.Handle{}, nil, err

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"discfs/internal/keynote"
 	"discfs/internal/nfs"
@@ -24,24 +26,33 @@ type Client struct {
 	root     vfs.Handle
 	identity *keynote.KeyPair
 	server   keynote.Principal
-}
 
-// ErrNotAdmin is returned by administrative procedures when the caller's
-// key is not an administrator of the server.
-var ErrNotAdmin = errors.New("core: not an administrator")
+	// credsPresented records whether this connection successfully
+	// submitted credentials (even ones the server already held); it
+	// distinguishes "denied with no credentials presented" from a plain
+	// policy denial in the error taxonomy.
+	credsPresented atomic.Bool
+}
 
 // Dial connects to a DisCFS server at addr, authenticating as identity,
 // and mounts the export. The returned client carries no credentials: per
 // the paper, the attached directory appears with mode 000 until
-// credentials are submitted.
-func Dial(addr string, identity *keynote.KeyPair) (*Client, error) {
-	conn, err := secchan.Dial(addr, secchan.Config{Identity: identity})
+// credentials are submitted. ctx bounds connection establishment, the
+// secure-channel handshake and the mount; it does not outlive Dial.
+//
+// A server that has revoked identity's key refuses the attach with an
+// error matching ErrRevoked.
+func Dial(ctx context.Context, addr string, identity *keynote.KeyPair) (*Client, error) {
+	conn, err := secchan.DialContext(ctx, addr, secchan.Config{Identity: identity})
 	if err != nil {
+		if errors.Is(err, secchan.ErrKeyRevoked) {
+			return nil, fmt.Errorf("%w: %w", ErrRevoked, err)
+		}
 		return nil, err
 	}
 	rpc := sunrpc.NewClient(conn)
 	nc := nfs.NewClient(rpc)
-	root, err := nc.Mount("/discfs")
+	root, err := nc.Mount(ctx, "/discfs")
 	if err != nil {
 		rpc.Close()
 		return nil, fmt.Errorf("core: mount: %w", err)
@@ -79,10 +90,10 @@ func (c *Client) Identity() *keynote.KeyPair { return c.identity }
 // SubmitCredentialText submits credential assertion text (one or more
 // assertions) to the server's persistent KeyNote session. It returns the
 // number of newly accepted credentials.
-func (c *Client) SubmitCredentialText(text string) (int, error) {
+func (c *Client) SubmitCredentialText(ctx context.Context, text string) (int, error) {
 	e := xdr.NewEncoder()
 	e.String(text)
-	d, err := c.rpc.Call(ExtProg, ExtVers, ExtSubmitCred, e.Bytes())
+	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtSubmitCred, e.Bytes())
 	if err != nil {
 		return 0, err
 	}
@@ -93,13 +104,14 @@ func (c *Client) SubmitCredentialText(text string) (int, error) {
 		return 0, err
 	}
 	if status != extOK {
-		return int(n), fmt.Errorf("core: credential rejected: %s", msg)
+		return int(n), fmt.Errorf("%w: %s", ErrCredentialRejected, msg)
 	}
+	c.credsPresented.Store(true)
 	return int(n), nil
 }
 
 // SubmitCredentials submits parsed credentials.
-func (c *Client) SubmitCredentials(creds ...*keynote.Assertion) (int, error) {
+func (c *Client) SubmitCredentials(ctx context.Context, creds ...*keynote.Assertion) (int, error) {
 	var b strings.Builder
 	for _, cr := range creds {
 		b.WriteString(cr.Source)
@@ -108,12 +120,12 @@ func (c *Client) SubmitCredentials(creds ...*keynote.Assertion) (int, error) {
 		}
 		b.WriteString("\n")
 	}
-	return c.SubmitCredentialText(b.String())
+	return c.SubmitCredentialText(ctx, b.String())
 }
 
 // WhoAmI asks the server which principal this connection authenticated.
-func (c *Client) WhoAmI() (keynote.Principal, error) {
-	d, err := c.rpc.Call(ExtProg, ExtVers, ExtWhoAmI, nil)
+func (c *Client) WhoAmI(ctx context.Context) (keynote.Principal, error) {
+	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtWhoAmI, nil)
 	if err != nil {
 		return "", err
 	}
@@ -122,7 +134,7 @@ func (c *Client) WhoAmI() (keynote.Principal, error) {
 }
 
 // createLike runs CREATECRED or MKDIRCRED.
-func (c *Client) createLike(proc uint32, dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
+func (c *Client) createLike(ctx context.Context, proc uint32, dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
 	e := xdr.NewEncoder()
 	fh := nfs.EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
@@ -130,12 +142,12 @@ func (c *Client) createLike(proc uint32, dir vfs.Handle, name string, mode uint3
 	sa := nfs.NewSAttr()
 	sa.Mode = mode
 	sa.Encode(e)
-	d, err := c.rpc.Call(ExtProg, ExtVers, proc, e.Bytes())
+	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, proc, e.Bytes())
 	if err != nil {
 		return vfs.Attr{}, "", err
 	}
 	if st := nfs.Stat(d.Uint32()); st != nfs.OK {
-		return vfs.Attr{}, "", &nfs.Error{Stat: st}
+		return vfs.Attr{}, "", c.wireError(&nfs.Error{Stat: st})
 	}
 	raw := d.OpaqueFixed(nfs.FHSize)
 	if err := d.Err(); err != nil {
@@ -170,22 +182,22 @@ func (c *Client) createLike(proc uint32, dir vfs.Handle, name string, mode uint3
 // CreateWithCredential creates a file and returns the server-issued
 // credential granting the creator full access — the paper's added
 // procedure.
-func (c *Client) CreateWithCredential(dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
-	return c.createLike(ExtCreateCred, dir, name, mode)
+func (c *Client) CreateWithCredential(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
+	return c.createLike(ctx, ExtCreateCred, dir, name, mode)
 }
 
 // MkdirWithCredential creates a directory and returns the creator's
 // credential.
-func (c *Client) MkdirWithCredential(dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
-	return c.createLike(ExtMkdirCred, dir, name, mode)
+func (c *Client) MkdirWithCredential(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
+	return c.createLike(ctx, ExtMkdirCred, dir, name, mode)
 }
 
 // RevokeKey asks the server to revoke a principal (administrators only).
 // It returns the number of credentials dropped.
-func (c *Client) RevokeKey(target keynote.Principal) (int, error) {
+func (c *Client) RevokeKey(ctx context.Context, target keynote.Principal) (int, error) {
 	e := xdr.NewEncoder()
 	e.String(string(target))
-	d, err := c.rpc.Call(ExtProg, ExtVers, ExtRevokeKey, e.Bytes())
+	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtRevokeKey, e.Bytes())
 	if err != nil {
 		return 0, err
 	}
@@ -202,10 +214,10 @@ func (c *Client) RevokeKey(target keynote.Principal) (int, error) {
 
 // RevokeCredential revokes one credential by its signature value
 // (administrators only). It reports whether the credential was present.
-func (c *Client) RevokeCredential(signatureValue string) (bool, error) {
+func (c *Client) RevokeCredential(ctx context.Context, signatureValue string) (bool, error) {
 	e := xdr.NewEncoder()
 	e.String(signatureValue)
-	d, err := c.rpc.Call(ExtProg, ExtVers, ExtRevokeCred, e.Bytes())
+	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtRevokeCred, e.Bytes())
 	if err != nil {
 		return false, err
 	}
@@ -222,8 +234,8 @@ func (c *Client) RevokeCredential(signatureValue string) (bool, error) {
 
 // ListCredentials returns the text of every credential in the server's
 // session (administrators only).
-func (c *Client) ListCredentials() ([]string, error) {
-	d, err := c.rpc.Call(ExtProg, ExtVers, ExtListCreds, nil)
+func (c *Client) ListCredentials(ctx context.Context) ([]string, error) {
+	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtListCreds, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -240,8 +252,8 @@ func (c *Client) ListCredentials() ([]string, error) {
 }
 
 // ServerStats fetches the policy-engine statistics.
-func (c *Client) ServerStats() (Stats, error) {
-	d, err := c.rpc.Call(ExtProg, ExtVers, ExtStats, nil)
+func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
+	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtStats, nil)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -265,7 +277,10 @@ func (c *Client) ServerStats() (Stats, error) {
 // (Bob issues Alice a credential, Figure 1). The credential is returned
 // for transmission to the holder (e.g. via email); whoever holds it
 // submits it before access.
-func (c *Client) Delegate(holder keynote.Principal, ino uint64, value, comment string) (*keynote.Assertion, error) {
+func (c *Client) Delegate(ctx context.Context, holder keynote.Principal, ino uint64, value, comment string) (*keynote.Assertion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return keynote.Sign(c.identity, keynote.AssertionSpec{
 		Licensees:  keynote.LicenseesOr(holder),
 		Conditions: SubtreeConditions(ino, value, true, ""),
@@ -275,7 +290,10 @@ func (c *Client) Delegate(holder keynote.Principal, ino uint64, value, comment s
 
 // DelegateWithConditions is Delegate with an extra conditions clause
 // ANDed in (e.g. `@hour >= 17 || @hour < 9` or an expiry bound on now).
-func (c *Client) DelegateWithConditions(holder keynote.Principal, ino uint64, value, extra, comment string) (*keynote.Assertion, error) {
+func (c *Client) DelegateWithConditions(ctx context.Context, holder keynote.Principal, ino uint64, value, extra, comment string) (*keynote.Assertion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return keynote.Sign(c.identity, keynote.AssertionSpec{
 		Licensees:  keynote.LicenseesOr(holder),
 		Conditions: SubtreeConditions(ino, value, true, extra),
@@ -286,19 +304,19 @@ func (c *Client) DelegateWithConditions(holder keynote.Principal, ino uint64, va
 // ---- path convenience API ----
 
 // ResolvePath walks a slash-separated path from the root.
-func (c *Client) ResolvePath(path string) (vfs.Attr, error) {
+func (c *Client) ResolvePath(ctx context.Context, path string) (vfs.Attr, error) {
 	cur := c.root
-	attr, err := c.nfs.GetAttr(cur)
+	attr, err := c.nfs.GetAttr(ctx, cur)
 	if err != nil {
-		return vfs.Attr{}, err
+		return vfs.Attr{}, c.wireError(err)
 	}
 	for _, part := range strings.Split(path, "/") {
 		if part == "" {
 			continue
 		}
-		attr, err = c.nfs.Lookup(cur, part)
+		attr, err = c.nfs.Lookup(ctx, cur, part)
 		if err != nil {
-			return vfs.Attr{}, err
+			return vfs.Attr{}, c.wireError(err)
 		}
 		cur = attr.Handle
 	}
@@ -306,7 +324,7 @@ func (c *Client) ResolvePath(path string) (vfs.Attr, error) {
 }
 
 // splitPath returns (parent directory handle, leaf name).
-func (c *Client) splitPath(path string) (vfs.Handle, string, error) {
+func (c *Client) splitPath(ctx context.Context, path string) (vfs.Handle, string, error) {
 	parts := make([]string, 0, 8)
 	for _, p := range strings.Split(path, "/") {
 		if p != "" {
@@ -318,9 +336,9 @@ func (c *Client) splitPath(path string) (vfs.Handle, string, error) {
 	}
 	dir := c.root
 	for _, p := range parts[:len(parts)-1] {
-		a, err := c.nfs.Lookup(dir, p)
+		a, err := c.nfs.Lookup(ctx, dir, p)
 		if err != nil {
-			return vfs.Handle{}, "", err
+			return vfs.Handle{}, "", c.wireError(err)
 		}
 		dir = a.Handle
 	}
@@ -328,71 +346,73 @@ func (c *Client) splitPath(path string) (vfs.Handle, string, error) {
 }
 
 // ReadFile reads a whole file by path.
-func (c *Client) ReadFile(path string) ([]byte, error) {
-	attr, err := c.ResolvePath(path)
+func (c *Client) ReadFile(ctx context.Context, path string) ([]byte, error) {
+	attr, err := c.ResolvePath(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	return c.nfs.ReadAll(attr.Handle)
+	data, err := c.nfs.ReadAll(ctx, attr.Handle)
+	return data, c.wireError(err)
 }
 
 // WriteFile creates (or truncates) a file by path and writes data. It
 // returns the file's attributes and, when the file was newly created,
 // the creator credential text.
-func (c *Client) WriteFile(path string, data []byte) (vfs.Attr, string, error) {
-	dir, name, err := c.splitPath(path)
+func (c *Client) WriteFile(ctx context.Context, path string, data []byte) (vfs.Attr, string, error) {
+	dir, name, err := c.splitPath(ctx, path)
 	if err != nil {
 		return vfs.Attr{}, "", err
 	}
 	var cred string
-	attr, err := c.nfs.Lookup(dir, name)
+	attr, err := c.nfs.Lookup(ctx, dir, name)
 	if err == nil {
 		sa := nfs.NewSAttr()
 		sa.Size = 0
-		if _, err := c.nfs.SetAttr(attr.Handle, sa); err != nil {
-			return vfs.Attr{}, "", err
+		if _, err := c.nfs.SetAttr(ctx, attr.Handle, sa); err != nil {
+			return vfs.Attr{}, "", c.wireError(err)
 		}
 	} else {
-		attr, cred, err = c.CreateWithCredential(dir, name, 0o644)
+		attr, cred, err = c.CreateWithCredential(ctx, dir, name, 0o644)
 		if err != nil {
 			return vfs.Attr{}, "", err
 		}
 	}
-	if err := c.nfs.WriteAll(attr.Handle, data); err != nil {
-		return vfs.Attr{}, "", err
+	if err := c.nfs.WriteAll(ctx, attr.Handle, data); err != nil {
+		return vfs.Attr{}, "", c.wireError(err)
 	}
 	return attr, cred, nil
 }
 
 // MkdirPath creates one directory by path, returning the credential.
-func (c *Client) MkdirPath(path string) (vfs.Attr, string, error) {
-	dir, name, err := c.splitPath(path)
+func (c *Client) MkdirPath(ctx context.Context, path string) (vfs.Attr, string, error) {
+	dir, name, err := c.splitPath(ctx, path)
 	if err != nil {
 		return vfs.Attr{}, "", err
 	}
-	return c.MkdirWithCredential(dir, name, 0o755)
+	return c.MkdirWithCredential(ctx, dir, name, 0o755)
 }
 
 // List returns the directory entries at path.
-func (c *Client) List(path string) ([]nfs.DirEntry, error) {
-	attr, err := c.ResolvePath(path)
+func (c *Client) List(ctx context.Context, path string) ([]nfs.DirEntry, error) {
+	attr, err := c.ResolvePath(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	return c.nfs.ReadDirAll(attr.Handle)
+	ents, err := c.nfs.ReadDirAll(ctx, attr.Handle)
+	return ents, c.wireError(err)
 }
 
 // DialWithCredentials attaches and immediately submits the given
 // credentials — the wallet pattern: a user keeps received credentials
 // locally and presents them at every attach, as the paper's clients
 // resubmit (or rely on server-side caching of) their chains.
-func DialWithCredentials(addr string, identity *keynote.KeyPair, creds ...*keynote.Assertion) (*Client, error) {
-	c, err := Dial(addr, identity)
+func DialWithCredentials(ctx context.Context, addr string, identity *keynote.KeyPair, creds ...*keynote.Assertion) (*Client, error) {
+	c, err := Dial(ctx, addr, identity)
 	if err != nil {
 		return nil, err
 	}
 	if len(creds) > 0 {
-		if _, err := c.SubmitCredentials(creds...); err != nil {
+		if _, err := c.SubmitCredentials(ctx, creds...); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -409,32 +429,32 @@ type WalkFunc func(path string, attr vfs.Attr) error
 // see. Permission errors on individual subtrees are skipped (the walk
 // visits what the caller may see, like ls -R under Unix permissions);
 // other errors abort.
-func (c *Client) Walk(fn WalkFunc) error {
-	return c.walkDir(c.root, "", fn)
+func (c *Client) Walk(ctx context.Context, fn WalkFunc) error {
+	return c.walkDir(ctx, c.root, "", fn)
 }
 
-func (c *Client) walkDir(dir vfs.Handle, prefix string, fn WalkFunc) error {
-	ents, err := c.nfs.ReadDirAll(dir)
+func (c *Client) walkDir(ctx context.Context, dir vfs.Handle, prefix string, fn WalkFunc) error {
+	ents, err := c.nfs.ReadDirAll(ctx, dir)
 	if err != nil {
 		if nfs.StatOf(err) == nfs.ErrAcces {
 			return nil
 		}
-		return err
+		return c.wireError(err)
 	}
 	for _, e := range ents {
-		attr, err := c.nfs.Lookup(dir, e.Name)
+		attr, err := c.nfs.Lookup(ctx, dir, e.Name)
 		if err != nil {
 			if nfs.StatOf(err) == nfs.ErrAcces {
 				continue
 			}
-			return err
+			return c.wireError(err)
 		}
 		path := prefix + "/" + e.Name
 		if err := fn(path, attr); err != nil {
 			return err
 		}
 		if attr.Type == vfs.TypeDir {
-			if err := c.walkDir(attr.Handle, path, fn); err != nil {
+			if err := c.walkDir(ctx, attr.Handle, path, fn); err != nil {
 				return err
 			}
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -49,8 +50,9 @@ func testServer(t *testing.T, cfg ServerConfig) (*Server, string) {
 }
 
 func dialAs(t *testing.T, addr, seed string) *Client {
+	ctx := context.Background()
 	t.Helper()
-	c, err := Dial(addr, keynote.DeterministicKey(seed))
+	c, err := Dial(ctx, addr, keynote.DeterministicKey(seed))
 	if err != nil {
 		t.Fatalf("Dial(%s): %v", seed, err)
 	}
@@ -59,9 +61,10 @@ func dialAs(t *testing.T, addr, seed string) *Client {
 }
 
 func TestAttachShowsMode000WithoutCredentials(t *testing.T) {
+	ctx := context.Background()
 	_, addr := testServer(t, ServerConfig{})
 	c := dialAs(t, addr, "stranger")
-	attr, err := c.NFS().GetAttr(c.Root())
+	attr, err := c.NFS().GetAttr(ctx, c.Root())
 	if err != nil {
 		t.Fatalf("GetAttr(root): %v", err)
 	}
@@ -69,13 +72,13 @@ func TestAttachShowsMode000WithoutCredentials(t *testing.T) {
 		t.Errorf("uncredentialed root mode = %o, want 000", attr.Mode)
 	}
 	// Every operation is denied.
-	if _, err := c.NFS().Lookup(c.Root(), "anything"); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := c.NFS().Lookup(ctx, c.Root(), "anything"); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("lookup = %v, want EACCES", err)
 	}
-	if _, err := c.NFS().Create(c.Root(), "f", 0o644); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := c.NFS().Create(ctx, c.Root(), "f", 0o644); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("create = %v, want EACCES", err)
 	}
-	if _, err := c.NFS().ReadDirAll(c.Root()); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := c.NFS().ReadDirAll(ctx, c.Root()); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("readdir = %v, want EACCES", err)
 	}
 }
@@ -86,6 +89,7 @@ func TestAttachShowsMode000WithoutCredentials(t *testing.T) {
 // full chain and is denied writes and denied everything without the
 // chain.
 func TestPaperFigure1Flow(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 
 	bobKey := keynote.DeterministicKey("bob")
@@ -100,16 +104,16 @@ func TestPaperFigure1Flow(t *testing.T) {
 
 	// Bob attaches and stores the paper.
 	bob := dialAs(t, addr, "bob")
-	if _, err := bob.SubmitCredentials(adminToBob); err != nil {
+	if _, err := bob.SubmitCredentials(ctx, adminToBob); err != nil {
 		t.Fatalf("bob submit: %v", err)
 	}
 	paper := []byte("DisCFS: credentials identify files, users, and conditions")
-	attr, _, err := bob.WriteFile("/paper.txt", paper)
+	attr, _, err := bob.WriteFile(ctx, "/paper.txt", paper)
 	if err != nil {
 		t.Fatalf("bob write: %v", err)
 	}
 	// Root now shows Bob's permissions.
-	rootAttr, _ := bob.NFS().GetAttr(bob.Root())
+	rootAttr, _ := bob.NFS().GetAttr(ctx, bob.Root())
 	if rootAttr.Mode&0o700 != 0o700 {
 		t.Errorf("bob's root mode = %o, want rwx for user bits", rootAttr.Mode)
 	}
@@ -117,14 +121,14 @@ func TestPaperFigure1Flow(t *testing.T) {
 	// 2nd certificate: Bob → Alice, read+search on the tree holding the
 	// paper (the paper's Figure 5 grants on a directory; reading files
 	// beneath it needs the search bit for lookups, as in Unix).
-	bobToAlice, err := bob.Delegate(aliceKey.Principal, rootIno, "RX", "bob lets alice read the paper")
+	bobToAlice, err := bob.Delegate(ctx, aliceKey.Principal, rootIno, "RX", "bob lets alice read the paper")
 	if err != nil {
 		t.Fatalf("Delegate: %v", err)
 	}
 
 	// Alice without any credentials: denied.
 	alice := dialAs(t, addr, "alice")
-	if _, err := alice.ReadFile("/paper.txt"); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := alice.ReadFile(ctx, "/paper.txt"); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Fatalf("alice without creds = %v, want EACCES", err)
 	}
 
@@ -133,10 +137,10 @@ func TestPaperFigure1Flow(t *testing.T) {
 	// the paper's credential-caching observation; the strict
 	// two-credential requirement is covered by
 	// TestAliceNeedsBothCredentials.
-	if _, err := alice.SubmitCredentials(bobToAlice); err != nil {
+	if _, err := alice.SubmitCredentials(ctx, bobToAlice); err != nil {
 		t.Fatalf("alice submit: %v", err)
 	}
-	got, err := alice.ReadFile("/paper.txt")
+	got, err := alice.ReadFile(ctx, "/paper.txt")
 	if err != nil {
 		t.Fatalf("alice read: %v", err)
 	}
@@ -144,11 +148,11 @@ func TestPaperFigure1Flow(t *testing.T) {
 		t.Errorf("alice read %q", got)
 	}
 	// Alice cannot write: her compliance value is RX, no W bit.
-	if _, err := alice.NFS().Write(attr.Handle, 0, []byte("defaced")); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := alice.NFS().Write(ctx, attr.Handle, 0, []byte("defaced")); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("alice write = %v, want EACCES", err)
 	}
 	// Alice cannot delete.
-	if err := alice.NFS().Remove(alice.Root(), "paper.txt"); nfs.StatOf(err) != nfs.ErrAcces {
+	if err := alice.NFS().Remove(ctx, alice.Root(), "paper.txt"); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("alice remove = %v, want EACCES", err)
 	}
 }
@@ -157,6 +161,7 @@ func TestPaperFigure1Flow(t *testing.T) {
 // requirement strictly: a server that never saw the admin→bob credential
 // denies Alice even with bob→alice submitted.
 func TestAliceNeedsBothCredentials(t *testing.T) {
+	ctx := context.Background()
 	adminKey := keynote.DeterministicKey("chain-admin")
 	bobKey := keynote.DeterministicKey("chain-bob")
 	aliceKey := keynote.DeterministicKey("chain-alice")
@@ -182,28 +187,29 @@ func TestAliceNeedsBothCredentials(t *testing.T) {
 
 	alice := dialAs(t, addr, "chain-alice")
 	// Only her own credential: no chain to POLICY.
-	if _, err := alice.SubmitCredentials(bobToAlice); err != nil {
+	if _, err := alice.SubmitCredentials(ctx, bobToAlice); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.NFS().ReadDirAll(alice.Root()); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := alice.NFS().ReadDirAll(ctx, alice.Root()); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Fatalf("partial chain = %v, want EACCES", err)
 	}
 	// Submit the missing link: now the chain closes.
-	if _, err := alice.SubmitCredentials(adminToBob); err != nil {
+	if _, err := alice.SubmitCredentials(ctx, adminToBob); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := alice.NFS().ReadDirAll(alice.Root()); err != nil {
+	if _, err := alice.NFS().ReadDirAll(ctx, alice.Root()); err != nil {
 		t.Errorf("full chain readdir: %v", err)
 	}
 }
 
 func TestCreateIssuesCredential(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "bob full access")
 
 	bob := dialAs(t, addr, "bob")
-	attr, credText, err := bob.CreateWithCredential(bob.Root(), "mine.txt", 0o644)
+	attr, credText, err := bob.CreateWithCredential(ctx, bob.Root(), "mine.txt", 0o644)
 	if err != nil {
 		t.Fatalf("CreateWithCredential: %v", err)
 	}
@@ -228,7 +234,7 @@ func TestCreateIssuesCredential(t *testing.T) {
 		t.Errorf("credential does not name the handle: %s", cred.Source)
 	}
 	// The creator can use the new file immediately.
-	if _, err := bob.NFS().Write(attr.Handle, 0, []byte("x")); err != nil {
+	if _, err := bob.NFS().Write(ctx, attr.Handle, 0, []byte("x")); err != nil {
 		t.Errorf("creator write: %v", err)
 	}
 }
@@ -248,30 +254,31 @@ func itoa(v uint64) string {
 }
 
 func TestSubtreeScopedDelegation(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
 
 	bob := dialAs(t, addr, "bob")
-	share, _, err := bob.MkdirPath("/share")
+	share, _, err := bob.MkdirPath(ctx, "/share")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := bob.WriteFile("/share/inside.txt", []byte("in")); err != nil {
+	if _, _, err := bob.WriteFile(ctx, "/share/inside.txt", []byte("in")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := bob.WriteFile("/private.txt", []byte("out")); err != nil {
+	if _, _, err := bob.WriteFile(ctx, "/private.txt", []byte("out")); err != nil {
 		t.Fatal(err)
 	}
 
 	carolKey := keynote.DeterministicKey("carol")
 	// Bob grants Carol read on /share subtree plus search on the root so
 	// she can walk the path (two credentials, as a real user would).
-	credShare, err := bob.Delegate(carolKey.Principal, share.Handle.Ino, "R", "carol reads share")
+	credShare, err := bob.Delegate(ctx, carolKey.Principal, share.Handle.Ino, "R", "carol reads share")
 	if err != nil {
 		t.Fatal(err)
 	}
-	credWalk, err := bob.Delegate(carolKey.Principal, srv.backing.Root().Ino, "X", "carol walks root")
+	credWalk, err := bob.Delegate(ctx, carolKey.Principal, srv.backing.Root().Ino, "X", "carol walks root")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,21 +294,21 @@ func TestSubtreeScopedDelegation(t *testing.T) {
 	_ = credWalk
 
 	carol := dialAs(t, addr, "carol")
-	if _, err := carol.SubmitCredentials(credShare, credWalkTight); err != nil {
+	if _, err := carol.SubmitCredentials(ctx, credShare, credWalkTight); err != nil {
 		t.Fatal(err)
 	}
 	// Carol reads inside the share. Lookup of "share" needs X on root
 	// (granted), lookup of "inside.txt" needs X on share: the R-subtree
 	// credential gives R only… the share credential value is "R" which
 	// has no X bit, so path lookup inside share fails. Grant RX instead:
-	credShareRX, err := bob.Delegate(carolKey.Principal, share.Handle.Ino, "RX", "carol reads+searches share")
+	credShareRX, err := bob.Delegate(ctx, carolKey.Principal, share.Handle.Ino, "RX", "carol reads+searches share")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := carol.SubmitCredentials(credShareRX); err != nil {
+	if _, err := carol.SubmitCredentials(ctx, credShareRX); err != nil {
 		t.Fatal(err)
 	}
-	got, err := carol.ReadFile("/share/inside.txt")
+	got, err := carol.ReadFile(ctx, "/share/inside.txt")
 	if err != nil {
 		t.Fatalf("carol read inside: %v", err)
 	}
@@ -309,47 +316,49 @@ func TestSubtreeScopedDelegation(t *testing.T) {
 		t.Errorf("carol read %q", got)
 	}
 	// Outside the subtree: denied.
-	if _, err := carol.ReadFile("/private.txt"); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := carol.ReadFile(ctx, "/private.txt"); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("carol read private = %v, want EACCES", err)
 	}
 	// Carol cannot write inside the share either.
-	if _, _, err := carol.WriteFile("/share/new.txt", []byte("no")); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, _, err := carol.WriteFile(ctx, "/share/new.txt", []byte("no")); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("carol write in share = %v, want EACCES", err)
 	}
 }
 
 func TestRevocationMidSession(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
 
 	bob := dialAs(t, addr, "bob")
-	if _, _, err := bob.WriteFile("/doc.txt", []byte("v1")); err != nil {
+	if _, _, err := bob.WriteFile(ctx, "/doc.txt", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 
 	// Admin attaches and revokes Bob's key.
 	admin := dialAs(t, addr, "test-admin")
-	if _, err := admin.RevokeKey(bobKey.Principal); err != nil {
+	if _, err := admin.RevokeKey(ctx, bobKey.Principal); err != nil {
 		t.Fatalf("RevokeKey: %v", err)
 	}
 
 	// Bob's existing connection loses access (cache purged server-side).
-	if _, err := bob.ReadFile("/doc.txt"); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := bob.ReadFile(ctx, "/doc.txt"); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("revoked bob read = %v, want EACCES", err)
 	}
 	// New connections from Bob are rejected at the handshake.
-	if _, err := Dial(addr, bobKey); err == nil {
+	if _, err := Dial(ctx, addr, bobKey); err == nil {
 		t.Error("revoked bob reconnected")
 	}
 	// Non-admins cannot revoke.
 	mallory := dialAs(t, addr, "mallory")
-	if _, err := mallory.RevokeKey(keynote.DeterministicKey("victim").Principal); !errors.Is(err, ErrNotAdmin) {
+	if _, err := mallory.RevokeKey(ctx, keynote.DeterministicKey("victim").Principal); !errors.Is(err, ErrNotAdmin) {
 		t.Errorf("mallory revoke = %v, want ErrNotAdmin", err)
 	}
 }
 
 func TestRevokeSingleCredential(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	cred, err := srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
@@ -357,26 +366,27 @@ func TestRevokeSingleCredential(t *testing.T) {
 		t.Fatal(err)
 	}
 	bob := dialAs(t, addr, "bob")
-	if _, _, err := bob.WriteFile("/f", []byte("x")); err != nil {
+	if _, _, err := bob.WriteFile(ctx, "/f", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	admin := dialAs(t, addr, "test-admin")
-	found, err := admin.RevokeCredential(cred.SignatureValue)
+	found, err := admin.RevokeCredential(ctx, cred.SignatureValue)
 	if err != nil || !found {
 		t.Fatalf("RevokeCredential = %v, %v", found, err)
 	}
 	// Bob keeps the per-file credential issued at create, but loses the
 	// tree-wide grant: reading the root directory is now denied.
-	if _, err := bob.NFS().ReadDirAll(bob.Root()); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := bob.NFS().ReadDirAll(ctx, bob.Root()); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("after cred revocation, readdir = %v, want EACCES", err)
 	}
 }
 
 func TestWhoAmIAndListCreds(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	bob := dialAs(t, addr, "bob")
-	p, err := bob.WhoAmI()
+	p, err := bob.WhoAmI(ctx)
 	if err != nil {
 		t.Fatalf("WhoAmI: %v", err)
 	}
@@ -384,12 +394,12 @@ func TestWhoAmIAndListCreds(t *testing.T) {
 		t.Errorf("WhoAmI = %s, want bob", p.Short())
 	}
 	// ListCredentials is admin-only.
-	if _, err := bob.ListCredentials(); !errors.Is(err, ErrNotAdmin) {
+	if _, err := bob.ListCredentials(ctx); !errors.Is(err, ErrNotAdmin) {
 		t.Errorf("bob list = %v, want ErrNotAdmin", err)
 	}
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "R", "")
 	admin := dialAs(t, addr, "test-admin")
-	creds, err := admin.ListCredentials()
+	creds, err := admin.ListCredentials(ctx)
 	if err != nil {
 		t.Fatalf("admin list: %v", err)
 	}
@@ -399,19 +409,21 @@ func TestWhoAmIAndListCreds(t *testing.T) {
 }
 
 func TestAdminHasImplicitFullAccess(t *testing.T) {
+	ctx := context.Background()
 	_, addr := testServer(t, ServerConfig{})
 	admin := dialAs(t, addr, "test-admin")
 	// The admin key is trusted by policy directly — no credentials needed.
-	if _, _, err := admin.WriteFile("/admin.txt", []byte("root of trust")); err != nil {
+	if _, _, err := admin.WriteFile(ctx, "/admin.txt", []byte("root of trust")); err != nil {
 		t.Fatalf("admin write: %v", err)
 	}
-	got, err := admin.ReadFile("/admin.txt")
+	got, err := admin.ReadFile(ctx, "/admin.txt")
 	if err != nil || string(got) != "root of trust" {
 		t.Errorf("admin read = %q, %v", got, err)
 	}
 }
 
 func TestTimeOfDayCredential(t *testing.T) {
+	ctx := context.Background()
 	// Server clock injected: first noon, then evening.
 	clock := time.Date(2001, 6, 15, 12, 0, 0, 0, time.UTC)
 	srv, addr := testServer(t, ServerConfig{
@@ -421,7 +433,7 @@ func TestTimeOfDayCredential(t *testing.T) {
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
 	bob := dialAs(t, addr, "bob")
-	leisure, _, err := bob.WriteFile("/leisure.txt", []byte("fun"))
+	leisure, _, err := bob.WriteFile(ctx, "/leisure.txt", []byte("fun"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,43 +441,44 @@ func TestTimeOfDayCredential(t *testing.T) {
 	// Bob grants Dave off-hours read access (paper §3.1: leisure files
 	// unavailable during office hours).
 	daveKey := keynote.DeterministicKey("dave")
-	cred, err := bob.DelegateWithConditions(daveKey.Principal, leisure.Handle.Ino,
+	cred, err := bob.DelegateWithConditions(ctx, daveKey.Principal, leisure.Handle.Ino,
 		"R", `@hour < 9 || @hour >= 17`, "off-hours only")
 	if err != nil {
 		t.Fatal(err)
 	}
 	dave := dialAs(t, addr, "dave")
-	if _, err := dave.SubmitCredentials(cred); err != nil {
+	if _, err := dave.SubmitCredentials(ctx, cred); err != nil {
 		t.Fatal(err)
 	}
 	// Noon: denied.
-	if _, _, err := dave.NFS().Read(leisure.Handle, 0, 10); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, _, err := dave.NFS().Read(ctx, leisure.Handle, 0, 10); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("noon read = %v, want EACCES", err)
 	}
 	// Evening: allowed.
 	clock = time.Date(2001, 6, 15, 19, 0, 0, 0, time.UTC)
-	data, _, err := dave.NFS().Read(leisure.Handle, 0, 10)
+	data, _, err := dave.NFS().Read(ctx, leisure.Handle, 0, 10)
 	if err != nil || string(data) != "fun" {
 		t.Errorf("evening read = %q, %v", data, err)
 	}
 }
 
 func TestPolicyCacheCountsHits(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{CacheSize: 128})
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
 	bob := dialAs(t, addr, "bob")
-	attr, _, err := bob.WriteFile("/hot.txt", bytes.Repeat([]byte("d"), 64))
+	attr, _, err := bob.WriteFile(ctx, "/hot.txt", bytes.Repeat([]byte("d"), 64))
 	if err != nil {
 		t.Fatal(err)
 	}
-	before, _ := bob.ServerStats()
+	before, _ := bob.ServerStats(ctx)
 	for i := 0; i < 50; i++ {
-		if _, _, err := bob.NFS().Read(attr.Handle, 0, 64); err != nil {
+		if _, _, err := bob.NFS().Read(ctx, attr.Handle, 0, 64); err != nil {
 			t.Fatal(err)
 		}
 	}
-	after, err := bob.ServerStats()
+	after, err := bob.ServerStats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -480,29 +493,31 @@ func TestPolicyCacheCountsHits(t *testing.T) {
 }
 
 func TestCredentialSubmissionInvalidatesCache(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	bob := dialAs(t, addr, "bob")
 	// Denied, and the denial is cached.
-	if _, err := bob.NFS().ReadDirAll(bob.Root()); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := bob.NFS().ReadDirAll(ctx, bob.Root()); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Fatal("expected initial denial")
 	}
 	// Grant arrives (session generation bumps, cache entries die).
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
-	if _, err := bob.NFS().ReadDirAll(bob.Root()); err != nil {
+	if _, err := bob.NFS().ReadDirAll(ctx, bob.Root()); err != nil {
 		t.Errorf("post-grant readdir still denied: %v", err)
 	}
 }
 
 func TestAuditTrail(t *testing.T) {
+	ctx := context.Background()
 	log := audit.New(64, nil)
 	srv, addr := testServer(t, ServerConfig{Audit: log})
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
 	bob := dialAs(t, addr, "bob")
-	bob.WriteFile("/audited.txt", []byte("x"))
+	bob.WriteFile(ctx, "/audited.txt", []byte("x"))
 	mallory := dialAs(t, addr, "mallory")
-	mallory.ReadFile("/audited.txt") // denied
+	mallory.ReadFile(ctx, "/audited.txt") // denied
 
 	recent := log.Recent(64)
 	if len(recent) == 0 {
@@ -530,6 +545,7 @@ func TestAuditTrail(t *testing.T) {
 }
 
 func TestExtraPolicyText(t *testing.T) {
+	ctx := context.Background()
 	// A site policy granting a named key read access to everything, with
 	// no credentials at all (the paper's "default policy" requirement).
 	guestKey := keynote.DeterministicKey("guest")
@@ -539,22 +555,23 @@ func TestExtraPolicyText(t *testing.T) {
 	srv, addr := testServer(t, ServerConfig{PolicyText: policy})
 	srv.IssueCredential(keynote.DeterministicKey("bob").Principal, srv.backing.Root().Ino, "RWX", "")
 	bob := dialAs(t, addr, "bob")
-	bob.WriteFile("/public.txt", []byte("hello"))
+	bob.WriteFile(ctx, "/public.txt", []byte("hello"))
 
 	guest := dialAs(t, addr, "guest")
-	got, err := guest.ReadFile("/public.txt")
+	got, err := guest.ReadFile(ctx, "/public.txt")
 	if err != nil || string(got) != "hello" {
 		t.Errorf("guest read = %q, %v", got, err)
 	}
-	if _, _, err := guest.WriteFile("/evil.txt", []byte("w")); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, _, err := guest.WriteFile(ctx, "/evil.txt", []byte("w")); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("guest write = %v, want EACCES", err)
 	}
 }
 
 func TestStatFSPassesThrough(t *testing.T) {
+	ctx := context.Background()
 	_, addr := testServer(t, ServerConfig{})
 	c := dialAs(t, addr, "anyone")
-	st, err := c.NFS().StatFS(c.Root())
+	st, err := c.NFS().StatFS(ctx, c.Root())
 	if err != nil {
 		t.Fatalf("StatFS: %v", err)
 	}
@@ -564,18 +581,19 @@ func TestStatFSPassesThrough(t *testing.T) {
 }
 
 func TestDelegationChainThreeLevels(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
 	bob := dialAs(t, addr, "bob")
-	attr, _, err := bob.WriteFile("/chain.txt", []byte("deep"))
+	attr, _, err := bob.WriteFile(ctx, "/chain.txt", []byte("deep"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// bob → carol (RW) → dave (R): dave presents the whole chain.
 	carolKey := keynote.DeterministicKey("carol")
 	daveKey := keynote.DeterministicKey("dave")
-	bobToCarol, err := bob.Delegate(carolKey.Principal, attr.Handle.Ino, "RW", "")
+	bobToCarol, err := bob.Delegate(ctx, carolKey.Principal, attr.Handle.Ino, "RW", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -587,15 +605,15 @@ func TestDelegationChainThreeLevels(t *testing.T) {
 		t.Fatal(err)
 	}
 	dave := dialAs(t, addr, "dave")
-	if _, err := dave.SubmitCredentials(bobToCarol, carolToDave); err != nil {
+	if _, err := dave.SubmitCredentials(ctx, bobToCarol, carolToDave); err != nil {
 		t.Fatal(err)
 	}
-	data, _, err := dave.NFS().Read(attr.Handle, 0, 16)
+	data, _, err := dave.NFS().Read(ctx, attr.Handle, 0, 16)
 	if err != nil || string(data) != "deep" {
 		t.Errorf("dave read = %q, %v", data, err)
 	}
 	// Dave's R does not include W even though carol had RW.
-	if _, err := dave.NFS().Write(attr.Handle, 0, []byte("no")); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := dave.NFS().Write(ctx, attr.Handle, 0, []byte("no")); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("dave write = %v, want EACCES", err)
 	}
 }
@@ -605,6 +623,7 @@ func TestDelegationChainThreeLevels(t *testing.T) {
 // even a key. The server additionally listens on plain TCP; such peers
 // are the "anonymous" principal and receive what policy grants it.
 func TestAnonymousWWWAccess(t *testing.T) {
+	ctx := context.Background()
 	policy := "Authorizer: \"POLICY\"\n" +
 		"Licensees: \"anonymous\"\n" +
 		"Conditions: app_domain == \"DisCFS\" -> \"RX\";\n"
@@ -612,7 +631,7 @@ func TestAnonymousWWWAccess(t *testing.T) {
 
 	// Publish a file as the admin over the secure channel.
 	admin := dialAs(t, addr, "test-admin")
-	if _, _, err := admin.WriteFile("/index.html", []byte("<h1>hello</h1>")); err != nil {
+	if _, _, err := admin.WriteFile(ctx, "/index.html", []byte("<h1>hello</h1>")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -629,23 +648,23 @@ func TestAnonymousWWWAccess(t *testing.T) {
 	}
 	nc := nfs.NewClient(sunrpc.NewClient(conn))
 	defer nc.RPC().Close()
-	root, err := nc.Mount("/discfs")
+	root, err := nc.Mount(ctx, "/discfs")
 	if err != nil {
 		t.Fatalf("anonymous mount: %v", err)
 	}
-	attr, err := nc.Lookup(root, "index.html")
+	attr, err := nc.Lookup(ctx, root, "index.html")
 	if err != nil {
 		t.Fatalf("anonymous lookup: %v", err)
 	}
-	data, _, err := nc.Read(attr.Handle, 0, 100)
+	data, _, err := nc.Read(ctx, attr.Handle, 0, 100)
 	if err != nil || string(data) != "<h1>hello</h1>" {
 		t.Errorf("anonymous read = %q, %v", data, err)
 	}
 	// Anonymous users cannot write — RX only.
-	if _, err := nc.Create(root, "evil", 0o644); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := nc.Create(ctx, root, "evil", 0o644); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("anonymous create = %v, want EACCES", err)
 	}
-	if _, err := nc.Write(attr.Handle, 0, []byte("defaced")); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := nc.Write(ctx, attr.Handle, 0, []byte("defaced")); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("anonymous write = %v, want EACCES", err)
 	}
 }
@@ -653,6 +672,7 @@ func TestAnonymousWWWAccess(t *testing.T) {
 // TestAnonymousDeniedByDefault: without a policy grant the anonymous
 // principal gets nothing.
 func TestAnonymousDeniedByDefault(t *testing.T) {
+	ctx := context.Background()
 	srv, _ := testServer(t, ServerConfig{})
 	plainLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -666,14 +686,14 @@ func TestAnonymousDeniedByDefault(t *testing.T) {
 	}
 	nc := nfs.NewClient(sunrpc.NewClient(conn))
 	defer nc.RPC().Close()
-	root, err := nc.Mount("/discfs")
+	root, err := nc.Mount(ctx, "/discfs")
 	if err != nil {
 		t.Fatalf("mount: %v", err)
 	}
-	if _, err := nc.ReadDirAll(root); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := nc.ReadDirAll(ctx, root); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("anonymous readdir = %v, want EACCES", err)
 	}
-	a, err := nc.GetAttr(root)
+	a, err := nc.GetAttr(ctx, root)
 	if err != nil {
 		t.Fatalf("GetAttr: %v", err)
 	}
@@ -686,6 +706,7 @@ func TestAnonymousDeniedByDefault(t *testing.T) {
 // clients doing mixed operations — delegation, IO, credential
 // submission, stats — concurrently.
 func TestConcurrentClients(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	rootIno := srv.backing.Root().Ino
 
@@ -699,31 +720,31 @@ func TestConcurrentClients(t *testing.T) {
 				errc <- err
 				return
 			}
-			c, err := Dial(addr, key)
+			c, err := Dial(ctx, addr, key)
 			if err != nil {
 				errc <- err
 				return
 			}
 			defer c.Close()
 			dir := fmt.Sprintf("/home-%d", g)
-			if _, _, err := c.MkdirPath(dir); err != nil {
+			if _, _, err := c.MkdirPath(ctx, dir); err != nil {
 				errc <- fmt.Errorf("mkdir: %w", err)
 				return
 			}
 			for i := 0; i < 20; i++ {
 				path := fmt.Sprintf("%s/f%d", dir, i)
 				content := []byte(fmt.Sprintf("client %d file %d", g, i))
-				if _, _, err := c.WriteFile(path, content); err != nil {
+				if _, _, err := c.WriteFile(ctx, path, content); err != nil {
 					errc <- fmt.Errorf("write %s: %w", path, err)
 					return
 				}
-				got, err := c.ReadFile(path)
+				got, err := c.ReadFile(ctx, path)
 				if err != nil || string(got) != string(content) {
 					errc <- fmt.Errorf("read %s = %q, %v", path, got, err)
 					return
 				}
 				if i%5 == 0 {
-					if _, err := c.ServerStats(); err != nil {
+					if _, err := c.ServerStats(ctx); err != nil {
 						errc <- err
 						return
 					}
@@ -731,18 +752,18 @@ func TestConcurrentClients(t *testing.T) {
 			}
 			// Delegate to a friend and have the friend read.
 			friendKey := keynote.DeterministicKey(seed + "-friend")
-			cred, err := c.Delegate(friendKey.Principal, rootIno, "RX", "")
+			cred, err := c.Delegate(ctx, friendKey.Principal, rootIno, "RX", "")
 			if err != nil {
 				errc <- err
 				return
 			}
-			friend, err := DialWithCredentials(addr, friendKey, cred)
+			friend, err := DialWithCredentials(ctx, addr, friendKey, cred)
 			if err != nil {
 				errc <- err
 				return
 			}
 			defer friend.Close()
-			if _, err := friend.ReadFile(dir + "/f0"); err != nil {
+			if _, err := friend.ReadFile(ctx, dir+"/f0"); err != nil {
 				errc <- fmt.Errorf("friend read: %w", err)
 				return
 			}
@@ -763,6 +784,7 @@ func TestConcurrentClients(t *testing.T) {
 // the administrator's public key in their policies; one user, one key,
 // per-server credentials, no user database anywhere.
 func TestDistributedServers(t *testing.T) {
+	ctx := context.Background()
 	adminKey := keynote.DeterministicKey("dist-admin")
 	srvA, addrA := testServer(t, ServerConfig{ServerKey: adminKey})
 	srvB, addrB := testServer(t, ServerConfig{ServerKey: adminKey})
@@ -787,35 +809,35 @@ func TestDistributedServers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cA, err := DialWithCredentials(addrA, userKey, credA)
+	cA, err := DialWithCredentials(ctx, addrA, userKey, credA)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cA.Close()
-	cB, err := DialWithCredentials(addrB, userKey, credB)
+	cB, err := DialWithCredentials(ctx, addrB, userKey, credB)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cB.Close()
 
 	// Full access on A.
-	if _, _, err := cA.WriteFile("/on-a.txt", []byte("written to A")); err != nil {
+	if _, _, err := cA.WriteFile(ctx, "/on-a.txt", []byte("written to A")); err != nil {
 		t.Fatalf("write on A: %v", err)
 	}
 	// Read-only on B: listing works, writing does not.
-	if _, err := cB.NFS().ReadDirAll(cB.Root()); err != nil {
+	if _, err := cB.NFS().ReadDirAll(ctx, cB.Root()); err != nil {
 		t.Fatalf("readdir on B: %v", err)
 	}
-	if _, _, err := cB.WriteFile("/on-b.txt", []byte("no")); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, _, err := cB.WriteFile(ctx, "/on-b.txt", []byte("no")); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("write on B = %v, want EACCES", err)
 	}
 	// Revocation is per-server state: revoking the user on B leaves A
 	// untouched — no synchronization, as the paper promises.
 	srvB.Session().RevokeKey(userKey.Principal)
-	if _, err := cB.NFS().ReadDirAll(cB.Root()); nfs.StatOf(err) != nfs.ErrAcces {
+	if _, err := cB.NFS().ReadDirAll(ctx, cB.Root()); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("B after revocation = %v, want EACCES", err)
 	}
-	if _, err := cA.ReadFile("/on-a.txt"); err != nil {
+	if _, err := cA.ReadFile(ctx, "/on-a.txt"); err != nil {
 		t.Errorf("A after B's revocation: %v", err)
 	}
 }
@@ -825,6 +847,7 @@ func TestDistributedServers(t *testing.T) {
 // may still be used on top of DisCFS" (§3.1); here they are used under
 // it, the other composition the layering allows.
 func TestEncryptedBackingStore(t *testing.T) {
+	ctx := context.Background()
 	backing, err := ffs.New(ffs.Config{BlockSize: 4096, NumBlocks: 8192})
 	if err != nil {
 		t.Fatal(err)
@@ -838,10 +861,10 @@ func TestEncryptedBackingStore(t *testing.T) {
 	srv.IssueCredential(bobKey.Principal, enc.Root().Ino, "RWX", "")
 	bob := dialAs(t, addr, "bob")
 	secret := []byte("credentials above, ciphertext below")
-	if _, _, err := bob.WriteFile("/layered.txt", secret); err != nil {
+	if _, _, err := bob.WriteFile(ctx, "/layered.txt", secret); err != nil {
 		t.Fatalf("write: %v", err)
 	}
-	got, err := bob.ReadFile("/layered.txt")
+	got, err := bob.ReadFile(ctx, "/layered.txt")
 	if err != nil || !bytes.Equal(got, secret) {
 		t.Fatalf("read = %q, %v", got, err)
 	}
@@ -861,51 +884,52 @@ func TestEncryptedBackingStore(t *testing.T) {
 // through the credential layer: symlink targets need R to read, link
 // needs W on both directory and target.
 func TestSymlinkAndLinkThroughPolicy(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
 	bob := dialAs(t, addr, "bob")
 	root := bob.Root()
 
-	if err := bob.NFS().Symlink(root, "ln", "/pointed/at", 0o777); err != nil {
+	if err := bob.NFS().Symlink(ctx, root, "ln", "/pointed/at", 0o777); err != nil {
 		t.Fatalf("symlink: %v", err)
 	}
-	la, err := bob.NFS().Lookup(root, "ln")
+	la, err := bob.NFS().Lookup(ctx, root, "ln")
 	if err != nil {
 		t.Fatal(err)
 	}
-	target, err := bob.NFS().Readlink(la.Handle)
+	target, err := bob.NFS().Readlink(ctx, la.Handle)
 	if err != nil || target != "/pointed/at" {
 		t.Errorf("readlink = %q, %v", target, err)
 	}
 
-	f, _, err := bob.WriteFile("/orig.txt", []byte("x"))
+	f, _, err := bob.WriteFile(ctx, "/orig.txt", []byte("x"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bob.NFS().Link(f.Handle, root, "alias.txt"); err != nil {
+	if err := bob.NFS().Link(ctx, f.Handle, root, "alias.txt"); err != nil {
 		t.Fatalf("link: %v", err)
 	}
 
 	// A read-only peer can readlink but not symlink/link.
 	roKey := keynote.DeterministicKey("ro")
-	cred, _ := bob.Delegate(roKey.Principal, srv.backing.Root().Ino, "RX", "")
-	ro, err := DialWithCredentials(addr, roKey, cred)
+	cred, _ := bob.Delegate(ctx, roKey.Principal, srv.backing.Root().Ino, "RX", "")
+	ro, err := DialWithCredentials(ctx, addr, roKey, cred)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ro.Close()
-	if _, err := ro.NFS().Readlink(la.Handle); err != nil {
+	if _, err := ro.NFS().Readlink(ctx, la.Handle); err != nil {
 		t.Errorf("ro readlink: %v", err)
 	}
-	if err := ro.NFS().Symlink(root, "evil", "/x", 0o777); nfs.StatOf(err) != nfs.ErrAcces {
+	if err := ro.NFS().Symlink(ctx, root, "evil", "/x", 0o777); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("ro symlink = %v, want EACCES", err)
 	}
-	if err := ro.NFS().Link(f.Handle, root, "evil2"); nfs.StatOf(err) != nfs.ErrAcces {
+	if err := ro.NFS().Link(ctx, f.Handle, root, "evil2"); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("ro link = %v, want EACCES", err)
 	}
 	// Rename denied for read-only peers too.
-	if err := ro.NFS().Rename(root, "orig.txt", root, "stolen.txt"); nfs.StatOf(err) != nfs.ErrAcces {
+	if err := ro.NFS().Rename(ctx, root, "orig.txt", root, "stolen.txt"); nfs.StatOf(err) != nfs.ErrAcces {
 		t.Errorf("ro rename = %v, want EACCES", err)
 	}
 }
@@ -913,36 +937,37 @@ func TestSymlinkAndLinkThroughPolicy(t *testing.T) {
 // TestExtensionProcedureEdgeCases: malformed and unusual extension
 // calls fail cleanly.
 func TestExtensionProcedureEdgeCases(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
 	bob := dialAs(t, addr, "bob")
 
 	// Submitting junk text is an error, not a crash.
-	if _, err := bob.SubmitCredentialText("this is not keynote"); err == nil {
+	if _, err := bob.SubmitCredentialText(ctx, "this is not keynote"); err == nil {
 		t.Error("junk credential accepted")
 	}
 	// Submitting an unsigned assertion is rejected.
 	unsigned := "Authorizer: " + string(bobKey.Principal) + "\nLicensees: \"x\"\n"
-	if _, err := bob.SubmitCredentialText(unsigned); err == nil {
+	if _, err := bob.SubmitCredentialText(ctx, unsigned); err == nil {
 		t.Error("unsigned credential accepted")
 	}
 	// CreateWithCredential into a stale directory handle.
 	stale := srv.backing.Root()
 	stale.Gen += 99
-	if _, _, err := bob.CreateWithCredential(stale, "f", 0o644); nfs.StatOf(err) != nfs.ErrStale {
+	if _, _, err := bob.CreateWithCredential(ctx, stale, "f", 0o644); nfs.StatOf(err) != nfs.ErrStale {
 		t.Errorf("create in stale dir = %v, want STALE", err)
 	}
 	// Duplicate create through the extension path.
-	if _, _, err := bob.CreateWithCredential(bob.Root(), "dup", 0o644); err != nil {
+	if _, _, err := bob.CreateWithCredential(ctx, bob.Root(), "dup", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := bob.CreateWithCredential(bob.Root(), "dup", 0o644); nfs.StatOf(err) != nfs.ErrExist {
+	if _, _, err := bob.CreateWithCredential(ctx, bob.Root(), "dup", 0o644); nfs.StatOf(err) != nfs.ErrExist {
 		t.Errorf("duplicate createcred = %v, want EXIST", err)
 	}
 	// RevokeCredential of an unknown signature reports not-found.
 	admin := dialAs(t, addr, "test-admin")
-	found, err := admin.RevokeCredential("sig-ed25519-hex:00ff")
+	found, err := admin.RevokeCredential(ctx, "sig-ed25519-hex:00ff")
 	if err != nil || found {
 		t.Errorf("revoke unknown = %v, %v", found, err)
 	}
@@ -951,18 +976,19 @@ func TestExtensionProcedureEdgeCases(t *testing.T) {
 // TestClientWalk traverses a small tree and respects per-subtree
 // permissions: entries the peer cannot search are skipped, not fatal.
 func TestClientWalk(t *testing.T) {
+	ctx := context.Background()
 	srv, addr := testServer(t, ServerConfig{})
 	bobKey := keynote.DeterministicKey("bob")
 	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
 	bob := dialAs(t, addr, "bob")
-	bob.MkdirPath("/docs")
-	bob.WriteFile("/docs/a.txt", []byte("a"))
-	bob.WriteFile("/docs/b.txt", []byte("b"))
-	bob.MkdirPath("/private")
-	bob.WriteFile("/private/secret.txt", []byte("s"))
+	bob.MkdirPath(ctx, "/docs")
+	bob.WriteFile(ctx, "/docs/a.txt", []byte("a"))
+	bob.WriteFile(ctx, "/docs/b.txt", []byte("b"))
+	bob.MkdirPath(ctx, "/private")
+	bob.WriteFile(ctx, "/private/secret.txt", []byte("s"))
 
 	var seen []string
-	err := bob.Walk(func(path string, attr vfs.Attr) error {
+	err := bob.Walk(ctx, func(path string, attr vfs.Attr) error {
 		seen = append(seen, path)
 		return nil
 	})
@@ -984,12 +1010,12 @@ func TestClientWalk(t *testing.T) {
 
 	// A peer with access to /docs only (plus root search) walks what it
 	// can see and silently skips the rest.
-	docs, err := bob.ResolvePath("/docs")
+	docs, err := bob.ResolvePath(ctx, "/docs")
 	if err != nil {
 		t.Fatal(err)
 	}
 	carolKey := keynote.DeterministicKey("carol")
-	credDocs, _ := bob.Delegate(carolKey.Principal, docs.Handle.Ino, "RX", "")
+	credDocs, _ := bob.Delegate(ctx, carolKey.Principal, docs.Handle.Ino, "RX", "")
 	credRoot, err := keynote.Sign(bob.Identity(), keynote.AssertionSpec{
 		Licensees:  keynote.LicenseesOr(carolKey.Principal),
 		Conditions: SubtreeConditions(srv.backing.Root().Ino, "RX", false, ""),
@@ -997,13 +1023,13 @@ func TestClientWalk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	carol, err := DialWithCredentials(addr, carolKey, credDocs, credRoot)
+	carol, err := DialWithCredentials(ctx, addr, carolKey, credDocs, credRoot)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer carol.Close()
 	seen = nil
-	if err := carol.Walk(func(path string, attr vfs.Attr) error {
+	if err := carol.Walk(ctx, func(path string, attr vfs.Attr) error {
 		seen = append(seen, path)
 		return nil
 	}); err != nil {

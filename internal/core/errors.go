@@ -1,0 +1,62 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"discfs/internal/nfs"
+	"discfs/internal/secchan"
+)
+
+// The DisCFS error taxonomy. Every error surfaced by Client operations
+// wraps one of these sentinels where applicable, so callers classify
+// failures with errors.Is across the RPC boundary instead of matching
+// NFS status codes or message text.
+var (
+	// ErrAccessDenied reports a policy denial: the caller's credentials
+	// do not grant the permission the operation needs.
+	ErrAccessDenied = errors.New("discfs: access denied")
+	// ErrNoCredentials qualifies an access denial observed before this
+	// client submitted any credentials on the connection — the paper's
+	// freshly-attached mode-000 state. It always accompanies
+	// ErrAccessDenied, never replaces it.
+	ErrNoCredentials = errors.New("discfs: no credentials submitted")
+	// ErrStale reports a file handle that no longer names a live file
+	// (removed, or its generation rolled).
+	ErrStale = errors.New("discfs: stale file handle")
+	// ErrNotAdmin is returned by administrative procedures when the
+	// caller's key is not an administrator of the server.
+	ErrNotAdmin = errors.New("discfs: not an administrator")
+	// ErrRevoked reports a connection attempt with a revoked key,
+	// rejected during the secure-channel handshake.
+	ErrRevoked = errors.New("discfs: key revoked")
+	// ErrNotExist reports a missing file or directory.
+	ErrNotExist = errors.New("discfs: file does not exist")
+	// ErrCredentialRejected reports a submitted credential the server's
+	// KeyNote session refused (bad signature, unparsable assertion).
+	ErrCredentialRejected = errors.New("discfs: credential rejected")
+)
+
+// wireError translates an error observed through the RPC boundary into
+// the taxonomy, preserving the original error in the chain so transport
+// detail (e.g. the NFS status) stays reachable via errors.As.
+func (c *Client) wireError(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, secchan.ErrKeyRevoked) {
+		return fmt.Errorf("%w: %w", ErrRevoked, err)
+	}
+	switch nfs.StatOf(err) {
+	case nfs.ErrAcces, nfs.ErrPerm:
+		if !c.credsPresented.Load() {
+			return fmt.Errorf("%w: %w: %w", ErrAccessDenied, ErrNoCredentials, err)
+		}
+		return fmt.Errorf("%w: %w", ErrAccessDenied, err)
+	case nfs.ErrStale:
+		return fmt.Errorf("%w: %w", ErrStale, err)
+	case nfs.ErrNoEnt:
+		return fmt.Errorf("%w: %w", ErrNotExist, err)
+	}
+	return err
+}

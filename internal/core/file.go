@@ -1,0 +1,317 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"discfs/internal/nfs"
+	"discfs/internal/vfs"
+)
+
+// File is a streaming handle on a remote DisCFS file. It implements
+// io.Reader, io.Writer, io.Seeker, io.ReaderAt, io.WriterAt and
+// io.Closer, chunking transfers into NFS READ/WRITE calls of at most
+// nfs.MaxData bytes each, so arbitrarily large files move without ever
+// being buffered whole on either side.
+//
+// The context passed to Open governs every RPC the File issues;
+// canceling it aborts in-flight and future operations. A File is safe
+// for concurrent use; the read/write cursor is shared, as with os.File,
+// and positioned I/O (ReadAt/WriteAt) runs in parallel without touching
+// the cursor.
+type File struct {
+	c    *Client
+	ctx  context.Context
+	h    vfs.Handle
+	path string
+	cred string // creator credential when Open created the file
+
+	readable bool
+	writable bool
+	append_  bool
+
+	size atomic.Int64 // last size observed from the server
+
+	mu     sync.Mutex // guards the cursor and the closed flag
+	pos    int64
+	closed bool
+}
+
+// Open opens the file at path. flag is the standard os.O_* bitmask:
+// os.O_RDONLY, os.O_WRONLY, os.O_RDWR, optionally combined with
+// os.O_CREATE (create if missing, returning the creator credential),
+// os.O_EXCL (with O_CREATE: fail if the file exists — best-effort, as
+// NFSv2 CREATE has no exclusive mode), os.O_TRUNC (truncate on open)
+// and os.O_APPEND (start the cursor at end-of-file).
+//
+// Open fails with an error matching ErrNotExist when the file is missing
+// and os.O_CREATE is not set, and with ErrAccessDenied when credentials
+// do not permit the requested access.
+func (c *Client) Open(ctx context.Context, path string, flag int) (*File, error) {
+	acc := flag & (os.O_RDONLY | os.O_WRONLY | os.O_RDWR)
+	f := &File{
+		c:        c,
+		ctx:      ctx,
+		path:     path,
+		readable: acc == os.O_RDONLY || acc == os.O_RDWR,
+		writable: acc == os.O_WRONLY || acc == os.O_RDWR,
+		append_:  flag&os.O_APPEND != 0,
+	}
+	dir, name, err := c.splitPath(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	attr, err := c.nfs.Lookup(ctx, dir, name)
+	switch {
+	case err == nil:
+		if flag&(os.O_CREATE|os.O_EXCL) == os.O_CREATE|os.O_EXCL {
+			return nil, fmt.Errorf("core: open %s: %w", path, vfs.ErrExist)
+		}
+		if attr.Type == vfs.TypeDir {
+			return nil, fmt.Errorf("core: open %s: %w", path, vfs.ErrIsDir)
+		}
+		if flag&os.O_TRUNC != 0 && f.writable {
+			sa := nfs.NewSAttr()
+			sa.Size = 0
+			if attr, err = c.nfs.SetAttr(ctx, attr.Handle, sa); err != nil {
+				return nil, c.wireError(err)
+			}
+		}
+	case nfs.StatOf(err) == nfs.ErrNoEnt && flag&os.O_CREATE != 0:
+		attr, f.cred, err = c.CreateWithCredential(ctx, dir, name, 0o644)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, c.wireError(err)
+	}
+	f.h = attr.Handle
+	f.size.Store(int64(attr.Size))
+	if f.append_ {
+		f.pos = f.size.Load()
+	}
+	return f, nil
+}
+
+// Handle returns the file's NFS handle.
+func (f *File) Handle() vfs.Handle { return f.h }
+
+// Name returns the path the file was opened with.
+func (f *File) Name() string { return f.path }
+
+// Credential returns the creator credential text when Open created the
+// file (os.O_CREATE on a missing path), and "" otherwise.
+func (f *File) Credential() string { return f.cred }
+
+// Stat fetches fresh attributes from the server.
+func (f *File) Stat() (vfs.Attr, error) {
+	if err := f.checkOpen(); err != nil {
+		return vfs.Attr{}, err
+	}
+	attr, err := f.c.nfs.GetAttr(f.ctx, f.h)
+	if err != nil {
+		return vfs.Attr{}, f.c.wireError(err)
+	}
+	f.size.Store(int64(attr.Size))
+	return attr, nil
+}
+
+var errClosed = fmt.Errorf("core: file already closed")
+
+// Read implements io.Reader: one NFS READ of at most nfs.MaxData bytes
+// per call, advancing the cursor.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, errClosed
+	}
+	if !f.readable {
+		return 0, fmt.Errorf("core: %s not opened for reading: %w", f.path, vfs.ErrPerm)
+	}
+	n, err := f.readChunk(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt; it does not move the cursor, and
+// concurrent positioned reads proceed in parallel. Unlike Read it loops
+// until p is full or the file ends, per the io.ReaderAt contract.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	if !f.readable {
+		return 0, fmt.Errorf("core: %s not opened for reading: %w", f.path, vfs.ErrPerm)
+	}
+	total := 0
+	for total < len(p) {
+		n, err := f.readChunk(p[total:], off+int64(total))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// checkOpen reports errClosed once Close has run.
+func (f *File) checkOpen() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errClosed
+	}
+	return nil
+}
+
+// readChunk issues a single READ of ≤ MaxData bytes at off.
+func (f *File) readChunk(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off > math.MaxUint32 {
+		return 0, fmt.Errorf("core: offset %d beyond NFSv2 range: %w", off, vfs.ErrFBig)
+	}
+	count := uint32(len(p))
+	if count > nfs.MaxData {
+		count = nfs.MaxData
+	}
+	data, attr, err := f.c.nfs.Read(f.ctx, f.h, uint32(off), count)
+	if err != nil {
+		return 0, f.c.wireError(err)
+	}
+	f.size.Store(int64(attr.Size))
+	n := copy(p, data)
+	if n == 0 {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// Write implements io.Writer, advancing the cursor. The full slice is
+// written (in MaxData chunks) or an error is returned.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, errClosed
+	}
+	if f.append_ {
+		f.pos = f.size.Load()
+	}
+	n, err := f.writeAt(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+// WriteAt implements io.WriterAt; it does not move the cursor, and
+// concurrent positioned writes proceed in parallel.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.checkOpen(); err != nil {
+		return 0, err
+	}
+	return f.writeAt(p, off)
+}
+
+// writeAt chunks p into WRITEs starting at off.
+func (f *File) writeAt(p []byte, off int64) (int, error) {
+	if !f.writable {
+		return 0, fmt.Errorf("core: %s not opened for writing: %w", f.path, vfs.ErrPerm)
+	}
+	total := 0
+	for total < len(p) {
+		end := total + nfs.MaxData
+		if end > len(p) {
+			end = len(p)
+		}
+		at := off + int64(total)
+		if at > math.MaxUint32 {
+			return total, fmt.Errorf("core: offset %d beyond NFSv2 range: %w", at, vfs.ErrFBig)
+		}
+		attr, err := f.c.nfs.Write(f.ctx, f.h, uint32(at), p[total:end])
+		if err != nil {
+			return total, f.c.wireError(err)
+		}
+		f.size.Store(int64(attr.Size))
+		total = end
+	}
+	return total, nil
+}
+
+// Seek implements io.Seeker. Seeking relative to the end fetches fresh
+// attributes so concurrent writers are observed.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, errClosed
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		attr, err := f.c.nfs.GetAttr(f.ctx, f.h)
+		if err != nil {
+			return 0, f.c.wireError(err)
+		}
+		f.size.Store(int64(attr.Size))
+		base = f.size.Load()
+	default:
+		return 0, fmt.Errorf("core: seek: invalid whence %d: %w", whence, vfs.ErrInval)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("core: seek to %d: %w", pos, vfs.ErrInval)
+	}
+	f.pos = pos
+	return pos, nil
+}
+
+// Truncate resizes the file.
+func (f *File) Truncate(size int64) error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	if !f.writable {
+		return fmt.Errorf("core: %s not opened for writing: %w", f.path, vfs.ErrPerm)
+	}
+	if size < 0 || size > math.MaxUint32 {
+		return fmt.Errorf("core: truncate to %d: %w", size, vfs.ErrInval)
+	}
+	sa := nfs.NewSAttr()
+	sa.Size = uint32(size)
+	attr, err := f.c.nfs.SetAttr(f.ctx, f.h, sa)
+	if err != nil {
+		return f.c.wireError(err)
+	}
+	f.size.Store(int64(attr.Size))
+	return nil
+}
+
+// Close releases the handle. NFSv2 is stateless, so Close only marks the
+// File unusable; it never fails with a transport error.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errClosed
+	}
+	f.closed = true
+	return nil
+}
+
+var (
+	_ io.ReadWriteSeeker = (*File)(nil)
+	_ io.ReaderAt        = (*File)(nil)
+	_ io.WriterAt        = (*File)(nil)
+	_ io.Closer          = (*File)(nil)
+)

@@ -329,10 +329,12 @@ func (s *Server) IssueCredential(holder keynote.Principal, ino uint64, value, co
 
 // ---- serving ----
 
-// Authorize rejects connections from revoked keys at handshake time.
+// Authorize rejects connections from revoked keys at handshake time. The
+// secchan sentinel tells the transport to report the revocation to the
+// peer, where Dial surfaces it as ErrRevoked.
 func (s *Server) Authorize(peer keynote.Principal) error {
 	if s.session.Revoked(peer) {
-		return fmt.Errorf("key revoked")
+		return secchan.ErrKeyRevoked
 	}
 	return nil
 }

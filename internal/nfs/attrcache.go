@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -92,7 +93,7 @@ func (c *CachingClient) forgetDir(dir vfs.Handle) {
 }
 
 // GetAttr serves from cache within the TTL.
-func (c *CachingClient) GetAttr(h vfs.Handle) (vfs.Attr, error) {
+func (c *CachingClient) GetAttr(ctx context.Context, h vfs.Handle) (vfs.Attr, error) {
 	c.mu.Lock()
 	if e, ok := c.attrs[h]; ok && c.now().Before(e.expires) {
 		c.hits++
@@ -101,7 +102,7 @@ func (c *CachingClient) GetAttr(h vfs.Handle) (vfs.Attr, error) {
 	}
 	c.misses++
 	c.mu.Unlock()
-	a, err := c.Client.GetAttr(h)
+	a, err := c.Client.GetAttr(ctx, h)
 	if err != nil {
 		c.forgetHandle(h)
 		return a, err
@@ -111,7 +112,7 @@ func (c *CachingClient) GetAttr(h vfs.Handle) (vfs.Attr, error) {
 }
 
 // Lookup serves from cache within the TTL.
-func (c *CachingClient) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
+func (c *CachingClient) Lookup(ctx context.Context, dir vfs.Handle, name string) (vfs.Attr, error) {
 	key := lookupKey{dir, name}
 	c.mu.Lock()
 	if e, ok := c.looks[key]; ok && c.now().Before(e.expires) {
@@ -121,7 +122,7 @@ func (c *CachingClient) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
 	}
 	c.misses++
 	c.mu.Unlock()
-	a, err := c.Client.Lookup(dir, name)
+	a, err := c.Client.Lookup(ctx, dir, name)
 	if err != nil {
 		return a, err
 	}
@@ -133,8 +134,8 @@ func (c *CachingClient) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
 }
 
 // Read updates the attribute cache from the piggybacked fattr.
-func (c *CachingClient) Read(h vfs.Handle, offset, count uint32) ([]byte, vfs.Attr, error) {
-	data, a, err := c.Client.Read(h, offset, count)
+func (c *CachingClient) Read(ctx context.Context, h vfs.Handle, offset, count uint32) ([]byte, vfs.Attr, error) {
+	data, a, err := c.Client.Read(ctx, h, offset, count)
 	if err == nil {
 		c.remember(a)
 	}
@@ -142,8 +143,8 @@ func (c *CachingClient) Read(h vfs.Handle, offset, count uint32) ([]byte, vfs.At
 }
 
 // Write invalidates and refreshes the file's attributes.
-func (c *CachingClient) Write(h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error) {
-	a, err := c.Client.Write(h, offset, data)
+func (c *CachingClient) Write(ctx context.Context, h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error) {
+	a, err := c.Client.Write(ctx, h, offset, data)
 	if err != nil {
 		c.forgetHandle(h)
 		return a, err
@@ -153,8 +154,8 @@ func (c *CachingClient) Write(h vfs.Handle, offset uint32, data []byte) (vfs.Att
 }
 
 // SetAttr refreshes the cache with the returned attributes.
-func (c *CachingClient) SetAttr(h vfs.Handle, sa SAttr) (vfs.Attr, error) {
-	a, err := c.Client.SetAttr(h, sa)
+func (c *CachingClient) SetAttr(ctx context.Context, h vfs.Handle, sa SAttr) (vfs.Attr, error) {
+	a, err := c.Client.SetAttr(ctx, h, sa)
 	if err != nil {
 		c.forgetHandle(h)
 		return a, err
@@ -164,8 +165,8 @@ func (c *CachingClient) SetAttr(h vfs.Handle, sa SAttr) (vfs.Attr, error) {
 }
 
 // Create invalidates the directory and caches the new file.
-func (c *CachingClient) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
-	a, err := c.Client.Create(dir, name, mode)
+func (c *CachingClient) Create(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	a, err := c.Client.Create(ctx, dir, name, mode)
 	c.forgetDir(dir)
 	if err == nil {
 		c.remember(a)
@@ -174,8 +175,8 @@ func (c *CachingClient) Create(dir vfs.Handle, name string, mode uint32) (vfs.At
 }
 
 // Mkdir invalidates the parent and caches the new directory.
-func (c *CachingClient) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
-	a, err := c.Client.Mkdir(dir, name, mode)
+func (c *CachingClient) Mkdir(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	a, err := c.Client.Mkdir(ctx, dir, name, mode)
 	c.forgetDir(dir)
 	if err == nil {
 		c.remember(a)
@@ -184,38 +185,38 @@ func (c *CachingClient) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Att
 }
 
 // Remove invalidates the directory and the dead entry.
-func (c *CachingClient) Remove(dir vfs.Handle, name string) error {
-	err := c.Client.Remove(dir, name)
+func (c *CachingClient) Remove(ctx context.Context, dir vfs.Handle, name string) error {
+	err := c.Client.Remove(ctx, dir, name)
 	c.forgetDir(dir)
 	return err
 }
 
 // Rmdir invalidates the parent.
-func (c *CachingClient) Rmdir(dir vfs.Handle, name string) error {
-	err := c.Client.Rmdir(dir, name)
+func (c *CachingClient) Rmdir(ctx context.Context, dir vfs.Handle, name string) error {
+	err := c.Client.Rmdir(ctx, dir, name)
 	c.forgetDir(dir)
 	return err
 }
 
 // Rename invalidates both directories.
-func (c *CachingClient) Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error {
-	err := c.Client.Rename(fromDir, fromName, toDir, toName)
+func (c *CachingClient) Rename(ctx context.Context, fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error {
+	err := c.Client.Rename(ctx, fromDir, fromName, toDir, toName)
 	c.forgetDir(fromDir)
 	c.forgetDir(toDir)
 	return err
 }
 
 // Link invalidates the directory and the target's attributes (nlink).
-func (c *CachingClient) Link(target vfs.Handle, dir vfs.Handle, name string) error {
-	err := c.Client.Link(target, dir, name)
+func (c *CachingClient) Link(ctx context.Context, target vfs.Handle, dir vfs.Handle, name string) error {
+	err := c.Client.Link(ctx, target, dir, name)
 	c.forgetDir(dir)
 	c.forgetHandle(target)
 	return err
 }
 
 // Symlink invalidates the directory.
-func (c *CachingClient) Symlink(dir vfs.Handle, name, targetPath string, mode uint32) error {
-	err := c.Client.Symlink(dir, name, targetPath, mode)
+func (c *CachingClient) Symlink(ctx context.Context, dir vfs.Handle, name, targetPath string, mode uint32) error {
+	err := c.Client.Symlink(ctx, dir, name, targetPath, mode)
 	c.forgetDir(dir)
 	return err
 }

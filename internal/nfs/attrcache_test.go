@@ -1,6 +1,7 @@
 package nfs
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -15,13 +16,14 @@ func cachedStack(t *testing.T, ttl time.Duration) (*CachingClient, vfs.Handle) {
 }
 
 func TestAttrCacheServesRepeatedGetattr(t *testing.T) {
+	ctx := context.Background()
 	cc, root := cachedStack(t, time.Minute)
-	attr, err := cc.Create(root, "f", 0o644)
+	attr, err := cc.Create(ctx, root, "f", 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := cc.GetAttr(attr.Handle); err != nil {
+		if _, err := cc.GetAttr(ctx, attr.Handle); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -33,13 +35,14 @@ func TestAttrCacheServesRepeatedGetattr(t *testing.T) {
 }
 
 func TestLookupCacheServesRepeatedLookups(t *testing.T) {
+	ctx := context.Background()
 	cc, root := cachedStack(t, time.Minute)
-	if _, err := cc.Create(root, "f", 0o644); err != nil {
+	if _, err := cc.Create(ctx, root, "f", 0o644); err != nil {
 		t.Fatal(err)
 	}
 	h0, m0 := cc.CacheStats()
 	for i := 0; i < 10; i++ {
-		if _, err := cc.Lookup(root, "f"); err != nil {
+		if _, err := cc.Lookup(ctx, root, "f"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -53,13 +56,14 @@ func TestLookupCacheServesRepeatedLookups(t *testing.T) {
 }
 
 func TestWriteUpdatesCachedSize(t *testing.T) {
+	ctx := context.Background()
 	cc, root := cachedStack(t, time.Minute)
-	attr, _ := cc.Create(root, "f", 0o644)
-	cc.GetAttr(attr.Handle) // prime cache with size 0
-	if _, err := cc.Write(attr.Handle, 0, []byte("12345")); err != nil {
+	attr, _ := cc.Create(ctx, root, "f", 0o644)
+	cc.GetAttr(ctx, attr.Handle) // prime cache with size 0
+	if _, err := cc.Write(ctx, attr.Handle, 0, []byte("12345")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cc.GetAttr(attr.Handle)
+	got, err := cc.GetAttr(ctx, attr.Handle)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,46 +73,48 @@ func TestWriteUpdatesCachedSize(t *testing.T) {
 }
 
 func TestMutationInvalidatesLookup(t *testing.T) {
+	ctx := context.Background()
 	cc, root := cachedStack(t, time.Minute)
-	cc.Create(root, "old", 0o644)
-	if _, err := cc.Lookup(root, "old"); err != nil {
+	cc.Create(ctx, root, "old", 0o644)
+	if _, err := cc.Lookup(ctx, root, "old"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cc.Rename(root, "old", root, "new"); err != nil {
+	if err := cc.Rename(ctx, root, "old", root, "new"); err != nil {
 		t.Fatal(err)
 	}
 	// The stale lookup entry must be gone: "old" now misses for real.
-	if _, err := cc.Lookup(root, "old"); StatOf(err) != ErrNoEnt {
+	if _, err := cc.Lookup(ctx, root, "old"); StatOf(err) != ErrNoEnt {
 		t.Errorf("lookup of renamed entry = %v, want NOENT", err)
 	}
-	if _, err := cc.Lookup(root, "new"); err != nil {
+	if _, err := cc.Lookup(ctx, root, "new"); err != nil {
 		t.Errorf("lookup of new name: %v", err)
 	}
 	// Remove invalidates too.
-	if err := cc.Remove(root, "new"); err != nil {
+	if err := cc.Remove(ctx, root, "new"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cc.Lookup(root, "new"); StatOf(err) != ErrNoEnt {
+	if _, err := cc.Lookup(ctx, root, "new"); StatOf(err) != ErrNoEnt {
 		t.Errorf("lookup after remove = %v, want NOENT", err)
 	}
 }
 
 func TestTTLExpiryRefetches(t *testing.T) {
+	ctx := context.Background()
 	cc, root := cachedStack(t, time.Minute)
 	// Deterministic clock.
 	clock := time.Date(2026, 6, 1, 12, 0, 0, 0, time.UTC)
 	cc.now = func() time.Time { return clock }
-	attr, _ := cc.Create(root, "f", 0o644)
-	cc.GetAttr(attr.Handle)
+	attr, _ := cc.Create(ctx, root, "f", 0o644)
+	cc.GetAttr(ctx, attr.Handle)
 	h0, _ := cc.CacheStats()
-	cc.GetAttr(attr.Handle) // within TTL: hit
+	cc.GetAttr(ctx, attr.Handle) // within TTL: hit
 	h1, _ := cc.CacheStats()
 	if h1 != h0+1 {
 		t.Fatalf("expected a hit within TTL")
 	}
 	clock = clock.Add(2 * time.Minute) // past TTL
 	_, m0 := cc.CacheStats()
-	cc.GetAttr(attr.Handle)
+	cc.GetAttr(ctx, attr.Handle)
 	_, m1 := cc.CacheStats()
 	if m1 != m0+1 {
 		t.Errorf("expected a miss after TTL expiry")
@@ -116,30 +122,31 @@ func TestTTLExpiryRefetches(t *testing.T) {
 }
 
 func TestStaleWindowIsBounded(t *testing.T) {
+	ctx := context.Background()
 	// A second (uncached) client mutates behind the cache's back: the
 	// caching client sees stale data within TTL and fresh data after
 	// Purge — the NFS close-to-open trade, made explicit.
 	raw, _ := startStack(t)
 	root := mountRoot(t, raw)
 	cc := NewCachingClient(raw, time.Hour)
-	attr, _ := cc.Create(root, "f", 0o644)
-	cc.Write(attr.Handle, 0, []byte("v1"))
-	cc.GetAttr(attr.Handle) // prime: size 2
+	attr, _ := cc.Create(ctx, root, "f", 0o644)
+	cc.Write(ctx, attr.Handle, 0, []byte("v1"))
+	cc.GetAttr(ctx, attr.Handle) // prime: size 2
 
 	// Out-of-band truncate through the same underlying client (bypassing
 	// the cache wrapper entirely).
 	sa := NewSAttr()
 	sa.Size = 0
-	if _, err := raw.SetAttr(attr.Handle, sa); err != nil {
+	if _, err := raw.SetAttr(ctx, attr.Handle, sa); err != nil {
 		t.Fatal(err)
 	}
 
-	got, _ := cc.GetAttr(attr.Handle)
+	got, _ := cc.GetAttr(ctx, attr.Handle)
 	if got.Size != 2 {
 		t.Errorf("within TTL, expected stale size 2, got %d", got.Size)
 	}
 	cc.Purge()
-	got, _ = cc.GetAttr(attr.Handle)
+	got, _ = cc.GetAttr(ctx, attr.Handle)
 	if got.Size != 0 {
 		t.Errorf("after purge, size = %d, want fresh 0", got.Size)
 	}

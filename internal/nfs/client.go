@@ -1,6 +1,8 @@
 package nfs
 
 import (
+	"context"
+
 	"discfs/internal/sunrpc"
 	"discfs/internal/vfs"
 	"discfs/internal/xdr"
@@ -21,10 +23,10 @@ func NewClient(rpc *sunrpc.Client) *Client { return &Client{rpc: rpc} }
 func (c *Client) RPC() *sunrpc.Client { return c.rpc }
 
 // Mount issues MOUNTPROC_MNT and returns the root file handle.
-func (c *Client) Mount(dirpath string) (vfs.Handle, error) {
+func (c *Client) Mount(ctx context.Context, dirpath string) (vfs.Handle, error) {
 	e := xdr.NewEncoder()
 	e.String(dirpath)
-	d, err := c.rpc.Call(MountProg, MountVers, MountProcMnt, e.Bytes())
+	d, err := c.rpc.Call(ctx, MountProg, MountVers, MountProcMnt, e.Bytes())
 	if err != nil {
 		return vfs.Handle{}, err
 	}
@@ -39,22 +41,22 @@ func (c *Client) Mount(dirpath string) (vfs.Handle, error) {
 }
 
 // Unmount issues MOUNTPROC_UMNT.
-func (c *Client) Unmount(dirpath string) error {
+func (c *Client) Unmount(ctx context.Context, dirpath string) error {
 	e := xdr.NewEncoder()
 	e.String(dirpath)
-	_, err := c.rpc.Call(MountProg, MountVers, MountProcUmnt, e.Bytes())
+	_, err := c.rpc.Call(ctx, MountProg, MountVers, MountProcUmnt, e.Bytes())
 	return err
 }
 
 // Null issues the NFS NULL procedure (an RPC round-trip).
-func (c *Client) Null() error {
-	_, err := c.rpc.Call(Prog, Vers, ProcNull, nil)
+func (c *Client) Null(ctx context.Context) error {
+	_, err := c.rpc.Call(ctx, Prog, Vers, ProcNull, nil)
 	return err
 }
 
 // call runs an NFS procedure and checks the leading status word.
-func (c *Client) call(proc uint32, args []byte) (*xdr.Decoder, error) {
-	d, err := c.rpc.Call(Prog, Vers, proc, args)
+func (c *Client) call(ctx context.Context, proc uint32, args []byte) (*xdr.Decoder, error) {
+	d, err := c.rpc.Call(ctx, Prog, Vers, proc, args)
 	if err != nil {
 		return nil, err
 	}
@@ -111,11 +113,11 @@ func decodeDiropres(d *xdr.Decoder) (vfs.Attr, error) {
 }
 
 // GetAttr issues GETATTR.
-func (c *Client) GetAttr(h vfs.Handle) (vfs.Attr, error) {
+func (c *Client) GetAttr(ctx context.Context, h vfs.Handle) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(h)
 	e.OpaqueFixed(fh[:])
-	d, err := c.call(ProcGetattr, e.Bytes())
+	d, err := c.call(ctx, ProcGetattr, e.Bytes())
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -124,12 +126,12 @@ func (c *Client) GetAttr(h vfs.Handle) (vfs.Attr, error) {
 }
 
 // SetAttr issues SETATTR.
-func (c *Client) SetAttr(h vfs.Handle, sa SAttr) (vfs.Attr, error) {
+func (c *Client) SetAttr(ctx context.Context, h vfs.Handle, sa SAttr) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(h)
 	e.OpaqueFixed(fh[:])
 	sa.Encode(e)
-	d, err := c.call(ProcSetattr, e.Bytes())
+	d, err := c.call(ctx, ProcSetattr, e.Bytes())
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -138,12 +140,12 @@ func (c *Client) SetAttr(h vfs.Handle, sa SAttr) (vfs.Attr, error) {
 }
 
 // Lookup issues LOOKUP.
-func (c *Client) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
+func (c *Client) Lookup(ctx context.Context, dir vfs.Handle, name string) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
 	e.String(name)
-	d, err := c.call(ProcLookup, e.Bytes())
+	d, err := c.call(ctx, ProcLookup, e.Bytes())
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -151,11 +153,11 @@ func (c *Client) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
 }
 
 // Readlink issues READLINK.
-func (c *Client) Readlink(h vfs.Handle) (string, error) {
+func (c *Client) Readlink(ctx context.Context, h vfs.Handle) (string, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(h)
 	e.OpaqueFixed(fh[:])
-	d, err := c.call(ProcReadlink, e.Bytes())
+	d, err := c.call(ctx, ProcReadlink, e.Bytes())
 	if err != nil {
 		return "", err
 	}
@@ -164,14 +166,14 @@ func (c *Client) Readlink(h vfs.Handle) (string, error) {
 }
 
 // Read issues READ; at most MaxData bytes are returned.
-func (c *Client) Read(h vfs.Handle, offset uint32, count uint32) ([]byte, vfs.Attr, error) {
+func (c *Client) Read(ctx context.Context, h vfs.Handle, offset uint32, count uint32) ([]byte, vfs.Attr, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(h)
 	e.OpaqueFixed(fh[:])
 	e.Uint32(offset)
 	e.Uint32(count)
 	e.Uint32(count) // totalcount
-	d, err := c.call(ProcRead, e.Bytes())
+	d, err := c.call(ctx, ProcRead, e.Bytes())
 	if err != nil {
 		return nil, vfs.Attr{}, err
 	}
@@ -189,7 +191,7 @@ func (c *Client) Read(h vfs.Handle, offset uint32, count uint32) ([]byte, vfs.At
 }
 
 // Write issues WRITE; data must be at most MaxData bytes.
-func (c *Client) Write(h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error) {
+func (c *Client) Write(ctx context.Context, h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(h)
 	e.OpaqueFixed(fh[:])
@@ -197,7 +199,7 @@ func (c *Client) Write(h vfs.Handle, offset uint32, data []byte) (vfs.Attr, erro
 	e.Uint32(offset)
 	e.Uint32(uint32(len(data))) // totalcount
 	e.Opaque(data)
-	d, err := c.call(ProcWrite, e.Bytes())
+	d, err := c.call(ctx, ProcWrite, e.Bytes())
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -206,7 +208,7 @@ func (c *Client) Write(h vfs.Handle, offset uint32, data []byte) (vfs.Attr, erro
 }
 
 // Create issues CREATE.
-func (c *Client) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+func (c *Client) Create(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
@@ -214,7 +216,7 @@ func (c *Client) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, err
 	sa := NewSAttr()
 	sa.Mode = mode
 	sa.Encode(e)
-	d, err := c.call(ProcCreate, e.Bytes())
+	d, err := c.call(ctx, ProcCreate, e.Bytes())
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -222,17 +224,17 @@ func (c *Client) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, err
 }
 
 // Remove issues REMOVE.
-func (c *Client) Remove(dir vfs.Handle, name string) error {
+func (c *Client) Remove(ctx context.Context, dir vfs.Handle, name string) error {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
 	e.String(name)
-	_, err := c.call(ProcRemove, e.Bytes())
+	_, err := c.call(ctx, ProcRemove, e.Bytes())
 	return err
 }
 
 // Rename issues RENAME.
-func (c *Client) Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error {
+func (c *Client) Rename(ctx context.Context, fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error {
 	e := xdr.NewEncoder()
 	f1 := EncodeFH(fromDir)
 	e.OpaqueFixed(f1[:])
@@ -240,24 +242,24 @@ func (c *Client) Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, t
 	f2 := EncodeFH(toDir)
 	e.OpaqueFixed(f2[:])
 	e.String(toName)
-	_, err := c.call(ProcRename, e.Bytes())
+	_, err := c.call(ctx, ProcRename, e.Bytes())
 	return err
 }
 
 // Link issues LINK.
-func (c *Client) Link(target vfs.Handle, dir vfs.Handle, name string) error {
+func (c *Client) Link(ctx context.Context, target vfs.Handle, dir vfs.Handle, name string) error {
 	e := xdr.NewEncoder()
 	ft := EncodeFH(target)
 	e.OpaqueFixed(ft[:])
 	fd := EncodeFH(dir)
 	e.OpaqueFixed(fd[:])
 	e.String(name)
-	_, err := c.call(ProcLink, e.Bytes())
+	_, err := c.call(ctx, ProcLink, e.Bytes())
 	return err
 }
 
 // Symlink issues SYMLINK.
-func (c *Client) Symlink(dir vfs.Handle, name, target string, mode uint32) error {
+func (c *Client) Symlink(ctx context.Context, dir vfs.Handle, name, target string, mode uint32) error {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
@@ -266,12 +268,12 @@ func (c *Client) Symlink(dir vfs.Handle, name, target string, mode uint32) error
 	sa := NewSAttr()
 	sa.Mode = mode
 	sa.Encode(e)
-	_, err := c.call(ProcSymlink, e.Bytes())
+	_, err := c.call(ctx, ProcSymlink, e.Bytes())
 	return err
 }
 
 // Mkdir issues MKDIR.
-func (c *Client) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+func (c *Client) Mkdir(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
@@ -279,7 +281,7 @@ func (c *Client) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, erro
 	sa := NewSAttr()
 	sa.Mode = mode
 	sa.Encode(e)
-	d, err := c.call(ProcMkdir, e.Bytes())
+	d, err := c.call(ctx, ProcMkdir, e.Bytes())
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -287,23 +289,23 @@ func (c *Client) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, erro
 }
 
 // Rmdir issues RMDIR.
-func (c *Client) Rmdir(dir vfs.Handle, name string) error {
+func (c *Client) Rmdir(ctx context.Context, dir vfs.Handle, name string) error {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
 	e.String(name)
-	_, err := c.call(ProcRmdir, e.Bytes())
+	_, err := c.call(ctx, ProcRmdir, e.Bytes())
 	return err
 }
 
 // ReadDirPage issues one READDIR call from cookie.
-func (c *Client) ReadDirPage(dir vfs.Handle, cookie, count uint32) ([]DirEntry, bool, error) {
+func (c *Client) ReadDirPage(ctx context.Context, dir vfs.Handle, cookie, count uint32) ([]DirEntry, bool, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
 	e.Uint32(cookie)
 	e.Uint32(count)
-	d, err := c.call(ProcReaddir, e.Bytes())
+	d, err := c.call(ctx, ProcReaddir, e.Bytes())
 	if err != nil {
 		return nil, false, err
 	}
@@ -324,11 +326,11 @@ func (c *Client) ReadDirPage(dir vfs.Handle, cookie, count uint32) ([]DirEntry, 
 }
 
 // ReadDirAll pages through READDIR until eof.
-func (c *Client) ReadDirAll(dir vfs.Handle) ([]DirEntry, error) {
+func (c *Client) ReadDirAll(ctx context.Context, dir vfs.Handle) ([]DirEntry, error) {
 	var all []DirEntry
 	cookie := uint32(0)
 	for {
-		ents, eof, err := c.ReadDirPage(dir, cookie, MaxData)
+		ents, eof, err := c.ReadDirPage(ctx, dir, cookie, MaxData)
 		if err != nil {
 			return nil, err
 		}
@@ -350,11 +352,11 @@ type StatFSResult struct {
 }
 
 // StatFS issues STATFS.
-func (c *Client) StatFS(h vfs.Handle) (StatFSResult, error) {
+func (c *Client) StatFS(ctx context.Context, h vfs.Handle) (StatFSResult, error) {
 	e := xdr.NewEncoder()
 	fh := EncodeFH(h)
 	e.OpaqueFixed(fh[:])
-	d, err := c.call(ProcStatfs, e.Bytes())
+	d, err := c.call(ctx, ProcStatfs, e.Bytes())
 	if err != nil {
 		return StatFSResult{}, err
 	}
@@ -366,11 +368,11 @@ func (c *Client) StatFS(h vfs.Handle) (StatFSResult, error) {
 }
 
 // ReadAll reads the entire file through sequential MaxData READs.
-func (c *Client) ReadAll(h vfs.Handle) ([]byte, error) {
+func (c *Client) ReadAll(ctx context.Context, h vfs.Handle) ([]byte, error) {
 	var out []byte
 	off := uint32(0)
 	for {
-		data, attr, err := c.Read(h, off, MaxData)
+		data, attr, err := c.Read(ctx, h, off, MaxData)
 		if err != nil {
 			return nil, err
 		}
@@ -383,13 +385,13 @@ func (c *Client) ReadAll(h vfs.Handle) ([]byte, error) {
 }
 
 // WriteAll writes data through sequential MaxData WRITEs at offset 0.
-func (c *Client) WriteAll(h vfs.Handle, data []byte) error {
+func (c *Client) WriteAll(ctx context.Context, h vfs.Handle, data []byte) error {
 	for off := 0; off < len(data); off += MaxData {
 		end := off + MaxData
 		if end > len(data) {
 			end = len(data)
 		}
-		if _, err := c.Write(h, uint32(off), data[off:end]); err != nil {
+		if _, err := c.Write(ctx, h, uint32(off), data[off:end]); err != nil {
 			return err
 		}
 	}

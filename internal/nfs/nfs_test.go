@@ -2,6 +2,7 @@ package nfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -43,8 +44,9 @@ func startStack(t *testing.T) (*Client, *ffs.FFS) {
 }
 
 func mountRoot(t *testing.T, c *Client) vfs.Handle {
+	ctx := context.Background()
 	t.Helper()
-	root, err := c.Mount("/export")
+	root, err := c.Mount(ctx, "/export")
 	if err != nil {
 		t.Fatalf("Mount: %v", err)
 	}
@@ -52,23 +54,25 @@ func mountRoot(t *testing.T, c *Client) vfs.Handle {
 }
 
 func TestMountAndNull(t *testing.T) {
+	ctx := context.Background()
 	c, backing := startStack(t)
 	root := mountRoot(t, c)
 	if root != backing.Root() {
 		t.Errorf("mounted root %+v != backend root %+v", root, backing.Root())
 	}
-	if err := c.Null(); err != nil {
+	if err := c.Null(ctx); err != nil {
 		t.Errorf("NULL: %v", err)
 	}
-	if err := c.Unmount("/export"); err != nil {
+	if err := c.Unmount(ctx, "/export"); err != nil {
 		t.Errorf("UMNT: %v", err)
 	}
 }
 
 func TestCreateWriteReadOverWire(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	attr, err := c.Create(root, "wire.txt", 0o644)
+	attr, err := c.Create(ctx, root, "wire.txt", 0o644)
 	if err != nil {
 		t.Fatalf("Create: %v", err)
 	}
@@ -76,10 +80,10 @@ func TestCreateWriteReadOverWire(t *testing.T) {
 		t.Errorf("type = %v", attr.Type)
 	}
 	msg := []byte("over the wire")
-	if _, err := c.Write(attr.Handle, 0, msg); err != nil {
+	if _, err := c.Write(ctx, attr.Handle, 0, msg); err != nil {
 		t.Fatalf("Write: %v", err)
 	}
-	data, a2, err := c.Read(attr.Handle, 0, 100)
+	data, a2, err := c.Read(ctx, attr.Handle, 0, 100)
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
@@ -92,36 +96,38 @@ func TestCreateWriteReadOverWire(t *testing.T) {
 }
 
 func TestLookupAndGetattr(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	created, _ := c.Create(root, "f", 0o600)
-	found, err := c.Lookup(root, "f")
+	created, _ := c.Create(ctx, root, "f", 0o600)
+	found, err := c.Lookup(ctx, root, "f")
 	if err != nil {
 		t.Fatalf("Lookup: %v", err)
 	}
 	if found.Handle != created.Handle {
 		t.Error("lookup handle mismatch")
 	}
-	ga, err := c.GetAttr(created.Handle)
+	ga, err := c.GetAttr(ctx, created.Handle)
 	if err != nil {
 		t.Fatalf("GetAttr: %v", err)
 	}
 	if ga.Mode != 0o600 {
 		t.Errorf("mode = %o", ga.Mode)
 	}
-	if _, err := c.Lookup(root, "missing"); StatOf(err) != ErrNoEnt {
+	if _, err := c.Lookup(ctx, root, "missing"); StatOf(err) != ErrNoEnt {
 		t.Errorf("Lookup(missing) = %v, want NOENT", err)
 	}
 }
 
 func TestSetattrTruncateOverWire(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	attr, _ := c.Create(root, "t", 0o644)
-	c.Write(attr.Handle, 0, bytes.Repeat([]byte("z"), 5000))
+	attr, _ := c.Create(ctx, root, "t", 0o644)
+	c.Write(ctx, attr.Handle, 0, bytes.Repeat([]byte("z"), 5000))
 	sa := NewSAttr()
 	sa.Size = 100
-	got, err := c.SetAttr(attr.Handle, sa)
+	got, err := c.SetAttr(ctx, attr.Handle, sa)
 	if err != nil {
 		t.Fatalf("SetAttr: %v", err)
 	}
@@ -131,60 +137,63 @@ func TestSetattrTruncateOverWire(t *testing.T) {
 }
 
 func TestRemoveRenameOverWire(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	c.Create(root, "a", 0o644)
-	if err := c.Rename(root, "a", root, "b"); err != nil {
+	c.Create(ctx, root, "a", 0o644)
+	if err := c.Rename(ctx, root, "a", root, "b"); err != nil {
 		t.Fatalf("Rename: %v", err)
 	}
-	if _, err := c.Lookup(root, "a"); StatOf(err) != ErrNoEnt {
+	if _, err := c.Lookup(ctx, root, "a"); StatOf(err) != ErrNoEnt {
 		t.Error("old name survived rename")
 	}
-	if err := c.Remove(root, "b"); err != nil {
+	if err := c.Remove(ctx, root, "b"); err != nil {
 		t.Fatalf("Remove: %v", err)
 	}
-	if err := c.Remove(root, "b"); StatOf(err) != ErrNoEnt {
+	if err := c.Remove(ctx, root, "b"); StatOf(err) != ErrNoEnt {
 		t.Errorf("double remove = %v", err)
 	}
 }
 
 func TestMkdirReaddirRmdir(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	d, err := c.Mkdir(root, "dir", 0o755)
+	d, err := c.Mkdir(ctx, root, "dir", 0o755)
 	if err != nil {
 		t.Fatalf("Mkdir: %v", err)
 	}
 	for _, n := range []string{"x", "y", "z"} {
-		if _, err := c.Create(d.Handle, n, 0o644); err != nil {
+		if _, err := c.Create(ctx, d.Handle, n, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	ents, err := c.ReadDirAll(d.Handle)
+	ents, err := c.ReadDirAll(ctx, d.Handle)
 	if err != nil {
 		t.Fatalf("ReadDirAll: %v", err)
 	}
 	if len(ents) != 3 {
 		t.Errorf("%d entries, want 3", len(ents))
 	}
-	if err := c.Rmdir(root, "dir"); StatOf(err) != ErrNotEmpty {
+	if err := c.Rmdir(ctx, root, "dir"); StatOf(err) != ErrNotEmpty {
 		t.Errorf("rmdir non-empty = %v", err)
 	}
 	for _, n := range []string{"x", "y", "z"} {
-		c.Remove(d.Handle, n)
+		c.Remove(ctx, d.Handle, n)
 	}
-	if err := c.Rmdir(root, "dir"); err != nil {
+	if err := c.Rmdir(ctx, root, "dir"); err != nil {
 		t.Fatalf("Rmdir: %v", err)
 	}
 }
 
 func TestReaddirPaging(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
 	want := map[string]bool{}
 	for i := 0; i < 200; i++ {
 		name := "file-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
-		if _, err := c.Create(root, name, 0o644); err != nil {
+		if _, err := c.Create(ctx, root, name, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		want[name] = true
@@ -194,7 +203,7 @@ func TestReaddirPaging(t *testing.T) {
 	cookie := uint32(0)
 	pages := 0
 	for {
-		ents, eof, err := c.ReadDirPage(root, cookie, 512)
+		ents, eof, err := c.ReadDirPage(ctx, root, cookie, 512)
 		if err != nil {
 			t.Fatalf("ReadDirPage: %v", err)
 		}
@@ -220,41 +229,44 @@ func TestReaddirPaging(t *testing.T) {
 }
 
 func TestSymlinkReadlinkOverWire(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	if err := c.Symlink(root, "l", "/the/target", 0o777); err != nil {
+	if err := c.Symlink(ctx, root, "l", "/the/target", 0o777); err != nil {
 		t.Fatalf("Symlink: %v", err)
 	}
-	la, err := c.Lookup(root, "l")
+	la, err := c.Lookup(ctx, root, "l")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if la.Type != vfs.TypeSymlink {
 		t.Errorf("type = %v", la.Type)
 	}
-	target, err := c.Readlink(la.Handle)
+	target, err := c.Readlink(ctx, la.Handle)
 	if err != nil || target != "/the/target" {
 		t.Errorf("Readlink = %q, %v", target, err)
 	}
 }
 
 func TestLinkOverWire(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	f, _ := c.Create(root, "orig", 0o644)
-	if err := c.Link(f.Handle, root, "alias"); err != nil {
+	f, _ := c.Create(ctx, root, "orig", 0o644)
+	if err := c.Link(ctx, f.Handle, root, "alias"); err != nil {
 		t.Fatalf("Link: %v", err)
 	}
-	a, err := c.GetAttr(f.Handle)
+	a, err := c.GetAttr(ctx, f.Handle)
 	if err != nil || a.Nlink != 2 {
 		t.Errorf("nlink = %d, %v", a.Nlink, err)
 	}
 }
 
 func TestStatFSOverWire(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	st, err := c.StatFS(root)
+	st, err := c.StatFS(ctx, root)
 	if err != nil {
 		t.Fatalf("StatFS: %v", err)
 	}
@@ -267,32 +279,34 @@ func TestStatFSOverWire(t *testing.T) {
 }
 
 func TestStaleHandleOverWire(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	f, _ := c.Create(root, "gone", 0o644)
-	c.Remove(root, "gone")
-	if _, err := c.GetAttr(f.Handle); StatOf(err) != ErrStale {
+	f, _ := c.Create(ctx, root, "gone", 0o644)
+	c.Remove(ctx, root, "gone")
+	if _, err := c.GetAttr(ctx, f.Handle); StatOf(err) != ErrStale {
 		t.Errorf("GetAttr(stale) = %v, want STALE", err)
 	}
 	// Forged/foreign handle is stale, not a crash.
 	forged := vfs.Handle{Ino: 999999, Gen: 42}
-	if _, err := c.GetAttr(forged); StatOf(err) != ErrStale {
+	if _, err := c.GetAttr(ctx, forged); StatOf(err) != ErrStale {
 		t.Errorf("GetAttr(forged) = %v, want STALE", err)
 	}
 }
 
 func TestLargeSequentialTransfer(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	attr, _ := c.Create(root, "big", 0o644)
+	attr, _ := c.Create(ctx, root, "big", 0o644)
 	data := make([]byte, 100*1024)
 	for i := range data {
 		data[i] = byte(i % 251)
 	}
-	if err := c.WriteAll(attr.Handle, data); err != nil {
+	if err := c.WriteAll(ctx, attr.Handle, data); err != nil {
 		t.Fatalf("WriteAll: %v", err)
 	}
-	got, err := c.ReadAll(attr.Handle)
+	got, err := c.ReadAll(ctx, attr.Handle)
 	if err != nil {
 		t.Fatalf("ReadAll: %v", err)
 	}
@@ -302,12 +316,13 @@ func TestLargeSequentialTransfer(t *testing.T) {
 }
 
 func TestWriteBeyondMaxDataRejected(t *testing.T) {
+	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
-	attr, _ := c.Create(root, "f", 0o644)
+	attr, _ := c.Create(ctx, root, "f", 0o644)
 	// A write larger than MaxData violates the protocol; the server must
 	// reject it as garbage rather than accept a jumbo frame.
-	_, err := c.Write(attr.Handle, 0, make([]byte, MaxData+1))
+	_, err := c.Write(ctx, attr.Handle, 0, make([]byte, MaxData+1))
 	var re *sunrpc.RPCError
 	if !errors.As(err, &re) || re.Stat != sunrpc.GarbageArgs {
 		t.Errorf("oversized write = %v, want GarbageArgs", err)

@@ -19,6 +19,7 @@ package secchan
 
 import (
 	"bufio"
+	"context"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/ecdh"
@@ -39,7 +40,10 @@ import (
 
 // protocol constants.
 const (
-	protoVersion = 1
+	// protoVersion 2 added the mandatory ServerAccept verdict record;
+	// version-1 peers fail cleanly at the version check instead of
+	// desynchronizing on the extra record.
+	protoVersion = 2
 	nonceLen     = 32
 	// maxRecord bounds one encrypted record's plaintext.
 	maxRecord = 1 << 16
@@ -54,6 +58,15 @@ const (
 	msgClientAuth  = 3
 )
 
+// Server-accept status codes, carried in the final handshake record so
+// the initiator learns why it was refused (the IKE notification payload
+// of the paper's setting).
+const (
+	acceptOK      = 0
+	acceptReject  = 1
+	acceptRevoked = 2
+)
+
 // Errors.
 var (
 	// ErrHandshake indicates a failed key exchange or peer authentication.
@@ -62,6 +75,10 @@ var (
 	ErrRecord = errors.New("secchan: record authentication failed")
 	// ErrRejected indicates the server's Authorize callback refused the peer.
 	ErrRejected = errors.New("secchan: peer rejected")
+	// ErrKeyRevoked is the Authorize rejection for revoked keys. Servers
+	// return (or wrap) it from Authorize so the initiator can distinguish
+	// revocation from other rejections.
+	ErrKeyRevoked = errors.New("secchan: peer key revoked")
 )
 
 // Config holds the local identity and policy hooks.
@@ -355,6 +372,27 @@ func Client(raw net.Conn, cfg Config) (*Conn, error) {
 	if err := conn.writeRecord(authMsg); err != nil {
 		return nil, err
 	}
+
+	// <- ServerAccept{status, reason}: the server's authorization verdict,
+	// through the record layer. Without it a rejected client would only
+	// see its first RPC fail with a broken connection.
+	verdict, err := conn.readRecord()
+	if err != nil {
+		return nil, fmt.Errorf("%w: awaiting server accept: %v", ErrHandshake, err)
+	}
+	if len(verdict) < 1 {
+		return nil, fmt.Errorf("%w: empty server accept", ErrHandshake)
+	}
+	switch reason := string(verdict[1:]); verdict[0] {
+	case acceptOK:
+	case acceptRevoked:
+		if reason == ErrKeyRevoked.Error() {
+			return nil, fmt.Errorf("%w: %w", ErrRejected, ErrKeyRevoked)
+		}
+		return nil, fmt.Errorf("%w: %w: %s", ErrRejected, ErrKeyRevoked, reason)
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrRejected, reason)
+	}
 	conn.peer = peer
 	return conn, nil
 }
@@ -447,8 +485,18 @@ func Server(raw net.Conn, cfg Config) (*Conn, error) {
 	}
 	if cfg.Authorize != nil {
 		if err := cfg.Authorize(peer); err != nil {
+			code := byte(acceptReject)
+			if errors.Is(err, ErrKeyRevoked) {
+				code = acceptRevoked
+			}
+			verdict := append([]byte{code}, err.Error()...)
+			_ = conn.writeRecord(verdict) // best effort; we are closing anyway
 			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 		}
+	}
+	// -> ServerAccept{OK}.
+	if err := conn.writeRecord([]byte{acceptOK}); err != nil {
+		return nil, err
 	}
 	conn.peer = peer
 	return conn, nil
@@ -609,14 +657,56 @@ func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
 
 // Dial connects to addr over TCP and performs the client handshake.
 func Dial(addr string, cfg Config) (*Conn, error) {
-	raw, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, cfg)
+}
+
+// DialContext is Dial honoring ctx for connection establishment and the
+// handshake: cancellation or an expired deadline aborts both. (Client
+// itself bounds the handshake with cfg.timeout(); a ctx deadline tighter
+// than that clamps it, and cancellation interrupts in-flight handshake
+// I/O via a transport-deadline watchdog.)
+func DialContext(ctx context.Context, addr string, cfg Config) (*Conn, error) {
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	// Clamp the handshake timeout to the ctx deadline so Client's own
+	// SetDeadline enforces it even if the watchdog loses the race.
+	if deadline, ok := ctx.Deadline(); ok {
+		if remain := time.Until(deadline); remain < cfg.timeout() {
+			if remain <= 0 {
+				raw.Close()
+				return nil, ctx.Err()
+			}
+			cfg.HandshakeTimeout = remain
+		}
+	}
+	// A canceled context must interrupt the blocking handshake reads.
+	// The poisoned channel joins the callback so a late poison cannot
+	// land after the deadline is judged below.
+	poisoned := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		raw.SetDeadline(time.Unix(1, 0)) // unblock in-flight I/O
+		close(poisoned)
+	})
 	conn, err := Client(raw, cfg)
+	// Retire the watchdog before judging the result, so it cannot poison
+	// a successfully established connection with a past deadline.
+	if !stop() {
+		<-poisoned
+	}
 	if err != nil {
 		raw.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = raw.SetDeadline(time.Time{})
 	return conn, nil
 }

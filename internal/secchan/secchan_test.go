@@ -126,19 +126,44 @@ func TestAuthorizeCallbackRejects(t *testing.T) {
 	}()
 	go func() {
 		defer wg.Done()
-		var conn *Conn
-		conn, cErr = Client(cRaw, Config{Identity: badClient})
-		if cErr == nil {
-			// The client handshake finishes before the server's verdict;
-			// the failure surfaces on first read.
-			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-			one := make([]byte, 1)
-			_, _ = conn.Read(one)
-		}
+		_, cErr = Client(cRaw, Config{Identity: badClient})
 	}()
 	wg.Wait()
 	if !errors.Is(sErr, ErrRejected) {
 		t.Errorf("server err = %v, want ErrRejected", sErr)
+	}
+	// The verdict record delivers the rejection to the initiator too.
+	if !errors.Is(cErr, ErrRejected) {
+		t.Errorf("client err = %v, want ErrRejected", cErr)
+	}
+	if errors.Is(cErr, ErrKeyRevoked) {
+		t.Errorf("client err = %v, must not claim revocation for a generic rejection", cErr)
+	}
+}
+
+func TestAuthorizeRevokedReachesClient(t *testing.T) {
+	serverKey := keynote.DeterministicKey("server")
+	revoked := keynote.DeterministicKey("revoked-client")
+	cRaw, sRaw := net.Pipe()
+	defer cRaw.Close()
+	defer sRaw.Close()
+	var wg sync.WaitGroup
+	var cErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _ = Server(sRaw, Config{
+			Identity:  serverKey,
+			Authorize: func(p keynote.Principal) error { return ErrKeyRevoked },
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		_, cErr = Client(cRaw, Config{Identity: revoked})
+	}()
+	wg.Wait()
+	if !errors.Is(cErr, ErrKeyRevoked) {
+		t.Errorf("client err = %v, want ErrKeyRevoked", cErr)
 	}
 }
 

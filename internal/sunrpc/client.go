@@ -2,10 +2,12 @@ package sunrpc
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"discfs/internal/xdr"
 )
@@ -79,7 +81,15 @@ func (c *Client) failAll(err error) {
 
 // Call invokes (prog, vers, proc) with pre-encoded args and returns a
 // decoder positioned at the start of the results.
-func (c *Client) Call(prog, vers, proc uint32, args []byte) (*xdr.Decoder, error) {
+//
+// Call honors ctx: a canceled or expired context abandons the in-flight
+// call immediately and returns ctx.Err(). The request may still execute
+// on the server — cancellation releases the caller, it does not undo
+// side effects already dispatched.
+func (c *Client) Call(ctx context.Context, prog, vers, proc uint32, args []byte) (*xdr.Decoder, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -102,9 +112,7 @@ func (c *Client) Call(prog, vers, proc uint32, args []byte) (*xdr.Decoder, error
 		Verf: OpaqueAuth{Flavor: AuthNone},
 	}, args)
 
-	c.wmu.Lock()
-	err := writeRecord(c.conn, e.Bytes())
-	c.wmu.Unlock()
+	err := c.writeCancelable(ctx, e.Bytes())
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pend, xid)
@@ -112,11 +120,62 @@ func (c *Client) Call(prog, vers, proc uint32, args []byte) (*xdr.Decoder, error
 		return nil, err
 	}
 
-	rep := <-ch
-	if rep.err != nil {
-		return nil, rep.err
+	select {
+	case rep := <-ch:
+		if rep.err != nil {
+			return nil, rep.err
+		}
+		return decodeReply(rep.data)
+	case <-ctx.Done():
+		// Unregister so a late reply is dropped; the buffered channel
+		// keeps the reader from blocking if it already claimed the entry.
+		c.mu.Lock()
+		delete(c.pend, xid)
+		c.mu.Unlock()
+		return nil, ctx.Err()
 	}
-	return decodeReply(rep.data)
+}
+
+// writeDeadliner is satisfied by transports whose blocked writes can be
+// interrupted (net.Conn, secchan.Conn).
+type writeDeadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// writeCancelable sends one record under wmu. When the transport
+// supports write deadlines, a context that expires mid-write forces the
+// blocked write to fail instead of wedging the caller (and everyone
+// queued on wmu) forever; the interrupted record leaves the connection
+// mid-frame, so the resulting transport error poisons it for all
+// callers — the correct outcome for an undeliverable request.
+func (c *Client) writeCancelable(ctx context.Context, rec []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	wd, ok := c.conn.(writeDeadliner)
+	if ok && ctx.Done() != nil {
+		// context.AfterFunc avoids a goroutine per call; the poisoned
+		// channel joins a callback that already started, so a late poison
+		// cannot land on the shared connection after the deadline reset.
+		poisoned := make(chan struct{})
+		stop := context.AfterFunc(ctx, func() {
+			_ = wd.SetWriteDeadline(time.Unix(1, 0))
+			close(poisoned)
+		})
+		defer func() {
+			if !stop() {
+				<-poisoned
+			}
+			_ = wd.SetWriteDeadline(time.Time{})
+		}()
+	}
+	err := writeRecord(c.conn, rec)
+	if err != nil && ctx.Err() != nil {
+		// The record may be half-sent; close so the read loop fails every
+		// pending call instead of desynchronizing on the next frame.
+		c.conn.Close()
+		return ctx.Err()
+	}
+	return err
 }
 
 // decodeReply validates the RPC reply envelope and returns a decoder over

@@ -2,12 +2,14 @@ package sunrpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"net"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"discfs/internal/xdr"
 )
@@ -73,7 +75,7 @@ func startServer(t *testing.T) *Client {
 
 func TestNullProcedure(t *testing.T) {
 	c := startServer(t)
-	d, err := c.Call(echoProg, echoVers, 0, nil)
+	d, err := c.Call(t.Context(), echoProg, echoVers, 0, nil)
 	if err != nil {
 		t.Fatalf("null call: %v", err)
 	}
@@ -86,7 +88,7 @@ func TestEchoAndAdd(t *testing.T) {
 	c := startServer(t)
 	e := xdr.NewEncoder()
 	e.String("hello rpc")
-	d, err := c.Call(echoProg, echoVers, 1, e.Bytes())
+	d, err := c.Call(t.Context(), echoProg, echoVers, 1, e.Bytes())
 	if err != nil {
 		t.Fatalf("echo: %v", err)
 	}
@@ -97,7 +99,7 @@ func TestEchoAndAdd(t *testing.T) {
 	e.Reset()
 	e.Uint32(40)
 	e.Uint32(2)
-	d, err = c.Call(echoProg, echoVers, 2, e.Bytes())
+	d, err = c.Call(t.Context(), echoProg, echoVers, 2, e.Bytes())
 	if err != nil {
 		t.Fatalf("add: %v", err)
 	}
@@ -108,7 +110,7 @@ func TestEchoAndAdd(t *testing.T) {
 
 func TestProgUnavail(t *testing.T) {
 	c := startServer(t)
-	_, err := c.Call(999999, 1, 0, nil)
+	_, err := c.Call(t.Context(), 999999, 1, 0, nil)
 	var re *RPCError
 	if !errors.As(err, &re) || re.Stat != ProgUnavail {
 		t.Errorf("err = %v, want ProgUnavail", err)
@@ -117,7 +119,7 @@ func TestProgUnavail(t *testing.T) {
 
 func TestProgMismatch(t *testing.T) {
 	c := startServer(t)
-	_, err := c.Call(echoProg, 99, 0, nil)
+	_, err := c.Call(t.Context(), echoProg, 99, 0, nil)
 	var re *RPCError
 	if !errors.As(err, &re) || re.Stat != ProgMismatch {
 		t.Errorf("err = %v, want ProgMismatch", err)
@@ -126,7 +128,7 @@ func TestProgMismatch(t *testing.T) {
 
 func TestProcUnavail(t *testing.T) {
 	c := startServer(t)
-	_, err := c.Call(echoProg, echoVers, 77, nil)
+	_, err := c.Call(t.Context(), echoProg, echoVers, 77, nil)
 	var re *RPCError
 	if !errors.As(err, &re) || re.Stat != ProcUnavail {
 		t.Errorf("err = %v, want ProcUnavail", err)
@@ -138,7 +140,7 @@ func TestGarbageArgs(t *testing.T) {
 	// proc 2 wants 8 bytes; send 1 word.
 	e := xdr.NewEncoder()
 	e.Uint32(1)
-	_, err := c.Call(echoProg, echoVers, 2, e.Bytes())
+	_, err := c.Call(t.Context(), echoProg, echoVers, 2, e.Bytes())
 	var re *RPCError
 	if !errors.As(err, &re) || re.Stat != GarbageArgs {
 		t.Errorf("err = %v, want GarbageArgs", err)
@@ -147,20 +149,20 @@ func TestGarbageArgs(t *testing.T) {
 
 func TestHandlerPanicBecomesSystemErr(t *testing.T) {
 	c := startServer(t)
-	_, err := c.Call(echoProg, echoVers, 4, nil)
+	_, err := c.Call(t.Context(), echoProg, echoVers, 4, nil)
 	var re *RPCError
 	if !errors.As(err, &re) || re.Stat != SystemErr {
 		t.Errorf("err = %v, want SystemErr", err)
 	}
 	// The connection must survive the panic.
-	if _, err := c.Call(echoProg, echoVers, 0, nil); err != nil {
+	if _, err := c.Call(t.Context(), echoProg, echoVers, 0, nil); err != nil {
 		t.Errorf("connection dead after panic: %v", err)
 	}
 }
 
 func TestHandlerErrorBecomesSystemErr(t *testing.T) {
 	c := startServer(t)
-	_, err := c.Call(echoProg, echoVers, 5, nil)
+	_, err := c.Call(t.Context(), echoProg, echoVers, 5, nil)
 	var re *RPCError
 	if !errors.As(err, &re) || re.Stat != SystemErr {
 		t.Errorf("err = %v, want SystemErr", err)
@@ -178,7 +180,7 @@ func TestConcurrentCalls(t *testing.T) {
 				e := xdr.NewEncoder()
 				e.Uint32(n)
 				e.Uint32(j)
-				d, err := c.Call(echoProg, echoVers, 2, e.Bytes())
+				d, err := c.Call(t.Context(), echoProg, echoVers, 2, e.Bytes())
 				if err != nil {
 					t.Errorf("call: %v", err)
 					return
@@ -212,11 +214,11 @@ func TestClientFailsPendingOnClose(t *testing.T) {
 	}
 	c := NewClient(conn)
 	defer c.Close()
-	if _, err := c.Call(echoProg, echoVers, 0, nil); err == nil {
+	if _, err := c.Call(t.Context(), echoProg, echoVers, 0, nil); err == nil {
 		t.Error("call on closed connection succeeded")
 	}
 	// Subsequent calls fail fast with the sticky error.
-	if _, err := c.Call(echoProg, echoVers, 0, nil); err == nil {
+	if _, err := c.Call(t.Context(), echoProg, echoVers, 0, nil); err == nil {
 		t.Error("second call succeeded")
 	}
 }
@@ -361,11 +363,64 @@ func TestServerSurvivesWireGarbage(t *testing.T) {
 	e := xdr.NewEncoder()
 	e.Uint32(20)
 	e.Uint32(22)
-	d, err := c.Call(echoProg, echoVers, 2, e.Bytes())
+	d, err := c.Call(t.Context(), echoProg, echoVers, 2, e.Bytes())
 	if err != nil {
 		t.Fatalf("call after garbage flood: %v", err)
 	}
 	if got := d.Uint32(); got != 42 {
 		t.Errorf("add = %d", got)
+	}
+}
+
+// TestCallHonorsContext: a canceled context releases the caller while the
+// handler is still running, and the connection remains usable.
+func TestCallHonorsContext(t *testing.T) {
+	block := make(chan struct{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	srv.Register(echoProg, echoVers, func(ctx *Context, proc uint32, args *xdr.Decoder, res *xdr.Encoder) (AcceptStat, error) {
+		if proc == 9 {
+			<-block
+		}
+		return Success, nil
+	})
+	go srv.Serve(ln)
+	defer srv.Close()
+	defer close(block)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(ctx, echoProg, echoVers, 9, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled call = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled call still blocked after 5s")
+	}
+
+	// A pre-canceled context fails before touching the wire.
+	if _, err := c.Call(ctx, echoProg, echoVers, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-canceled call = %v", err)
+	}
+
+	// The connection is still healthy for fresh calls.
+	if _, err := c.Call(context.Background(), echoProg, echoVers, 0, nil); err != nil {
+		t.Errorf("call after abandoned call: %v", err)
 	}
 }

@@ -1,0 +1,131 @@
+package discfs
+
+import (
+	"fmt"
+	"time"
+
+	"discfs/internal/core"
+)
+
+// A ServerOption configures NewServer.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	cfg     core.ServerConfig
+	backend string
+	sopts   []StoreOption
+}
+
+// WithBacking exports fs instead of a freshly built default store. Use
+// OpenBackend or NewMemStore to construct one, or supply any vfs.FS
+// implementation.
+func WithBacking(fs FS) ServerOption {
+	return func(o *serverOptions) { o.cfg.Backing = fs; o.backend = "" }
+}
+
+// WithBackend builds the backing store from the named registered backend
+// (see RegisterBackend) configured by opts.
+func WithBackend(name string, opts ...StoreOption) ServerOption {
+	return func(o *serverOptions) { o.cfg.Backing = nil; o.backend = name; o.sopts = opts }
+}
+
+// WithPolicyText installs additional KeyNote policy verbatim
+// (Authorizer: "POLICY" assertions) next to the root-of-trust policy.
+func WithPolicyText(text string) ServerOption {
+	return func(o *serverOptions) { o.cfg.PolicyText = text }
+}
+
+// WithAdmins grants the given principals the administrative procedures
+// (revocation, credential listing) in addition to the server key itself.
+func WithAdmins(admins ...Principal) ServerOption {
+	return func(o *serverOptions) { o.cfg.Admins = append(o.cfg.Admins, admins...) }
+}
+
+// WithCacheSize bounds the policy decision cache; the paper used 128
+// (the default). Negative disables caching.
+func WithCacheSize(n int) ServerOption {
+	return func(o *serverOptions) { o.cfg.CacheSize = n }
+}
+
+// WithCacheTTL bounds staleness of cached decisions under time-dependent
+// policies (default one minute).
+func WithCacheTTL(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.cfg.CacheTTL = d }
+}
+
+// WithAudit routes access decisions to log instead of a fresh in-memory
+// audit log.
+func WithAudit(log *AuditLog) ServerOption {
+	return func(o *serverOptions) { o.cfg.Audit = log }
+}
+
+// WithClock injects a clock for tests and benchmarks.
+func WithClock(now func() time.Time) ServerOption {
+	return func(o *serverOptions) { o.cfg.Now = now }
+}
+
+// NewServer constructs a DisCFS server anchored on the administrator key
+// serverKey, configured by functional options. With no options the
+// server exports a fresh in-memory store (the "mem" backend):
+//
+//	srv, err := discfs.NewServer(adminKey,
+//		discfs.WithBacking(store),
+//		discfs.WithCacheSize(128),
+//	)
+func NewServer(serverKey *KeyPair, opts ...ServerOption) (*Server, error) {
+	if serverKey == nil {
+		return nil, fmt.Errorf("discfs: no server key")
+	}
+	o := serverOptions{cfg: core.ServerConfig{ServerKey: serverKey}}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.cfg.Backing == nil {
+		name := o.backend
+		if name == "" {
+			name = DefaultBackend
+		}
+		backing, err := OpenBackend(name, o.sopts...)
+		if err != nil {
+			return nil, err
+		}
+		o.cfg.Backing = backing
+	}
+	return core.NewServer(o.cfg)
+}
+
+// NewServerFromConfig constructs a server from a v1-style positional
+// configuration struct.
+//
+// Deprecated: use NewServer with functional options.
+func NewServerFromConfig(cfg ServerConfig) (*Server, error) { return core.NewServer(cfg) }
+
+// A StoreOption configures the storage substrates built by NewMemStore,
+// OpenBackend and LoadStore.
+type StoreOption func(*StoreConfig)
+
+// WithBlockSize sets the FFS block size (default 8192).
+func WithBlockSize(n int) StoreOption {
+	return func(c *StoreConfig) { c.BlockSize = n }
+}
+
+// WithNumBlocks sets the device capacity in blocks (default 1<<18).
+func WithNumBlocks(n uint32) StoreOption {
+	return func(c *StoreConfig) { c.NumBlocks = n }
+}
+
+// WithEncryption stacks CFS content/name encryption over the store,
+// keyed by passphrase. Without it the CFS-NE layer is still stacked (the
+// paper's configuration) so the code path matches the prototype.
+func WithEncryption(passphrase string) StoreOption {
+	return func(c *StoreConfig) { c.Encrypt = true; c.Passphrase = passphrase }
+}
+
+// storeConfig folds opts into a zero StoreConfig.
+func storeConfig(opts []StoreOption) StoreConfig {
+	var cfg StoreConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
