@@ -32,10 +32,12 @@ import (
 const benchFileSize = 4 << 20
 
 // withSetups runs the benchmark body once per filesystem configuration.
+// DisCFS runs twice — with the client data cache (the default) and with
+// WithNoDataCache — so every figure reports the cache's win.
 func withSetups(b *testing.B, fn func(b *testing.B, s *bench.Setup)) {
 	b.Helper()
 	for _, mk := range []func() (*bench.Setup, error){
-		bench.SetupFFS, bench.SetupCFSNE, bench.SetupDisCFS,
+		bench.SetupFFS, bench.SetupCFSNE, bench.SetupDisCFS, bench.SetupDisCFSNoCache,
 	} {
 		s, err := mk()
 		if err != nil {

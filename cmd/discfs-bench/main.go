@@ -42,7 +42,7 @@ func main() {
 	}
 	var rows []row
 	for _, mk := range []func() (*bench.Setup, error){
-		bench.SetupFFS, bench.SetupCFSNE, bench.SetupDisCFS,
+		bench.SetupFFS, bench.SetupCFSNE, bench.SetupDisCFS, bench.SetupDisCFSNoCache,
 	} {
 		s, err := mk()
 		check(err)

@@ -132,8 +132,13 @@ func DeterministicKey(seed string) *KeyPair { return keynote.DeterministicKey(se
 // credentials are submitted. ctx bounds the connection establishment,
 // handshake and mount. A revoked identity is refused with an error
 // matching ErrRevoked.
-func Dial(ctx context.Context, addr string, identity *KeyPair) (*Client, error) {
-	return core.Dial(ctx, addr, identity)
+//
+// Options configure the client-side data cache (readahead +
+// write-behind with close-to-open consistency; see WithReadahead,
+// WithWriteBehind and WithNoDataCache). With no options the cache is
+// enabled with the defaults.
+func Dial(ctx context.Context, addr string, identity *KeyPair, opts ...ClientOption) (*Client, error) {
+	return core.Dial(ctx, addr, identity, opts...)
 }
 
 // DialWithCredentials attaches and immediately submits the given

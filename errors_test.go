@@ -179,9 +179,17 @@ func TestErrNotExistAndStaleRoundTrip(t *testing.T) {
 	if err := admin.NFS().Remove(ctx, dirAttr.Handle, "doomed.txt"); err != nil {
 		t.Fatal(err)
 	}
-	buf := make([]byte, 4)
-	if _, err := f.ReadAt(buf, 0); !errors.Is(err, discfs.ErrStale) {
-		t.Errorf("read through removed handle = %v, want ErrStale", err)
+	// Dirty data written after the remove cannot flush; the deferred
+	// error surfaces at the Sync barrier as ErrStale.
+	if _, err := f.Write([]byte("more")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, discfs.ErrStale) {
+		t.Errorf("sync through removed handle = %v, want ErrStale", err)
+	}
+	// Re-opening the dead handle fails the close-to-open revalidation.
+	if _, err := admin.OpenHandle(ctx, f.Handle(), os.O_RDONLY); !errors.Is(err, discfs.ErrStale) {
+		t.Errorf("open of removed handle = %v, want ErrStale", err)
 	}
 }
 

@@ -109,8 +109,12 @@ func TestFileSeekReadAtWriteAt(t *testing.T) {
 		t.Fatalf("ReadAt = %q, %v", buf[:5], err)
 	}
 
-	// WriteAt patches in place.
+	// WriteAt patches in place; Sync is the barrier before reading the
+	// file back through a different path than the cached File.
 	if _, err := f.WriteAt([]byte("WORLD"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
 		t.Fatal(err)
 	}
 	data, err := c.ReadFile(ctx, "/seek.txt")

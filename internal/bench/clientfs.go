@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"os"
+	"sync"
+
+	"discfs/internal/core"
+	"discfs/internal/vfs"
+)
+
+// ClientFS adapts a DisCFS core.Client to vfs.FS with file I/O routed
+// through core.File — and therefore through the client-side data cache
+// (readahead + write-behind) when the client has it enabled. Namespace
+// operations go straight to the NFS client. It plays the role the
+// kernel VFS + page cache play above a real NFS mount, so the Bonnie
+// workloads exercise the cached path the way applications would.
+type ClientFS struct {
+	c   *core.Client
+	ctx context.Context
+
+	mu    sync.Mutex
+	files map[vfs.Handle]*core.File
+}
+
+// NewClientFS wraps an attached client.
+func NewClientFS(c *core.Client) *ClientFS {
+	return &ClientFS{c: c, ctx: context.Background(), files: make(map[vfs.Handle]*core.File)}
+}
+
+var _ vfs.FS = (*ClientFS)(nil)
+
+// file returns the cached open File for h, opening it read-write on
+// first use.
+func (r *ClientFS) file(h vfs.Handle) (*core.File, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.files[h]; ok {
+		return f, nil
+	}
+	f, err := r.c.OpenHandle(r.ctx, h, os.O_RDWR)
+	if err != nil {
+		return nil, err
+	}
+	r.files[h] = f
+	return f, nil
+}
+
+// closeFile syncs and forgets the open File on h, if any.
+func (r *ClientFS) closeFile(h vfs.Handle) error {
+	r.mu.Lock()
+	f := r.files[h]
+	delete(r.files, h)
+	r.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f.Close()
+}
+
+// Close drains and closes every open File.
+func (r *ClientFS) Close() error {
+	r.mu.Lock()
+	files := r.files
+	r.files = make(map[vfs.Handle]*core.File)
+	r.mu.Unlock()
+	var err error
+	for _, f := range files {
+		if e := f.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// Root implements vfs.FS.
+func (r *ClientFS) Root() vfs.Handle { return r.c.Root() }
+
+// GetAttr implements vfs.FS; the size reflects unflushed local writes,
+// as stat on a kernel page cache does.
+func (r *ClientFS) GetAttr(h vfs.Handle) (vfs.Attr, error) {
+	a, err := r.c.NFS().GetAttr(r.ctx, h)
+	if err != nil {
+		return a, err
+	}
+	r.mu.Lock()
+	f := r.files[h]
+	r.mu.Unlock()
+	if f != nil {
+		if sz := f.Size(); sz > int64(a.Size) {
+			a.Size = uint64(sz)
+		}
+	}
+	return a, nil
+}
+
+// SetAttr implements vfs.FS; size changes on an open file go through
+// File.Truncate so buffered writes drain first.
+func (r *ClientFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
+	r.mu.Lock()
+	f := r.files[h]
+	r.mu.Unlock()
+	if s.Size != nil && f != nil {
+		if err := f.Truncate(int64(*s.Size)); err != nil {
+			return vfs.Attr{}, err
+		}
+		rest := s
+		rest.Size = nil
+		if rest == (vfs.SetAttr{}) {
+			return r.GetAttr(h)
+		}
+		s = rest
+	}
+	return remoteSetAttr(r.ctx, r.c.NFS(), h, s)
+}
+
+// Read implements vfs.FS through the cached File.
+func (r *ClientFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, error) {
+	f, err := r.file(h)
+	if err != nil {
+		return nil, false, err
+	}
+	buf := make([]byte, count)
+	n, err := f.ReadAt(buf, int64(off))
+	if err == io.EOF {
+		return buf[:n], true, nil
+	}
+	return buf[:n], false, err
+}
+
+// Write implements vfs.FS through the cached File (write-behind).
+func (r *ClientFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
+	f, err := r.file(h)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if _, err := f.WriteAt(data, int64(off)); err != nil {
+		return vfs.Attr{}, err
+	}
+	return vfs.Attr{Handle: h, Type: vfs.TypeRegular, Size: uint64(f.Size())}, nil
+}
+
+// Lookup implements vfs.FS.
+func (r *ClientFS) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
+	return r.c.NFS().Lookup(r.ctx, dir, name)
+}
+
+// Create implements vfs.FS.
+func (r *ClientFS) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	return r.c.NFS().Create(r.ctx, dir, name, mode)
+}
+
+// Remove implements vfs.FS, draining and closing any open File on the
+// victim first.
+func (r *ClientFS) Remove(dir vfs.Handle, name string) error {
+	if a, err := r.c.NFS().Lookup(r.ctx, dir, name); err == nil {
+		if err := r.closeFile(a.Handle); err != nil {
+			return err
+		}
+	}
+	return r.c.NFS().Remove(r.ctx, dir, name)
+}
+
+// Rename implements vfs.FS.
+func (r *ClientFS) Rename(fd vfs.Handle, fn string, td vfs.Handle, tn string) error {
+	return r.c.NFS().Rename(r.ctx, fd, fn, td, tn)
+}
+
+// Mkdir implements vfs.FS.
+func (r *ClientFS) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	return r.c.NFS().Mkdir(r.ctx, dir, name, mode)
+}
+
+// Rmdir implements vfs.FS.
+func (r *ClientFS) Rmdir(dir vfs.Handle, name string) error {
+	return r.c.NFS().Rmdir(r.ctx, dir, name)
+}
+
+// ReadDir implements vfs.FS.
+func (r *ClientFS) ReadDir(dir vfs.Handle) ([]vfs.DirEntry, error) {
+	ents, err := r.c.NFS().ReadDirAll(r.ctx, dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vfs.DirEntry, 0, len(ents))
+	for _, e := range ents {
+		out = append(out, vfs.DirEntry{Name: e.Name, Handle: vfs.Handle{Ino: uint64(e.FileID)}})
+	}
+	return out, nil
+}
+
+// Symlink implements vfs.FS.
+func (r *ClientFS) Symlink(dir vfs.Handle, name, target string, mode uint32) (vfs.Attr, error) {
+	if err := r.c.NFS().Symlink(r.ctx, dir, name, target, mode); err != nil {
+		return vfs.Attr{}, err
+	}
+	return r.c.NFS().Lookup(r.ctx, dir, name)
+}
+
+// Readlink implements vfs.FS.
+func (r *ClientFS) Readlink(h vfs.Handle) (string, error) {
+	return r.c.NFS().Readlink(r.ctx, h)
+}
+
+// Link implements vfs.FS.
+func (r *ClientFS) Link(dir vfs.Handle, name string, target vfs.Handle) (vfs.Attr, error) {
+	if err := r.c.NFS().Link(r.ctx, target, dir, name); err != nil {
+		return vfs.Attr{}, err
+	}
+	return r.c.NFS().Lookup(r.ctx, dir, name)
+}
+
+// StatFS implements vfs.FS.
+func (r *ClientFS) StatFS() (vfs.StatFS, error) {
+	st, err := r.c.NFS().StatFS(r.ctx, r.c.Root())
+	if err != nil {
+		return vfs.StatFS{}, err
+	}
+	return vfs.StatFS{
+		BlockSize:   st.BSize,
+		TotalBlocks: uint64(st.Blocks),
+		FreeBlocks:  uint64(st.BFree),
+		AvailBlocks: uint64(st.BAvail),
+	}, nil
+}

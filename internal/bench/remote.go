@@ -70,6 +70,11 @@ func (r *RemoteFS) GetAttr(h vfs.Handle) (vfs.Attr, error) { return r.c.GetAttr(
 
 // SetAttr implements vfs.FS.
 func (r *RemoteFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
+	return remoteSetAttr(r.ctx, r.c, h, s)
+}
+
+// remoteSetAttr translates a vfs.SetAttr into an NFS SETATTR call.
+func remoteSetAttr(ctx context.Context, c ClientAPI, h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
 	sa := nfs.NewSAttr()
 	if s.Mode != nil {
 		sa.Mode = *s.Mode
@@ -91,7 +96,7 @@ func (r *RemoteFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
 		sa.SetMtime = true
 		sa.Mtime = *s.Mtime
 	}
-	return r.c.SetAttr(r.ctx, h, sa)
+	return c.SetAttr(ctx, h, sa)
 }
 
 // Lookup implements vfs.FS.

@@ -95,8 +95,21 @@ func SetupCFSNE() (*Setup, error) {
 
 // SetupDisCFS is the full system: CFS-NE plus KeyNote credential checks,
 // served over the authenticated secure channel (the paper's IPsec), with
-// the policy decision cache at the paper's size of 128 entries.
+// the policy decision cache at the paper's size of 128 entries and the
+// client-side data cache (readahead + write-behind) enabled — the
+// system's default configuration.
 func SetupDisCFS() (*Setup, error) {
+	return setupDisCFS("DisCFS")
+}
+
+// SetupDisCFSNoCache is SetupDisCFS with the client data cache disabled
+// (WithNoDataCache): every read and write is one synchronous RPC. The
+// Figure 7-11 benchmarks run both so the cache's win is reported.
+func SetupDisCFSNoCache() (*Setup, error) {
+	return setupDisCFS("DisCFS-nocache", core.WithNoDataCache())
+}
+
+func setupDisCFS(name string, opts ...core.ClientOption) (*Setup, error) {
 	backing, err := ffsStore()
 	if err != nil {
 		return nil, err
@@ -126,17 +139,19 @@ func SetupDisCFS() (*Setup, error) {
 		srv.Close()
 		return nil, err
 	}
-	client, err := core.Dial(context.Background(), addr, userKey)
+	client, err := core.Dial(context.Background(), addr, userKey, opts...)
 	if err != nil {
 		srv.Close()
 		return nil, err
 	}
+	fsys := NewClientFS(client)
 	return &Setup{
-		Name:     "DisCFS",
-		FS:       NewRemoteFS(client.NFS(), client.Root()),
+		Name:     name,
+		FS:       fsys,
 		Populate: ne,
 		Stats:    srv.Stats,
 		Close: func() {
+			fsys.Close()
 			client.Close()
 			srv.Close()
 		},

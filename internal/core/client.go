@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"discfs/internal/keynote"
@@ -23,15 +24,66 @@ type Client struct {
 	conn     *secchan.Conn
 	rpc      *sunrpc.Client
 	nfs      *nfs.Client
+	attrs    *nfs.CachingClient // attribute cache, backs open revalidation
 	root     vfs.Handle
+	addr     string
 	identity *keynote.KeyPair
 	server   keynote.Principal
+
+	// pool holds extra data-path connections (the nconnect pattern of
+	// modern NFS clients): flush workers and readahead fetches spread
+	// across them, so the per-connection serialization of the secure
+	// channel (crypto, socket writes) stops bounding sequential
+	// throughput. Dialed lazily; on failure the main connection serves.
+	poolClosed atomic.Bool
+	pool       []ioConn
+
+	// Data-cache state (see datacache.go): per-handle block caches with
+	// readahead and write-behind, shared by the Files opened on each
+	// handle.
+	dataCache dataCacheConfig
+	dcMu      sync.Mutex
+	dcaches   map[vfs.Handle]*handleCache
 
 	// credsPresented records whether this connection successfully
 	// submitted credentials (even ones the server already held); it
 	// distinguishes "denied with no credentials presented" from a plain
 	// policy denial in the error taxonomy.
 	credsPresented atomic.Bool
+}
+
+// A ClientOption configures Dial.
+type ClientOption func(*dataCacheConfig)
+
+// WithReadahead sets the number of blocks (nfs.MaxData each) the data
+// cache prefetches ahead of a sequential read stream. n <= 0 disables
+// readahead; the default is DefaultReadahead.
+func WithReadahead(n int) ClientOption {
+	return func(cfg *dataCacheConfig) {
+		if n <= 0 {
+			n = -1
+		}
+		cfg.readahead = n
+	}
+}
+
+// WithWriteBehind sets the write-behind window: how many dirty blocks
+// the data cache buffers client-side before throttling writers. n <= 1
+// keeps at most one block buffered; the default is DefaultWriteBehind.
+func WithWriteBehind(n int) ClientOption {
+	return func(cfg *dataCacheConfig) {
+		if n < 1 {
+			n = 1
+		}
+		cfg.writeBehind = n
+	}
+}
+
+// WithNoDataCache disables the client-side data cache entirely: every
+// File read and write becomes one synchronous NFS RPC, as in v1. Errors
+// then surface on the call that hit them rather than at Sync/Close.
+func WithNoDataCache() ClientOption {
+	return func(cfg *dataCacheConfig) { cfg.disabled = true }
 }
 
 // Dial connects to a DisCFS server at addr, authenticating as identity,
@@ -42,7 +94,11 @@ type Client struct {
 //
 // A server that has revoked identity's key refuses the attach with an
 // error matching ErrRevoked.
-func Dial(ctx context.Context, addr string, identity *keynote.KeyPair) (*Client, error) {
+//
+// Options configure the client-side data cache (WithReadahead,
+// WithWriteBehind, WithNoDataCache); with none, files opened on the
+// client read and write through a block cache with the defaults.
+func Dial(ctx context.Context, addr string, identity *keynote.KeyPair, opts ...ClientOption) (*Client, error) {
 	conn, err := secchan.DialContext(ctx, addr, secchan.Config{Identity: identity})
 	if err != nil {
 		if errors.Is(err, secchan.ErrKeyRevoked) {
@@ -57,18 +113,95 @@ func Dial(ctx context.Context, addr string, identity *keynote.KeyPair) (*Client,
 		rpc.Close()
 		return nil, fmt.Errorf("core: mount: %w", err)
 	}
+	var cfg dataCacheConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return &Client{
-		conn:     conn,
-		rpc:      rpc,
-		nfs:      nc,
-		root:     root,
-		identity: identity,
-		server:   conn.Peer(),
+		conn:      conn,
+		rpc:       rpc,
+		nfs:       nc,
+		attrs:     nfs.NewCachingClient(nc, 0),
+		root:      root,
+		addr:      addr,
+		identity:  identity,
+		server:    conn.Peer(),
+		dataCache: cfg,
+		dcaches:   make(map[vfs.Handle]*handleCache),
+		pool:      make([]ioConn, ioPoolSize),
 	}, nil
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.rpc.Close() }
+// ioPoolSize is the number of extra data-path connections a client may
+// open (in addition to the main connection).
+const ioPoolSize = 8
+
+// ioConn is one lazily dialed data-path connection slot. The per-slot
+// mutex keeps a slow first dial from serializing the rest of the pool.
+type ioConn struct {
+	mu    sync.Mutex
+	tried bool
+	rpc   *sunrpc.Client
+	nfs   *nfs.Client
+}
+
+// dataConn returns an NFS client for bulk data transfer number i,
+// dialing the pool slot on first use. Any dial failure falls back to
+// the main connection, permanently for that slot.
+func (c *Client) dataConn(ctx context.Context, i int64) *nfs.Client {
+	if len(c.pool) == 0 || c.poolClosed.Load() {
+		return c.nfs
+	}
+	s := &c.pool[int(i)%len(c.pool)]
+	s.mu.Lock()
+	if !s.tried {
+		s.tried = true
+		conn, err := secchan.DialContext(ctx, c.addr, secchan.Config{Identity: c.identity})
+		switch {
+		case err == nil && c.poolClosed.Load():
+			// A Close that raced this dial wins: abandon the connection
+			// rather than leak it past closePool.
+			conn.Close()
+		case err == nil:
+			s.rpc = sunrpc.NewClient(conn)
+			s.nfs = nfs.NewClient(s.rpc)
+		case ctx.Err() != nil:
+			// The triggering operation's context expired mid-dial; that
+			// says nothing about the server, so let a later caller
+			// retry rather than downgrade the slot forever.
+			s.tried = false
+		}
+	}
+	nc := s.nfs
+	s.mu.Unlock()
+	if nc == nil {
+		return c.nfs
+	}
+	return nc
+}
+
+// closePool tears down the data-path connections and stops new dials.
+func (c *Client) closePool() {
+	c.poolClosed.Store(true)
+	for i := range c.pool {
+		s := &c.pool[i]
+		s.mu.Lock()
+		if s.rpc != nil {
+			s.rpc.Close()
+			s.rpc, s.nfs = nil, nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Close tears down the connection. Unflushed write-behind data is
+// abandoned (its flushes fail against the closed connection); call
+// File.Close or File.Sync first for the error barrier.
+func (c *Client) Close() error {
+	c.shutdownCaches()
+	c.closePool()
+	return c.rpc.Close()
+}
 
 // NFS exposes the NFS client for direct protocol access.
 func (c *Client) NFS() *nfs.Client { return c.nfs }
@@ -167,6 +300,11 @@ func (c *Client) createLike(ctx context.Context, proc uint32, dir vfs.Handle, na
 		Mode:   fa.Mode & 0o7777,
 		Size:   uint64(fa.Size),
 		Nlink:  fa.Nlink,
+		UID:    fa.UID,
+		GID:    fa.GID,
+		Atime:  fa.Atime,
+		Mtime:  fa.Mtime,
+		Ctime:  fa.Ctime,
 	}
 	switch fa.Type {
 	case 1:
@@ -406,6 +544,8 @@ func (c *Client) List(ctx context.Context, path string) ([]nfs.DirEntry, error) 
 // credentials — the wallet pattern: a user keeps received credentials
 // locally and presents them at every attach, as the paper's clients
 // resubmit (or rely on server-side caching of) their chains.
+// Clients needing both credentials and cache options can Dial with the
+// options and call SubmitCredentials themselves.
 func DialWithCredentials(ctx context.Context, addr string, identity *keynote.KeyPair, creds ...*keynote.Assertion) (*Client, error) {
 	c, err := Dial(ctx, addr, identity)
 	if err != nil {

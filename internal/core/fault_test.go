@@ -1,0 +1,284 @@
+package core
+
+// Fault-injection tests for the data cache's transport behavior: a TCP
+// proxy between client and server injects delays, short forwards and
+// mid-call connection drops, and the tests assert that typed errors
+// (ErrStale, context cancellation, transport failures) surface through
+// the cache's deferred-write machinery instead of deadlocking a flush.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"discfs/internal/keynote"
+)
+
+// faultProxy forwards TCP bytes between clients and target, optionally
+// trickling them in small delayed chunks, stalling entirely, or cutting
+// every connection.
+type faultProxy struct {
+	ln     net.Listener
+	target string
+
+	chunk   int           // forward at most chunk bytes at a time (0: unlimited)
+	delay   time.Duration // sleep between chunks
+	stalled atomic.Bool   // stop forwarding (connections stay up)
+	cut     atomic.Bool   // close all connections, refuse new ones
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newFaultProxy(t *testing.T, target string, chunk int, delay time.Duration) *faultProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	p := &faultProxy{ln: ln, target: target, chunk: chunk, delay: delay}
+	go p.accept()
+	t.Cleanup(func() { p.Cut(); ln.Close() })
+	return p
+}
+
+func (p *faultProxy) Addr() string { return p.ln.Addr().String() }
+
+// Stall freezes all forwarding without closing connections (a wedged
+// network); RPCs block until canceled.
+func (p *faultProxy) Stall() { p.stalled.Store(true) }
+
+// Cut severs every proxied connection mid-call.
+func (p *faultProxy) Cut() {
+	p.cut.Store(true)
+	p.mu.Lock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+	p.mu.Unlock()
+}
+
+func (p *faultProxy) accept() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.cut.Load() {
+			conn.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, conn, up)
+		p.mu.Unlock()
+		go p.pipe(conn, up)
+		go p.pipe(up, conn)
+	}
+}
+
+// pipe forwards src→dst honoring chunk/delay/stall faults.
+func (p *faultProxy) pipe(src, dst net.Conn) {
+	defer dst.Close()
+	defer src.Close()
+	buf := make([]byte, 32<<10)
+	for {
+		n := len(buf)
+		if p.chunk > 0 && n > p.chunk {
+			n = p.chunk
+		}
+		m, err := src.Read(buf[:n])
+		if m > 0 {
+			for p.stalled.Load() && !p.cut.Load() {
+				time.Sleep(time.Millisecond)
+			}
+			if p.cut.Load() {
+				return
+			}
+			if p.delay > 0 {
+				time.Sleep(p.delay)
+			}
+			if _, werr := dst.Write(buf[:m]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func faultServer(t *testing.T) string {
+	t.Helper()
+	_, addr := testServer(t, ServerConfig{})
+	return addr
+}
+
+// TestCacheSurvivesSlowShortTransport runs a full cached write/read
+// cycle through a proxy that forwards in 7-byte chunks with delays —
+// constant short reads/writes at the transport — and expects plain
+// correctness.
+func TestCacheSurvivesSlowShortTransport(t *testing.T) {
+	proxy := newFaultProxy(t, faultServer(t), 7, 200*time.Microsecond)
+	ctx := context.Background()
+	c, err := Dial(ctx, proxy.Addr(), keynote.DeterministicKey("test-admin"))
+	if err != nil {
+		t.Fatalf("dial through trickle proxy: %v", err)
+	}
+	defer c.Close()
+
+	payload := make([]byte, 3*8192+123)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	f, err := c.Open(ctx, "/trickle.bin", os.O_CREATE|os.O_RDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync through trickle proxy: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d corrupted through trickle transport", i)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancellationMidFlushDoesNotDeadlock stalls the transport with a
+// flush in flight, cancels the File's context, and requires Sync and
+// Close to return (with the cancellation error) rather than hang.
+func TestCancellationMidFlushDoesNotDeadlock(t *testing.T) {
+	proxy := newFaultProxy(t, faultServer(t), 0, 0)
+	bg := context.Background()
+	c, err := Dial(bg, proxy.Addr(), keynote.DeterministicKey("test-admin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(bg)
+	f, err := c.Open(ctx, "/stall.bin", os.O_CREATE|os.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze the wire, then buffer a write: its background flush wedges
+	// in the stalled transport.
+	proxy.Stall()
+	if _, err := f.Write(make([]byte, 2*8192)); err != nil {
+		t.Fatalf("buffered write: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond) // let a flush enter the stalled wire
+	cancel()
+
+	done := make(chan error, 1)
+	go func() { done <- f.Close() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Close returned nil; want the canceled flush's error")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Logf("Close error = %v (transport variant, still not a deadlock)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked on a canceled mid-flush")
+	}
+}
+
+// TestMidCallCutFailsFlushNotHang severs every connection mid-call and
+// requires the deferred error to surface at the barrier quickly.
+func TestMidCallCutFailsFlushNotHang(t *testing.T) {
+	proxy := newFaultProxy(t, faultServer(t), 0, 0)
+	ctx := context.Background()
+	c, err := Dial(ctx, proxy.Addr(), keynote.DeterministicKey("test-admin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	f, err := c.Open(ctx, "/cut.bin", os.O_CREATE|os.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("pre-cut sync: %v", err)
+	}
+	proxy.Cut()
+	if _, err := f.Write(make([]byte, 4*8192)); err != nil {
+		// Backpressure may surface the transport failure here already —
+		// acceptable; the barrier must still not hang.
+		t.Logf("write after cut: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Close() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Close returned nil after its flushes lost the transport")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung after mid-call connection cut")
+	}
+}
+
+// TestStaleHandleSurfacesThroughCache removes a file behind an open
+// cached File and requires the deferred flush error to match ErrStale
+// at the Sync barrier, and a re-open of the dead handle to fail with
+// ErrStale from the close-to-open revalidation.
+func TestStaleHandleSurfacesThroughCache(t *testing.T) {
+	_, addr := testServer(t, ServerConfig{})
+	c := dialAs(t, addr, "test-admin")
+	ctx := context.Background()
+
+	f, err := c.Open(ctx, "/stale.bin", os.O_CREATE|os.O_RDWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	root, err := c.ResolvePath(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.NFS().Remove(ctx, root.Handle, "stale.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("after-remove")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrStale) {
+		t.Fatalf("Sync after remove = %v, want ErrStale", err)
+	}
+	if _, err := c.OpenHandle(ctx, f.Handle(), os.O_RDONLY); !errors.Is(err, ErrStale) {
+		t.Fatalf("OpenHandle on removed file = %v, want ErrStale", err)
+	}
+}

@@ -19,11 +19,19 @@ import (
 // nfs.MaxData bytes each, so arbitrarily large files move without ever
 // being buffered whole on either side.
 //
+// Unless the client was dialed with WithNoDataCache, file I/O runs
+// through a client-side block cache with sequential readahead and
+// write-behind (see datacache.go). Writes may be acknowledged before
+// they reach the server; Sync and Close drain them and return the first
+// deferred write error — the NFS error barrier. Consistency across
+// clients is close-to-open: Open revalidates against the server, so a
+// reader that opens after a writer's Close sees the writer's data.
+//
 // The context passed to Open governs every RPC the File issues;
-// canceling it aborts in-flight and future operations. A File is safe
-// for concurrent use; the read/write cursor is shared, as with os.File,
-// and positioned I/O (ReadAt/WriteAt) runs in parallel without touching
-// the cursor.
+// canceling it aborts in-flight and future operations, including
+// background flushes. A File is safe for concurrent use; the read/write
+// cursor is shared, as with os.File, and positioned I/O (ReadAt/WriteAt)
+// runs in parallel without touching the cursor.
 type File struct {
 	c    *Client
 	ctx  context.Context
@@ -35,7 +43,9 @@ type File struct {
 	writable bool
 	append_  bool
 
-	size atomic.Int64 // last size observed from the server
+	dc *handleCache // nil when the data cache is disabled
+
+	size atomic.Int64 // last size observed from the server (uncached path)
 
 	mu     sync.Mutex // guards the cursor and the closed flag
 	pos    int64
@@ -90,12 +100,63 @@ func (c *Client) Open(ctx context.Context, path string, flag int) (*File, error)
 	default:
 		return nil, c.wireError(err)
 	}
-	f.h = attr.Handle
-	f.size.Store(int64(attr.Size))
-	if f.append_ {
-		f.pos = f.size.Load()
+	if err := c.finishOpen(ctx, f, attr); err != nil {
+		return nil, err
 	}
 	return f, nil
+}
+
+// OpenHandle opens a File directly on an NFS handle, bypassing path
+// resolution — for tools and benchmarks that already hold handles. flag
+// takes the access bits (os.O_RDONLY, os.O_WRONLY, os.O_RDWR) plus
+// os.O_APPEND; creation flags are not supported.
+func (c *Client) OpenHandle(ctx context.Context, h vfs.Handle, flag int) (*File, error) {
+	acc := flag & (os.O_RDONLY | os.O_WRONLY | os.O_RDWR)
+	f := &File{
+		c:        c,
+		ctx:      ctx,
+		path:     fmt.Sprintf("handle:%d.%d", h.Ino, h.Gen),
+		readable: acc == os.O_RDONLY || acc == os.O_RDWR,
+		writable: acc == os.O_WRONLY || acc == os.O_RDWR,
+		append_:  flag&os.O_APPEND != 0,
+	}
+	attr, err := c.nfs.GetAttr(ctx, h)
+	if err != nil {
+		return nil, c.wireError(err)
+	}
+	if attr.Type == vfs.TypeDir {
+		return nil, fmt.Errorf("core: open %s: %w", f.path, vfs.ErrIsDir)
+	}
+	if err := c.finishOpen(ctx, f, attr); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// finishOpen binds the opened attributes to f and, when the data cache
+// is enabled, attaches the handle's cache after a close-to-open
+// revalidation: a fresh GETATTR (through the attribute cache) whose
+// mtime/size is compared against the cache's validator, invalidating
+// stale blocks.
+func (c *Client) finishOpen(ctx context.Context, f *File, attr vfs.Attr) error {
+	f.h = attr.Handle
+	if c.dataCache.disabled {
+		f.size.Store(int64(attr.Size))
+	} else {
+		hc := c.handleCacheFor(attr.Handle)
+		seq := hc.flushSeqNow()
+		fresh, err := c.attrs.Revalidate(ctx, attr.Handle)
+		if err != nil {
+			return c.wireError(err)
+		}
+		hc.revalidate(fresh, seq)
+		hc.addRef()
+		f.dc = hc
+	}
+	if f.append_ {
+		f.pos = f.Size()
+	}
+	return nil
 }
 
 // Handle returns the file's NFS handle.
@@ -108,23 +169,46 @@ func (f *File) Name() string { return f.path }
 // file (os.O_CREATE on a missing path), and "" otherwise.
 func (f *File) Credential() string { return f.cred }
 
-// Stat fetches fresh attributes from the server.
+// Size returns the file size as this client sees it: the last size
+// observed from the server plus any unflushed local writes.
+func (f *File) Size() int64 {
+	if f.dc != nil {
+		return f.dc.logicalSize()
+	}
+	return f.size.Load()
+}
+
+// Stat returns the file's attributes — served from the client's
+// attribute cache within its TTL when the data cache is enabled (as
+// stat on an NFS mount is), fresh from the server otherwise. The
+// reported size always reflects unflushed local writes.
 func (f *File) Stat() (vfs.Attr, error) {
 	if err := f.checkOpen(); err != nil {
 		return vfs.Attr{}, err
 	}
-	attr, err := f.c.nfs.GetAttr(f.ctx, f.h)
+	var attr vfs.Attr
+	var err error
+	if f.dc != nil {
+		attr, err = f.c.attrs.GetAttr(f.ctx, f.h)
+	} else {
+		attr, err = f.c.nfs.GetAttr(f.ctx, f.h)
+	}
 	if err != nil {
 		return vfs.Attr{}, f.c.wireError(err)
 	}
 	f.size.Store(int64(attr.Size))
+	if f.dc != nil {
+		if sz := f.dc.logicalSize(); sz > int64(attr.Size) {
+			attr.Size = uint64(sz)
+		}
+	}
 	return attr, nil
 }
 
 var errClosed = fmt.Errorf("core: file already closed")
 
-// Read implements io.Reader: one NFS READ of at most nfs.MaxData bytes
-// per call, advancing the cursor.
+// Read implements io.Reader, advancing the cursor. On the cached path a
+// single call may return more than one NFS transfer's worth of data.
 func (f *File) Read(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -170,10 +254,14 @@ func (f *File) checkOpen() error {
 	return nil
 }
 
-// readChunk issues a single READ of ≤ MaxData bytes at off.
+// readChunk serves one read at off: from the data cache when enabled,
+// otherwise as a single READ of ≤ MaxData bytes.
 func (f *File) readChunk(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
+	}
+	if f.dc != nil {
+		return f.dc.readAt(f.ctx, p, off)
 	}
 	if off > math.MaxUint32 {
 		return 0, fmt.Errorf("core: offset %d beyond NFSv2 range: %w", off, vfs.ErrFBig)
@@ -195,7 +283,9 @@ func (f *File) readChunk(p []byte, off int64) (int, error) {
 }
 
 // Write implements io.Writer, advancing the cursor. The full slice is
-// written (in MaxData chunks) or an error is returned.
+// written (in MaxData chunks) or an error is returned; on the cached
+// path "written" means buffered for write-behind, with errors deferred
+// to Sync/Close.
 func (f *File) Write(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -203,7 +293,7 @@ func (f *File) Write(p []byte) (int, error) {
 		return 0, errClosed
 	}
 	if f.append_ {
-		f.pos = f.size.Load()
+		f.pos = f.Size()
 	}
 	n, err := f.writeAt(p, f.pos)
 	f.pos += int64(n)
@@ -219,10 +309,14 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	return f.writeAt(p, off)
 }
 
-// writeAt chunks p into WRITEs starting at off.
+// writeAt chunks p into WRITEs starting at off (cached: buffers into
+// the write-behind queue).
 func (f *File) writeAt(p []byte, off int64) (int, error) {
 	if !f.writable {
 		return 0, fmt.Errorf("core: %s not opened for writing: %w", f.path, vfs.ErrPerm)
+	}
+	if f.dc != nil {
+		return f.dc.writeAt(f.ctx, p, off)
 	}
 	total := 0
 	for total < len(p) {
@@ -245,7 +339,9 @@ func (f *File) writeAt(p []byte, off int64) (int, error) {
 }
 
 // Seek implements io.Seeker. Seeking relative to the end fetches fresh
-// attributes so concurrent writers are observed.
+// attributes so concurrent writers are observed. A discontinuous seek
+// releases the write-behind coalescing hold, so buffered partial writes
+// start flushing (the flush itself stays asynchronous).
 func (f *File) Seek(offset int64, whence int) (int64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -264,7 +360,12 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 			return 0, f.c.wireError(err)
 		}
 		f.size.Store(int64(attr.Size))
-		base = f.size.Load()
+		base = int64(attr.Size)
+		if f.dc != nil {
+			if sz := f.dc.logicalSize(); sz > base {
+				base = sz
+			}
+		}
 	default:
 		return 0, fmt.Errorf("core: seek: invalid whence %d: %w", whence, vfs.ErrInval)
 	}
@@ -272,11 +373,28 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	if pos < 0 {
 		return 0, fmt.Errorf("core: seek to %d: %w", pos, vfs.ErrInval)
 	}
+	if f.dc != nil && pos != f.pos {
+		f.dc.kick()
+	}
 	f.pos = pos
 	return pos, nil
 }
 
-// Truncate resizes the file.
+// Sync drains the write-behind queue and returns the first deferred
+// write error — the error barrier, as fsync(2) is on a real NFS mount.
+// Without the data cache every write is already synchronous and Sync is
+// a no-op.
+func (f *File) Sync() error {
+	if err := f.checkOpen(); err != nil {
+		return err
+	}
+	if f.dc == nil {
+		return nil
+	}
+	return f.dc.sync(f.ctx)
+}
+
+// Truncate resizes the file, draining buffered writes first.
 func (f *File) Truncate(size int64) error {
 	if err := f.checkOpen(); err != nil {
 		return err
@@ -287,6 +405,11 @@ func (f *File) Truncate(size int64) error {
 	if size < 0 || size > math.MaxUint32 {
 		return fmt.Errorf("core: truncate to %d: %w", size, vfs.ErrInval)
 	}
+	if f.dc != nil {
+		if err := f.dc.sync(f.ctx); err != nil {
+			return err
+		}
+	}
 	sa := nfs.NewSAttr()
 	sa.Size = uint32(size)
 	attr, err := f.c.nfs.SetAttr(f.ctx, f.h, sa)
@@ -294,19 +417,29 @@ func (f *File) Truncate(size int64) error {
 		return f.c.wireError(err)
 	}
 	f.size.Store(int64(attr.Size))
+	if f.dc != nil {
+		f.dc.truncate(attr)
+	}
 	return nil
 }
 
-// Close releases the handle. NFSv2 is stateless, so Close only marks the
-// File unusable; it never fails with a transport error.
+// Close drains the write-behind queue, releases the handle, and returns
+// the first deferred write error — the error barrier of close(2) on an
+// NFS mount. NFSv2 itself is stateless, so no release RPC is issued.
 func (f *File) Close() error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.closed {
+		f.mu.Unlock()
 		return errClosed
 	}
 	f.closed = true
-	return nil
+	f.mu.Unlock()
+	if f.dc == nil {
+		return nil
+	}
+	err := f.dc.sync(f.ctx)
+	f.dc.release()
+	return err
 }
 
 var (

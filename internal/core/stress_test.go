@@ -1,0 +1,249 @@
+package core
+
+// Concurrency stress harness for the client-side data cache: many
+// goroutines hammer one Client (and two Clients hammer one server) with
+// mixed Read/Write/Seek/Sync/Close ops while an in-memory model tracks
+// what every byte must be. Run with -race (the CI race job does).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"discfs/internal/keynote"
+)
+
+// regionSize is deliberately not block-aligned, so adjacent workers
+// share cache blocks and every write exercises the read-modify-write
+// and partial-extent paths.
+const regionSize = 12345
+
+// fillPattern writes a deterministic byte pattern for (worker, version)
+// into dst.
+func fillPattern(dst []byte, worker, version, off int) {
+	for i := range dst {
+		dst[i] = byte(worker*31 + version*7 + off + i)
+	}
+}
+
+// stressWorker drives one region of the shared file through its own
+// File handle, checking every read against model (the region's current
+// expected content, updated in place — it carries across rounds).
+// Within a worker operations are sequential, and regions are disjoint,
+// so the model is exact despite cross-worker concurrency.
+func stressWorker(c *Client, path string, worker, ops int, seed int64, model []byte) error {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+	base := int64(worker * regionSize)
+	version := 0
+
+	f, err := c.Open(ctx, path, os.O_RDWR)
+	if err != nil {
+		return fmt.Errorf("worker %d: open: %w", worker, err)
+	}
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+
+	for op := 0; op < ops; op++ {
+		switch k := rng.Intn(10); {
+		case k < 4: // positioned write of a random span
+			off := rng.Intn(regionSize)
+			n := rng.Intn(regionSize-off)/4 + 1
+			version++
+			fillPattern(model[off:off+n], worker, version, off)
+			if _, err := f.WriteAt(model[off:off+n], base+int64(off)); err != nil {
+				return fmt.Errorf("worker %d op %d: WriteAt: %w", worker, op, err)
+			}
+		case k < 7: // positioned read-back of a random span
+			off := rng.Intn(regionSize)
+			n := rng.Intn(regionSize-off) + 1
+			buf := make([]byte, n)
+			m, err := f.ReadAt(buf, base+int64(off))
+			if err != nil && err != io.EOF {
+				return fmt.Errorf("worker %d op %d: ReadAt: %w", worker, op, err)
+			}
+			// Bytes past the current end-of-file read short; what did
+			// arrive must match the model exactly (read-your-writes).
+			if !bytes.Equal(buf[:m], model[off:off+m]) {
+				d := 0
+				for d < m && buf[d] == model[off+d] {
+					d++
+				}
+				abs := int(base) + off + d
+				return fmt.Errorf("worker %d op %d: ReadAt(%d,%d) mismatch at region byte %d (abs %d, block %d): got %d want %d",
+					worker, op, off, n, off+d, abs, abs/8192, buf[d], model[off+d])
+			}
+		case k < 8: // cursor I/O: seek into the region, write then read back
+			off := rng.Intn(regionSize - 64)
+			if _, err := f.Seek(base+int64(off), io.SeekStart); err != nil {
+				return fmt.Errorf("worker %d op %d: Seek: %w", worker, op, err)
+			}
+			version++
+			fillPattern(model[off:off+32], worker, version, off)
+			if _, err := f.Write(model[off : off+32]); err != nil {
+				return fmt.Errorf("worker %d op %d: Write: %w", worker, op, err)
+			}
+			if _, err := f.Seek(-32, io.SeekCurrent); err != nil {
+				return fmt.Errorf("worker %d op %d: Seek back: %w", worker, op, err)
+			}
+			buf := make([]byte, 32)
+			if _, err := io.ReadFull(f, buf); err != nil {
+				return fmt.Errorf("worker %d op %d: Read: %w", worker, op, err)
+			}
+			if !bytes.Equal(buf, model[off:off+32]) {
+				return fmt.Errorf("worker %d op %d: cursor read mismatch", worker, op)
+			}
+		case k < 9: // barrier
+			if err := f.Sync(); err != nil {
+				return fmt.Errorf("worker %d op %d: Sync: %w", worker, op, err)
+			}
+		default: // close and reopen (close-to-open within one client)
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("worker %d op %d: Close: %w", worker, op, err)
+			}
+			f, err = c.Open(ctx, path, os.O_RDWR)
+			if err != nil {
+				return fmt.Errorf("worker %d op %d: reopen: %w", worker, op, err)
+			}
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("worker %d: final close: %w", worker, err)
+	}
+	f = nil
+	return nil
+}
+
+// runWorkers fans stressWorker out over the regions [first, first+n).
+func runWorkers(t *testing.T, c *Client, path string, first, n, ops int, seedBase int64, models [][]byte) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		w := first + i
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := stressWorker(c, path, w, ops, seedBase+int64(w), models[w]); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// verifyRegions opens the file on c and checks the regions
+// [first, first+len(models)) against their models.
+func verifyRegions(t *testing.T, c *Client, path string, first int, models [][]byte) {
+	t.Helper()
+	ctx := context.Background()
+	f, err := c.Open(ctx, path, os.O_RDONLY)
+	if err != nil {
+		t.Fatalf("verify open: %v", err)
+	}
+	defer f.Close()
+	for i, model := range models {
+		w := first + i
+		got := make([]byte, len(model))
+		n, err := f.ReadAt(got, int64(w*regionSize))
+		if err != nil && err != io.EOF {
+			t.Fatalf("verify region %d: %v", w, err)
+		}
+		// The file may end inside the last written region; unread tail
+		// bytes must then be zero in the model.
+		if !bytes.Equal(got[:n], model[:n]) {
+			d := 0
+			for d < n && got[d] == model[d] {
+				d++
+			}
+			t.Fatalf("region %d differs at byte %d: got %d want %d", w, d, got[d], model[d])
+		}
+		for _, b := range model[n:] {
+			if b != 0 {
+				t.Fatalf("region %d: model has data past EOF", w)
+			}
+		}
+	}
+}
+
+func stressServer(t *testing.T) string {
+	t.Helper()
+	serverKey := keynote.DeterministicKey("stress-admin")
+	_, addr := testServer(t, ServerConfig{ServerKey: serverKey})
+	return addr
+}
+
+func newModels(n int) [][]byte {
+	models := make([][]byte, n)
+	for i := range models {
+		models[i] = make([]byte, regionSize)
+	}
+	return models
+}
+
+// TestStressSingleClient hammers one cached client with concurrent
+// mixed operations from eight workers sharing one file (and therefore
+// one handle cache), then verifies every byte — through the writing
+// client and through a second, independent client after close.
+func TestStressSingleClient(t *testing.T) {
+	ctx := context.Background()
+	addr := stressServer(t)
+	c := dialAs(t, addr, "stress-admin")
+
+	const workers, ops = 8, 150
+	if _, _, err := c.WriteFile(ctx, "/stress.dat", nil); err != nil {
+		t.Fatal(err)
+	}
+	models := newModels(workers)
+	runWorkers(t, c, "/stress.dat", 0, workers, ops, 1000, models)
+
+	// Within the writing client the cache must agree...
+	verifyRegions(t, c, "/stress.dat", 0, models)
+	// ...and a fresh client sees the same bytes after close-to-open.
+	c2 := dialAs(t, addr, "stress-admin")
+	verifyRegions(t, c2, "/stress.dat", 0, models)
+}
+
+// TestStressTwoClientsSharedServer alternates two clients over one
+// shared file in write-close / open-verify rounds: everything a client
+// wrote and closed must be visible to the other client's next open
+// (close-to-open across clients), with both clients running concurrent
+// workers internally.
+func TestStressTwoClientsSharedServer(t *testing.T) {
+	ctx := context.Background()
+	addr := stressServer(t)
+	a := dialAs(t, addr, "stress-admin")
+	b := dialAs(t, addr, "stress-admin")
+
+	const perClient, ops, rounds = 4, 60, 3
+	if _, _, err := a.WriteFile(ctx, "/shared.dat", nil); err != nil {
+		t.Fatal(err)
+	}
+	models := newModels(2 * perClient)
+
+	for round := 0; round < rounds; round++ {
+		// Client A owns regions 0..3, client B regions 4..7. New seeds
+		// each round rewrite random spans over the surviving content.
+		runWorkers(t, a, "/shared.dat", 0, perClient, ops, int64(9000+100*round), models)
+		runWorkers(t, b, "/shared.dat", perClient, perClient, ops, int64(9500+100*round), models)
+
+		// Cross-client visibility after close: B checks A's half, A
+		// checks B's half, and a third client checks everything.
+		verifyRegions(t, b, "/shared.dat", 0, models[:perClient])
+		verifyRegions(t, a, "/shared.dat", perClient, models[perClient:])
+		c := dialAs(t, addr, "stress-admin")
+		verifyRegions(t, c, "/shared.dat", 0, models)
+	}
+}

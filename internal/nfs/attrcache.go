@@ -111,6 +111,20 @@ func (c *CachingClient) GetAttr(ctx context.Context, h vfs.Handle) (vfs.Attr, er
 	return a, nil
 }
 
+// Revalidate forces a fresh GETATTR for h, bypassing the TTL, and
+// installs the result — the close-to-open revalidation step: callers
+// compare the returned attributes (mtime, size) against their cached
+// view and invalidate derived state on mismatch.
+func (c *CachingClient) Revalidate(ctx context.Context, h vfs.Handle) (vfs.Attr, error) {
+	a, err := c.Client.GetAttr(ctx, h)
+	if err != nil {
+		c.forgetHandle(h)
+		return a, err
+	}
+	c.remember(a)
+	return a, nil
+}
+
 // Lookup serves from cache within the TTL.
 func (c *CachingClient) Lookup(ctx context.Context, dir vfs.Handle, name string) (vfs.Attr, error) {
 	key := lookupKey{dir, name}

@@ -1,0 +1,90 @@
+package sunrpc
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"discfs/internal/xdr"
+)
+
+// slowProg parks every call briefly so concurrency is observable.
+const (
+	slowProg = 400200
+	slowVers = 1
+)
+
+// TestMaxInFlightBoundsConcurrency floods a limit-2 server with slow
+// calls from two pipelined connections and asserts no more than two
+// handlers ever run at once — the worker cap that keeps a request flood
+// (or a stress test) from growing a goroutine per record.
+func TestMaxInFlightBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int32
+	handler := func(ctx *Context, proc uint32, args *xdr.Decoder, res *xdr.Encoder) (AcceptStat, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		cur.Add(-1)
+		return Success, nil
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(WithMaxInFlight(2))
+	srv.Register(slowProg, slowVers, handler)
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	var clients []*Client
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		c := NewClient(conn)
+		defer c.Close()
+		clients = append(clients, c)
+	}
+
+	const calls = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		c := clients[i%len(clients)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Call(t.Context(), slowProg, slowVers, 0, nil); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("call: %v", err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent handlers = %d, want <= 2", p)
+	}
+	if p := peak.Load(); p < 2 {
+		t.Logf("peak concurrency only reached %d (timing)", p)
+	}
+}
+
+// TestMaxInFlightUnbounded verifies n <= 0 removes the bound.
+func TestMaxInFlightUnbounded(t *testing.T) {
+	srv := NewServer(WithMaxInFlight(0))
+	if srv.sem != nil {
+		t.Fatal("WithMaxInFlight(0) left a semaphore in place")
+	}
+}

@@ -47,18 +47,58 @@ type Server struct {
 	// Logf, if set, receives per-connection error diagnostics.
 	Logf func(format string, args ...any)
 
+	// sem bounds concurrently executing procedure calls across all
+	// connections; nil means unbounded.
+	sem chan struct{}
+
 	wg        sync.WaitGroup
 	lnMu      sync.Mutex
 	listeners []net.Listener
 	closed    bool
 }
 
-// NewServer returns an empty server.
-func NewServer() *Server {
-	return &Server{
+// A ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// DefaultMaxInFlight is the default bound on concurrently executing
+// procedure calls. Pipelined clients each spawn a goroutine per call;
+// without a bound a flood of calls (or a stress test) can exhaust
+// memory with parked handler goroutines.
+const DefaultMaxInFlight = 1024
+
+// maxPerConnPipeline bounds the records a single connection may have in
+// flight (executing or awaiting their reply write). It keeps one client
+// that stops reading replies from parking unbounded goroutines, without
+// letting it pin the server-wide execution semaphore.
+const maxPerConnPipeline = 256
+
+// WithMaxInFlight bounds the number of procedure calls executing
+// concurrently across all connections; further records queue in the
+// per-connection read loops (natural backpressure on the transport).
+// The slot is held only while the handler runs — not across the reply
+// write — so a stalled reader cannot starve other connections.
+// n <= 0 removes the bound.
+func WithMaxInFlight(n int) ServerOption {
+	return func(s *Server) {
+		if n <= 0 {
+			s.sem = nil
+			return
+		}
+		s.sem = make(chan struct{}, n)
+	}
+}
+
+// NewServer returns an empty server with the default in-flight bound.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
 		handlers: make(map[progVers]Handler),
 		versions: make(map[uint32][2]uint32),
+		sem:      make(chan struct{}, DefaultMaxInFlight),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Register installs a handler for (prog, vers).
@@ -144,6 +184,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	}
 	br := bufio.NewReaderSize(conn, 64<<10)
 	var wmu sync.Mutex // replies may be written from concurrent handlers
+	connSem := make(chan struct{}, maxPerConnPipeline)
 	for {
 		rec, err := readRecord(br)
 		if err != nil {
@@ -154,10 +195,23 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		// NFS clients pipeline requests; serve each call in its own
 		// goroutine so a slow operation does not stall the connection.
+		// Two bounds apply backpressure by blocking this read loop: the
+		// per-connection pipeline cap (so a client that stops reading
+		// replies parks a bounded number of goroutines) and the
+		// server-wide execution semaphore (held only while the handler
+		// runs, so a stalled connection cannot starve the others).
+		connSem <- struct{}{}
+		if s.sem != nil {
+			s.sem <- struct{}{}
+		}
 		s.wg.Add(1)
 		go func(rec []byte) {
 			defer s.wg.Done()
+			defer func() { <-connSem }()
 			reply, err := s.dispatch(ctx, rec)
+			if s.sem != nil {
+				<-s.sem // before the reply write, which may block
+			}
 			if err != nil {
 				s.logf("sunrpc: dispatch: %v", err)
 				return // undecodable call: drop it

@@ -100,6 +100,35 @@ func NewServer(serverKey *KeyPair, opts ...ServerOption) (*Server, error) {
 // Deprecated: use NewServer with functional options.
 func NewServerFromConfig(cfg ServerConfig) (*Server, error) { return core.NewServer(cfg) }
 
+// A ClientOption configures Dial's client-side data cache.
+type ClientOption = core.ClientOption
+
+// DefaultReadahead and DefaultWriteBehind are the data-cache defaults:
+// blocks prefetched ahead of a sequential read stream, and dirty blocks
+// buffered before writers are throttled.
+const (
+	DefaultReadahead   = core.DefaultReadahead
+	DefaultWriteBehind = core.DefaultWriteBehind
+)
+
+// WithReadahead sets how many blocks (8 KiB each) the client prefetches
+// ahead of a detected sequential read stream. n <= 0 disables
+// readahead. The default is DefaultReadahead.
+func WithReadahead(n int) ClientOption { return core.WithReadahead(n) }
+
+// WithWriteBehind sets the write-behind window: how many dirty 8 KiB
+// blocks the client buffers before throttling writers. Buffered writes
+// flush in the background and their errors surface at File.Sync or
+// File.Close — the NFS error barrier. The default is
+// DefaultWriteBehind.
+func WithWriteBehind(n int) ClientOption { return core.WithWriteBehind(n) }
+
+// WithNoDataCache disables the client-side data cache: every File read
+// and write becomes one synchronous NFS RPC and errors surface on the
+// call that hit them. Use it for workloads that need strict read
+// consistency with concurrent remote writers mid-open.
+func WithNoDataCache() ClientOption { return core.WithNoDataCache() }
+
 // A StoreOption configures the storage substrates built by NewMemStore,
 // OpenBackend and LoadStore.
 type StoreOption func(*StoreConfig)
