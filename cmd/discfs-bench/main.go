@@ -1,9 +1,11 @@
 // Command discfs-bench regenerates the paper's evaluation (§6): the five
 // Bonnie figures (7-11), the filesystem search macro-benchmark
-// (Figure 12), and the access-control micro-benchmarks, printing one
-// table per figure with rows for FFS, CFS-NE and DisCFS.
+// (Figure 12), the parallel authorization-check scaling table (the
+// Fig 8/9 cost, measured under concurrency), and the access-control
+// micro-benchmarks, printing one table per figure with rows for FFS,
+// CFS-NE and DisCFS.
 //
-//	discfs-bench [-size 16] [-runs 3] [-tree-files 1536]
+//	discfs-bench [-size 16] [-runs 3] [-tree-files 1536] [-authz-ops 200000]
 //
 // Absolute numbers depend on the host; the result that reproduces the
 // paper is the *shape*: FFS far ahead of both user-level NFS systems,
@@ -28,6 +30,7 @@ func main() {
 		subsys   = flag.Int("tree-dirs", 24, "search tree: subsystem directories")
 		perDir   = flag.Int("tree-files", 64, "search tree: files per directory")
 		meanSize = flag.Int("tree-mean", 12*1024, "search tree: mean file size")
+		authzOps = flag.Int("authz-ops", 200000, "authorization benchmark: cached checks per run")
 	)
 	flag.Parse()
 	size := int64(*sizeMB) << 20
@@ -121,12 +124,41 @@ func main() {
 	}
 	fmt.Println()
 
+	// ---- Authorization scaling (Fig 8/9-style, parallel) ----
+	fmt.Println("Authorization check throughput (server check path, 32 principals, 128 credentials)")
+	fmt.Println("  Mode       Goroutines   Checks/sec")
+	authzScaling(*authzOps)
+	fmt.Println()
+
 	// ---- Micro-benchmarks ----
 	fmt.Println("Micro-benchmarks: access-control primitives")
 	microCredential()
 	fmt.Println()
 	fmt.Println("run `go test -bench=Micro -benchmem` for the full suite " +
 		"(handshake, null RPC, cached decisions, submission)")
+}
+
+// authzScaling prints the parallel compliance-check throughput table:
+// cached (the paper's 128-entry decision cache) and uncached (full
+// KeyNote evaluation per check) at 1, 4 and 8 goroutines.
+func authzScaling(ops int) {
+	for _, mode := range []struct {
+		name      string
+		cacheSize int
+		ops       int
+	}{
+		{"cached", 128, ops},
+		{"uncached", -1, ops / 20},
+	} {
+		a, err := bench.NewAuthzSetup(32, mode.cacheSize, 96)
+		check(err)
+		for _, g := range []int{1, 4, 8} {
+			a.RunAuthz(g, 2) // warm: one decision per (peer, handle)
+			res := a.RunAuthz(g, mode.ops/g+1)
+			fmt.Printf("  %-10s %10d %12.0f\n", mode.name, g, res.OpsPerSec())
+		}
+		a.Close()
+	}
 }
 
 // microCredential times parse / verify / sign / query inline.

@@ -149,12 +149,24 @@ func DialWithCredentials(ctx context.Context, addr string, identity *KeyPair, cr
 
 // NewAuditLog creates an audit log keeping the most recent capacity
 // records, optionally mirrored as text to w (nil for none). Any
-// io.Writer works: a file, a network sink, a test buffer.
+// io.Writer works: a file, a network sink, a test buffer. Mirror lines
+// are written asynchronously by a background goroutine so the server's
+// check path never blocks on log I/O; call the log's Flush or Close to
+// drain (the server's Close does this for its own log).
 func NewAuditLog(capacity int, w io.Writer) *AuditLog {
+	return NewAuditLogWithQueue(capacity, w, 0)
+}
+
+// NewAuditLogWithQueue is NewAuditLog with an explicit mirror-queue
+// depth (0 means the default, 4096). When the background writer falls
+// behind by more than the queue depth, further mirror lines are
+// dropped and counted (AuditLog.Dropped; Stats.AuditDropped) instead
+// of stalling the data path.
+func NewAuditLogWithQueue(capacity int, w io.Writer, queueDepth int) *AuditLog {
 	if f, ok := w.(*os.File); ok && f == nil {
 		w = nil // a typed-nil *os.File is not a usable writer
 	}
-	return audit.New(capacity, w)
+	return audit.NewWithQueue(capacity, w, queueDepth)
 }
 
 // SubtreeConditions builds a KeyNote Conditions body granting value on

@@ -62,6 +62,10 @@ func TestWriterOutput(t *testing.T) {
 	r.Cached = true
 	r.Name = "secret.txt"
 	l.Append(r)
+	// Mirror lines are written asynchronously; Flush waits for them.
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
 	line := sb.String()
 	for _, want := range []string{"DENY", "read", "ino=42", `name="secret.txt"`, "(cached)", "value=R"} {
 		if !strings.Contains(line, want) {

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+)
+
+// The authorization micro-benchmark (Fig 8/9-style): parallel compliance
+// checks against one server, N distinct principals. Cached exercises the
+// sharded decision cache; Uncached forces a full KeyNote evaluation per
+// check (cache disabled).
+//
+//	go test ./internal/bench -bench=Authz -cpu=8
+
+func benchAuthz(b *testing.B, goroutines, cacheSize int) {
+	b.Helper()
+	a, err := NewAuthzSetup(32, cacheSize, 96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	// Warm: every (peer, handle) decision computed once.
+	a.RunAuthz(goroutines, 2)
+	b.ResetTimer()
+	per := b.N/goroutines + 1
+	res := a.RunAuthz(goroutines, per)
+	b.StopTimer()
+	b.ReportMetric(res.OpsPerSec(), "checks/s")
+}
+
+func BenchmarkAuthzCached1(b *testing.B)   { benchAuthz(b, 1, 128) }
+func BenchmarkAuthzCached4(b *testing.B)   { benchAuthz(b, 4, 128) }
+func BenchmarkAuthzCached8(b *testing.B)   { benchAuthz(b, 8, 128) }
+func BenchmarkAuthzUncached1(b *testing.B) { benchAuthz(b, 1, -1) }
+func BenchmarkAuthzUncached4(b *testing.B) { benchAuthz(b, 4, -1) }
+func BenchmarkAuthzUncached8(b *testing.B) { benchAuthz(b, 8, -1) }
+
+func TestAuthzSetup(t *testing.T) {
+	a, err := NewAuthzSetup(4, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	res := a.RunAuthz(4, 50)
+	if res.Ops != 200 {
+		t.Fatalf("ops = %d, want 200", res.Ops)
+	}
+	st := a.Server.Stats()
+	if st.Decisions != 200 {
+		t.Errorf("decisions = %d, want 200", st.Decisions)
+	}
+	if st.CacheHits == 0 {
+		t.Error("no cache hits in cached run")
+	}
+	if st.Denials != 0 {
+		t.Errorf("denials = %d, want 0", st.Denials)
+	}
+}

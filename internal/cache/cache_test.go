@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 )
@@ -13,22 +14,36 @@ func entry(perm uint8, gen uint64) Entry {
 	return Entry{Perm: perm, Gen: gen, Expires: t0.Add(time.Minute)}
 }
 
+// k builds a Key from a short name; tests address entries by peer.
+func k(peer string) Key { return Key{Peer: peer} }
+
 func TestPutGet(t *testing.T) {
 	c := New(4)
-	c.Put("a", entry(7, 1))
-	got, ok := c.Get("a", 1, t0)
+	c.Put(k("a"), entry(7, 1))
+	got, ok := c.Get(k("a"), 1, t0)
 	if !ok || got.Perm != 7 {
 		t.Fatalf("Get = %+v, %v", got, ok)
 	}
-	if _, ok := c.Get("missing", 1, t0); ok {
+	if _, ok := c.Get(k("missing"), 1, t0); ok {
 		t.Error("missing key hit")
+	}
+}
+
+func TestKeyDistinguishesHandle(t *testing.T) {
+	c := New(8)
+	c.Put(Key{Peer: "a", Ino: 1}, entry(7, 1))
+	if _, ok := c.Get(Key{Peer: "a", Ino: 2}, 1, t0); ok {
+		t.Error("different inode hit")
+	}
+	if _, ok := c.Get(Key{Peer: "a", Ino: 1, Gen: 1}, 1, t0); ok {
+		t.Error("different handle generation hit")
 	}
 }
 
 func TestGenerationInvalidates(t *testing.T) {
 	c := New(4)
-	c.Put("a", entry(7, 1))
-	if _, ok := c.Get("a", 2, t0); ok {
+	c.Put(k("a"), entry(7, 1))
+	if _, ok := c.Get(k("a"), 2, t0); ok {
 		t.Error("stale generation hit")
 	}
 	// The stale entry is evicted.
@@ -39,26 +54,29 @@ func TestGenerationInvalidates(t *testing.T) {
 
 func TestExpiryInvalidates(t *testing.T) {
 	c := New(4)
-	c.Put("a", entry(7, 1))
-	if _, ok := c.Get("a", 1, t0.Add(2*time.Minute)); ok {
+	c.Put(k("a"), entry(7, 1))
+	if _, ok := c.Get(k("a"), 1, t0.Add(2*time.Minute)); ok {
 		t.Error("expired entry hit")
 	}
 }
 
 func TestLRUEviction(t *testing.T) {
 	c := New(3)
-	c.Put("a", entry(1, 1))
-	c.Put("b", entry(2, 1))
-	c.Put("c", entry(3, 1))
+	if c.Shards() != 1 {
+		t.Fatalf("small cache has %d shards, want 1", c.Shards())
+	}
+	c.Put(k("a"), entry(1, 1))
+	c.Put(k("b"), entry(2, 1))
+	c.Put(k("c"), entry(3, 1))
 	// Touch "a" so "b" is the oldest.
-	c.Get("a", 1, t0)
-	c.Put("d", entry(4, 1))
-	if _, ok := c.Get("b", 1, t0); ok {
+	c.Get(k("a"), 1, t0)
+	c.Put(k("d"), entry(4, 1))
+	if _, ok := c.Get(k("b"), 1, t0); ok {
 		t.Error("LRU victim survived")
 	}
-	for _, k := range []string{"a", "c", "d"} {
-		if _, ok := c.Get(k, 1, t0); !ok {
-			t.Errorf("%q evicted wrongly", k)
+	for _, key := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k(key), 1, t0); !ok {
+			t.Errorf("%q evicted wrongly", key)
 		}
 	}
 	if c.Len() != 3 {
@@ -68,9 +86,9 @@ func TestLRUEviction(t *testing.T) {
 
 func TestUpdateExisting(t *testing.T) {
 	c := New(2)
-	c.Put("a", entry(1, 1))
-	c.Put("a", entry(5, 1))
-	got, _ := c.Get("a", 1, t0)
+	c.Put(k("a"), entry(1, 1))
+	c.Put(k("a"), entry(5, 1))
+	got, _ := c.Get(k("a"), 1, t0)
 	if got.Perm != 5 {
 		t.Errorf("perm = %d", got.Perm)
 	}
@@ -81,43 +99,133 @@ func TestUpdateExisting(t *testing.T) {
 
 func TestPurgeAndRemove(t *testing.T) {
 	c := New(4)
-	c.Put("a", entry(1, 1))
-	c.Put("b", entry(2, 1))
-	c.Remove("a")
-	if _, ok := c.Get("a", 1, t0); ok {
+	c.Put(k("a"), entry(1, 1))
+	c.Put(k("b"), entry(2, 1))
+	c.Remove(k("a"))
+	if _, ok := c.Get(k("a"), 1, t0); ok {
 		t.Error("removed key hit")
 	}
 	c.Purge()
 	if c.Len() != 0 {
 		t.Errorf("len after purge = %d", c.Len())
 	}
-	if _, ok := c.Get("b", 1, t0); ok {
+	if _, ok := c.Get(k("b"), 1, t0); ok {
 		t.Error("purged key hit")
 	}
 }
 
 func TestZeroCapacityDisables(t *testing.T) {
 	c := New(0)
-	c.Put("a", entry(1, 1))
-	if _, ok := c.Get("a", 1, t0); ok {
+	c.Put(k("a"), entry(1, 1))
+	if _, ok := c.Get(k("a"), 1, t0); ok {
 		t.Error("zero-capacity cache stored an entry")
 	}
 }
 
 func TestStatsCount(t *testing.T) {
 	c := New(4)
-	c.Put("a", entry(1, 1))
-	c.Get("a", 1, t0)
-	c.Get("a", 1, t0)
-	c.Get("miss", 1, t0)
+	c.Put(k("a"), entry(1, 1))
+	c.Get(k("a"), 1, t0)
+	c.Get(k("a"), 1, t0)
+	c.Get(k("miss"), 1, t0)
 	hits, misses := c.Stats()
 	if hits != 2 || misses != 1 {
 		t.Errorf("stats = %d/%d, want 2/1", hits, misses)
 	}
 }
 
+// ---- sharded behavior ----
+
+func TestShardedDefaults(t *testing.T) {
+	c := New(128) // the paper's capacity: sharded
+	if c.Shards() != defaultShards {
+		t.Fatalf("shards = %d, want %d", c.Shards(), defaultShards)
+	}
+	if c.Cap() != 128 {
+		t.Fatalf("cap = %d", c.Cap())
+	}
+	// Per-shard capacities sum to the total.
+	sum := 0
+	for i := range c.shards {
+		sum += c.shards[i].cap
+	}
+	if sum != 128 {
+		t.Errorf("shard capacities sum to %d, want 128", sum)
+	}
+}
+
+func TestShardedRoundTrip(t *testing.T) {
+	// Headroom over the 200 live keys: eviction is per-shard, so the
+	// bound must absorb hashing imbalance across the 8 shards.
+	c := NewSharded(512, 8)
+	for i := 0; i < 200; i++ {
+		c.Put(Key{Peer: fmt.Sprintf("peer-%d", i), Ino: uint64(i)}, entry(uint8(i%8), 1))
+	}
+	for i := 0; i < 200; i++ {
+		got, ok := c.Get(Key{Peer: fmt.Sprintf("peer-%d", i), Ino: uint64(i)}, 1, t0)
+		if !ok {
+			t.Fatalf("peer-%d missing", i)
+		}
+		if got.Perm != uint8(i%8) {
+			t.Fatalf("peer-%d perm = %d", i, got.Perm)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 200 || misses != 0 {
+		t.Errorf("stats = %d/%d, want 200/0", hits, misses)
+	}
+}
+
+func TestShardedSpread(t *testing.T) {
+	c := NewSharded(1024, 16)
+	for i := 0; i < 512; i++ {
+		c.Put(Key{Peer: fmt.Sprintf("ed25519-hex:%064d", i)}, entry(1, 1))
+	}
+	// Hashing must actually spread keys: no shard should hold more than
+	// a quarter of the population (expected ~32 of 512 per shard).
+	for i := range c.shards {
+		if n := c.shards[i].ll.Len(); n > 128 {
+			t.Fatalf("shard %d holds %d of 512 entries; hash not spreading", i, n)
+		}
+	}
+}
+
+func TestTinyShardedCache(t *testing.T) {
+	// Fewer capacity units than shards: every shard still admits one
+	// entry rather than silently caching nothing.
+	c := NewSharded(2, 8)
+	c.Put(k("a"), entry(3, 1))
+	if _, ok := c.Get(k("a"), 1, t0); !ok {
+		t.Error("tiny sharded cache dropped entry")
+	}
+}
+
+func TestConcurrentSharded(t *testing.T) {
+	c := New(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := Key{Peer: fmt.Sprintf("worker-%d", g), Ino: uint64(i % 64)}
+				if i%3 == 0 {
+					c.Put(key, entry(uint8(i%8), 1))
+				} else {
+					c.Get(key, 1, t0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses == 0 {
+		t.Error("no gets recorded")
+	}
+}
+
 // TestAgainstModel checks the LRU against a brute-force model under a
-// random workload.
+// random workload. A single-shard cache is exactly LRU.
 func TestAgainstModel(t *testing.T) {
 	const capn = 8
 	c := New(capn)
@@ -134,7 +242,7 @@ func TestAgainstModel(t *testing.T) {
 		switch rng.Intn(3) {
 		case 0: // put
 			e := entry(uint8(rng.Intn(8)), 1)
-			c.Put(key, e)
+			c.Put(k(key), e)
 			if m, ok := model[key]; ok {
 				m.val, m.used = e, tick
 			} else {
@@ -152,7 +260,7 @@ func TestAgainstModel(t *testing.T) {
 				model[key] = &modelEnt{val: e, used: tick}
 			}
 		case 1: // get
-			got, ok := c.Get(key, 1, t0)
+			got, ok := c.Get(k(key), 1, t0)
 			m, mok := model[key]
 			if ok != mok {
 				t.Fatalf("step %d: Get(%q) ok=%v, model=%v", step, key, ok, mok)
@@ -164,7 +272,7 @@ func TestAgainstModel(t *testing.T) {
 				m.used = tick
 			}
 		case 2: // remove
-			c.Remove(key)
+			c.Remove(k(key))
 			delete(model, key)
 		}
 		if c.Len() != len(model) {

@@ -77,28 +77,93 @@ type ServerConfig struct {
 	CacheTTL time.Duration
 	// Audit receives access decisions; nil allocates an in-memory log.
 	Audit *audit.Log
-	// Now injects a clock (tests, benchmarks); nil means time.Now.
+	// Now injects a clock (tests, benchmarks); nil means an internal
+	// coarse clock (~0.5 ms granularity) that makes per-operation
+	// timestamping free of a syscall-path time.Now per check.
 	Now func() time.Time
+}
+
+// coarseClock publishes wall-clock nanoseconds from a ticker goroutine;
+// reading it is one atomic load. Audit timestamps are second-granular
+// and cache TTLs minute-granular, so sub-millisecond staleness is
+// harmless (the minute-boundary clamp in decideAt leaves a 1 ms guard
+// band for it).
+type coarseClock struct {
+	ns   atomic.Int64
+	done chan struct{}
+	once sync.Once
+}
+
+func newCoarseClock(step time.Duration) *coarseClock {
+	c := &coarseClock{done: make(chan struct{})}
+	c.ns.Store(time.Now().UnixNano())
+	go func() {
+		t := time.NewTicker(step)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				c.ns.Store(now.UnixNano())
+			case <-c.done:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+func (c *coarseClock) Now() time.Time { return time.Unix(0, c.ns.Load()) }
+
+func (c *coarseClock) Stop() { c.once.Do(func() { close(c.done) }) }
+
+// ancShards is the shard count of the ancestry and path-cache maps;
+// power of two so a handle hash indexes with the top ancShardBits bits.
+const (
+	ancShardBits = 4
+	ancShards    = 1 << ancShardBits
+)
+
+// ancShard is one slice of the namespace-ancestry state: the
+// child→parent map that backs the PATH action attribute, plus cached
+// rendered paths (validated against the server's path epoch).
+type ancShard struct {
+	mu     sync.RWMutex
+	parent map[vfs.Handle]vfs.Handle
+	path   map[vfs.Handle]pathEntry
+}
+
+// pathEntry is a rendered inode path stamped with the epoch it was
+// computed under; rename/remove bump the epoch, invalidating every
+// cached path at once.
+type pathEntry struct {
+	path  string
+	epoch uint64
 }
 
 // Server is a DisCFS server.
 type Server struct {
-	backing vfs.FS
-	key     *keynote.KeyPair
-	session *keynote.Session
-	cache   *cache.LRU
-	ttl     time.Duration
-	audit   *audit.Log
-	now     func() time.Time
-	admins  map[keynote.Principal]bool
+	backing  vfs.FS
+	key      *keynote.KeyPair
+	session  *keynote.Session
+	cache    *cache.Cache
+	ttl      time.Duration
+	audit    *audit.Log
+	ownAudit bool // the server allocated the log and closes it
+	now      func() time.Time
+	clock    *coarseClock // non-nil when the server owns its clock
+	admins   map[keynote.Principal]bool
 
 	queries atomic.Uint64 // full compliance checks (cache misses)
 
 	// ancestry maps a handle to its containing directory, learned from
 	// namespace traffic; it backs the PATH action attribute that gives
-	// credentials subtree scope.
-	ancMu    sync.RWMutex
-	ancestry map[vfs.Handle]vfs.Handle
+	// credentials subtree scope. Sharded by handle hash so namespace
+	// traffic from different principals never contends on one lock.
+	anc       [ancShards]ancShard
+	pathEpoch atomic.Uint64 // bumped on rename/remove; validates path cache
+
+	pathHits   atomic.Uint64
+	pathMisses atomic.Uint64
 
 	rpc *sunrpc.Server
 }
@@ -115,6 +180,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The time attributes change between queries without a session
+	// mutation; snapshots track whether any assertion depends on them so
+	// decide can clamp cached-decision lifetimes to the minute boundary.
+	session.SetVolatileAttributes("hour", "minute", "weekday", "now")
 	// Root of trust: POLICY delegates everything to the administrator
 	// key (the paper's Figure 1, top edge).
 	rootPolicy, err := keynote.NewPolicy(keynote.AssertionSpec{
@@ -149,8 +218,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		log = audit.New(1024, nil)
 	}
 	now := cfg.Now
+	var clk *coarseClock
 	if now == nil {
-		now = time.Now
+		clk = newCoarseClock(500 * time.Microsecond)
+		now = clk.Now
 	}
 	admins := make(map[keynote.Principal]bool, len(cfg.Admins)+1)
 	admins[cfg.ServerKey.Principal] = true
@@ -164,10 +235,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cache:    cache.New(size),
 		ttl:      ttl,
 		audit:    log,
+		ownAudit: cfg.Audit == nil,
 		now:      now,
+		clock:    clk,
 		admins:   admins,
-		ancestry: make(map[vfs.Handle]vfs.Handle),
 		rpc:      sunrpc.NewServer(),
+	}
+	for i := range s.anc {
+		s.anc[i].parent = make(map[vfs.Handle]vfs.Handle)
+		s.anc[i].path = make(map[vfs.Handle]pathEntry)
 	}
 	nfs.NewServer(s).RegisterAll(s.rpc)
 	s.registerExt(s.rpc)
@@ -195,41 +271,86 @@ func (s *Server) View(peer string) (vfs.FS, error) {
 
 // ---- ancestry tracking (PATH attribute) ----
 
-// noteParent records that child lives in dir.
-func (s *Server) noteParent(child, dir vfs.Handle) {
-	s.ancMu.Lock()
-	s.ancestry[child] = dir
-	s.ancMu.Unlock()
+// ancShard selects the shard holding h's ancestry entry.
+func (s *Server) ancShard(h vfs.Handle) *ancShard {
+	// Fibonacci hashing; the top bits index the shard array.
+	return &s.anc[(h.Ino+uint64(h.Gen)<<40)*0x9e3779b97f4a7c15>>(64-ancShardBits)]
 }
 
-// dropParent forgets a mapping (after remove).
+// invalidatePaths bumps the path epoch, invalidating every cached path
+// and (because the epoch participates in decision validity) every
+// cached decision. Only operations that actually change an existing
+// object's path call it — rename, and rmdir as defense in depth — so
+// read traffic and leaf-file removal never flush the caches.
+func (s *Server) invalidatePaths() { s.pathEpoch.Add(1) }
+
+// noteParent records that child lives in dir. Namespace reads (lookup,
+// readdir) call this on every entry, so the already-known case takes
+// only a shard read lock. A remap — a different parent observed, which
+// a rename's own epoch bump already accounts for, or a hard link seen
+// through another directory — updates the map and drops the child's
+// cached path (last observation wins, as with the prototype's PATH
+// attribute) without touching the global epoch.
+func (s *Server) noteParent(child, dir vfs.Handle) {
+	sh := s.ancShard(child)
+	sh.mu.RLock()
+	cur, ok := sh.parent[child]
+	sh.mu.RUnlock()
+	if ok && cur == dir {
+		return
+	}
+	sh.mu.Lock()
+	sh.parent[child] = dir
+	delete(sh.path, child)
+	sh.mu.Unlock()
+}
+
+// dropParent forgets a mapping (after remove/rmdir). Shard-local: a
+// leaf's disappearance cannot change any other handle's path, so no
+// global invalidation happens here.
 func (s *Server) dropParent(child vfs.Handle) {
-	s.ancMu.Lock()
-	delete(s.ancestry, child)
-	s.ancMu.Unlock()
+	sh := s.ancShard(child)
+	sh.mu.Lock()
+	delete(sh.parent, child)
+	delete(sh.path, child)
+	sh.mu.Unlock()
 }
 
 // pathOf renders the inode ancestry of h as "/ino1/ino2/.../inoN/" with
-// h's own inode last. Unknown ancestry yields just "/ino/".
+// h's own inode last. Unknown ancestry yields just "/ino/". Rendered
+// paths whose chain reaches the root are cached per handle and reused
+// until a rename or remove bumps the path epoch; incomplete chains (the
+// parent is not yet known) are not cached, so learning more ancestry
+// takes effect on the very next query.
 func (s *Server) pathOf(h vfs.Handle) string {
+	epoch := s.pathEpoch.Load()
+	hsh := s.ancShard(h)
+	hsh.mu.RLock()
+	pe, ok := hsh.path[h]
+	hsh.mu.RUnlock()
+	if ok && pe.epoch == epoch {
+		s.pathHits.Add(1)
+		return pe.path
+	}
+	s.pathMisses.Add(1)
 	const maxDepth = 64
 	chain := make([]uint64, 0, 8)
 	chain = append(chain, h.Ino)
-	s.ancMu.RLock()
-	cur := h
 	root := s.backing.Root()
-	for i := 0; i < maxDepth; i++ {
-		if cur == root {
-			break
-		}
-		parent, ok := s.ancestry[cur]
+	cur := h
+	complete := cur == root
+	for i := 0; i < maxDepth && !complete; i++ {
+		sh := s.ancShard(cur)
+		sh.mu.RLock()
+		parent, ok := sh.parent[cur]
+		sh.mu.RUnlock()
 		if !ok {
 			break
 		}
 		chain = append(chain, parent.Ino)
 		cur = parent
+		complete = cur == root
 	}
-	s.ancMu.RUnlock()
 	// chain is leaf→root; render root→leaf.
 	var b []byte
 	b = append(b, '/')
@@ -237,7 +358,13 @@ func (s *Server) pathOf(h vfs.Handle) string {
 		b = strconv.AppendUint(b, chain[i], 10)
 		b = append(b, '/')
 	}
-	return string(b)
+	path := string(b)
+	if complete {
+		hsh.mu.Lock()
+		hsh.path[h] = pathEntry{path: path, epoch: epoch}
+		hsh.mu.Unlock()
+	}
+	return path
 }
 
 // ---- policy decisions ----
@@ -245,10 +372,24 @@ func (s *Server) pathOf(h vfs.Handle) string {
 // decide computes (with caching) the permission bits granted to peer on
 // handle h.
 func (s *Server) decide(peer keynote.Principal, h vfs.Handle) (perm uint8, cached bool) {
-	now := s.now()
-	gen := s.session.Generation()
-	key := string(peer) + "|" + strconv.FormatUint(h.Ino, 10) + "." + strconv.FormatUint(uint64(h.Gen), 10)
-	if e, ok := s.cache.Get(key, gen, now); ok {
+	return s.decideAt(peer, h, s.now())
+}
+
+// decideAt is decide with the caller's clock reading. The whole decision
+// runs against one immutable session snapshot: the compliance query
+// takes no lock, and the cache entry is stamped with the validity
+// (generation + path epoch) read before the query ran — a revocation or
+// rename landing mid-decision bumps the live validity past it, so the
+// entry can never satisfy a post-revocation lookup.
+func (s *Server) decideAt(peer keynote.Principal, h vfs.Handle, now time.Time) (perm uint8, cached bool) {
+	snap := s.session.Snapshot()
+	// Cached decisions are valid for one (session generation, path
+	// epoch) pair: credential changes AND namespace changes (a rename
+	// can move a file out of a subtree-scoped grant) both invalidate.
+	// Both counters are monotonic, so their sum is too.
+	validity := snap.Generation() + s.pathEpoch.Load()
+	key := cache.Key{Peer: string(peer), Ino: h.Ino, Gen: h.Gen}
+	if e, ok := s.cache.Get(key, validity, now); ok {
 		return e.Perm, true
 	}
 	attrs := map[string]string{
@@ -262,24 +403,41 @@ func (s *Server) decide(peer keynote.Principal, h vfs.Handle) (perm uint8, cache
 		"weekday":    now.Weekday().String(),
 		"now":        now.UTC().Format(time.RFC3339),
 	}
-	res, err := s.session.Query(attrs, peer)
+	res, err := snap.Query(attrs, peer)
 	if err != nil {
 		// Fail closed on evaluation errors.
 		res = keynote.Result{Value: Values[0], Index: 0}
 	}
 	s.queries.Add(1)
 	perm = uint8(res.Index) & 7
-	s.cache.Put(key, cache.Entry{Perm: perm, Gen: gen, Expires: now.Add(s.ttl)})
+	expires := now.Add(s.ttl)
+	if snap.Volatile() {
+		// Some assertion tests hour/minute/weekday/now: a grant valid at
+		// 11:59 must not be served from cache at 12:00, however long the
+		// TTL. Clamp to just short of the next minute boundary (the
+		// granularity of the time attributes) so the first decision in
+		// the new minute re-evaluates; the 1 ms guard band covers the
+		// coarse clock's staleness.
+		if boundary := now.Truncate(time.Minute).Add(time.Minute - time.Millisecond); boundary.Before(expires) {
+			expires = boundary
+		}
+	}
+	// Stamp with the validity computed before the query: if a revocation
+	// or rename landed mid-decision, the live validity has moved past
+	// this value and the entry can never satisfy a later Get.
+	s.cache.Put(key, cache.Entry{Perm: perm, Gen: validity, Expires: expires})
 	return perm, false
 }
 
 // check requires the given permission bits on h, appending to the audit
-// log, and returns vfs.ErrPerm when denied.
+// log, and returns vfs.ErrPerm when denied. The audit append is
+// asynchronous — the check path never blocks on log I/O.
 func (s *Server) check(peer keynote.Principal, h vfs.Handle, need uint8, op, name string) error {
-	perm, cached := s.decide(peer, h)
+	now := s.now()
+	perm, cached := s.decideAt(peer, h, now)
 	allowed := perm&need == need
 	s.audit.Append(audit.Record{
-		Time: s.now(), Peer: string(peer), Op: op,
+		Time: now, Peer: string(peer), Op: op,
 		Ino: h.Ino, Gen: h.Gen, Name: name,
 		Value: PermString(perm), Allowed: allowed, Cached: cached,
 	})
@@ -287,6 +445,14 @@ func (s *Server) check(peer keynote.Principal, h vfs.Handle, need uint8, op, nam
 		return vfs.ErrPerm
 	}
 	return nil
+}
+
+// Check runs the full per-operation authorization path — cached decision
+// plus audit record — requiring the given permission bits on h. It is
+// the entry point the per-peer views use, exported for benchmarks and
+// local tooling that exercise the server's check path without RPC.
+func (s *Server) Check(peer keynote.Principal, h vfs.Handle, need uint8, op string) error {
+	return s.check(peer, h, need, op, "")
 }
 
 // ---- credential issuance ----
@@ -383,9 +549,24 @@ func (s *Server) Start() (string, error) {
 }
 
 // Close stops the server: every listener is closed (the RPC layer owns
-// them once Serve is called) and in-flight connections drain.
+// them once Serve is called), in-flight connections drain, and the
+// audit log's writer queue is drained (closed when the server allocated
+// the log, flushed when the caller supplied it).
 func (s *Server) Close() error {
-	return s.rpc.Close()
+	err := s.rpc.Close()
+	if s.clock != nil {
+		s.clock.Stop()
+	}
+	var aerr error
+	if s.ownAudit {
+		aerr = s.audit.Close()
+	} else {
+		aerr = s.audit.Flush()
+	}
+	if err == nil {
+		err = aerr
+	}
+	return err
 }
 
 // Stats summarizes the policy engine's work, for monitoring and the
@@ -397,18 +578,30 @@ type Stats struct {
 	Credentials int
 	Decisions   uint64
 	Denials     uint64
+
+	Generation      uint64 // policy-session generation (mutation count)
+	AuditPending    int    // audit mirror lines queued, not yet written
+	AuditDropped    uint64 // audit mirror lines dropped at saturation
+	PathCacheHits   uint64 // handle→path resolutions served from cache
+	PathCacheMisses uint64 // handle→path resolutions walked
 }
 
 // Stats returns a snapshot.
 func (s *Server) Stats() Stats {
+	snap := s.session.Snapshot()
 	hits, misses := s.cache.Stats()
 	total, denied := s.audit.Totals()
 	return Stats{
-		Queries:     s.queries.Load(),
-		CacheHits:   hits,
-		CacheMisses: misses,
-		Credentials: len(s.session.Credentials()),
-		Decisions:   total,
-		Denials:     denied,
+		Queries:         s.queries.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		Credentials:     snap.NumCredentials(),
+		Decisions:       total,
+		Denials:         denied,
+		Generation:      snap.Generation(),
+		AuditPending:    s.audit.Pending(),
+		AuditDropped:    s.audit.Dropped(),
+		PathCacheHits:   s.pathHits.Load(),
+		PathCacheMisses: s.pathMisses.Load(),
 	}
 }

@@ -146,6 +146,10 @@ func (v *view) Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, toN
 	if err := v.s.backing.Rename(fromDir, fromName, toDir, toName); err != nil {
 		return err
 	}
+	// The moved object's path — and, for a directory, every descendant
+	// path — changed: invalidate cached paths and the decisions computed
+	// from them (a subtree-scoped grant must not survive the move).
+	v.s.invalidatePaths()
 	if a, err := v.s.backing.Lookup(toDir, toName); err == nil {
 		v.s.noteParent(a.Handle, toDir)
 	}
@@ -182,6 +186,10 @@ func (v *view) Rmdir(dir vfs.Handle, name string) error {
 	}
 	if a, err := v.s.backing.Lookup(dir, name); err == nil {
 		defer v.s.dropParent(a.Handle)
+		// A directory's disappearance invalidates any path cached
+		// through it (defense in depth: the backing store requires the
+		// directory to be empty, so normally nothing runs through it).
+		defer v.s.invalidatePaths()
 	}
 	return v.s.backing.Rmdir(dir, name)
 }

@@ -277,6 +277,55 @@ func pow(l, r float64) float64 {
 // on every uncached file operation, so compilation cost matters.
 var regexCache sync.Map // string -> *regexp.Regexp
 
+// ---- static attribute references ----
+
+// referencesAny reports whether the program mentions any of the named
+// action attributes. A '$' dereference reads an attribute whose name is
+// computed at evaluation time, so it conservatively counts as
+// referencing everything.
+func (p *condProgram) referencesAny(names map[string]bool) bool {
+	for _, c := range p.clauses {
+		if exprReferencesAny(c.test, names) {
+			return true
+		}
+		if c.value != nil && exprReferencesAny(c.value, names) {
+			return true
+		}
+		if c.sub != nil && c.sub.referencesAny(names) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprReferencesAny(x expr, names map[string]bool) bool {
+	switch n := x.(type) {
+	case boolAnd:
+		return exprReferencesAny(n.l, names) || exprReferencesAny(n.r, names)
+	case boolOr:
+		return exprReferencesAny(n.l, names) || exprReferencesAny(n.r, names)
+	case boolNot:
+		return exprReferencesAny(n.e, names)
+	case boolCmp:
+		return exprReferencesAny(n.l, names) || exprReferencesAny(n.r, names)
+	case boolRegex:
+		return exprReferencesAny(n.l, names) || exprReferencesAny(n.r, names)
+	case strAttr:
+		return names[n.name]
+	case strDeref:
+		return true // dynamic name: could be anything
+	case strConcat:
+		return exprReferencesAny(n.l, names) || exprReferencesAny(n.r, names)
+	case numCoerce:
+		return exprReferencesAny(n.e, names)
+	case numNeg:
+		return exprReferencesAny(n.e, names)
+	case numBin:
+		return exprReferencesAny(n.l, names) || exprReferencesAny(n.r, names)
+	}
+	return false
+}
+
 func compileRegex(pat string) (*regexp.Regexp, error) {
 	if v, ok := regexCache.Load(pat); ok {
 		return v.(*regexp.Regexp), nil

@@ -3,22 +3,24 @@ package keynote
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Session is a persistent collection of policy and verified credential
 // assertions, mirroring the "persistent KeyNote session" the DisCFS
-// daemon keeps per attached client. Sessions are safe for concurrent use.
+// daemon keeps per attached client. Sessions are safe for concurrent
+// use and read-mostly: the assertion set lives in an immutable Snapshot
+// published through an atomic pointer, so Query takes no lock at all;
+// mutations (credential submission, revocation) copy-on-write a new
+// snapshot under a writer mutex and bump the generation counter.
 type Session struct {
-	mu       sync.RWMutex
-	values   []string
-	policies []*Assertion
-	creds    []*Assertion
-	bySig    map[string]*Assertion
-	// revokedKeys holds principals whose credentials are disregarded,
-	// implementing the paper's "notify the server about bad keys"
-	// revocation model (§4.1).
-	revokedKeys map[Principal]bool
-	gen         uint64 // bumped on every mutation, for cache invalidation
+	mu   sync.Mutex // serializes mutations; readers never take it
+	snap atomic.Pointer[Snapshot]
+	// volatileAttrs are action-attribute names whose values change
+	// between queries without a session mutation (e.g. the time of day).
+	// Snapshots record whether any assertion depends on one, so decision
+	// caches can bound reuse. Written only under mu.
+	volatileAttrs map[string]bool
 }
 
 // NewSession creates a session with the given ordered compliance values
@@ -29,26 +31,59 @@ func NewSession(values []string) (*Session, error) {
 	}
 	vals := make([]string, len(values))
 	copy(vals, values)
-	return &Session{
-		values:      vals,
-		bySig:       make(map[string]*Assertion),
-		revokedKeys: make(map[Principal]bool),
-	}, nil
+	s := &Session{}
+	s.snap.Store(&Snapshot{
+		values:     vals,
+		bySig:      make(map[string]*Assertion),
+		byLicensee: make(map[Principal][]*Assertion),
+		revoked:    make(map[Principal]bool),
+	})
+	return s, nil
+}
+
+// Snapshot returns the current immutable view of the session. Callers
+// that make several reads that must agree with each other (a query plus
+// the generation it was computed under) should take one snapshot and
+// use it for all of them.
+func (s *Session) Snapshot() *Snapshot { return s.snap.Load() }
+
+// SetVolatileAttributes declares action-attribute names whose values
+// change between queries with no session mutation — for DisCFS, the
+// time attributes (hour, minute, weekday, now). Snapshots report (via
+// Volatile) whether any installed assertion references one, which lets
+// decision caches clamp entry lifetimes. Call before assertions are
+// installed; existing assertions are rescanned.
+func (s *Session) SetVolatileAttributes(names ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.volatileAttrs = make(map[string]bool, len(names))
+	for _, n := range names {
+		s.volatileAttrs[n] = true
+	}
+	next := s.snap.Load().clone()
+	next.recomputeVolatile(s.volatileAttrs)
+	s.snap.Store(next)
 }
 
 // Values returns the session's ordered compliance value set.
-func (s *Session) Values() []string {
-	out := make([]string, len(s.values))
-	copy(out, s.values)
-	return out
-}
+func (s *Session) Values() []string { return s.Snapshot().Values() }
 
 // Generation returns a counter that changes whenever the session's
 // assertion set changes; policy-decision caches key their validity on it.
-func (s *Session) Generation() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.gen
+func (s *Session) Generation() uint64 { return s.Snapshot().gen }
+
+// mutate runs fn over a copy of the current snapshot and, when fn
+// reports a change, publishes the copy with a bumped generation.
+func (s *Session) mutate(fn func(next *Snapshot) (changed bool, err error)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.snap.Load().clone()
+	changed, err := fn(next)
+	if changed {
+		next.gen++
+		s.snap.Store(next)
+	}
+	return err
 }
 
 // AddPolicyText parses and installs unsigned local policy assertions
@@ -65,11 +100,14 @@ func (s *Session) AddPolicyText(text string) error {
 		}
 		a.verified = true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.policies = append(s.policies, as...)
-	s.gen++
-	return nil
+	return s.mutate(func(next *Snapshot) (bool, error) {
+		for _, a := range as {
+			next.policies = append(next.policies, a)
+			next.index(a)
+			next.volatile = next.volatile || a.referencesAny(s.volatileAttrs)
+		}
+		return len(as) > 0, nil
+	})
 }
 
 // AddPolicy installs an already-composed policy assertion.
@@ -78,16 +116,18 @@ func (s *Session) AddPolicy(a *Assertion) error {
 		return ErrNotPolicy
 	}
 	a.verified = true
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.policies = append(s.policies, a)
-	s.gen++
-	return nil
+	return s.mutate(func(next *Snapshot) (bool, error) {
+		next.policies = append(next.policies, a)
+		next.index(a)
+		next.volatile = next.volatile || a.referencesAny(s.volatileAttrs)
+		return true, nil
+	})
 }
 
 // AddCredentialText parses, verifies, and installs credential assertions.
 // Unsigned assertions and bad signatures are rejected; credentials from
-// revoked keys are rejected.
+// revoked keys are rejected. Signature verification runs before the
+// writer lock is taken, so concurrent submissions verify in parallel.
 func (s *Session) AddCredentialText(text string) ([]*Assertion, error) {
 	as, err := ParseAssertions(text)
 	if err != nil {
@@ -98,24 +138,25 @@ func (s *Session) AddCredentialText(text string) ([]*Assertion, error) {
 			return nil, err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	added := make([]*Assertion, 0, len(as))
-	for _, a := range as {
-		if s.revokedKeys[a.Authorizer] {
-			return added, fmt.Errorf("keynote: credential authorizer %s is revoked", a.Authorizer.Short())
+	var added []*Assertion
+	err = s.mutate(func(next *Snapshot) (bool, error) {
+		added = make([]*Assertion, 0, len(as))
+		for _, a := range as {
+			if next.revoked[a.Authorizer] {
+				return len(added) > 0, fmt.Errorf("keynote: credential authorizer %s is revoked", a.Authorizer.Short())
+			}
+			if _, dup := next.bySig[a.SignatureValue]; dup {
+				continue // idempotent re-submission
+			}
+			next.creds = append(next.creds, a)
+			next.bySig[a.SignatureValue] = a
+			next.index(a)
+			next.volatile = next.volatile || a.referencesAny(s.volatileAttrs)
+			added = append(added, a)
 		}
-		if _, dup := s.bySig[a.SignatureValue]; dup {
-			continue // idempotent re-submission
-		}
-		s.creds = append(s.creds, a)
-		s.bySig[a.SignatureValue] = a
-		added = append(added, a)
-	}
-	if len(added) > 0 {
-		s.gen++
-	}
-	return added, nil
+		return len(added) > 0, nil
+	})
+	return added, err
 }
 
 // AddCredential verifies and installs one credential assertion.
@@ -123,38 +164,43 @@ func (s *Session) AddCredential(a *Assertion) error {
 	if err := a.Verify(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.revokedKeys[a.Authorizer] {
-		return fmt.Errorf("keynote: credential authorizer %s is revoked", a.Authorizer.Short())
-	}
-	if _, dup := s.bySig[a.SignatureValue]; dup {
-		return nil
-	}
-	s.creds = append(s.creds, a)
-	s.bySig[a.SignatureValue] = a
-	s.gen++
-	return nil
+	return s.mutate(func(next *Snapshot) (bool, error) {
+		if next.revoked[a.Authorizer] {
+			return false, fmt.Errorf("keynote: credential authorizer %s is revoked", a.Authorizer.Short())
+		}
+		if _, dup := next.bySig[a.SignatureValue]; dup {
+			return false, nil
+		}
+		next.creds = append(next.creds, a)
+		next.bySig[a.SignatureValue] = a
+		next.index(a)
+		next.volatile = next.volatile || a.referencesAny(s.volatileAttrs)
+		return true, nil
+	})
 }
 
 // RevokeCredential removes the credential with the given signature value.
 // It reports whether a credential was removed.
 func (s *Session) RevokeCredential(signatureValue string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.bySig[signatureValue]
-	if !ok {
-		return false
-	}
-	delete(s.bySig, signatureValue)
-	for i, c := range s.creds {
-		if c == a {
-			s.creds = append(s.creds[:i], s.creds[i+1:]...)
-			break
+	removed := false
+	s.mutate(func(next *Snapshot) (bool, error) {
+		a, ok := next.bySig[signatureValue]
+		if !ok {
+			return false, nil
 		}
-	}
-	s.gen++
-	return true
+		delete(next.bySig, signatureValue)
+		for i, c := range next.creds {
+			if c == a {
+				next.creds = append(next.creds[:i], next.creds[i+1:]...)
+				break
+			}
+		}
+		next.reindex()
+		next.recomputeVolatile(s.volatileAttrs)
+		removed = true
+		return true, nil
+	})
+	return removed
 }
 
 // RevokeKey marks a principal as bad: all its existing credentials are
@@ -165,70 +211,39 @@ func (s *Session) RevokeKey(p Principal) int {
 	if err != nil {
 		c = p
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.revokedKeys[c] = true
 	removed := 0
-	kept := s.creds[:0]
-	for _, a := range s.creds {
-		if a.Authorizer == c {
-			delete(s.bySig, a.SignatureValue)
-			removed++
-			continue
+	s.mutate(func(next *Snapshot) (bool, error) {
+		next.revoked[c] = true
+		kept := next.creds[:0]
+		for _, a := range next.creds {
+			if a.Authorizer == c {
+				delete(next.bySig, a.SignatureValue)
+				removed++
+				continue
+			}
+			kept = append(kept, a)
 		}
-		kept = append(kept, a)
-	}
-	s.creds = kept
-	s.gen++
+		next.creds = kept
+		next.reindex()
+		next.recomputeVolatile(s.volatileAttrs)
+		return true, nil
+	})
 	return removed
 }
 
 // Revoked reports whether a principal has been revoked.
-func (s *Session) Revoked(p Principal) bool {
-	c, err := canonicalPrincipal(string(p))
-	if err != nil {
-		c = p
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.revokedKeys[c]
-}
+func (s *Session) Revoked(p Principal) bool { return s.Snapshot().Revoked(p) }
 
 // Credentials returns the verified credentials currently in the session.
-func (s *Session) Credentials() []*Assertion {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Assertion, len(s.creds))
-	copy(out, s.creds)
-	return out
-}
+func (s *Session) Credentials() []*Assertion { return s.Snapshot().Credentials() }
 
 // Policies returns the installed policy assertions.
-func (s *Session) Policies() []*Assertion {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Assertion, len(s.policies))
-	copy(out, s.policies)
-	return out
-}
+func (s *Session) Policies() []*Assertion { return s.Snapshot().Policies() }
 
 // Query runs a compliance check with the session's assertions and value
 // order. Requesters that have been revoked fail closed to _MIN_TRUST.
+// The check runs lock-free against the current snapshot and evaluates
+// only the requesting principals' delegation graph.
 func (s *Session) Query(attributes map[string]string, requesters ...Principal) (Result, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, r := range requesters {
-		c, err := canonicalPrincipal(string(r))
-		if err != nil {
-			return Result{}, err
-		}
-		if s.revokedKeys[c] {
-			return Result{Value: s.values[0], Index: 0}, nil
-		}
-	}
-	return Evaluate(s.policies, s.creds, Query{
-		Values:     s.values,
-		Attributes: attributes,
-		Requesters: requesters,
-	})
+	return s.Snapshot().Query(attributes, requesters...)
 }

@@ -1,0 +1,198 @@
+package keynote
+
+// Snapshot is an immutable view of a Session's assertion set. Queries
+// run against a snapshot without taking any lock: the session publishes
+// a new snapshot (copy-on-write) on every mutation, and a snapshot once
+// obtained never changes, so a decision and the generation it was
+// computed under are consistent by construction.
+type Snapshot struct {
+	values   []string
+	policies []*Assertion
+	creds    []*Assertion
+	bySig    map[string]*Assertion
+	// byLicensee indexes every assertion (policy and credential) by each
+	// principal its Licensees field mentions. Query walks this index from
+	// the requester toward POLICY instead of scanning the whole session:
+	// an assertion that licenses none of the principals reachable from
+	// the requester can only ever contribute _MIN_TRUST, so skipping it
+	// never changes the result.
+	byLicensee map[Principal][]*Assertion
+	revoked    map[Principal]bool
+	gen        uint64
+	// volatile records whether any assertion's conditions reference one
+	// of the session's volatile attributes (e.g. time of day). Decision
+	// caches use it to bound how long a result may be reused.
+	volatile bool
+}
+
+// Generation returns the mutation counter the snapshot was published at.
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// Volatile reports whether any assertion references a volatile action
+// attribute (see Session.SetVolatileAttributes).
+func (sn *Snapshot) Volatile() bool { return sn.volatile }
+
+// Values returns the snapshot's ordered compliance value set.
+func (sn *Snapshot) Values() []string {
+	out := make([]string, len(sn.values))
+	copy(out, sn.values)
+	return out
+}
+
+// Credentials returns the verified credentials in the snapshot.
+func (sn *Snapshot) Credentials() []*Assertion {
+	out := make([]*Assertion, len(sn.creds))
+	copy(out, sn.creds)
+	return out
+}
+
+// Policies returns the policy assertions in the snapshot.
+func (sn *Snapshot) Policies() []*Assertion {
+	out := make([]*Assertion, len(sn.policies))
+	copy(out, sn.policies)
+	return out
+}
+
+// NumCredentials returns the credential count without copying.
+func (sn *Snapshot) NumCredentials() int { return len(sn.creds) }
+
+// Revoked reports whether a principal has been revoked in this snapshot.
+func (sn *Snapshot) Revoked(p Principal) bool {
+	c, err := canonicalPrincipal(string(p))
+	if err != nil {
+		c = p
+	}
+	return sn.revoked[c]
+}
+
+// relevant collects the assertions on delegation paths from the
+// requesters toward POLICY: breadth-first over the licensee index,
+// following each collected assertion's authorizer upward. Principals a
+// requester cannot reach hold _MIN_TRUST in the evaluation fixpoint, so
+// assertions licensing only such principals are sound to omit.
+func (sn *Snapshot) relevant(requesters []Principal) (pols, creds []*Assertion) {
+	reached := make(map[Principal]bool, len(requesters)+8)
+	queue := make([]Principal, 0, len(requesters)+8)
+	for _, r := range requesters {
+		if !reached[r] {
+			reached[r] = true
+			queue = append(queue, r)
+		}
+	}
+	picked := make(map[*Assertion]bool, 8)
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, a := range sn.byLicensee[p] {
+			if picked[a] {
+				continue
+			}
+			picked[a] = true
+			if a.Authorizer == PolicyPrincipal {
+				pols = append(pols, a)
+				continue
+			}
+			creds = append(creds, a)
+			if !reached[a.Authorizer] {
+				reached[a.Authorizer] = true
+				queue = append(queue, a.Authorizer)
+			}
+		}
+	}
+	return pols, creds
+}
+
+// Query runs a compliance check against the snapshot. It takes no lock
+// and evaluates only the requesting principals' delegation graph.
+// Requesters that have been revoked fail closed to _MIN_TRUST.
+func (sn *Snapshot) Query(attributes map[string]string, requesters ...Principal) (Result, error) {
+	canon := make([]Principal, len(requesters))
+	for i, r := range requesters {
+		c, err := canonicalPrincipal(string(r))
+		if err != nil {
+			return Result{}, err
+		}
+		if sn.revoked[c] {
+			return Result{Value: sn.values[0], Index: 0}, nil
+		}
+		canon[i] = c
+	}
+	pols, creds := sn.relevant(canon)
+	return Evaluate(pols, creds, Query{
+		Values:     sn.values,
+		Attributes: attributes,
+		Requesters: canon,
+	})
+}
+
+// ---- construction (called by Session under its writer lock) ----
+
+// clone copies the snapshot's containers for a mutation; the assertions
+// themselves are immutable and shared.
+func (sn *Snapshot) clone() *Snapshot {
+	next := &Snapshot{
+		values:     sn.values,
+		policies:   append([]*Assertion(nil), sn.policies...),
+		creds:      append([]*Assertion(nil), sn.creds...),
+		bySig:      make(map[string]*Assertion, len(sn.bySig)+1),
+		byLicensee: make(map[Principal][]*Assertion, len(sn.byLicensee)+1),
+		revoked:    make(map[Principal]bool, len(sn.revoked)),
+		gen:        sn.gen,
+		volatile:   sn.volatile,
+	}
+	for k, v := range sn.bySig {
+		next.bySig[k] = v
+	}
+	for k, v := range sn.byLicensee {
+		// Copy the slice header's backing too: additions append to these.
+		next.byLicensee[k] = append([]*Assertion(nil), v...)
+	}
+	for k := range sn.revoked {
+		next.revoked[k] = true
+	}
+	return next
+}
+
+// index adds one assertion to the licensee index.
+func (sn *Snapshot) index(a *Assertion) {
+	for _, p := range a.Licensees() {
+		sn.byLicensee[p] = append(sn.byLicensee[p], a)
+	}
+}
+
+// reindex rebuilds the licensee index from scratch (after removals).
+func (sn *Snapshot) reindex() {
+	sn.byLicensee = make(map[Principal][]*Assertion, len(sn.byLicensee))
+	for _, a := range sn.policies {
+		sn.index(a)
+	}
+	for _, a := range sn.creds {
+		sn.index(a)
+	}
+}
+
+// recomputeVolatile rescans every assertion (after removals).
+func (sn *Snapshot) recomputeVolatile(attrs map[string]bool) {
+	sn.volatile = false
+	for _, a := range sn.policies {
+		if a.referencesAny(attrs) {
+			sn.volatile = true
+			return
+		}
+	}
+	for _, a := range sn.creds {
+		if a.referencesAny(attrs) {
+			sn.volatile = true
+			return
+		}
+	}
+}
+
+// referencesAny reports whether the assertion's Conditions mention any
+// of the named action attributes.
+func (a *Assertion) referencesAny(names map[string]bool) bool {
+	if len(names) == 0 || a.conditions == nil {
+		return false
+	}
+	return a.conditions.referencesAny(names)
+}

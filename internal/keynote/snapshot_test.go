@@ -1,0 +1,276 @@
+package keynote
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Tests for the read-mostly session: snapshot immutability, the
+// licensee-indexed (pruned) query path, volatile-attribute tracking,
+// and -race concurrency of Query against mutations.
+
+// TestSnapshotPrunedQueryMatchesFullEvaluate: the indexed query over the
+// requester's delegation graph must agree with a full evaluation over
+// every assertion in the session, including with bystander credentials
+// that the requester cannot reach.
+func TestSnapshotPrunedQueryMatchesFullEvaluate(t *testing.T) {
+	s, admin, bob, alice := newTestSession(t)
+	// Chain: POLICY -> admin -> bob -> alice.
+	adminToBob := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" && HANDLE == "5" -> "RW";`,
+	})
+	bobToAlice := mustSign(t, bob, AssertionSpec{
+		Licensees:  LicenseesOr(alice.Principal),
+		Conditions: `app_domain == "DisCFS" && HANDLE == "5" -> "R";`,
+	})
+	for _, c := range []*Assertion{adminToBob, bobToAlice} {
+		if err := s.AddCredential(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bystanders: delegations to unrelated principals that alice's graph
+	// never reaches. The pruned query must skip them without changing
+	// the answer.
+	for i := 0; i < 16; i++ {
+		other := DeterministicKey(fmt.Sprintf("bystander-%d", i))
+		c := mustSign(t, admin, AssertionSpec{
+			Licensees:  LicenseesOr(other.Principal),
+			Conditions: `app_domain == "DisCFS" -> "RWX";`,
+		})
+		if err := s.AddCredential(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attrs := map[string]string{"app_domain": "DisCFS", "HANDLE": "5"}
+	for _, req := range []Principal{alice.Principal, bob.Principal, admin.Principal,
+		DeterministicKey("stranger").Principal} {
+		snap := s.Snapshot()
+		pruned, err := snap.Query(attrs, req)
+		if err != nil {
+			t.Fatalf("snapshot query(%s): %v", req.Short(), err)
+		}
+		full, err := Evaluate(snap.Policies(), snap.Credentials(), Query{
+			Values:     snap.Values(),
+			Attributes: attrs,
+			Requesters: []Principal{req},
+		})
+		if err != nil {
+			t.Fatalf("full evaluate(%s): %v", req.Short(), err)
+		}
+		if pruned != full {
+			t.Errorf("requester %s: pruned = %+v, full = %+v", req.Short(), pruned, full)
+		}
+	}
+}
+
+// TestSnapshotPrunedQueryThreshold: k-of licensee expressions span
+// principals on and off the requester's reachable set; pruning must
+// still collect the threshold assertion (it mentions the requester) and
+// evaluate it identically.
+func TestSnapshotPrunedQueryThreshold(t *testing.T) {
+	s, admin, bob, alice := newTestSession(t)
+	// admin delegates to 2-of(bob, alice, carol); bob and alice request
+	// together.
+	carol := DeterministicKey("carol")
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesThreshold(2, bob.Principal, alice.Principal, carol.Principal),
+		Conditions: `app_domain == "DisCFS" -> "RW";`,
+	})
+	if err := s.AddCredential(cred); err != nil {
+		t.Fatal(err)
+	}
+	attrs := map[string]string{"app_domain": "DisCFS"}
+	res, err := s.Query(attrs, bob.Principal, alice.Principal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "RW" {
+		t.Errorf("2-of-3 quorum = %q, want RW", res.Value)
+	}
+	// One requester alone does not meet the threshold.
+	res, err = s.Query(attrs, bob.Principal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "false" {
+		t.Errorf("1-of-3 = %q, want false", res.Value)
+	}
+}
+
+// TestSnapshotImmutable: a snapshot taken before a mutation keeps
+// answering with the old assertion set and generation.
+func TestSnapshotImmutable(t *testing.T) {
+	s, admin, bob, _ := newTestSession(t)
+	before := s.Snapshot()
+	genBefore := before.Generation()
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" -> "R";`,
+	})
+	if err := s.AddCredential(cred); err != nil {
+		t.Fatal(err)
+	}
+	attrs := map[string]string{"app_domain": "DisCFS"}
+	res, err := before.Query(attrs, bob.Principal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "false" {
+		t.Errorf("old snapshot sees new credential: %q", res.Value)
+	}
+	if before.Generation() != genBefore {
+		t.Errorf("old snapshot generation moved")
+	}
+	res, err = s.Query(attrs, bob.Principal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "R" {
+		t.Errorf("live session = %q, want R", res.Value)
+	}
+	if s.Generation() != genBefore+1 {
+		t.Errorf("generation = %d, want %d", s.Generation(), genBefore+1)
+	}
+}
+
+// TestVolatileAttributeTracking: snapshots report whether any assertion
+// references a volatile attribute, through additions and removals.
+func TestVolatileAttributeTracking(t *testing.T) {
+	s, admin, bob, _ := newTestSession(t)
+	s.SetVolatileAttributes("hour", "minute", "weekday", "now")
+	if s.Snapshot().Volatile() {
+		t.Fatal("fresh session volatile")
+	}
+	timed := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" && hour == "12" -> "R";`,
+	})
+	if err := s.AddCredential(timed); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Snapshot().Volatile() {
+		t.Fatal("hour-gated credential not detected as volatile")
+	}
+	// Removing the only time-dependent assertion clears the flag.
+	if !s.RevokeCredential(timed.SignatureValue) {
+		t.Fatal("revoke failed")
+	}
+	if s.Snapshot().Volatile() {
+		t.Error("volatile flag survived removal of the timed credential")
+	}
+}
+
+// TestQueryLockFreeUnderMutation runs parallel queries against
+// concurrent credential additions and revocations (-race), checking
+// that observed generations are monotonic and results are always one of
+// the legal values for the evolving session.
+func TestQueryLockFreeUnderMutation(t *testing.T) {
+	s, admin, bob, alice := newTestSession(t)
+	adminToBob := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" -> "RW";`,
+	})
+	if err := s.AddCredential(adminToBob); err != nil {
+		t.Fatal(err)
+	}
+	attrs := map[string]string{"app_domain": "DisCFS"}
+	stop := make(chan struct{})
+	var failures atomic.Uint64
+	var readers, writer sync.WaitGroup
+	// Readers: query bob continuously, watching generation monotonicity.
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Snapshot()
+				if gen := snap.Generation(); gen < lastGen {
+					failures.Add(1)
+					return
+				} else {
+					lastGen = gen
+				}
+				res, err := snap.Query(attrs, bob.Principal)
+				if err != nil || (res.Value != "RW" && res.Value != "false") {
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	// Writer: churn delegations and revocations.
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; i < 200; i++ {
+			k := DeterministicKey(fmt.Sprintf("churn-%d", i))
+			cred := mustSign(t, bob, AssertionSpec{
+				Licensees:  LicenseesOr(k.Principal),
+				Conditions: `app_domain == "DisCFS" -> "R";`,
+			})
+			if err := s.AddCredential(cred); err != nil {
+				failures.Add(1)
+				return
+			}
+			if i%3 == 0 {
+				s.RevokeCredential(cred.SignatureValue)
+			}
+			if i%17 == 16 {
+				s.RevokeKey(k.Principal)
+			}
+		}
+	}()
+	writer.Wait()
+	close(stop)
+	readers.Wait()
+	_ = alice
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d reader/writer failures", n)
+	}
+}
+
+// TestGenerationCountsMutations: every kind of mutation bumps the
+// generation exactly once; no-op mutations do not.
+func TestGenerationCountsMutations(t *testing.T) {
+	s, admin, bob, _ := newTestSession(t)
+	g0 := s.Generation()
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" -> "R";`,
+	})
+	if err := s.AddCredential(cred); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != g0+1 {
+		t.Fatalf("gen after add = %d, want %d", s.Generation(), g0+1)
+	}
+	// Duplicate submission: no change.
+	if err := s.AddCredential(cred); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != g0+1 {
+		t.Errorf("gen after duplicate add = %d, want %d", s.Generation(), g0+1)
+	}
+	// Failed revocation of an unknown signature: no change.
+	if s.RevokeCredential("sig-ed25519-hex:nope") {
+		t.Error("revoked a nonexistent credential")
+	}
+	if s.Generation() != g0+1 {
+		t.Errorf("gen after no-op revoke = %d, want %d", s.Generation(), g0+1)
+	}
+	if !s.RevokeCredential(cred.SignatureValue) {
+		t.Error("revoke failed")
+	}
+	if s.Generation() != g0+2 {
+		t.Errorf("gen after revoke = %d, want %d", s.Generation(), g0+2)
+	}
+}
