@@ -14,14 +14,47 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"discfs/internal/bench"
 	"discfs/internal/keynote"
 )
+
+// benchRow is one (configuration, value) pair of a figure's table.
+type benchRow struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// benchFigure is the machine-readable form of one table, written as
+// BENCH_<figure>.json so the perf trajectory is tracked across PRs.
+type benchFigure struct {
+	Figure string     `json:"figure"`
+	Title  string     `json:"title"`
+	Unit   string     `json:"unit"`
+	Rows   []benchRow `json:"rows"`
+}
+
+// jsonDir is the -json-dir flag; empty disables emission.
+var jsonDir string
+
+// emitJSON writes one figure's JSON file next to the table output.
+func emitJSON(figure, title, unit string, rows []benchRow) {
+	if jsonDir == "" {
+		return
+	}
+	data, err := json.MarshalIndent(benchFigure{Figure: figure, Title: title, Unit: unit, Rows: rows}, "", "  ")
+	if err != nil {
+		check(err)
+	}
+	path := filepath.Join(jsonDir, "BENCH_"+figure+".json")
+	check(os.WriteFile(path, append(data, '\n'), 0o644))
+}
 
 func main() {
 	var (
@@ -31,7 +64,9 @@ func main() {
 		perDir   = flag.Int("tree-files", 64, "search tree: files per directory")
 		meanSize = flag.Int("tree-mean", 12*1024, "search tree: mean file size")
 		authzOps = flag.Int("authz-ops", 200000, "authorization benchmark: cached checks per run")
+		pwSizeKB = flag.Int("pw-size", 1024, "parallel write benchmark: KiB per writer")
 	)
+	flag.StringVar(&jsonDir, "json-dir", ".", "directory for BENCH_<figure>.json files (empty disables)")
 	flag.Parse()
 	size := int64(*sizeMB) << 20
 
@@ -60,19 +95,21 @@ func main() {
 	}
 
 	figures := []struct {
+		fig   string
 		title string
 		get   func(bench.BonnieResult) float64
 	}{
-		{"Figure 7: Bonnie Sequential Output (Char)", func(r bench.BonnieResult) float64 { return r.OutputCharKBps }},
-		{"Figure 8: Bonnie Sequential Output (Block)", func(r bench.BonnieResult) float64 { return r.OutputBlockKBps }},
-		{"Figure 9: Bonnie Sequential Output (Rewrite)", func(r bench.BonnieResult) float64 { return r.RewriteKBps }},
-		{"Figure 10: Bonnie Sequential Input (Char)", func(r bench.BonnieResult) float64 { return r.InputCharKBps }},
-		{"Figure 11: Bonnie Sequential Input (Block)", func(r bench.BonnieResult) float64 { return r.InputBlockKBps }},
+		{"Fig7", "Figure 7: Bonnie Sequential Output (Char)", func(r bench.BonnieResult) float64 { return r.OutputCharKBps }},
+		{"Fig8", "Figure 8: Bonnie Sequential Output (Block)", func(r bench.BonnieResult) float64 { return r.OutputBlockKBps }},
+		{"Fig9", "Figure 9: Bonnie Sequential Output (Rewrite)", func(r bench.BonnieResult) float64 { return r.RewriteKBps }},
+		{"Fig10", "Figure 10: Bonnie Sequential Input (Char)", func(r bench.BonnieResult) float64 { return r.InputCharKBps }},
+		{"Fig11", "Figure 11: Bonnie Sequential Input (Block)", func(r bench.BonnieResult) float64 { return r.InputBlockKBps }},
 	}
 	for _, fig := range figures {
 		fmt.Println(fig.title)
 		fmt.Println("  Filesystem   Throughput (KB/sec)")
 		base := fig.get(rows[1].res) // CFS-NE is the base case
+		var jrows []benchRow
 		for _, r := range rows {
 			v := fig.get(r.res)
 			note := ""
@@ -80,7 +117,9 @@ func main() {
 				note = fmt.Sprintf("   (%.1f%% of CFS-NE)", v/base*100)
 			}
 			fmt.Printf("  %-10s %12.0f%s\n", r.name, v, note)
+			jrows = append(jrows, benchRow{Name: r.name, Value: v})
 		}
+		emitJSON(fig.fig, fig.title, "KB/s", jrows)
 		fmt.Println()
 	}
 
@@ -89,6 +128,7 @@ func main() {
 	fmt.Println("  Filesystem   Time (sec)")
 	spec := bench.TreeSpec{Subsystems: *subsys, FilesPerDir: *perDir, MeanFileSize: *meanSize, Seed: 2001}
 	var searchBase time.Duration
+	var searchRows []benchRow
 	for _, mk := range []func() (*bench.Setup, error){
 		bench.SetupFFS, bench.SetupCFSNE, bench.SetupDisCFS,
 	} {
@@ -114,6 +154,7 @@ func main() {
 			note = fmt.Sprintf("   (%.1f%% of CFS-NE)", float64(bestD)/float64(searchBase)*100)
 		}
 		fmt.Printf("  %-10s %12.2f%s\n", s.Name, bestD.Seconds(), note)
+		searchRows = append(searchRows, benchRow{Name: s.Name, Value: bestD.Seconds()})
 		if s.Stats != nil {
 			st := s.Stats()
 			fmt.Printf("             [%d files, %d bytes walked; policy: %d queries, %d cache hits]\n",
@@ -122,6 +163,13 @@ func main() {
 		s.Close()
 		_ = res
 	}
+	emitJSON("Fig12", "Figure 12: Filesystem Search", "sec", searchRows)
+	fmt.Println()
+
+	// ---- Parallel multi-client write scaling ----
+	fmt.Println("Parallel write throughput (8 KiB blocks, one file per writer, seek-model disk)")
+	fmt.Println("  Setup            Writers   Aggregate KB/s")
+	parallelWriteTable(int64(*pwSizeKB) << 10)
 	fmt.Println()
 
 	// ---- Authorization scaling (Fig 8/9-style, parallel) ----
@@ -142,6 +190,7 @@ func main() {
 // cached (the paper's 128-entry decision cache) and uncached (full
 // KeyNote evaluation per check) at 1, 4 and 8 goroutines.
 func authzScaling(ops int) {
+	var jrows []benchRow
 	for _, mode := range []struct {
 		name      string
 		cacheSize int
@@ -156,9 +205,52 @@ func authzScaling(ops int) {
 			a.RunAuthz(g, 2) // warm: one decision per (peer, handle)
 			res := a.RunAuthz(g, mode.ops/g+1)
 			fmt.Printf("  %-10s %10d %12.0f\n", mode.name, g, res.OpsPerSec())
+			jrows = append(jrows, benchRow{Name: fmt.Sprintf("%s/%dg", mode.name, g), Value: res.OpsPerSec()})
 		}
 		a.Close()
 	}
+	emitJSON("Authz", "Authorization check throughput", "checks/s", jrows)
+}
+
+// parallelWriteTable prints (and emits) the multi-client write scaling
+// table: the global-lock baseline, the concurrent FFS write path, and
+// the full DisCFS client-server path with server write-behind off/on.
+func parallelWriteTable(perWriter int64) {
+	var jrows []benchRow
+	emit := func(name string, writers int, res bench.ParallelWriteResult) {
+		fmt.Printf("  %-16s %7d %16.0f\n", name, writers, res.KBps())
+		jrows = append(jrows, benchRow{Name: fmt.Sprintf("%s/%dw", name, writers), Value: res.KBps()})
+	}
+	for _, writers := range []int{1, 8} {
+		views, _, err := bench.NewParallelFFSSerial(writers)
+		check(err)
+		res, err := bench.ParallelWrite(views, perWriter)
+		check(err)
+		emit("FFS-globallock", writers, res)
+
+		views, fs, err := bench.NewParallelFFS(writers)
+		check(err)
+		res, err = bench.ParallelWrite(views, perWriter)
+		check(err)
+		if errs := fs.Check(); len(errs) != 0 {
+			check(fmt.Errorf("fsck after parallel write: %v", errs[0]))
+		}
+		emit("FFS", writers, res)
+
+		for _, wb := range []bool{false, true} {
+			views, _, closeAll, err := bench.NewParallelDisCFS(writers, wb)
+			check(err)
+			res, err := bench.ParallelWrite(views, perWriter)
+			check(err)
+			closeAll()
+			name := "DisCFS"
+			if wb {
+				name = "DisCFS-wb"
+			}
+			emit(name, writers, res)
+		}
+	}
+	emitJSON("ParallelWrite", "Parallel multi-client write throughput", "KB/s", jrows)
 }
 
 // microCredential times parse / verify / sign / query inline.

@@ -23,17 +23,20 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:20049", "listen address")
-		keyPath    = flag.String("key", "discfsd.key", "server (administrator) key file; created if missing")
-		policyPath = flag.String("policy", "", "additional KeyNote policy file")
-		cacheSize  = flag.Int("cache", 128, "policy decision cache size (the paper used 128)")
-		encrypt    = flag.Bool("encrypt", false, "enable CFS content/name encryption")
-		passphrase = flag.String("passphrase", "", "CFS passphrase (with -encrypt)")
-		blockSize  = flag.Int("bs", 8192, "FFS block size")
-		numBlocks  = flag.Uint("blocks", 1<<18, "FFS device size in blocks")
-		auditFlag  = flag.Bool("audit", false, "write the audit log to stderr")
-		imagePath  = flag.String("image", "", "filesystem image: loaded at startup if present, saved on SIGINT/SIGTERM")
-		backend    = flag.String("backend", discfs.DefaultBackend, "storage backend (see discfs.Backends)")
+		addr         = flag.String("addr", "127.0.0.1:20049", "listen address")
+		keyPath      = flag.String("key", "discfsd.key", "server (administrator) key file; created if missing")
+		policyPath   = flag.String("policy", "", "additional KeyNote policy file")
+		cacheSize    = flag.Int("cache", 128, "policy decision cache size (the paper used 128)")
+		encrypt      = flag.Bool("encrypt", false, "enable CFS content/name encryption")
+		passphrase   = flag.String("passphrase", "", "CFS passphrase (with -encrypt)")
+		blockSize    = flag.Int("bs", 8192, "FFS block size")
+		numBlocks    = flag.Uint("blocks", 1<<18, "FFS device size in blocks")
+		auditFlag    = flag.Bool("audit", false, "write the audit log to stderr")
+		writeBehind  = flag.Bool("write-behind", false, "server-side unstable writes: gather WRITEs and flush via COMMIT")
+		wbQueue      = flag.Int("wb-queue", 1024, "write-behind queue bound in 8 KiB blocks (with -write-behind)")
+		wbCommitters = flag.Int("wb-committers", 2, "write-behind committer pool size (with -write-behind)")
+		imagePath    = flag.String("image", "", "filesystem image: loaded at startup if present, saved on SIGINT/SIGTERM")
+		backend      = flag.String("backend", discfs.DefaultBackend, "storage backend (see discfs.Backends)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,9 @@ func main() {
 	opts := []discfs.ServerOption{
 		discfs.WithBacking(store),
 		discfs.WithCacheSize(*cacheSize),
+	}
+	if *writeBehind {
+		opts = append(opts, discfs.WithServerWriteBehind(*wbQueue, *wbCommitters))
 	}
 	if *policyPath != "" {
 		text, err := os.ReadFile(*policyPath)

@@ -59,6 +59,25 @@ func (r *ClientFS) closeFile(h vfs.Handle) error {
 	return f.Close()
 }
 
+// SyncAll drains the write-behind queue of every open File and runs the
+// COMMIT durability barrier — the end-of-measurement barrier of the
+// parallel write benchmark.
+func (r *ClientFS) SyncAll() error {
+	r.mu.Lock()
+	files := make([]*core.File, 0, len(r.files))
+	for _, f := range r.files {
+		files = append(files, f)
+	}
+	r.mu.Unlock()
+	var err error
+	for _, f := range files {
+		if e := f.Sync(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
 // Close drains and closes every open File.
 func (r *ClientFS) Close() error {
 	r.mu.Lock()

@@ -1,0 +1,305 @@
+package bench
+
+// The parallel multi-client write benchmark: N writers stream blocks
+// into their own files concurrently — the workload the server's
+// per-inode locking and write-gathering pipeline exist for. The
+// baseline is the same filesystem behind a single global RWMutex (the
+// pre-refactor server), so the reported ratio is exactly the win of
+// the concurrent write path.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"discfs/internal/core"
+	"discfs/internal/ffs"
+	"discfs/internal/keynote"
+	"discfs/internal/vfs"
+)
+
+// SerialFS wraps a vfs.FS in one global RWMutex — the locking model
+// this PR removed from the FFS substrate, preserved here as the
+// benchmark baseline. Reads share the lock; every mutation is
+// exclusive, so concurrent writers serialize completely.
+type SerialFS struct {
+	mu sync.RWMutex
+	fs vfs.FS
+}
+
+// NewSerialFS wraps fs.
+func NewSerialFS(fs vfs.FS) *SerialFS { return &SerialFS{fs: fs} }
+
+var _ vfs.FS = (*SerialFS)(nil)
+
+// Root implements vfs.FS.
+func (s *SerialFS) Root() vfs.Handle {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fs.Root()
+}
+
+// GetAttr implements vfs.FS.
+func (s *SerialFS) GetAttr(h vfs.Handle) (vfs.Attr, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fs.GetAttr(h)
+}
+
+// SetAttr implements vfs.FS.
+func (s *SerialFS) SetAttr(h vfs.Handle, sa vfs.SetAttr) (vfs.Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.SetAttr(h, sa)
+}
+
+// Lookup implements vfs.FS.
+func (s *SerialFS) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fs.Lookup(dir, name)
+}
+
+// Read implements vfs.FS.
+func (s *SerialFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fs.Read(h, off, count)
+}
+
+// Write implements vfs.FS.
+func (s *SerialFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.Write(h, off, data)
+}
+
+// Create implements vfs.FS.
+func (s *SerialFS) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.Create(dir, name, mode)
+}
+
+// Remove implements vfs.FS.
+func (s *SerialFS) Remove(dir vfs.Handle, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.Remove(dir, name)
+}
+
+// Rename implements vfs.FS.
+func (s *SerialFS) Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.Rename(fromDir, fromName, toDir, toName)
+}
+
+// Mkdir implements vfs.FS.
+func (s *SerialFS) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.Mkdir(dir, name, mode)
+}
+
+// Rmdir implements vfs.FS.
+func (s *SerialFS) Rmdir(dir vfs.Handle, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.Rmdir(dir, name)
+}
+
+// ReadDir implements vfs.FS.
+func (s *SerialFS) ReadDir(dir vfs.Handle) ([]vfs.DirEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fs.ReadDir(dir)
+}
+
+// Symlink implements vfs.FS.
+func (s *SerialFS) Symlink(dir vfs.Handle, name, target string, mode uint32) (vfs.Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.Symlink(dir, name, target, mode)
+}
+
+// Readlink implements vfs.FS.
+func (s *SerialFS) Readlink(h vfs.Handle) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fs.Readlink(h)
+}
+
+// Link implements vfs.FS.
+func (s *SerialFS) Link(dir vfs.Handle, name string, target vfs.Handle) (vfs.Attr, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.Link(dir, name, target)
+}
+
+// StatFS implements vfs.FS.
+func (s *SerialFS) StatFS() (vfs.StatFS, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fs.StatFS()
+}
+
+// ---- the benchmark ----
+
+// ParallelWriteResult is one parallel-write measurement.
+type ParallelWriteResult struct {
+	Writers int
+	Bytes   int64 // aggregate bytes written
+	Elapsed time.Duration
+}
+
+// KBps reports the aggregate throughput in KiB/s.
+func (r ParallelWriteResult) KBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1024 / r.Elapsed.Seconds()
+}
+
+// handleSyncer lets remote views drain client-side write-behind inside
+// the measured window, so the reported throughput includes the barrier.
+type handleSyncer interface {
+	SyncAll() error
+}
+
+// ParallelWrite runs len(views) concurrent writers, each streaming size
+// bytes in ChunkSize blocks into its own file through its own view.
+// Views may share one filesystem (per-writer *ffs.FFS views) or carry
+// their own client connection (per-writer ClientFS); each writer ends
+// with the view's sync barrier when it has one, so buffered writes are
+// on the server before the clock stops.
+func ParallelWrite(views []vfs.FS, size int64) (ParallelWriteResult, error) {
+	n := len(views)
+	block := make([]byte, ChunkSize)
+	for i := range block {
+		block[i] = byte(i)
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, view := range views {
+		wg.Add(1)
+		go func(i int, view vfs.FS) {
+			defer wg.Done()
+			name := fmt.Sprintf("pw%d.dat", i)
+			a, err := view.Create(view.Root(), name, 0o644)
+			if err != nil {
+				errs[i] = fmt.Errorf("writer %d: create: %w", i, err)
+				return
+			}
+			for off := int64(0); off < size; off += ChunkSize {
+				nb := int64(ChunkSize)
+				if off+nb > size {
+					nb = size - off
+				}
+				if _, err := view.Write(a.Handle, uint64(off), block[:nb]); err != nil {
+					errs[i] = fmt.Errorf("writer %d: write at %d: %w", i, off, err)
+					return
+				}
+			}
+			if s, ok := view.(handleSyncer); ok {
+				if err := s.SyncAll(); err != nil {
+					errs[i] = fmt.Errorf("writer %d: sync: %w", i, err)
+				}
+			}
+		}(i, view)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ParallelWriteResult{}, err
+		}
+	}
+	return ParallelWriteResult{Writers: n, Bytes: size * int64(n), Elapsed: elapsed}, nil
+}
+
+// parallelDisk is the synthetic disk behind the parallel-write rows: a
+// modest per-seek latency so the measurement is device-overlap-bound
+// (as a real multi-client server is), not memcpy-bound — essential on
+// single-core CI runners, where pure CPU work cannot speed up with
+// goroutines.
+var parallelDisk = ffs.DiskModel{SeekLatency: 100 * time.Microsecond}
+
+// NewParallelFFS builds a fresh concurrent FFS with the parallel-write
+// disk model and returns n views sharing it.
+func NewParallelFFS(n int) ([]vfs.FS, *ffs.FFS, error) {
+	fs, err := ffs.New(ffs.Config{BlockSize: ChunkSize, NumBlocks: 1 << 15, Disk: parallelDisk})
+	if err != nil {
+		return nil, nil, err
+	}
+	views := make([]vfs.FS, n)
+	for i := range views {
+		views[i] = fs
+	}
+	return views, fs, nil
+}
+
+// NewParallelFFSSerial is NewParallelFFS behind the global-lock
+// baseline wrapper.
+func NewParallelFFSSerial(n int) ([]vfs.FS, *ffs.FFS, error) {
+	fs, err := ffs.New(ffs.Config{BlockSize: ChunkSize, NumBlocks: 1 << 15, Disk: parallelDisk})
+	if err != nil {
+		return nil, nil, err
+	}
+	serial := NewSerialFS(fs)
+	views := make([]vfs.FS, n)
+	for i := range views {
+		views[i] = serial
+	}
+	return views, fs, nil
+}
+
+// NewParallelDisCFS starts a DisCFS server (write-behind per the flag)
+// over an FFS store with the parallel-write disk model and dials n
+// independent clients, returning one ClientFS view per client.
+func NewParallelDisCFS(n int, writeBehind bool) ([]vfs.FS, func() core.Stats, func(), error) {
+	backing, err := ffs.New(ffs.Config{BlockSize: ChunkSize, NumBlocks: 1 << 15, Disk: parallelDisk})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	adminKey := keynote.DeterministicKey("pw-admin")
+	srv, err := core.NewServer(core.ServerConfig{
+		Backing:     backing,
+		ServerKey:   adminKey,
+		CacheSize:   128,
+		WriteBehind: writeBehind,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := srv.IssueCredential(adminKey.Principal, backing.Root().Ino, "RWX", "parallel bench"); err != nil {
+		srv.Close()
+		return nil, nil, nil, err
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		srv.Close()
+		return nil, nil, nil, err
+	}
+	views := make([]vfs.FS, 0, n)
+	closers := make([]func(), 0, n+1)
+	closeAll := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+		srv.Close()
+	}
+	for i := 0; i < n; i++ {
+		client, err := core.Dial(context.Background(), addr, adminKey)
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, err
+		}
+		cfs := NewClientFS(client)
+		views = append(views, cfs)
+		closers = append(closers, func() { cfs.Close(); client.Close() })
+	}
+	return views, srv.Stats, closeAll, nil
+}

@@ -316,3 +316,8 @@ func (c *CFS) Link(dir vfs.Handle, name string, target vfs.Handle) (vfs.Attr, er
 
 // StatFS implements vfs.FS.
 func (c *CFS) StatFS() (vfs.StatFS, error) { return c.under.StatFS() }
+
+// Sync implements the optional vfs.Syncer capability by delegating to
+// the backing store, so the COMMIT durability barrier reaches the
+// device through the encryption layer.
+func (c *CFS) Sync() error { return vfs.SyncFS(c.under) }

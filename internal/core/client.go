@@ -404,6 +404,10 @@ func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
 		Decisions:   d.Uint64(),
 		Denials:     d.Uint64(),
 	}
+	st.WriteQueueDepth = int(d.Uint64())
+	st.WritesGathered = d.Uint64()
+	st.BackendWrites = d.Uint64()
+	st.Commits = d.Uint64()
 	return st, d.Err()
 }
 
@@ -516,6 +520,12 @@ func (c *Client) WriteFile(ctx context.Context, path string, data []byte) (vfs.A
 		}
 	}
 	if err := c.nfs.WriteAll(ctx, attr.Handle, data); err != nil {
+		return vfs.Attr{}, "", c.wireError(err)
+	}
+	// Durability barrier: against a write-behind server the WRITEs above
+	// are unstable until committed (WriteFile promises written-on-return,
+	// like the File Close barrier does).
+	if _, _, err := c.nfs.Commit(ctx, attr.Handle); err != nil {
 		return vfs.Attr{}, "", c.wireError(err)
 	}
 	return attr, cred, nil

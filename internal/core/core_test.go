@@ -50,9 +50,14 @@ func testServer(t *testing.T, cfg ServerConfig) (*Server, string) {
 }
 
 func dialAs(t *testing.T, addr, seed string) *Client {
+	t.Helper()
+	return dialAsWith(t, addr, seed)
+}
+
+func dialAsWith(t *testing.T, addr, seed string, opts ...ClientOption) *Client {
 	ctx := context.Background()
 	t.Helper()
-	c, err := Dial(ctx, addr, keynote.DeterministicKey(seed))
+	c, err := Dial(ctx, addr, keynote.DeterministicKey(seed), opts...)
 	if err != nil {
 		t.Fatalf("Dial(%s): %v", seed, err)
 	}

@@ -55,6 +55,12 @@ const (
 	// 8 KiB block size); clean blocks beyond it are evicted, dirty
 	// blocks never are.
 	maxCachedBlocks = 2048
+	// maxUnstableBlocks bounds the flushed-but-uncommitted blocks
+	// pinned in the cache (8 MiB): past it the writer issues an
+	// intermediate COMMIT, the way kernel NFS clients bound
+	// dirty-plus-unstable pages, so a streaming write cannot pin the
+	// whole file in memory until Sync.
+	maxUnstableBlocks = 1024
 	// maxHandleCaches bounds how many files keep their cache after the
 	// last close (retained so a re-open can revalidate instead of
 	// refetching).
@@ -104,6 +110,19 @@ type cblock struct {
 	// may be elided (NOP-write). Blocks merely fetched never qualify —
 	// a remote writer may have changed the server since the fetch.
 	ownWrite bool
+	// unstable marks a block flushed to the server but not yet covered
+	// by a COMMIT barrier: against a write-behind server the WRITE
+	// reply promises nothing durable, so the block is pinned in the
+	// cache (never evicted) until a COMMIT with an unchanged boot
+	// verifier confirms it — or replayed if the verifier moved (the
+	// NFSv3 client write path).
+	unstable bool
+	// flushedSeq is the flush-sequence number of the last completed
+	// flush of this block. A COMMIT only confirms blocks whose flush
+	// reply preceded it (flushedSeq at most the sequence at COMMIT
+	// issue); blocks flushed while the COMMIT was on the wire stay
+	// unstable for the next barrier.
+	flushedSeq uint64
 }
 
 // handleCache is the cache of one remote file, shared by every File a
@@ -135,12 +154,17 @@ type handleCache struct {
 	valSize  uint64
 	haveVal  bool
 
-	nDirty     int
-	lastWrite  int64 // block index of the most recent write; held back briefly to coalesce
-	draining   int   // >0: a Sync/Close is waiting, every dirty block is flush-eligible
-	timerArmed bool
-	flushSeq   uint64 // bumped on every flush completion; orders GETATTRs vs flushes
-	werr       error  // first deferred write error since the last barrier
+	nDirty      int
+	nUnstable   int    // flushed-but-uncommitted blocks (see cblock.unstable)
+	commitVer   uint64 // server boot verifier observed at the last COMMIT
+	haveVer     bool
+	verFetching bool  // a flush worker is fetching the verifier baseline
+	committing  bool  // a writer-triggered intermediate COMMIT is in flight
+	lastWrite   int64 // block index of the most recent write; held back briefly to coalesce
+	draining    int   // >0: a Sync/Close is waiting, every dirty block is flush-eligible
+	timerArmed  bool
+	flushSeq    uint64 // bumped on every flush completion; orders GETATTRs vs flushes
+	werr        error  // first deferred write error since the last barrier
 
 	refs    int  // open Files
 	stopped bool // set when refs drop to zero or the client closes; workers exit once clean
@@ -245,7 +269,9 @@ func (hc *handleCache) revalidate(a vfs.Attr, seq uint64) {
 	defer hc.mu.Unlock()
 	if hc.haveVal && (!a.Mtime.Equal(hc.valMtime) || a.Size != hc.valSize) {
 		for idx, b := range hc.blocks {
-			if !b.dirty && !b.flushing {
+			// Unstable blocks are this client's own flushed-but-
+			// uncommitted writes: they must survive for replay.
+			if !b.dirty && !b.flushing && !b.unstable {
 				delete(hc.blocks, idx)
 			}
 		}
@@ -486,7 +512,7 @@ func (hc *handleCache) installLocked(idx int64, b *cblock) {
 		return
 	}
 	for k, v := range hc.blocks {
-		if k != idx && !v.dirty && !v.flushing {
+		if k != idx && !v.dirty && !v.flushing && !v.unstable {
 			delete(hc.blocks, k)
 			if len(hc.blocks) <= maxCachedBlocks {
 				return
@@ -597,6 +623,15 @@ func (hc *handleCache) writeBlock(ctx context.Context, idx int64, bo int, p []by
 	hc.flushCtx = ctx
 	hc.ensureWorkersLocked()
 	hc.cond.Broadcast()
+	// Too many flushed-but-uncommitted blocks pinned: run an
+	// intermediate COMMIT (single-flight) so a streaming write's
+	// footprint stays bounded instead of pinning the whole file until
+	// Sync. Confirmed blocks become clean and evictable.
+	if hc.nUnstable >= maxUnstableBlocks && !hc.committing && hc.haveVer && hc.werr == nil {
+		hc.committing = true
+		hc.commitBarrierLocked(ctx)
+		hc.committing = false
+	}
 	// Write-behind window: wait for the flushers to catch up. A flush
 	// error drains its block, so this cannot wedge; the error itself is
 	// reported at the next barrier.
@@ -656,6 +691,30 @@ func (hc *handleCache) flushWorker(id int) {
 	hc.mu.Lock()
 	defer hc.mu.Unlock()
 	for {
+		// Establish the verifier baseline before the first flush ever
+		// completes: a WRITE acknowledged with no baseline would leave a
+		// server restart in the write-to-first-COMMIT window
+		// undetectable (our v2-style WRITE reply carries no verifier,
+		// so the baseline comes from a no-op COMMIT up front).
+		if !hc.haveVer && hc.werr == nil && hc.nDirty > 0 {
+			if hc.verFetching {
+				hc.cond.Wait()
+				continue
+			}
+			hc.verFetching = true
+			ctx := hc.flushCtx
+			hc.mu.Unlock()
+			_, ver, err := hc.c.nfs.Commit(ctx, hc.h)
+			hc.mu.Lock()
+			hc.verFetching = false
+			if err == nil {
+				hc.commitVer, hc.haveVer = ver, true
+			} else if hc.werr == nil {
+				hc.werr = fmt.Errorf("core: commit baseline: %w", hc.c.wireError(err))
+			}
+			hc.cond.Broadcast()
+			continue
+		}
 		idx, b := hc.pickDirtyLocked()
 		if b == nil {
 			if hc.stopped && hc.nDirty == 0 {
@@ -699,6 +758,10 @@ func (hc *handleCache) flushWorker(id int) {
 			}
 			// The write is lost (and reported at the barrier); drop the
 			// block so reads refetch server truth.
+			if b.unstable {
+				b.unstable = false
+				hc.nUnstable--
+			}
 			delete(hc.blocks, idx)
 			hc.nDirty--
 		} else {
@@ -726,6 +789,13 @@ func (hc *handleCache) flushWorker(id int) {
 				b.ownWrite = fOff == 0 && fEnd == len(b.data)
 			}
 			// else: re-dirtied mid-flush; the merged extent re-flushes.
+			// Either way the server now holds this flush unstably; the
+			// block is pinned until a COMMIT barrier confirms it.
+			if !b.unstable {
+				b.unstable = true
+				hc.nUnstable++
+			}
+			b.flushedSeq = hc.flushSeq
 		}
 		hc.cond.Broadcast()
 	}
@@ -740,9 +810,79 @@ func (hc *handleCache) kick() {
 	hc.mu.Unlock()
 }
 
-// sync drains the write-behind queue and returns (and clears) the first
-// deferred write error — the NFS error barrier, shared by File.Sync and
-// File.Close.
+// commitBarrierLocked issues one COMMIT and applies its outcome. On
+// success it confirms exactly the blocks whose flush reply preceded
+// the COMMIT (flushedSeq at most the sequence at issue) — blocks
+// flushed while the COMMIT was on the wire stay unstable for the next
+// barrier. A verifier that moved since the last COMMIT means the
+// server restarted and may have lost acknowledged writes: every
+// unstable block is re-dirtied for replay (the NFSv3 client restart
+// protocol) and retry is reported. Caller holds hc.mu.
+func (hc *handleCache) commitBarrierLocked(ctx context.Context) (retry bool) {
+	snapSeq := hc.flushSeq
+	if ctx == nil {
+		ctx = hc.flushCtx
+	}
+	hc.mu.Unlock()
+	attr, ver, err := hc.c.nfs.Commit(ctx, hc.h)
+	hc.mu.Lock()
+	if err != nil {
+		if hc.werr == nil {
+			hc.werr = fmt.Errorf("core: commit: %w", hc.c.wireError(err))
+		}
+		return false // unstable blocks stay pinned for the next barrier
+	}
+	if hc.haveVer && ver != hc.commitVer {
+		hc.commitVer = ver
+		// Replay: everything uncommitted may have been lost.
+		for _, b := range hc.blocks {
+			if !b.unstable {
+				continue
+			}
+			b.unstable = false
+			hc.nUnstable--
+			b.ownWrite = false
+			b.dirtyOff, b.dirtyEnd = 0, len(b.data)
+			b.dirtyGen++
+			if !b.dirty {
+				b.dirty = true
+				hc.nDirty++
+			}
+		}
+		hc.cond.Broadcast()
+		return true
+	}
+	hc.commitVer, hc.haveVer = ver, true
+	for _, b := range hc.blocks {
+		if b.unstable && b.flushedSeq <= snapSeq {
+			b.unstable = false
+			hc.nUnstable--
+		}
+	}
+	// The commit reply is post-flush server truth: ratchet the
+	// validator so the next open does not self-invalidate.
+	if attr.Mtime.After(hc.valMtime) {
+		hc.valMtime = attr.Mtime
+	}
+	if attr.Size > hc.valSize {
+		hc.valSize = attr.Size
+	}
+	if attr.Size > hc.srvSize {
+		hc.srvSize = attr.Size
+	}
+	hc.cond.Broadcast()
+	return false
+}
+
+// sync drains the write-behind queue, runs the COMMIT durability
+// barrier, and returns (and clears) the first deferred write error —
+// the NFS error barrier, shared by File.Sync and File.Close.
+//
+// Against a write-behind server the drained WRITEs are only unstable;
+// COMMIT makes them durable. The loop retries while the server's boot
+// verifier keeps moving (replay after restart, bounded) — but one
+// successful barrier suffices: unstable blocks it did not cover belong
+// to writes concurrent with this sync, which the next barrier owns.
 func (hc *handleCache) sync(ctx context.Context) error {
 	hc.mu.Lock()
 	hc.draining++
@@ -751,8 +891,22 @@ func (hc *handleCache) sync(ctx context.Context) error {
 	}
 	hc.ensureWorkersLocked()
 	hc.cond.Broadcast()
-	for hc.nDirty > 0 {
-		hc.cond.Wait()
+	for attempt := 0; ; attempt++ {
+		for hc.nDirty > 0 {
+			hc.cond.Wait()
+		}
+		if hc.werr != nil || hc.nUnstable == 0 {
+			break
+		}
+		if attempt > 4 {
+			if hc.werr == nil {
+				hc.werr = fmt.Errorf("core: commit: server restarted repeatedly during replay: %w", vfs.ErrIO)
+			}
+			break
+		}
+		if !hc.commitBarrierLocked(ctx) {
+			break // success (or a deferred error); no replay needed
+		}
 	}
 	hc.draining--
 	err := hc.werr
@@ -769,6 +923,9 @@ func (hc *handleCache) truncate(a vfs.Attr) {
 		if !b.flushing {
 			if b.dirty {
 				hc.nDirty--
+			}
+			if b.unstable {
+				hc.nUnstable--
 			}
 			delete(hc.blocks, idx)
 		}

@@ -45,7 +45,8 @@ type File struct {
 
 	dc *handleCache // nil when the data cache is disabled
 
-	size atomic.Int64 // last size observed from the server (uncached path)
+	size  atomic.Int64 // last size observed from the server (uncached path)
+	wrote atomic.Bool  // uncached path: WRITEs issued since the last COMMIT
 
 	mu     sync.Mutex // guards the cursor and the closed flag
 	pos    int64
@@ -333,9 +334,23 @@ func (f *File) writeAt(p []byte, off int64) (int, error) {
 			return total, f.c.wireError(err)
 		}
 		f.size.Store(int64(attr.Size))
+		f.wrote.Store(true)
 		total = end
 	}
 	return total, nil
+}
+
+// commitUncached issues the COMMIT durability barrier for the uncached
+// path: against a write-behind server the synchronous WRITEs above were
+// only unstable. No-op when the File has not written.
+func (f *File) commitUncached() error {
+	if !f.wrote.Swap(false) {
+		return nil
+	}
+	if _, _, err := f.c.nfs.Commit(f.ctx, f.h); err != nil {
+		return f.c.wireError(err)
+	}
+	return nil
 }
 
 // Seek implements io.Seeker. Seeking relative to the end fetches fresh
@@ -380,16 +395,17 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	return pos, nil
 }
 
-// Sync drains the write-behind queue and returns the first deferred
-// write error — the error barrier, as fsync(2) is on a real NFS mount.
-// Without the data cache every write is already synchronous and Sync is
-// a no-op.
+// Sync drains the write-behind queue, runs the COMMIT durability
+// barrier, and returns the first deferred write error — the error
+// barrier, as fsync(2) is on a real NFS mount. Without the data cache
+// every write is already synchronous (but, against a server with
+// write-behind enabled, still unstable), so Sync reduces to the COMMIT.
 func (f *File) Sync() error {
 	if err := f.checkOpen(); err != nil {
 		return err
 	}
 	if f.dc == nil {
-		return nil
+		return f.commitUncached()
 	}
 	return f.dc.sync(f.ctx)
 }
@@ -435,7 +451,7 @@ func (f *File) Close() error {
 	f.closed = true
 	f.mu.Unlock()
 	if f.dc == nil {
-		return nil
+		return f.commitUncached()
 	}
 	err := f.dc.sync(f.ctx)
 	f.dc.release()

@@ -81,6 +81,18 @@ type ServerConfig struct {
 	// coarse clock (~0.5 ms granularity) that makes per-operation
 	// timestamping free of a syscall-path time.Now per check.
 	Now func() time.Time
+
+	// WriteBehind enables server-side unstable writes: WRITE buffers
+	// into a write-gathering queue and returns immediately; background
+	// committers coalesce adjacent blocks into large backing writes; the
+	// COMMIT procedure is the durability barrier (NFSv3 semantics with
+	// verifier-based restart detection). Off by default.
+	WriteBehind bool
+	// WriteBehindQueue bounds the buffered dirty data in 8 KiB blocks
+	// (writers throttle beyond it); 0 means 1024 (8 MiB).
+	WriteBehindQueue int
+	// Committers sizes the background committer pool; 0 means 2.
+	Committers int
 }
 
 // coarseClock publishes wall-clock nanoseconds from a ticker goroutine;
@@ -142,7 +154,10 @@ type pathEntry struct {
 
 // Server is a DisCFS server.
 type Server struct {
-	backing  vfs.FS
+	backing vfs.FS
+	// gather is the server-side write-behind layer (non-nil only with
+	// ServerConfig.WriteBehind); backing points at it when enabled.
+	gather   *nfs.GatherFS
 	key      *keynote.KeyPair
 	session  *keynote.Session
 	cache    *cache.Cache
@@ -228,8 +243,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	for _, a := range cfg.Admins {
 		admins[a] = true
 	}
+	backing := cfg.Backing
+	var gather *nfs.GatherFS
+	if cfg.WriteBehind {
+		gather = nfs.NewGatherFS(backing, nfs.GatherConfig{
+			QueueBlocks: cfg.WriteBehindQueue,
+			Committers:  cfg.Committers,
+		})
+		backing = gather
+	}
 	s := &Server{
-		backing:  cfg.Backing,
+		backing:  backing,
+		gather:   gather,
 		key:      cfg.ServerKey,
 		session:  session,
 		cache:    cache.New(size),
@@ -557,6 +582,13 @@ func (s *Server) Close() error {
 	if s.clock != nil {
 		s.clock.Stop()
 	}
+	if s.gather != nil {
+		// Drain buffered writes to the backing store now that no new
+		// traffic can arrive.
+		if gerr := s.gather.Close(); gerr != nil && err == nil {
+			err = gerr
+		}
+	}
 	var aerr error
 	if s.ownAudit {
 		aerr = s.audit.Close()
@@ -584,6 +616,12 @@ type Stats struct {
 	AuditDropped    uint64 // audit mirror lines dropped at saturation
 	PathCacheHits   uint64 // handle→path resolutions served from cache
 	PathCacheMisses uint64 // handle→path resolutions walked
+
+	// Server write-behind (zero when ServerConfig.WriteBehind is off).
+	WriteQueueDepth int    // bytes buffered in the write-gathering queue
+	WritesGathered  uint64 // WRITE RPCs absorbed by the queue
+	BackendWrites   uint64 // coalesced writes issued to the backing store
+	Commits         uint64 // COMMIT durability barriers served
 }
 
 // Stats returns a snapshot.
@@ -591,7 +629,16 @@ func (s *Server) Stats() Stats {
 	snap := s.session.Snapshot()
 	hits, misses := s.cache.Stats()
 	total, denied := s.audit.Totals()
+	var gst nfs.GatherStats
+	if s.gather != nil {
+		gst = s.gather.Stats()
+	}
 	return Stats{
+		WriteQueueDepth: gst.QueueDepth,
+		WritesGathered:  gst.WritesGathered,
+		BackendWrites:   gst.BackendWrites,
+		Commits:         gst.Commits,
+
 		Queries:         s.queries.Load(),
 		CacheHits:       hits,
 		CacheMisses:     misses,

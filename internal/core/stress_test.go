@@ -178,10 +178,10 @@ func verifyRegions(t *testing.T, c *Client, path string, first int, models [][]b
 	}
 }
 
-func stressServer(t *testing.T) string {
+func stressServer(t *testing.T, writeBehind bool) string {
 	t.Helper()
 	serverKey := keynote.DeterministicKey("stress-admin")
-	_, addr := testServer(t, ServerConfig{ServerKey: serverKey})
+	_, addr := testServer(t, ServerConfig{ServerKey: serverKey, WriteBehind: writeBehind})
 	return addr
 }
 
@@ -196,24 +196,37 @@ func newModels(n int) [][]byte {
 // TestStressSingleClient hammers one cached client with concurrent
 // mixed operations from eight workers sharing one file (and therefore
 // one handle cache), then verifies every byte — through the writing
-// client and through a second, independent client after close.
+// client and through a second, independent client after close. It runs
+// twice: against the classic synchronous-write server and against the
+// server-side write-behind pipeline (unstable WRITE + COMMIT).
 func TestStressSingleClient(t *testing.T) {
-	ctx := context.Background()
-	addr := stressServer(t)
-	c := dialAs(t, addr, "stress-admin")
+	for _, wb := range []bool{false, true} {
+		t.Run(wbName(wb), func(t *testing.T) {
+			ctx := context.Background()
+			addr := stressServer(t, wb)
+			c := dialAs(t, addr, "stress-admin")
 
-	const workers, ops = 8, 150
-	if _, _, err := c.WriteFile(ctx, "/stress.dat", nil); err != nil {
-		t.Fatal(err)
+			const workers, ops = 8, 150
+			if _, _, err := c.WriteFile(ctx, "/stress.dat", nil); err != nil {
+				t.Fatal(err)
+			}
+			models := newModels(workers)
+			runWorkers(t, c, "/stress.dat", 0, workers, ops, 1000, models)
+
+			// Within the writing client the cache must agree...
+			verifyRegions(t, c, "/stress.dat", 0, models)
+			// ...and a fresh client sees the same bytes after close-to-open.
+			c2 := dialAs(t, addr, "stress-admin")
+			verifyRegions(t, c2, "/stress.dat", 0, models)
+		})
 	}
-	models := newModels(workers)
-	runWorkers(t, c, "/stress.dat", 0, workers, ops, 1000, models)
+}
 
-	// Within the writing client the cache must agree...
-	verifyRegions(t, c, "/stress.dat", 0, models)
-	// ...and a fresh client sees the same bytes after close-to-open.
-	c2 := dialAs(t, addr, "stress-admin")
-	verifyRegions(t, c2, "/stress.dat", 0, models)
+func wbName(wb bool) string {
+	if wb {
+		return "serverWriteBehind"
+	}
+	return "syncWrites"
 }
 
 // TestStressTwoClientsSharedServer alternates two clients over one
@@ -222,28 +235,97 @@ func TestStressSingleClient(t *testing.T) {
 // (close-to-open across clients), with both clients running concurrent
 // workers internally.
 func TestStressTwoClientsSharedServer(t *testing.T) {
-	ctx := context.Background()
-	addr := stressServer(t)
-	a := dialAs(t, addr, "stress-admin")
-	b := dialAs(t, addr, "stress-admin")
+	for _, wb := range []bool{false, true} {
+		t.Run(wbName(wb), func(t *testing.T) {
+			ctx := context.Background()
+			addr := stressServer(t, wb)
+			a := dialAs(t, addr, "stress-admin")
+			b := dialAs(t, addr, "stress-admin")
 
-	const perClient, ops, rounds = 4, 60, 3
-	if _, _, err := a.WriteFile(ctx, "/shared.dat", nil); err != nil {
+			const perClient, ops, rounds = 4, 60, 3
+			if _, _, err := a.WriteFile(ctx, "/shared.dat", nil); err != nil {
+				t.Fatal(err)
+			}
+			models := newModels(2 * perClient)
+
+			for round := 0; round < rounds; round++ {
+				// Client A owns regions 0..3, client B regions 4..7. New seeds
+				// each round rewrite random spans over the surviving content.
+				runWorkers(t, a, "/shared.dat", 0, perClient, ops, int64(9000+100*round), models)
+				runWorkers(t, b, "/shared.dat", perClient, perClient, ops, int64(9500+100*round), models)
+
+				// Cross-client visibility after close: B checks A's half, A
+				// checks B's half, and a third client checks everything.
+				verifyRegions(t, b, "/shared.dat", 0, models[:perClient])
+				verifyRegions(t, a, "/shared.dat", perClient, models[perClient:])
+				c := dialAs(t, addr, "stress-admin")
+				verifyRegions(t, c, "/shared.dat", 0, models)
+			}
+		})
+	}
+}
+
+// TestCommitVerifierReplay exercises the NFSv3-style restart protocol:
+// the server's write-behind layer "reboots" (new boot verifier, every
+// buffered-but-uncommitted write dropped) between a client's flushes
+// and its COMMIT. The client must detect the verifier change, re-dirty
+// its unstable blocks, and replay them — no acknowledged Sync may lose
+// data.
+func TestCommitVerifierReplay(t *testing.T) {
+	ctx := context.Background()
+	serverKey := keynote.DeterministicKey("stress-admin")
+	srv, addr := testServer(t, ServerConfig{ServerKey: serverKey, WriteBehind: true})
+	// A tiny write-behind window makes the client flush eagerly, so
+	// blocks become unstable (flushed, uncommitted) before Sync runs.
+	c := dialAsWith(t, addr, "stress-admin", WithWriteBehind(1))
+
+	f, err := c.Open(ctx, "/replay.dat", os.O_CREATE|os.O_RDWR)
+	if err != nil {
 		t.Fatal(err)
 	}
-	models := newModels(2 * perClient)
-
-	for round := 0; round < rounds; round++ {
-		// Client A owns regions 0..3, client B regions 4..7. New seeds
-		// each round rewrite random spans over the surviving content.
-		runWorkers(t, a, "/shared.dat", 0, perClient, ops, int64(9000+100*round), models)
-		runWorkers(t, b, "/shared.dat", perClient, perClient, ops, int64(9500+100*round), models)
-
-		// Cross-client visibility after close: B checks A's half, A
-		// checks B's half, and a third client checks everything.
-		verifyRegions(t, b, "/shared.dat", 0, models[:perClient])
-		verifyRegions(t, a, "/shared.dat", perClient, models[perClient:])
-		c := dialAs(t, addr, "stress-admin")
-		verifyRegions(t, c, "/shared.dat", 0, models)
+	// First barrier records the server's boot verifier.
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xAA}, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Write a larger span; the 1-block window forces most of it to
+	// flush (unstable) before the barrier.
+	want := make([]byte, 10*8192)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+	if _, err := f.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Server "restart": new verifier, buffered-but-uncommitted writes
+	// lost. The client's flushed WRITEs that still sat in the gather
+	// queue are gone.
+	srv.gather.Reboot(true)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync with replay: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh client must read every byte back.
+	c2 := dialAs(t, addr, "stress-admin")
+	got, err := c2.ReadFile(ctx, "/replay.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		d := 0
+		for d < len(got) && d < len(want) && got[d] == want[d] {
+			d++
+		}
+		t.Fatalf("replayed content differs at byte %d of %d (got len %d)", d, len(want), len(got))
+	}
+	// The second Sync must have observed the new verifier and replayed
+	// rather than silently acknowledging lost data.
+	st := srv.Stats()
+	if st.Commits < 2 {
+		t.Errorf("commits = %d, want >= 2", st.Commits)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"discfs/internal/keynote"
+	"discfs/internal/nfs"
 	"discfs/internal/vfs"
 )
 
@@ -251,3 +252,18 @@ func (v *view) Link(dir vfs.Handle, name string, target vfs.Handle) (vfs.Attr, e
 
 // StatFS implements vfs.FS; capacity information is not confidential.
 func (v *view) StatFS() (vfs.StatFS, error) { return v.s.backing.StatFS() }
+
+// Commit implements the nfs.Committer capability: the durability
+// barrier for unstable writes requires W, like the writes it commits.
+// Against a server without write-behind it degrades to a sync barrier
+// with the stable zero verifier.
+func (v *view) Commit(h vfs.Handle) (uint64, vfs.Attr, error) {
+	if err := v.s.check(v.peer, h, PermW, "commit", ""); err != nil {
+		return 0, vfs.Attr{}, err
+	}
+	ver, a, err := nfs.CommitFS(v.s.backing, h)
+	if err != nil {
+		return ver, vfs.Attr{}, err
+	}
+	return ver, v.maskAttr(a), nil
+}

@@ -21,8 +21,10 @@ import (
 //  5. Every directory entry points at a live inode with a matching
 //     generation, and every live inode is reachable.
 func (fs *FFS) Check() []error {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	// Quiesce the filesystem: Check needs a frozen view of the inode
+	// table, the allocator and every file's block pointers at once.
+	fs.quiesce.Lock()
+	defer fs.quiesce.Unlock()
 
 	var errs []error
 	report := func(format string, args ...any) {

@@ -1,0 +1,130 @@
+package ffs
+
+// Deadlock regression for the ordered-lock discipline: adversarial
+// rename cycles (a↔b swaps within and across directories, directory
+// renames, removes and hard links over the same names) from 8 workers,
+// guarded by a watchdog. Before the renameMu + canonical child order
+// discipline, these interleavings could deadlock (e.g. a rename
+// locking its target file while a remove holding the source directory
+// waits on it). The test's only assertions are: it finishes, and fsck
+// passes.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"discfs/internal/vfs"
+)
+
+func TestDeadlockAdversarialRenameCycles(t *testing.T) {
+	fs, err := New(Config{BlockSize: 1024, NumBlocks: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fs.Root()
+	// Two directories, two shared file names, a subdirectory that
+	// workers rename back and forth between A and B, and a deeper
+	// nesting so ancestry walks run during the storm.
+	mk := func(dir vfs.Handle, name string) vfs.Handle {
+		a, err := fs.Mkdir(dir, name, 0o755)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Handle
+	}
+	dirA := mk(root, "A")
+	dirB := mk(root, "B")
+	mk(dirA, "suba")
+	mk(dirB, "deep")
+	for _, spec := range []struct {
+		dir  vfs.Handle
+		name string
+	}{{dirA, "x"}, {dirA, "y"}, {dirB, "x"}, {dirB, "y"}} {
+		if _, err := fs.Create(spec.dir, spec.name, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	const opsPerWorker = 1500
+	benign := func(err error) bool {
+		return err == nil ||
+			errors.Is(err, vfs.ErrNotExist) || errors.Is(err, vfs.ErrExist) ||
+			errors.Is(err, vfs.ErrIsDir) || errors.Is(err, vfs.ErrNotDir) ||
+			errors.Is(err, vfs.ErrNotEmpty) || errors.Is(err, vfs.ErrInval) ||
+			errors.Is(err, vfs.ErrStale)
+	}
+	done := make(chan struct{})
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(6000 + w)))
+			for op := 0; op < opsPerWorker; op++ {
+				var err error
+				switch rng.Intn(12) {
+				case 0:
+					err = fs.Rename(dirA, "x", dirB, "x")
+				case 1:
+					err = fs.Rename(dirB, "x", dirA, "x")
+				case 2:
+					err = fs.Rename(dirA, "x", dirA, "y") // same-dir swap
+				case 3:
+					err = fs.Rename(dirB, "y", dirB, "x")
+				case 4:
+					err = fs.Rename(dirA, "suba", dirB, "suba") // directory rename
+				case 5:
+					err = fs.Rename(dirB, "suba", dirA, "suba")
+				case 6: // rename a directory onto a deeper path (ancestry walk)
+					err = fs.Rename(dirB, "deep", dirA, "deep")
+				case 7:
+					err = fs.Rename(dirA, "deep", dirB, "deep")
+				case 8: // remove + recreate the contended target
+					if err = fs.Remove(dirA, "y"); benign(err) {
+						_, err = fs.Create(dirA, "y", 0o644)
+					}
+				case 9: // hard link across directories, then unlink
+					if a, lerr := fs.Lookup(dirB, "x"); lerr == nil {
+						if _, err = fs.Link(dirA, fmt.Sprintf("lnk%d", w), a.Handle); err == nil || benign(err) {
+							err = fs.Remove(dirA, fmt.Sprintf("lnk%d", w))
+						}
+					}
+				case 10: // reads race the namespace storm
+					_, err = fs.ReadDir(dirA)
+				default:
+					_, err = fs.Lookup(dirB, "..")
+				}
+				if !benign(err) {
+					errs <- fmt.Errorf("worker %d op %d: %v", w, op, err)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("deadlock: workers wedged after 60s\n%s", buf[:n])
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if es := fs.Check(); len(es) != 0 {
+		t.Fatalf("fsck after rename storm: %v", es[0])
+	}
+}

@@ -30,6 +30,15 @@ type BlockDevice interface {
 	WriteBlock(bn uint32, data []byte) error
 }
 
+// SyncDevice is an optional BlockDevice capability: a device with a
+// volatile write cache implements Sync to flush it to stable storage.
+// The filesystem calls it synchronously after metadata writes and from
+// FFS.Sync (the COMMIT durability barrier); crash-consistency tests
+// inject devices that lose unsynced writes at a simulated power cut.
+type SyncDevice interface {
+	Sync() error
+}
+
 // DiskModel adds synthetic device costs, letting experiments approximate
 // spinning-disk behaviour. The zero value charges nothing.
 type DiskModel struct {
@@ -130,6 +139,10 @@ func (d *MemDevice) WriteBlock(bn uint32, data []byte) error {
 	}
 	return nil
 }
+
+// Sync implements SyncDevice. RAM is "stable storage" here, so there is
+// nothing to flush.
+func (d *MemDevice) Sync() error { return nil }
 
 // AllocatedBlocks reports how many blocks hold data, for tests.
 func (d *MemDevice) AllocatedBlocks() int {

@@ -52,7 +52,8 @@ func parseDirents(data []byte) ([]vfs.DirEntry, error) {
 	return out, nil
 }
 
-// readDirLocked returns the parsed entries of dir. Caller holds fs.mu.
+// readDirLocked returns the parsed entries of dir. The caller holds
+// dir's lock (shared suffices).
 func (fs *FFS) readDirLocked(dir *inode) ([]vfs.DirEntry, error) {
 	if dir.ftype != vfs.TypeDir {
 		return nil, vfs.ErrNotDir
@@ -75,7 +76,7 @@ func (fs *FFS) readDirBytes(dir *inode) ([]byte, bool, error) {
 	return fs.readLocked(dir, 0, uint32(dir.size))
 }
 
-// dirLookupLocked finds name in dir.
+// dirLookupLocked finds name in dir. The caller holds dir's lock.
 func (fs *FFS) dirLookupLocked(dir *inode, name string) (vfs.Handle, bool, error) {
 	ents, err := fs.readDirLocked(dir)
 	if err != nil {
@@ -89,14 +90,16 @@ func (fs *FFS) dirLookupLocked(dir *inode, name string) (vfs.Handle, bool, error
 	return vfs.Handle{}, false, nil
 }
 
-// dirAddLocked appends an entry (caller has checked for duplicates).
+// dirAddLocked appends an entry (caller holds dir's exclusive lock and
+// has checked for duplicates).
 func (fs *FFS) dirAddLocked(dir *inode, h vfs.Handle, name string) error {
 	ent := appendDirent(nil, h, name)
 	return fs.writeLocked(dir, dir.size, ent)
 }
 
 // dirRemoveLocked deletes name from dir, rewriting the remaining
-// entries. Reports whether the entry existed.
+// entries. Reports whether the entry existed. The caller holds dir's
+// exclusive lock.
 func (fs *FFS) dirRemoveLocked(dir *inode, name string) (vfs.Handle, bool, error) {
 	ents, err := fs.readDirLocked(dir)
 	if err != nil {
@@ -129,10 +132,15 @@ func (fs *FFS) dirRemoveLocked(dir *inode, name string) (vfs.Handle, bool, error
 	return removed, true, nil
 }
 
-// Lookup implements vfs.FS.
+// Lookup implements vfs.FS. It never holds two locks at once: the entry
+// handle is read under the directory's shared lock, which is released
+// before the child's attributes are read under the child's — so lookups
+// stay read-mostly and can never participate in a lock-order cycle. The
+// child may disappear in the window; that answers ErrStale exactly as a
+// racing LOOKUP/REMOVE does on a real NFS server.
 func (fs *FFS) Lookup(dirH vfs.Handle, name string) (vfs.Attr, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	dir, err := fs.getInode(dirH)
 	if err != nil {
 		return vfs.Attr{}, err
@@ -140,48 +148,75 @@ func (fs *FFS) Lookup(dirH vfs.Handle, name string) (vfs.Attr, error) {
 	if dir.ftype != vfs.TypeDir {
 		return vfs.Attr{}, vfs.ErrNotDir
 	}
+	var childH vfs.Handle
 	switch name {
 	case ".":
-		return dir.attr(), nil
-	case "..":
-		parent, err := fs.getInode(dir.parent)
+		unlock, err := fs.rlockInode(dir)
 		if err != nil {
 			return vfs.Attr{}, err
 		}
-		return parent.attr(), nil
-	}
-	if !vfs.ValidName(name) {
-		if len(name) > vfs.MaxNameLen {
-			return vfs.Attr{}, vfs.ErrNameTooLong
+		a := dir.attr()
+		unlock()
+		return a, nil
+	case "..":
+		unlock, err := fs.rlockInode(dir)
+		if err != nil {
+			return vfs.Attr{}, err
 		}
-		return vfs.Attr{}, vfs.ErrInval
+		childH = dir.parent
+		unlock()
+	default:
+		if !vfs.ValidName(name) {
+			if len(name) > vfs.MaxNameLen {
+				return vfs.Attr{}, vfs.ErrNameTooLong
+			}
+			return vfs.Attr{}, vfs.ErrInval
+		}
+		unlock, err := fs.rlockInode(dir)
+		if err != nil {
+			return vfs.Attr{}, err
+		}
+		h, ok, err := fs.dirLookupLocked(dir, name)
+		unlock()
+		if err != nil {
+			return vfs.Attr{}, err
+		}
+		if !ok {
+			return vfs.Attr{}, vfs.ErrNotExist
+		}
+		childH = h
 	}
-	h, ok, err := fs.dirLookupLocked(dir, name)
+	child, err := fs.getInode(childH)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	if !ok {
-		return vfs.Attr{}, vfs.ErrNotExist
-	}
-	child, err := fs.getInode(h)
+	unlock, err := fs.rlockInode(child)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	return child.attr(), nil
+	a := child.attr()
+	unlock()
+	return a, nil
 }
 
 // ReadDir implements vfs.FS.
 func (fs *FFS) ReadDir(dirH vfs.Handle) ([]vfs.DirEntry, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	dir, err := fs.getInode(dirH)
 	if err != nil {
 		return nil, err
 	}
+	unlock, err := fs.rlockInode(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
 	return fs.readDirLocked(dir)
 }
 
-// checkNewName validates name and ensures it is absent from dir.
+// checkNewName validates name and ensures it is absent from dir. The
+// caller holds dir's exclusive lock.
 func (fs *FFS) checkNewName(dir *inode, name string) error {
 	if dir.ftype != vfs.TypeDir {
 		return vfs.ErrNotDir
@@ -202,57 +237,100 @@ func (fs *FFS) checkNewName(dir *inode, name string) error {
 	return nil
 }
 
-// Create implements vfs.FS.
-func (fs *FFS) Create(dirH vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+// createEntry is the common create/mkdir/symlink path: under dir's
+// exclusive lock it validates the name, allocates an inode via mk, and
+// links it into dir, rolling the inode back on failure.
+func (fs *FFS) createEntry(dirH vfs.Handle, name string, mk func(dir *inode) (*inode, error)) (vfs.Attr, error) {
 	dir, err := fs.getInode(dirH)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	if dir.ftype != vfs.TypeDir {
+		return vfs.Attr{}, vfs.ErrNotDir
+	}
+	unlock, err := fs.wlockInode(dir)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	defer unlock()
 	if err := fs.checkNewName(dir, name); err != nil {
 		return vfs.Attr{}, err
 	}
-	if uint64(len(fs.inodes)) >= fs.maxInodes {
-		return vfs.Attr{}, vfs.ErrNoSpace
+	ip, err := mk(dir)
+	if err != nil {
+		return vfs.Attr{}, err
 	}
-	ip := fs.allocInode(vfs.TypeRegular, mode, 0, 0)
+	oldSize := dir.size
 	if err := fs.dirAddLocked(dir, vfs.Handle{Ino: ip.ino, Gen: ip.gen}, name); err != nil {
+		// The append may have grown the directory (and synced part of
+		// the growth) before failing; truncating back to the old size
+		// restores the in-core state to the last durable one.
+		_ = fs.truncateTo(dir, oldSize)
 		fs.dropInode(ip)
 		return vfs.Attr{}, err
 	}
+	if ip.ftype == vfs.TypeDir {
+		dir.nlink++ // the child's ".."
+	}
+	if err := fs.syncMeta(); err != nil {
+		// The entry's durability cannot be promised: roll the creation
+		// back so the in-core state matches the last synced device
+		// state (the entry was appended, so truncating to the old size
+		// removes exactly it).
+		_ = fs.truncateTo(dir, oldSize)
+		if ip.ftype == vfs.TypeDir {
+			dir.nlink--
+		}
+		_ = fs.dropInode(ip)
+		return vfs.Attr{}, err
+	}
 	return ip.attr(), nil
+}
+
+// Create implements vfs.FS.
+func (fs *FFS) Create(dirH vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
+	return fs.createEntry(dirH, name, func(*inode) (*inode, error) {
+		return fs.allocInode(vfs.TypeRegular, mode, 0, 0)
+	})
 }
 
 // Mkdir implements vfs.FS.
 func (fs *FFS) Mkdir(dirH vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	dir, err := fs.getInode(dirH)
-	if err != nil {
-		return vfs.Attr{}, err
-	}
-	if err := fs.checkNewName(dir, name); err != nil {
-		return vfs.Attr{}, err
-	}
-	if uint64(len(fs.inodes)) >= fs.maxInodes {
-		return vfs.Attr{}, vfs.ErrNoSpace
-	}
-	ip := fs.allocInode(vfs.TypeDir, mode, 0, 0)
-	ip.nlink = 2 // "." plus the entry in the parent
-	ip.parent = vfs.Handle{Ino: dir.ino, Gen: dir.gen}
-	if err := fs.dirAddLocked(dir, vfs.Handle{Ino: ip.ino, Gen: ip.gen}, name); err != nil {
-		fs.dropInode(ip)
-		return vfs.Attr{}, err
-	}
-	dir.nlink++ // the child's ".."
-	return ip.attr(), nil
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
+	return fs.createEntry(dirH, name, func(dir *inode) (*inode, error) {
+		ip, err := fs.allocInode(vfs.TypeDir, mode, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		ip.nlink = 2 // "." plus the entry in the parent
+		ip.parent = vfs.Handle{Ino: dir.ino, Gen: dir.gen}
+		return ip, nil
+	})
 }
 
-// Remove implements vfs.FS.
+// Symlink implements vfs.FS.
+func (fs *FFS) Symlink(dirH vfs.Handle, name, target string, mode uint32) (vfs.Attr, error) {
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
+	return fs.createEntry(dirH, name, func(*inode) (*inode, error) {
+		ip, err := fs.allocInode(vfs.TypeSymlink, mode, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		ip.linkTarget = target
+		ip.size = uint64(len(target))
+		return ip, nil
+	})
+}
+
+// Remove implements vfs.FS. Lock order: directory, then the (non-
+// directory) child.
 func (fs *FFS) Remove(dirH vfs.Handle, name string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	dir, err := fs.getInode(dirH)
 	if err != nil {
 		return err
@@ -260,6 +338,11 @@ func (fs *FFS) Remove(dirH vfs.Handle, name string) error {
 	if dir.ftype != vfs.TypeDir {
 		return vfs.ErrNotDir
 	}
+	unlockDir, err := fs.wlockInode(dir)
+	if err != nil {
+		return err
+	}
+	defer unlockDir()
 	h, ok, err := fs.dirLookupLocked(dir, name)
 	if err != nil {
 		return err
@@ -274,21 +357,31 @@ func (fs *FFS) Remove(dirH vfs.Handle, name string) error {
 	if ip.ftype == vfs.TypeDir {
 		return vfs.ErrIsDir
 	}
+	// The entry in the locked dir pins the child's link count, so it
+	// cannot die while we wait for its lock.
+	unlockChild, err := fs.wlockInode(ip)
+	if err != nil {
+		return err
+	}
+	defer unlockChild()
 	if _, _, err := fs.dirRemoveLocked(dir, name); err != nil {
 		return err
 	}
 	ip.nlink--
 	ip.ctime = fs.now()
 	if ip.nlink == 0 {
-		return fs.dropInode(ip)
+		if err := fs.dropInode(ip); err != nil {
+			return err
+		}
 	}
-	return nil
+	return fs.syncMeta()
 }
 
-// Rmdir implements vfs.FS.
+// Rmdir implements vfs.FS. Lock order: parent directory, then child
+// directory (a tree edge, so acquisition follows the hierarchy).
 func (fs *FFS) Rmdir(dirH vfs.Handle, name string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	dir, err := fs.getInode(dirH)
 	if err != nil {
 		return err
@@ -296,6 +389,11 @@ func (fs *FFS) Rmdir(dirH vfs.Handle, name string) error {
 	if dir.ftype != vfs.TypeDir {
 		return vfs.ErrNotDir
 	}
+	unlockDir, err := fs.wlockInode(dir)
+	if err != nil {
+		return err
+	}
+	defer unlockDir()
 	h, ok, err := fs.dirLookupLocked(dir, name)
 	if err != nil {
 		return err
@@ -310,6 +408,11 @@ func (fs *FFS) Rmdir(dirH vfs.Handle, name string) error {
 	if ip.ftype != vfs.TypeDir {
 		return vfs.ErrNotDir
 	}
+	unlockChild, err := fs.wlockInode(ip)
+	if err != nil {
+		return err
+	}
+	defer unlockChild()
 	ents, err := fs.readDirLocked(ip)
 	if err != nil {
 		return err
@@ -321,13 +424,25 @@ func (fs *FFS) Rmdir(dirH vfs.Handle, name string) error {
 		return err
 	}
 	dir.nlink-- // the child's ".." is gone
-	return fs.dropInode(ip)
+	if err := fs.dropInode(ip); err != nil {
+		return err
+	}
+	return fs.syncMeta()
 }
 
 // Rename implements vfs.FS.
+//
+// Renames follow the strictest form of the lock discipline: renameMu
+// serializes them (and freezes the directory topology for the subtree
+// check), the two parents are locked in inode order, and the affected
+// children (the source, and the replaced target if any) are locked in
+// canonical child order afterwards.
 func (fs *FFS) Rename(fromDirH vfs.Handle, fromName string, toDirH vfs.Handle, toName string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
+	fs.renameMu.Lock()
+	defer fs.renameMu.Unlock()
+
 	fromDir, err := fs.getInode(fromDirH)
 	if err != nil {
 		return err
@@ -345,6 +460,12 @@ func (fs *FFS) Rename(fromDirH vfs.Handle, fromName string, toDirH vfs.Handle, t
 		}
 		return vfs.ErrInval
 	}
+	unlockDirs, err := fs.lockDirPair(fromDir, toDir)
+	if err != nil {
+		return err
+	}
+	defer unlockDirs()
+
 	srcH, ok, err := fs.dirLookupLocked(fromDir, fromName)
 	if err != nil {
 		return err
@@ -359,7 +480,11 @@ func (fs *FFS) Rename(fromDirH vfs.Handle, fromName string, toDirH vfs.Handle, t
 	if fromDir == toDir && fromName == toName {
 		return nil
 	}
-	// A directory must not be moved into its own subtree.
+	if src == fromDir || src == toDir {
+		return vfs.ErrInval // self-referential entry; refuse rather than self-deadlock
+	}
+	// A directory must not be moved into its own subtree. The walk reads
+	// parent pointers of unlocked directories; renameMu freezes them.
 	if src.ftype == vfs.TypeDir {
 		for d := toDir; ; {
 			if d == src {
@@ -375,25 +500,42 @@ func (fs *FFS) Rename(fromDirH vfs.Handle, fromName string, toDirH vfs.Handle, t
 			d = p
 		}
 	}
-	// Handle an existing target.
+	// Resolve an existing target before locking children.
 	dstH, dstExists, err := fs.dirLookupLocked(toDir, toName)
 	if err != nil {
 		return err
 	}
+	var dst *inode
 	if dstExists {
-		dst, err := fs.getInode(dstH)
+		dst, err = fs.getInode(dstH)
 		if err != nil {
 			return err
 		}
 		if dst == src {
 			return nil // hard links to the same inode: no-op
 		}
+		if dst == fromDir || dst == toDir {
+			return vfs.ErrInval
+		}
 		switch {
 		case dst.ftype == vfs.TypeDir && src.ftype != vfs.TypeDir:
 			return vfs.ErrIsDir
 		case dst.ftype != vfs.TypeDir && src.ftype == vfs.TypeDir:
 			return vfs.ErrNotDir
-		case dst.ftype == vfs.TypeDir:
+		}
+	}
+	children := []*inode{src}
+	if dst != nil {
+		children = append(children, dst)
+	}
+	unlockChildren, err := fs.lockChildren(children...)
+	if err != nil {
+		return err
+	}
+	defer unlockChildren()
+
+	if dst != nil {
+		if dst.ftype == vfs.TypeDir {
 			ents, err := fs.readDirLocked(dst)
 			if err != nil {
 				return err
@@ -408,7 +550,7 @@ func (fs *FFS) Rename(fromDirH vfs.Handle, fromName string, toDirH vfs.Handle, t
 			if err := fs.dropInode(dst); err != nil {
 				return err
 			}
-		default:
+		} else {
 			if _, _, err := fs.dirRemoveLocked(toDir, toName); err != nil {
 				return err
 			}
@@ -432,37 +574,13 @@ func (fs *FFS) Rename(fromDirH vfs.Handle, fromName string, toDirH vfs.Handle, t
 		toDir.nlink++
 	}
 	src.ctime = fs.now()
-	return nil
-}
-
-// Symlink implements vfs.FS.
-func (fs *FFS) Symlink(dirH vfs.Handle, name, target string, mode uint32) (vfs.Attr, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	dir, err := fs.getInode(dirH)
-	if err != nil {
-		return vfs.Attr{}, err
-	}
-	if err := fs.checkNewName(dir, name); err != nil {
-		return vfs.Attr{}, err
-	}
-	if uint64(len(fs.inodes)) >= fs.maxInodes {
-		return vfs.Attr{}, vfs.ErrNoSpace
-	}
-	ip := fs.allocInode(vfs.TypeSymlink, mode, 0, 0)
-	ip.linkTarget = target
-	ip.size = uint64(len(target))
-	if err := fs.dirAddLocked(dir, vfs.Handle{Ino: ip.ino, Gen: ip.gen}, name); err != nil {
-		fs.dropInode(ip)
-		return vfs.Attr{}, err
-	}
-	return ip.attr(), nil
+	return fs.syncMeta()
 }
 
 // Readlink implements vfs.FS.
 func (fs *FFS) Readlink(h vfs.Handle) (string, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	ip, err := fs.getInode(h)
 	if err != nil {
 		return "", err
@@ -470,13 +588,19 @@ func (fs *FFS) Readlink(h vfs.Handle) (string, error) {
 	if ip.ftype != vfs.TypeSymlink {
 		return "", vfs.ErrInval
 	}
+	unlock, err := fs.rlockInode(ip)
+	if err != nil {
+		return "", err
+	}
+	defer unlock()
 	return ip.linkTarget, nil
 }
 
-// Link implements vfs.FS.
+// Link implements vfs.FS. Lock order: directory, then the (non-
+// directory) target.
 func (fs *FFS) Link(dirH vfs.Handle, name string, target vfs.Handle) (vfs.Attr, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	dir, err := fs.getInode(dirH)
 	if err != nil {
 		return vfs.Attr{}, err
@@ -488,13 +612,33 @@ func (fs *FFS) Link(dirH vfs.Handle, name string, target vfs.Handle) (vfs.Attr, 
 	if tp.ftype == vfs.TypeDir {
 		return vfs.Attr{}, vfs.ErrIsDir
 	}
+	if tp == dir {
+		return vfs.Attr{}, vfs.ErrInval
+	}
+	unlockDir, err := fs.wlockInode(dir)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	defer unlockDir()
 	if err := fs.checkNewName(dir, name); err != nil {
 		return vfs.Attr{}, err
 	}
+	unlockTarget, err := fs.wlockInode(tp)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	defer unlockTarget()
+	oldSize := dir.size
 	if err := fs.dirAddLocked(dir, target, name); err != nil {
+		_ = fs.truncateTo(dir, oldSize)
 		return vfs.Attr{}, err
 	}
 	tp.nlink++
 	tp.ctime = fs.now()
+	if err := fs.syncMeta(); err != nil {
+		_ = fs.truncateTo(dir, oldSize)
+		tp.nlink--
+		return vfs.Attr{}, err
+	}
 	return tp.attr(), nil
 }

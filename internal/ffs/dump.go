@@ -22,11 +22,11 @@ import (
 // imageMagic identifies a dump stream.
 var imageMagic = []byte("DisCFS-FFS-image-1")
 
-// Dump writes the filesystem image to w. The filesystem is read-locked
+// Dump writes the filesystem image to w. The filesystem is quiesced
 // for the duration: the image is a consistent snapshot.
 func (fs *FFS) Dump(w io.Writer) error {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.quiesce.Lock()
+	defer fs.quiesce.Unlock()
 
 	e := xdr.NewEncoder()
 	e.Opaque(imageMagic)

@@ -34,19 +34,47 @@ type Config struct {
 }
 
 // FFS is the filesystem. All methods are safe for concurrent use.
+//
+// Locking is fine-grained (see locktab.go for the full discipline):
+// every inode has its own lock in a sharded table, the inode map and
+// the block allocator have their own small mutexes, renames serialize
+// on renameMu, and Check/Dump quiesce the filesystem through a
+// read-mostly gate every operation holds shared.
 type FFS struct {
 	dev       BlockDevice
 	blockSize int
 
-	mu        sync.RWMutex
+	// quiesce is held shared by every operation and exclusively by
+	// Check and Dump, which need a frozen filesystem.
+	quiesce sync.RWMutex
+
+	// metaMu guards the inode table. Leaf lock: nothing else is
+	// acquired while holding it.
+	metaMu    sync.RWMutex
 	inodes    map[uint64]*inode
 	nextIno   uint64
 	gens      map[uint64]uint32 // last generation per inode slot, survives frees
 	maxInodes uint64
 
+	// allocMu guards the block allocator. Leaf lock.
+	allocMu    sync.Mutex
 	freeBitmap []uint64 // one bit per device block; 1 = in use
 	freeBlocks uint32
 	rotor      uint32 // next-fit allocation pointer
+
+	// renameMu serializes renames and freezes the directory topology
+	// for rename's ancestry walk.
+	renameMu sync.Mutex
+
+	// locks is the sharded per-inode lock table.
+	locks lockTable
+
+	// syncer is the device's volatile-cache flush hook, nil when the
+	// device has none. Metadata writes (directory blocks, indirect
+	// pointer blocks, freshly zeroed allocations) are flushed through it
+	// synchronously, as FFS writes metadata; file data stays volatile
+	// until an explicit Sync — the COMMIT durability model.
+	syncer SyncDevice
 
 	now func() time.Time
 
@@ -97,13 +125,20 @@ func New(cfg Config) (*FFS, error) {
 		rotor:      1,
 		now:        now,
 	}
+	if sd, ok := dev.(SyncDevice); ok {
+		fs.syncer = sd
+	}
+	fs.locks.init()
 	fs.bufPool.New = func() any {
 		b := make([]byte, bs)
 		return &b
 	}
 	fs.markUsed(0) // superblock
 	// Format: create the root directory (ino 1).
-	root := fs.allocInode(vfs.TypeDir, 0o755, 0, 0)
+	root, err := fs.allocInode(vfs.TypeDir, 0o755, 0, 0)
+	if err != nil {
+		return nil, err
+	}
 	root.nlink = 2 // "." and the root's self-reference
 	root.parent = vfs.Handle{Ino: root.ino, Gen: root.gen}
 	return fs, nil
@@ -115,8 +150,28 @@ func (fs *FFS) Device() BlockDevice { return fs.dev }
 func (fs *FFS) getBlockBuf() []byte  { return *(fs.bufPool.Get().(*[]byte)) }
 func (fs *FFS) putBlockBuf(b []byte) { fs.bufPool.Put(&b) }
 
+// Sync flushes the device's volatile write cache, if it has one. It is
+// the durability barrier behind the NFS COMMIT operation: data written
+// before a successful Sync survives a power cut; later unsynced writes
+// may not. It implements the optional vfs.Syncer capability.
+func (fs *FFS) Sync() error {
+	if fs.syncer != nil {
+		return fs.syncer.Sync()
+	}
+	return nil
+}
+
+// syncMeta flushes the device after a metadata write (directory blocks,
+// indirect pointers, zeroed allocations), keeping metadata synchronous
+// the way FFS does even when file data is allowed to sit in a volatile
+// device cache until COMMIT. Same barrier as Sync; the name marks the
+// call sites as mandatory, not client-driven.
+func (fs *FFS) syncMeta() error { return fs.Sync() }
+
 // ---- allocation ----
 
+// markUsed/markFree/isUsed mutate the allocator bitmap; callers hold
+// allocMu (or own the filesystem exclusively, as New and Load do).
 func (fs *FFS) markUsed(bn uint32) { fs.freeBitmap[bn/64] |= 1 << (bn % 64) }
 func (fs *FFS) markFree(bn uint32) { fs.freeBitmap[bn/64] &^= 1 << (bn % 64) }
 func (fs *FFS) isUsed(bn uint32) bool {
@@ -124,13 +179,18 @@ func (fs *FFS) isUsed(bn uint32) bool {
 }
 
 // allocBlock finds a free block next-fit from the rotor, charging it to
-// ip's block count. Caller holds fs.mu.
+// ip's block count. The caller holds ip's exclusive lock; the bitmap is
+// touched under allocMu, and the zeroing write happens outside it (the
+// block already belongs to ip alone).
 func (fs *FFS) allocBlock(ip *inode) (uint32, error) {
+	fs.allocMu.Lock()
 	if fs.freeBlocks == 0 {
+		fs.allocMu.Unlock()
 		return 0, vfs.ErrNoSpace
 	}
 	nb := fs.dev.NumBlocks()
 	bn := fs.rotor
+	found := false
 	for i := uint32(0); i < nb; i++ {
 		if bn >= nb {
 			bn = 1
@@ -139,94 +199,127 @@ func (fs *FFS) allocBlock(ip *inode) (uint32, error) {
 			fs.markUsed(bn)
 			fs.freeBlocks--
 			fs.rotor = bn + 1
-			ip.nblocks++
-			// Freshly allocated blocks must read as zeros even if the
-			// device slot held stale data.
-			if err := fs.dev.WriteBlock(bn, nil); err != nil {
-				return 0, err
-			}
-			return bn, nil
+			found = true
+			break
 		}
 		bn++
 	}
-	return 0, vfs.ErrNoSpace
+	fs.allocMu.Unlock()
+	if !found {
+		return 0, vfs.ErrNoSpace
+	}
+	ip.nblocks++
+	// Freshly allocated blocks must read as zeros even if the device
+	// slot held stale data.
+	if err := fs.dev.WriteBlock(bn, nil); err != nil {
+		return 0, err
+	}
+	return bn, nil
 }
 
+// freeBlock returns bn to the allocator. The caller holds ip's
+// exclusive lock.
 func (fs *FFS) freeBlock(ip *inode, bn uint32) {
+	fs.allocMu.Lock()
 	fs.markFree(bn)
 	fs.freeBlocks++
+	fs.allocMu.Unlock()
 	if ip.nblocks > 0 {
 		ip.nblocks--
 	}
 }
 
-// allocInode creates a new in-core inode with a fresh generation.
-// Caller holds fs.mu (or is the constructor).
-func (fs *FFS) allocInode(t vfs.FileType, mode, uid, gid uint32) *inode {
+// allocInode creates a new in-core inode with a fresh generation. The
+// new inode is private to the caller until a directory entry makes it
+// visible.
+func (fs *FFS) allocInode(t vfs.FileType, mode, uid, gid uint32) (*inode, error) {
+	n := fs.now()
+	fs.metaMu.Lock()
+	if uint64(len(fs.inodes)) >= fs.maxInodes {
+		fs.metaMu.Unlock()
+		return nil, vfs.ErrNoSpace
+	}
 	ino := fs.nextIno
 	fs.nextIno++
 	gen := fs.gens[ino] + 1
 	fs.gens[ino] = gen
-	n := fs.now()
 	ip := &inode{
 		ino: ino, gen: gen, ftype: t, mode: mode & 0o7777,
 		nlink: 1, uid: uid, gid: gid,
 		atime: n, mtime: n, ctime: n,
 	}
 	fs.inodes[ino] = ip
-	return ip
+	fs.metaMu.Unlock()
+	return ip, nil
 }
 
-// getInode resolves a handle, checking the generation number.
-// Caller holds fs.mu (read or write).
+// getInode resolves a handle to its live in-core inode, checking the
+// generation number. The inode is not locked; the ino, gen and ftype
+// fields are immutable, everything else requires the inode's lock.
 func (fs *FFS) getInode(h vfs.Handle) (*inode, error) {
+	fs.metaMu.RLock()
 	ip, ok := fs.inodes[h.Ino]
-	if !ok {
-		return nil, vfs.ErrStale
-	}
-	if ip.gen != h.Gen {
+	fs.metaMu.RUnlock()
+	if !ok || ip.gen != h.Gen {
 		return nil, vfs.ErrStale
 	}
 	return ip, nil
 }
 
-// dropInode frees an inode whose link count reached zero.
+// dropInode frees an inode whose link count reached zero. The caller
+// holds the inode's exclusive lock, or the inode is still private
+// (creation rollback). Waiters queued on the inode's lock observe dead
+// and answer ErrStale.
 func (fs *FFS) dropInode(ip *inode) error {
-	if err := fs.freeAllBlocks(ip); err != nil {
-		return err
+	ip.dead = true
+	err := fs.freeAllBlocks(ip)
+	fs.metaMu.Lock()
+	if cur, ok := fs.inodes[ip.ino]; ok && cur == ip {
+		delete(fs.inodes, ip.ino)
 	}
-	delete(fs.inodes, ip.ino)
-	return nil
+	fs.metaMu.Unlock()
+	return err
 }
 
 // ---- vfs.FS implementation ----
 
 // Root returns the root directory handle.
 func (fs *FFS) Root() vfs.Handle {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return vfs.Handle{Ino: 1, Gen: fs.inodes[1].gen}
+	fs.metaMu.RLock()
+	gen := fs.inodes[1].gen
+	fs.metaMu.RUnlock()
+	return vfs.Handle{Ino: 1, Gen: gen}
 }
 
 // GetAttr implements vfs.FS.
 func (fs *FFS) GetAttr(h vfs.Handle) (vfs.Attr, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	ip, err := fs.getInode(h)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	unlock, err := fs.rlockInode(ip)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	defer unlock()
 	return ip.attr(), nil
 }
 
 // SetAttr implements vfs.FS.
 func (fs *FFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	ip, err := fs.getInode(h)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	unlock, err := fs.wlockInode(ip)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	defer unlock()
 	if s.Mode != nil {
 		ip.mode = *s.Mode & 0o7777
 	}
@@ -244,6 +337,9 @@ func (fs *FFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
 			return vfs.Attr{}, err
 		}
 		ip.mtime = fs.now()
+		if err := fs.syncMeta(); err != nil {
+			return vfs.Attr{}, err
+		}
 	}
 	if s.Atime != nil {
 		ip.atime = *s.Atime
@@ -257,8 +353,8 @@ func (fs *FFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
 
 // Read implements vfs.FS.
 func (fs *FFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	ip, err := fs.getInode(h)
 	if err != nil {
 		return nil, false, err
@@ -266,9 +362,17 @@ func (fs *FFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, error
 	if ip.ftype == vfs.TypeDir {
 		return nil, false, vfs.ErrIsDir
 	}
+	unlock, err := fs.rlockInode(ip)
+	if err != nil {
+		return nil, false, err
+	}
+	defer unlock()
 	return fs.readLocked(ip, off, count)
 }
 
+// readLocked reads file content; the caller holds ip's lock (shared
+// suffices: block pointers and content only change under the exclusive
+// lock).
 func (fs *FFS) readLocked(ip *inode, off uint64, count uint32) ([]byte, bool, error) {
 	if off >= ip.size {
 		return nil, true, nil
@@ -310,8 +414,8 @@ func (fs *FFS) readLocked(ip *inode, off uint64, count uint32) ([]byte, bool, er
 
 // Write implements vfs.FS.
 func (fs *FFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
 	ip, err := fs.getInode(h)
 	if err != nil {
 		return vfs.Attr{}, err
@@ -319,18 +423,25 @@ func (fs *FFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
 	if ip.ftype == vfs.TypeDir {
 		return vfs.Attr{}, vfs.ErrIsDir
 	}
+	unlock, err := fs.wlockInode(ip)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	defer unlock()
 	if err := fs.writeLocked(ip, off, data); err != nil {
 		return vfs.Attr{}, err
 	}
 	return ip.attr(), nil
 }
 
+// writeLocked writes data at off; the caller holds ip's exclusive lock.
 func (fs *FFS) writeLocked(ip *inode, off uint64, data []byte) error {
 	bs := uint64(fs.blockSize)
 	end := off + uint64(len(data))
 	if end/bs >= fs.maxFileBlocks() {
 		return vfs.ErrFBig
 	}
+	blocksBefore := ip.nblocks
 	buf := fs.getBlockBuf()
 	defer fs.putBlockBuf(buf)
 	for done := uint64(0); done < uint64(len(data)); {
@@ -366,21 +477,32 @@ func (fs *FFS) writeLocked(ip *inode, off uint64, data []byte) error {
 	n := fs.now()
 	ip.mtime = n
 	ip.ctime = n
+	if ip.nblocks != blocksBefore {
+		// The write allocated blocks: indirect pointers and zeroed slots
+		// reached the device. Flush them so a power cut cannot leave
+		// metadata pointing at unwritten blocks.
+		return fs.syncMeta()
+	}
 	return nil
 }
 
 // StatFS implements vfs.FS.
 func (fs *FFS) StatFS() (vfs.StatFS, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	nb := uint64(fs.dev.NumBlocks())
+	fs.quiesce.RLock()
+	defer fs.quiesce.RUnlock()
+	fs.allocMu.Lock()
 	free := uint64(fs.freeBlocks)
+	fs.allocMu.Unlock()
+	fs.metaMu.RLock()
+	used := uint64(len(fs.inodes))
+	fs.metaMu.RUnlock()
+	nb := uint64(fs.dev.NumBlocks())
 	return vfs.StatFS{
 		BlockSize:   uint32(fs.blockSize),
 		TotalBlocks: nb,
 		FreeBlocks:  free,
 		AvailBlocks: free,
 		TotalInodes: fs.maxInodes,
-		FreeInodes:  fs.maxInodes - uint64(len(fs.inodes)),
+		FreeInodes:  fs.maxInodes - used,
 	}, nil
 }

@@ -12,6 +12,10 @@ const nDirect = 12
 
 // inode is the in-core inode. Block pointer 0 means "unallocated" (block
 // 0 is reserved for the superblock), so sparse files read as zeros.
+//
+// ino, gen and ftype are immutable after creation and may be read
+// without the inode's lock; every other field is guarded by the inode's
+// entry in the filesystem's lock table.
 type inode struct {
 	ino   uint64
 	gen   uint32
@@ -39,6 +43,11 @@ type inode struct {
 
 	// nblocks counts allocated data+indirect blocks, for fattr and df.
 	nblocks uint64
+
+	// dead marks an inode freed by dropInode. Set under the inode's
+	// exclusive lock, so an operation that waited out a concurrent
+	// remove observes it on acquisition and answers ErrStale.
+	dead bool
 }
 
 func (ip *inode) attr() vfs.Attr {
@@ -88,8 +97,9 @@ func (fs *FFS) writePtr(bn uint32, idx uint64, val uint32) error {
 }
 
 // bmap resolves logical block lbn of ip to a device block. When alloc is
-// true, missing blocks (including indirect blocks) are allocated.
-// Returns 0 for holes when alloc is false.
+// true, missing blocks (including indirect blocks) are allocated and the
+// caller must hold ip's exclusive lock; read-only resolution needs the
+// shared lock. Returns 0 for holes when alloc is false.
 func (fs *FFS) bmap(ip *inode, lbn uint64, alloc bool) (uint32, error) {
 	p := fs.ptrsPerBlock()
 	switch {
@@ -179,7 +189,8 @@ func (fs *FFS) bmap(ip *inode, lbn uint64, alloc bool) (uint32, error) {
 	return 0, vfs.ErrFBig
 }
 
-// truncateTo frees blocks beyond newSize and updates ip.size.
+// truncateTo frees blocks beyond newSize and updates ip.size. The
+// caller holds ip's exclusive lock.
 func (fs *FFS) truncateTo(ip *inode, newSize uint64) error {
 	if newSize >= ip.size {
 		ip.size = newSize

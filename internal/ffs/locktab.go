@@ -1,0 +1,224 @@
+package ffs
+
+import (
+	"sort"
+	"sync"
+
+	"discfs/internal/vfs"
+)
+
+// The concurrency model of the filesystem, replacing the original single
+// RWMutex over everything:
+//
+//   - Every inode is guarded by its own RWMutex, held in read mode by
+//     data reads (READ, GETATTR, LOOKUP, READDIR) and in write mode by
+//     mutations, so writes to different files never contend and lookups
+//     stay read-mostly. The locks live in a sharded, refcounted lock
+//     table keyed by inode number rather than in the inode itself, so
+//     lock identity survives the resolve-then-lock window and entries
+//     for idle inodes cost nothing.
+//   - The inode map, the block allocator and the fsck/dump quiescence
+//     gate each have their own small lock (metaMu, allocMu, quiesce).
+//   - Multi-inode operations follow one global lock order, so they are
+//     deadlock-free by construction (see below).
+//
+// Lock ordering discipline
+//
+//  1. quiesce (shared) is taken first by every operation; Check and
+//     Dump take it exclusively and therefore see a frozen filesystem.
+//  2. renameMu serializes all renames. It also stabilizes directory
+//     parent pointers, so rename's ancestry walk (the "mv a a/b" check)
+//     runs against a frozen directory topology.
+//  3. Parent directory locks are acquired before child locks. The two
+//     parents of a cross-directory rename are ordered by inode number.
+//  4. Child locks within one operation (rename's source and its
+//     replaced target) are ordered directories-before-files, then by
+//     inode number.
+//
+// Why this cannot deadlock: lock-order cycles need two operations each
+// holding something the other wants. Single-inode operations (read,
+// write, getattr) hold nothing else. Parent→child acquisitions follow
+// the directory tree, which is acyclic — and an inode listed in a
+// locked directory cannot be freed (its entry pins nlink ≥ 1), so
+// child acquisition always terminates. The remaining shape — two
+// multi-lock operations interleaving children — is rename-vs-rename,
+// excluded by renameMu, or rename-vs-remove/rmdir/link, where rule 4
+// orders the directory child (the only lock a second operation could
+// hold as a parent) first, so the rename never waits on a directory
+// while holding a lock the directory's holder wants. metaMu and
+// allocMu are leaves: nothing is acquired under them.
+
+// ltShards is the shard count of the lock table; power of two.
+const (
+	ltShardBits = 5
+	ltShards    = 1 << ltShardBits
+)
+
+// lockTable is a sharded table of per-inode locks. Entries are created
+// on first acquisition and reference-counted away on release, so the
+// table tracks only inodes with an active or pending holder.
+type lockTable struct {
+	shards [ltShards]lockShard
+}
+
+type lockShard struct {
+	mu sync.Mutex
+	m  map[uint64]*inodeLock
+}
+
+// inodeLock is one table entry. refs counts holders and waiters; the
+// entry leaves the table when it reaches zero.
+type inodeLock struct {
+	mu   sync.RWMutex
+	refs int
+}
+
+func (t *lockTable) init() {
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*inodeLock)
+	}
+}
+
+func (t *lockTable) shard(ino uint64) *lockShard {
+	// Fibonacci hashing spreads sequential inode numbers across shards.
+	return &t.shards[(ino*0x9e3779b97f4a7c15)>>(64-ltShardBits)]
+}
+
+// pin returns the lock entry for ino, creating it if needed and
+// incrementing its reference count. The caller must eventually unpin.
+func (t *lockTable) pin(ino uint64) *inodeLock {
+	s := t.shard(ino)
+	s.mu.Lock()
+	l := s.m[ino]
+	if l == nil {
+		l = &inodeLock{}
+		s.m[ino] = l
+	}
+	l.refs++
+	s.mu.Unlock()
+	return l
+}
+
+// unpin drops a reference taken by pin, removing the entry at zero.
+func (t *lockTable) unpin(ino uint64, l *inodeLock) {
+	s := t.shard(ino)
+	s.mu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(s.m, ino)
+	}
+	s.mu.Unlock()
+}
+
+// entries reports how many inodes currently have a lock entry (tests).
+func (t *lockTable) entries() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// ---- FFS locking helpers ----
+//
+// Each helper pins the lock entry, acquires it, and re-checks that the
+// inode is still live: an inode freed while we waited (its last link
+// removed by a concurrent operation) answers ErrStale, exactly as a
+// stale NFS handle does.
+
+// rlockInode acquires ip's lock shared. The returned func releases it.
+func (fs *FFS) rlockInode(ip *inode) (func(), error) {
+	l := fs.locks.pin(ip.ino)
+	l.mu.RLock()
+	if ip.dead {
+		l.mu.RUnlock()
+		fs.locks.unpin(ip.ino, l)
+		return nil, vfs.ErrStale
+	}
+	return func() {
+		l.mu.RUnlock()
+		fs.locks.unpin(ip.ino, l)
+	}, nil
+}
+
+// wlockInode acquires ip's lock exclusively.
+func (fs *FFS) wlockInode(ip *inode) (func(), error) {
+	l := fs.locks.pin(ip.ino)
+	l.mu.Lock()
+	if ip.dead {
+		l.mu.Unlock()
+		fs.locks.unpin(ip.ino, l)
+		return nil, vfs.ErrStale
+	}
+	return func() {
+		l.mu.Unlock()
+		fs.locks.unpin(ip.ino, l)
+	}, nil
+}
+
+// lockChildren exclusively locks the given inodes in the canonical
+// child order — directories before files, ascending inode number within
+// each class (rule 4 of the lock discipline). Duplicates are locked
+// once. The caller holds the parent directory locks.
+func (fs *FFS) lockChildren(ips ...*inode) (func(), error) {
+	uniq := ips[:0]
+	for _, ip := range ips {
+		dup := false
+		for _, u := range uniq {
+			if u == ip {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, ip)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		di, dj := uniq[i].ftype == vfs.TypeDir, uniq[j].ftype == vfs.TypeDir
+		if di != dj {
+			return di
+		}
+		return uniq[i].ino < uniq[j].ino
+	})
+	unlocks := make([]func(), 0, len(uniq))
+	release := func() {
+		for i := len(unlocks) - 1; i >= 0; i-- {
+			unlocks[i]()
+		}
+	}
+	for _, ip := range uniq {
+		u, err := fs.wlockInode(ip)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		unlocks = append(unlocks, u)
+	}
+	return release, nil
+}
+
+// lockDirPair exclusively locks one or two distinct directories in
+// ascending inode order (rule 3).
+func (fs *FFS) lockDirPair(a, b *inode) (func(), error) {
+	if a == b {
+		return fs.wlockInode(a)
+	}
+	first, second := a, b
+	if second.ino < first.ino {
+		first, second = second, first
+	}
+	u1, err := fs.wlockInode(first)
+	if err != nil {
+		return nil, err
+	}
+	u2, err := fs.wlockInode(second)
+	if err != nil {
+		u1()
+		return nil, err
+	}
+	return func() { u2(); u1() }, nil
+}

@@ -207,6 +207,30 @@ func (c *Client) Write(ctx context.Context, h vfs.Handle, offset uint32, data []
 	return a, err
 }
 
+// Commit issues COMMIT (this server's NFSv3-style extension): the
+// durability barrier for unstable WRITEs. It returns the file's
+// post-commit attributes and the server's boot verifier; a verifier
+// that changed between two COMMITs means the server restarted and may
+// have lost writes acknowledged-but-uncommitted in between, which the
+// caller must replay.
+func (c *Client) Commit(ctx context.Context, h vfs.Handle) (vfs.Attr, uint64, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(h)
+	e.OpaqueFixed(fh[:])
+	e.Uint32(0) // offset: whole file
+	e.Uint32(0) // count: whole file
+	d, err := c.call(ctx, ProcCommit, e.Bytes())
+	if err != nil {
+		return vfs.Attr{}, 0, err
+	}
+	a, _, err := decodeAttr(d, h)
+	if err != nil {
+		return vfs.Attr{}, 0, err
+	}
+	ver := d.Uint64()
+	return a, ver, d.Err()
+}
+
 // Create issues CREATE.
 func (c *Client) Create(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
 	e := xdr.NewEncoder()

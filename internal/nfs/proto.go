@@ -45,6 +45,11 @@ const (
 	ProcRmdir      = 15
 	ProcReaddir    = 16
 	ProcStatfs     = 17
+	// ProcCommit is this server's extension beyond RFC 1094: the NFSv3
+	// COMMIT durability barrier (unstable WRITEs are flushed to stable
+	// storage; the reply carries the boot verifier so clients detect a
+	// restart that lost buffered writes and replay them).
+	ProcCommit = 18
 )
 
 // MOUNT procedure numbers.

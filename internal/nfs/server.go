@@ -106,6 +106,8 @@ func (s *Server) dispatch(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, r
 		fn = h.readdir
 	case ProcStatfs:
 		fn = h.statfs
+	case ProcCommit:
+		fn = h.commit
 	case ProcRoot, ProcWritecache:
 		return sunrpc.Success, nil // obsolete no-ops per RFC 1094
 	default:
@@ -452,6 +454,31 @@ func (h *procHandler) readdir() {
 	}
 	h.res.Bool(false)          // end of entry list
 	h.res.Bool(i >= len(ents)) // eof
+}
+
+// commit handles ProcCommit: (fhandle, offset, count) → (status, fattr,
+// verifier). offset/count are accepted for NFSv3 fidelity but the whole
+// file is committed, as real servers do.
+func (h *procHandler) commit() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	_ = h.args.Uint32() // offset
+	_ = h.args.Uint32() // count
+	if h.args.Err() != nil {
+		h.garbage = true
+		return
+	}
+	ver, attr, err := CommitFS(h.fs, vh)
+	if err != nil {
+		h.res.Uint32(uint32(MapError(err)))
+		return
+	}
+	h.res.Uint32(uint32(OK))
+	fa := FAttrFromVFS(attr, h.blockSize())
+	fa.Encode(h.res)
+	h.res.Uint64(ver)
 }
 
 func (h *procHandler) statfs() {

@@ -1,0 +1,712 @@
+package nfs
+
+// Server-side write gathering: the NFSv3 unstable-write model bolted
+// onto this server's v2-era protocol. WRITE buffers into a per-file
+// queue and returns immediately; a pool of background committers
+// coalesces adjacent blocks into large backing-store writes; the COMMIT
+// procedure (ProcCommit, an extension slot beyond RFC 1094) is the
+// durability barrier that drains the file's queue and flushes the
+// device's volatile cache. A boot verifier returned by every COMMIT
+// lets clients detect a server restart that lost buffered writes and
+// replay them — the NFSv3 writeverf3 mechanism.
+//
+// The gather layer sits directly above the backing store (below the
+// per-principal policy views), so buffered bytes are shared server
+// state: any reader, on any connection, sees them merged over the
+// backing data immediately.
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"discfs/internal/vfs"
+)
+
+// Committer is an optional vfs.FS capability: the COMMIT durability
+// barrier. Commit drains any buffered writes for h to stable storage
+// and returns the server's boot verifier with the file's post-commit
+// attributes.
+type Committer interface {
+	Commit(h vfs.Handle) (uint64, vfs.Attr, error)
+}
+
+// CommitFS commits h on fs: through its Committer capability when
+// present, and as a plain sync-plus-getattr barrier otherwise (a server
+// without write-behind holds nothing volatile, so its verifier is the
+// stable zero value).
+func CommitFS(fs vfs.FS, h vfs.Handle) (uint64, vfs.Attr, error) {
+	if c, ok := fs.(Committer); ok {
+		return c.Commit(h)
+	}
+	if err := vfs.SyncFS(fs); err != nil {
+		return 0, vfs.Attr{}, err
+	}
+	a, err := fs.GetAttr(h)
+	return 0, a, err
+}
+
+// GatherConfig parameterizes NewGatherFS. The zero value means
+// "enabled with defaults".
+type GatherConfig struct {
+	// QueueBlocks bounds the buffered dirty data across all files, in
+	// MaxData-sized blocks; writers are throttled beyond it. Default
+	// 1024 (8 MiB).
+	QueueBlocks int
+	// Committers is the background committer pool size. Default 2.
+	Committers int
+	// MaxRunBlocks caps one coalesced backing write, in blocks.
+	// Default 64 (512 KiB).
+	MaxRunBlocks int
+	// Verifier overrides the boot verifier; 0 draws a random one.
+	Verifier uint64
+}
+
+func (c GatherConfig) normalized() GatherConfig {
+	if c.QueueBlocks <= 0 {
+		c.QueueBlocks = 1024
+	}
+	if c.Committers <= 0 {
+		c.Committers = 2
+	}
+	if c.MaxRunBlocks <= 0 {
+		c.MaxRunBlocks = 64
+	}
+	if c.Verifier == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			c.Verifier = binary.BigEndian.Uint64(b[:])
+		} else {
+			c.Verifier = uint64(time.Now().UnixNano())
+		}
+		if c.Verifier == 0 {
+			c.Verifier = 1
+		}
+	}
+	return c
+}
+
+// GatherStats is a snapshot of the gather layer's work.
+type GatherStats struct {
+	// QueueDepth is the buffered dirty data right now, in bytes.
+	QueueDepth int
+	// WritesGathered counts WRITE operations absorbed into the queue.
+	WritesGathered uint64
+	// BackendWrites counts coalesced writes issued to the backing
+	// store; WritesGathered/BackendWrites is the gathering ratio.
+	BackendWrites uint64
+	// Commits counts COMMIT barriers served.
+	Commits uint64
+}
+
+// extent is one contiguous run of buffered bytes. Extents in a file's
+// queue are sorted, disjoint and non-adjacent (insert merges); their
+// data slices are never mutated in place after publication, so readers
+// may snapshot them outside the lock.
+type extent struct {
+	off  uint64
+	data []byte
+}
+
+func (e extent) end() uint64 { return e.off + uint64(len(e.data)) }
+
+// gfile is the pending state of one file.
+type gfile struct {
+	exts      []extent
+	pendEnd   uint64    // max buffered end offset
+	pendMtime time.Time // last buffered write
+	attr      vfs.Attr  // last attributes observed from the backing store
+	flushing  bool      // a committer (or commit barrier) owns the flush
+	werr      error     // first deferred backing write error since the last barrier
+}
+
+// GatherFS wraps a backing vfs.FS with server-side write-behind. It
+// implements vfs.FS, Committer and vfs.Syncer.
+type GatherFS struct {
+	backing vfs.FS
+	cfg     GatherConfig
+
+	verifier atomic.Uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	files   map[vfs.Handle]*gfile
+	dirty   int // buffered bytes across all files
+	workers int
+	stopped bool
+
+	gathered      atomic.Uint64
+	backendWrites atomic.Uint64
+	commits       atomic.Uint64
+}
+
+var (
+	_ vfs.FS     = (*GatherFS)(nil)
+	_ Committer  = (*GatherFS)(nil)
+	_ vfs.Syncer = (*GatherFS)(nil)
+)
+
+// NewGatherFS stacks the write-gathering layer over backing.
+func NewGatherFS(backing vfs.FS, cfg GatherConfig) *GatherFS {
+	g := &GatherFS{
+		backing: backing,
+		cfg:     cfg.normalized(),
+		files:   make(map[vfs.Handle]*gfile),
+	}
+	g.verifier.Store(g.cfg.Verifier)
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Backing returns the wrapped filesystem.
+func (g *GatherFS) Backing() vfs.FS { return g.backing }
+
+// Verifier returns the current boot verifier.
+func (g *GatherFS) Verifier() uint64 { return g.verifier.Load() }
+
+// Stats returns a snapshot of the layer's counters.
+func (g *GatherFS) Stats() GatherStats {
+	g.mu.Lock()
+	depth := g.dirty
+	g.mu.Unlock()
+	return GatherStats{
+		QueueDepth:     depth,
+		WritesGathered: g.gathered.Load(),
+		BackendWrites:  g.backendWrites.Load(),
+		Commits:        g.commits.Load(),
+	}
+}
+
+// Reboot simulates (or administratively forces) the post-restart state:
+// a fresh boot verifier and, when dropPending is true, the loss of
+// every buffered-but-uncommitted write. Clients detect the verifier
+// change at their next COMMIT and replay uncommitted data, exactly as
+// NFSv3 clients do after a server crash.
+func (g *GatherFS) Reboot(dropPending bool) {
+	var b [8]byte
+	v := uint64(time.Now().UnixNano())
+	if _, err := rand.Read(b[:]); err == nil {
+		v = binary.BigEndian.Uint64(b[:])
+	}
+	if v == 0 {
+		v = 1
+	}
+	g.mu.Lock()
+	g.verifier.Store(v)
+	if dropPending {
+		for h, f := range g.files {
+			g.dirty -= f.pendingBytes()
+			f.exts = nil
+			f.werr = nil
+			if !f.flushing {
+				delete(g.files, h)
+			}
+		}
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+func (f *gfile) pendingBytes() int {
+	n := 0
+	for _, e := range f.exts {
+		n += len(e.data)
+	}
+	return n
+}
+
+// ---- buffering ----
+
+// insert merges [off, off+len(data)) into f's extent list, newest data
+// winning on overlap, and returns the change in buffered bytes. Caller
+// holds g.mu. Existing extent data is never mutated in place — overlaps
+// build a fresh slice — so concurrent readers holding snapshots of the
+// old slices stay consistent.
+func (f *gfile) insert(off uint64, data []byte) int {
+	newEnd := off + uint64(len(data))
+	// First extent whose end reaches our start, i.e. could merge.
+	i := sort.Search(len(f.exts), func(k int) bool { return f.exts[k].end() >= off })
+	// Last extent (exclusive) whose start is within our end.
+	j := i
+	for j < len(f.exts) && f.exts[j].off <= newEnd {
+		j++
+	}
+	delta := len(data)
+	if i == j {
+		// No overlap or adjacency: splice in a private copy.
+		e := extent{off: off, data: append([]byte(nil), data...)}
+		f.exts = append(f.exts, extent{})
+		copy(f.exts[i+1:], f.exts[i:])
+		f.exts[i] = e
+	} else {
+		start := off
+		if f.exts[i].off < start {
+			start = f.exts[i].off
+		}
+		end := newEnd
+		if e := f.exts[j-1].end(); e > end {
+			end = e
+		}
+		merged := make([]byte, end-start)
+		for _, e := range f.exts[i:j] {
+			delta -= len(e.data)
+			copy(merged[e.off-start:], e.data)
+		}
+		copy(merged[off-start:], data)
+		delta += len(merged) - len(data)
+		f.exts[i] = extent{off: start, data: merged}
+		f.exts = append(f.exts[:i+1], f.exts[j:]...)
+	}
+	if newEnd > f.pendEnd {
+		f.pendEnd = newEnd
+	}
+	return delta
+}
+
+// overlayAttr rewrites a to reflect buffered state. Caller holds g.mu.
+func (f *gfile) overlayAttr(a vfs.Attr) vfs.Attr {
+	if f.pendEnd > a.Size {
+		a.Size = f.pendEnd
+	}
+	if f.pendMtime.After(a.Mtime) {
+		a.Mtime = f.pendMtime
+		a.Ctime = f.pendMtime
+	}
+	return a
+}
+
+// Write implements vfs.FS: an unstable write. The data is buffered and
+// acknowledged immediately; it reaches the backing store through the
+// committer pool and becomes durable at the next COMMIT.
+func (g *GatherFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
+	if len(data) == 0 {
+		return g.GetAttr(h)
+	}
+	g.mu.Lock()
+	f := g.files[h]
+	if f == nil {
+		// First write to this handle: validate it synchronously so WRITE
+		// to a directory or a stale handle fails now, not at COMMIT.
+		g.mu.Unlock()
+		a, err := g.backing.GetAttr(h)
+		if err != nil {
+			return vfs.Attr{}, err
+		}
+		if a.Type == vfs.TypeDir {
+			return vfs.Attr{}, vfs.ErrIsDir
+		}
+		if a.Type != vfs.TypeRegular {
+			// Symlinks and exotica skip the gather path.
+			return g.backing.Write(h, off, data)
+		}
+		g.mu.Lock()
+		if f = g.files[h]; f == nil {
+			f = &gfile{attr: a}
+			g.files[h] = f
+		}
+	}
+	g.dirty += f.insert(off, data)
+	f.pendMtime = time.Now()
+	attr := f.overlayAttr(f.attr)
+	g.gathered.Add(1)
+	g.ensureWorkersLocked()
+	g.cond.Broadcast()
+	// Throttle once the queue bound is exceeded; committers drain it.
+	for g.dirty > g.cfg.QueueBlocks*MaxData && !g.stopped {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+	return attr, nil
+}
+
+// ---- committing ----
+
+func (g *GatherFS) ensureWorkersLocked() {
+	for g.workers < g.cfg.Committers {
+		g.workers++
+		go g.committer()
+	}
+}
+
+// pickLocked returns a file whose buffered data should flush now. To
+// maximize gathering, background committers run only under queue
+// pressure (above half the bound) or when a file's head extent already
+// fills a whole backing run; otherwise data waits for its COMMIT
+// barrier, which drains inline — small writes therefore coalesce for
+// as long as NFS semantics allow.
+func (g *GatherFS) pickLocked() (vfs.Handle, *gfile) {
+	pressure := g.dirty > g.cfg.QueueBlocks*MaxData/2
+	maxRun := g.cfg.MaxRunBlocks * MaxData
+	for h, f := range g.files {
+		if f.flushing || len(f.exts) == 0 {
+			continue
+		}
+		if pressure || len(f.exts[0].data) >= maxRun {
+			return h, f
+		}
+	}
+	return vfs.Handle{}, nil
+}
+
+// flushOneLocked takes the first extent run (up to MaxRunBlocks) of f
+// and writes it to the backing store, releasing g.mu around the write.
+// Caller holds g.mu; f must not be flushing. The per-file flushing flag
+// keeps backing writes for one file ordered, which makes the merged
+// buffer's newest-wins semantics carry over to the backing store.
+func (g *GatherFS) flushOneLocked(h vfs.Handle, f *gfile) {
+	e := f.exts[0]
+	maxRun := g.cfg.MaxRunBlocks * MaxData
+	if len(e.data) > maxRun {
+		// Split: flush the head, leave the tail queued.
+		f.exts[0] = extent{off: e.off + uint64(maxRun), data: e.data[maxRun:]}
+		e = extent{off: e.off, data: e.data[:maxRun]}
+	} else {
+		f.exts = f.exts[1:]
+	}
+	g.dirty -= len(e.data)
+	f.flushing = true
+	g.mu.Unlock()
+
+	attr, err := g.backing.Write(h, e.off, e.data)
+	g.backendWrites.Add(1)
+
+	g.mu.Lock()
+	f.flushing = false
+	if err != nil {
+		// The buffered write is lost; the error surfaces at the next
+		// COMMIT barrier, as a deferred write error does on a client.
+		if f.werr == nil {
+			f.werr = err
+		}
+		if errors.Is(err, vfs.ErrStale) {
+			// The file is gone; its remaining extents can never land.
+			for _, e := range f.exts {
+				g.dirty -= len(e.data)
+			}
+			f.exts = nil
+		}
+	} else {
+		f.attr = attr
+	}
+	if len(f.exts) == 0 && f.werr == nil && g.files[h] == f {
+		delete(g.files, h)
+	}
+	g.cond.Broadcast()
+}
+
+// committer is one background flush worker.
+func (g *GatherFS) committer() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		h, f := g.pickLocked()
+		if f == nil {
+			if g.stopped && g.dirty == 0 {
+				g.workers--
+				return
+			}
+			g.cond.Wait()
+			continue
+		}
+		g.flushOneLocked(h, f)
+	}
+}
+
+// drainLocked flushes every buffered extent of f inline and waits out
+// concurrent flushes, then returns (and clears) the sticky error.
+// Caller holds g.mu.
+func (g *GatherFS) drainLocked(h vfs.Handle, f *gfile) error {
+	for {
+		if len(f.exts) > 0 && !f.flushing {
+			g.flushOneLocked(h, f)
+			continue
+		}
+		if f.flushing {
+			g.cond.Wait()
+			continue
+		}
+		break
+	}
+	err := f.werr
+	f.werr = nil
+	if g.files[h] == f && len(f.exts) == 0 {
+		delete(g.files, h)
+	}
+	return err
+}
+
+// Commit implements Committer: the durability barrier behind the COMMIT
+// procedure. It drains h's buffered writes to the backing store,
+// flushes the store's volatile device cache, and returns the boot
+// verifier with fresh attributes.
+func (g *GatherFS) Commit(h vfs.Handle) (uint64, vfs.Attr, error) {
+	g.commits.Add(1)
+	g.mu.Lock()
+	var err error
+	if f := g.files[h]; f != nil {
+		err = g.drainLocked(h, f)
+	}
+	g.mu.Unlock()
+	ver := g.verifier.Load()
+	if err != nil {
+		return ver, vfs.Attr{}, err
+	}
+	if err := vfs.SyncFS(g.backing); err != nil {
+		return ver, vfs.Attr{}, err
+	}
+	a, err := g.backing.GetAttr(h)
+	if err != nil {
+		return ver, vfs.Attr{}, err
+	}
+	return ver, a, nil
+}
+
+// Sync implements vfs.Syncer: a full barrier draining every file,
+// whether or not the committers would have flushed it yet. Stale-handle
+// errors are benign here — a file legitimately removed under buffered
+// writes reports staleness to ITS committer (COMMIT on the dead
+// handle), not to the whole-server barrier.
+func (g *GatherFS) Sync() error {
+	var first error
+	g.mu.Lock()
+	for {
+		var h vfs.Handle
+		var f *gfile
+		for hh, ff := range g.files {
+			if len(ff.exts) > 0 || ff.flushing || ff.werr != nil {
+				h, f = hh, ff
+				break
+			}
+		}
+		if f == nil {
+			break
+		}
+		if err := g.drainLocked(h, f); err != nil && first == nil && !errors.Is(err, vfs.ErrStale) {
+			first = err
+		}
+		if g.files[h] == f && len(f.exts) == 0 && !f.flushing {
+			delete(g.files, h) // drained clean; drop the tracking entry
+		}
+	}
+	g.mu.Unlock()
+	if err := vfs.SyncFS(g.backing); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Close drains all buffered writes and stops the committer pool.
+func (g *GatherFS) Close() error {
+	err := g.Sync()
+	g.mu.Lock()
+	g.stopped = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	return err
+}
+
+// ---- read-side merging ----
+
+// Read implements vfs.FS, overlaying buffered extents on the backing
+// data so every principal reads its (and everyone's) unstable writes.
+func (g *GatherFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, error) {
+	g.mu.Lock()
+	f := g.files[h]
+	var snap []extent
+	var pendEnd uint64
+	if f != nil {
+		end := off + uint64(count)
+		for _, e := range f.exts {
+			if e.end() > off && e.off < end {
+				snap = append(snap, e) // data slices are immutable once published
+			}
+		}
+		pendEnd = f.pendEnd
+	}
+	g.mu.Unlock()
+
+	data, eof, err := g.backing.Read(h, off, count)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(snap) == 0 {
+		if pendEnd > off+uint64(len(data)) {
+			eof = false // buffered bytes extend the file past this read
+			if pendEnd > off && uint64(len(data)) < uint64(count) {
+				// The read landed in a buffered-extension hole: zero-fill.
+				want := pendEnd - off
+				if want > uint64(count) {
+					want = uint64(count)
+				}
+				data = append(data, make([]byte, int(want)-len(data))...)
+			}
+		}
+		return data, eof, nil
+	}
+	// Result spans to the furthest of backing data and buffered bytes,
+	// capped at count.
+	resEnd := off + uint64(len(data))
+	for _, e := range snap {
+		if e.end() > resEnd {
+			resEnd = e.end()
+		}
+	}
+	if resEnd > off+uint64(count) {
+		resEnd = off + uint64(count)
+	}
+	out := make([]byte, resEnd-off)
+	copy(out, data)
+	for _, e := range snap {
+		lo, hi := e.off, e.end()
+		if lo < off {
+			lo = off
+		}
+		if hi > resEnd {
+			hi = resEnd
+		}
+		if hi > lo {
+			copy(out[lo-off:hi-off], e.data[lo-e.off:hi-e.off])
+		}
+	}
+	if pendEnd > resEnd {
+		eof = false // buffered bytes continue past this read
+	}
+	return out, eof, nil
+}
+
+// GetAttr implements vfs.FS with buffered size/mtime overlay.
+func (g *GatherFS) GetAttr(h vfs.Handle) (vfs.Attr, error) {
+	a, err := g.backing.GetAttr(h)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	g.mu.Lock()
+	if f := g.files[h]; f != nil {
+		a = f.overlayAttr(a)
+	}
+	g.mu.Unlock()
+	return a, nil
+}
+
+// SetAttr implements vfs.FS. Attribute changes — above all truncation —
+// order against buffered writes by draining them first.
+func (g *GatherFS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
+	g.mu.Lock()
+	var err error
+	if f := g.files[h]; f != nil {
+		err = g.drainLocked(h, f)
+	}
+	g.mu.Unlock()
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return g.backing.SetAttr(h, s)
+}
+
+// Lookup implements vfs.FS with buffered attribute overlay.
+func (g *GatherFS) Lookup(dir vfs.Handle, name string) (vfs.Attr, error) {
+	a, err := g.backing.Lookup(dir, name)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	g.mu.Lock()
+	if f := g.files[a.Handle]; f != nil {
+		a = f.overlayAttr(a)
+	}
+	g.mu.Unlock()
+	return a, nil
+}
+
+// ---- passthrough namespace operations ----
+
+// Root implements vfs.FS.
+func (g *GatherFS) Root() vfs.Handle { return g.backing.Root() }
+
+// Create implements vfs.FS.
+func (g *GatherFS) Create(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	return g.backing.Create(dir, name, mode)
+}
+
+// discardIfGone drops the buffered extents of h when the inode no
+// longer exists (removed with buffered writes outstanding): they can
+// never land, and flushing them would only manufacture stale-handle
+// noise. A surviving hard link keeps them.
+func (g *GatherFS) discardIfGone(h vfs.Handle) {
+	if _, err := g.backing.GetAttr(h); !errors.Is(err, vfs.ErrStale) {
+		return
+	}
+	g.mu.Lock()
+	if f := g.files[h]; f != nil {
+		g.dirty -= f.pendingBytes()
+		f.exts = nil
+		if !f.flushing {
+			delete(g.files, h)
+		}
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Remove implements vfs.FS; buffered writes to the removed file (if it
+// had no other links) are discarded.
+func (g *GatherFS) Remove(dir vfs.Handle, name string) error {
+	target, lerr := g.backing.Lookup(dir, name)
+	if err := g.backing.Remove(dir, name); err != nil {
+		return err
+	}
+	if lerr == nil {
+		g.discardIfGone(target.Handle)
+	}
+	return nil
+}
+
+// Rename implements vfs.FS. Buffered writes are keyed by handle, so
+// they follow the file across the rename untouched; a replaced target
+// has its buffered writes discarded with it.
+func (g *GatherFS) Rename(fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error {
+	dst, derr := g.backing.Lookup(toDir, toName)
+	if err := g.backing.Rename(fromDir, fromName, toDir, toName); err != nil {
+		return err
+	}
+	if derr == nil {
+		g.discardIfGone(dst.Handle)
+	}
+	return nil
+}
+
+// Mkdir implements vfs.FS.
+func (g *GatherFS) Mkdir(dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
+	return g.backing.Mkdir(dir, name, mode)
+}
+
+// Rmdir implements vfs.FS.
+func (g *GatherFS) Rmdir(dir vfs.Handle, name string) error {
+	return g.backing.Rmdir(dir, name)
+}
+
+// ReadDir implements vfs.FS.
+func (g *GatherFS) ReadDir(dir vfs.Handle) ([]vfs.DirEntry, error) {
+	return g.backing.ReadDir(dir)
+}
+
+// Symlink implements vfs.FS.
+func (g *GatherFS) Symlink(dir vfs.Handle, name, target string, mode uint32) (vfs.Attr, error) {
+	return g.backing.Symlink(dir, name, target, mode)
+}
+
+// Readlink implements vfs.FS.
+func (g *GatherFS) Readlink(h vfs.Handle) (string, error) {
+	return g.backing.Readlink(h)
+}
+
+// Link implements vfs.FS.
+func (g *GatherFS) Link(dir vfs.Handle, name string, target vfs.Handle) (vfs.Attr, error) {
+	return g.backing.Link(dir, name, target)
+}
+
+// StatFS implements vfs.FS.
+func (g *GatherFS) StatFS() (vfs.StatFS, error) { return g.backing.StatFS() }

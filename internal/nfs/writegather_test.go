@@ -1,0 +1,264 @@
+package nfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"discfs/internal/ffs"
+	"discfs/internal/vfs"
+)
+
+func gatherOver(t *testing.T, cfg GatherConfig) (*GatherFS, *ffs.FFS) {
+	t.Helper()
+	backing, err := ffs.New(ffs.Config{BlockSize: 1024, NumBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGatherFS(backing, cfg)
+	t.Cleanup(func() { g.Close() })
+	return g, backing
+}
+
+func mustCreate(t *testing.T, fs vfs.FS, name string) vfs.Handle {
+	t.Helper()
+	a, err := fs.Create(fs.Root(), name, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Handle
+}
+
+func TestGatherWriteCommitReachesBacking(t *testing.T) {
+	g, backing := gatherOver(t, GatherConfig{})
+	h := mustCreate(t, g, "f")
+	want := bytes.Repeat([]byte("abcdefgh"), 3000) // 24000 bytes, multi-extent
+	for off := 0; off < len(want); off += MaxData {
+		end := off + MaxData
+		if end > len(want) {
+			end = len(want)
+		}
+		if _, err := g.Write(h, uint64(off), want[off:end]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	ver, attr, err := g.Commit(h)
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if ver != g.Verifier() || ver == 0 {
+		t.Errorf("verifier = %d, want %d (non-zero)", ver, g.Verifier())
+	}
+	if attr.Size != uint64(len(want)) {
+		t.Errorf("committed size = %d, want %d", attr.Size, len(want))
+	}
+	got, _, err := backing.Read(h, 0, uint32(len(want)))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("backing content mismatch after commit (err=%v)", err)
+	}
+	st := g.Stats()
+	if st.WritesGathered == 0 || st.BackendWrites == 0 || st.Commits != 1 {
+		t.Errorf("stats = %+v, want gathered>0, backendWrites>0, commits=1", st)
+	}
+	if st.BackendWrites >= st.WritesGathered {
+		t.Errorf("no coalescing: %d backend writes for %d gathered", st.BackendWrites, st.WritesGathered)
+	}
+}
+
+func TestGatherNewestWinsOnOverlap(t *testing.T) {
+	g, _ := gatherOver(t, GatherConfig{})
+	h := mustCreate(t, g, "f")
+	if _, err := g.Write(h, 0, bytes.Repeat([]byte{'A'}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(h, 50, bytes.Repeat([]byte{'B'}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(h, 25, bytes.Repeat([]byte{'C'}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	want := append(bytes.Repeat([]byte{'A'}, 25), bytes.Repeat([]byte{'C'}, 10)...)
+	want = append(want, bytes.Repeat([]byte{'A'}, 15)...)
+	want = append(want, bytes.Repeat([]byte{'B'}, 100)...)
+	// Read through the gather layer (pre-commit) and after commit.
+	got, eof, err := g.Read(h, 0, 4096)
+	if err != nil || !eof {
+		t.Fatalf("gather read: err=%v eof=%v", err, eof)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("gather read = %q..., want %q...", got[:40], want[:40])
+	}
+	if _, _, err := g.Commit(h); err != nil {
+		t.Fatal(err)
+	}
+	got2, _, err := g.Read(h, 0, 4096)
+	if err != nil || !bytes.Equal(got2, want) {
+		t.Fatalf("post-commit read mismatch (err=%v)", err)
+	}
+}
+
+func TestGatherReadOverlayAndAttrBeforeFlush(t *testing.T) {
+	// A huge queue and no pressure: data sits buffered, so reads and
+	// attrs must be served from the overlay.
+	g, backing := gatherOver(t, GatherConfig{QueueBlocks: 1 << 16})
+	h := mustCreate(t, g, "f")
+	if _, err := backing.Write(h, 0, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(h, 4, []byte("WXYZ")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := g.Read(h, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123WXYZ89" {
+		t.Errorf("overlay read = %q, want 0123WXYZ89", got)
+	}
+	// Buffered extension past backing EOF: size overlays, hole zero-fills.
+	if _, err := g.Write(h, 20, []byte("TAIL")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.GetAttr(h)
+	if err != nil || a.Size != 24 {
+		t.Errorf("GetAttr size = %d (err=%v), want 24", a.Size, err)
+	}
+	got, eof, err := g.Read(h, 0, 64)
+	if err != nil || !eof {
+		t.Fatalf("read: err=%v eof=%v", err, eof)
+	}
+	want := append([]byte("0123WXYZ89"), make([]byte, 10)...)
+	want = append(want, []byte("TAIL")...)
+	if !bytes.Equal(got, want) {
+		t.Errorf("extended read = %q, want %q", got, want)
+	}
+}
+
+func TestGatherWriteToDirFailsSynchronously(t *testing.T) {
+	g, _ := gatherOver(t, GatherConfig{})
+	if _, err := g.Write(g.Root(), 0, []byte("x")); !errors.Is(err, vfs.ErrIsDir) {
+		t.Errorf("Write to dir = %v, want ErrIsDir", err)
+	}
+	var bogus vfs.Handle
+	bogus.Ino = 999
+	if _, err := g.Write(bogus, 0, []byte("x")); !errors.Is(err, vfs.ErrStale) {
+		t.Errorf("Write to bogus handle = %v, want ErrStale", err)
+	}
+}
+
+func TestGatherStaleAtCommit(t *testing.T) {
+	g, _ := gatherOver(t, GatherConfig{QueueBlocks: 1 << 16})
+	h := mustCreate(t, g, "victim")
+	if _, err := g.Write(h, 0, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Remove(g.Root(), "victim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Commit(h); !errors.Is(err, vfs.ErrStale) {
+		t.Errorf("Commit after remove = %v, want ErrStale", err)
+	}
+	// The barrier cleared the error; the layer stays usable.
+	h2 := mustCreate(t, g, "ok")
+	if _, err := g.Write(h2, 0, []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Commit(h2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherThrottleDrains(t *testing.T) {
+	// A tiny queue bound forces the throttle path on every write.
+	g, backing := gatherOver(t, GatherConfig{QueueBlocks: 1, Committers: 1})
+	h := mustCreate(t, g, "f")
+	want := bytes.Repeat([]byte("z"), 20*MaxData)
+	for off := 0; off < len(want); off += MaxData {
+		if _, err := g.Write(h, uint64(off), want[off:off+MaxData]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := g.Commit(h); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := backing.Read(h, 0, uint32(len(want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("backing read mismatch: %d of %d bytes", len(got), len(want))
+	}
+}
+
+func TestGatherSyncDrainsEverything(t *testing.T) {
+	g, backing := gatherOver(t, GatherConfig{QueueBlocks: 1 << 16})
+	var hs []vfs.Handle
+	for _, name := range []string{"a", "b", "c"} {
+		h := mustCreate(t, g, name)
+		if _, err := g.Write(h, 0, []byte(name+name+name)); err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hs {
+		name := []string{"a", "b", "c"}[i]
+		got, _, err := backing.Read(h, 0, 16)
+		if err != nil || string(got) != name+name+name {
+			t.Fatalf("file %s not drained: %q, %v", name, got, err)
+		}
+	}
+	if st := g.Stats(); st.QueueDepth != 0 {
+		t.Errorf("queue depth after Sync = %d", st.QueueDepth)
+	}
+}
+
+func TestGatherRebootChangesVerifierAndDropsPending(t *testing.T) {
+	g, backing := gatherOver(t, GatherConfig{QueueBlocks: 1 << 16})
+	h := mustCreate(t, g, "f")
+	if _, err := g.Write(h, 0, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	v1, _, err := g.Commit(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(h, 0, []byte("UNSTABLE!")); err != nil {
+		t.Fatal(err)
+	}
+	g.Reboot(true)
+	v2, _, err := g.Commit(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == v2 {
+		t.Error("verifier unchanged across reboot")
+	}
+	got, _, err := backing.Read(h, 0, 16)
+	if err != nil || string(got) != "committed" {
+		t.Errorf("backing after dropped pending = %q, %v; want committed", got, err)
+	}
+}
+
+func TestCommitFSFallbackStableServer(t *testing.T) {
+	backing, err := ffs.New(ffs.Config{BlockSize: 1024, NumBlocks: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mustCreate(t, backing, "f")
+	if _, err := backing.Write(h, 0, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	ver, attr, err := CommitFS(backing, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 0 {
+		t.Errorf("stable-server verifier = %d, want 0", ver)
+	}
+	if attr.Size != 6 {
+		t.Errorf("attr.Size = %d, want 6", attr.Size)
+	}
+}

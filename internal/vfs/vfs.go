@@ -113,6 +113,22 @@ type FS interface {
 	StatFS() (StatFS, error)
 }
 
+// Syncer is an optional FS capability: implementations whose storage
+// has a volatile write cache expose Sync as the durability barrier. The
+// NFS COMMIT operation reaches it through any stacked layers; data
+// written before a successful Sync survives a crash of the store.
+type Syncer interface {
+	Sync() error
+}
+
+// SyncFS flushes fs if it implements Syncer, and is a no-op otherwise.
+func SyncFS(fs FS) error {
+	if s, ok := fs.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
 // Filesystem errors; the NFS layer maps them onto NFSv2 status codes.
 var (
 	ErrNotExist    = errors.New("vfs: no such file or directory")

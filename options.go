@@ -59,6 +59,25 @@ func WithAudit(log *AuditLog) ServerOption {
 	return func(o *serverOptions) { o.cfg.Audit = log }
 }
 
+// WithServerWriteBehind enables server-side unstable writes (NFSv3
+// semantics on this server's protocol): WRITE buffers into a per-file
+// write-gathering queue and returns immediately, background committers
+// coalesce adjacent 8 KiB blocks into large backing-store writes, and
+// the COMMIT procedure — driven by the client's Sync/Close barrier — is
+// the durability point, with a boot verifier so clients detect a
+// restart that lost buffered writes and replay them.
+//
+// queueBlocks bounds the buffered dirty data in 8 KiB blocks (writers
+// throttle beyond it; 0 means 1024, i.e. 8 MiB). committers sizes the
+// background flush pool (0 means 2).
+func WithServerWriteBehind(queueBlocks, committers int) ServerOption {
+	return func(o *serverOptions) {
+		o.cfg.WriteBehind = true
+		o.cfg.WriteBehindQueue = queueBlocks
+		o.cfg.Committers = committers
+	}
+}
+
 // WithClock injects a clock for tests and benchmarks.
 func WithClock(now func() time.Time) ServerOption {
 	return func(o *serverOptions) { o.cfg.Now = now }
