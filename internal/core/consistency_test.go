@@ -11,8 +11,12 @@ import (
 	"errors"
 	"io"
 	"os"
+	"sync"
 	"testing"
 	"time"
+
+	"discfs/internal/ffs"
+	"discfs/internal/vfs"
 )
 
 // writeAndClose writes data to path through a cached File and closes it
@@ -175,5 +179,73 @@ func TestSyncClearsDeferredError(t *testing.T) {
 	// so Close is clean.
 	if err := f.Close(); err != nil {
 		t.Fatalf("Close after consumed barrier = %v", err)
+	}
+}
+
+// flakySyncFS wraps a backing store whose Sync fails a set number of
+// times — a device whose volatile-cache flush transiently errors.
+type flakySyncFS struct {
+	vfs.FS
+	mu    sync.Mutex
+	fails int
+	syncs int
+}
+
+func (f *flakySyncFS) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.fails > 0 {
+		f.fails--
+		return errors.New("injected device sync failure")
+	}
+	return vfs.SyncFS(f.FS)
+}
+
+func (f *flakySyncFS) syncCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// TestUncachedSyncRetriesCommitAfterFailure: on the uncached path a
+// failed COMMIT must leave the File re-armed, so a retried Sync issues
+// the barrier again instead of reporting durability it never got.
+func TestUncachedSyncRetriesCommitAfterFailure(t *testing.T) {
+	backing, err := ffs.New(ffs.Config{BlockSize: 4096, NumBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakySyncFS{FS: backing, fails: 1}
+	_, addr := testServer(t, ServerConfig{Backing: flaky, WriteBehind: true})
+	c := dialAsWith(t, addr, "test-admin", WithNoDataCache())
+
+	f, err := c.Open(context.Background(), "/durable.txt", os.O_CREATE|os.O_WRONLY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("must-survive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("Sync over failing device sync returned nil")
+	}
+	before := flaky.syncCount()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retried Sync = %v, want nil", err)
+	}
+	if after := flaky.syncCount(); after <= before {
+		t.Fatalf("retried Sync issued no COMMIT barrier (device syncs %d -> %d)", before, after)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+	a, err := backing.Lookup(backing.Root(), "durable.txt")
+	if err != nil {
+		t.Fatalf("backing lookup: %v", err)
+	}
+	got, _, err := backing.Read(a.Handle, 0, 64)
+	if err != nil || string(got) != "must-survive" {
+		t.Fatalf("backing content = %q, %v; want must-survive", got, err)
 	}
 }

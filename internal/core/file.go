@@ -348,6 +348,10 @@ func (f *File) commitUncached() error {
 		return nil
 	}
 	if _, _, err := f.c.nfs.Commit(f.ctx, f.h); err != nil {
+		// The barrier did not happen: re-arm so a retried Sync/Close
+		// issues the COMMIT again instead of reporting durability it
+		// never got.
+		f.wrote.Store(true)
 		return f.c.wireError(err)
 	}
 	return nil

@@ -21,6 +21,92 @@ import (
 	"discfs/internal/vfs"
 )
 
+// TestDeadlockRenameIntoOlderSubdirVsRmdir pins the parents-phase
+// inversion: a directory with a smaller inode number living UNDER a
+// newer directory (an old dir renamed beneath a new one). Pure inode
+// ordering of rename's two parents then locks the child directory
+// before its ancestor, while rmdir locks ancestor-then-child — a cycle
+// that wedged both operations (and, through the quiesce gate, the whole
+// filesystem) within seconds. Rule 3's ancestor-first ordering closes
+// it.
+func TestDeadlockRenameIntoOlderSubdirVsRmdir(t *testing.T) {
+	fs, err := New(Config{BlockSize: 1024, NumBlocks: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fs.Root()
+	oldA, err := fs.Mkdir(root, "old", 0o755) // allocated first: smaller ino
+	if err != nil {
+		t.Fatal(err)
+	}
+	pA, err := fs.Mkdir(root, "p", 0o755) // allocated later: larger ino
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldA.Handle.Ino >= pA.Handle.Ino {
+		t.Fatalf("test setup: ino(old)=%d not below ino(p)=%d", oldA.Handle.Ino, pA.Handle.Ino)
+	}
+	if err := fs.Rename(root, "old", pA.Handle, "old"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(pA.Handle, "f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A keeper entry makes every Rmdir fail ErrNotEmpty — after it has
+	// taken both locks, which is where the cycle lived.
+	if _, err := fs.Create(oldA.Handle, "keep", 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 4000
+	done := make(chan struct{})
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(2)
+		go func() { // renamer: bounce p/f into and out of p/old
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := fs.Rename(pA.Handle, "f", oldA.Handle, "f"); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+					errs <- fmt.Errorf("rename down: %v", err)
+					return
+				}
+				if err := fs.Rename(oldA.Handle, "f", pA.Handle, "f"); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+					errs <- fmt.Errorf("rename up: %v", err)
+					return
+				}
+			}
+		}()
+		go func() { // remover: rmdir always takes parent-then-child locks
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := fs.Rmdir(pA.Handle, "old"); !errors.Is(err, vfs.ErrNotEmpty) {
+					errs <- fmt.Errorf("rmdir: %v, want ErrNotEmpty", err)
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("deadlock: rename-vs-rmdir wedged after 60s\n%s", buf[:n])
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if es := fs.Check(); len(es) != 0 {
+		t.Fatalf("fsck after storm: %v", es[0])
+	}
+}
+
 func TestDeadlockAdversarialRenameCycles(t *testing.T) {
 	fs, err := New(Config{BlockSize: 1024, NumBlocks: 1 << 14})
 	if err != nil {

@@ -326,6 +326,15 @@ func (fs *FFS) Symlink(dirH vfs.Handle, name, target string, mode uint32) (vfs.A
 	})
 }
 
+// Destructive namespace operations (Remove, Rmdir, Rename) report a
+// metadata-sync failure with the mutation left applied, unlike the
+// creation paths, which roll back. Undoing an unlink would have to
+// resurrect inodes and blocks already returned to the allocator —
+// possibly re-taken by a concurrent operation — in the middle of an
+// error path; and NFS's non-idempotent-operation semantics already
+// require clients to tolerate a failed REMOVE/RENAME having taken
+// effect (the retry answers ErrNotExist, which clients treat as done).
+
 // Remove implements vfs.FS. Lock order: directory, then the (non-
 // directory) child.
 func (fs *FFS) Remove(dirH vfs.Handle, name string) error {
@@ -483,21 +492,13 @@ func (fs *FFS) Rename(fromDirH vfs.Handle, fromName string, toDirH vfs.Handle, t
 	if src == fromDir || src == toDir {
 		return vfs.ErrInval // self-referential entry; refuse rather than self-deadlock
 	}
-	// A directory must not be moved into its own subtree. The walk reads
-	// parent pointers of unlocked directories; renameMu freezes them.
+	// A directory must not be moved into its own subtree (src == toDir
+	// was rejected above; renameMu freezes the topology the walk reads).
 	if src.ftype == vfs.TypeDir {
-		for d := toDir; ; {
-			if d == src {
-				return vfs.ErrInval
-			}
-			if d.ino == 1 { // reached root
-				break
-			}
-			p, err := fs.getInode(d.parent)
-			if err != nil {
-				return err
-			}
-			d = p
+		if anc, err := fs.dirIsAncestor(src, toDir); err != nil {
+			return err
+		} else if anc {
+			return vfs.ErrInval
 		}
 	}
 	// Resolve an existing target before locking children.

@@ -27,10 +27,13 @@ import (
 //  1. quiesce (shared) is taken first by every operation; Check and
 //     Dump take it exclusively and therefore see a frozen filesystem.
 //  2. renameMu serializes all renames. It also stabilizes directory
-//     parent pointers, so rename's ancestry walk (the "mv a a/b" check)
-//     runs against a frozen directory topology.
+//     parent pointers, so rename's ancestry walks (the lock-order test
+//     below and the "mv a a/b" check) run against a frozen topology.
 //  3. Parent directory locks are acquired before child locks. The two
-//     parents of a cross-directory rename are ordered by inode number.
+//     parents of a cross-directory rename are locked ancestor-first
+//     when one contains the other — the same tree-descending order as
+//     every parent→child acquisition — and by inode number only when
+//     they are unrelated.
 //  4. Child locks within one operation (rename's source and its
 //     replaced target) are ordered directories-before-files, then by
 //     inode number.
@@ -40,13 +43,19 @@ import (
 // write, getattr) hold nothing else. Parent→child acquisitions follow
 // the directory tree, which is acyclic — and an inode listed in a
 // locked directory cannot be freed (its entry pins nlink ≥ 1), so
-// child acquisition always terminates. The remaining shape — two
-// multi-lock operations interleaving children — is rename-vs-rename,
-// excluded by renameMu, or rename-vs-remove/rmdir/link, where rule 4
-// orders the directory child (the only lock a second operation could
-// hold as a parent) first, so the rename never waits on a directory
-// while holding a lock the directory's holder wants. metaMu and
-// allocMu are leaves: nothing is acquired under them.
+// child acquisition always terminates. Rename's parents phase descends
+// the tree too whenever its two directories are comparable (rule 3), so
+// it never holds a descendant while waiting on its ancestor — the
+// inversion a concurrent rmdir/remove's parent→child chain could cycle
+// with; when the parents are unrelated, no parent→child chain connects
+// them (such chains stay within one subtree), so inode order is safe.
+// The remaining shape — two multi-lock operations interleaving children
+// — is rename-vs-rename, excluded by renameMu, or
+// rename-vs-remove/rmdir/link, where rule 4 orders the directory child
+// (the only lock a second operation could hold as a parent) first, so
+// the rename never waits on a directory while holding a lock the
+// directory's holder wants. metaMu and allocMu are leaves: nothing is
+// acquired under them.
 
 // ltShards is the shard count of the lock table; power of two.
 const (
@@ -201,14 +210,42 @@ func (fs *FFS) lockChildren(ips ...*inode) (func(), error) {
 	return release, nil
 }
 
-// lockDirPair exclusively locks one or two distinct directories in
-// ascending inode order (rule 3).
+// dirIsAncestor reports whether anc is a proper ancestor of d. The
+// caller must hold renameMu, which freezes the parent pointers the walk
+// reads.
+func (fs *FFS) dirIsAncestor(anc, d *inode) (bool, error) {
+	for d.ino != 1 { // until root
+		p, err := fs.getInode(d.parent)
+		if err != nil {
+			return false, err
+		}
+		if p == anc {
+			return true, nil
+		}
+		d = p
+	}
+	return false, nil
+}
+
+// lockDirPair exclusively locks one or two distinct directories for a
+// rename (rule 3): an ancestor before its descendant — matching the
+// tree-descending order of every parent→child acquisition, so a
+// concurrent rmdir/remove holding the ancestor and waiting on the
+// descendant cannot cycle with us — and ascending inode order when the
+// two are unrelated. The caller must hold renameMu.
 func (fs *FFS) lockDirPair(a, b *inode) (func(), error) {
 	if a == b {
 		return fs.wlockInode(a)
 	}
 	first, second := a, b
 	if second.ino < first.ino {
+		first, second = second, first
+	}
+	// Inode order already puts first before second; it only inverts the
+	// tree order if the higher-numbered directory contains the lower.
+	if anc, err := fs.dirIsAncestor(second, first); err != nil {
+		return nil, err
+	} else if anc {
 		first, second = second, first
 	}
 	u1, err := fs.wlockInode(first)

@@ -117,6 +117,7 @@ func (e extent) end() uint64 { return e.off + uint64(len(e.data)) }
 // gfile is the pending state of one file.
 type gfile struct {
 	exts      []extent
+	inflight  extent    // extent dequeued for a backing write still in flight; readers merge it under exts
 	pendEnd   uint64    // max buffered end offset
 	pendMtime time.Time // last buffered write
 	attr      vfs.Attr  // last attributes observed from the backing store
@@ -287,6 +288,9 @@ func (g *GatherFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error
 		return g.GetAttr(h)
 	}
 	g.mu.Lock()
+	if g.stopped {
+		return g.writeThroughStoppedLocked(h, off, data)
+	}
 	f := g.files[h]
 	if f == nil {
 		// First write to this handle: validate it synchronously so WRITE
@@ -304,6 +308,9 @@ func (g *GatherFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error
 			return g.backing.Write(h, off, data)
 		}
 		g.mu.Lock()
+		if g.stopped {
+			return g.writeThroughStoppedLocked(h, off, data)
+		}
 		if f = g.files[h]; f == nil {
 			f = &gfile{attr: a}
 			g.files[h] = f
@@ -323,6 +330,24 @@ func (g *GatherFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error
 	return attr, nil
 }
 
+// writeThroughStoppedLocked handles a Write issued after Close():
+// buffering now would leave data no committer will ever drain, so the
+// write goes through to the backing store synchronously — after any
+// extents that raced the Close drain have landed, keeping the layer's
+// newest-wins ordering (the committers must not flush an older queued
+// extent over these bytes). Caller holds g.mu; it is released.
+func (g *GatherFS) writeThroughStoppedLocked(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
+	var err error
+	if f := g.files[h]; f != nil {
+		err = g.drainLocked(h, f)
+	}
+	g.mu.Unlock()
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return g.backing.Write(h, off, data)
+}
+
 // ---- committing ----
 
 func (g *GatherFS) ensureWorkersLocked() {
@@ -339,7 +364,9 @@ func (g *GatherFS) ensureWorkersLocked() {
 // barrier, which drains inline — small writes therefore coalesce for
 // as long as NFS semantics allow.
 func (g *GatherFS) pickLocked() (vfs.Handle, *gfile) {
-	pressure := g.dirty > g.cfg.QueueBlocks*MaxData/2
+	// After stop, anything still queued (a write that raced Close) must
+	// drain unconditionally — no further barrier will come for it.
+	pressure := g.stopped || g.dirty > g.cfg.QueueBlocks*MaxData/2
 	maxRun := g.cfg.MaxRunBlocks * MaxData
 	for h, f := range g.files {
 		if f.flushing || len(f.exts) == 0 {
@@ -369,6 +396,10 @@ func (g *GatherFS) flushOneLocked(h vfs.Handle, f *gfile) {
 	}
 	g.dirty -= len(e.data)
 	f.flushing = true
+	// Keep the dequeued extent visible to the read path until the
+	// backing write lands: the WRITE that buffered it was already
+	// acknowledged, so a READ in this window must still see the bytes.
+	f.inflight = e
 	g.mu.Unlock()
 
 	attr, err := g.backing.Write(h, e.off, e.data)
@@ -376,18 +407,23 @@ func (g *GatherFS) flushOneLocked(h vfs.Handle, f *gfile) {
 
 	g.mu.Lock()
 	f.flushing = false
+	f.inflight = extent{}
 	if err != nil {
-		// The buffered write is lost; the error surfaces at the next
-		// COMMIT barrier, as a deferred write error does on a client.
-		if f.werr == nil {
-			f.werr = err
-		}
 		if errors.Is(err, vfs.ErrStale) {
-			// The file is gone; its remaining extents can never land.
+			// The file is gone (removed or replaced under buffered
+			// writes): the remaining extents can never land, and a sticky
+			// error would pin the entry in g.files until some client
+			// COMMITs the dead handle. Drop the state instead — COMMIT
+			// and Sync on the handle still observe staleness through the
+			// backing GetAttr.
 			for _, e := range f.exts {
 				g.dirty -= len(e.data)
 			}
 			f.exts = nil
+		} else if f.werr == nil {
+			// The buffered write is lost; the error surfaces at the next
+			// COMMIT barrier, as a deferred write error does on a client.
+			f.werr = err
 		}
 	} else {
 		f.attr = attr
@@ -466,10 +502,11 @@ func (g *GatherFS) Commit(h vfs.Handle) (uint64, vfs.Attr, error) {
 }
 
 // Sync implements vfs.Syncer: a full barrier draining every file,
-// whether or not the committers would have flushed it yet. Stale-handle
-// errors are benign here — a file legitimately removed under buffered
-// writes reports staleness to ITS committer (COMMIT on the dead
-// handle), not to the whole-server barrier.
+// whether or not the committers would have flushed it yet. A file
+// removed under buffered writes is benign here: its stale flush drops
+// the buffered state without recording an error, and staleness
+// surfaces on the dead handle's own COMMIT (through the backing
+// GetAttr), not on the whole-server barrier.
 func (g *GatherFS) Sync() error {
 	var first error
 	g.mu.Lock()
@@ -485,7 +522,7 @@ func (g *GatherFS) Sync() error {
 		if f == nil {
 			break
 		}
-		if err := g.drainLocked(h, f); err != nil && first == nil && !errors.Is(err, vfs.ErrStale) {
+		if err := g.drainLocked(h, f); err != nil && first == nil {
 			first = err
 		}
 		if g.files[h] == f && len(f.exts) == 0 && !f.flushing {
@@ -520,6 +557,11 @@ func (g *GatherFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, e
 	var pendEnd uint64
 	if f != nil {
 		end := off + uint64(count)
+		// The in-flight extent first: it is older than anything still
+		// queued, so queued extents copied after it win on overlap.
+		if len(f.inflight.data) > 0 && f.inflight.end() > off && f.inflight.off < end {
+			snap = append(snap, f.inflight)
+		}
 		for _, e := range f.exts {
 			if e.end() > off && e.off < end {
 				snap = append(snap, e) // data slices are immutable once published
@@ -652,7 +694,10 @@ func (g *GatherFS) discardIfGone(h vfs.Handle) {
 }
 
 // Remove implements vfs.FS; buffered writes to the removed file (if it
-// had no other links) are discarded.
+// had no other links) are discarded. The Lookup/Remove pair is not
+// atomic against a concurrent rename swapping the entry — a file
+// unlinked through that race is reclaimed when its next flush or
+// barrier observes ErrStale and drops the buffered state.
 func (g *GatherFS) Remove(dir vfs.Handle, name string) error {
 	target, lerr := g.backing.Lookup(dir, name)
 	if err := g.backing.Remove(dir, name); err != nil {

@@ -242,6 +242,117 @@ func TestGatherRebootChangesVerifierAndDropsPending(t *testing.T) {
 	}
 }
 
+// gateFS blocks backing Writes until released, exposing the window
+// where an extent has been dequeued but its backing write has not
+// landed yet.
+type gateFS struct {
+	vfs.FS
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *gateFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
+	s.entered <- struct{}{}
+	<-s.release
+	return s.FS.Write(h, off, data)
+}
+
+func TestGatherReadSeesInflightWrite(t *testing.T) {
+	// A READ racing the committer must still see bytes whose WRITE was
+	// already acknowledged, even while their extent is dequeued and the
+	// backing write is in flight.
+	backing, err := ffs.New(ffs.Config{BlockSize: 1024, NumBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateFS{FS: backing, entered: make(chan struct{}, 8), release: make(chan struct{})}
+	g := NewGatherFS(gate, GatherConfig{QueueBlocks: 1 << 16})
+	h := mustCreate(t, g, "f")
+	if _, err := g.Write(h, 0, []byte("HELLO")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Commit(h)
+		done <- err
+	}()
+	<-gate.entered // extent dequeued, backing write blocked: the race window
+	got, _, err := g.Read(h, 0, 16)
+	if err != nil {
+		t.Fatalf("Read during in-flight write: %v", err)
+	}
+	if string(got) != "HELLO" {
+		t.Fatalf("Read during in-flight write = %q, want HELLO (acked bytes vanished)", got)
+	}
+	// A newer write queued during the window must win over the older
+	// in-flight bytes on overlap.
+	if _, err := g.Write(h, 3, []byte("YO")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err = g.Read(h, 0, 16); err != nil || string(got) != "HELYO" {
+		t.Fatalf("overlapped read during in-flight write = %q, %v; want HELYO", got, err)
+	}
+	close(gate.release)
+	if err := <-done; err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := backing.Read(h, 0, 16); err != nil || string(got) != "HELYO" {
+		t.Fatalf("backing after drain = %q, %v; want HELYO", got, err)
+	}
+}
+
+func TestGatherStaleFlushReclaimsEntry(t *testing.T) {
+	// A file unlinked behind the gather layer's back (the Lookup/Remove
+	// race with a concurrent rename): the next barrier must reclaim its
+	// buffered state rather than pinning the entry with a sticky error.
+	g, backing := gatherOver(t, GatherConfig{QueueBlocks: 1 << 16})
+	h := mustCreate(t, g, "victim")
+	if _, err := g.Write(h, 0, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := backing.Remove(backing.Root(), "victim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatalf("Sync: %v (a stale flush is benign to the whole-server barrier)", err)
+	}
+	g.mu.Lock()
+	tracked, depth := len(g.files), g.dirty
+	g.mu.Unlock()
+	if tracked != 0 || depth != 0 {
+		t.Errorf("after stale flush: %d tracked files, %d dirty bytes; want 0, 0", tracked, depth)
+	}
+	if _, _, err := g.Commit(h); !errors.Is(err, vfs.ErrStale) {
+		t.Errorf("Commit on unlinked handle = %v, want ErrStale", err)
+	}
+}
+
+func TestGatherWriteAfterCloseWritesThrough(t *testing.T) {
+	g, backing := gatherOver(t, GatherConfig{QueueBlocks: 1 << 16})
+	h := mustCreate(t, g, "f")
+	if _, err := g.Write(h, 0, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A write after Close must not buffer into a queue nothing drains:
+	// it writes through to the backing store synchronously.
+	if _, err := g.Write(h, 6, []byte("after!")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := backing.Read(h, 0, 16)
+	if err != nil || string(got) != "beforeafter!" {
+		t.Fatalf("backing after post-Close write = %q, %v; want beforeafter!", got, err)
+	}
+	if st := g.Stats(); st.QueueDepth != 0 {
+		t.Errorf("post-Close write buffered: queue depth = %d, want 0", st.QueueDepth)
+	}
+}
+
 func TestCommitFSFallbackStableServer(t *testing.T) {
 	backing, err := ffs.New(ffs.Config{BlockSize: 1024, NumBlocks: 1024})
 	if err != nil {
