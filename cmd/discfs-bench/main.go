@@ -58,13 +58,14 @@ func emitJSON(figure, title, unit string, rows []benchRow) {
 
 func main() {
 	var (
-		sizeMB   = flag.Int("size", 16, "Bonnie file size in MiB (paper: 100)")
-		runs     = flag.Int("runs", 3, "measurement runs per figure (best reported)")
-		subsys   = flag.Int("tree-dirs", 24, "search tree: subsystem directories")
-		perDir   = flag.Int("tree-files", 64, "search tree: files per directory")
-		meanSize = flag.Int("tree-mean", 12*1024, "search tree: mean file size")
-		authzOps = flag.Int("authz-ops", 200000, "authorization benchmark: cached checks per run")
-		pwSizeKB = flag.Int("pw-size", 1024, "parallel write benchmark: KiB per writer")
+		sizeMB    = flag.Int("size", 16, "Bonnie file size in MiB (paper: 100)")
+		runs      = flag.Int("runs", 3, "measurement runs per figure (best reported)")
+		subsys    = flag.Int("tree-dirs", 24, "search tree: subsystem directories")
+		perDir    = flag.Int("tree-files", 64, "search tree: files per directory")
+		meanSize  = flag.Int("tree-mean", 12*1024, "search tree: mean file size")
+		authzOps  = flag.Int("authz-ops", 200000, "authorization benchmark: cached checks per run")
+		pwSizeKB  = flag.Int("pw-size", 1024, "parallel write benchmark: KiB per writer")
+		streamMax = flag.Int("stream-max", 64, "streaming table: largest file size in MiB (sizes step 8x from 1: 1, 8, 64)")
 	)
 	flag.StringVar(&jsonDir, "json-dir", ".", "directory for BENCH_<figure>.json files (empty disables)")
 	flag.Parse()
@@ -166,6 +167,12 @@ func main() {
 	emitJSON("Fig12", "Figure 12: Filesystem Search", "sec", searchRows)
 	fmt.Println()
 
+	// ---- Streaming throughput: negotiated vs baseline transfers ----
+	fmt.Println("Streaming throughput (sequential write+read over the wire; 512 KiB negotiated vs 8 KiB baseline)")
+	fmt.Println("  Config                    Size    Write MB/s    Read MB/s    Aggregate")
+	streamTable(int64(*streamMax) << 20)
+	fmt.Println()
+
 	// ---- Parallel multi-client write scaling ----
 	fmt.Println("Parallel write throughput (8 KiB blocks, one file per writer, seek-model disk)")
 	fmt.Println("  Setup            Writers   Aggregate KB/s")
@@ -251,6 +258,42 @@ func parallelWriteTable(perWriter int64) {
 		}
 	}
 	emitJSON("ParallelWrite", "Parallel multi-client write throughput", "KB/s", jrows)
+}
+
+// streamTable prints (and emits as BENCH_stream.json) the streaming
+// throughput table: sequential write-then-read of 1 MiB–maxSize files,
+// cached and uncached, at the negotiated 512 KiB transfer versus the
+// v2 8 KiB baseline. The aggregate column is total bytes over total
+// wall time; the data plane's acceptance bound is the 512 KiB aggregate
+// reaching 3x the 8 KiB one.
+func streamTable(maxSize int64) {
+	s, err := bench.NewStreamSetup()
+	check(err)
+	defer s.Close()
+	var jrows []benchRow
+	for size := int64(1 << 20); size <= maxSize; size *= 8 {
+		for _, cfg := range []struct {
+			name     string
+			transfer int
+			cached   bool
+		}{
+			{"8KiB-uncached", 8192, false},
+			{"512KiB-uncached", 512 << 10, false},
+			{"8KiB-cached", 8192, true},
+			{"512KiB-cached", 512 << 10, true},
+		} {
+			res, err := s.Stream(size, cfg.transfer, cfg.cached)
+			check(err)
+			label := fmt.Sprintf("%s/%dMiB", cfg.name, size>>20)
+			fmt.Printf("  %-22s %5dMiB %12.1f %12.1f %12.1f\n",
+				cfg.name, size>>20, res.WriteMBps, res.ReadMBps, bench.AggregateMBps(res))
+			jrows = append(jrows,
+				benchRow{Name: label + "/write", Value: res.WriteMBps},
+				benchRow{Name: label + "/read", Value: res.ReadMBps},
+				benchRow{Name: label + "/aggregate", Value: bench.AggregateMBps(res)})
+		}
+	}
+	emitJSON("stream", "Streaming throughput: negotiated vs baseline transfer size", "MB/s", jrows)
 }
 
 // microCredential times parse / verify / sign / query inline.

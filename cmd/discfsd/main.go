@@ -35,6 +35,7 @@ func main() {
 		writeBehind  = flag.Bool("write-behind", false, "server-side unstable writes: gather WRITEs and flush via COMMIT")
 		wbQueue      = flag.Int("wb-queue", 1024, "write-behind queue bound in 8 KiB blocks (with -write-behind)")
 		wbCommitters = flag.Int("wb-committers", 2, "write-behind committer pool size (with -write-behind)")
+		maxTransfer  = flag.Int("max-transfer", discfs.DefaultMaxTransfer, "largest negotiated READ/WRITE payload in bytes (8192 pins NFSv2-era transfers)")
 		imagePath    = flag.String("image", "", "filesystem image: loaded at startup if present, saved on SIGINT/SIGTERM")
 		backend      = flag.String("backend", discfs.DefaultBackend, "storage backend (see discfs.Backends)")
 	)
@@ -72,6 +73,7 @@ func main() {
 	opts := []discfs.ServerOption{
 		discfs.WithBacking(store),
 		discfs.WithCacheSize(*cacheSize),
+		discfs.WithServerMaxTransfer(*maxTransfer),
 	}
 	if *writeBehind {
 		opts = append(opts, discfs.WithServerWriteBehind(*wbQueue, *wbCommitters))

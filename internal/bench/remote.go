@@ -46,6 +46,9 @@ type RemoteFS struct {
 	c    ClientAPI
 	root vfs.Handle
 	ctx  context.Context
+	// xfer is the wire chunk size: the client's negotiated transfer
+	// size when it exposes one, the v2 baseline otherwise.
+	xfer uint32
 }
 
 // NewRemoteFS wraps an NFS client with a known root handle. The vfs.FS
@@ -57,7 +60,11 @@ func NewRemoteFS(c ClientAPI, root vfs.Handle) *RemoteFS {
 
 // NewRemoteFSContext is NewRemoteFS with every RPC issued under ctx.
 func NewRemoteFSContext(ctx context.Context, c ClientAPI, root vfs.Handle) *RemoteFS {
-	return &RemoteFS{c: c, root: root, ctx: ctx}
+	xfer := uint32(nfs.MaxData)
+	if md, ok := c.(interface{ MaxData() uint32 }); ok {
+		xfer = md.MaxData()
+	}
+	return &RemoteFS{c: c, root: root, ctx: ctx, xfer: xfer}
 }
 
 var _ vfs.FS = (*RemoteFS)(nil)
@@ -110,8 +117,8 @@ func (r *RemoteFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, e
 	remaining := count
 	for remaining > 0 {
 		n := remaining
-		if n > nfs.MaxData {
-			n = nfs.MaxData
+		if n > r.xfer {
+			n = r.xfer
 		}
 		data, attr, err := r.c.Read(r.ctx, h, uint32(off)+uint32(len(out)), n)
 		if err != nil {
@@ -135,8 +142,8 @@ func (r *RemoteFS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error
 	var err error
 	for done := 0; done < len(data) || len(data) == 0; {
 		n := len(data) - done
-		if n > nfs.MaxData {
-			n = nfs.MaxData
+		if n > int(r.xfer) {
+			n = int(r.xfer)
 		}
 		attr, err = r.c.Write(r.ctx, h, uint32(off)+uint32(done), data[done:done+n])
 		if err != nil {

@@ -81,6 +81,11 @@ func SetupCFSNE() (*Setup, error) {
 		rpcSrv.Close()
 		return nil, err
 	}
+	// Negotiate large transfers, as a modern kernel client would.
+	if _, err := client.Negotiate(context.Background(), 0); err != nil {
+		rpcSrv.Close()
+		return nil, err
+	}
 	return &Setup{
 		Name:     "CFS-NE",
 		FS:       NewRemoteFS(client, root),

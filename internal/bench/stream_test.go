@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestStreamSpeedup is the data-plane acceptance measure: negotiated
+// 512 KiB transfers must deliver at least 3x the aggregate sequential
+// streaming throughput of the v2 8 KiB baseline on the uncached path
+// (every byte is one synchronous RPC, so the per-operation saving is
+// isolated from cache pipelining).
+func TestStreamSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming measurement skipped in -short mode")
+	}
+	s, err := NewStreamSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Aggregate throughput = total bytes moved / total wall time for the
+	// write-then-read pass (the Bonnie convention: the slow direction
+	// dominates, as it does for real workloads). Best of two runs per
+	// size, as the rest of the harness reports best-of-N.
+	const size = 4 << 20
+	measure := func(transfer int) (StreamResult, float64) {
+		var best StreamResult
+		bestAgg := 0.0
+		for i := 0; i < 2; i++ {
+			res, err := s.Stream(size, transfer, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := AggregateMBps(res)
+			if agg > bestAgg {
+				best, bestAgg = res, agg
+			}
+		}
+		return best, bestAgg
+	}
+	base, aggBase := measure(8192)
+	big, aggBig := measure(512 << 10)
+	t.Logf("8 KiB:   write %.1f MB/s, read %.1f MB/s, aggregate %.1f MB/s", base.WriteMBps, base.ReadMBps, aggBase)
+	t.Logf("512 KiB: write %.1f MB/s, read %.1f MB/s, aggregate %.1f MB/s", big.WriteMBps, big.ReadMBps, aggBig)
+
+	if aggBase <= 0 || aggBig < 3*aggBase {
+		t.Errorf("512 KiB aggregate %.1f MB/s vs 8 KiB %.1f MB/s: below the 3x acceptance bound",
+			aggBig, aggBase)
+	}
+}
+
+// TestStreamCachedCorrectness: the cached streaming path moves the same
+// bytes (the throughput table's cached rows are measured elsewhere;
+// here we only assert it works at both granule sizes).
+func TestStreamCachedCorrectness(t *testing.T) {
+	s, err := NewStreamSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, transfer := range []int{8192, 512 << 10} {
+		if _, err := s.Stream(2<<20, transfer, true); err != nil {
+			t.Errorf("cached stream at %d: %v", transfer, err)
+		}
+	}
+}
+
+// BenchmarkStream reports streaming throughput for the CI trajectory;
+// run with -benchtime=1x for a smoke pass.
+func BenchmarkStream(b *testing.B) {
+	s, err := NewStreamSetup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for _, bc := range []struct {
+		name     string
+		transfer int
+		cached   bool
+	}{
+		{"8KiB-uncached", 8192, false},
+		{"512KiB-uncached", 512 << 10, false},
+		{"8KiB-cached", 8192, true},
+		{"512KiB-cached", 512 << 10, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			const size = 8 << 20
+			var wSum, rSum float64
+			for i := 0; i < b.N; i++ {
+				res, err := s.Stream(size, bc.transfer, bc.cached)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wSum += res.WriteMBps
+				rSum += res.ReadMBps
+			}
+			b.SetBytes(2 * size)
+			b.ReportMetric(wSum/float64(b.N), "write-MB/s")
+			b.ReportMetric(rSum/float64(b.N), "read-MB/s")
+		})
+	}
+}

@@ -1,0 +1,124 @@
+// Package bufpool is the shared buffer pool of the data plane: every
+// layer that moves a READ/WRITE payload — the RPC record reader, the
+// reply encoder, the secure-channel record layer — borrows its backing
+// array here instead of allocating per message, so a large transfer
+// costs one allocation end to end instead of one per layer boundary.
+//
+// Buffers are size-classed in powers of two; Get returns a slice whose
+// capacity is exactly a class size, and Put only recycles slices whose
+// capacity matches a class (anything else is left for the GC, so
+// re-sliced or caller-grown buffers are always safe to Put).
+//
+// Ownership rule: a buffer has exactly one owner at a time. Whoever
+// calls Get (or receives the buffer in a documented hand-off) must
+// either Put it once or pass ownership on; after Put the slice must not
+// be touched. Double-Put corrupts the pool — the counters exist so
+// tests can catch imbalance (see Stats and Outstanding).
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits is the smallest class (4 KiB): below it pooling buys
+	// nothing over the allocator's own size classes.
+	minClassBits = 12
+	// maxClassBits is the largest class (2 MiB): one maximal RPC record
+	// (a 1 MiB transfer plus framing and AEAD overhead) fits with room.
+	maxClassBits = 21
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// MaxPooled is the largest buffer size the pool recycles; larger Gets
+// fall through to the allocator.
+const MaxPooled = 1 << maxClassBits
+
+var classes [numClasses]sync.Pool
+
+var (
+	gets   atomic.Int64 // pooled Gets (within MaxPooled)
+	puts   atomic.Int64 // pooled Puts (class-sized capacity)
+	misses atomic.Int64 // pooled Gets that found an empty pool
+)
+
+// classFor returns the index of the smallest class holding n bytes, or
+// -1 when n exceeds MaxPooled.
+func classFor(n int) int {
+	if n > MaxPooled {
+		return -1
+	}
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - minClassBits
+}
+
+// Get returns a buffer of length n. For n ≤ MaxPooled its capacity is
+// the exact size class (so Put can recycle it); beyond that it is a
+// plain allocation. The contents are NOT zeroed: the caller must
+// overwrite every byte it reads back.
+func Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, n)
+	}
+	gets.Add(1)
+	if v := classes[ci].Get(); v != nil {
+		return (*(v.(*[]byte)))[:n]
+	}
+	misses.Add(1)
+	return make([]byte, n, 1<<(minClassBits+ci))
+}
+
+// Put returns a buffer obtained from Get (or grown to an exact class
+// capacity) to the pool. Slices with off-class capacity are dropped
+// silently, so Put is always safe on any buffer whose ownership the
+// caller holds. nil is a no-op.
+func Put(b []byte) {
+	c := cap(b)
+	if c < 1<<minClassBits || c > MaxPooled || c&(c-1) != 0 {
+		return
+	}
+	puts.Add(1)
+	b = b[:0]
+	classes[bits.Len(uint(c-1))-minClassBits].Put(&b)
+}
+
+// Grow returns a buffer of length n holding b's contents, recycling b
+// when a larger class is needed. Capacity at least doubles, so repeated
+// Grows are geometric, not quadratic.
+func Grow(b []byte, n int) []byte {
+	if n <= cap(b) {
+		return b[:n]
+	}
+	want := n
+	if d := 2 * cap(b); d > want {
+		want = d
+	}
+	nb := Get(want)[:n]
+	copy(nb, b)
+	Put(b)
+	return nb
+}
+
+// PoolStats is a snapshot of the pool's counters.
+type PoolStats struct {
+	Gets   int64 // pooled Get calls
+	Puts   int64 // pooled Put calls that recycled a buffer
+	Misses int64 // pooled Gets served by a fresh allocation
+}
+
+// Stats returns the global counters. Tests use the Gets−Puts balance as
+// a leak check around code paths with strict one-owner hand-offs.
+func Stats() PoolStats {
+	return PoolStats{Gets: gets.Load(), Puts: puts.Load(), Misses: misses.Load()}
+}
+
+// Outstanding returns Gets−Puts: the number of pooled buffers currently
+// owned by callers. Paths that hand buffers to long-lived caches (the
+// client data cache) legitimately hold buffers open, so a global zero
+// is only expected in targeted unit tests.
+func Outstanding() int64 { return gets.Load() - puts.Load() }

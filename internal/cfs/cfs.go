@@ -124,6 +124,31 @@ func (c *CFS) fileStreamXOR(h vfs.Handle, off uint64, data []byte) ([]byte, erro
 	if !c.encrypt || len(data) == 0 {
 		return data, nil
 	}
+	stream, err := c.fileStream(h, off)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	stream.XORKeyStream(out, data)
+	return out, nil
+}
+
+// xorInPlace is fileStreamXOR transforming data in place (the buffer is
+// ours, not a caller's): a no-op in the CFS-NE configuration.
+func (c *CFS) xorInPlace(h vfs.Handle, off uint64, data []byte) error {
+	if !c.encrypt || len(data) == 0 {
+		return nil
+	}
+	stream, err := c.fileStream(h, off)
+	if err != nil {
+		return err
+	}
+	stream.XORKeyStream(data, data)
+	return nil
+}
+
+// fileStream builds the per-file CTR key stream positioned at off.
+func (c *CFS) fileStream(h vfs.Handle, off uint64) (cipher.Stream, error) {
 	mac := hmac.New(sha256.New, c.dataKey)
 	var hb [12]byte
 	binary.BigEndian.PutUint64(hb[:8], h.Ino)
@@ -143,9 +168,7 @@ func (c *CFS) fileStreamXOR(h vfs.Handle, off uint64, data []byte) ([]byte, erro
 		var junk [aes.BlockSize]byte
 		stream.XORKeyStream(junk[:skip], junk[:skip])
 	}
-	out := make([]byte, len(data))
-	stream.XORKeyStream(out, data)
-	return out, nil
+	return stream, nil
 }
 
 // ---- vfs.FS ----
@@ -184,6 +207,21 @@ func (c *CFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, error)
 		return nil, false, err
 	}
 	return pt, eof, nil
+}
+
+// ReadInto implements vfs.ReaderInto: ciphertext lands in dst via the
+// substrate's own zero-copy path and is decrypted in place, so the CFS
+// layer adds no allocation or copy to the data plane (none at all in
+// the paper's CFS-NE configuration).
+func (c *CFS) ReadInto(h vfs.Handle, off uint64, dst []byte) (int, bool, error) {
+	n, eof, err := vfs.ReadFSInto(c.under, h, off, dst)
+	if err != nil {
+		return 0, false, err
+	}
+	if err := c.xorInPlace(h, off, dst[:n]); err != nil {
+		return 0, false, err
+	}
+	return n, eof, nil
 }
 
 // Write implements vfs.FS.

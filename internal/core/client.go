@@ -30,6 +30,11 @@ type Client struct {
 	identity *keynote.KeyPair
 	server   keynote.Principal
 
+	// xfer is the negotiated per-connection transfer size: the payload
+	// of one READ/WRITE RPC, and the granule of the data cache. 8 KiB
+	// against servers predating the negotiation.
+	xfer uint32
+
 	// pool holds extra data-path connections (the nconnect pattern of
 	// modern NFS clients): flush workers and readahead fetches spread
 	// across them, so the per-connection serialization of the secure
@@ -55,9 +60,11 @@ type Client struct {
 // A ClientOption configures Dial.
 type ClientOption func(*dataCacheConfig)
 
-// WithReadahead sets the number of blocks (nfs.MaxData each) the data
-// cache prefetches ahead of a sequential read stream. n <= 0 disables
-// readahead; the default is DefaultReadahead.
+// WithReadahead sets the number of cache blocks (one negotiated
+// transfer each — ~512 KiB by default, 8 KiB against v2-era servers) the
+// data cache prefetches ahead of a sequential read stream. n <= 0
+// disables readahead; the default scales DefaultReadahead's byte budget
+// to the granule.
 func WithReadahead(n int) ClientOption {
 	return func(cfg *dataCacheConfig) {
 		if n <= 0 {
@@ -67,9 +74,11 @@ func WithReadahead(n int) ClientOption {
 	}
 }
 
-// WithWriteBehind sets the write-behind window: how many dirty blocks
-// the data cache buffers client-side before throttling writers. n <= 1
-// keeps at most one block buffered; the default is DefaultWriteBehind.
+// WithWriteBehind sets the write-behind window: how many dirty cache
+// blocks (one negotiated transfer each) the data cache buffers
+// client-side before throttling writers. n <= 1 keeps at most one block
+// buffered; the default scales DefaultWriteBehind's byte budget to the
+// granule.
 func WithWriteBehind(n int) ClientOption {
 	return func(cfg *dataCacheConfig) {
 		if n < 1 {
@@ -84,6 +93,16 @@ func WithWriteBehind(n int) ClientOption {
 // then surface on the call that hit them rather than at Sync/Close.
 func WithNoDataCache() ClientOption {
 	return func(cfg *dataCacheConfig) { cfg.disabled = true }
+}
+
+// WithMaxTransfer sets the transfer size the client proposes when
+// attaching (bytes; clamped to [nfs.MaxData, nfs.MaxTransferLimit]).
+// The server grants at most its own configured maximum; the granted
+// size becomes the payload of every READ/WRITE RPC and the granule of
+// the data cache. The default proposal is nfs.DefaultMaxTransfer
+// (504 KiB); n = nfs.MaxData pins v2-era 8 KiB transfers.
+func WithMaxTransfer(n int) ClientOption {
+	return func(cfg *dataCacheConfig) { cfg.maxTransfer = nfs.ClampTransfer(n) }
 }
 
 // Dial connects to a DisCFS server at addr, authenticating as identity,
@@ -117,6 +136,15 @@ func Dial(ctx context.Context, addr string, identity *keynote.KeyPair, opts ...C
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	// Negotiate the connection's transfer size (FSINFO-style): the
+	// client proposes, the server clamps. Servers predating the
+	// extension grant the v2 baseline; only a transport failure is an
+	// error.
+	xfer, err := nc.Negotiate(ctx, cfg.maxTransfer)
+	if err != nil {
+		rpc.Close()
+		return nil, fmt.Errorf("core: negotiate transfer size: %w", err)
+	}
 	return &Client{
 		conn:      conn,
 		rpc:       rpc,
@@ -126,11 +154,16 @@ func Dial(ctx context.Context, addr string, identity *keynote.KeyPair, opts ...C
 		addr:      addr,
 		identity:  identity,
 		server:    conn.Peer(),
+		xfer:      xfer,
 		dataCache: cfg,
 		dcaches:   make(map[vfs.Handle]*handleCache),
 		pool:      make([]ioConn, ioPoolSize),
 	}, nil
 }
+
+// MaxTransfer reports the negotiated per-RPC transfer size of this
+// connection.
+func (c *Client) MaxTransfer() int { return int(c.xfer) }
 
 // ioPoolSize is the number of extra data-path connections a client may
 // open (in addition to the main connection).
@@ -165,6 +198,10 @@ func (c *Client) dataConn(ctx context.Context, i int64) *nfs.Client {
 		case err == nil:
 			s.rpc = sunrpc.NewClient(conn)
 			s.nfs = nfs.NewClient(s.rpc)
+			// Same server, same grant: adopt the main connection's
+			// negotiated size without a second FSINFO round trip (the
+			// server-side bound is global, not per-connection).
+			s.nfs.SetMaxData(c.xfer)
 		case ctx.Err() != nil:
 			// The triggering operation's context expired mid-dial; that
 			// says nothing about the server, so let a later caller

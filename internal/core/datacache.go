@@ -36,31 +36,28 @@ import (
 )
 
 const (
-	// cacheBlockSize is the cache granule: one maximal NFS transfer, so
-	// a full dirty block flushes as exactly one WRITE RPC.
-	cacheBlockSize = int64(nfs.MaxData)
 	// DefaultReadahead is the number of blocks prefetched ahead of a
-	// detected sequential read stream.
+	// detected sequential read stream, at the 8 KiB baseline granule
+	// (larger granules scale the count down by bytes; see normalized).
 	DefaultReadahead = 8
-	// DefaultWriteBehind is the write-behind window: the number of dirty
-	// blocks buffered client-side before writers are throttled (4 MiB at
-	// the 8 KiB block size — a sliver of what kernel page caches allow
-	// via vm.dirty_ratio, but enough to absorb bursts whole).
+	// DefaultWriteBehind is the write-behind window at the baseline
+	// granule: the number of dirty blocks buffered client-side before
+	// writers are throttled (4 MiB at the 8 KiB block size — a sliver
+	// of what kernel page caches allow via vm.dirty_ratio, but enough
+	// to absorb bursts whole).
 	DefaultWriteBehind = 512
 	// maxFlushWorkers bounds the goroutines flushing one file's dirty
 	// blocks concurrently (concurrent WRITE RPCs pipeline through the
 	// connection and the server's per-record dispatch).
 	maxFlushWorkers = 8
-	// maxCachedBlocks bounds the per-file cache footprint (16 MiB at the
-	// 8 KiB block size); clean blocks beyond it are evicted, dirty
-	// blocks never are.
-	maxCachedBlocks = 2048
-	// maxUnstableBlocks bounds the flushed-but-uncommitted blocks
-	// pinned in the cache (8 MiB): past it the writer issues an
-	// intermediate COMMIT, the way kernel NFS clients bound
-	// dirty-plus-unstable pages, so a streaming write cannot pin the
-	// whole file in memory until Sync.
-	maxUnstableBlocks = 1024
+	// maxCachedBytes bounds the per-file cache footprint; clean blocks
+	// beyond it are evicted, dirty blocks never are.
+	maxCachedBytes = 16 << 20
+	// maxUnstableBytes bounds the flushed-but-uncommitted data pinned
+	// in the cache: past it the writer issues an intermediate COMMIT,
+	// the way kernel NFS clients bound dirty-plus-unstable pages, so a
+	// streaming write cannot pin the whole file in memory until Sync.
+	maxUnstableBytes = 8 << 20
 	// maxHandleCaches bounds how many files keep their cache after the
 	// last close (retained so a re-open can revalidate instead of
 	// refetching).
@@ -76,18 +73,27 @@ type dataCacheConfig struct {
 	disabled    bool
 	readahead   int // blocks prefetched on sequential reads; <0 disables
 	writeBehind int // dirty-block window; <0 means write-through-ish (1)
+	// maxTransfer is the transfer size to propose at attach; 0 means
+	// nfs.DefaultMaxTransfer. The server's grant becomes the cache
+	// granule.
+	maxTransfer uint32
 }
 
-// normalized resolves defaults.
-func (cfg dataCacheConfig) normalized() dataCacheConfig {
+// normalized resolves defaults for a cache whose granule is bs bytes —
+// the connection's negotiated transfer size, so every full-block
+// readahead fetch and write-behind flush is exactly one maximal RPC.
+// Explicit option values count granules; the defaults are byte-scaled
+// from the 8 KiB baseline so a large granule does not inflate the
+// window (512 dirty blocks meant 4 MiB, not 256 MiB).
+func (cfg dataCacheConfig) normalized(bs int64) dataCacheConfig {
 	if cfg.readahead == 0 {
-		cfg.readahead = DefaultReadahead
+		cfg.readahead = scaleBlocks(DefaultReadahead*int64(nfs.MaxData), bs, 2, DefaultReadahead)
 	}
 	if cfg.readahead < 0 {
 		cfg.readahead = 0
 	}
 	if cfg.writeBehind == 0 {
-		cfg.writeBehind = DefaultWriteBehind
+		cfg.writeBehind = scaleBlocks(DefaultWriteBehind*int64(nfs.MaxData), bs, 4, DefaultWriteBehind)
 	}
 	if cfg.writeBehind < 1 {
 		cfg.writeBehind = 1
@@ -95,8 +101,21 @@ func (cfg dataCacheConfig) normalized() dataCacheConfig {
 	return cfg
 }
 
+// scaleBlocks converts a byte budget into whole granules within
+// [min, max].
+func scaleBlocks(bytes, bs int64, min, max int) int {
+	n := int(bytes / bs)
+	if n < min {
+		return min
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
 // cblock is one cached block. data holds the valid bytes from the block
-// start; a block shorter than cacheBlockSize is valid only to len(data),
+// start; a block shorter than the cache granule is valid only to len(data),
 // and bytes beyond any block's data read as zeros (holes).
 type cblock struct {
 	data     []byte
@@ -105,6 +124,12 @@ type cblock struct {
 	dirtyEnd int
 	dirtyGen uint64 // bumped by every write; a flush only cleans its own generation
 	flushing bool
+	// cow marks data as lent to an in-flight flush RPC: a writer that
+	// wants to mutate the block first detaches onto a private copy, so
+	// the flush reads a stable buffer without snapshotting every flush
+	// (sequential streams never touch a flushing block, making the
+	// steady-state flush zero-copy).
+	cow bool
 	// ownWrite marks a block whose full extent this client flushed: the
 	// server verifiably holds exactly data, so an identical overwrite
 	// may be elided (NOP-write). Blocks merely fetched never qualify —
@@ -134,6 +159,14 @@ type handleCache struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond // wakes flush workers, drain waiters and throttled writers
+
+	// bs is the cache granule: the connection's negotiated transfer
+	// size, so one full block moves as exactly one READ/WRITE RPC.
+	bs int64
+	// maxCached/maxUnstable are maxCachedBytes/maxUnstableBytes in
+	// granules.
+	maxCached   int
+	maxUnstable int
 
 	cfg      dataCacheConfig
 	blocks   map[int64]*cblock
@@ -201,14 +234,21 @@ func (c *Client) handleCacheFor(h vfs.Handle) *handleCache {
 			}
 		}
 	}
+	bs := int64(c.xfer)
+	if bs == 0 {
+		bs = nfs.MaxData
+	}
 	hc := &handleCache{
-		c:         c,
-		h:         h,
-		cfg:       c.dataCache.normalized(),
-		blocks:    make(map[int64]*cblock),
-		fetching:  make(map[int64]*fetchState),
-		lastWrite: -1,
-		flushCtx:  context.Background(),
+		c:           c,
+		h:           h,
+		bs:          bs,
+		maxCached:   scaleBlocks(maxCachedBytes, bs, 8, maxCachedBytes/nfs.MaxData),
+		maxUnstable: scaleBlocks(maxUnstableBytes, bs, 4, maxUnstableBytes/nfs.MaxData),
+		cfg:         c.dataCache.normalized(bs),
+		blocks:      make(map[int64]*cblock),
+		fetching:    make(map[int64]*fetchState),
+		lastWrite:   -1,
+		flushCtx:    context.Background(),
 	}
 	hc.cond = sync.NewCond(&hc.mu)
 	c.dcaches[h] = hc
@@ -307,7 +347,7 @@ func (hc *handleCache) revalidate(a vfs.Attr, seq uint64) {
 	hc.size = int64(a.Size)
 	for idx, b := range hc.blocks {
 		if b.dirty {
-			if end := idx*cacheBlockSize + int64(len(b.data)); end > hc.size {
+			if end := idx*hc.bs + int64(len(b.data)); end > hc.size {
 				hc.size = end
 			}
 		}
@@ -345,8 +385,8 @@ func (hc *handleCache) readAt(ctx context.Context, p []byte, off int64) (int, er
 	if int64(n) > hc.size-off {
 		n = int(hc.size - off)
 	}
-	first := off / cacheBlockSize
-	last := (off + int64(n) - 1) / cacheBlockSize
+	first := off / hc.bs
+	last := (off + int64(n) - 1) / hc.bs
 	// Holes (bytes no block covers) read as zeros.
 	for i := range p[:n] {
 		p[i] = 0
@@ -364,7 +404,7 @@ func (hc *handleCache) readAt(ctx context.Context, p []byte, off int64) (int, er
 		if bdata == nil {
 			continue
 		}
-		bs := idx * cacheBlockSize
+		bs := idx * hc.bs
 		lo, hi := off, off+int64(n)
 		if bs > lo {
 			lo = bs
@@ -406,7 +446,7 @@ func (hc *handleCache) blockBytesLocked(ctx context.Context, idx int64) ([]byte,
 		if b := hc.blocks[idx]; b != nil {
 			return b.data, nil
 		}
-		if uint64(idx*cacheBlockSize) >= hc.srvSize {
+		if uint64(idx*hc.bs) >= hc.srvSize {
 			return nil, nil
 		}
 		if fs, ok := hc.fetching[idx]; ok {
@@ -452,7 +492,7 @@ func (hc *handleCache) blockBytesLocked(ctx context.Context, idx int64) ([]byte,
 // invalidation epoch at registration time — a reply from before an
 // invalidation is served to waiters but not cached.
 func (hc *handleCache) fetch(ctx context.Context, idx int64, fs *fetchState, epoch uint64) {
-	start := idx * cacheBlockSize
+	start := idx * hc.bs
 	var data []byte
 	var err error
 	if start > math.MaxUint32 {
@@ -465,7 +505,7 @@ func (hc *handleCache) fetch(ctx context.Context, idx int64, fs *fetchState, epo
 		// size the server has moved past, and shrinking srvSize would
 		// turn flushed data into holes. Remote truncation is adopted at
 		// the next quiescent open (close-to-open).
-		data, _, err = hc.c.dataConn(ctx, idx).Read(ctx, hc.h, uint32(start), uint32(cacheBlockSize))
+		data, _, err = hc.c.dataConn(ctx, idx).Read(ctx, hc.h, uint32(start), uint32(hc.bs))
 	}
 	hc.mu.Lock()
 	delete(hc.fetching, idx)
@@ -490,7 +530,7 @@ func (hc *handleCache) fetch(ctx context.Context, idx int64, fs *fetchState, epo
 func (hc *handleCache) readaheadLocked(ctx context.Context, idx int64) {
 	for i := int64(0); i < int64(hc.cfg.readahead); i++ {
 		k := idx + i
-		if uint64(k*cacheBlockSize) >= hc.srvSize {
+		if uint64(k*hc.bs) >= hc.srvSize {
 			return
 		}
 		if hc.blocks[k] != nil || hc.fetching[k] != nil {
@@ -508,13 +548,13 @@ func (hc *handleCache) readaheadLocked(ctx context.Context, idx int64) {
 // the footprint cap.
 func (hc *handleCache) installLocked(idx int64, b *cblock) {
 	hc.blocks[idx] = b
-	if len(hc.blocks) <= maxCachedBlocks {
+	if len(hc.blocks) <= hc.maxCached {
 		return
 	}
 	for k, v := range hc.blocks {
 		if k != idx && !v.dirty && !v.flushing && !v.unstable {
 			delete(hc.blocks, k)
-			if len(hc.blocks) <= maxCachedBlocks {
+			if len(hc.blocks) <= hc.maxCached {
 				return
 			}
 		}
@@ -537,9 +577,9 @@ func (hc *handleCache) writeAt(ctx context.Context, p []byte, off int64) (int, e
 	total := 0
 	for total < len(p) {
 		at := off + int64(total)
-		idx := at / cacheBlockSize
-		bo := int(at - idx*cacheBlockSize)
-		n := int(cacheBlockSize) - bo
+		idx := at / hc.bs
+		bo := int(at - idx*hc.bs)
+		n := int(hc.bs) - bo
 		if n > len(p)-total {
 			n = len(p) - total
 		}
@@ -553,7 +593,7 @@ func (hc *handleCache) writeAt(ctx context.Context, p []byte, off int64) (int, e
 
 // writeBlock applies one intra-block write.
 func (hc *handleCache) writeBlock(ctx context.Context, idx int64, bo int, p []byte) error {
-	start := idx * cacheBlockSize
+	start := idx * hc.bs
 	hc.mu.Lock()
 	b := hc.blocks[idx]
 	if b == nil {
@@ -561,7 +601,7 @@ func (hc *handleCache) writeBlock(ctx context.Context, idx int64, bo int, p []by
 		// the write does not cover, fetch them first so the flushed
 		// extent carries correct base data.
 		srvEnd := hc.srvSize
-		if e := uint64(start) + uint64(cacheBlockSize); srvEnd > e {
+		if e := uint64(start) + uint64(hc.bs); srvEnd > e {
 			srvEnd = e
 		}
 		partial := bo > 0 || uint64(start)+uint64(bo+len(p)) < srvEnd
@@ -599,6 +639,12 @@ func (hc *handleCache) writeBlock(ctx context.Context, idx int64, bo int, p []by
 		return nil
 	}
 	b.ownWrite = false
+	if b.cow {
+		// The buffer is lent to an in-flight flush RPC: mutate a
+		// private copy and leave the lent array to the flush.
+		b.data = append([]byte(nil), b.data...)
+		b.cow = false
+	}
 	if len(b.data) < end {
 		b.data = append(b.data, make([]byte, end-len(b.data))...)
 	}
@@ -627,7 +673,7 @@ func (hc *handleCache) writeBlock(ctx context.Context, idx int64, bo int, p []by
 	// intermediate COMMIT (single-flight) so a streaming write's
 	// footprint stays bounded instead of pinning the whole file until
 	// Sync. Confirmed blocks become clean and evictable.
-	if hc.nUnstable >= maxUnstableBlocks && !hc.committing && hc.haveVer && hc.werr == nil {
+	if hc.nUnstable >= hc.maxUnstable && !hc.committing && hc.haveVer && hc.werr == nil {
 		hc.committing = true
 		hc.commitBarrierLocked(ctx)
 		hc.committing = false
@@ -666,7 +712,7 @@ func (hc *handleCache) flushEligibleLocked(idx int64, b *cblock) bool {
 	if !b.dirty || b.flushing {
 		return false
 	}
-	if b.dirtyEnd-b.dirtyOff >= int(cacheBlockSize) {
+	if b.dirtyEnd-b.dirtyOff >= int(hc.bs) {
 		return true
 	}
 	return hc.draining > 0 || hc.nDirty > hc.cfg.writeBehind || idx != hc.lastWrite
@@ -738,12 +784,11 @@ func (hc *handleCache) flushWorker(id int) {
 			continue
 		}
 		b.flushing = true
+		b.cow = true // writers detach onto a private copy while we send
 		gen := b.dirtyGen
 		fOff, fEnd := b.dirtyOff, b.dirtyEnd
-		// Snapshot under the lock: writers mutate b.data concurrently.
-		snap := make([]byte, fEnd-fOff)
-		copy(snap, b.data[fOff:fEnd])
-		start := idx*cacheBlockSize + int64(fOff)
+		snap := b.data[fOff:fEnd] // stable under cow: no snapshot copy
+		start := idx*hc.bs + int64(fOff)
 		ctx := hc.flushCtx
 		hc.mu.Unlock()
 
@@ -751,6 +796,7 @@ func (hc *handleCache) flushWorker(id int) {
 
 		hc.mu.Lock()
 		b.flushing = false
+		b.cow = false
 		hc.flushSeq++
 		if err != nil {
 			if hc.werr == nil {

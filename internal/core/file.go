@@ -16,8 +16,9 @@ import (
 // File is a streaming handle on a remote DisCFS file. It implements
 // io.Reader, io.Writer, io.Seeker, io.ReaderAt, io.WriterAt and
 // io.Closer, chunking transfers into NFS READ/WRITE calls of at most
-// nfs.MaxData bytes each, so arbitrarily large files move without ever
-// being buffered whole on either side.
+// the connection's negotiated transfer size each (512 KiB by default,
+// 8 KiB against v2-era servers), so arbitrarily large files move
+// without ever being buffered whole on either side.
 //
 // Unless the client was dialed with WithNoDataCache, file I/O runs
 // through a client-side block cache with sequential readahead and
@@ -256,7 +257,7 @@ func (f *File) checkOpen() error {
 }
 
 // readChunk serves one read at off: from the data cache when enabled,
-// otherwise as a single READ of ≤ MaxData bytes.
+// otherwise as a single READ of at most the negotiated transfer size.
 func (f *File) readChunk(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
@@ -268,15 +269,14 @@ func (f *File) readChunk(p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("core: offset %d beyond NFSv2 range: %w", off, vfs.ErrFBig)
 	}
 	count := uint32(len(p))
-	if count > nfs.MaxData {
-		count = nfs.MaxData
+	if max := f.c.nfs.MaxData(); count > max {
+		count = max
 	}
-	data, attr, err := f.c.nfs.Read(f.ctx, f.h, uint32(off), count)
+	n, attr, err := f.c.nfs.ReadInto(f.ctx, f.h, uint32(off), p[:count])
 	if err != nil {
 		return 0, f.c.wireError(err)
 	}
 	f.size.Store(int64(attr.Size))
-	n := copy(p, data)
 	if n == 0 {
 		return 0, io.EOF
 	}
@@ -284,9 +284,9 @@ func (f *File) readChunk(p []byte, off int64) (int, error) {
 }
 
 // Write implements io.Writer, advancing the cursor. The full slice is
-// written (in MaxData chunks) or an error is returned; on the cached
-// path "written" means buffered for write-behind, with errors deferred
-// to Sync/Close.
+// written (in negotiated-transfer chunks) or an error is returned; on
+// the cached path "written" means buffered for write-behind, with
+// errors deferred to Sync/Close.
 func (f *File) Write(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -319,9 +319,10 @@ func (f *File) writeAt(p []byte, off int64) (int, error) {
 	if f.dc != nil {
 		return f.dc.writeAt(f.ctx, p, off)
 	}
+	step := int(f.c.nfs.MaxData())
 	total := 0
 	for total < len(p) {
-		end := total + nfs.MaxData
+		end := total + step
 		if end > len(p) {
 			end = len(p)
 		}

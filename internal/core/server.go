@@ -93,6 +93,16 @@ type ServerConfig struct {
 	WriteBehindQueue int
 	// Committers sizes the background committer pool; 0 means 2.
 	Committers int
+
+	// MaxTransfer bounds the READ/WRITE payload this server grants
+	// during per-connection transfer-size negotiation (and accepts on
+	// the wire), in bytes. 0 means nfs.DefaultMaxTransfer (504 KiB, the
+	// largest payload whose record fits the 512 KiB buffer-pool class);
+	// values clamp to [nfs.MaxData, nfs.MaxTransferLimit]. Set to
+	// nfs.MaxData to pin v2-era 8 KiB transfers. The write-gathering
+	// run size follows it, so coalesced backing writes match what one
+	// RPC can carry.
+	MaxTransfer int
 }
 
 // coarseClock publishes wall-clock nanoseconds from a ticker goroutine;
@@ -243,12 +253,19 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	for _, a := range cfg.Admins {
 		admins[a] = true
 	}
+	maxTransfer := nfs.ClampTransfer(cfg.MaxTransfer)
+	if cfg.MaxTransfer == 0 {
+		maxTransfer = nfs.DefaultMaxTransfer
+	}
 	backing := cfg.Backing
 	var gather *nfs.GatherFS
 	if cfg.WriteBehind {
 		gather = nfs.NewGatherFS(backing, nfs.GatherConfig{
 			QueueBlocks: cfg.WriteBehindQueue,
 			Committers:  cfg.Committers,
+			// Coalesced backing runs match the negotiated transfer, so a
+			// full run is exactly what one large RPC carries.
+			MaxRunBlocks: int(maxTransfer) / nfs.MaxData,
 		})
 		backing = gather
 	}
@@ -270,7 +287,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.anc[i].parent = make(map[vfs.Handle]vfs.Handle)
 		s.anc[i].path = make(map[vfs.Handle]pathEntry)
 	}
-	nfs.NewServer(s).RegisterAll(s.rpc)
+	ns := nfs.NewServer(s)
+	ns.SetMaxTransfer(int(maxTransfer))
+	ns.RegisterAll(s.rpc)
 	s.registerExt(s.rpc)
 	return s, nil
 }

@@ -87,6 +87,17 @@ func (v *view) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, error
 	return v.s.backing.Read(h, off, count)
 }
 
+// ReadInto implements vfs.ReaderInto; requires R. The policy check runs
+// here and the read lands directly in the caller's buffer (the NFS
+// reply record), keeping the zero-copy path through the credential
+// filter.
+func (v *view) ReadInto(h vfs.Handle, off uint64, dst []byte) (int, bool, error) {
+	if err := v.s.check(v.peer, h, PermR, "read", ""); err != nil {
+		return 0, false, err
+	}
+	return vfs.ReadFSInto(v.s.backing, h, off, dst)
+}
+
 // Write implements vfs.FS; requires W.
 func (v *view) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
 	if err := v.s.check(v.peer, h, PermW, "write", ""); err != nil {

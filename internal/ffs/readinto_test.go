@@ -1,0 +1,97 @@
+package ffs
+
+import (
+	"bytes"
+	"testing"
+
+	"discfs/internal/vfs"
+)
+
+// TestReadIntoMatchesRead drives ReadInto across alignments, holes and
+// EOF and checks it agrees byte-for-byte with Read.
+func TestReadIntoMatchesRead(t *testing.T) {
+	fs, err := New(Config{BlockSize: 512, NumBlocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fs.Root()
+	attr, err := fs.Create(root, "f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := attr.Handle
+	// Content with a hole: [0,700) data, hole to 2048, [2048,3000) data.
+	head := bytes.Repeat([]byte{0xA1}, 700)
+	tail := bytes.Repeat([]byte{0xB2}, 952)
+	if _, err := fs.Write(h, 0, head); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.SetAttr(h, vfs.SetAttr{Size: ptr(uint64(2048))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(h, 2048, tail); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		off uint64
+		n   int
+	}{
+		{0, 512},    // aligned full block
+		{0, 3000},   // whole file
+		{100, 700},  // straddles data/hole
+		{512, 1536}, // aligned span over the hole
+		{700, 100},  // inside the hole
+		{2999, 10},  // clamped at EOF
+		{3000, 10},  // at EOF
+		{9999, 10},  // beyond EOF
+		{1, 2998},   // everything unaligned
+	} {
+		want, wantEOF, err := fs.Read(h, tc.off, uint32(tc.n))
+		if err != nil {
+			t.Fatalf("Read(%d,%d): %v", tc.off, tc.n, err)
+		}
+		dst := bytes.Repeat([]byte{0xFF}, tc.n) // dirty, to catch unwritten spans
+		n, eof, err := fs.ReadInto(h, tc.off, dst)
+		if err != nil {
+			t.Fatalf("ReadInto(%d,%d): %v", tc.off, tc.n, err)
+		}
+		if n != len(want) || eof != wantEOF {
+			t.Fatalf("ReadInto(%d,%d) = (%d,%v), Read = (%d,%v)", tc.off, tc.n, n, eof, len(want), wantEOF)
+		}
+		if !bytes.Equal(dst[:n], want) {
+			t.Fatalf("ReadInto(%d,%d) content mismatch", tc.off, tc.n)
+		}
+	}
+}
+
+// TestLargeSingleCallWrite: the store accepts a multi-megabyte write in
+// one call (the negotiated data plane issues 512 KiB and larger writes
+// without chunking at the vfs boundary).
+func TestLargeSingleCallWrite(t *testing.T) {
+	fs, err := New(Config{BlockSize: 8192, NumBlocks: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attr, err := fs.Create(fs.Root(), "big", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2<<20+333)
+	for i := range data {
+		data[i] = byte(i * 11)
+	}
+	if _, err := fs.Write(attr.Handle, 0, data); err != nil {
+		t.Fatalf("2 MiB single write: %v", err)
+	}
+	got := make([]byte, len(data))
+	n, eof, err := fs.ReadInto(attr.Handle, 0, got)
+	if err != nil || n != len(data) || !eof {
+		t.Fatalf("ReadInto: n=%d eof=%v err=%v", n, eof, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("large write corrupted")
+	}
+}
+
+func ptr[T any](v T) *T { return &v }

@@ -2,7 +2,10 @@ package nfs
 
 import (
 	"context"
+	"errors"
+	"sync/atomic"
 
+	"discfs/internal/bufpool"
 	"discfs/internal/sunrpc"
 	"discfs/internal/vfs"
 	"discfs/internal/xdr"
@@ -13,14 +16,66 @@ import (
 // wire format, usable from tests, tools and the DisCFS client library.
 type Client struct {
 	rpc *sunrpc.Client
+	// maxData is this connection's READ/WRITE transfer size: the v2
+	// baseline until Negotiate (or SetMaxData) raises it.
+	maxData atomic.Uint32
 }
 
-// NewClient wraps an RPC client.
-func NewClient(rpc *sunrpc.Client) *Client { return &Client{rpc: rpc} }
+// NewClient wraps an RPC client. The connection starts at the v2
+// baseline transfer size (MaxData); call Negotiate to raise it.
+func NewClient(rpc *sunrpc.Client) *Client {
+	c := &Client{rpc: rpc}
+	c.maxData.Store(MaxData)
+	return c
+}
 
 // RPC exposes the underlying RPC client (for the DisCFS extension
 // program, which shares the connection).
 func (c *Client) RPC() *sunrpc.Client { return c.rpc }
+
+// MaxData returns the connection's current transfer size: the largest
+// payload one READ or WRITE carries.
+func (c *Client) MaxData() uint32 { return c.maxData.Load() }
+
+// SetMaxData pins the transfer size without a negotiation round trip —
+// for additional data connections to a server whose grant is already
+// known. The value is clamped to [MaxData, MaxTransferLimit].
+func (c *Client) SetMaxData(n uint32) { c.maxData.Store(ClampTransfer(int(n))) }
+
+// Negotiate proposes a transfer size (ProcFSInfo) and adopts the
+// server's grant for subsequent READs and WRITEs on this connection. A
+// server predating the extension (PROC_UNAVAIL or a version mismatch)
+// is a valid answer meaning the v2 baseline: the connection stays at 8
+// KiB and no error is returned. propose == 0 proposes
+// DefaultMaxTransfer.
+func (c *Client) Negotiate(ctx context.Context, propose uint32) (uint32, error) {
+	if propose == 0 {
+		propose = DefaultMaxTransfer
+	}
+	propose = ClampTransfer(int(propose))
+	e := xdr.NewEncoder()
+	e.Uint32(propose)
+	d, err := c.call(ctx, ProcFSInfo, e.Bytes())
+	if err != nil {
+		var re *sunrpc.RPCError
+		if errors.As(err, &re) && (re.Stat == sunrpc.ProcUnavail || re.Stat == sunrpc.ProgMismatch || re.Stat == sunrpc.GarbageArgs) {
+			c.maxData.Store(MaxData)
+			return MaxData, nil
+		}
+		return c.maxData.Load(), err
+	}
+	granted := d.Uint32()
+	if err := d.Err(); err != nil {
+		return c.maxData.Load(), err
+	}
+	// Never exceed our own proposal, whatever the server claims.
+	granted = ClampTransfer(int(granted))
+	if granted > propose {
+		granted = propose
+	}
+	c.maxData.Store(granted)
+	return granted, nil
+}
 
 // Mount issues MOUNTPROC_MNT and returns the root file handle.
 func (c *Client) Mount(ctx context.Context, dirpath string) (vfs.Handle, error) {
@@ -165,8 +220,14 @@ func (c *Client) Readlink(ctx context.Context, h vfs.Handle) (string, error) {
 	return s, d.Err()
 }
 
-// Read issues READ; at most MaxData bytes are returned.
+// Read issues READ; at most MaxData() bytes are returned. The returned
+// data aliases the RPC reply record — a pooled buffer whose ownership
+// passes to the caller with the slice (the data cache installs it as a
+// block without copying; other callers just let the GC reclaim it).
 func (c *Client) Read(ctx context.Context, h vfs.Handle, offset uint32, count uint32) ([]byte, vfs.Attr, error) {
+	if max := c.maxData.Load(); count > max {
+		count = max
+	}
 	e := xdr.NewEncoder()
 	fh := EncodeFH(h)
 	e.OpaqueFixed(fh[:])
@@ -181,26 +242,64 @@ func (c *Client) Read(ctx context.Context, h vfs.Handle, offset uint32, count ui
 	if err != nil {
 		return nil, vfs.Attr{}, err
 	}
-	data := d.Opaque(MaxData)
+	data := d.Opaque(MaxTransferLimit)
 	if err := d.Err(); err != nil {
 		return nil, vfs.Attr{}, err
 	}
-	out := make([]byte, len(data))
-	copy(out, data)
-	return out, a, nil
+	return data, a, nil
 }
 
-// Write issues WRITE; data must be at most MaxData bytes.
-func (c *Client) Write(ctx context.Context, h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error) {
+// ReadInto issues READ with the payload copied into dst (at most
+// MaxData() bytes per call) and recycles the reply record immediately —
+// the path for callers that own a destination buffer and do not want
+// the Read hand-off. Returns the bytes read; 0 at or beyond EOF.
+func (c *Client) ReadInto(ctx context.Context, h vfs.Handle, offset uint32, dst []byte) (int, vfs.Attr, error) {
+	count := uint32(len(dst))
+	if max := c.maxData.Load(); count > max {
+		count = max
+	}
 	e := xdr.NewEncoder()
 	fh := EncodeFH(h)
 	e.OpaqueFixed(fh[:])
-	e.Uint32(0) // beginoffset
 	e.Uint32(offset)
-	e.Uint32(uint32(len(data))) // totalcount
-	e.Opaque(data)
-	d, err := c.call(ctx, ProcWrite, e.Bytes())
+	e.Uint32(count)
+	e.Uint32(count) // totalcount
+	d, err := c.call(ctx, ProcRead, e.Bytes())
 	if err != nil {
+		return 0, vfs.Attr{}, err
+	}
+	a, _, err := decodeAttr(d, h)
+	if err != nil {
+		return 0, vfs.Attr{}, err
+	}
+	data := d.Opaque(MaxTransferLimit)
+	if err := d.Err(); err != nil {
+		return 0, vfs.Attr{}, err
+	}
+	n := copy(dst, data)
+	bufpool.Put(d.Buffer()) // nothing aliases the record past this point
+	return n, a, nil
+}
+
+// Write issues WRITE; data must be at most MaxData() bytes. The payload
+// is encoded directly into the outgoing record — one copy between the
+// caller's buffer and the wire.
+func (c *Client) Write(ctx context.Context, h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error) {
+	d, err := c.rpc.CallAppend(ctx, Prog, Vers, ProcWrite, len(data)+64, func(e *xdr.Encoder) {
+		fh := EncodeFH(h)
+		e.OpaqueFixed(fh[:])
+		e.Uint32(0) // beginoffset
+		e.Uint32(offset)
+		e.Uint32(uint32(len(data))) // totalcount
+		e.Opaque(data)
+	})
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if st := Stat(d.Uint32()); st != OK {
+		return vfs.Attr{}, &Error{Stat: st}
+	}
+	if err := d.Err(); err != nil {
 		return vfs.Attr{}, err
 	}
 	a, _, err := decodeAttr(d, h)
@@ -391,12 +490,12 @@ func (c *Client) StatFS(ctx context.Context, h vfs.Handle) (StatFSResult, error)
 	return r, d.Err()
 }
 
-// ReadAll reads the entire file through sequential MaxData READs.
+// ReadAll reads the entire file through sequential maximal READs.
 func (c *Client) ReadAll(ctx context.Context, h vfs.Handle) ([]byte, error) {
 	var out []byte
 	off := uint32(0)
 	for {
-		data, attr, err := c.Read(ctx, h, off, MaxData)
+		data, attr, err := c.Read(ctx, h, off, c.maxData.Load())
 		if err != nil {
 			return nil, err
 		}
@@ -408,10 +507,11 @@ func (c *Client) ReadAll(ctx context.Context, h vfs.Handle) ([]byte, error) {
 	}
 }
 
-// WriteAll writes data through sequential MaxData WRITEs at offset 0.
+// WriteAll writes data through sequential maximal WRITEs at offset 0.
 func (c *Client) WriteAll(ctx context.Context, h vfs.Handle, data []byte) error {
-	for off := 0; off < len(data); off += MaxData {
-		end := off + MaxData
+	step := int(c.maxData.Load())
+	for off := 0; off < len(data); off += step {
+		end := off + step
 		if end > len(data) {
 			end = len(data)
 		}

@@ -273,7 +273,7 @@ func TestStatFSOverWire(t *testing.T) {
 	if st.BSize != 4096 || st.Blocks != 8192 {
 		t.Errorf("statfs = %+v", st)
 	}
-	if st.TSize != MaxData {
+	if st.TSize != DefaultMaxTransfer {
 		t.Errorf("tsize = %d", st.TSize)
 	}
 }
@@ -315,14 +315,17 @@ func TestLargeSequentialTransfer(t *testing.T) {
 	}
 }
 
-func TestWriteBeyondMaxDataRejected(t *testing.T) {
+func TestWriteBeyondMaxTransferRejected(t *testing.T) {
 	ctx := context.Background()
 	c, _ := startStack(t)
 	root := mountRoot(t, c)
 	attr, _ := c.Create(ctx, root, "f", 0o644)
-	// A write larger than MaxData violates the protocol; the server must
-	// reject it as garbage rather than accept a jumbo frame.
-	_, err := c.Write(ctx, attr.Handle, 0, make([]byte, MaxData+1))
+	// A write larger than the server's transfer bound violates the
+	// protocol; the server must reject it as garbage rather than accept
+	// a jumbo frame. (The client's own clamp is bypassed by pinning a
+	// transfer size above the server's bound.)
+	c.SetMaxData(MaxTransferLimit)
+	_, err := c.Write(ctx, attr.Handle, 0, make([]byte, DefaultMaxTransfer+1))
 	var re *sunrpc.RPCError
 	if !errors.As(err, &re) || re.Stat != sunrpc.GarbageArgs {
 		t.Errorf("oversized write = %v, want GarbageArgs", err)

@@ -50,6 +50,14 @@ const (
 	// storage; the reply carries the boot verifier so clients detect a
 	// restart that lost buffered writes and replay them).
 	ProcCommit = 18
+	// ProcFSInfo is the FSINFO-style transfer-size negotiation, the
+	// second extension slot: the client proposes the largest READ/WRITE
+	// payload it wants to use, the server clamps the proposal to its
+	// configured maximum and replies with the granted size. Servers
+	// predating the extension answer PROC_UNAVAIL, which clients treat
+	// as a grant of the v2 baseline (MaxData, 8 KiB) — see
+	// Client.Negotiate.
+	ProcFSInfo = 19
 )
 
 // MOUNT procedure numbers.
@@ -170,8 +178,38 @@ func MapError(err error) Stat {
 // FHSize is the fixed NFSv2 file handle size.
 const FHSize = 32
 
-// MaxData is the NFSv2 maximum READ/WRITE transfer size.
+// MaxData is the NFSv2 baseline READ/WRITE transfer size: the fallback
+// every connection starts from, and all an un-negotiated (v2-era) peer
+// ever uses.
 const MaxData = 8192
+
+// Negotiated transfer bounds (see ProcFSInfo). DefaultMaxTransfer is
+// the server-side default clamp: one 8 KiB block under the 512 KiB
+// pool class, so a maximal record — payload plus RPC framing and
+// attributes — still fits the class and a cached block pins exactly
+// the memory the cache accounts for (a full 512 KiB payload would tip
+// every record into the 1 MiB class, doubling the footprint).
+// MaxTransferLimit is the protocol's absolute ceiling (the record
+// layers size their buffers to carry it).
+const (
+	DefaultMaxTransfer = (512 - 8) << 10
+	MaxTransferLimit   = 1 << 20
+)
+
+// ClampTransfer bounds a transfer-size proposal or configuration value
+// to [MaxData, MaxTransferLimit] and rounds it down to a whole number
+// of MaxData blocks — an unaligned grant would quietly disable the
+// block-aligned zero-copy read path and the write-gathering run match.
+// 0 (and anything below the baseline) means the baseline.
+func ClampTransfer(n int) uint32 {
+	if n < MaxData {
+		return MaxData
+	}
+	if n > MaxTransferLimit {
+		return MaxTransferLimit
+	}
+	return uint32(n - n%MaxData)
+}
 
 // MaxPath and MaxName bound path and name strings.
 const (

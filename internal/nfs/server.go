@@ -24,10 +24,25 @@ func (s StaticExport) View(string) (vfs.FS, error) { return s.FS, nil }
 // Server dispatches the NFS and MOUNT programs into an Exporter.
 type Server struct {
 	exp Exporter
+	// maxTransfer is the largest READ/WRITE payload this server moves in
+	// one call; FSINFO negotiation clamps client proposals to it.
+	maxTransfer uint32
 }
 
-// NewServer creates an NFS server over exp.
-func NewServer(exp Exporter) *Server { return &Server{exp: exp} }
+// NewServer creates an NFS server over exp, granting negotiated
+// transfers up to DefaultMaxTransfer (SetMaxTransfer adjusts).
+func NewServer(exp Exporter) *Server {
+	return &Server{exp: exp, maxTransfer: DefaultMaxTransfer}
+}
+
+// SetMaxTransfer bounds the transfer size this server grants during
+// FSINFO negotiation (and accepts on the wire), clamped to
+// [MaxData, MaxTransferLimit]. Setting it to MaxData pins v2-era 8 KiB
+// behavior. Call before serving.
+func (s *Server) SetMaxTransfer(n int) { s.maxTransfer = ClampTransfer(n) }
+
+// MaxTransfer reports the configured transfer bound.
+func (s *Server) MaxTransfer() uint32 { return s.maxTransfer }
 
 // RegisterAll installs the NFS and MOUNT programs on rpc.
 func (s *Server) RegisterAll(rpc *sunrpc.Server) {
@@ -68,12 +83,15 @@ func (s *Server) dispatch(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, r
 	if proc == ProcNull {
 		return sunrpc.Success, nil
 	}
+	if proc == ProcFSInfo {
+		return s.fsinfo(args, res)
+	}
 	fs, err := s.exp.View(ctx.Peer)
 	if err != nil {
 		res.Uint32(uint32(ErrAcces))
 		return sunrpc.Success, nil
 	}
-	h := &procHandler{fs: fs, args: args, res: res}
+	h := &procHandler{fs: fs, args: args, res: res, maxTransfer: s.maxTransfer}
 	var fn func()
 	switch proc {
 	case ProcGetattr:
@@ -120,12 +138,32 @@ func (s *Server) dispatch(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, r
 	return sunrpc.Success, nil
 }
 
+// fsinfo answers the transfer-size negotiation: the grant is the
+// client's proposal clamped to this server's bound. Stateless — the
+// server accepts anything up to its own bound regardless of what a
+// connection negotiated, so the grant is purely the client's license.
+func (s *Server) fsinfo(args *xdr.Decoder, res *xdr.Encoder) (sunrpc.AcceptStat, error) {
+	proposed := args.Uint32()
+	if args.Err() != nil {
+		return sunrpc.GarbageArgs, nil
+	}
+	granted := ClampTransfer(int(proposed))
+	if granted > s.maxTransfer {
+		granted = s.maxTransfer
+	}
+	res.Uint32(uint32(OK))
+	res.Uint32(granted)
+	res.Uint32(s.maxTransfer) // the server's own bound, for diagnostics
+	return sunrpc.Success, nil
+}
+
 // procHandler carries per-call state for the procedure bodies.
 type procHandler struct {
-	fs      vfs.FS
-	args    *xdr.Decoder
-	res     *xdr.Encoder
-	garbage bool
+	fs          vfs.FS
+	args        *xdr.Decoder
+	res         *xdr.Encoder
+	maxTransfer uint32
+	garbage     bool
 }
 
 // fh decodes a file handle argument.
@@ -250,23 +288,44 @@ func (h *procHandler) read() {
 		h.garbage = true
 		return
 	}
-	if count > MaxData {
-		count = MaxData
+	if count > h.maxTransfer {
+		count = h.maxTransfer
 	}
-	data, _, err := h.fs.Read(vh, uint64(offset), count)
-	if err != nil {
-		h.res.Uint32(uint32(MapError(err)))
-		return
-	}
+	// Zero-copy read: size the payload from the attributes, reserve its
+	// opaque window in the reply record, and let the store fill it
+	// directly (vfs.ReaderInto reaches through the policy view, the
+	// write-gathering overlay and the CFS layer down to the device).
 	attr, err := h.fs.GetAttr(vh)
 	if err != nil {
 		h.res.Uint32(uint32(MapError(err)))
 		return
 	}
+	n := uint64(count)
+	switch {
+	case uint64(offset) >= attr.Size:
+		n = 0
+	case uint64(offset)+n > attr.Size:
+		n = attr.Size - uint64(offset)
+	}
+	mark := h.res.Len()
 	h.res.Uint32(uint32(OK))
 	fa := FAttrFromVFS(attr, h.blockSize())
 	fa.Encode(h.res)
-	h.res.Opaque(data)
+	lenPos := h.res.Len()
+	window := h.res.OpaqueInto(int(n))
+	nr, _, err := vfs.ReadFSInto(h.fs, vh, uint64(offset), window)
+	if err != nil {
+		h.res.Truncate(mark)
+		h.res.Uint32(uint32(MapError(err)))
+		return
+	}
+	if nr != int(n) {
+		// The file shrank between the attribute snapshot and the read
+		// (concurrent truncate): shorten the opaque in place.
+		h.res.PatchUint32(lenPos, uint32(nr))
+		h.res.Truncate(lenPos + 4 + nr)
+		h.res.Reserve((4 - nr%4) % 4) // restore the zero padding
+	}
 }
 
 func (h *procHandler) write() {
@@ -277,7 +336,7 @@ func (h *procHandler) write() {
 	_ = h.args.Uint32() // beginoffset, unused
 	offset := h.args.Uint32()
 	_ = h.args.Uint32() // totalcount, unused
-	data := h.args.Opaque(MaxData)
+	data := h.args.Opaque(int(h.maxTransfer))
 	if h.args.Err() != nil {
 		h.garbage = true
 		return
@@ -492,7 +551,7 @@ func (h *procHandler) statfs() {
 		return
 	}
 	h.res.Uint32(uint32(OK))
-	h.res.Uint32(MaxData) // tsize: optimal transfer size
+	h.res.Uint32(h.maxTransfer) // tsize: optimal transfer size
 	h.res.Uint32(st.BlockSize)
 	h.res.Uint32(uint32(st.TotalBlocks))
 	h.res.Uint32(uint32(st.FreeBlocks))

@@ -620,6 +620,24 @@ func (g *GatherFS) Read(h vfs.Handle, off uint64, count uint32) ([]byte, bool, e
 	return out, eof, nil
 }
 
+// ReadInto implements vfs.ReaderInto. With no buffered state for h —
+// the steady state between write bursts — the read lands directly in
+// dst through the backing store's own zero-copy path; a file with
+// buffered extents takes the overlay Read and copies.
+func (g *GatherFS) ReadInto(h vfs.Handle, off uint64, dst []byte) (int, bool, error) {
+	g.mu.Lock()
+	busy := g.files[h] != nil
+	g.mu.Unlock()
+	if busy {
+		data, eof, err := g.Read(h, off, uint32(len(dst)))
+		if err != nil {
+			return 0, false, err
+		}
+		return copy(dst, data), eof, nil
+	}
+	return vfs.ReadFSInto(g.backing, h, off, dst)
+}
+
 // GetAttr implements vfs.FS with buffered size/mtime overlay.
 func (g *GatherFS) GetAttr(h vfs.Handle) (vfs.Attr, error) {
 	a, err := g.backing.GetAttr(h)

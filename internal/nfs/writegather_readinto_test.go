@@ -1,0 +1,57 @@
+package nfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGatherReadIntoSeesBufferedWrites: ReadInto through the gather
+// layer must merge buffered (unstable) extents exactly as Read does —
+// the overlay path — and take the zero-copy passthrough once a COMMIT
+// drains the file.
+func TestGatherReadIntoSeesBufferedWrites(t *testing.T) {
+	// A huge queue bound keeps writes buffered (no committer pressure),
+	// so the overlay path is what ReadInto must serve.
+	g, backing := gatherOver(t, GatherConfig{QueueBlocks: 1 << 16})
+	h := mustCreate(t, g, "f")
+
+	// Backing holds an older version; buffered extents overwrite part.
+	if _, err := backing.Write(h, 0, bytes.Repeat([]byte{0x11}, 4000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(h, 1000, bytes.Repeat([]byte{0x22}, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write(h, 3500, bytes.Repeat([]byte{0x33}, 1500)); err != nil {
+		t.Fatal(err) // extends the file past the backing size
+	}
+
+	want, wantEOF, err := g.Read(h, 0, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := bytes.Repeat([]byte{0xFF}, 6000)
+	n, eof, err := g.ReadInto(h, 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || eof != wantEOF {
+		t.Fatalf("ReadInto = (%d,%v), Read = (%d,%v)", n, eof, len(want), wantEOF)
+	}
+	if !bytes.Equal(dst[:n], want) {
+		t.Fatal("buffered overlay mismatch between Read and ReadInto")
+	}
+
+	// After COMMIT the buffered state drains and ReadInto serves the
+	// backing store's zero-copy path with identical content.
+	if _, _, err := g.Commit(h); err != nil {
+		t.Fatal(err)
+	}
+	n2, _, err := g.ReadInto(h, 0, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n || !bytes.Equal(dst[:n2], want) {
+		t.Fatal("post-commit ReadInto diverges from pre-commit content")
+	}
+}

@@ -1,0 +1,115 @@
+package secchan
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"testing"
+)
+
+// sinkConn satisfies net.Conn for tests that only exercise Write.
+type sinkConn struct {
+	net.Conn
+	w io.Writer
+}
+
+func (s sinkConn) Write(p []byte) (int, error) { return s.w.Write(p) }
+
+// recordPair wires a writing Conn to a reading Conn through an
+// in-memory buffer, sharing one traffic key — just the record layer, no
+// handshake.
+func recordPair(t testing.TB) (*Conn, *Conn, *bytes.Buffer) {
+	t.Helper()
+	key := bytes.Repeat([]byte{0x42}, 32)
+	wa, err := newAEAD(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := newAEAD(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pipe bytes.Buffer
+	wc := &Conn{raw: sinkConn{w: &pipe}, waead: wa, wkey: key}
+	rc := &Conn{br: bufio.NewReaderSize(&pipe, 64<<10), raead: ra, rkey: key}
+	return wc, rc, &pipe
+}
+
+// TestRecordLayerAllocs is the allocation guard for the data plane's
+// crypto hop: sealing reuses the connection's wbuf and opening decrypts
+// in place in the retained rawbuf, so a steady-state record round trip
+// must not allocate per-record buffers (the small constant covers the
+// GCM interface call's nonce/AAD escapes).
+func TestRecordLayerAllocs(t *testing.T) {
+	wc, rc, _ := recordPair(t)
+	payload := make([]byte, 256<<10)
+	out := make([]byte, len(payload))
+
+	roundTrip := func() {
+		if _, err := wc.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < len(payload); {
+			m, err := rc.Read(out[n:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += m
+		}
+	}
+	roundTrip() // warm: sizes wbuf and rawbuf
+
+	allocs := testing.AllocsPerRun(50, roundTrip)
+	if allocs > 8 {
+		t.Errorf("record round trip allocates %.1f objects/op; the seal/open buffers must be reused", allocs)
+	}
+}
+
+// TestRecordLayerLargeRecord: a maximal record (1 MiB class) round-trips
+// through one seal/open.
+func TestRecordLayerLargeRecord(t *testing.T) {
+	wc, rc, _ := recordPair(t)
+	payload := make([]byte, maxRecord)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if _, err := wc.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if wc.wseq != 1 {
+		t.Fatalf("payload of %d split into %d records, want 1", len(payload), wc.wseq)
+	}
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(readerOnly{rc}, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large record corrupted")
+	}
+}
+
+// readerOnly adapts a Conn to io.Reader without exposing net.Conn.
+type readerOnly struct{ c *Conn }
+
+func (r readerOnly) Read(p []byte) (int, error) { return r.c.Read(p) }
+
+func BenchmarkRecordRoundTrip(b *testing.B) {
+	wc, rc, _ := recordPair(b)
+	payload := make([]byte, 512<<10)
+	out := make([]byte, len(payload))
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wc.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		for n := 0; n < len(payload); {
+			m, err := rc.Read(out[n:])
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += m
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"discfs/internal/bufpool"
 	"discfs/internal/keynote"
 )
 
@@ -45,8 +46,11 @@ const (
 	// desynchronizing on the extra record.
 	protoVersion = 2
 	nonceLen     = 32
-	// maxRecord bounds one encrypted record's plaintext.
-	maxRecord = 1 << 16
+	// maxRecord bounds one encrypted record's plaintext. Sized to carry
+	// a maximal negotiated NFS transfer (1 MiB) plus its RPC framing in
+	// a single record, so a large READ/WRITE costs one seal and one
+	// socket write instead of being chopped into 64 KiB records.
+	maxRecord = (1 << 20) + 4096
 	// maxHandshakeMsg bounds handshake messages.
 	maxHandshakeMsg = 4096
 )
@@ -134,7 +138,8 @@ type Conn struct {
 	rseq    uint64
 	raead   cipher.AEAD
 	rkey    []byte // current read traffic key (ratcheted)
-	rbuf    []byte // decrypted bytes not yet delivered
+	rbuf    []byte // decrypted bytes not yet delivered (aliases rawbuf)
+	rawbuf  []byte // reusable ciphertext buffer; records open in place
 	readErr error
 }
 
@@ -525,7 +530,8 @@ func (c *Conn) writeRecord(plaintext []byte) error {
 	binary.BigEndian.PutUint64(aad[:], seq)
 	need := 4 + len(plaintext) + c.waead.Overhead()
 	if cap(c.wbuf) < need {
-		c.wbuf = make([]byte, 0, need)
+		bufpool.Put(c.wbuf)
+		c.wbuf = bufpool.Get(need)[:0]
 	}
 	msg := c.waead.Seal(c.wbuf[:4], sealNonce(seq), plaintext, aad[:])
 	binary.BigEndian.PutUint32(msg[:4], uint32(len(msg)-4))
@@ -535,6 +541,12 @@ func (c *Conn) writeRecord(plaintext []byte) error {
 
 // readRecord receives and decrypts one record. Caller holds c.rmu or is
 // single-threaded (handshake).
+//
+// The ciphertext lands in the connection's retained rawbuf and is
+// opened in place, so the steady-state read path allocates nothing per
+// record. The returned plaintext aliases rawbuf: it is valid only until
+// the next readRecord, which Read respects by fully draining rbuf
+// before reading the next record.
 func (c *Conn) readRecord() ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
@@ -544,7 +556,11 @@ func (c *Conn) readRecord() ([]byte, error) {
 	if n > maxRecord+uint32(c.raead.Overhead()) {
 		return nil, fmt.Errorf("%w: record of %d bytes", ErrRecord, n)
 	}
-	ct := make([]byte, n)
+	if cap(c.rawbuf) < int(n) {
+		bufpool.Put(c.rawbuf)
+		c.rawbuf = bufpool.Get(int(n))
+	}
+	ct := c.rawbuf[:n]
 	if _, err := io.ReadFull(c.br, ct); err != nil {
 		return nil, err
 	}
@@ -555,7 +571,7 @@ func (c *Conn) readRecord() ([]byte, error) {
 	}
 	var aad [8]byte
 	binary.BigEndian.PutUint64(aad[:], seq)
-	pt, err := c.raead.Open(nil, sealNonce(seq), ct, aad[:])
+	pt, err := c.raead.Open(ct[:0], sealNonce(seq), ct, aad[:])
 	if err != nil {
 		// Tampering or replay: a replayed record carries a stale
 		// sequence number and fails authentication here.

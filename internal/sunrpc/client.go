@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"discfs/internal/bufpool"
 	"discfs/internal/xdr"
 )
 
@@ -61,7 +62,11 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Unlock()
 		if ok {
+			// Ownership of the pooled record passes to the caller with
+			// the reply (see Call).
 			ch <- clientReply{data: rec}
+		} else {
+			bufpool.Put(rec) // late reply for an abandoned call
 		}
 	}
 }
@@ -82,11 +87,25 @@ func (c *Client) failAll(err error) {
 // Call invokes (prog, vers, proc) with pre-encoded args and returns a
 // decoder positioned at the start of the results.
 //
+// The decoder's backing buffer is a pooled record whose ownership
+// passes to the caller; data obtained from it (Opaque aliases) stays
+// valid for as long as the caller keeps it.
+//
 // Call honors ctx: a canceled or expired context abandons the in-flight
 // call immediately and returns ctx.Err(). The request may still execute
 // on the server — cancellation releases the caller, it does not undo
 // side effects already dispatched.
 func (c *Client) Call(ctx context.Context, prog, vers, proc uint32, args []byte) (*xdr.Decoder, error) {
+	return c.CallAppend(ctx, prog, vers, proc, len(args), func(e *xdr.Encoder) {
+		e.OpaqueFixed(args)
+	})
+}
+
+// CallAppend is Call with the procedure arguments encoded directly into
+// the outgoing record by encodeArgs — the append-free path for bulk
+// payloads (a WRITE's data is copied exactly once, into the wire
+// record). sizeHint presizes the record buffer (0 is fine).
+func (c *Client) CallAppend(ctx context.Context, prog, vers, proc uint32, sizeHint int, encodeArgs func(*xdr.Encoder)) (*xdr.Decoder, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -102,7 +121,8 @@ func (c *Client) Call(ctx context.Context, prog, vers, proc uint32, args []byte)
 	c.pend[xid] = ch
 	c.mu.Unlock()
 
-	e := xdr.NewEncoder()
+	e := xdr.NewEncoderWith(bufpool.Get(headerRoom + 64 + sizeHint))
+	e.Reserve(headerRoom) // record-marking header, patched by writeFramed
 	encodeCall(e, callHeader{
 		Xid:  xid,
 		Prog: prog,
@@ -110,9 +130,12 @@ func (c *Client) Call(ctx context.Context, prog, vers, proc uint32, args []byte)
 		Proc: proc,
 		Cred: OpaqueAuth{Flavor: AuthNone},
 		Verf: OpaqueAuth{Flavor: AuthNone},
-	}, args)
+	})
+	encodeArgs(e)
 
-	err := c.writeCancelable(ctx, e.Bytes())
+	msg := e.Bytes()
+	err := c.writeCancelable(ctx, msg)
+	bufpool.Put(msg)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pend, xid)
@@ -142,12 +165,13 @@ type writeDeadliner interface {
 	SetWriteDeadline(t time.Time) error
 }
 
-// writeCancelable sends one record under wmu. When the transport
-// supports write deadlines, a context that expires mid-write forces the
-// blocked write to fail instead of wedging the caller (and everyone
-// queued on wmu) forever; the interrupted record leaves the connection
-// mid-frame, so the resulting transport error poisons it for all
-// callers — the correct outcome for an undeliverable request.
+// writeCancelable sends one framed record (headerRoom-prefixed) under
+// wmu. When the transport supports write deadlines, a context that
+// expires mid-write forces the blocked write to fail instead of wedging
+// the caller (and everyone queued on wmu) forever; the interrupted
+// record leaves the connection mid-frame, so the resulting transport
+// error poisons it for all callers — the correct outcome for an
+// undeliverable request.
 func (c *Client) writeCancelable(ctx context.Context, rec []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -168,7 +192,7 @@ func (c *Client) writeCancelable(ctx context.Context, rec []byte) error {
 			_ = wd.SetWriteDeadline(time.Time{})
 		}()
 	}
-	err := writeRecord(c.conn, rec)
+	err := writeFramed(c.conn, rec)
 	if err != nil && ctx.Err() != nil {
 		// The record may be half-sent; close so the read loop fails every
 		// pending call instead of desynchronizing on the next frame.

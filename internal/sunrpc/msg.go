@@ -96,9 +96,9 @@ type callHeader struct {
 	Verf OpaqueAuth
 }
 
-// encodeCall serializes a call message; args are the pre-encoded
-// procedure arguments.
-func encodeCall(e *xdr.Encoder, h callHeader, args []byte) {
+// encodeCall serializes a call message header; the caller appends the
+// procedure arguments directly to e.
+func encodeCall(e *xdr.Encoder, h callHeader) {
 	e.Uint32(h.Xid)
 	e.Uint32(msgTypeCall)
 	e.Uint32(rpcVersion)
@@ -107,7 +107,6 @@ func encodeCall(e *xdr.Encoder, h callHeader, args []byte) {
 	e.Uint32(h.Proc)
 	h.Cred.encode(e)
 	h.Verf.encode(e)
-	e.OpaqueFixed(args)
 }
 
 // RPCError is a non-success RPC-level outcome (the call never reached, or

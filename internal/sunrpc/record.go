@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"discfs/internal/bufpool"
 )
 
 // TCP record marking (RFC 5531 §11): each RPC message is sent as one or
@@ -12,25 +14,51 @@ import (
 
 const (
 	lastFragmentBit = 1 << 31
-	// maxRecordSize bounds a reassembled record; NFSv2 READ/WRITE carry
-	// at most 8 KiB of data, so 1 MiB is generous while still preventing
-	// hostile length fields from exhausting memory.
-	maxRecordSize = 1 << 20
-	// maxFragment is the largest fragment we emit.
-	maxFragment = 1 << 16
+	// maxRecordSize bounds a reassembled record. The negotiated-transfer
+	// data plane carries up to nfs.MaxTransferLimit (1 MiB) of READ/WRITE
+	// payload per record; 4 MiB leaves room for headers, the secure
+	// channel's AEAD overhead and multi-fragment peers while still
+	// stopping hostile length fields from exhausting memory.
+	maxRecordSize = 4 << 20
+	// maxFragment is the largest fragment we emit: big enough that a
+	// maximal record leaves in one fragment (one header, one Write).
+	maxFragment = 1 << 20
 )
+
+// headerRoom is the zero prefix encoders reserve so writeFramed can
+// patch the record-marking header in place and issue a single Write.
+const headerRoom = 4
 
 // writeRecord sends buf as one record, fragmenting as needed. Header and
 // payload go out in a single Write: on high-latency transports the extra
 // segment for a separate 4-byte header measurably inflates RPC times.
 func writeRecord(w io.Writer, buf []byte) error {
 	if len(buf) <= maxFragment {
-		msg := make([]byte, 4+len(buf))
+		msg := bufpool.Get(4 + len(buf))
 		binary.BigEndian.PutUint32(msg, uint32(len(buf))|lastFragmentBit)
 		copy(msg[4:], buf)
 		_, err := w.Write(msg)
+		bufpool.Put(msg)
 		return err
 	}
+	return writeFragmented(w, buf)
+}
+
+// writeFramed sends msg — whose first headerRoom bytes are reserved
+// header space and whose remainder is the record — patching the header
+// in place so a single-fragment record costs no copy at all.
+func writeFramed(w io.Writer, msg []byte) error {
+	rec := msg[headerRoom:]
+	if len(rec) <= maxFragment {
+		binary.BigEndian.PutUint32(msg, uint32(len(rec))|lastFragmentBit)
+		_, err := w.Write(msg)
+		return err
+	}
+	return writeFragmented(w, rec)
+}
+
+// writeFragmented is the multi-fragment slow path.
+func writeFragmented(w io.Writer, buf []byte) error {
 	var hdr [4]byte
 	for {
 		n := len(buf)
@@ -57,23 +85,43 @@ func writeRecord(w io.Writer, buf []byte) error {
 	}
 }
 
-// readRecord reassembles one record from r.
+// readRecord reassembles one record from r. The returned buffer comes
+// from bufpool; ownership passes to the caller (the server returns it
+// after dispatch, the client hands it to the reply's consumer).
+//
+// The record buffer is preallocated from the first fragment's length
+// hint — the common single-fragment record is read straight into a
+// right-sized buffer — and grows geometrically for multi-fragment
+// records instead of reallocating per fragment.
 func readRecord(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	var rec []byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if rec != nil && err == io.EOF {
+				err = io.ErrUnexpectedEOF // EOF mid-record is a truncation
+			}
+			bufpool.Put(rec)
 			return nil, err
 		}
 		v := binary.BigEndian.Uint32(hdr[:])
 		last := v&lastFragmentBit != 0
 		n := int(v &^ lastFragmentBit)
 		if n > maxRecordSize || len(rec)+n > maxRecordSize {
+			bufpool.Put(rec)
 			return nil, fmt.Errorf("sunrpc: record exceeds %d bytes", maxRecordSize)
 		}
 		start := len(rec)
-		rec = append(rec, make([]byte, n)...)
+		if rec == nil {
+			rec = bufpool.Get(n)
+		} else {
+			rec = bufpool.Grow(rec, start+n)
+		}
 		if _, err := io.ReadFull(r, rec[start:]); err != nil {
+			bufpool.Put(rec)
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
 			return nil, err
 		}
 		if last {

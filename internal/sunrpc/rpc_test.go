@@ -245,8 +245,8 @@ func TestRecordMarkingFragmentation(t *testing.T) {
 
 func TestRecordSizeLimit(t *testing.T) {
 	var buf bytes.Buffer
-	// Forged header: 2 MiB fragment.
-	buf.Write([]byte{0x80 | 0x00, 0x20, 0x00, 0x00})
+	// Forged header: 8 MiB fragment, past maxRecordSize.
+	buf.Write([]byte{0x80, 0x80, 0x00, 0x00})
 	if _, err := readRecord(&buf); err == nil {
 		t.Error("oversized record accepted")
 	}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 
+	"discfs/internal/bufpool"
 	"discfs/internal/xdr"
 )
 
@@ -31,6 +32,12 @@ type Context struct {
 // encodes results into res. Returning a non-Success status discards res
 // and reports the status to the caller; returning an error produces
 // SystemErr.
+//
+// Buffer contract: the args decoder's backing record is pooled and
+// recycled as soon as the handler returns — a handler that retains any
+// decoded bytes (an Opaque alias) past its return must copy them. res
+// writes directly into the reply record, so results are encoded exactly
+// once.
 type Handler func(ctx *Context, proc uint32, args *xdr.Decoder, res *xdr.Encoder) (AcceptStat, error)
 
 // progVers keys the dispatch table.
@@ -209,6 +216,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 			defer s.wg.Done()
 			defer func() { <-connSem }()
 			reply, err := s.dispatch(ctx, rec)
+			bufpool.Put(rec) // handlers must not retain args past dispatch
 			if s.sem != nil {
 				<-s.sem // before the reply write, which may block
 			}
@@ -217,15 +225,20 @@ func (s *Server) ServeConn(conn net.Conn) {
 				return // undecodable call: drop it
 			}
 			wmu.Lock()
-			defer wmu.Unlock()
-			if err := writeRecord(conn, reply); err != nil {
-				s.logf("sunrpc: write: %v", err)
+			werr := writeFramed(conn, reply)
+			wmu.Unlock()
+			bufpool.Put(reply)
+			if werr != nil {
+				s.logf("sunrpc: write: %v", werr)
 			}
 		}(rec)
 	}
 }
 
-// dispatch decodes one call record and produces the encoded reply record.
+// dispatch decodes one call record and produces the encoded reply
+// record: a pooled, headerRoom-prefixed buffer ready for writeFramed,
+// with the procedure results encoded in place (no copy from a side
+// encoder). Ownership of the reply buffer passes to the caller.
 func (s *Server) dispatch(ctx *Context, rec []byte) ([]byte, error) {
 	d := xdr.NewDecoder(rec)
 	xid := d.Uint32()
@@ -246,7 +259,8 @@ func (s *Server) dispatch(ctx *Context, rec []byte) ([]byte, error) {
 		return nil, d.Err()
 	}
 
-	e := xdr.NewEncoder()
+	e := xdr.NewEncoderWith(bufpool.Get(512))
+	e.Reserve(headerRoom) // record-marking header, patched by writeFramed
 	e.Uint32(xid)
 	e.Uint32(msgTypeReply)
 	if rpcvers != rpcVersion {
@@ -272,7 +286,12 @@ func (s *Server) dispatch(ctx *Context, rec []byte) ([]byte, error) {
 		e.Uint32(verRange[0])
 		e.Uint32(verRange[1])
 	default:
-		res := xdr.NewEncoder()
+		// The accept stat precedes the results on the wire but is known
+		// only after the handler runs: reserve it, let the handler encode
+		// results in place, and patch it — rolling the body back if the
+		// handler failed.
+		statOff := e.Reserve(4)
+		bodyOff := e.Len()
 		stat, err := func() (stat AcceptStat, err error) {
 			defer func() {
 				if r := recover(); r != nil {
@@ -280,16 +299,16 @@ func (s *Server) dispatch(ctx *Context, rec []byte) ([]byte, error) {
 					stat, err = SystemErr, nil
 				}
 			}()
-			return h(ctx, proc, d, res)
+			return h(ctx, proc, d, e)
 		}()
 		if err != nil {
 			s.logf("sunrpc: handler error: prog=%d proc=%d: %v", prog, proc, err)
 			stat = SystemErr
 		}
-		e.Uint32(uint32(stat))
-		if stat == Success {
-			e.OpaqueFixed(res.Bytes())
+		if stat != Success {
+			e.Truncate(bodyOff) // discard any partial results
 		}
+		e.PatchUint32(statOff, uint32(stat))
 	}
 	return e.Bytes(), nil
 }

@@ -121,6 +121,30 @@ type Syncer interface {
 	Sync() error
 }
 
+// ReaderInto is an optional FS capability: Read with a caller-supplied
+// destination, the zero-copy half of the data plane. ReadInto fills dst
+// with file content at off — short only at end of file — and reports
+// the byte count and EOF exactly as Read does. The NFS server reads
+// directly into the reply record through it, skipping the per-call
+// allocation and copy of the Read path. Implementations must not retain
+// dst.
+type ReaderInto interface {
+	ReadInto(h Handle, off uint64, dst []byte) (n int, eof bool, err error)
+}
+
+// ReadFSInto reads through fs's ReaderInto capability when present, and
+// falls back to Read-and-copy otherwise.
+func ReadFSInto(fs FS, h Handle, off uint64, dst []byte) (int, bool, error) {
+	if ri, ok := fs.(ReaderInto); ok {
+		return ri.ReadInto(h, off, dst)
+	}
+	data, eof, err := fs.Read(h, off, uint32(len(dst)))
+	if err != nil {
+		return 0, false, err
+	}
+	return copy(dst, data), eof, nil
+}
+
 // SyncFS flushes fs if it implements Syncer, and is a no-op otherwise.
 func SyncFS(fs FS) error {
 	if s, ok := fs.(Syncer); ok {

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"discfs/internal/bufpool"
 )
 
 // ErrShort indicates a decode past the end of the buffer.
@@ -24,11 +26,31 @@ func pad(n int) int { return (4 - n%4) % 4 }
 
 // Encoder serializes values into an in-memory XDR stream.
 type Encoder struct {
-	buf []byte
+	buf    []byte
+	pooled bool
 }
 
 // NewEncoder returns an empty encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
+
+// NewEncoderWith returns an encoder borrowing buf's backing array
+// (contents are discarded), for callers that manage encode buffers
+// through the shared pool. Ownership of the array transfers to the
+// encoder: when the stream outgrows it, the encoder moves to a larger
+// pooled array and recycles the old one. After the stream is consumed,
+// Bytes is the buffer to return to the pool.
+func NewEncoderWith(buf []byte) *Encoder { return &Encoder{buf: buf[:0], pooled: true} }
+
+// ensure grows a pooled encoder's backing array through bufpool so the
+// final buffer keeps a recyclable size class. Plain encoders rely on
+// append's growth (their buffers are never pooled).
+func (e *Encoder) ensure(n int) {
+	if !e.pooled || cap(e.buf)-len(e.buf) >= n {
+		return
+	}
+	l := len(e.buf)
+	e.buf = bufpool.Grow(e.buf, l+n)[:l]
+}
 
 // Bytes returns the encoded stream. The slice aliases the encoder's
 // buffer; it is valid until the next method call.
@@ -42,6 +64,7 @@ func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
 // Uint32 encodes a 32-bit unsigned integer.
 func (e *Encoder) Uint32(v uint32) {
+	e.ensure(4)
 	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
@@ -66,22 +89,59 @@ func (e *Encoder) Bool(v bool) {
 	}
 }
 
+// zeros backs the append-free zero padding.
+var zeros [4]byte
+
 // Opaque encodes variable-length opaque data with its length prefix.
 func (e *Encoder) Opaque(b []byte) {
+	e.ensure(4 + len(b) + pad(len(b)))
 	e.Uint32(uint32(len(b)))
 	e.buf = append(e.buf, b...)
-	for i := 0; i < pad(len(b)); i++ {
-		e.buf = append(e.buf, 0)
-	}
+	e.buf = append(e.buf, zeros[:pad(len(b))]...)
 }
 
 // OpaqueFixed encodes fixed-length opaque data (no length prefix).
 func (e *Encoder) OpaqueFixed(b []byte) {
+	e.ensure(len(b) + pad(len(b)))
 	e.buf = append(e.buf, b...)
-	for i := 0; i < pad(len(b)); i++ {
-		e.buf = append(e.buf, 0)
-	}
+	e.buf = append(e.buf, zeros[:pad(len(b))]...)
 }
+
+// OpaqueInto encodes the header and padding of an n-byte opaque item and
+// returns the payload window for the caller to fill in place — the
+// append-free path for payloads produced directly into the stream (one
+// copy fewer than building the payload elsewhere and calling Opaque).
+// The window is valid until the next Encoder method call.
+func (e *Encoder) OpaqueInto(n int) []byte {
+	e.Uint32(uint32(n))
+	off := e.Reserve(n + pad(n))
+	return e.buf[off : off+n]
+}
+
+// Reserve appends n zero bytes and returns their offset, for fields
+// whose value is known only later (frame headers, patched status words).
+func (e *Encoder) Reserve(n int) int {
+	e.ensure(n)
+	off := len(e.buf)
+	if cap(e.buf)-off >= n {
+		clear(e.buf[off : off+n])
+		e.buf = e.buf[:off+n]
+		return off
+	}
+	e.buf = append(e.buf, make([]byte, n)...)
+	return off
+}
+
+// PatchUint32 overwrites the 4 bytes at off (previously Reserved or
+// encoded) with v.
+func (e *Encoder) PatchUint32(off int, v uint32) {
+	b := e.buf[off : off+4]
+	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+// Truncate discards everything encoded after offset n (e.g. a result
+// body rolled back when its handler failed).
+func (e *Encoder) Truncate(n int) { e.buf = e.buf[:n] }
 
 // String encodes an XDR string.
 func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
@@ -103,6 +163,12 @@ func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
 
 // Err returns the sticky decode error, if any.
 func (d *Decoder) Err() error { return d.err }
+
+// Buffer returns the decoder's entire backing buffer, for callers that
+// manage its pooled lifetime. Every slice previously decoded (Opaque
+// aliases) and the decoder itself are invalid once the buffer is
+// recycled.
+func (d *Decoder) Buffer() []byte { return d.data }
 
 // Remaining returns the number of undecoded bytes.
 func (d *Decoder) Remaining() int { return len(d.data) - d.off }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"discfs/internal/core"
+	"discfs/internal/nfs"
 )
 
 // A ServerOption configures NewServer.
@@ -78,6 +79,19 @@ func WithServerWriteBehind(queueBlocks, committers int) ServerOption {
 	}
 }
 
+// WithServerMaxTransfer bounds the READ/WRITE payload the server grants
+// during per-connection transfer-size negotiation, in bytes (clamped to
+// [8 KiB, 1 MiB]; 0 — and the default — means DefaultMaxTransfer,
+// 504 KiB — one 8 KiB block under the 512 KiB buffer-pool class, so a
+// maximal record fits the class). Clients propose a size at attach
+// (WithMaxTransfer) and the server clamps the proposal to this bound;
+// the granted size is the payload of every READ/WRITE RPC on the
+// connection and the write-gathering run size on the server. Setting
+// 8192 pins v2-era behavior.
+func WithServerMaxTransfer(n int) ServerOption {
+	return func(o *serverOptions) { o.cfg.MaxTransfer = n }
+}
+
 // WithClock injects a clock for tests and benchmarks.
 func WithClock(now func() time.Time) ServerOption {
 	return func(o *serverOptions) { o.cfg.Now = now }
@@ -147,6 +161,17 @@ func WithWriteBehind(n int) ClientOption { return core.WithWriteBehind(n) }
 // call that hit them. Use it for workloads that need strict read
 // consistency with concurrent remote writers mid-open.
 func WithNoDataCache() ClientOption { return core.WithNoDataCache() }
+
+// WithMaxTransfer sets the READ/WRITE transfer size the client proposes
+// when attaching, in bytes (clamped to [8 KiB, 1 MiB]; the default
+// proposal is DefaultMaxTransfer, 504 KiB). The server grants at most
+// its own bound (WithServerMaxTransfer); servers predating the
+// negotiation grant the v2 baseline of 8 KiB. The granted size is the
+// payload of every READ/WRITE RPC and the granule of the data cache.
+func WithMaxTransfer(n int) ClientOption { return core.WithMaxTransfer(n) }
+
+// DefaultMaxTransfer is the default negotiated transfer size (bytes).
+const DefaultMaxTransfer = nfs.DefaultMaxTransfer
 
 // A StoreOption configures the storage substrates built by NewMemStore,
 // OpenBackend and LoadStore.
