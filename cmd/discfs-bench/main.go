@@ -52,6 +52,7 @@ func emitJSON(figure, title, unit string, rows []benchRow) {
 	if err != nil {
 		check(err)
 	}
+	check(os.MkdirAll(jsonDir, 0o755))
 	path := filepath.Join(jsonDir, "BENCH_"+figure+".json")
 	check(os.WriteFile(path, append(data, '\n'), 0o644))
 }
@@ -66,9 +67,17 @@ func main() {
 		authzOps  = flag.Int("authz-ops", 200000, "authorization benchmark: cached checks per run")
 		pwSizeKB  = flag.Int("pw-size", 1024, "parallel write benchmark: KiB per writer")
 		streamMax = flag.Int("stream-max", 64, "streaming table: largest file size in MiB (sizes step 8x from 1: 1, 8, 64)")
+		soak      = flag.Bool("soak", false, "run the operations-plane soak instead of the figures")
+		soakDur   = flag.Duration("soak-duration", 10*time.Second, "soak measurement window (with -soak)")
+		soakWk    = flag.Int("soak-workers", 32, "soak concurrent session-churning workers (with -soak)")
+		soakHot   = flag.Float64("soak-hot-rps", 50, "soak hot-principal rate cap in req/s (with -soak)")
 	)
 	flag.StringVar(&jsonDir, "json-dir", ".", "directory for BENCH_<figure>.json files (empty disables)")
 	flag.Parse()
+	if *soak {
+		runSoak(*soakDur, *soakWk, *soakHot)
+		return
+	}
 	size := int64(*sizeMB) << 20
 
 	fmt.Printf("DisCFS evaluation — Bonnie file %d MiB, search tree %d dirs × %d files, %d run(s)\n\n",
@@ -191,6 +200,52 @@ func main() {
 	fmt.Println()
 	fmt.Println("run `go test -bench=Micro -benchmem` for the full suite " +
 		"(handshake, null RPC, cached decisions, submission)")
+}
+
+// runSoak drives the operations-plane soak (metrics, admission control,
+// revocation, connection cuts, graceful drain) and emits BENCH_ops.json.
+// The two numbers CI gates on are audit_dropped and bufpool_outstanding:
+// both must be zero after a full churn-and-drain cycle.
+func runSoak(dur time.Duration, workers int, hotRPS float64) {
+	res, err := bench.RunSoak(bench.SoakOptions{
+		Duration: dur, Workers: workers, HotRPS: hotRPS,
+		Log: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	check(err)
+	fmt.Printf("\nSoak (%d workers, %v):\n", res.Workers, dur)
+	fmt.Printf("  sessions established: %10d\n", res.Sessions)
+	fmt.Printf("  ops completed:        %10d (%.0f/s)\n", res.Ops, res.OpsPerSec)
+	fmt.Printf("  hot/cold split:       %10d / %d\n", res.HotOps, res.ColdOps)
+	fmt.Printf("  throttled:            %10d client, %d+%d server (rate+concurrency)\n",
+		res.Throttled, res.ServerThrottledRate, res.ServerThrottledConc)
+	fmt.Printf("  revocation errors:    %10d (expected after mid-run revoke)\n", res.RevokedErr)
+	fmt.Printf("  connection cuts:      %10d\n", res.Cuts)
+	fmt.Printf("  unexpected errors:    %10d\n", res.Errors)
+	if res.ErrSample != "" {
+		fmt.Printf("    first: %s\n", res.ErrSample)
+	}
+	fmt.Printf("  server latency:       %10.3f ms p50, %.3f ms p99\n", res.P50ms, res.P99ms)
+	fmt.Printf("  /metrics scrape:      %10d bytes mid-run\n", res.ScrapeLen)
+	fmt.Printf("  audit dropped:        %10d (leak gate)\n", res.AuditDropped)
+	fmt.Printf("  bufpool outstanding:  %10d (leak gate)\n", res.BufpoolOutstanding)
+	if res.DrainErr != "" {
+		check(fmt.Errorf("soak: %s", res.DrainErr))
+	}
+	emitJSON("ops", "Operations-plane soak", "mixed", []benchRow{
+		{Name: "sessions", Value: float64(res.Sessions)},
+		{Name: "ops_per_sec", Value: res.OpsPerSec},
+		{Name: "p50_ms", Value: res.P50ms},
+		{Name: "p99_ms", Value: res.P99ms},
+		{Name: "throttled_client", Value: float64(res.Throttled)},
+		{Name: "throttled_rate", Value: float64(res.ServerThrottledRate)},
+		{Name: "throttled_concurrency", Value: float64(res.ServerThrottledConc)},
+		{Name: "revoked_errs", Value: float64(res.RevokedErr)},
+		{Name: "cuts", Value: float64(res.Cuts)},
+		{Name: "errors", Value: float64(res.Errors)},
+		{Name: "scrape_bytes", Value: float64(res.ScrapeLen)},
+		{Name: "audit_dropped", Value: float64(res.AuditDropped)},
+		{Name: "bufpool_outstanding", Value: float64(res.BufpoolOutstanding)},
+	})
 }
 
 // authzScaling prints the parallel compliance-check throughput table:

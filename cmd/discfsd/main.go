@@ -11,14 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"discfs"
+	"discfs/internal/metrics"
 )
 
 func main() {
@@ -38,6 +41,10 @@ func main() {
 		maxTransfer  = flag.Int("max-transfer", discfs.DefaultMaxTransfer, "largest negotiated READ/WRITE payload in bytes (8192 pins NFSv2-era transfers)")
 		imagePath    = flag.String("image", "", "filesystem image: loaded at startup if present, saved on SIGINT/SIGTERM")
 		backend      = flag.String("backend", discfs.DefaultBackend, "storage backend (see discfs.Backends)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty disables)")
+		limitRPS     = flag.Float64("limit-rps", 0, "per-principal sustained request rate (0 = unlimited)")
+		limitInfl    = flag.Int("limit-inflight", 0, "per-principal in-flight request cap (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: how long in-flight calls may finish on SIGTERM")
 	)
 	flag.Parse()
 
@@ -88,6 +95,9 @@ func main() {
 	if *auditFlag {
 		opts = append(opts, discfs.WithAudit(discfs.NewAuditLog(4096, os.Stderr)))
 	}
+	if *limitRPS > 0 || *limitInfl > 0 {
+		opts = append(opts, discfs.WithServerLimits(*limitRPS, 0, *limitInfl))
+	}
 
 	srv, err := discfs.NewServer(key, opts...)
 	if err != nil {
@@ -96,15 +106,37 @@ func main() {
 	fmt.Printf("discfsd: administrator principal:\n  %s\n", srv.Principal())
 	fmt.Printf("discfsd: listening on %s\n", *addr)
 
-	// Graceful shutdown: dump the filesystem image, then exit.
+	var msrv *metrics.HTTPServer
+	if *metricsAddr != "" {
+		msrv, err = metrics.Serve(*metricsAddr, srv.Metrics(), func() error {
+			if srv.Draining() {
+				return fmt.Errorf("draining")
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("discfsd: metrics: %v", err)
+		}
+		fmt.Printf("discfsd: metrics on http://%s/metrics\n", msrv.Addr())
+	}
+
+	// Graceful shutdown: drain in-flight calls (bounded), flush buffered
+	// writes and the audit queue, dump the filesystem image, then exit.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := <-sigc
-		fmt.Printf("discfsd: %v\n", sig)
-		srv.Close() // stop serving first so the image is quiescent
+		fmt.Printf("discfsd: %v, draining (up to %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("discfsd: shutdown: %v", err)
+		}
+		cancel()
+		if msrv != nil {
+			msrv.Close()
+		}
 		if *imagePath != "" {
 			if err := discfs.SaveStore(*imagePath, store); err != nil {
 				log.Printf("discfsd: saving image: %v", err)

@@ -32,4 +32,8 @@ var (
 	// ErrCredentialRejected reports a submitted credential the server's
 	// KeyNote session refused.
 	ErrCredentialRejected = core.ErrCredentialRejected
+	// ErrThrottled reports server backpressure: admission control
+	// rejected the request, or the server was saturated or draining.
+	// The operation did not run; back off and retry.
+	ErrThrottled = core.ErrThrottled
 )

@@ -1,0 +1,327 @@
+package bench
+
+// The soak harness: the operations-plane proving ground. It runs a
+// DisCFS server with write-behind, admission control and the metrics
+// registry live, then churns many short-lived secure-channel sessions
+// through mixed read/write/authorization traffic while injecting the
+// failures the subsystem exists to absorb — a hot principal hammering
+// past its token bucket, a key revoked mid-run, connections cut without
+// goodbye — and finally drains the server gracefully. The result
+// carries the aggregate throughput, server-side latency quantiles (read
+// from the metrics histograms, not client timers), throttle counts, and
+// the two leak indicators CI gates on: audit records dropped and pooled
+// buffers still outstanding after teardown.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"discfs/internal/bufpool"
+	"discfs/internal/cfs"
+	"discfs/internal/core"
+	"discfs/internal/ffs"
+	"discfs/internal/keynote"
+	"discfs/internal/metrics"
+)
+
+// SoakOptions configures RunSoak; the zero value runs a short smoke.
+type SoakOptions struct {
+	// Duration is the measurement window (default 5s).
+	Duration time.Duration
+	// Workers is the number of concurrent session-churning goroutines
+	// (default 32); each dials, performs a burst of mixed operations,
+	// and disconnects, so sessions established over a run is a large
+	// multiple of this.
+	Workers int
+	// HotWorkers share one "hot" principal whose admission budget is
+	// capped at HotRPS (default 4 workers at 50 req/s): the soak's
+	// noisy neighbor.
+	HotWorkers int
+	HotRPS     float64
+	// CutEvery injects an abrupt connection cut (Client.Abort) instead
+	// of an orderly close every n-th iteration per worker (default 7;
+	// <0 disables).
+	CutEvery int
+	// Log receives progress lines; nil discards them.
+	Log func(format string, args ...any)
+}
+
+// SoakResult is the harness's report card.
+type SoakResult struct {
+	Duration float64 `json:"duration_sec"`
+	Workers  int     `json:"workers"`
+
+	Sessions  uint64  `json:"sessions"` // secure-channel sessions established
+	Ops       uint64  `json:"ops"`      // client operations completed OK
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Errors    uint64  `json:"errors"` // unexpected client errors
+
+	ErrSample  string  `json:"err_sample,omitempty"` // first unexpected error seen
+	Throttled  uint64  `json:"throttled"`            // client ops refused with ErrThrottled
+	HotOps     uint64  `json:"hot_ops"`              // hot principal's completed ops
+	ColdOps    uint64  `json:"cold_ops"`             // everyone else's completed ops
+	RevokedErr uint64  `json:"revoked_errs"`         // expected failures after the mid-run revocation
+	Cuts       uint64  `json:"cuts"`                 // abrupt connection cuts injected
+	ScrapeLen  int     `json:"scrape_bytes"`         // mid-run /metrics body size
+	P50ms      float64 `json:"p50_ms"`               // server-side NFS latency, from the histograms
+	P99ms      float64 `json:"p99_ms"`
+
+	ServerThrottledRate uint64 `json:"server_throttled_rate"`
+	ServerThrottledConc uint64 `json:"server_throttled_concurrency"`
+	AuditDropped        uint64 `json:"audit_dropped"`       // leak gate: must be 0
+	BufpoolOutstanding  int64  `json:"bufpool_outstanding"` // leak gate: must be 0 after teardown
+	DrainErr            string `json:"drain_err,omitempty"`
+}
+
+// RunSoak builds a server, runs the churn, and tears everything down.
+func RunSoak(opts SoakOptions) (*SoakResult, error) {
+	if opts.Duration <= 0 {
+		opts.Duration = 5 * time.Second
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 32
+	}
+	if opts.HotWorkers <= 0 {
+		opts.HotWorkers = 4
+	}
+	if opts.HotRPS <= 0 {
+		opts.HotRPS = 50
+	}
+	if opts.CutEvery == 0 {
+		opts.CutEvery = 7
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	bufBase := bufpool.Outstanding()
+
+	backing, err := ffs.New(ffs.Config{BlockSize: 8192, NumBlocks: 1 << 16})
+	if err != nil {
+		return nil, err
+	}
+	ne, err := cfs.New(backing, "", false)
+	if err != nil {
+		return nil, err
+	}
+	adminKey := keynote.DeterministicKey("soak-admin")
+	hotKey := keynote.DeterministicKey("soak-hot")
+	victimKey := keynote.DeterministicKey("soak-victim")
+	srv, err := core.NewServer(core.ServerConfig{
+		Backing:     ne,
+		ServerKey:   adminKey,
+		WriteBehind: true,
+		LimitOverrides: map[keynote.Principal]core.Limits{
+			hotKey.Principal: {RPS: opts.HotRPS, InFlight: 8},
+		},
+		// Shape only briefly before refusing: the soak wants visible
+		// ErrThrottled counts, not requests parked in the limiter.
+		LimitMaxWait: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]*keynote.KeyPair, opts.Workers)
+	for i := range keys {
+		switch {
+		case i < opts.HotWorkers:
+			keys[i] = hotKey
+		case i == opts.HotWorkers:
+			keys[i] = victimKey
+		default:
+			keys[i] = keynote.DeterministicKey(fmt.Sprintf("soak-user-%d", i))
+		}
+	}
+	issued := map[keynote.Principal]bool{}
+	for _, k := range keys {
+		if issued[k.Principal] {
+			continue
+		}
+		issued[k.Principal] = true
+		if _, err := srv.IssueCredential(k.Principal, ne.Root().Ino, "RWX", "soak user"); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	msrv, err := metrics.Serve("127.0.0.1:0", srv.Metrics(), func() error {
+		if srv.Draining() {
+			return fmt.Errorf("draining")
+		}
+		return nil
+	})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	logf("soak: server %s, metrics http://%s/metrics, %d workers (%d hot @ %g rps) for %v",
+		addr, msrv.Addr(), opts.Workers, opts.HotWorkers, opts.HotRPS, opts.Duration)
+
+	var (
+		ops, errs, throttled, sessions atomic.Uint64
+		hotOps, coldOps, revokedErrs   atomic.Uint64
+		cuts                           atomic.Uint64
+		errSample                      atomic.Value // first unexpected error, for the report
+	)
+	unexpected := func(err error) {
+		errs.Add(1)
+		errSample.CompareAndSwap(nil, err.Error())
+	}
+	deadline := time.Now().Add(opts.Duration)
+	revokeAt := time.Now().Add(opts.Duration / 2)
+	var revoked atomic.Bool
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Workers; i++ {
+		wg.Add(1)
+		go func(id int, key *keynote.KeyPair) {
+			defer wg.Done()
+			hot := key == hotKey
+			victim := key == victimKey
+			payload := []byte(strings.Repeat("soak-data ", 256)) // ~2.5 KiB
+			for iter := 0; time.Now().Before(deadline); iter++ {
+				c, err := core.Dial(ctx, addr, key)
+				if err != nil {
+					if victim && revoked.Load() && errors.Is(err, core.ErrRevoked) {
+						revokedErrs.Add(1)
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					unexpected(err)
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				sessions.Add(1)
+				path := fmt.Sprintf("/soak-w%d", id)
+				for j := 0; j < 4 && time.Now().Before(deadline); j++ {
+					var err error
+					switch j % 4 {
+					case 0:
+						_, _, err = c.WriteFile(ctx, path, payload)
+					case 1:
+						_, err = c.ReadFile(ctx, path)
+					case 2:
+						_, err = c.List(ctx, "/")
+					case 3:
+						_, err = c.ResolvePath(ctx, path)
+					}
+					switch {
+					case err == nil:
+						ops.Add(1)
+						if hot {
+							hotOps.Add(1)
+						} else {
+							coldOps.Add(1)
+						}
+					case errors.Is(err, core.ErrThrottled):
+						throttled.Add(1)
+						time.Sleep(5 * time.Millisecond) // back off, as the taxonomy asks
+					case victim && revoked.Load():
+						revokedErrs.Add(1)
+					case hot && errors.Is(err, core.ErrNotExist):
+						// Cascade from a throttled WriteFile: the file was
+						// never created, so the follow-up read misses. The
+						// throttle itself is already counted above.
+						throttled.Add(1)
+					default:
+						unexpected(err)
+					}
+				}
+				if opts.CutEvery > 0 && iter%opts.CutEvery == opts.CutEvery-1 {
+					cuts.Add(1)
+					c.Abort()
+				} else {
+					c.Close()
+				}
+			}
+		}(i, keys[i])
+	}
+
+	// Mid-run fault injection and observability checks, off the workers'
+	// backs: revoke the victim's key through the admin RPC path (the
+	// real revocation machinery, decision-cache purge included), then
+	// scrape /metrics the way a collector would.
+	var scrapeLen int
+	var scrapeErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Until(revokeAt))
+		admin, err := core.Dial(ctx, addr, adminKey)
+		if err != nil {
+			scrapeErr = fmt.Errorf("admin dial: %w", err)
+			return
+		}
+		if _, err := admin.RevokeKey(ctx, victimKey.Principal); err != nil {
+			scrapeErr = fmt.Errorf("revoke: %w", err)
+		}
+		revoked.Store(true)
+		admin.Close()
+		logf("soak: revoked victim key mid-run")
+		resp, err := http.Get("http://" + msrv.Addr() + "/metrics")
+		if err != nil {
+			scrapeErr = fmt.Errorf("scrape: %w", err)
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		scrapeLen = len(body)
+		if !strings.Contains(string(body), "discfs_nfs_latency_seconds_bucket") {
+			scrapeErr = fmt.Errorf("scrape missing latency histogram (%d bytes)", scrapeLen)
+		}
+	}()
+
+	wg.Wait()
+
+	// Read the histograms before teardown, then drain gracefully.
+	lat := srv.NFSLatency()
+	rate, conc := srv.Throttled()
+	st := srv.Stats()
+	shCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	drainErr := srv.Shutdown(shCtx)
+	cancel()
+	msrv.Close()
+	if scrapeErr != nil && drainErr == nil {
+		drainErr = scrapeErr
+	}
+
+	res := &SoakResult{
+		Duration:            opts.Duration.Seconds(),
+		Workers:             opts.Workers,
+		Sessions:            sessions.Load(),
+		Ops:                 ops.Load(),
+		OpsPerSec:           float64(ops.Load()) / opts.Duration.Seconds(),
+		Errors:              errs.Load(),
+		Throttled:           throttled.Load(),
+		HotOps:              hotOps.Load(),
+		ColdOps:             coldOps.Load(),
+		RevokedErr:          revokedErrs.Load(),
+		Cuts:                cuts.Load(),
+		ScrapeLen:           scrapeLen,
+		P50ms:               lat.Quantile(0.50) * 1000,
+		P99ms:               lat.Quantile(0.99) * 1000,
+		ServerThrottledRate: rate,
+		ServerThrottledConc: conc,
+		AuditDropped:        st.AuditDropped,
+		BufpoolOutstanding:  bufpool.Outstanding() - bufBase,
+	}
+	if drainErr != nil {
+		res.DrainErr = drainErr.Error()
+	}
+	if s, ok := errSample.Load().(string); ok {
+		res.ErrSample = s
+	}
+	return res, nil
+}

@@ -240,6 +240,15 @@ func (c *Client) Close() error {
 	return c.rpc.Close()
 }
 
+// Abort cuts the connections without the orderly cache shutdown —
+// in-flight calls fail where they stand, as if the network dropped.
+// The soak harness uses it to exercise the server's handling of peers
+// that vanish mid-operation; real callers want Close.
+func (c *Client) Abort() error {
+	c.closePool()
+	return c.rpc.Close()
+}
+
 // NFS exposes the NFS client for direct protocol access.
 func (c *Client) NFS() *nfs.Client { return c.nfs }
 
@@ -267,6 +276,7 @@ func (c *Client) SubmitCredentialText(ctx context.Context, text string) (int, er
 	if err != nil {
 		return 0, err
 	}
+	defer nfs.RecycleReply(d)
 	status := d.Uint32()
 	n := d.Uint32()
 	msg := d.String(4096)
@@ -299,6 +309,7 @@ func (c *Client) WhoAmI(ctx context.Context) (keynote.Principal, error) {
 	if err != nil {
 		return "", err
 	}
+	defer nfs.RecycleReply(d)
 	p := d.String(4096)
 	return keynote.Principal(p), d.Err()
 }
@@ -316,6 +327,7 @@ func (c *Client) createLike(ctx context.Context, proc uint32, dir vfs.Handle, na
 	if err != nil {
 		return vfs.Attr{}, "", err
 	}
+	defer nfs.RecycleReply(d) // DecodeFH copies the only alias
 	if st := nfs.Stat(d.Uint32()); st != nfs.OK {
 		return vfs.Attr{}, "", c.wireError(&nfs.Error{Stat: st})
 	}
@@ -376,6 +388,7 @@ func (c *Client) RevokeKey(ctx context.Context, target keynote.Principal) (int, 
 	if err != nil {
 		return 0, err
 	}
+	defer nfs.RecycleReply(d)
 	status := d.Uint32()
 	n := d.Uint32()
 	if err := d.Err(); err != nil {
@@ -396,6 +409,7 @@ func (c *Client) RevokeCredential(ctx context.Context, signatureValue string) (b
 	if err != nil {
 		return false, err
 	}
+	defer nfs.RecycleReply(d)
 	status := d.Uint32()
 	found := d.Bool()
 	if err := d.Err(); err != nil {
@@ -414,6 +428,7 @@ func (c *Client) ListCredentials(ctx context.Context) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer nfs.RecycleReply(d)
 	status := d.Uint32()
 	if status == extNotAdmin {
 		return nil, ErrNotAdmin
@@ -432,6 +447,7 @@ func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	defer nfs.RecycleReply(d)
 	_ = d.Uint32() // status, always OK
 	st := Stats{
 		Queries:     d.Uint64(),
@@ -550,11 +566,15 @@ func (c *Client) WriteFile(ctx context.Context, path string, data []byte) (vfs.A
 		if _, err := c.nfs.SetAttr(ctx, attr.Handle, sa); err != nil {
 			return vfs.Attr{}, "", c.wireError(err)
 		}
-	} else {
+	} else if werr := c.wireError(err); errors.Is(werr, ErrNotExist) {
 		attr, cred, err = c.CreateWithCredential(ctx, dir, name, 0o644)
 		if err != nil {
 			return vfs.Attr{}, "", err
 		}
+	} else {
+		// A throttled or otherwise-failed lookup is not "missing": racing
+		// into CREATE would turn a transient refusal into EEXIST.
+		return vfs.Attr{}, "", werr
 	}
 	if err := c.nfs.WriteAll(ctx, attr.Handle, data); err != nil {
 		return vfs.Attr{}, "", c.wireError(err)

@@ -29,11 +29,27 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discfs/internal/nfs"
 	"discfs/internal/vfs"
 )
+
+// Process-global data-cache counters (like the buffer pool's): block
+// lookups served from cache vs. fetched over RPC, summed across every
+// client in the process. The server's metrics registry bridges them in,
+// so a co-located client's hit rate shows up on /metrics.
+var (
+	dcHits   atomic.Uint64
+	dcMisses atomic.Uint64
+)
+
+// DataCacheStats reports the process-wide data-cache block lookup
+// counters (hits served locally, misses fetched over RPC).
+func DataCacheStats() (hits, misses uint64) {
+	return dcHits.Load(), dcMisses.Load()
+}
 
 const (
 	// DefaultReadahead is the number of blocks prefetched ahead of a
@@ -444,9 +460,15 @@ func (hc *handleCache) blockBytesLocked(ctx context.Context, idx int64) ([]byte,
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if b := hc.blocks[idx]; b != nil {
+			if attempt == 0 {
+				dcHits.Add(1)
+			}
 			return b.data, nil
 		}
 		if uint64(idx*hc.bs) >= hc.srvSize {
+			if attempt == 0 {
+				dcHits.Add(1) // in-bounds hole: answered without an RPC
+			}
 			return nil, nil
 		}
 		if fs, ok := hc.fetching[idx]; ok {
@@ -471,6 +493,7 @@ func (hc *handleCache) blockBytesLocked(ctx context.Context, idx int64) ([]byte,
 		}
 		fs := &fetchState{done: make(chan struct{})}
 		hc.fetching[idx] = fs
+		dcMisses.Add(1)
 		epoch := hc.inval
 		hc.mu.Unlock()
 		hc.fetch(ctx, idx, fs, epoch)

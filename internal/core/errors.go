@@ -6,6 +6,7 @@ import (
 
 	"discfs/internal/nfs"
 	"discfs/internal/secchan"
+	"discfs/internal/sunrpc"
 )
 
 // The DisCFS error taxonomy. Every error surfaced by Client operations
@@ -35,6 +36,11 @@ var (
 	// ErrCredentialRejected reports a submitted credential the server's
 	// KeyNote session refused (bad signature, unparsable assertion).
 	ErrCredentialRejected = errors.New("discfs: credential rejected")
+	// ErrThrottled reports server backpressure: per-principal admission
+	// control rejected the request (NFS-level TRYLATER) or the RPC
+	// transport refused it while saturated or draining (ServerBusy).
+	// The operation did not run; back off and retry.
+	ErrThrottled = errors.New("discfs: request throttled by server")
 )
 
 // wireError translates an error observed through the RPC boundary into
@@ -47,6 +53,9 @@ func (c *Client) wireError(err error) error {
 	if errors.Is(err, secchan.ErrKeyRevoked) {
 		return fmt.Errorf("%w: %w", ErrRevoked, err)
 	}
+	if errors.Is(err, sunrpc.ErrServerBusy) {
+		return fmt.Errorf("%w: %w", ErrThrottled, err)
+	}
 	switch nfs.StatOf(err) {
 	case nfs.ErrAcces, nfs.ErrPerm:
 		if !c.credsPresented.Load() {
@@ -57,6 +66,8 @@ func (c *Client) wireError(err error) error {
 		return fmt.Errorf("%w: %w", ErrStale, err)
 	case nfs.ErrNoEnt:
 		return fmt.Errorf("%w: %w", ErrNotExist, err)
+	case nfs.ErrTryLater:
+		return fmt.Errorf("%w: %w", ErrThrottled, err)
 	}
 	return err
 }

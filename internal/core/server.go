@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strconv"
@@ -23,8 +24,11 @@ import (
 	"time"
 
 	"discfs/internal/audit"
+	"discfs/internal/bufpool"
 	"discfs/internal/cache"
 	"discfs/internal/keynote"
+	"discfs/internal/limiter"
+	"discfs/internal/metrics"
 	"discfs/internal/nfs"
 	"discfs/internal/secchan"
 	"discfs/internal/sunrpc"
@@ -103,7 +107,25 @@ type ServerConfig struct {
 	// run size follows it, so coalesced backing writes match what one
 	// RPC can carry.
 	MaxTransfer int
+
+	// LimitDefault applies per-principal admission control to every
+	// data-plane NFS request: a token-bucket rate and an in-flight cap
+	// keyed by the authenticated secure-channel principal. The zero
+	// value disables limiting (unless LimitOverrides constrains
+	// someone). Throttled requests fail with ErrThrottled on the
+	// client, which should back off and retry.
+	LimitDefault Limits
+	// LimitOverrides assigns specific principals their own limits in
+	// place of LimitDefault (raise a batch service, pin a noisy one).
+	LimitOverrides map[keynote.Principal]Limits
+	// LimitMaxWait bounds how long a request is shaped (delayed)
+	// before being rejected; 0 means limiter.DefaultMaxWait.
+	LimitMaxWait time.Duration
 }
+
+// Limits configures one principal's admission budget (rate + in-flight
+// cap); the zero value is unlimited.
+type Limits = limiter.Limits
 
 // coarseClock publishes wall-clock nanoseconds from a ticker goroutine;
 // reading it is one atomic load. Audit timestamps are second-granular
@@ -178,8 +200,6 @@ type Server struct {
 	clock    *coarseClock // non-nil when the server owns its clock
 	admins   map[keynote.Principal]bool
 
-	queries atomic.Uint64 // full compliance checks (cache misses)
-
 	// ancestry maps a handle to its containing directory, learned from
 	// namespace traffic; it backs the PATH action attribute that gives
 	// credentials subtree scope. Sharded by handle hash so namespace
@@ -187,10 +207,29 @@ type Server struct {
 	anc       [ancShards]ancShard
 	pathEpoch atomic.Uint64 // bumped on rename/remove; validates path cache
 
-	pathHits   atomic.Uint64
-	pathMisses atomic.Uint64
-
 	rpc *sunrpc.Server
+
+	// reg is the operations-plane metrics registry every layer reports
+	// through; met holds the hot-path handles into it (the former
+	// ad-hoc Stats counters live here now, in exactly one place).
+	reg *metrics.Registry
+	met serverMetrics
+
+	// lim is per-principal admission control; nil when unconfigured.
+	lim *limiter.Limiter
+
+	draining  atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// serverMetrics are the registry handles the request path touches.
+type serverMetrics struct {
+	queries     *metrics.Counter      // full KeyNote evaluations
+	pathHits    *metrics.Counter      // handle→path renders served from cache
+	pathMisses  *metrics.Counter      // handle→path renders walked
+	procLatency *metrics.HistogramVec // NFS call latency by procedure
+	procErrors  *metrics.CounterVec   // non-OK NFS replies by procedure
 }
 
 // NewServer builds a server from cfg.
@@ -287,11 +326,179 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.anc[i].parent = make(map[vfs.Handle]vfs.Handle)
 		s.anc[i].path = make(map[vfs.Handle]pathEntry)
 	}
+	if len(cfg.LimitOverrides) > 0 || cfg.LimitDefault != (Limits{}) {
+		over := make(map[string]limiter.Limits, len(cfg.LimitOverrides))
+		for p, l := range cfg.LimitOverrides {
+			over[string(p)] = l
+		}
+		s.lim = limiter.New(limiter.Config{
+			Default:   cfg.LimitDefault,
+			Overrides: over,
+			MaxWait:   cfg.LimitMaxWait,
+		})
+	}
+	s.initMetrics()
 	ns := nfs.NewServer(s)
 	ns.SetMaxTransfer(int(maxTransfer))
+	ns.SetObserver(s.observeNFS)
+	if s.lim != nil {
+		ns.SetAdmit(s.admitNFS)
+	}
 	ns.RegisterAll(s.rpc)
 	s.registerExt(s.rpc)
 	return s, nil
+}
+
+// initMetrics builds the operations-plane registry: the request path
+// writes its own counters and histograms directly, while every existing
+// component counter (decision cache, audit ring, write-gather queue,
+// buffer pool, secure channel, RPC transport, limiter) is bridged in as
+// a sampled-at-scrape func metric, so instrumenting them costs the hot
+// path nothing.
+func (s *Server) initMetrics() {
+	r := metrics.NewRegistry()
+	s.reg = r
+	s.met = serverMetrics{
+		queries:    r.Counter("discfs_policy_queries_total", "Full KeyNote compliance evaluations (decision-cache misses)."),
+		pathHits:   r.Counter("discfs_path_cache_hits_total", "Handle-to-path renders served from the path cache."),
+		pathMisses: r.Counter("discfs_path_cache_misses_total", "Handle-to-path renders that walked the ancestry map."),
+		procLatency: r.HistogramVec("discfs_nfs_latency_seconds",
+			"NFS call service latency by procedure.", "proc", metrics.DefLatencyBuckets),
+		procErrors: r.CounterVec("discfs_nfs_errors_total",
+			"Non-OK NFS replies by procedure (throttled replies count here as trylater).", "proc"),
+	}
+	r.CounterFunc("discfs_decision_cache_hits_total", "Policy decisions served from the sharded LRU.", func() uint64 {
+		h, _ := s.cache.Stats()
+		return h
+	})
+	r.CounterFunc("discfs_decision_cache_misses_total", "Policy decisions that missed the LRU.", func() uint64 {
+		_, m := s.cache.Stats()
+		return m
+	})
+	r.CounterFunc("discfs_decisions_total", "Access decisions appended to the audit log.", func() uint64 {
+		t, _ := s.audit.Totals()
+		return t
+	})
+	r.CounterFunc("discfs_denials_total", "Access decisions that denied the operation.", func() uint64 {
+		_, d := s.audit.Totals()
+		return d
+	})
+	r.GaugeFunc("discfs_audit_pending", "Audit mirror lines queued, not yet written.", func() float64 {
+		return float64(s.audit.Pending())
+	})
+	r.CounterFunc("discfs_audit_dropped_total", "Audit mirror lines dropped at saturation.", func() uint64 {
+		return s.audit.Dropped()
+	})
+	r.GaugeFunc("discfs_credentials", "Credentials loaded in the policy session.", func() float64 {
+		return float64(s.session.Snapshot().NumCredentials())
+	})
+	r.GaugeFunc("discfs_policy_generation", "Policy-session generation (mutation count).", func() float64 {
+		return float64(s.session.Snapshot().Generation())
+	})
+	if s.gather != nil {
+		r.GaugeFunc("discfs_writegather_queue_bytes", "Dirty bytes buffered in the write-gathering queue.", func() float64 {
+			return float64(s.gather.Stats().QueueDepth)
+		})
+		r.CounterFunc("discfs_writegather_writes_total", "WRITE RPCs absorbed by the write-gathering queue.", func() uint64 {
+			return s.gather.Stats().WritesGathered
+		})
+		r.CounterFunc("discfs_writegather_backend_writes_total", "Coalesced writes issued to the backing store.", func() uint64 {
+			return s.gather.Stats().BackendWrites
+		})
+		r.CounterFunc("discfs_writegather_commits_total", "COMMIT durability barriers served.", func() uint64 {
+			return s.gather.Stats().Commits
+		})
+	}
+	r.GaugeFunc("discfs_bufpool_outstanding", "Pooled buffers currently checked out (gets minus puts, process-wide).", func() float64 {
+		return float64(bufpool.Outstanding())
+	})
+	r.CounterFunc("discfs_secchan_handshakes_total", "Responder secure-channel handshakes attempted (process-wide).", func() uint64 {
+		return secchan.ReadStats().Handshakes
+	})
+	r.CounterFunc("discfs_secchan_failures_total", "Secure-channel handshakes failed before authentication (process-wide).", func() uint64 {
+		return secchan.ReadStats().Failures
+	})
+	r.CounterFunc("discfs_secchan_rejected_total", "Authenticated peers refused by authorization, including revoked keys (process-wide).", func() uint64 {
+		return secchan.ReadStats().Rejected
+	})
+	r.GaugeFunc("discfs_secchan_active_sessions", "Established secure-channel sessions now open (process-wide).", func() float64 {
+		return float64(secchan.ReadStats().Active)
+	})
+	r.CounterFunc("discfs_datacache_hits_total", "Client data-cache block reads served locally (process-wide).", func() uint64 {
+		return dcHits.Load()
+	})
+	r.CounterFunc("discfs_datacache_misses_total", "Client data-cache block reads fetched from a server (process-wide).", func() uint64 {
+		return dcMisses.Load()
+	})
+	r.CounterFunc("discfs_rpc_requests_total", "RPC records received for dispatch.", func() uint64 {
+		return s.rpc.Stats().Requests
+	})
+	r.CounterFunc("discfs_rpc_queue_full_total", "RPC records that found the in-flight cap saturated.", func() uint64 {
+		return s.rpc.Stats().QueueFull
+	})
+	r.CounterFunc("discfs_rpc_busy_total", "RPC records refused with ServerBusy (saturation or drain).", func() uint64 {
+		return s.rpc.Stats().Busy
+	})
+	r.GaugeFunc("discfs_rpc_inflight", "RPC handlers executing right now.", func() float64 {
+		return float64(s.rpc.Stats().InFlight)
+	})
+	if s.lim != nil {
+		r.CounterFunc("discfs_throttled_rate_total", "Requests rejected by a principal's token bucket.", func() uint64 {
+			return s.lim.Stats().ThrottledRate
+		})
+		r.CounterFunc("discfs_throttled_concurrency_total", "Requests rejected by a principal's in-flight cap.", func() uint64 {
+			return s.lim.Stats().ThrottledConcurrency
+		})
+		r.GaugeFunc("discfs_limited_principals", "Principals with live admission-control state.", func() float64 {
+			return float64(s.lim.Principals())
+		})
+	}
+	r.GaugeFunc("discfs_draining", "1 while the server is draining (refusing new work), else 0.", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Metrics exposes the server's registry (scrape endpoint, tests).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// observeNFS is the nfs-layer observer: one histogram sample and, for
+// non-OK replies, one error count per call, labeled by procedure.
+func (s *Server) observeNFS(proc uint32, st nfs.Stat, d time.Duration) {
+	name := nfs.ProcName(proc)
+	s.met.procLatency.With(name).Observe(d.Seconds())
+	if st != nfs.OK {
+		s.met.procErrors.With(name).Inc()
+	}
+}
+
+// admitNFS is the nfs-layer admission hook: the authenticated peer
+// buys a slot from its limiter bucket or the call is refused (the nfs
+// layer replies ErrTryLater, which clients surface as ErrThrottled).
+func (s *Server) admitNFS(peer string, proc uint32) (func(), error) {
+	if peer == "" {
+		peer = string(anonymousPrincipal)
+	}
+	return s.lim.Acquire(peer)
+}
+
+// NFSLatency returns the merged (all procedures) NFS latency snapshot;
+// quantiles come from its Quantile method (soak harness, monitoring).
+func (s *Server) NFSLatency() metrics.HistogramSnapshot {
+	return s.met.procLatency.Merged()
+}
+
+// Throttled returns how many requests admission control rejected,
+// split by axis (token-bucket rate, in-flight cap). Zero when limiting
+// is unconfigured.
+func (s *Server) Throttled() (rate, concurrency uint64) {
+	if s.lim == nil {
+		return 0, 0
+	}
+	st := s.lim.Stats()
+	return st.ThrottledRate, st.ThrottledConcurrency
 }
 
 // Session exposes the server's KeyNote session (tests, local tooling).
@@ -373,10 +580,10 @@ func (s *Server) pathOf(h vfs.Handle) string {
 	pe, ok := hsh.path[h]
 	hsh.mu.RUnlock()
 	if ok && pe.epoch == epoch {
-		s.pathHits.Add(1)
+		s.met.pathHits.Inc()
 		return pe.path
 	}
-	s.pathMisses.Add(1)
+	s.met.pathMisses.Inc()
 	const maxDepth = 64
 	chain := make([]uint64, 0, 8)
 	chain = append(chain, h.Ino)
@@ -452,7 +659,7 @@ func (s *Server) decideAt(peer keynote.Principal, h vfs.Handle, now time.Time) (
 		// Fail closed on evaluation errors.
 		res = keynote.Result{Value: Values[0], Index: 0}
 	}
-	s.queries.Add(1)
+	s.met.queries.Inc()
 	perm = uint8(res.Index) & 7
 	expires := now.Add(s.ttl)
 	if snap.Volatile() {
@@ -597,7 +804,43 @@ func (s *Server) Start() (string, error) {
 // audit log's writer queue is drained (closed when the server allocated
 // the log, flushed when the caller supplied it).
 func (s *Server) Close() error {
-	err := s.rpc.Close()
+	s.closeOnce.Do(func() {
+		s.closeErr = s.teardown(s.rpc.Close())
+	})
+	return s.closeErr
+}
+
+// DefaultDrainTimeout bounds Shutdown when its context has no deadline.
+const DefaultDrainTimeout = 10 * time.Second
+
+// Shutdown drains the server gracefully: listeners close and new RPCs
+// are fenced off (refused with ServerBusy so clients see backpressure,
+// not a hang), in-flight calls run to completion and deliver their
+// replies, then buffered unstable writes flush to the backing store and
+// the audit queue drains. The context deadline bounds the in-flight
+// wait; past it, remaining connections are cut and Shutdown returns the
+// drain error — but buffered writes and audit records still flush, so a
+// forced drain loses no acknowledged write.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		timeout := DefaultDrainTimeout
+		if dl, ok := ctx.Deadline(); ok {
+			timeout = time.Until(dl)
+		}
+		s.closeErr = s.teardown(s.rpc.Drain(timeout))
+	})
+	return s.closeErr
+}
+
+// Draining reports whether Shutdown has begun; the health endpoint uses
+// it to fail readiness while the server winds down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// teardown releases everything behind the RPC layer, after new traffic
+// is fenced off: the coarse clock, the write-gather queue (flushing
+// acknowledged-unstable data to the backing store), and the audit ring.
+func (s *Server) teardown(err error) error {
 	if s.clock != nil {
 		s.clock.Stop()
 	}
@@ -658,7 +901,7 @@ func (s *Server) Stats() Stats {
 		BackendWrites:   gst.BackendWrites,
 		Commits:         gst.Commits,
 
-		Queries:         s.queries.Load(),
+		Queries:         s.met.queries.Value(),
 		CacheHits:       hits,
 		CacheMisses:     misses,
 		Credentials:     snap.NumCredentials(),
@@ -667,7 +910,7 @@ func (s *Server) Stats() Stats {
 		Generation:      snap.Generation(),
 		AuditPending:    s.audit.Pending(),
 		AuditDropped:    s.audit.Dropped(),
-		PathCacheHits:   s.pathHits.Load(),
-		PathCacheMisses: s.pathMisses.Load(),
+		PathCacheHits:   s.met.pathHits.Value(),
+		PathCacheMisses: s.met.pathMisses.Value(),
 	}
 }

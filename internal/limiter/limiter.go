@@ -1,0 +1,218 @@
+// Package limiter implements per-principal admission control for the
+// server request path: a token-bucket rate limit plus a concurrency cap
+// keyed by the authenticated secure-channel principal. The paper's
+// threat model has many mutually-untrusting principals sharing one
+// server; the limiter keeps a single hot principal from starving the
+// rest while leaving everyone else at full speed.
+//
+// Acquire blocks for at most the configured wait: a request that would
+// have to wait longer is rejected with ErrLimited immediately, so
+// callers can distinguish shaping (back off and retry) from a hung
+// server (no reply at all).
+package limiter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrLimited is the sentinel all limiter rejections wrap.
+var ErrLimited = errors.New("limiter: principal over limit")
+
+// Limits configures one principal's admission budget. Zero values mean
+// unlimited on that axis.
+type Limits struct {
+	// RPS is the sustained request rate (tokens per second).
+	RPS float64
+	// Burst is the bucket depth; 0 defaults to max(1, RPS).
+	Burst float64
+	// InFlight caps concurrently executing requests.
+	InFlight int
+}
+
+func (l Limits) normalized() Limits {
+	if l.RPS > 0 && l.Burst <= 0 {
+		l.Burst = l.RPS
+		if l.Burst < 1 {
+			l.Burst = 1
+		}
+	}
+	return l
+}
+
+// unlimited reports whether the limits constrain nothing.
+func (l Limits) unlimited() bool { return l.RPS <= 0 && l.InFlight <= 0 }
+
+// DefaultMaxWait bounds how long Acquire shapes a request before
+// rejecting it.
+const DefaultMaxWait = 250 * time.Millisecond
+
+// Config configures a Limiter.
+type Config struct {
+	// Default applies to every principal without an override.
+	Default Limits
+	// Overrides maps canonical principal strings to their limits.
+	Overrides map[string]Limits
+	// MaxWait bounds shaping delay before rejection (0 means
+	// DefaultMaxWait; negative means reject immediately).
+	MaxWait time.Duration
+	// Now injects a clock for tests; nil means time.Now. Only token
+	// refill reads it — shaping sleeps use the real clock.
+	Now func() time.Time
+}
+
+// Stats are cumulative limiter rejection counts.
+type Stats struct {
+	// ThrottledRate counts rejections by the token bucket.
+	ThrottledRate uint64
+	// ThrottledConcurrency counts rejections by the in-flight cap.
+	ThrottledConcurrency uint64
+}
+
+// A Limiter admits requests per principal.
+type Limiter struct {
+	cfg Config
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	throttledRate atomic.Uint64
+	throttledConc atomic.Uint64
+}
+
+// bucket is one principal's admission state.
+type bucket struct {
+	limits Limits
+	slots  chan struct{} // concurrency cap; nil means unlimited
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// New builds a limiter; returns nil when nothing is limited (callers
+// may skip the admission hook entirely).
+func New(cfg Config) *Limiter {
+	cfg.Default = cfg.Default.normalized()
+	norm := make(map[string]Limits, len(cfg.Overrides))
+	limited := !cfg.Default.unlimited()
+	for k, v := range cfg.Overrides {
+		v = v.normalized()
+		norm[k] = v
+		if !v.unlimited() {
+			limited = true
+		}
+	}
+	cfg.Overrides = norm
+	if !limited {
+		return nil
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = DefaultMaxWait
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Limiter{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// bucketFor returns (creating on first use) the principal's bucket.
+func (l *Limiter) bucketFor(principal string) *bucket {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[principal]
+	if !ok {
+		lim := l.cfg.Default
+		if o, ok := l.cfg.Overrides[principal]; ok {
+			lim = o
+		}
+		b = &bucket{limits: lim, tokens: lim.Burst, last: l.cfg.Now()}
+		if lim.InFlight > 0 {
+			b.slots = make(chan struct{}, lim.InFlight)
+		}
+		l.buckets[principal] = b
+	}
+	return b
+}
+
+// Principals reports how many principals have admission state.
+func (l *Limiter) Principals() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// Stats reports cumulative rejection counts.
+func (l *Limiter) Stats() Stats {
+	return Stats{
+		ThrottledRate:        l.throttledRate.Load(),
+		ThrottledConcurrency: l.throttledConc.Load(),
+	}
+}
+
+// Acquire admits one request for principal, blocking up to the
+// configured wait while shaping. On success it returns a release
+// function the caller must invoke when the request finishes; on
+// rejection it returns an error wrapping ErrLimited.
+func (l *Limiter) Acquire(principal string) (func(), error) {
+	b := l.bucketFor(principal)
+	release := func() {}
+	maxWait := l.cfg.MaxWait
+	if maxWait < 0 {
+		maxWait = 0
+	}
+
+	if b.slots != nil {
+		select {
+		case b.slots <- struct{}{}:
+		default:
+			if maxWait == 0 {
+				l.throttledConc.Add(1)
+				return nil, fmt.Errorf("%w: %d requests in flight", ErrLimited, b.limits.InFlight)
+			}
+			t := time.NewTimer(maxWait)
+			select {
+			case b.slots <- struct{}{}:
+				t.Stop()
+			case <-t.C:
+				l.throttledConc.Add(1)
+				return nil, fmt.Errorf("%w: %d requests in flight", ErrLimited, b.limits.InFlight)
+			}
+		}
+		release = func() { <-b.slots }
+	}
+
+	if b.limits.RPS > 0 {
+		b.mu.Lock()
+		now := l.cfg.Now()
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * b.limits.RPS
+			if b.tokens > b.limits.Burst {
+				b.tokens = b.limits.Burst
+			}
+			b.last = now
+		}
+		var wait time.Duration
+		if b.tokens < 1 {
+			// Reserve the token and sleep out the deficit outside the
+			// lock — arrivals queue FIFO-ish by growing the deficit.
+			wait = time.Duration((1 - b.tokens) / b.limits.RPS * float64(time.Second))
+			if wait > maxWait {
+				b.mu.Unlock()
+				release()
+				l.throttledRate.Add(1)
+				return nil, fmt.Errorf("%w: rate %g req/s exceeded", ErrLimited, b.limits.RPS)
+			}
+		}
+		b.tokens--
+		b.mu.Unlock()
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+
+	return release, nil
+}

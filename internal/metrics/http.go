@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// A Health callback reports readiness: nil means healthy; an error is
+// reported with a 503 (a draining server answers "draining" so load
+// balancers stop routing to it before the listener goes away).
+type Health func() error
+
+// HealthHandler serves /healthz from the callback.
+func HealthHandler(h Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if h != nil {
+			if err := h(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// An HTTPServer is a running metrics endpoint (/metrics + /healthz).
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP listener on addr exposing /metrics from reg and
+// /healthz from health. It returns once the listener is bound; requests
+// are served in the background until Close.
+func Serve(addr string, reg *Registry, health Health) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/healthz", HealthHandler(health))
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight scrapes.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndFunc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("discfs_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	sampled := uint64(0)
+	r.CounterFunc("discfs_sampled_total", "sampled at scrape", func() uint64 { return sampled })
+	sampled = 42
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE discfs_test_total counter",
+		"discfs_test_total 5",
+		"discfs_sampled_total 42", // read at scrape time, not registration
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WriteText missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestDuplicateRegistrationReturnsSame(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("discfs_dup_total", "x")
+	b := r.Counter("discfs_dup_total", "x")
+	if a != b {
+		t.Fatal("duplicate Counter registration did not return the same collector")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("discfs_depth", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("discfs_lat_seconds", "latency", []float64{0.001, 0.01, 0.1, 1})
+	// 90 fast observations, 10 slow: p50 must land in the first bucket,
+	// p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if p50 := h.Quantile(0.50); p50 > 0.001 {
+		t.Errorf("p50 = %g, want <= 0.001", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 0.01 || p99 > 0.1 {
+		t.Errorf("p99 = %g, want in (0.01, 0.1]", p99)
+	}
+	if q := h.Quantile(0.5); math.IsNaN(q) {
+		t.Error("quantile is NaN on a populated histogram")
+	}
+}
+
+func TestVecsAndText(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("discfs_errs_total", "errors by proc", "proc")
+	cv.With("read").Add(3)
+	cv.With("write").Inc()
+	if got := cv.Total(); got != 4 {
+		t.Fatalf("vec total = %d, want 4", got)
+	}
+	hv := r.HistogramVec("discfs_lat2_seconds", "latency by proc", "proc", []float64{0.01, 1})
+	hv.With("read").Observe(0.005)
+	hv.With("write").Observe(0.5)
+	m := hv.Merged()
+	if m.Count != 2 {
+		t.Fatalf("merged count = %d, want 2", m.Count)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`discfs_errs_total{proc="read"} 3`,
+		`discfs_errs_total{proc="write"} 1`,
+		`discfs_lat2_seconds_bucket{proc="read",le="0.01"} 1`,
+		`discfs_lat2_seconds_bucket{proc="write",le="+Inf"} 1`,
+		`discfs_lat2_seconds_count{proc="read"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WriteText missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("discfs_conc_total", "contended")
+	h := r.Histogram("discfs_conc_seconds", "contended", DefLatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestHTTPServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("discfs_http_total", "served").Add(9)
+	healthy := true
+	srv, err := Serve("127.0.0.1:0", r, func() error {
+		if !healthy {
+			return io.ErrClosedPipe
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "discfs_http_total 9") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	code, _ = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	healthy = false
+	code, _ = get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while unhealthy = %d, want 503", code)
+	}
+}

@@ -64,6 +64,7 @@ func (c *Client) Negotiate(ctx context.Context, propose uint32) (uint32, error) 
 		}
 		return c.maxData.Load(), err
 	}
+	defer recycleReply(d)
 	granted := d.Uint32()
 	if err := d.Err(); err != nil {
 		return c.maxData.Load(), err
@@ -85,6 +86,7 @@ func (c *Client) Mount(ctx context.Context, dirpath string) (vfs.Handle, error) 
 	if err != nil {
 		return vfs.Handle{}, err
 	}
+	defer recycleReply(d)
 	if st := Stat(d.Uint32()); st != OK {
 		return vfs.Handle{}, &Error{Stat: st}
 	}
@@ -99,30 +101,52 @@ func (c *Client) Mount(ctx context.Context, dirpath string) (vfs.Handle, error) 
 func (c *Client) Unmount(ctx context.Context, dirpath string) error {
 	e := xdr.NewEncoder()
 	e.String(dirpath)
-	_, err := c.rpc.Call(ctx, MountProg, MountVers, MountProcUmnt, e.Bytes())
+	d, err := c.rpc.Call(ctx, MountProg, MountVers, MountProcUmnt, e.Bytes())
+	recycleReply(d)
 	return err
 }
 
 // Null issues the NFS NULL procedure (an RPC round-trip).
 func (c *Client) Null(ctx context.Context) error {
-	_, err := c.rpc.Call(ctx, Prog, Vers, ProcNull, nil)
+	d, err := c.rpc.Call(ctx, Prog, Vers, ProcNull, nil)
+	recycleReply(d)
 	return err
 }
 
-// call runs an NFS procedure and checks the leading status word.
+// call runs an NFS procedure and checks the leading status word. On
+// success the returned decoder's backing record is pooled and owned by
+// the caller: recycle it (recycleReply) once nothing aliases it, or
+// hand it off (Read's payload). Failure paths recycle it here.
 func (c *Client) call(ctx context.Context, proc uint32, args []byte) (*xdr.Decoder, error) {
 	d, err := c.rpc.Call(ctx, Prog, Vers, proc, args)
 	if err != nil {
 		return nil, err
 	}
 	if st := Stat(d.Uint32()); st != OK {
+		recycleReply(d)
 		return nil, &Error{Stat: st}
 	}
 	if err := d.Err(); err != nil {
+		recycleReply(d)
 		return nil, err
 	}
 	return d, nil
 }
+
+// recycleReply returns a reply record to the buffer pool. Callers must
+// be done with every alias into the record (Opaque/OpaqueFixed slices);
+// decoded values and strings are copies and stay valid. nil is a no-op,
+// so `defer recycleReply(d)` composes with call's error return.
+func recycleReply(d *xdr.Decoder) {
+	if d != nil {
+		bufpool.Put(d.Buffer())
+	}
+}
+
+// RecycleReply is recycleReply for callers outside the package that
+// issue raw sunrpc calls (the core extension procedures) and are done
+// with the reply record.
+func RecycleReply(d *xdr.Decoder) { recycleReply(d) }
 
 // decodeAttr reads an fattr result into a vfs.Attr plus the wire fattr.
 func decodeAttr(d *xdr.Decoder, h vfs.Handle) (vfs.Attr, FAttr, error) {
@@ -176,6 +200,7 @@ func (c *Client) GetAttr(ctx context.Context, h vfs.Handle) (vfs.Attr, error) {
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	defer recycleReply(d)
 	a, _, err := decodeAttr(d, h)
 	return a, err
 }
@@ -190,6 +215,7 @@ func (c *Client) SetAttr(ctx context.Context, h vfs.Handle, sa SAttr) (vfs.Attr,
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	defer recycleReply(d)
 	a, _, err := decodeAttr(d, h)
 	return a, err
 }
@@ -204,6 +230,7 @@ func (c *Client) Lookup(ctx context.Context, dir vfs.Handle, name string) (vfs.A
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	defer recycleReply(d)
 	return decodeDiropres(d)
 }
 
@@ -216,6 +243,7 @@ func (c *Client) Readlink(ctx context.Context, h vfs.Handle) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	defer recycleReply(d)
 	s := d.String(MaxPath)
 	return s, d.Err()
 }
@@ -240,10 +268,12 @@ func (c *Client) Read(ctx context.Context, h vfs.Handle, offset uint32, count ui
 	}
 	a, _, err := decodeAttr(d, h)
 	if err != nil {
+		recycleReply(d)
 		return nil, vfs.Attr{}, err
 	}
 	data := d.Opaque(MaxTransferLimit)
 	if err := d.Err(); err != nil {
+		recycleReply(d)
 		return nil, vfs.Attr{}, err
 	}
 	return data, a, nil
@@ -268,6 +298,7 @@ func (c *Client) ReadInto(ctx context.Context, h vfs.Handle, offset uint32, dst 
 	if err != nil {
 		return 0, vfs.Attr{}, err
 	}
+	defer recycleReply(d) // dst copy below: nothing aliases the record
 	a, _, err := decodeAttr(d, h)
 	if err != nil {
 		return 0, vfs.Attr{}, err
@@ -277,7 +308,6 @@ func (c *Client) ReadInto(ctx context.Context, h vfs.Handle, offset uint32, dst 
 		return 0, vfs.Attr{}, err
 	}
 	n := copy(dst, data)
-	bufpool.Put(d.Buffer()) // nothing aliases the record past this point
 	return n, a, nil
 }
 
@@ -296,6 +326,7 @@ func (c *Client) Write(ctx context.Context, h vfs.Handle, offset uint32, data []
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	defer recycleReply(d)
 	if st := Stat(d.Uint32()); st != OK {
 		return vfs.Attr{}, &Error{Stat: st}
 	}
@@ -322,6 +353,7 @@ func (c *Client) Commit(ctx context.Context, h vfs.Handle) (vfs.Attr, uint64, er
 	if err != nil {
 		return vfs.Attr{}, 0, err
 	}
+	defer recycleReply(d)
 	a, _, err := decodeAttr(d, h)
 	if err != nil {
 		return vfs.Attr{}, 0, err
@@ -343,6 +375,7 @@ func (c *Client) Create(ctx context.Context, dir vfs.Handle, name string, mode u
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	defer recycleReply(d)
 	return decodeDiropres(d)
 }
 
@@ -352,7 +385,8 @@ func (c *Client) Remove(ctx context.Context, dir vfs.Handle, name string) error 
 	fh := EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
 	e.String(name)
-	_, err := c.call(ctx, ProcRemove, e.Bytes())
+	d, err := c.call(ctx, ProcRemove, e.Bytes())
+	recycleReply(d)
 	return err
 }
 
@@ -365,7 +399,8 @@ func (c *Client) Rename(ctx context.Context, fromDir vfs.Handle, fromName string
 	f2 := EncodeFH(toDir)
 	e.OpaqueFixed(f2[:])
 	e.String(toName)
-	_, err := c.call(ctx, ProcRename, e.Bytes())
+	d, err := c.call(ctx, ProcRename, e.Bytes())
+	recycleReply(d)
 	return err
 }
 
@@ -377,7 +412,8 @@ func (c *Client) Link(ctx context.Context, target vfs.Handle, dir vfs.Handle, na
 	fd := EncodeFH(dir)
 	e.OpaqueFixed(fd[:])
 	e.String(name)
-	_, err := c.call(ctx, ProcLink, e.Bytes())
+	d, err := c.call(ctx, ProcLink, e.Bytes())
+	recycleReply(d)
 	return err
 }
 
@@ -391,7 +427,8 @@ func (c *Client) Symlink(ctx context.Context, dir vfs.Handle, name, target strin
 	sa := NewSAttr()
 	sa.Mode = mode
 	sa.Encode(e)
-	_, err := c.call(ctx, ProcSymlink, e.Bytes())
+	d, err := c.call(ctx, ProcSymlink, e.Bytes())
+	recycleReply(d)
 	return err
 }
 
@@ -408,6 +445,7 @@ func (c *Client) Mkdir(ctx context.Context, dir vfs.Handle, name string, mode ui
 	if err != nil {
 		return vfs.Attr{}, err
 	}
+	defer recycleReply(d)
 	return decodeDiropres(d)
 }
 
@@ -417,7 +455,8 @@ func (c *Client) Rmdir(ctx context.Context, dir vfs.Handle, name string) error {
 	fh := EncodeFH(dir)
 	e.OpaqueFixed(fh[:])
 	e.String(name)
-	_, err := c.call(ctx, ProcRmdir, e.Bytes())
+	d, err := c.call(ctx, ProcRmdir, e.Bytes())
+	recycleReply(d)
 	return err
 }
 
@@ -432,6 +471,7 @@ func (c *Client) ReadDirPage(ctx context.Context, dir vfs.Handle, cookie, count 
 	if err != nil {
 		return nil, false, err
 	}
+	defer recycleReply(d) // entry names are String copies
 	var ents []DirEntry
 	for d.Bool() {
 		ent := DirEntry{
@@ -483,6 +523,7 @@ func (c *Client) StatFS(ctx context.Context, h vfs.Handle) (StatFSResult, error)
 	if err != nil {
 		return StatFSResult{}, err
 	}
+	defer recycleReply(d)
 	r := StatFSResult{
 		TSize: d.Uint32(), BSize: d.Uint32(),
 		Blocks: d.Uint32(), BFree: d.Uint32(), BAvail: d.Uint32(),
@@ -490,18 +531,23 @@ func (c *Client) StatFS(ctx context.Context, h vfs.Handle) (StatFSResult, error)
 	return r, d.Err()
 }
 
-// ReadAll reads the entire file through sequential maximal READs.
+// ReadAll reads the entire file through sequential maximal READs. It
+// goes through ReadInto so every reply record is recycled: Read's
+// hand-off would pin one pooled record per chunk behind the result's
+// interior aliases, and Put silently drops slices whose capacity no
+// longer matches a pool class.
 func (c *Client) ReadAll(ctx context.Context, h vfs.Handle) ([]byte, error) {
 	var out []byte
 	off := uint32(0)
+	buf := make([]byte, c.maxData.Load())
 	for {
-		data, attr, err := c.Read(ctx, h, off, c.maxData.Load())
+		n, attr, err := c.ReadInto(ctx, h, off, buf)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, data...)
-		off += uint32(len(data))
-		if len(data) == 0 || uint64(off) >= attr.Size {
+		out = append(out, buf[:n]...)
+		off += uint32(n)
+		if n == 0 || uint64(off) >= attr.Size {
 			return out, nil
 		}
 	}

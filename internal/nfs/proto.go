@@ -60,6 +60,39 @@ const (
 	ProcFSInfo = 19
 )
 
+// procNames labels NFS procedures for metrics and diagnostics.
+var procNames = [...]string{
+	ProcNull:       "null",
+	ProcGetattr:    "getattr",
+	ProcSetattr:    "setattr",
+	ProcRoot:       "root",
+	ProcLookup:     "lookup",
+	ProcReadlink:   "readlink",
+	ProcRead:       "read",
+	ProcWritecache: "writecache",
+	ProcWrite:      "write",
+	ProcCreate:     "create",
+	ProcRemove:     "remove",
+	ProcRename:     "rename",
+	ProcLink:       "link",
+	ProcSymlink:    "symlink",
+	ProcMkdir:      "mkdir",
+	ProcRmdir:      "rmdir",
+	ProcReaddir:    "readdir",
+	ProcStatfs:     "statfs",
+	ProcCommit:     "commit",
+	ProcFSInfo:     "fsinfo",
+}
+
+// ProcName returns a stable lower-case label for an NFS procedure
+// number, for metric label values.
+func ProcName(proc uint32) string {
+	if proc < uint32(len(procNames)) && procNames[proc] != "" {
+		return procNames[proc]
+	}
+	return fmt.Sprintf("proc%d", proc)
+}
+
 // MOUNT procedure numbers.
 const (
 	MountProcNull = 0
@@ -88,6 +121,14 @@ const (
 	ErrDQuot    Stat = 69
 	ErrStale    Stat = 70
 )
+
+// ErrTryLater is a protocol extension (both ends of this protocol are
+// ours): the server's admission control rejected the request and the
+// client should back off and retry. The value matches NFSv3's
+// NFS3ERR_JUKEBOX (10008), the closest standard analogue — servers
+// predating the extension never emit it, and clients predating it
+// surface a generic error rather than misreading a v2 code.
+const ErrTryLater Stat = 10008
 
 func (s Stat) String() string {
 	switch s {
@@ -121,6 +162,8 @@ func (s Stat) String() string {
 		return "quota exceeded"
 	case ErrStale:
 		return "stale file handle"
+	case ErrTryLater:
+		return "request throttled, try again later"
 	}
 	return fmt.Sprintf("nfs status %d", uint32(s))
 }
@@ -168,6 +211,8 @@ func MapError(err error) Stat {
 		return ErrNameLong
 	case errors.Is(err, vfs.ErrFBig):
 		return ErrFBig
+	case errors.Is(err, vfs.ErrThrottled):
+		return ErrTryLater
 	case errors.Is(err, vfs.ErrInval):
 		return ErrIO // NFSv2 has no EINVAL; IO is the catch-all
 	default:

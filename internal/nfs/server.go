@@ -1,6 +1,8 @@
 package nfs
 
 import (
+	"time"
+
 	"discfs/internal/sunrpc"
 	"discfs/internal/vfs"
 	"discfs/internal/xdr"
@@ -27,7 +29,23 @@ type Server struct {
 	// maxTransfer is the largest READ/WRITE payload this server moves in
 	// one call; FSINFO negotiation clamps client proposals to it.
 	maxTransfer uint32
+	// admit, when set, gates every data-plane procedure (everything but
+	// NULL and FSINFO) per authenticated peer. A non-nil error rejects
+	// the call with ErrTryLater; otherwise the returned release runs
+	// when the procedure finishes.
+	admit func(peer string, proc uint32) (func(), error)
+	// observe, when set, receives every completed data-plane call with
+	// its procedure, resulting status and latency.
+	observe func(proc uint32, st Stat, d time.Duration)
 }
+
+// SetAdmit installs the per-peer admission hook (the server-side
+// limiter). Call before serving.
+func (s *Server) SetAdmit(fn func(peer string, proc uint32) (func(), error)) { s.admit = fn }
+
+// SetObserver installs the per-call completion observer (the metrics
+// seam). Call before serving.
+func (s *Server) SetObserver(fn func(proc uint32, st Stat, d time.Duration)) { s.observe = fn }
 
 // NewServer creates an NFS server over exp, granting negotiated
 // transfers up to DefaultMaxTransfer (SetMaxTransfer adjusts).
@@ -78,7 +96,8 @@ func (s *Server) dispatchMount(ctx *sunrpc.Context, proc uint32, args *xdr.Decod
 	return sunrpc.ProcUnavail, nil
 }
 
-// dispatch handles the NFS program.
+// dispatch handles the NFS program, wrapping the procedure bodies in
+// the observation seam (latency + resulting status per proc).
 func (s *Server) dispatch(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, res *xdr.Encoder) (sunrpc.AcceptStat, error) {
 	if proc == ProcNull {
 		return sunrpc.Success, nil
@@ -86,10 +105,35 @@ func (s *Server) dispatch(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, r
 	if proc == ProcFSInfo {
 		return s.fsinfo(args, res)
 	}
+	var start time.Time
+	if s.observe != nil {
+		start = time.Now()
+	}
+	astat, st, err := s.serve(ctx, proc, args, res)
+	if s.observe != nil {
+		if astat != sunrpc.Success && st == OK {
+			st = ErrIO // garbage args / unknown proc: count as an error
+		}
+		s.observe(proc, st, time.Since(start))
+	}
+	return astat, err
+}
+
+// serve runs one data-plane procedure and reports its NFS status
+// alongside the RPC accept status.
+func (s *Server) serve(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, res *xdr.Encoder) (sunrpc.AcceptStat, Stat, error) {
+	if s.admit != nil {
+		release, err := s.admit(ctx.Peer, proc)
+		if err != nil {
+			res.Uint32(uint32(ErrTryLater))
+			return sunrpc.Success, ErrTryLater, nil
+		}
+		defer release()
+	}
 	fs, err := s.exp.View(ctx.Peer)
 	if err != nil {
 		res.Uint32(uint32(ErrAcces))
-		return sunrpc.Success, nil
+		return sunrpc.Success, ErrAcces, nil
 	}
 	h := &procHandler{fs: fs, args: args, res: res, maxTransfer: s.maxTransfer}
 	var fn func()
@@ -127,15 +171,15 @@ func (s *Server) dispatch(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, r
 	case ProcCommit:
 		fn = h.commit
 	case ProcRoot, ProcWritecache:
-		return sunrpc.Success, nil // obsolete no-ops per RFC 1094
+		return sunrpc.Success, OK, nil // obsolete no-ops per RFC 1094
 	default:
-		return sunrpc.ProcUnavail, nil
+		return sunrpc.ProcUnavail, OK, nil
 	}
 	fn()
 	if h.garbage || args.Err() != nil {
-		return sunrpc.GarbageArgs, nil
+		return sunrpc.GarbageArgs, OK, nil
 	}
-	return sunrpc.Success, nil
+	return sunrpc.Success, h.stat, nil
 }
 
 // fsinfo answers the transfer-size negotiation: the grant is the
@@ -164,6 +208,15 @@ type procHandler struct {
 	res         *xdr.Encoder
 	maxTransfer uint32
 	garbage     bool
+	// stat is the NFS status the procedure encoded (OK until an error
+	// path runs); the dispatch observer reads it for error counting.
+	stat Stat
+}
+
+// fail encodes an error status result, recording it for the observer.
+func (h *procHandler) fail(err error) {
+	h.stat = MapError(err)
+	h.res.Uint32(uint32(h.stat))
 }
 
 // fh decodes a file handle argument.
@@ -176,6 +229,7 @@ func (h *procHandler) fh() (vfs.Handle, bool) {
 	vh, err := DecodeFH(raw)
 	if err != nil {
 		// A well-formed but foreign handle is a STALE error, not garbage.
+		h.stat = ErrStale
 		h.res.Uint32(uint32(ErrStale))
 		return vfs.Handle{}, false
 	}
@@ -203,7 +257,7 @@ func (h *procHandler) blockSize() uint32 {
 // attrstat encodes the common (status, fattr) result.
 func (h *procHandler) attrstat(a vfs.Attr, err error) {
 	if err != nil {
-		h.res.Uint32(uint32(MapError(err)))
+		h.fail(err)
 		return
 	}
 	h.res.Uint32(uint32(OK))
@@ -214,7 +268,7 @@ func (h *procHandler) attrstat(a vfs.Attr, err error) {
 // diropres encodes the common (status, fhandle, fattr) result.
 func (h *procHandler) diropres(a vfs.Attr, err error) {
 	if err != nil {
-		h.res.Uint32(uint32(MapError(err)))
+		h.fail(err)
 		return
 	}
 	h.res.Uint32(uint32(OK))
@@ -226,7 +280,7 @@ func (h *procHandler) diropres(a vfs.Attr, err error) {
 
 // status encodes a bare status result.
 func (h *procHandler) status(err error) {
-	h.res.Uint32(uint32(MapError(err)))
+	h.fail(err)
 }
 
 func (h *procHandler) getattr() {
@@ -269,7 +323,7 @@ func (h *procHandler) readlink() {
 	}
 	target, err := h.fs.Readlink(vh)
 	if err != nil {
-		h.res.Uint32(uint32(MapError(err)))
+		h.fail(err)
 		return
 	}
 	h.res.Uint32(uint32(OK))
@@ -297,7 +351,7 @@ func (h *procHandler) read() {
 	// write-gathering overlay and the CFS layer down to the device).
 	attr, err := h.fs.GetAttr(vh)
 	if err != nil {
-		h.res.Uint32(uint32(MapError(err)))
+		h.fail(err)
 		return
 	}
 	n := uint64(count)
@@ -316,7 +370,7 @@ func (h *procHandler) read() {
 	nr, _, err := vfs.ReadFSInto(h.fs, vh, uint64(offset), window)
 	if err != nil {
 		h.res.Truncate(mark)
-		h.res.Uint32(uint32(MapError(err)))
+		h.fail(err)
 		return
 	}
 	if nr != int(n) {
@@ -488,7 +542,7 @@ func (h *procHandler) readdir() {
 	}
 	ents, err := h.fs.ReadDir(vh)
 	if err != nil {
-		h.res.Uint32(uint32(MapError(err)))
+		h.fail(err)
 		return
 	}
 	h.res.Uint32(uint32(OK))
@@ -531,7 +585,7 @@ func (h *procHandler) commit() {
 	}
 	ver, attr, err := CommitFS(h.fs, vh)
 	if err != nil {
-		h.res.Uint32(uint32(MapError(err)))
+		h.fail(err)
 		return
 	}
 	h.res.Uint32(uint32(OK))
@@ -547,7 +601,7 @@ func (h *procHandler) statfs() {
 	}
 	st, err := h.fs.StatFS()
 	if err != nil {
-		h.res.Uint32(uint32(MapError(err)))
+		h.fail(err)
 		return
 	}
 	h.res.Uint32(uint32(OK))

@@ -33,11 +33,50 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discfs/internal/bufpool"
 	"discfs/internal/keynote"
 )
+
+// Process-global server-role channel counters (like the buffer pool,
+// the channel layer is shared process state). The operations plane
+// samples them into the metrics registry at scrape time.
+var (
+	statHandshakes atomic.Uint64
+	statFailures   atomic.Uint64
+	statRejected   atomic.Uint64
+	statAccepted   atomic.Uint64
+	statActive     atomic.Int64
+)
+
+// Stats is a snapshot of the server-role channel counters.
+type Stats struct {
+	// Handshakes counts responder handshakes attempted.
+	Handshakes uint64
+	// Failures counts handshakes that failed before authentication
+	// completed (protocol errors, bad signatures).
+	Failures uint64
+	// Rejected counts authenticated peers refused by Authorize
+	// (including revoked keys).
+	Rejected uint64
+	// Accepted counts sessions established.
+	Accepted uint64
+	// Active is the number of currently open server-role sessions.
+	Active int64
+}
+
+// ReadStats samples the process-global server-role counters.
+func ReadStats() Stats {
+	return Stats{
+		Handshakes: statHandshakes.Load(),
+		Failures:   statFailures.Load(),
+		Rejected:   statRejected.Load(),
+		Accepted:   statAccepted.Load(),
+		Active:     statActive.Load(),
+	}
+}
 
 // protocol constants.
 const (
@@ -122,9 +161,10 @@ func (c *Config) timeout() time.Duration {
 // Conn is an established secure channel. It implements net.Conn and
 // sunrpc.PeerIdentifier.
 type Conn struct {
-	raw  net.Conn
-	br   *bufio.Reader // buffered raw reads: one syscall per record
-	peer keynote.Principal
+	raw    net.Conn
+	br     *bufio.Reader // buffered raw reads: one syscall per record
+	peer   keynote.Principal
+	server bool // responder side (counts toward active sessions)
 
 	rekeyEvery uint64
 
@@ -133,6 +173,7 @@ type Conn struct {
 	waead cipher.AEAD
 	wkey  []byte // current write traffic key (ratcheted)
 	wbuf  []byte // reusable record assembly buffer
+	werr  error  // sticky after close: the retained wbuf is recycled
 
 	rmu     sync.Mutex
 	rseq    uint64
@@ -141,6 +182,29 @@ type Conn struct {
 	rbuf    []byte // decrypted bytes not yet delivered (aliases rawbuf)
 	rawbuf  []byte // reusable ciphertext buffer; records open in place
 	readErr error
+
+	closeOnce sync.Once
+}
+
+// recycle returns the retained record buffers to the pool and poisons
+// both directions; called on close and on handshake failure so churning
+// sessions do not grow bufpool.Outstanding.
+func (c *Conn) recycle() {
+	c.wmu.Lock()
+	bufpool.Put(c.wbuf)
+	c.wbuf = nil
+	if c.werr == nil {
+		c.werr = net.ErrClosed
+	}
+	c.wmu.Unlock()
+	c.rmu.Lock()
+	bufpool.Put(c.rawbuf)
+	c.rawbuf = nil
+	c.rbuf = nil
+	if c.readErr == nil {
+		c.readErr = net.ErrClosed
+	}
+	c.rmu.Unlock()
 }
 
 // ratchet derives the next traffic key from the current one, giving the
@@ -375,6 +439,7 @@ func Client(raw net.Conn, cfg Config) (*Conn, error) {
 	authMsg = append(authMsg, pub...)
 	authMsg = append(authMsg, sigC...)
 	if err := conn.writeRecord(authMsg); err != nil {
+		conn.recycle()
 		return nil, err
 	}
 
@@ -383,19 +448,23 @@ func Client(raw net.Conn, cfg Config) (*Conn, error) {
 	// see its first RPC fail with a broken connection.
 	verdict, err := conn.readRecord()
 	if err != nil {
+		conn.recycle()
 		return nil, fmt.Errorf("%w: awaiting server accept: %v", ErrHandshake, err)
 	}
 	if len(verdict) < 1 {
+		conn.recycle()
 		return nil, fmt.Errorf("%w: empty server accept", ErrHandshake)
 	}
 	switch reason := string(verdict[1:]); verdict[0] {
 	case acceptOK:
 	case acceptRevoked:
+		conn.recycle()
 		if reason == ErrKeyRevoked.Error() {
 			return nil, fmt.Errorf("%w: %w", ErrRejected, ErrKeyRevoked)
 		}
 		return nil, fmt.Errorf("%w: %w: %s", ErrRejected, ErrKeyRevoked, reason)
 	default:
+		conn.recycle()
 		return nil, fmt.Errorf("%w: %s", ErrRejected, reason)
 	}
 	conn.peer = peer
@@ -404,6 +473,23 @@ func Client(raw net.Conn, cfg Config) (*Conn, error) {
 
 // Server performs the responder handshake over raw.
 func Server(raw net.Conn, cfg Config) (*Conn, error) {
+	statHandshakes.Add(1)
+	conn, err := serverHandshake(raw, cfg)
+	switch {
+	case err == nil:
+		statAccepted.Add(1)
+		statActive.Add(1)
+	case errors.Is(err, ErrRejected):
+		statRejected.Add(1)
+	default:
+		statFailures.Add(1)
+	}
+	return conn, err
+}
+
+// serverHandshake is the responder handshake body; Server wraps it with
+// the operations-plane counters.
+func serverHandshake(raw net.Conn, cfg Config) (*Conn, error) {
 	if cfg.Identity == nil {
 		return nil, fmt.Errorf("%w: no identity", ErrHandshake)
 	}
@@ -464,28 +550,34 @@ func Server(raw net.Conn, cfg Config) (*Conn, error) {
 		raw: raw, br: br, waead: s2c, raead: c2s,
 		wkey: keys[32:], rkey: keys[:32],
 		rekeyEvery: cfg.rekeyRecords(),
+		server:     true,
 	}
 
 	// <- ClientAuth (first record on the channel).
 	authMsg, err := conn.readRecord()
 	if err != nil {
+		conn.recycle()
 		return nil, fmt.Errorf("%w: client auth: %v", ErrHandshake, err)
 	}
 	if len(authMsg) < 1 {
+		conn.recycle()
 		return nil, fmt.Errorf("%w: empty client auth", ErrHandshake)
 	}
 	idLen := int(authMsg[0])
 	if len(authMsg) < 1+idLen+ed25519.SignatureSize {
+		conn.recycle()
 		return nil, fmt.Errorf("%w: short client auth", ErrHandshake)
 	}
 	idC := authMsg[1 : 1+idLen]
 	sigC := authMsg[1+idLen : 1+idLen+ed25519.SignatureSize]
 	peer, peerPub, err := identityFromWire(idC)
 	if err != nil {
+		conn.recycle()
 		return nil, err
 	}
 	clientTranscript := transcript("client", ephCBytes, nonceC, eph.PublicKey().Bytes(), nonceS, idC)
 	if !ed25519.Verify(peerPub, clientTranscript, sigC) {
+		conn.recycle()
 		return nil, fmt.Errorf("%w: client signature invalid", ErrHandshake)
 	}
 	if cfg.Authorize != nil {
@@ -496,11 +588,13 @@ func Server(raw net.Conn, cfg Config) (*Conn, error) {
 			}
 			verdict := append([]byte{code}, err.Error()...)
 			_ = conn.writeRecord(verdict) // best effort; we are closing anyway
+			conn.recycle()
 			return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 		}
 	}
 	// -> ServerAccept{OK}.
 	if err := conn.writeRecord([]byte{acceptOK}); err != nil {
+		conn.recycle()
 		return nil, err
 	}
 	conn.peer = peer
@@ -521,6 +615,9 @@ func sealNonce(seq uint64) []byte {
 func (c *Conn) writeRecord(plaintext []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
 	seq := c.wseq
 	c.wseq++
 	if err := c.maybeRekeyWrite(seq); err != nil {
@@ -617,8 +714,19 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// Close implements net.Conn.
-func (c *Conn) Close() error { return c.raw.Close() }
+// Close implements net.Conn. The raw transport closes first (releasing
+// any reader blocked in a record read), then the retained record
+// buffers return to the pool.
+func (c *Conn) Close() error {
+	err := c.raw.Close()
+	c.closeOnce.Do(func() {
+		if c.server {
+			statActive.Add(-1)
+		}
+		c.recycle()
+	})
+	return err
+}
 
 // LocalAddr implements net.Conn.
 func (c *Conn) LocalAddr() net.Addr { return c.raw.LocalAddr() }

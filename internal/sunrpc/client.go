@@ -148,7 +148,11 @@ func (c *Client) CallAppend(ctx context.Context, prog, vers, proc uint32, sizeHi
 		if rep.err != nil {
 			return nil, rep.err
 		}
-		return decodeReply(rep.data)
+		d, err := decodeReply(rep.data)
+		if err != nil {
+			bufpool.Put(rep.data) // envelope-level failure: nothing aliases it
+		}
+		return d, err
 	case <-ctx.Done():
 		// Unregister so a late reply is dropped; the buffered channel
 		// keeps the reader from blocking if it already claimed the entry.

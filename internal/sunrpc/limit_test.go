@@ -1,6 +1,7 @@
 package sunrpc
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -78,6 +79,72 @@ func TestMaxInFlightBoundsConcurrency(t *testing.T) {
 	}
 	if p := peak.Load(); p < 2 {
 		t.Logf("peak concurrency only reached %d (timing)", p)
+	}
+}
+
+// TestSaturationRefusesBusy saturates a limit-1 server whose queue
+// wait is near zero: the overflow call must come back as an explicit
+// ServerBusy refusal (matching ErrServerBusy) rather than blocking the
+// connection's read loop, and the refusal must be counted.
+func TestSaturationRefusesBusy(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	handler := func(ctx *Context, proc uint32, args *xdr.Decoder, res *xdr.Encoder) (AcceptStat, error) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		return Success, nil
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(WithMaxInFlight(1), WithQueueWait(time.Millisecond))
+	srv.Register(slowProg, slowVers, handler)
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := c.Call(t.Context(), slowProg, slowVers, 0, nil)
+		first <- err
+	}()
+	<-entered // the single slot is now held by the parked handler
+	// Overflow calls while the only slot is parked on release. The
+	// handler never yields it, so these cannot be ordinary slow calls:
+	// an error-free return would mean the cap leaked.
+	deadline := time.Now().Add(2 * time.Second)
+	busy := 0
+	for busy == 0 && time.Now().Before(deadline) {
+		_, err := c.Call(t.Context(), slowProg, slowVers, 0, nil)
+		if err == nil {
+			t.Fatal("overflow call succeeded while the slot was held")
+		}
+		if !errors.Is(err, ErrServerBusy) {
+			t.Fatalf("overflow call = %v, want ErrServerBusy", err)
+		}
+		busy++
+	}
+	if busy == 0 {
+		t.Fatal("no ServerBusy refusal within 2s")
+	}
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatalf("parked call: %v", err)
+	}
+	st := srv.Stats()
+	if st.QueueFull == 0 || st.Busy == 0 {
+		t.Errorf("Stats() = %+v, want QueueFull > 0 and Busy > 0", st)
 	}
 }
 

@@ -36,6 +36,12 @@ const (
 	ProcUnavail  AcceptStat = 3 // procedure not defined
 	GarbageArgs  AcceptStat = 4 // arguments failed to decode
 	SystemErr    AcceptStat = 5 // internal error
+
+	// ServerBusy is an implementation extension (both ends of this
+	// protocol are ours): the server is saturated or draining and
+	// refused to execute the call. Distinguishing overload from a hung
+	// server lets clients back off and retry instead of timing out.
+	ServerBusy AcceptStat = 100
 )
 
 func (s AcceptStat) String() string {
@@ -52,6 +58,8 @@ func (s AcceptStat) String() string {
 		return "garbage arguments"
 	case SystemErr:
 		return "system error"
+	case ServerBusy:
+		return "server busy"
 	}
 	return fmt.Sprintf("accept status %d", uint32(s))
 }
@@ -122,6 +130,18 @@ func (e *RPCError) Error() string {
 	}
 	return "sunrpc: " + e.Stat.String()
 }
+
+// Is makes a ServerBusy RPCError match ErrServerBusy under errors.Is,
+// so callers can detect backpressure without depending on the concrete
+// error type.
+func (e *RPCError) Is(target error) bool {
+	return target == ErrServerBusy && e.Stat == ServerBusy
+}
+
+// ErrServerBusy reports that the server refused the call because it is
+// saturated (the in-flight cap stayed full beyond the bounded wait) or
+// draining. The caller should back off and retry, possibly elsewhere.
+var ErrServerBusy = errors.New("sunrpc: server busy")
 
 // ErrDenied indicates the server denied the call (auth error or RPC
 // version mismatch).

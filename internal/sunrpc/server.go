@@ -2,11 +2,15 @@ package sunrpc
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"discfs/internal/bufpool"
 	"discfs/internal/xdr"
@@ -57,11 +61,51 @@ type Server struct {
 	// sem bounds concurrently executing procedure calls across all
 	// connections; nil means unbounded.
 	sem chan struct{}
+	// semWait bounds how long a record waits for an execution slot when
+	// the server is saturated before being refused with ServerBusy.
+	semWait time.Duration
 
 	wg        sync.WaitGroup
 	lnMu      sync.Mutex
 	listeners []net.Listener
+	conns     map[net.Conn]struct{}
 	closed    bool
+
+	// drainMu/draining fence dispatch during graceful drain: once set,
+	// new records are answered ServerBusy without executing while
+	// in-flight handlers (tracked by hwg) run to completion.
+	drainMu  sync.Mutex
+	draining bool
+	hwg      sync.WaitGroup
+
+	requests  atomic.Uint64
+	queueFull atomic.Uint64
+	busy      atomic.Uint64
+	inflight  atomic.Int64
+}
+
+// Stats are cumulative server-side RPC transport counters.
+type Stats struct {
+	// Requests counts records received for dispatch.
+	Requests uint64
+	// QueueFull counts records that found the in-flight cap saturated
+	// and had to wait for a slot (the backpressure signal).
+	QueueFull uint64
+	// Busy counts records refused with ServerBusy (saturation beyond
+	// the bounded wait, or drain).
+	Busy uint64
+	// InFlight is the number of handlers executing right now.
+	InFlight int64
+}
+
+// Stats samples the transport counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		QueueFull: s.queueFull.Load(),
+		Busy:      s.busy.Load(),
+		InFlight:  s.inflight.Load(),
+	}
 }
 
 // A ServerOption configures NewServer.
@@ -78,6 +122,18 @@ const DefaultMaxInFlight = 1024
 // that stops reading replies from parking unbounded goroutines, without
 // letting it pin the server-wide execution semaphore.
 const maxPerConnPipeline = 256
+
+// DefaultQueueWait is the default bounded wait for an execution slot at
+// saturation; beyond it the record is refused with ServerBusy so
+// callers can tell backpressure from a hung server.
+const DefaultQueueWait = time.Second
+
+// WithQueueWait sets how long a record may wait for an execution slot
+// when the in-flight cap is saturated before being refused with
+// ServerBusy. d <= 0 refuses immediately at saturation.
+func WithQueueWait(d time.Duration) ServerOption {
+	return func(s *Server) { s.semWait = d }
+}
 
 // WithMaxInFlight bounds the number of procedure calls executing
 // concurrently across all connections; further records queue in the
@@ -101,6 +157,8 @@ func NewServer(opts ...ServerOption) *Server {
 		handlers: make(map[progVers]Handler),
 		versions: make(map[uint32][2]uint32),
 		sem:      make(chan struct{}, DefaultMaxInFlight),
+		semWait:  DefaultQueueWait,
+		conns:    make(map[net.Conn]struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -184,7 +242,23 @@ func (s *Server) logf(format string, args ...any) {
 // Exported so transports that perform their own accept loop (the secure
 // channel listener) can hand connections to the RPC layer.
 func (s *Server) ServeConn(conn net.Conn) {
-	defer conn.Close()
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		conn.Close()
+		return
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.lnMu.Unlock()
+	defer func() {
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
+		conn.Close()
+	}()
 	ctx := &Context{RemoteAddr: conn.RemoteAddr()}
 	if pi, ok := conn.(PeerIdentifier); ok {
 		ctx.Peer = pi.PeerID()
@@ -202,37 +276,158 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		// NFS clients pipeline requests; serve each call in its own
 		// goroutine so a slow operation does not stall the connection.
-		// Two bounds apply backpressure by blocking this read loop: the
-		// per-connection pipeline cap (so a client that stops reading
-		// replies parks a bounded number of goroutines) and the
-		// server-wide execution semaphore (held only while the handler
-		// runs, so a stalled connection cannot starve the others).
+		// The per-connection pipeline cap bounds this read loop (so a
+		// client that stops reading replies parks a bounded number of
+		// goroutines); the server-wide execution semaphore is acquired
+		// in the call goroutine with a bounded wait — a record that
+		// cannot get a slot within semWait is refused with ServerBusy
+		// instead of silently wedging the connection at saturation.
 		connSem <- struct{}{}
-		if s.sem != nil {
-			s.sem <- struct{}{}
-		}
 		s.wg.Add(1)
 		go func(rec []byte) {
 			defer s.wg.Done()
 			defer func() { <-connSem }()
-			reply, err := s.dispatch(ctx, rec)
-			bufpool.Put(rec) // handlers must not retain args past dispatch
-			if s.sem != nil {
-				<-s.sem // before the reply write, which may block
-			}
-			if err != nil {
-				s.logf("sunrpc: dispatch: %v", err)
-				return // undecodable call: drop it
-			}
-			wmu.Lock()
-			werr := writeFramed(conn, reply)
-			wmu.Unlock()
-			bufpool.Put(reply)
-			if werr != nil {
-				s.logf("sunrpc: write: %v", werr)
-			}
+			s.serveRecord(ctx, conn, &wmu, rec)
 		}(rec)
 	}
+}
+
+// serveRecord executes one call record: admission through the in-flight
+// semaphore and the drain fence, dispatch, reply write. It owns rec.
+func (s *Server) serveRecord(ctx *Context, conn net.Conn, wmu *sync.Mutex, rec []byte) {
+	s.requests.Add(1)
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Saturated: count the event, then wait a bounded time for a
+			// slot before refusing the call.
+			s.queueFull.Add(1)
+			if s.semWait <= 0 {
+				s.refuseBusy(conn, wmu, rec)
+				return
+			}
+			t := time.NewTimer(s.semWait)
+			select {
+			case s.sem <- struct{}{}:
+				t.Stop()
+			case <-t.C:
+				s.refuseBusy(conn, wmu, rec)
+				return
+			}
+		}
+	}
+	// The drain fence: in-flight handlers (hwg) run to completion and
+	// deliver their replies; records arriving after the fence are
+	// refused without executing.
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		if s.sem != nil {
+			<-s.sem
+		}
+		s.refuseBusy(conn, wmu, rec)
+		return
+	}
+	s.hwg.Add(1)
+	s.drainMu.Unlock()
+
+	s.inflight.Add(1)
+	reply, err := s.dispatch(ctx, rec)
+	s.inflight.Add(-1)
+	bufpool.Put(rec) // handlers must not retain args past dispatch
+	if s.sem != nil {
+		<-s.sem // before the reply write, which may block
+	}
+	if err != nil {
+		s.logf("sunrpc: dispatch: %v", err)
+		s.hwg.Done()
+		return // undecodable call: drop it
+	}
+	wmu.Lock()
+	werr := writeFramed(conn, reply)
+	wmu.Unlock()
+	bufpool.Put(reply)
+	s.hwg.Done() // after the reply write: drain waits for delivery too
+	if werr != nil {
+		s.logf("sunrpc: write: %v", werr)
+	}
+}
+
+// refuseBusy answers rec with an accepted reply carrying ServerBusy,
+// consuming rec.
+func (s *Server) refuseBusy(conn net.Conn, wmu *sync.Mutex, rec []byte) {
+	s.busy.Add(1)
+	if len(rec) < 8 || binary.BigEndian.Uint32(rec[4:8]) != msgTypeCall {
+		bufpool.Put(rec)
+		return // not a call: nothing sensible to answer
+	}
+	xid := binary.BigEndian.Uint32(rec[:4])
+	bufpool.Put(rec)
+	e := xdr.NewEncoderWith(bufpool.Get(64))
+	e.Reserve(headerRoom)
+	e.Uint32(xid)
+	e.Uint32(msgTypeReply)
+	e.Uint32(replyStatAccepted)
+	OpaqueAuth{Flavor: AuthNone}.encode(e)
+	e.Uint32(uint32(ServerBusy))
+	reply := e.Bytes()
+	wmu.Lock()
+	werr := writeFramed(conn, reply)
+	wmu.Unlock()
+	bufpool.Put(reply)
+	if werr != nil {
+		s.logf("sunrpc: write: %v", werr)
+	}
+}
+
+// Drain gracefully shuts the server down: listeners close (no new
+// connections), new records are refused with ServerBusy, and in-flight
+// handlers run to completion — including their reply writes — before
+// remaining connections are torn down. If the in-flight calls do not
+// finish within timeout, connections are cut anyway and an error is
+// returned; handler goroutines still running are abandoned (the caller
+// is exiting).
+func (s *Server) Drain(timeout time.Duration) error {
+	s.lnMu.Lock()
+	s.closed = true
+	lns := s.listeners
+	s.listeners = nil
+	s.lnMu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.hwg.Wait()
+		close(done)
+	}()
+	var forced bool
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		forced = true
+	}
+
+	s.lnMu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.lnMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	if forced {
+		return fmt.Errorf("sunrpc: drain deadline (%v) exceeded with %d calls in flight", timeout, s.inflight.Load())
+	}
+	s.wg.Wait()
+	return nil
 }
 
 // dispatch decodes one call record and produces the encoded reply

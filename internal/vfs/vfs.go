@@ -167,6 +167,10 @@ var (
 	ErrInval       = errors.New("vfs: invalid argument")
 	ErrIO          = errors.New("vfs: i/o error")
 	ErrFBig        = errors.New("vfs: file too large")
+	// ErrThrottled reports admission-control rejection: the request was
+	// shaped beyond its principal's budget and should be retried after a
+	// backoff. It maps to the TRYLATER extension status on the wire.
+	ErrThrottled = errors.New("vfs: request throttled")
 )
 
 // MaxNameLen is the maximum directory entry name length (NFSv2 limit).

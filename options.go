@@ -97,6 +97,42 @@ func WithClock(now func() time.Time) ServerOption {
 	return func(o *serverOptions) { o.cfg.Now = now }
 }
 
+// Limits is one principal's admission budget: a sustained request rate
+// (token bucket of the given burst) and an in-flight request cap. A
+// zero field leaves that axis unlimited.
+type Limits = core.Limits
+
+// WithServerLimits applies per-principal admission control to every
+// data-plane NFS request, keyed by the authenticated secure-channel
+// principal: each principal gets its own token bucket (rps sustained,
+// burst capacity; burst 0 defaults to rps) and in-flight cap. Requests
+// over budget wait briefly, then fail with ErrThrottled — one hot
+// client is pinned to its budget instead of starving the rest.
+func WithServerLimits(rps float64, burst float64, inflight int) ServerOption {
+	return func(o *serverOptions) {
+		o.cfg.LimitDefault = Limits{RPS: rps, Burst: burst, InFlight: inflight}
+	}
+}
+
+// WithServerLimitOverride assigns one principal its own limits in place
+// of the WithServerLimits default (raise a trusted batch service, pin a
+// noisy one). May be repeated.
+func WithServerLimitOverride(p Principal, l Limits) ServerOption {
+	return func(o *serverOptions) {
+		if o.cfg.LimitOverrides == nil {
+			o.cfg.LimitOverrides = make(map[Principal]Limits)
+		}
+		o.cfg.LimitOverrides[p] = l
+	}
+}
+
+// WithServerLimitMaxWait bounds how long an over-budget request is
+// delayed (shaped) before being rejected with ErrThrottled; 0 keeps
+// the default (250ms).
+func WithServerLimitMaxWait(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.cfg.LimitMaxWait = d }
+}
+
 // NewServer constructs a DisCFS server anchored on the administrator key
 // serverKey, configured by functional options. With no options the
 // server exports a fresh in-memory store (the "mem" backend):
