@@ -182,6 +182,12 @@ func main() {
 	streamTable(int64(*streamMax) << 20)
 	fmt.Println()
 
+	// ---- Metadata plane: batched walk/stat vs per-name RPCs ----
+	fmt.Println("Metadata walk/stat (10k-entry tree; per-name LOOKUP walk vs batched READDIRPLUS walk)")
+	fmt.Println("  Walk                Time (sec)")
+	metaTable(*runs)
+	fmt.Println()
+
 	// ---- Parallel multi-client write scaling ----
 	fmt.Println("Parallel write throughput (8 KiB blocks, one file per writer, seek-model disk)")
 	fmt.Println("  Setup            Writers   Aggregate KB/s")
@@ -349,6 +355,24 @@ func streamTable(maxSize int64) {
 		}
 	}
 	emitJSON("stream", "Streaming throughput: negotiated vs baseline transfer size", "MB/s", jrows)
+}
+
+// metaTable prints (and emits as BENCH_meta.json) the metadata-plane
+// comparison: walking and stat'ing the 10k-entry tree with one LOOKUP
+// RPC per name versus batched READDIRPLUS pages with piggybacked
+// attributes. The acceptance bound is the batched walk reaching 5x.
+func metaTable(runs int) {
+	res, err := bench.Meta(bench.MetaTreeSpec, runs)
+	check(err)
+	fmt.Printf("  %-18s %12.3f\n", "per-name", res.LegacySec)
+	fmt.Printf("  %-18s %12.3f   (%.1fx)\n", "readdirplus", res.PlusSec, res.Speedup)
+	emitJSON("meta", "Metadata walk/stat: batched READDIRPLUS vs per-name LOOKUP", "sec", []benchRow{
+		{Name: "per-name-sec", Value: res.LegacySec},
+		{Name: "readdirplus-sec", Value: res.PlusSec},
+		{Name: "speedup", Value: res.Speedup},
+		{Name: "files", Value: float64(res.Files)},
+		{Name: "dirs", Value: float64(res.Dirs)},
+	})
 }
 
 // microCredential times parse / verify / sign / query inline.

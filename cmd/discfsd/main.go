@@ -39,6 +39,7 @@ func main() {
 		wbQueue      = flag.Int("wb-queue", 1024, "write-behind queue bound in 8 KiB blocks (with -write-behind)")
 		wbCommitters = flag.Int("wb-committers", 2, "write-behind committer pool size (with -write-behind)")
 		maxTransfer  = flag.Int("max-transfer", discfs.DefaultMaxTransfer, "largest negotiated READ/WRITE payload in bytes (8192 pins NFSv2-era transfers)")
+		dirCursors   = flag.Int("dir-cursors", 0, "directory-cursor cache capacity: concurrent paged listings kept stable under mutation (0 = default 256)")
 		imagePath    = flag.String("image", "", "filesystem image: loaded at startup if present, saved on SIGINT/SIGTERM")
 		backend      = flag.String("backend", discfs.DefaultBackend, "storage backend (see discfs.Backends)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (empty disables)")
@@ -81,6 +82,9 @@ func main() {
 		discfs.WithBacking(store),
 		discfs.WithCacheSize(*cacheSize),
 		discfs.WithServerMaxTransfer(*maxTransfer),
+	}
+	if *dirCursors > 0 {
+		opts = append(opts, discfs.WithServerDirCursors(*dirCursors))
 	}
 	if *writeBehind {
 		opts = append(opts, discfs.WithServerWriteBehind(*wbQueue, *wbCommitters))

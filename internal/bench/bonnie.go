@@ -207,3 +207,34 @@ func Bonnie(fs vfs.FS, dir vfs.Handle, size int64) (BonnieResult, error) {
 	}
 	return res, nil
 }
+
+// StatTree walks the tree under root depth-first, stat'ing every entry
+// through the vfs interface: one ReadDir per directory and one Lookup
+// per name — the find / ls -lR metadata workload that complements
+// Bonnie's data plane. Over a RemoteFS on a raw NFS client this costs
+// one RPC per name, which makes it exactly the per-name baseline the
+// batched READDIRPLUS walk (WalkStatPlus) is measured against.
+func StatTree(fs vfs.FS, root vfs.Handle) (files, dirs int, bytes int64, err error) {
+	ents, err := fs.ReadDir(root)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, e := range ents {
+		a, err := fs.Lookup(root, e.Name)
+		if err != nil {
+			return files, dirs, bytes, err
+		}
+		if a.Type == vfs.TypeDir {
+			dirs++
+			f, d, b, err := StatTree(fs, a.Handle)
+			files, dirs, bytes = files+f, dirs+d, bytes+b
+			if err != nil {
+				return files, dirs, bytes, err
+			}
+			continue
+		}
+		files++
+		bytes += int64(a.Size)
+	}
+	return files, dirs, bytes, nil
+}

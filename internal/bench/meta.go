@@ -1,0 +1,192 @@
+package bench
+
+// The metadata-plane acceptance measure: walking and stat'ing a
+// 10k-entry synthetic source tree with one LOOKUP RPC per name — the
+// only option a v2 client has — versus batched READDIRPLUS pages with
+// piggybacked attributes. Both walks run over the same CFS-NE loopback
+// server (the paper's base case, so the comparison isolates the
+// protocol change from credentials and the secure channel) and must
+// visit exactly the same files and bytes; the batched walk has to win
+// by the per-RPC round trips it no longer pays.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"discfs/internal/nfs"
+	"discfs/internal/vfs"
+)
+
+// MetaTreeSpec is the metadata benchmark's tree: 20 subsystems x 5
+// nested levels x 100 files = 10,000 files (~10.1k directory entries),
+// tiny contents — all namespace, no data plane.
+var MetaTreeSpec = TreeSpec{
+	Subsystems:   20,
+	FilesPerDir:  100,
+	MeanFileSize: 512,
+	Depth:        5,
+	Seed:         2003,
+}
+
+// MetaResult is the walk/stat comparison over one tree.
+type MetaResult struct {
+	// Files and Dirs are the tree's size as both walks observed it.
+	Files int
+	Dirs  int
+	// LegacySec is the per-name-RPC walk's wall time (best of runs);
+	// PlusSec the batched READDIRPLUS walk's.
+	LegacySec float64
+	PlusSec   float64
+	// Speedup is LegacySec / PlusSec.
+	Speedup float64
+}
+
+// MetaSetup is a CFS-NE server with the benchmark tree on it and one
+// measurement connection.
+type MetaSetup struct {
+	s         *Setup
+	cc        *nfs.CachingClient
+	root      vfs.Handle
+	closeConn func()
+	// Files and Dirs are the generated tree's true size, for validating
+	// walk results against.
+	Files int
+	Dirs  int
+}
+
+// NewMetaSetup brings up the CFS-NE loopback server, generates the tree
+// directly on the backing store (population is not part of the
+// measurement), and dials one extra connection for the walks.
+func NewMetaSetup(spec TreeSpec) (*MetaSetup, error) {
+	s, err := SetupCFSNE()
+	if err != nil {
+		return nil, err
+	}
+	files, _, err := GenerateTree(s.Populate, s.Populate.Root(), spec)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	cc, root, closeConn, err := DialCFSNECached(s)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	depth := spec.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	return &MetaSetup{
+		s:         s,
+		cc:        cc,
+		root:      root,
+		closeConn: closeConn,
+		Files:     files,
+		Dirs:      1 + spec.Subsystems*depth, // sys/ + every nested level
+	}, nil
+}
+
+// Close tears down the connection and the server.
+func (m *MetaSetup) Close() {
+	m.closeConn()
+	m.s.Close()
+}
+
+// WalkLegacy stats the whole tree the per-name way (READDIR pages plus
+// one LOOKUP RPC per entry) and reports what it saw and how long it
+// took.
+func (m *MetaSetup) WalkLegacy() (files, dirs int, bytes int64, elapsed time.Duration, err error) {
+	fs := NewRemoteFS(m.cc.Client, m.root)
+	start := time.Now()
+	files, dirs, bytes, err = StatTree(fs, m.root)
+	return files, dirs, bytes, time.Since(start), err
+}
+
+// WalkPlus stats the whole tree through batched READDIRPLUS listings
+// with piggybacked attributes, on a fresh attribute cache so nothing
+// carries over between runs.
+func (m *MetaSetup) WalkPlus() (files, dirs int, bytes int64, elapsed time.Duration, err error) {
+	cc := nfs.NewCachingClient(m.cc.Client, 0)
+	start := time.Now()
+	files, dirs, bytes, err = WalkStatPlus(context.Background(), cc, m.root)
+	return files, dirs, bytes, time.Since(start), err
+}
+
+// WalkStatPlus walks the tree under root using batched READDIRPLUS
+// listings; entries whose attributes the server could not piggyback
+// fall back to one cached lookup each.
+func WalkStatPlus(ctx context.Context, cc *nfs.CachingClient, root vfs.Handle) (files, dirs int, bytes int64, err error) {
+	ents, err := cc.ReadDirPlusAll(ctx, root)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, e := range ents {
+		a := e.Attr
+		if !e.HasAttr {
+			a, err = cc.Lookup(ctx, root, e.Name)
+			if err != nil {
+				return files, dirs, bytes, err
+			}
+		}
+		if a.Type == vfs.TypeDir {
+			dirs++
+			f, d, b, err := WalkStatPlus(ctx, cc, a.Handle)
+			files, dirs, bytes = files+f, dirs+d, bytes+b
+			if err != nil {
+				return files, dirs, bytes, err
+			}
+			continue
+		}
+		files++
+		bytes += int64(a.Size)
+	}
+	return files, dirs, bytes, nil
+}
+
+// Meta runs the walk/stat comparison: both walks over the same tree,
+// best of runs each, cross-checked to have visited identical files and
+// bytes.
+func Meta(spec TreeSpec, runs int) (MetaResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	m, err := NewMetaSetup(spec)
+	if err != nil {
+		return MetaResult{}, err
+	}
+	defer m.Close()
+
+	var res MetaResult
+	var legacyBytes int64
+	for i := 0; i < runs; i++ {
+		files, dirs, bytes, elapsed, err := m.WalkLegacy()
+		if err != nil {
+			return res, fmt.Errorf("bench: legacy walk: %w", err)
+		}
+		if files != m.Files {
+			return res, fmt.Errorf("bench: legacy walk saw %d files, tree has %d", files, m.Files)
+		}
+		if res.LegacySec == 0 || elapsed.Seconds() < res.LegacySec {
+			res.LegacySec = elapsed.Seconds()
+		}
+		res.Files, res.Dirs, legacyBytes = files, dirs, bytes
+	}
+	for i := 0; i < runs; i++ {
+		files, dirs, bytes, elapsed, err := m.WalkPlus()
+		if err != nil {
+			return res, fmt.Errorf("bench: readdirplus walk: %w", err)
+		}
+		if files != res.Files || dirs != res.Dirs || bytes != legacyBytes {
+			return res, fmt.Errorf("bench: walk mismatch: legacy saw %d files/%d dirs/%d bytes, plus saw %d/%d/%d",
+				res.Files, res.Dirs, legacyBytes, files, dirs, bytes)
+		}
+		if res.PlusSec == 0 || elapsed.Seconds() < res.PlusSec {
+			res.PlusSec = elapsed.Seconds()
+		}
+	}
+	if res.PlusSec > 0 {
+		res.Speedup = res.LegacySec / res.PlusSec
+	}
+	return res, nil
+}

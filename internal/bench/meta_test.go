@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestMetaSpeedup is the metadata-plane acceptance measure: over the
+// 10k-entry tree, the batched READDIRPLUS walk must beat the per-name
+// LOOKUP walk by at least 5x. The per-name walk pays one round trip per
+// entry; the batched walk pays one per page, so the bound holds with a
+// wide margin on any machine where the loopback round trip is not free.
+func TestMetaSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metadata walk measurement skipped in -short mode")
+	}
+	res, err := Meta(MetaTreeSpec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tree: %d files, %d dirs", res.Files, res.Dirs)
+	t.Logf("per-name walk %.3fs, readdirplus walk %.3fs: %.1fx", res.LegacySec, res.PlusSec, res.Speedup)
+	if res.Speedup < 5 {
+		t.Errorf("readdirplus walk speedup %.1fx: below the 5x acceptance bound", res.Speedup)
+	}
+}
+
+// TestMetaWalksAgree runs the comparison on a small tree even in -short
+// mode; Meta itself fails if the two walks see different files, dirs or
+// bytes.
+func TestMetaWalksAgree(t *testing.T) {
+	spec := TreeSpec{Subsystems: 4, FilesPerDir: 8, MeanFileSize: 256, Depth: 2, Seed: 7}
+	res, err := Meta(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 2 * 8; res.Files != want {
+		t.Errorf("walked %d files, want %d", res.Files, want)
+	}
+	if want := 1 + 4*2; res.Dirs != want {
+		t.Errorf("walked %d dirs, want %d", res.Dirs, want)
+	}
+}
+
+// BenchmarkMeta reports both walk flavors for the CI trajectory; run
+// with -benchtime=1x for a smoke pass.
+func BenchmarkMeta(b *testing.B) {
+	spec := TreeSpec{Subsystems: 8, FilesPerDir: 32, MeanFileSize: 512, Depth: 2, Seed: 2003}
+	m, err := NewMetaSetup(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.Run("per-name", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, _, err := m.WalkLegacy(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("readdirplus", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, _, err := m.WalkPlus(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

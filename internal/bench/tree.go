@@ -24,6 +24,12 @@ type TreeSpec struct {
 	FilesPerDir int
 	// MeanFileSize is the average file size in bytes (sizes vary ±50%).
 	MeanFileSize int
+	// Depth nests a chain of subdirectories (deep01/, deep02/, …) under
+	// each subsystem, every level holding FilesPerDir files; 0 or 1
+	// keeps the flat two-level layout. Deeper trees multiply the entry
+	// count without touching the data plane — the shape the metadata
+	// walk benchmark needs.
+	Depth int
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -60,23 +66,40 @@ func GenerateTree(fs vfs.FS, root vfs.Handle, spec TreeSpec) (files int, bytes i
 		if err != nil {
 			return files, bytes, fmt.Errorf("bench: mkdir %s: %w", name, err)
 		}
-		for j := 0; j < spec.FilesPerDir; j++ {
-			ext := ".c"
-			if j%4 == 3 { // kernel trees run roughly 3:1 .c to .h
-				ext = ".h"
+		depth := spec.Depth
+		if depth < 1 {
+			depth = 1
+		}
+		cur := dir.Handle
+		for lvl := 0; lvl < depth; lvl++ {
+			if lvl > 0 {
+				sub, err := fs.Mkdir(cur, fmt.Sprintf("deep%02d", lvl), 0o755)
+				if err != nil {
+					return files, bytes, fmt.Errorf("bench: mkdir %s/deep%02d: %w", name, lvl, err)
+				}
+				cur = sub.Handle
 			}
-			fname := fmt.Sprintf("%s_%03d%s", name, j, ext)
-			attr, err := fs.Create(dir.Handle, fname, 0o644)
-			if err != nil {
-				return files, bytes, fmt.Errorf("bench: create %s: %w", fname, err)
+			for j := 0; j < spec.FilesPerDir; j++ {
+				ext := ".c"
+				if j%4 == 3 { // kernel trees run roughly 3:1 .c to .h
+					ext = ".h"
+				}
+				fname := fmt.Sprintf("%s_%03d%s", name, j, ext)
+				if lvl > 0 {
+					fname = fmt.Sprintf("%s_d%d_%03d%s", name, lvl, j, ext)
+				}
+				attr, err := fs.Create(cur, fname, 0o644)
+				if err != nil {
+					return files, bytes, fmt.Errorf("bench: create %s: %w", fname, err)
+				}
+				size := spec.MeanFileSize/2 + rng.Intn(spec.MeanFileSize)
+				content := syntheticSource(rng, fname, size)
+				if _, err := fs.Write(attr.Handle, 0, content); err != nil {
+					return files, bytes, fmt.Errorf("bench: write %s: %w", fname, err)
+				}
+				files++
+				bytes += int64(len(content))
 			}
-			size := spec.MeanFileSize/2 + rng.Intn(spec.MeanFileSize)
-			content := syntheticSource(rng, fname, size)
-			if _, err := fs.Write(attr.Handle, 0, content); err != nil {
-				return files, bytes, fmt.Errorf("bench: write %s: %w", fname, err)
-			}
-			files++
-			bytes += int64(len(content))
 		}
 	}
 	return files, bytes, nil

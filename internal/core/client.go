@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"discfs/internal/keynote"
 	"discfs/internal/nfs"
@@ -105,6 +106,19 @@ func WithMaxTransfer(n int) ClientOption {
 	return func(cfg *dataCacheConfig) { cfg.maxTransfer = nfs.ClampTransfer(n) }
 }
 
+// WithNameCacheTTL sets how long cached attributes, name lookups and
+// negative lookups stay valid before the client revalidates with the
+// server (the actimeo knob of kernel NFS clients). Shorter values see
+// remote changes sooner at the cost of more metadata RPCs; the default
+// is nfs.DefaultAttrTTL (3 s). d <= 0 keeps the default.
+func WithNameCacheTTL(d time.Duration) ClientOption {
+	return func(cfg *dataCacheConfig) {
+		if d > 0 {
+			cfg.attrTTL = d
+		}
+	}
+}
+
 // Dial connects to a DisCFS server at addr, authenticating as identity,
 // and mounts the export. The returned client carries no credentials: per
 // the paper, the attached directory appears with mode 000 until
@@ -149,7 +163,7 @@ func Dial(ctx context.Context, addr string, identity *keynote.KeyPair, opts ...C
 		conn:      conn,
 		rpc:       rpc,
 		nfs:       nc,
-		attrs:     nfs.NewCachingClient(nc, 0),
+		attrs:     nfs.NewCachingClient(nc, cfg.attrTTL),
 		root:      root,
 		addr:      addr,
 		identity:  identity,
@@ -641,7 +655,12 @@ func (c *Client) Walk(ctx context.Context, fn WalkFunc) error {
 }
 
 func (c *Client) walkDir(ctx context.Context, dir vfs.Handle, prefix string, fn WalkFunc) error {
-	ents, err := c.nfs.ReadDirAll(ctx, dir)
+	// One batched listing carries the names and (usually) the
+	// attributes; entries whose attributes the server could not
+	// piggyback fall back to individual cached lookups. Against servers
+	// without READDIRPLUS the call itself degrades to READDIR plus
+	// per-name LOOKUP.
+	ents, err := c.attrs.ReadDirPlusAll(ctx, dir)
 	if err != nil {
 		if nfs.StatOf(err) == nfs.ErrAcces {
 			return nil
@@ -649,12 +668,16 @@ func (c *Client) walkDir(ctx context.Context, dir vfs.Handle, prefix string, fn 
 		return c.wireError(err)
 	}
 	for _, e := range ents {
-		attr, err := c.nfs.Lookup(ctx, dir, e.Name)
-		if err != nil {
-			if nfs.StatOf(err) == nfs.ErrAcces {
-				continue
+		attr := e.Attr
+		if !e.HasAttr {
+			var err error
+			attr, err = c.attrs.Lookup(ctx, dir, e.Name)
+			if err != nil {
+				if st := nfs.StatOf(err); st == nfs.ErrAcces || st == nfs.ErrNoEnt {
+					continue
+				}
+				return c.wireError(err)
 			}
-			return c.wireError(err)
 		}
 		path := prefix + "/" + e.Name
 		if err := fn(path, attr); err != nil {

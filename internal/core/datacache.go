@@ -93,6 +93,9 @@ type dataCacheConfig struct {
 	// nfs.DefaultMaxTransfer. The server's grant becomes the cache
 	// granule.
 	maxTransfer uint32
+	// attrTTL is the attribute/name cache lifetime (rides here because
+	// ClientOption closes over this struct); 0 means nfs.DefaultAttrTTL.
+	attrTTL time.Duration
 }
 
 // normalized resolves defaults for a cache whose granule is bs bytes —

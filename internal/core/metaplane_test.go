@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"discfs/internal/keynote"
+	"discfs/internal/nfs"
+)
+
+// TestReadDirPlusEntriesMasked: every attribute a batched READDIRPLUS
+// page piggybacks is fetched through the caller's policy view at page
+// time — an R-only peer sees the R-only masked mode on each entry, not
+// the owner's; and the LOOKUPPLUS access word reports the compliance
+// checker's grant, saving the client a probe RPC.
+func TestReadDirPlusEntriesMasked(t *testing.T) {
+	ctx := context.Background()
+	srv, addr := testServer(t, ServerConfig{})
+
+	bobKey := keynote.DeterministicKey("bob")
+	srv.IssueCredential(bobKey.Principal, srv.backing.Root().Ino, "RWX", "")
+	bob := dialAs(t, addr, "bob")
+	if _, _, err := bob.WriteFile(ctx, "/a.txt", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bob.MkdirPath(ctx, "/docs"); err != nil {
+		t.Fatal(err)
+	}
+
+	readerKey := keynote.DeterministicKey("reader")
+	srv.IssueCredential(readerKey.Principal, srv.backing.Root().Ino, "R", "")
+	reader := dialAs(t, addr, "reader")
+
+	_, ents, err := reader.NFS().ReadDirPlusAll(ctx, reader.Root())
+	if err != nil {
+		t.Fatalf("ReadDirPlusAll as reader: %v", err)
+	}
+	if len(ents) < 2 {
+		t.Fatalf("reader listed %d entries", len(ents))
+	}
+	for _, e := range ents {
+		if !e.HasAttr {
+			t.Errorf("entry %q: no piggybacked attributes", e.Name)
+			continue
+		}
+		if e.Attr.Mode != 0o444 {
+			t.Errorf("entry %q: mode %o for the R-only peer, want 444", e.Name, e.Attr.Mode)
+		}
+	}
+
+	// The access word follows the grant: RWX for bob, R for the reader.
+	r, err := bob.NFS().LookupPlus(ctx, bob.Root(), "a.txt")
+	if err != nil {
+		t.Fatalf("LookupPlus as bob: %v", err)
+	}
+	if want := nfs.AccessRead | nfs.AccessWrite | nfs.AccessExec; r.Access != want {
+		t.Errorf("bob's access word %b, want %b", r.Access, want)
+	}
+}

@@ -108,6 +108,13 @@ type ServerConfig struct {
 	// RPC can carry.
 	MaxTransfer int
 
+	// DirCursors bounds the server-side directory-cursor cache: the LRU
+	// of listing snapshots that keeps READDIR/READDIRPLUS paging stable
+	// under concurrent mutation. Each live cursor pins one directory
+	// listing in memory; a walk whose cursor was evicted restarts
+	// transparently. 0 means nfs.DefaultDirCursors (256).
+	DirCursors int
+
 	// LimitDefault applies per-principal admission control to every
 	// data-plane NFS request: a token-bucket rate and an in-flight cap
 	// keyed by the authenticated secure-channel principal. The zero
@@ -208,6 +215,9 @@ type Server struct {
 	pathEpoch atomic.Uint64 // bumped on rename/remove; validates path cache
 
 	rpc *sunrpc.Server
+	// ns is the NFS protocol engine (kept for the directory-cursor
+	// gauge and for tests to reach protocol-level knobs).
+	ns *nfs.Server
 
 	// reg is the operations-plane metrics registry every layer reports
 	// through; met holds the hot-path handles into it (the former
@@ -337,13 +347,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			MaxWait:   cfg.LimitMaxWait,
 		})
 	}
-	s.initMetrics()
 	ns := nfs.NewServer(s)
+	s.ns = ns
 	ns.SetMaxTransfer(int(maxTransfer))
+	if cfg.DirCursors != 0 {
+		ns.SetDirCursorCap(cfg.DirCursors)
+	}
 	ns.SetObserver(s.observeNFS)
 	if s.lim != nil {
 		ns.SetAdmit(s.admitNFS)
 	}
+	s.initMetrics()
 	ns.RegisterAll(s.rpc)
 	s.registerExt(s.rpc)
 	return s, nil
@@ -388,6 +402,9 @@ func (s *Server) initMetrics() {
 	})
 	r.CounterFunc("discfs_audit_dropped_total", "Audit mirror lines dropped at saturation.", func() uint64 {
 		return s.audit.Dropped()
+	})
+	r.GaugeFunc("discfs_dir_cursors", "Live directory-listing cursors (paged READDIR walks in flight).", func() float64 {
+		return float64(s.ns.DirCursorCount())
 	})
 	r.GaugeFunc("discfs_credentials", "Credentials loaded in the policy session.", func() float64 {
 		return float64(s.session.Snapshot().NumCredentials())

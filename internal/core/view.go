@@ -264,6 +264,17 @@ func (v *view) Link(dir vfs.Handle, name string, target vfs.Handle) (vfs.Attr, e
 // StatFS implements vfs.FS; capacity information is not confidential.
 func (v *view) StatFS() (vfs.StatFS, error) { return v.s.backing.StatFS() }
 
+// Access implements the nfs.AccessChecker capability: it reports the
+// rwx bits the compliance checker grants this peer on h, without
+// performing an operation. The NFS layer uses it to re-run the policy
+// gate when a READDIRPLUS walk resumes from a cursor (revocation
+// between pages must stop the walk) and to fill LOOKUPPLUS's access
+// word so clients skip a probe round trip.
+func (v *view) Access(h vfs.Handle) (uint32, error) {
+	perm, _ := v.s.decide(v.peer, h)
+	return uint32(perm), nil
+}
+
 // Commit implements the nfs.Committer capability: the durability
 // barrier for unstable writes requires W, like the writes it commits.
 // Against a server without write-behind it degrades to a sync barrier

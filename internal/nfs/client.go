@@ -3,6 +3,7 @@ package nfs
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"discfs/internal/bufpool"
@@ -19,6 +20,10 @@ type Client struct {
 	// maxData is this connection's READ/WRITE transfer size: the v2
 	// baseline until Negotiate (or SetMaxData) raises it.
 	maxData atomic.Uint32
+	// plusUnavail latches once the server answers PROC_UNAVAIL to a
+	// READDIRPLUS, so later bulk listings skip straight to the legacy
+	// READDIR + per-name LOOKUP fallback.
+	plusUnavail atomic.Bool
 }
 
 // NewClient wraps an RPC client. The connection starts at the v2
@@ -488,21 +493,269 @@ func (c *Client) ReadDirPage(ctx context.Context, dir vfs.Handle, cookie, count 
 	return ents, eof, d.Err()
 }
 
-// ReadDirAll pages through READDIR until eof.
+// maxListingRestarts bounds how many times a bulk listing restarts
+// after the server reports its cursor gone (stale/bad cookie) before
+// surfacing the error — a guard against livelock when cursors are
+// evicted faster than a walk completes.
+const maxListingRestarts = 4
+
+// ReadDirAll pages through READDIR until eof. A stale cookie mid-walk
+// (the server dropped this walk's cursor) restarts the listing from
+// scratch; an empty non-eof page (count budget smaller than the next
+// entry) retries with a doubled count — it is never treated as the end
+// of the listing.
 func (c *Client) ReadDirAll(ctx context.Context, dir vfs.Handle) ([]DirEntry, error) {
-	var all []DirEntry
-	cookie := uint32(0)
-	for {
-		ents, eof, err := c.ReadDirPage(ctx, dir, cookie, MaxData)
-		if err != nil {
+	return c.readDirAll(ctx, dir, MaxData)
+}
+
+func (c *Client) readDirAll(ctx context.Context, dir vfs.Handle, count uint32) ([]DirEntry, error) {
+	for attempt := 0; ; attempt++ {
+		all, restartable, err := c.readDirPass(ctx, dir, count)
+		if err == nil {
+			return all, nil
+		}
+		if !restartable || attempt == maxListingRestarts {
 			return nil, err
 		}
+	}
+}
+
+// readDirPass is one front-to-back paging pass. restartable reports
+// that the error was a stale cookie mid-walk, fixable by re-listing.
+func (c *Client) readDirPass(ctx context.Context, dir vfs.Handle, count uint32) (all []DirEntry, restartable bool, err error) {
+	cookie := uint32(0)
+	for {
+		ents, eof, err := c.ReadDirPage(ctx, dir, cookie, count)
+		if err != nil {
+			return nil, cookie != 0 && StatOf(err) == ErrStale, err
+		}
 		all = append(all, ents...)
-		if eof || len(ents) == 0 {
-			return all, nil
+		if eof {
+			return all, false, nil
+		}
+		if len(ents) == 0 {
+			// Empty page without eof: the count budget is smaller than
+			// the next entry. Grow it and retry — returning the partial
+			// listing as complete would silently truncate it.
+			if count >= MaxTransferLimit {
+				return nil, false, fmt.Errorf("nfs: empty READDIR page at count %d without eof", count)
+			}
+			count *= 2
+			continue
 		}
 		cookie = ents[len(ents)-1].Cookie
 	}
+}
+
+// ReadDirPlusPage is one READDIRPLUS reply page.
+type ReadDirPlusPage struct {
+	// Dir is the directory's own attributes, refreshed every page.
+	Dir vfs.Attr
+	// Verf names the server-side cursor; pass it back with the cookie.
+	Verf    uint64
+	Entries []DirEntryPlus
+	EOF     bool
+}
+
+// ReadDirPlus issues one READDIRPLUS call: a page of directory entries
+// with attributes piggybacked, up to count reply bytes. Start a walk
+// with verf = cookie = 0; resume with the previous page's Verf and the
+// last entry's Cookie. An ErrBadCookie status means the server no
+// longer holds the walk's cursor: restart from 0.
+func (c *Client) ReadDirPlus(ctx context.Context, dir vfs.Handle, verf, cookie uint64, count uint32) (ReadDirPlusPage, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.Uint64(verf)
+	e.Uint64(cookie)
+	e.Uint32(count)
+	d, err := c.call(ctx, ProcReaddirPlus, e.Bytes())
+	if err != nil {
+		return ReadDirPlusPage{}, err
+	}
+	defer recycleReply(d) // names are String copies, handles decoded
+	var pg ReadDirPlusPage
+	dirA, _, err := decodeAttr(d, dir)
+	if err != nil {
+		return pg, err
+	}
+	pg.Dir = dirA
+	pg.Verf = d.Uint64()
+	for d.Bool() {
+		ent := DirEntryPlus{
+			FileID: d.Uint32(),
+			Name:   d.String(MaxName),
+			Cookie: d.Uint64(),
+		}
+		if d.Bool() {
+			raw := d.OpaqueFixed(FHSize)
+			if err := d.Err(); err != nil {
+				return pg, err
+			}
+			h, err := DecodeFH(raw)
+			if err != nil {
+				return pg, err
+			}
+			ent.Handle = h
+		}
+		if d.Bool() {
+			a, _, err := decodeAttr(d, ent.Handle)
+			if err != nil {
+				return pg, err
+			}
+			ent.Attr = a
+			ent.HasAttr = true
+		}
+		if err := d.Err(); err != nil {
+			return pg, err
+		}
+		pg.Entries = append(pg.Entries, ent)
+	}
+	pg.EOF = d.Bool()
+	return pg, d.Err()
+}
+
+// ReadDirPlusAll lists dir with attributes piggybacked, paging
+// READDIRPLUS at the negotiated transfer size until eof. It restarts on
+// a bad cookie (bounded), and against servers predating the extension
+// falls back to READDIR plus one LOOKUP per name — same result, v2-era
+// cost. Returns the directory's own attributes alongside the entries.
+func (c *Client) ReadDirPlusAll(ctx context.Context, dir vfs.Handle) (vfs.Attr, []DirEntryPlus, error) {
+	if !c.plusUnavail.Load() {
+		dirA, ents, err := c.readDirPlusAll(ctx, dir)
+		if !isProcUnavail(err) {
+			return dirA, ents, err
+		}
+		c.plusUnavail.Store(true)
+	}
+	ents, err := c.ReadDirAll(ctx, dir)
+	if err != nil {
+		return vfs.Attr{}, nil, err
+	}
+	dirA, err := c.GetAttr(ctx, dir)
+	if err != nil {
+		return vfs.Attr{}, nil, err
+	}
+	out := make([]DirEntryPlus, 0, len(ents))
+	for _, e := range ents {
+		pe := DirEntryPlus{FileID: e.FileID, Name: e.Name, Cookie: uint64(e.Cookie)}
+		if a, lerr := c.Lookup(ctx, dir, e.Name); lerr == nil {
+			pe.Handle, pe.Attr, pe.HasAttr = a.Handle, a, true
+		} else if st := StatOf(lerr); st != ErrNoEnt && st != ErrAcces {
+			return vfs.Attr{}, nil, lerr
+		}
+		out = append(out, pe)
+	}
+	return dirA, out, nil
+}
+
+func (c *Client) readDirPlusAll(ctx context.Context, dir vfs.Handle) (vfs.Attr, []DirEntryPlus, error) {
+	for attempt := 0; ; attempt++ {
+		dirA, all, err := c.readDirPlusPass(ctx, dir)
+		if err == nil {
+			return dirA, all, nil
+		}
+		// ErrBadCookie only arises on a resume, so it is always a
+		// restartable mid-walk cursor loss.
+		if StatOf(err) != ErrBadCookie || attempt == maxListingRestarts {
+			return vfs.Attr{}, nil, err
+		}
+	}
+}
+
+func (c *Client) readDirPlusPass(ctx context.Context, dir vfs.Handle) (vfs.Attr, []DirEntryPlus, error) {
+	var (
+		all          []DirEntryPlus
+		dirA         vfs.Attr
+		verf, cookie uint64
+	)
+	count := c.maxData.Load()
+	for {
+		pg, err := c.ReadDirPlus(ctx, dir, verf, cookie, count)
+		if err != nil {
+			return vfs.Attr{}, nil, err
+		}
+		dirA, verf = pg.Dir, pg.Verf
+		all = append(all, pg.Entries...)
+		if pg.EOF {
+			return dirA, all, nil
+		}
+		if len(pg.Entries) == 0 {
+			if count >= MaxTransferLimit {
+				return vfs.Attr{}, nil, fmt.Errorf("nfs: empty READDIRPLUS page at count %d without eof", count)
+			}
+			count *= 2
+			continue
+		}
+		cookie = pg.Entries[len(pg.Entries)-1].Cookie
+	}
+}
+
+// isProcUnavail reports an RPC-level "procedure not implemented"
+// answer — the defined way a pre-extension server declines a proc.
+func isProcUnavail(err error) bool {
+	var re *sunrpc.RPCError
+	return errors.As(err, &re) && (re.Stat == sunrpc.ProcUnavail || re.Stat == sunrpc.ProgMismatch)
+}
+
+// LookupPlusResult is the compound LOOKUP+GETATTR+ACCESS reply.
+type LookupPlusResult struct {
+	Attr   vfs.Attr // the child
+	Dir    vfs.Attr // the directory's attributes at lookup time
+	Access uint32   // caller's access bits on the child (AccessRead...)
+}
+
+// LookupPlus issues ProcLookupPlus. On ErrNoEnt the returned result
+// still carries the directory attributes alongside the error, so
+// callers can install a negative name-cache entry scoped to this
+// version of the directory. Servers predating the extension answer
+// PROC_UNAVAIL (see isProcUnavail); callers fall back to Lookup.
+func (c *Client) LookupPlus(ctx context.Context, dir vfs.Handle, name string) (LookupPlusResult, error) {
+	e := xdr.NewEncoder()
+	fh := EncodeFH(dir)
+	e.OpaqueFixed(fh[:])
+	e.String(name)
+	d, err := c.rpc.Call(ctx, Prog, Vers, ProcLookupPlus, e.Bytes())
+	if err != nil {
+		return LookupPlusResult{}, err
+	}
+	defer recycleReply(d)
+	var r LookupPlusResult
+	switch st := Stat(d.Uint32()); st {
+	case OK:
+	case ErrNoEnt:
+		dirA, _, derr := decodeAttr(d, dir)
+		if derr != nil {
+			return LookupPlusResult{}, derr
+		}
+		r.Dir = dirA
+		return r, &Error{Stat: ErrNoEnt}
+	default:
+		if err := d.Err(); err != nil {
+			return LookupPlusResult{}, err
+		}
+		return LookupPlusResult{}, &Error{Stat: st}
+	}
+	dirA, _, err := decodeAttr(d, dir)
+	if err != nil {
+		return LookupPlusResult{}, err
+	}
+	r.Dir = dirA
+	raw := d.OpaqueFixed(FHSize)
+	if err := d.Err(); err != nil {
+		return LookupPlusResult{}, err
+	}
+	h, err := DecodeFH(raw)
+	if err != nil {
+		return LookupPlusResult{}, err
+	}
+	a, _, err := decodeAttr(d, h)
+	if err != nil {
+		return LookupPlusResult{}, err
+	}
+	r.Attr = a
+	r.Access = d.Uint32()
+	return r, d.Err()
 }
 
 // StatFSResult is the STATFS reply.

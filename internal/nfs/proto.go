@@ -58,30 +58,49 @@ const (
 	// as a grant of the v2 baseline (MaxData, 8 KiB) — see
 	// Client.Negotiate.
 	ProcFSInfo = 19
+	// ProcReaddirPlus is the batched metadata extension (NFSv3
+	// READDIRPLUS in spirit): one call returns a page of directory
+	// entries with their attributes and file handles piggybacked, sized
+	// to the negotiated transfer, resumed via a 64-bit cookie validated
+	// against a cookie verifier naming a server-side snapshot of the
+	// listing. A verifier the server no longer holds answers
+	// ErrBadCookie and the client restarts the walk from cookie 0.
+	// Servers predating the extension answer PROC_UNAVAIL; clients fall
+	// back to READDIR + per-name LOOKUP.
+	ProcReaddirPlus = 20
+	// ProcLookupPlus is the compound LOOKUP+GETATTR+ACCESS extension:
+	// one call resolves a name and returns the directory's attributes,
+	// the child's handle and attributes, and the caller's access bits on
+	// the child. A miss (ErrNoEnt) still carries the directory's
+	// attributes so clients can scope negative name-cache entries.
+	// PROC_UNAVAIL falls back to plain LOOKUP.
+	ProcLookupPlus = 21
 )
 
 // procNames labels NFS procedures for metrics and diagnostics.
 var procNames = [...]string{
-	ProcNull:       "null",
-	ProcGetattr:    "getattr",
-	ProcSetattr:    "setattr",
-	ProcRoot:       "root",
-	ProcLookup:     "lookup",
-	ProcReadlink:   "readlink",
-	ProcRead:       "read",
-	ProcWritecache: "writecache",
-	ProcWrite:      "write",
-	ProcCreate:     "create",
-	ProcRemove:     "remove",
-	ProcRename:     "rename",
-	ProcLink:       "link",
-	ProcSymlink:    "symlink",
-	ProcMkdir:      "mkdir",
-	ProcRmdir:      "rmdir",
-	ProcReaddir:    "readdir",
-	ProcStatfs:     "statfs",
-	ProcCommit:     "commit",
-	ProcFSInfo:     "fsinfo",
+	ProcNull:        "null",
+	ProcGetattr:     "getattr",
+	ProcSetattr:     "setattr",
+	ProcRoot:        "root",
+	ProcLookup:      "lookup",
+	ProcReadlink:    "readlink",
+	ProcRead:        "read",
+	ProcWritecache:  "writecache",
+	ProcWrite:       "write",
+	ProcCreate:      "create",
+	ProcRemove:      "remove",
+	ProcRename:      "rename",
+	ProcLink:        "link",
+	ProcSymlink:     "symlink",
+	ProcMkdir:       "mkdir",
+	ProcRmdir:       "rmdir",
+	ProcReaddir:     "readdir",
+	ProcStatfs:      "statfs",
+	ProcCommit:      "commit",
+	ProcFSInfo:      "fsinfo",
+	ProcReaddirPlus: "readdirplus",
+	ProcLookupPlus:  "lookupplus",
 }
 
 // ProcName returns a stable lower-case label for an NFS procedure
@@ -130,6 +149,13 @@ const (
 // surface a generic error rather than misreading a v2 code.
 const ErrTryLater Stat = 10008
 
+// ErrBadCookie is a protocol extension paired with ProcReaddirPlus: the
+// cookie verifier no longer names a live directory cursor (evicted from
+// the server's bounded snapshot LRU, or issued before a restart), so
+// the walk cannot be resumed — the client restarts it from cookie 0.
+// The value matches NFSv3's NFS3ERR_BAD_COOKIE.
+const ErrBadCookie Stat = 10003
+
 func (s Stat) String() string {
 	switch s {
 	case OK:
@@ -164,6 +190,8 @@ func (s Stat) String() string {
 		return "stale file handle"
 	case ErrTryLater:
 		return "request throttled, try again later"
+	case ErrBadCookie:
+		return "readdir cookie is stale"
 	}
 	return fmt.Sprintf("nfs status %d", uint32(s))
 }
@@ -509,3 +537,25 @@ type DirEntry struct {
 	Name   string
 	Cookie uint32
 }
+
+// DirEntryPlus is one READDIRPLUS result entry: a directory entry with
+// its file handle and attributes piggybacked. HasAttr is false (and
+// Handle zero) when the server could not fetch attributes for the
+// entry — typically because it was removed after the walk's snapshot
+// was taken; callers fall back to a LOOKUP or skip the name.
+type DirEntryPlus struct {
+	FileID  uint32
+	Name    string
+	Cookie  uint64
+	Handle  vfs.Handle
+	HasAttr bool
+	Attr    vfs.Attr
+}
+
+// Access permission bits carried by ProcLookupPlus replies (and the
+// AccessChecker capability), the classic rwx encoding.
+const (
+	AccessExec  uint32 = 1
+	AccessWrite uint32 = 2
+	AccessRead  uint32 = 4
+)

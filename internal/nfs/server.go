@@ -23,12 +23,26 @@ type StaticExport struct{ FS vfs.FS }
 // View implements Exporter.
 func (s StaticExport) View(string) (vfs.FS, error) { return s.FS, nil }
 
+// AccessChecker is an optional FS capability: report the access bits
+// (AccessRead | AccessWrite | AccessExec) the calling principal holds
+// on h. The DisCFS policy view implements it from the credential
+// decision; plain exports without it are treated as granting
+// everything. The server consults it to re-authorize resumed READDIR
+// walks (whose pages read from a snapshot, not the filesystem) and to
+// fill the access word of LOOKUPPLUS replies.
+type AccessChecker interface {
+	Access(h vfs.Handle) (uint32, error)
+}
+
 // Server dispatches the NFS and MOUNT programs into an Exporter.
 type Server struct {
 	exp Exporter
 	// maxTransfer is the largest READ/WRITE payload this server moves in
 	// one call; FSINFO negotiation clamps client proposals to it.
 	maxTransfer uint32
+	// cursors is the bounded LRU of directory-listing snapshots backing
+	// READDIR/READDIRPLUS paging (see dircursor.go).
+	cursors *dirCursors
 	// admit, when set, gates every data-plane procedure (everything but
 	// NULL and FSINFO) per authenticated peer. A non-nil error rejects
 	// the call with ErrTryLater; otherwise the returned release runs
@@ -50,8 +64,18 @@ func (s *Server) SetObserver(fn func(proc uint32, st Stat, d time.Duration)) { s
 // NewServer creates an NFS server over exp, granting negotiated
 // transfers up to DefaultMaxTransfer (SetMaxTransfer adjusts).
 func NewServer(exp Exporter) *Server {
-	return &Server{exp: exp, maxTransfer: DefaultMaxTransfer}
+	return &Server{exp: exp, maxTransfer: DefaultMaxTransfer, cursors: newDirCursors(0)}
 }
+
+// SetDirCursorCap bounds the directory-cursor LRU: how many in-progress
+// directory walks keep their listing snapshot live server-side. Walks
+// beyond the bound still complete — their next page reports a stale
+// cookie and the client restarts the listing. 0 restores
+// DefaultDirCursors. Safe to call while serving.
+func (s *Server) SetDirCursorCap(n int) { s.cursors.setCap(n) }
+
+// DirCursorCount reports live directory cursors (for metrics).
+func (s *Server) DirCursorCount() int { return s.cursors.count() }
 
 // SetMaxTransfer bounds the transfer size this server grants during
 // FSINFO negotiation (and accepts on the wire), clamped to
@@ -135,7 +159,7 @@ func (s *Server) serve(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, res 
 		res.Uint32(uint32(ErrAcces))
 		return sunrpc.Success, ErrAcces, nil
 	}
-	h := &procHandler{fs: fs, args: args, res: res, maxTransfer: s.maxTransfer}
+	h := &procHandler{fs: fs, args: args, res: res, maxTransfer: s.maxTransfer, peer: ctx.Peer, cursors: s.cursors}
 	var fn func()
 	switch proc {
 	case ProcGetattr:
@@ -170,6 +194,10 @@ func (s *Server) serve(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder, res 
 		fn = h.statfs
 	case ProcCommit:
 		fn = h.commit
+	case ProcReaddirPlus:
+		fn = h.readdirplus
+	case ProcLookupPlus:
+		fn = h.lookupplus
 	case ProcRoot, ProcWritecache:
 		return sunrpc.Success, OK, nil // obsolete no-ops per RFC 1094
 	default:
@@ -207,7 +235,11 @@ type procHandler struct {
 	args        *xdr.Decoder
 	res         *xdr.Encoder
 	maxTransfer uint32
-	garbage     bool
+	// peer is the transport's authenticated identity; directory cursors
+	// are scoped to it so one peer's walk can never resume another's.
+	peer    string
+	cursors *dirCursors
+	garbage bool
 	// stat is the NFS status the procedure encoded (OK until an error
 	// path runs); the dispatch observer reads it for error counting.
 	stat Stat
@@ -529,6 +561,21 @@ func (h *procHandler) rmdir() {
 	h.status(h.fs.Rmdir(vh, name))
 }
 
+// Legacy READDIR cookie layout: the low 24 bits carry the resume index
+// into the walk's snapshot (cookie = index of the next entry + 0 — i.e.
+// entry i carries cookie i+1), the high 8 bits carry a check byte of
+// the snapshot's verifier so a resume against the wrong snapshot is
+// detected rather than silently misread.
+const (
+	legacyIdxMask     = 1<<24 - 1
+	legacyMaxEntries  = 1<<24 - 1
+	fattrEncodedSize  = 11*4 + 3*8 // 11 words + 3 (sec, usec) time pairs
+	readdirTrailerLen = 8          // no-more-entries word + eof word
+)
+
+// pad4 is the XDR padding a string or opaque of length n carries.
+func pad4(n int) int { return (4 - n%4) % 4 }
+
 func (h *procHandler) readdir() {
 	vh, ok := h.fh()
 	if !ok {
@@ -540,22 +587,52 @@ func (h *procHandler) readdir() {
 		h.garbage = true
 		return
 	}
-	ents, err := h.fs.ReadDir(vh)
-	if err != nil {
-		h.fail(err)
-		return
+	var snap *dirSnapshot
+	idx := 0
+	if cookie == 0 {
+		ents, err := h.fs.ReadDir(vh)
+		if err != nil {
+			h.fail(err)
+			return
+		}
+		if len(ents) > legacyMaxEntries {
+			// The 24-bit legacy cookie cannot page past this; refuse the
+			// walk rather than silently truncate it (READDIRPLUS's 64-bit
+			// cookie has no such cap).
+			h.fail(vfs.ErrFBig)
+			return
+		}
+		snap = h.cursors.create(h.peer, vh, ents)
+	} else {
+		snap = h.cursors.byLegacy(h.peer, vh, uint8(cookie>>24))
+		idx = int(cookie & legacyIdxMask)
+		if snap == nil || idx > len(snap.ents) {
+			// The cursor was evicted or replaced mid-walk: resuming by
+			// index against a fresh listing is exactly the
+			// concurrent-mutation corruption this scheme exists to
+			// prevent, so report a stale cookie and let the client
+			// restart the listing from scratch.
+			h.stat = ErrStale
+			h.res.Uint32(uint32(ErrStale))
+			return
+		}
 	}
 	h.res.Uint32(uint32(OK))
-	// The cookie is the index of the next entry; stable because the
-	// backend returns a deterministic ordering.
+	// budget is the client's reply-byte allowance for the entry list;
+	// reserve the trailing false+eof words up front so a maximal page
+	// never overshoots it.
 	budget := int(count)
-	if budget > MaxData {
-		budget = MaxData
+	if budget > int(h.maxTransfer) {
+		budget = int(h.maxTransfer)
 	}
-	i := int(cookie)
-	for ; i < len(ents); i++ {
-		e := ents[i]
-		need := 4 + 4 + 4 + len(e.Name) + 8 // entry overhead estimate
+	budget -= readdirTrailerLen
+	check := (snap.verf >> 24) & 0xff
+	i := idx
+	for ; i < len(snap.ents); i++ {
+		e := snap.ents[i]
+		// XDR size of one entry: more + fileid + (len, bytes, padding) +
+		// cookie.
+		need := 4 + 4 + 4 + len(e.Name) + pad4(len(e.Name)) + 4
 		if budget < need {
 			break
 		}
@@ -563,10 +640,165 @@ func (h *procHandler) readdir() {
 		h.res.Bool(true) // another entry follows
 		h.res.Uint32(uint32(e.Handle.Ino))
 		h.res.String(e.Name)
-		h.res.Uint32(uint32(i + 1)) // cookie of the next entry
+		h.res.Uint32(uint32(check)<<24 | uint32(i+1))
 	}
-	h.res.Bool(false)          // end of entry list
-	h.res.Bool(i >= len(ents)) // eof
+	h.res.Bool(false)               // end of entry list
+	h.res.Bool(i >= len(snap.ents)) // eof
+}
+
+// readdirplus handles ProcReaddirPlus: (fh, cookieverf, cookie, count)
+// → (status, dir fattr, cookieverf, entry*, eof). Each entry carries
+// name, fileid, a 64-bit cookie, and — when the object still exists —
+// its file handle and attributes, fetched at page time through the
+// policy view so every batched entry is authorized and masked with
+// current policy, not snapshot-time policy.
+func (h *procHandler) readdirplus() {
+	vh, ok := h.fh()
+	if !ok {
+		return
+	}
+	verf := h.args.Uint64()
+	cookie := h.args.Uint64()
+	count := h.args.Uint32()
+	if h.args.Err() != nil {
+		h.garbage = true
+		return
+	}
+	var snap *dirSnapshot
+	idx := 0
+	if cookie == 0 {
+		ents, err := h.fs.ReadDir(vh) // the policy-checked listing
+		if err != nil {
+			h.fail(err)
+			return
+		}
+		snap = h.cursors.create(h.peer, vh, ents)
+	} else {
+		snap = h.cursors.byVerifier(verf)
+		if snap == nil || snap.dir != vh || snap.peer != h.peer ||
+			cookie > uint64(len(snap.ents)) {
+			h.stat = ErrBadCookie
+			h.res.Uint32(uint32(ErrBadCookie))
+			return
+		}
+		idx = int(cookie)
+		// Resumed pages read from the snapshot, not the filesystem:
+		// re-run the read gate the initial ReadDir ran, so a revocation
+		// mid-walk takes effect on the next page.
+		if ac, ok := h.fs.(AccessChecker); ok {
+			bits, err := ac.Access(vh)
+			if err != nil {
+				h.fail(err)
+				return
+			}
+			if bits&AccessRead == 0 {
+				h.fail(vfs.ErrPerm)
+				return
+			}
+		}
+	}
+	dirAttr, err := h.fs.GetAttr(vh)
+	if err != nil {
+		h.fail(err)
+		return
+	}
+	bs := h.blockSize()
+	h.res.Uint32(uint32(OK))
+	dfa := FAttrFromVFS(dirAttr, bs)
+	dfa.Encode(h.res)
+	h.res.Uint64(snap.verf)
+	budget := int(count)
+	if budget > int(h.maxTransfer) {
+		budget = int(h.maxTransfer)
+	}
+	budget -= readdirTrailerLen
+	i := idx
+	for ; i < len(snap.ents); i++ {
+		e := snap.ents[i]
+		// Worst-case XDR size of one plus entry: more + fileid + name +
+		// cookie + has_fh + fh + has_attr + fattr.
+		need := 4 + 4 + 4 + len(e.Name) + pad4(len(e.Name)) + 8 +
+			4 + FHSize + 4 + fattrEncodedSize
+		if budget < need {
+			break
+		}
+		budget -= need
+		h.res.Bool(true)
+		h.res.Uint32(uint32(e.Handle.Ino))
+		h.res.String(e.Name)
+		h.res.Uint64(uint64(i + 1))
+		if a, aerr := h.fs.GetAttr(e.Handle); aerr == nil {
+			fh := EncodeFH(a.Handle)
+			h.res.Bool(true)
+			h.res.OpaqueFixed(fh[:])
+			h.res.Bool(true)
+			efa := FAttrFromVFS(a, bs)
+			efa.Encode(h.res)
+		} else {
+			// Removed (or unreadable) since the snapshot: a name-only
+			// entry; the client falls back to LOOKUP or skips it.
+			h.res.Bool(false)
+			h.res.Bool(false)
+		}
+	}
+	h.res.Bool(false)
+	h.res.Bool(i >= len(snap.ents))
+}
+
+// lookupplus handles ProcLookupPlus, the compound
+// LOOKUP+GETATTR+ACCESS: (dir fh, name) → on OK (dir fattr, child fh,
+// child fattr, access bits); on ErrNoEnt the reply still carries the
+// directory's attributes so the client can scope a negative name-cache
+// entry to this version of the directory.
+func (h *procHandler) lookupplus() {
+	dirH, ok := h.fh()
+	if !ok {
+		return
+	}
+	name, ok := h.name()
+	if !ok {
+		return
+	}
+	bs := h.blockSize()
+	a, err := h.fs.Lookup(dirH, name)
+	if err != nil {
+		if MapError(err) != ErrNoEnt {
+			h.fail(err)
+			return
+		}
+		dirAttr, derr := h.fs.GetAttr(dirH)
+		if derr != nil {
+			h.fail(derr)
+			return
+		}
+		h.stat = ErrNoEnt
+		h.res.Uint32(uint32(ErrNoEnt))
+		dfa := FAttrFromVFS(dirAttr, bs)
+		dfa.Encode(h.res)
+		return
+	}
+	dirAttr, err := h.fs.GetAttr(dirH)
+	if err != nil {
+		h.fail(err)
+		return
+	}
+	access := AccessRead | AccessWrite | AccessExec
+	if ac, ok := h.fs.(AccessChecker); ok {
+		bits, aerr := ac.Access(a.Handle)
+		if aerr != nil {
+			h.fail(aerr)
+			return
+		}
+		access = bits
+	}
+	h.res.Uint32(uint32(OK))
+	dfa := FAttrFromVFS(dirAttr, bs)
+	dfa.Encode(h.res)
+	fh := EncodeFH(a.Handle)
+	h.res.OpaqueFixed(fh[:])
+	cfa := FAttrFromVFS(a, bs)
+	cfa.Encode(h.res)
+	h.res.Uint32(access)
 }
 
 // commit handles ProcCommit: (fhandle, offset, count) → (status, fattr,

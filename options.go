@@ -92,6 +92,16 @@ func WithServerMaxTransfer(n int) ServerOption {
 	return func(o *serverOptions) { o.cfg.MaxTransfer = n }
 }
 
+// WithServerDirCursors bounds the server's directory-cursor cache: the
+// LRU of listing snapshots that keeps paged READDIR/READDIRPLUS walks
+// stable while other clients mutate the directory. Each live cursor
+// pins one listing in memory; a walk whose cursor was evicted under
+// pressure restarts transparently on the client. n <= 0 — and the
+// default — means 256.
+func WithServerDirCursors(n int) ServerOption {
+	return func(o *serverOptions) { o.cfg.DirCursors = n }
+}
+
 // WithClock injects a clock for tests and benchmarks.
 func WithClock(now func() time.Time) ServerOption {
 	return func(o *serverOptions) { o.cfg.Now = now }
@@ -205,6 +215,12 @@ func WithNoDataCache() ClientOption { return core.WithNoDataCache() }
 // negotiation grant the v2 baseline of 8 KiB. The granted size is the
 // payload of every READ/WRITE RPC and the granule of the data cache.
 func WithMaxTransfer(n int) ClientOption { return core.WithMaxTransfer(n) }
+
+// WithNameCacheTTL sets how long the client trusts cached attributes,
+// name lookups and negative lookups before revalidating with the server
+// (the actimeo knob of kernel NFS clients; default 3 s). Shorter values
+// see remote changes sooner at the cost of more metadata RPCs.
+func WithNameCacheTTL(d time.Duration) ClientOption { return core.WithNameCacheTTL(d) }
 
 // DefaultMaxTransfer is the default negotiated transfer size (bytes).
 const DefaultMaxTransfer = nfs.DefaultMaxTransfer
