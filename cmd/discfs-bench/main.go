@@ -188,6 +188,12 @@ func main() {
 	metaTable(*runs)
 	fmt.Println()
 
+	// ---- Federation scale-out: aggregate throughput vs servers ----
+	fmt.Println("Federation scale-out (aggregate streaming write, device-bound servers, sharded /data)")
+	fmt.Println("  Servers   Writers   Aggregate MB/s")
+	fedTable()
+	fmt.Println()
+
 	// ---- Parallel multi-client write scaling ----
 	fmt.Println("Parallel write throughput (8 KiB blocks, one file per writer, seek-model disk)")
 	fmt.Println("  Setup            Writers   Aggregate KB/s")
@@ -355,6 +361,30 @@ func streamTable(maxSize int64) {
 		}
 	}
 	emitJSON("stream", "Streaming throughput: negotiated vs baseline transfer size", "MB/s", jrows)
+}
+
+// fedTable prints (and emits as BENCH_fed.json) the horizontal
+// scale-out curve: aggregate write throughput of a federated client
+// spreading disjoint working sets across 1, 2 and 3 servers, each on
+// its own Exclusive modeled disk. The acceptance bound is 3 servers
+// reaching 2.4x the single server.
+func fedTable() {
+	results, err := bench.RunFed([]int{1, 2, 3}, 6, 4<<20)
+	check(err)
+	var jrows []benchRow
+	single := results[0].AggregateMBps
+	for _, r := range results {
+		note := ""
+		if r.Servers > 1 && single > 0 {
+			note = fmt.Sprintf("   (%.2fx)", r.AggregateMBps/single)
+		}
+		fmt.Printf("  %7d %9d %16.1f%s\n", r.Servers, r.Writers, r.AggregateMBps, note)
+		jrows = append(jrows, benchRow{Name: fmt.Sprintf("%dsrv", r.Servers), Value: r.AggregateMBps})
+	}
+	if single > 0 {
+		jrows = append(jrows, benchRow{Name: "speedup3", Value: results[len(results)-1].AggregateMBps / single})
+	}
+	emitJSON("fed", "Federation scale-out: aggregate write throughput vs servers", "MB/s", jrows)
 }
 
 // metaTable prints (and emits as BENCH_meta.json) the metadata-plane

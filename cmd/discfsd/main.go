@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +47,7 @@ func main() {
 		limitRPS     = flag.Float64("limit-rps", 0, "per-principal sustained request rate (0 = unlimited)")
 		limitInfl    = flag.Int("limit-inflight", 0, "per-principal in-flight request cap (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: how long in-flight calls may finish on SIGTERM")
+		fedSubtree   = flag.String("fed-subtree", "", "federation: pre-create this directory path at startup (every shard of a federated deployment must export the shard subtree; see the client's WithShardSubtree)")
 	)
 	flag.Parse()
 
@@ -76,6 +78,28 @@ func main() {
 		if err != nil {
 			log.Fatalf("discfsd: store: %v", err)
 		}
+	}
+
+	if *fedSubtree != "" {
+		// Every shard of a federated deployment must export the shard
+		// subtree under the same path; create the chain idempotently so
+		// freshly provisioned shards come up routable.
+		dir := store.Root()
+		for _, part := range strings.Split(*fedSubtree, "/") {
+			if part == "" {
+				continue
+			}
+			if a, lerr := store.Lookup(dir, part); lerr == nil {
+				dir = a.Handle
+				continue
+			}
+			a, merr := store.Mkdir(dir, part, 0o755)
+			if merr != nil {
+				log.Fatalf("discfsd: fed-subtree %s: %v", *fedSubtree, merr)
+			}
+			dir = a.Handle
+		}
+		fmt.Printf("discfsd: federation shard subtree %s ready\n", *fedSubtree)
 	}
 
 	opts := []discfs.ServerOption{

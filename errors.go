@@ -36,4 +36,9 @@ var (
 	// rejected the request, or the server was saturated or draining.
 	// The operation did not run; back off and retry.
 	ErrThrottled = core.ErrThrottled
+	// ErrXDev reports an operation spanning two federation shards that
+	// must stay on one server: renaming across shards fails with it
+	// (the EXDEV contract at a mount boundary) and callers fall back to
+	// copy-and-delete.
+	ErrXDev = core.ErrXDev
 )

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestFedSpeedup is the scale-out acceptance gate: three servers on
+// disjoint working sets must deliver at least 2.4x the aggregate write
+// throughput of one server with the same modeled per-server disk —
+// near-linear scaling, with the slack covering the shared client CPU
+// and the secure channel.
+func TestFedSpeedup(t *testing.T) {
+	const (
+		writers   = 6
+		perWriter = 4 << 20
+	)
+	results, err := RunFed([]int{1, 3}, writers, perWriter)
+	if err != nil {
+		t.Fatalf("RunFed: %v", err)
+	}
+	single, tripled := results[0].AggregateMBps, results[1].AggregateMBps
+	t.Logf("aggregate write MB/s: 1 server %.1f, 3 servers %.1f (%.2fx)",
+		single, tripled, tripled/single)
+	if single <= 0 || tripled <= 0 {
+		t.Fatalf("degenerate throughput: %v", results)
+	}
+	if speedup := tripled / single; speedup < 2.4 {
+		t.Fatalf("3-server speedup %.2fx, want >= 2.4x (1 server %.1f MB/s, 3 servers %.1f MB/s)",
+			speedup, single, tripled)
+	}
+}
+
+// TestSpreadNames pins the working-set picker: names land round-robin
+// on their assigned shards and never repeat.
+func TestSpreadNames(t *testing.T) {
+	names := SpreadNames(3, 9)
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %s", n)
+		}
+		seen[n] = true
+	}
+	s, err := NewFedSetup(3, 0)
+	if err != nil {
+		t.Fatalf("NewFedSetup: %v", err)
+	}
+	defer s.Close()
+	c, err := s.Dial()
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	ctx := t.Context()
+	for i, n := range names {
+		if _, _, err := c.WriteFile(ctx, "/data/"+n, []byte("x")); err != nil {
+			t.Fatalf("WriteFile %s: %v", n, err)
+		}
+		want := i % 3
+		b := s.backings[want]
+		d, err := b.Lookup(b.Root(), "data")
+		if err != nil {
+			t.Fatalf("shard %d: lookup /data: %v", want, err)
+		}
+		if _, err := b.Lookup(d.Handle, n); err != nil {
+			t.Fatalf("%s not on shard %d: %v", n, want, err)
+		}
+	}
+}

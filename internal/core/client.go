@@ -4,15 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"discfs/internal/fed"
 	"discfs/internal/keynote"
+	"discfs/internal/metrics"
 	"discfs/internal/nfs"
-	"discfs/internal/secchan"
-	"discfs/internal/sunrpc"
 	"discfs/internal/vfs"
 	"discfs/internal/xdr"
 )
@@ -21,41 +22,40 @@ import (
 // establishes the secure channel (the paper's IPsec tunnel), mounts the
 // remote filesystem, and exposes file operations plus the credential
 // procedures.
+//
+// With federation options (WithServers, WithShardSubtree, WithGraft)
+// the client connects to every shard and routes each operation to the
+// owning server; without them it is the classic single-server client
+// (one shard, identity handle tagging, no routing).
 type Client struct {
-	conn     *secchan.Conn
-	rpc      *sunrpc.Client
-	nfs      *nfs.Client
-	attrs    *nfs.CachingClient // attribute cache, backs open revalidation
-	root     vfs.Handle
-	addr     string
+	shards   []*shard
+	table    *fed.Table // nil unless federation is configured
 	identity *keynote.KeyPair
-	server   keynote.Principal
-
-	// xfer is the negotiated per-connection transfer size: the payload
-	// of one READ/WRITE RPC, and the granule of the data cache. 8 KiB
-	// against servers predating the negotiation.
-	xfer uint32
-
-	// pool holds extra data-path connections (the nconnect pattern of
-	// modern NFS clients): flush workers and readahead fetches spread
-	// across them, so the per-connection serialization of the secure
-	// channel (crypto, socket writes) stops bounding sequential
-	// throughput. Dialed lazily; on failure the main connection serves.
-	poolClosed atomic.Bool
-	pool       []ioConn
+	closed   atomic.Bool
 
 	// Data-cache state (see datacache.go): per-handle block caches with
 	// readahead and write-behind, shared by the Files opened on each
-	// handle.
+	// handle. Handles are shard-tagged, so one map spans all shards.
 	dataCache dataCacheConfig
 	dcMu      sync.Mutex
 	dcaches   map[vfs.Handle]*handleCache
 
-	// credsPresented records whether this connection successfully
-	// submitted credentials (even ones the server already held); it
-	// distinguishes "denied with no credentials presented" from a plain
-	// policy denial in the error taxonomy.
+	// subDir caches each shard's handle for the shard-subtree
+	// directory (every shard exports the same subtree path).
+	subMu  sync.Mutex
+	subDir map[int]vfs.Handle
+
+	// credsPresented records whether this client successfully submitted
+	// credentials (even ones the server already held); it distinguishes
+	// "denied with no credentials presented" from a plain policy denial
+	// in the error taxonomy.
 	credsPresented atomic.Bool
+
+	// Per-shard request/latency metrics, fed by an observer on every
+	// RPC connection (main links and pool slots).
+	reg       *metrics.Registry
+	shardReqs *metrics.CounterVec
+	shardLat  *metrics.HistogramVec
 }
 
 // A ClientOption configures Dial.
@@ -101,7 +101,8 @@ func WithNoDataCache() ClientOption {
 // The server grants at most its own configured maximum; the granted
 // size becomes the payload of every READ/WRITE RPC and the granule of
 // the data cache. The default proposal is nfs.DefaultMaxTransfer
-// (504 KiB); n = nfs.MaxData pins v2-era 8 KiB transfers.
+// (504 KiB); n = nfs.MaxData pins v2-era 8 KiB transfers. Under
+// federation each shard negotiates independently from this proposal.
 func WithMaxTransfer(n int) ClientOption {
 	return func(cfg *dataCacheConfig) { cfg.maxTransfer = nfs.ClampTransfer(n) }
 }
@@ -119,6 +120,42 @@ func WithNameCacheTTL(d time.Duration) ClientOption {
 	}
 }
 
+// WithServers federates the namespace across additional servers: the
+// dialed address is shard 0 (the primary, exporting the logical root)
+// and each addr here becomes the next shard. Partitioning is
+// configured with WithShardSubtree and WithGraft; the same identity
+// and credential chain are presented to every shard, each of which
+// evaluates authority locally (KeyNote credentials are self-certifying
+// — no shared session state exists between servers).
+func WithServers(addrs ...string) ClientOption {
+	return func(cfg *dataCacheConfig) {
+		cfg.fedServers = append(cfg.fedServers, addrs...)
+	}
+}
+
+// WithShardSubtree spreads the children of one directory across all
+// shards by consistent hashing of the child name. Every shard must
+// export the same directory path; a child lives on (and is created at)
+// the shard its name hashes to, and listing the directory merges all
+// shards. With a single server this is the identity configuration and
+// changes nothing on the wire.
+func WithShardSubtree(path string) ClientOption {
+	return func(cfg *dataCacheConfig) { cfg.fedSubtree = path }
+}
+
+// WithGraft statically binds an absolute path to a shard, mount-style:
+// resolving the path yields that shard's exported root, and everything
+// beneath it lives there. The shard must not be 0 — the primary
+// already exports the logical root.
+func WithGraft(path string, shard int) ClientOption {
+	return func(cfg *dataCacheConfig) {
+		if cfg.fedGrafts == nil {
+			cfg.fedGrafts = make(map[string]int)
+		}
+		cfg.fedGrafts[path] = shard
+	}
+}
+
 // Dial connects to a DisCFS server at addr, authenticating as identity,
 // and mounts the export. The returned client carries no credentials: per
 // the paper, the attached directory appears with mode 000 until
@@ -129,129 +166,89 @@ func WithNameCacheTTL(d time.Duration) ClientOption {
 // error matching ErrRevoked.
 //
 // Options configure the client-side data cache (WithReadahead,
-// WithWriteBehind, WithNoDataCache); with none, files opened on the
-// client read and write through a block cache with the defaults.
+// WithWriteBehind, WithNoDataCache) and, for federated deployments,
+// the shard set and routing (WithServers, WithShardSubtree, WithGraft).
 func Dial(ctx context.Context, addr string, identity *keynote.KeyPair, opts ...ClientOption) (*Client, error) {
-	conn, err := secchan.DialContext(ctx, addr, secchan.Config{Identity: identity})
-	if err != nil {
-		if errors.Is(err, secchan.ErrKeyRevoked) {
-			return nil, fmt.Errorf("%w: %w", ErrRevoked, err)
-		}
-		return nil, err
-	}
-	rpc := sunrpc.NewClient(conn)
-	nc := nfs.NewClient(rpc)
-	root, err := nc.Mount(ctx, "/discfs")
-	if err != nil {
-		rpc.Close()
-		return nil, fmt.Errorf("core: mount: %w", err)
-	}
 	var cfg dataCacheConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	// Negotiate the connection's transfer size (FSINFO-style): the
-	// client proposes, the server clamps. Servers predating the
-	// extension grant the v2 baseline; only a transport failure is an
-	// error.
-	xfer, err := nc.Negotiate(ctx, cfg.maxTransfer)
-	if err != nil {
-		rpc.Close()
-		return nil, fmt.Errorf("core: negotiate transfer size: %w", err)
-	}
-	return &Client{
-		conn:      conn,
-		rpc:       rpc,
-		nfs:       nc,
-		attrs:     nfs.NewCachingClient(nc, cfg.attrTTL),
-		root:      root,
-		addr:      addr,
+	c := &Client{
 		identity:  identity,
-		server:    conn.Peer(),
-		xfer:      xfer,
 		dataCache: cfg,
 		dcaches:   make(map[vfs.Handle]*handleCache),
-		pool:      make([]ioConn, ioPoolSize),
-	}, nil
-}
-
-// MaxTransfer reports the negotiated per-RPC transfer size of this
-// connection.
-func (c *Client) MaxTransfer() int { return int(c.xfer) }
-
-// ioPoolSize is the number of extra data-path connections a client may
-// open (in addition to the main connection).
-const ioPoolSize = 8
-
-// ioConn is one lazily dialed data-path connection slot. The per-slot
-// mutex keeps a slow first dial from serializing the rest of the pool.
-type ioConn struct {
-	mu    sync.Mutex
-	tried bool
-	rpc   *sunrpc.Client
-	nfs   *nfs.Client
-}
-
-// dataConn returns an NFS client for bulk data transfer number i,
-// dialing the pool slot on first use. Any dial failure falls back to
-// the main connection, permanently for that slot.
-func (c *Client) dataConn(ctx context.Context, i int64) *nfs.Client {
-	if len(c.pool) == 0 || c.poolClosed.Load() {
-		return c.nfs
+		subDir:    make(map[int]vfs.Handle),
 	}
-	s := &c.pool[int(i)%len(c.pool)]
-	s.mu.Lock()
-	if !s.tried {
-		s.tried = true
-		conn, err := secchan.DialContext(ctx, c.addr, secchan.Config{Identity: c.identity})
-		switch {
-		case err == nil && c.poolClosed.Load():
-			// A Close that raced this dial wins: abandon the connection
-			// rather than leak it past closePool.
-			conn.Close()
-		case err == nil:
-			s.rpc = sunrpc.NewClient(conn)
-			s.nfs = nfs.NewClient(s.rpc)
-			// Same server, same grant: adopt the main connection's
-			// negotiated size without a second FSINFO round trip (the
-			// server-side bound is global, not per-connection).
-			s.nfs.SetMaxData(c.xfer)
-		case ctx.Err() != nil:
-			// The triggering operation's context expired mid-dial; that
-			// says nothing about the server, so let a later caller
-			// retry rather than downgrade the slot forever.
-			s.tried = false
+	spec := fed.Spec{Extra: cfg.fedServers, Grafts: cfg.fedGrafts, ShardSubtree: cfg.fedSubtree}
+	if spec.Enabled() {
+		table, err := fed.New(spec)
+		if err != nil {
+			return nil, err
 		}
+		c.table = table
 	}
-	nc := s.nfs
-	s.mu.Unlock()
-	if nc == nil {
-		return c.nfs
-	}
-	return nc
-}
+	c.reg = metrics.NewRegistry()
+	c.shardReqs = c.reg.CounterVec("discfs_client_shard_requests_total",
+		"RPCs issued, by federation shard", "shard")
+	c.shardLat = c.reg.HistogramVec("discfs_client_shard_latency_seconds",
+		"RPC latency, by federation shard", "shard", metrics.DefLatencyBuckets)
+	c.reg.CounterFunc("discfs_redials_total",
+		"lost connections transparently re-established (process-wide)", RedialsTotal)
 
-// closePool tears down the data-path connections and stops new dials.
-func (c *Client) closePool() {
-	c.poolClosed.Store(true)
-	for i := range c.pool {
-		s := &c.pool[i]
-		s.mu.Lock()
-		if s.rpc != nil {
-			s.rpc.Close()
-			s.rpc, s.nfs = nil, nil
+	addrs := append([]string{addr}, cfg.fedServers...)
+	for id, a := range addrs {
+		sh, err := dialShard(ctx, c, id, a)
+		if err != nil {
+			for _, prev := range c.shards {
+				prev.closePool()
+				prev.link.Load().rpc.Close()
+			}
+			return nil, err
 		}
-		s.mu.Unlock()
+		c.shards = append(c.shards, sh)
 	}
+	return c, nil
 }
 
-// Close tears down the connection. Unflushed write-behind data is
+// MaxTransfer reports the negotiated per-RPC transfer size of the
+// primary connection (per-shard sizes may differ under federation).
+func (c *Client) MaxTransfer() int { return int(c.shards[0].xfer) }
+
+// Metrics exposes the client's registry: per-shard request and latency
+// vectors plus the process-wide redial counter.
+func (c *Client) Metrics() *metrics.Registry { return c.reg }
+
+// primary returns shard 0: the server whose root is the logical root.
+func (c *Client) primary() *shard { return c.shards[0] }
+
+// shardOf routes a shard-tagged handle to its owning shard. Handles
+// are only minted by this client's connections, so an out-of-range tag
+// cannot normally occur; the primary absorbs it rather than panicking.
+func (c *Client) shardOf(h vfs.Handle) *shard {
+	id := nfs.ShardOfIno(h.Ino)
+	if id <= 0 || id >= len(c.shards) {
+		return c.shards[0]
+	}
+	return c.shards[id]
+}
+
+// Close tears down the connections. Unflushed write-behind data is
 // abandoned (its flushes fail against the closed connection); call
 // File.Close or File.Sync first for the error barrier.
 func (c *Client) Close() error {
+	c.closed.Store(true)
 	c.shutdownCaches()
-	c.closePool()
-	return c.rpc.Close()
+	var first error
+	for _, sh := range c.shards {
+		sh.closePool()
+		sh.mu.Lock()
+		err := sh.link.Load().rpc.Close()
+		sh.mu.Unlock()
+		if first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Abort cuts the connections without the orderly cache shutdown —
@@ -259,21 +256,33 @@ func (c *Client) Close() error {
 // The soak harness uses it to exercise the server's handling of peers
 // that vanish mid-operation; real callers want Close.
 func (c *Client) Abort() error {
-	c.closePool()
-	return c.rpc.Close()
+	c.closed.Store(true)
+	var first error
+	for _, sh := range c.shards {
+		sh.closePool()
+		sh.mu.Lock()
+		err := sh.link.Load().rpc.Close()
+		sh.mu.Unlock()
+		if first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
-// NFS exposes the NFS client for direct protocol access.
-func (c *Client) NFS() *nfs.Client { return c.nfs }
+// NFS exposes the primary shard's NFS client for direct protocol
+// access.
+func (c *Client) NFS() *nfs.Client { return c.primary().nfsc(context.Background()) }
 
-// Root returns the mounted root handle.
-func (c *Client) Root() vfs.Handle { return c.root }
+// Root returns the mounted root handle (the primary's root).
+func (c *Client) Root() vfs.Handle { return c.primary().link.Load().root }
 
 // Principal returns the client's own principal.
 func (c *Client) Principal() keynote.Principal { return c.identity.Principal }
 
-// ServerPrincipal returns the authenticated server identity.
-func (c *Client) ServerPrincipal() keynote.Principal { return c.server }
+// ServerPrincipal returns the authenticated identity of the primary
+// server.
+func (c *Client) ServerPrincipal() keynote.Principal { return c.primary().server }
 
 // Identity returns the client's key pair (for issuing delegations).
 func (c *Client) Identity() *keynote.KeyPair { return c.identity }
@@ -281,12 +290,30 @@ func (c *Client) Identity() *keynote.KeyPair { return c.identity }
 // ---- extension procedures ----
 
 // SubmitCredentialText submits credential assertion text (one or more
-// assertions) to the server's persistent KeyNote session. It returns the
-// number of newly accepted credentials.
+// assertions) to the server's persistent KeyNote session. Under
+// federation the same chain is presented to every shard — that is the
+// whole cross-server authority mechanism: each server evaluates the
+// self-certifying chain locally. Returns the number of credentials
+// newly accepted by the primary.
 func (c *Client) SubmitCredentialText(ctx context.Context, text string) (int, error) {
+	n := 0
+	for i, sh := range c.shards {
+		m, err := c.submitCredentialTo(ctx, sh, text)
+		if err != nil {
+			return n, err
+		}
+		if i == 0 {
+			n = m
+		}
+	}
+	c.credsPresented.Store(true)
+	return n, nil
+}
+
+func (c *Client) submitCredentialTo(ctx context.Context, sh *shard, text string) (int, error) {
 	e := xdr.NewEncoder()
 	e.String(text)
-	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtSubmitCred, e.Bytes())
+	d, err := sh.live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtSubmitCred, e.Bytes())
 	if err != nil {
 		return 0, err
 	}
@@ -300,7 +327,6 @@ func (c *Client) SubmitCredentialText(ctx context.Context, text string) (int, er
 	if status != extOK {
 		return int(n), fmt.Errorf("%w: %s", ErrCredentialRejected, msg)
 	}
-	c.credsPresented.Store(true)
 	return int(n), nil
 }
 
@@ -317,9 +343,10 @@ func (c *Client) SubmitCredentials(ctx context.Context, creds ...*keynote.Assert
 	return c.SubmitCredentialText(ctx, b.String())
 }
 
-// WhoAmI asks the server which principal this connection authenticated.
+// WhoAmI asks the primary server which principal this connection
+// authenticated.
 func (c *Client) WhoAmI(ctx context.Context) (keynote.Principal, error) {
-	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtWhoAmI, nil)
+	d, err := c.primary().live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtWhoAmI, nil)
 	if err != nil {
 		return "", err
 	}
@@ -328,20 +355,25 @@ func (c *Client) WhoAmI(ctx context.Context) (keynote.Principal, error) {
 	return keynote.Principal(p), d.Err()
 }
 
-// createLike runs CREATECRED or MKDIRCRED.
+// createLike runs CREATECRED or MKDIRCRED on the shard owning dir.
 func (c *Client) createLike(ctx context.Context, proc uint32, dir vfs.Handle, name string, mode uint32) (vfs.Attr, string, error) {
+	sh := c.shardOf(dir)
+	ln := sh.live(ctx)
 	e := xdr.NewEncoder()
-	fh := nfs.EncodeFH(dir)
+	fh, err := ln.nfs.WireFH(dir)
+	if err != nil {
+		return vfs.Attr{}, "", c.wireError(err)
+	}
 	e.OpaqueFixed(fh[:])
 	e.String(name)
 	sa := nfs.NewSAttr()
 	sa.Mode = mode
 	sa.Encode(e)
-	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, proc, e.Bytes())
+	d, err := ln.rpc.Call(ctx, ExtProg, ExtVers, proc, e.Bytes())
 	if err != nil {
 		return vfs.Attr{}, "", err
 	}
-	defer nfs.RecycleReply(d) // DecodeFH copies the only alias
+	defer nfs.RecycleReply(d) // DecodeWireFH copies the only alias
 	if st := nfs.Stat(d.Uint32()); st != nfs.OK {
 		return vfs.Attr{}, "", c.wireError(&nfs.Error{Stat: st})
 	}
@@ -349,7 +381,7 @@ func (c *Client) createLike(ctx context.Context, proc uint32, dir vfs.Handle, na
 	if err := d.Err(); err != nil {
 		return vfs.Attr{}, "", err
 	}
-	h, err := nfs.DecodeFH(raw)
+	h, err := ln.nfs.DecodeWireFH(raw)
 	if err != nil {
 		return vfs.Attr{}, "", err
 	}
@@ -393,52 +425,64 @@ func (c *Client) MkdirWithCredential(ctx context.Context, dir vfs.Handle, name s
 	return c.createLike(ctx, ExtMkdirCred, dir, name, mode)
 }
 
-// RevokeKey asks the server to revoke a principal (administrators only).
-// It returns the number of credentials dropped.
+// RevokeKey asks every shard to revoke a principal (administrators
+// only) — revocation, like authority, must span the federation. It
+// returns the total number of credentials dropped.
 func (c *Client) RevokeKey(ctx context.Context, target keynote.Principal) (int, error) {
-	e := xdr.NewEncoder()
-	e.String(string(target))
-	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtRevokeKey, e.Bytes())
-	if err != nil {
-		return 0, err
+	total := 0
+	for _, sh := range c.shards {
+		e := xdr.NewEncoder()
+		e.String(string(target))
+		d, err := sh.live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtRevokeKey, e.Bytes())
+		if err != nil {
+			return total, err
+		}
+		status := d.Uint32()
+		n := d.Uint32()
+		err = d.Err()
+		nfs.RecycleReply(d)
+		if err != nil {
+			return total, err
+		}
+		if status == extNotAdmin {
+			return total, ErrNotAdmin
+		}
+		total += int(n)
 	}
-	defer nfs.RecycleReply(d)
-	status := d.Uint32()
-	n := d.Uint32()
-	if err := d.Err(); err != nil {
-		return 0, err
-	}
-	if status == extNotAdmin {
-		return 0, ErrNotAdmin
-	}
-	return int(n), nil
+	return total, nil
 }
 
-// RevokeCredential revokes one credential by its signature value
-// (administrators only). It reports whether the credential was present.
+// RevokeCredential revokes one credential by its signature value on
+// every shard (administrators only). It reports whether any shard held
+// the credential.
 func (c *Client) RevokeCredential(ctx context.Context, signatureValue string) (bool, error) {
-	e := xdr.NewEncoder()
-	e.String(signatureValue)
-	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtRevokeCred, e.Bytes())
-	if err != nil {
-		return false, err
-	}
-	defer nfs.RecycleReply(d)
-	status := d.Uint32()
-	found := d.Bool()
-	if err := d.Err(); err != nil {
-		return false, err
-	}
-	if status == extNotAdmin {
-		return false, ErrNotAdmin
+	found := false
+	for _, sh := range c.shards {
+		e := xdr.NewEncoder()
+		e.String(signatureValue)
+		d, err := sh.live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtRevokeCred, e.Bytes())
+		if err != nil {
+			return found, err
+		}
+		status := d.Uint32()
+		f := d.Bool()
+		err = d.Err()
+		nfs.RecycleReply(d)
+		if err != nil {
+			return found, err
+		}
+		if status == extNotAdmin {
+			return found, ErrNotAdmin
+		}
+		found = found || f
 	}
 	return found, nil
 }
 
-// ListCredentials returns the text of every credential in the server's
-// session (administrators only).
+// ListCredentials returns the text of every credential in the primary
+// server's session (administrators only).
 func (c *Client) ListCredentials(ctx context.Context) ([]string, error) {
-	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtListCreds, nil)
+	d, err := c.primary().live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtListCreds, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -455,9 +499,9 @@ func (c *Client) ListCredentials(ctx context.Context) ([]string, error) {
 	return out, d.Err()
 }
 
-// ServerStats fetches the policy-engine statistics.
+// ServerStats fetches the primary server's policy-engine statistics.
 func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
-	d, err := c.rpc.Call(ctx, ExtProg, ExtVers, ExtStats, nil)
+	d, err := c.primary().live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtStats, nil)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -485,14 +529,17 @@ func (c *Client) ServerStats(ctx context.Context) (Stats, error) {
 // ino and everything beneath it — the paper's user-to-user sharing step
 // (Bob issues Alice a credential, Figure 1). The credential is returned
 // for transmission to the holder (e.g. via email); whoever holds it
-// submits it before access.
+// submits it before access. A shard-tagged ino (from a federated
+// handle) is untagged: credentials speak the owning server's inode
+// numbers, and remain valid when presented to every shard because only
+// the owning shard's tree contains that ino.
 func (c *Client) Delegate(ctx context.Context, holder keynote.Principal, ino uint64, value, comment string) (*keynote.Assertion, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return keynote.Sign(c.identity, keynote.AssertionSpec{
 		Licensees:  keynote.LicenseesOr(holder),
-		Conditions: SubtreeConditions(ino, value, true, ""),
+		Conditions: SubtreeConditions(nfs.UntagIno(ino), value, true, ""),
 		Comment:    comment,
 	})
 }
@@ -505,53 +552,132 @@ func (c *Client) DelegateWithConditions(ctx context.Context, holder keynote.Prin
 	}
 	return keynote.Sign(c.identity, keynote.AssertionSpec{
 		Licensees:  keynote.LicenseesOr(holder),
-		Conditions: SubtreeConditions(ino, value, true, extra),
+		Conditions: SubtreeConditions(nfs.UntagIno(ino), value, true, extra),
 		Comment:    comment,
 	})
 }
 
 // ---- path convenience API ----
 
-// ResolvePath walks a slash-separated path from the root.
-func (c *Client) ResolvePath(ctx context.Context, path string) (vfs.Attr, error) {
-	cur := c.root
-	attr, err := c.nfs.GetAttr(ctx, cur)
-	if err != nil {
-		return vfs.Attr{}, c.wireError(err)
+// joinPath appends one component to a cleaned absolute path.
+func joinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
 	}
-	for _, part := range strings.Split(path, "/") {
-		if part == "" {
-			continue
-		}
-		attr, err = c.nfs.Lookup(ctx, cur, part)
-		if err != nil {
-			return vfs.Attr{}, c.wireError(err)
-		}
-		cur = attr.Handle
-	}
-	return attr, nil
+	return dir + "/" + name
 }
 
-// splitPath returns (parent directory handle, leaf name).
-func (c *Client) splitPath(ctx context.Context, path string) (vfs.Handle, string, error) {
+// splitParts splits a slash path into its non-empty components.
+func splitParts(path string) []string {
 	parts := make([]string, 0, 8)
 	for _, p := range strings.Split(path, "/") {
 		if p != "" {
 			parts = append(parts, p)
 		}
 	}
+	return parts
+}
+
+// resolveChild resolves one path component from dir (whose cleaned
+// absolute path is dirPath), applying federation routing: a graft
+// point resolves to its target shard's root, and a child of the shard
+// subtree resolves on the shard its name hashes to.
+func (c *Client) resolveChild(ctx context.Context, dir vfs.Handle, dirPath, name string) (vfs.Attr, error) {
+	if c.table != nil {
+		if g, ok := c.table.Graft(joinPath(dirPath, name)); ok {
+			sh := c.shards[g]
+			return sh.nfsc(ctx).GetAttr(ctx, sh.root(ctx))
+		}
+		if c.table.Sharded(dirPath) {
+			own := c.table.Owner(name)
+			sdir, err := c.subtreeDir(ctx, own)
+			if err != nil {
+				return vfs.Attr{}, err
+			}
+			return c.shards[own].nfsc(ctx).Lookup(ctx, sdir, name)
+		}
+	}
+	sh := c.shardOf(dir)
+	return sh.nfsc(ctx).Lookup(ctx, dir, name)
+}
+
+// subtreeDir resolves (and caches) one shard's handle for the
+// shard-subtree directory. Every shard must export the subtree path in
+// its own tree; a shard that lacks it fails here with a routing error.
+func (c *Client) subtreeDir(ctx context.Context, shard int) (vfs.Handle, error) {
+	c.subMu.Lock()
+	h, ok := c.subDir[shard]
+	c.subMu.Unlock()
+	if ok {
+		return h, nil
+	}
+	sh := c.shards[shard]
+	cur := sh.root(ctx)
+	for _, part := range splitParts(c.table.ShardSubtree()) {
+		a, err := sh.nfsc(ctx).Lookup(ctx, cur, part)
+		if err != nil {
+			return vfs.Handle{}, fmt.Errorf("core: shard %d (%s) lacks shard subtree %s: %w",
+				shard, sh.addr, c.table.ShardSubtree(), c.wireError(err))
+		}
+		cur = a.Handle
+	}
+	c.subMu.Lock()
+	c.subDir[shard] = cur
+	c.subMu.Unlock()
+	return cur, nil
+}
+
+// ResolvePath walks a slash-separated path from the root.
+func (c *Client) ResolvePath(ctx context.Context, path string) (vfs.Attr, error) {
+	sh := c.primary()
+	cur := sh.root(ctx)
+	attr, err := sh.nfsc(ctx).GetAttr(ctx, cur)
+	if err != nil {
+		return vfs.Attr{}, c.wireError(err)
+	}
+	curPath := "/"
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		attr, err = c.resolveChild(ctx, cur, curPath, part)
+		if err != nil {
+			return vfs.Attr{}, c.wireError(err)
+		}
+		cur = attr.Handle
+		curPath = joinPath(curPath, part)
+	}
+	return attr, nil
+}
+
+// splitPath returns (parent directory handle, leaf name). The parent
+// handle is routed for the leaf: a leaf directly under the shard
+// subtree returns the owning shard's copy of the subtree directory, so
+// creations land on (and lookups address) the right server.
+func (c *Client) splitPath(ctx context.Context, path string) (vfs.Handle, string, error) {
+	parts := splitParts(path)
 	if len(parts) == 0 {
 		return vfs.Handle{}, "", fmt.Errorf("core: empty path")
 	}
-	dir := c.root
+	dir := c.primary().root(ctx)
+	dirPath := "/"
 	for _, p := range parts[:len(parts)-1] {
-		a, err := c.nfs.Lookup(ctx, dir, p)
+		a, err := c.resolveChild(ctx, dir, dirPath, p)
 		if err != nil {
 			return vfs.Handle{}, "", c.wireError(err)
 		}
 		dir = a.Handle
+		dirPath = joinPath(dirPath, p)
 	}
-	return dir, parts[len(parts)-1], nil
+	leaf := parts[len(parts)-1]
+	if c.table != nil && c.table.Sharded(dirPath) {
+		sdir, err := c.subtreeDir(ctx, c.table.Owner(leaf))
+		if err != nil {
+			return vfs.Handle{}, "", err
+		}
+		dir = sdir
+	}
+	return dir, leaf, nil
 }
 
 // ReadFile reads a whole file by path.
@@ -560,7 +686,7 @@ func (c *Client) ReadFile(ctx context.Context, path string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := c.nfs.ReadAll(ctx, attr.Handle)
+	data, err := c.shardOf(attr.Handle).nfsc(ctx).ReadAll(ctx, attr.Handle)
 	return data, c.wireError(err)
 }
 
@@ -572,12 +698,13 @@ func (c *Client) WriteFile(ctx context.Context, path string, data []byte) (vfs.A
 	if err != nil {
 		return vfs.Attr{}, "", err
 	}
+	sh := c.shardOf(dir)
 	var cred string
-	attr, err := c.nfs.Lookup(ctx, dir, name)
+	attr, err := sh.nfsc(ctx).Lookup(ctx, dir, name)
 	if err == nil {
 		sa := nfs.NewSAttr()
 		sa.Size = 0
-		if _, err := c.nfs.SetAttr(ctx, attr.Handle, sa); err != nil {
+		if _, err := sh.nfsc(ctx).SetAttr(ctx, attr.Handle, sa); err != nil {
 			return vfs.Attr{}, "", c.wireError(err)
 		}
 	} else if werr := c.wireError(err); errors.Is(werr, ErrNotExist) {
@@ -590,13 +717,13 @@ func (c *Client) WriteFile(ctx context.Context, path string, data []byte) (vfs.A
 		// into CREATE would turn a transient refusal into EEXIST.
 		return vfs.Attr{}, "", werr
 	}
-	if err := c.nfs.WriteAll(ctx, attr.Handle, data); err != nil {
+	if err := sh.nfsc(ctx).WriteAll(ctx, attr.Handle, data); err != nil {
 		return vfs.Attr{}, "", c.wireError(err)
 	}
 	// Durability barrier: against a write-behind server the WRITEs above
 	// are unstable until committed (WriteFile promises written-on-return,
 	// like the File Close barrier does).
-	if _, _, err := c.nfs.Commit(ctx, attr.Handle); err != nil {
+	if _, _, err := sh.nfsc(ctx).Commit(ctx, attr.Handle); err != nil {
 		return vfs.Attr{}, "", c.wireError(err)
 	}
 	return attr, cred, nil
@@ -611,14 +738,62 @@ func (c *Client) MkdirPath(ctx context.Context, path string) (vfs.Attr, string, 
 	return c.MkdirWithCredential(ctx, dir, name, 0o755)
 }
 
-// List returns the directory entries at path.
+// Rename renames fromPath to toPath. Under federation both must live
+// on the same shard: two independent servers cannot rename atomically,
+// so a cross-shard rename fails with ErrXDev — the classic EXDEV
+// contract at a mount boundary; callers fall back to copy-and-delete.
+func (c *Client) Rename(ctx context.Context, fromPath, toPath string) error {
+	fromDir, fromName, err := c.splitPath(ctx, fromPath)
+	if err != nil {
+		return err
+	}
+	toDir, toName, err := c.splitPath(ctx, toPath)
+	if err != nil {
+		return err
+	}
+	sh := c.shardOf(fromDir)
+	if sh != c.shardOf(toDir) {
+		return fmt.Errorf("core: rename %s -> %s: %w", fromPath, toPath, ErrXDev)
+	}
+	return c.wireError(sh.nfsc(ctx).Rename(ctx, fromDir, fromName, toDir, toName))
+}
+
+// List returns the directory entries at path. Listing the shard
+// subtree merges every shard's children (deduplicated by name, sorted).
 func (c *Client) List(ctx context.Context, path string) ([]nfs.DirEntry, error) {
+	if c.table != nil && c.table.Sharded(fed.Clean(path)) {
+		return c.listSharded(ctx)
+	}
 	attr, err := c.ResolvePath(ctx, path)
 	if err != nil {
 		return nil, err
 	}
-	ents, err := c.nfs.ReadDirAll(ctx, attr.Handle)
+	ents, err := c.shardOf(attr.Handle).nfsc(ctx).ReadDirAll(ctx, attr.Handle)
 	return ents, c.wireError(err)
+}
+
+func (c *Client) listSharded(ctx context.Context) ([]nfs.DirEntry, error) {
+	seen := make(map[string]bool)
+	var out []nfs.DirEntry
+	for id := range c.shards {
+		sdir, err := c.subtreeDir(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		ents, err := c.shards[id].nfsc(ctx).ReadDirAll(ctx, sdir)
+		if err != nil {
+			return nil, c.wireError(err)
+		}
+		for _, e := range ents {
+			if seen[e.Name] {
+				continue
+			}
+			seen[e.Name] = true
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
 }
 
 // DialWithCredentials attaches and immediately submits the given
@@ -645,33 +820,38 @@ func DialWithCredentials(ctx context.Context, addr string, identity *keynote.Key
 // slash-separated path from the mount root.
 type WalkFunc func(path string, attr vfs.Attr) error
 
-// Walk traverses the mounted tree depth-first in directory-listing
-// order, calling fn for every entry the client's credentials allow it to
-// see. Permission errors on individual subtrees are skipped (the walk
-// visits what the caller may see, like ls -R under Unix permissions);
-// other errors abort.
+// Walk traverses the mounted tree depth-first, calling fn for every
+// entry the client's credentials allow it to see. Permission errors on
+// individual subtrees are skipped (the walk visits what the caller may
+// see, like ls -R under Unix permissions); other errors abort. Under
+// federation the walk spans shards: the shard subtree is the merged,
+// name-sorted union of every shard's children (a shard that denies
+// access — e.g. after a revocation there — simply drops out of the
+// merge), and graft points are descended into on their target shard.
 func (c *Client) Walk(ctx context.Context, fn WalkFunc) error {
-	return c.walkDir(ctx, c.root, "", fn)
+	return c.walkDir(ctx, c.primary().root(ctx), "", fn)
+}
+
+// walkEnt is one directory entry paired with the shard and parent
+// directory it came from, so attribute fallback lookups address the
+// right server.
+type walkEnt struct {
+	ent    nfs.DirEntryPlus
+	sh     *shard
+	parent vfs.Handle
 }
 
 func (c *Client) walkDir(ctx context.Context, dir vfs.Handle, prefix string, fn WalkFunc) error {
-	// One batched listing carries the names and (usually) the
-	// attributes; entries whose attributes the server could not
-	// piggyback fall back to individual cached lookups. Against servers
-	// without READDIRPLUS the call itself degrades to READDIR plus
-	// per-name LOOKUP.
-	ents, err := c.attrs.ReadDirPlusAll(ctx, dir)
+	ents, err := c.walkList(ctx, dir, prefix)
 	if err != nil {
-		if nfs.StatOf(err) == nfs.ErrAcces {
-			return nil
-		}
-		return c.wireError(err)
+		return err
 	}
-	for _, e := range ents {
+	for _, we := range ents {
+		e := we.ent
 		attr := e.Attr
 		if !e.HasAttr {
 			var err error
-			attr, err = c.attrs.Lookup(ctx, dir, e.Name)
+			attr, err = we.sh.attrc(ctx).Lookup(ctx, we.parent, e.Name)
 			if err != nil {
 				if st := nfs.StatOf(err); st == nfs.ErrAcces || st == nfs.ErrNoEnt {
 					continue
@@ -690,4 +870,87 @@ func (c *Client) walkDir(ctx context.Context, dir vfs.Handle, prefix string, fn 
 		}
 	}
 	return nil
+}
+
+// walkList lists one directory for Walk, applying federation routing.
+// One batched listing carries the names and (usually) the attributes;
+// entries whose attributes the server could not piggyback fall back to
+// individual cached lookups. Against servers without READDIRPLUS the
+// call itself degrades to READDIR plus per-name LOOKUP.
+func (c *Client) walkList(ctx context.Context, dir vfs.Handle, prefix string) ([]walkEnt, error) {
+	dirPath := prefix
+	if dirPath == "" {
+		dirPath = "/"
+	}
+	var out []walkEnt
+	if c.table != nil && c.table.Sharded(dirPath) {
+		// The shard subtree is the union of every shard's copy; a shard
+		// that refuses the listing (revoked or never authorized there)
+		// contributes nothing rather than cutting the whole walk.
+		seen := make(map[string]bool)
+		for id := range c.shards {
+			sdir, err := c.subtreeDir(ctx, id)
+			if err != nil {
+				if errors.Is(err, ErrAccessDenied) {
+					continue
+				}
+				return nil, err
+			}
+			ents, err := c.shards[id].attrc(ctx).ReadDirPlusAll(ctx, sdir)
+			if err != nil {
+				if nfs.StatOf(err) == nfs.ErrAcces {
+					continue
+				}
+				return nil, c.wireError(err)
+			}
+			for _, e := range ents {
+				if seen[e.Name] {
+					continue
+				}
+				seen[e.Name] = true
+				out = append(out, walkEnt{e, c.shards[id], sdir})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ent.Name < out[j].ent.Name })
+		return out, nil
+	}
+	sh := c.shardOf(dir)
+	ents, err := sh.attrc(ctx).ReadDirPlusAll(ctx, dir)
+	if err != nil {
+		if nfs.StatOf(err) == nfs.ErrAcces {
+			return nil, nil
+		}
+		return nil, c.wireError(err)
+	}
+	for _, e := range ents {
+		out = append(out, walkEnt{e, sh, dir})
+	}
+	if c.table != nil {
+		// Graft points surface as entries of the target shard's root,
+		// whether or not the parent holds a placeholder of the same name.
+		for _, name := range c.table.GraftsUnder(dirPath) {
+			g, _ := c.table.Graft(joinPath(dirPath, name))
+			gsh := c.shards[g]
+			groot := gsh.root(ctx)
+			a, err := gsh.attrc(ctx).GetAttr(ctx, groot)
+			if err != nil {
+				if nfs.StatOf(err) == nfs.ErrAcces {
+					continue
+				}
+				return nil, c.wireError(err)
+			}
+			ge := walkEnt{nfs.DirEntryPlus{Name: name, Handle: a.Handle, Attr: a, HasAttr: true}, gsh, groot}
+			replaced := false
+			for i := range out {
+				if out[i].ent.Name == name {
+					out[i], replaced = ge, true
+					break
+				}
+			}
+			if !replaced {
+				out = append(out, ge)
+			}
+		}
+	}
+	return out, nil
 }

@@ -96,6 +96,12 @@ type dataCacheConfig struct {
 	// attrTTL is the attribute/name cache lifetime (rides here because
 	// ClientOption closes over this struct); 0 means nfs.DefaultAttrTTL.
 	attrTTL time.Duration
+	// Federation (rides here for the same reason): extra shard servers,
+	// static path grafts, and the consistent-hash-sharded subtree. All
+	// empty for a classic single-server client.
+	fedServers []string
+	fedGrafts  map[string]int
+	fedSubtree string
 }
 
 // normalized resolves defaults for a cache whose granule is bs bytes —
@@ -173,8 +179,9 @@ type cblock struct {
 // Client has open on the handle and retained across closes so a re-open
 // can revalidate cheaply.
 type handleCache struct {
-	c *Client
-	h vfs.Handle
+	c  *Client
+	sh *shard // the shard owning h; all cache RPCs go there
+	h  vfs.Handle
 
 	mu   sync.Mutex
 	cond *sync.Cond // wakes flush workers, drain waiters and throttled writers
@@ -253,12 +260,14 @@ func (c *Client) handleCacheFor(h vfs.Handle) *handleCache {
 			}
 		}
 	}
-	bs := int64(c.xfer)
+	sh := c.shardOf(h)
+	bs := int64(sh.xfer)
 	if bs == 0 {
 		bs = nfs.MaxData
 	}
 	hc := &handleCache{
 		c:           c,
+		sh:          sh,
 		h:           h,
 		bs:          bs,
 		maxCached:   scaleBlocks(maxCachedBytes, bs, 8, maxCachedBytes/nfs.MaxData),
@@ -531,7 +540,7 @@ func (hc *handleCache) fetch(ctx context.Context, idx int64, fs *fetchState, epo
 		// size the server has moved past, and shrinking srvSize would
 		// turn flushed data into holes. Remote truncation is adopted at
 		// the next quiescent open (close-to-open).
-		data, _, err = hc.c.dataConn(ctx, idx).Read(ctx, hc.h, uint32(start), uint32(hc.bs))
+		data, _, err = hc.sh.dataConn(ctx, idx).Read(ctx, hc.h, uint32(start), uint32(hc.bs))
 	}
 	hc.mu.Lock()
 	delete(hc.fetching, idx)
@@ -776,7 +785,7 @@ func (hc *handleCache) flushWorker(id int) {
 			hc.verFetching = true
 			ctx := hc.flushCtx
 			hc.mu.Unlock()
-			_, ver, err := hc.c.nfs.Commit(ctx, hc.h)
+			_, ver, err := hc.sh.nfsc(ctx).Commit(ctx, hc.h)
 			hc.mu.Lock()
 			hc.verFetching = false
 			if err == nil {
@@ -818,7 +827,7 @@ func (hc *handleCache) flushWorker(id int) {
 		ctx := hc.flushCtx
 		hc.mu.Unlock()
 
-		attr, err := hc.c.dataConn(ctx, int64(id)).Write(ctx, hc.h, uint32(start), snap)
+		attr, err := hc.sh.dataConn(ctx, int64(id)).Write(ctx, hc.h, uint32(start), snap)
 
 		hc.mu.Lock()
 		b.flushing = false
@@ -896,7 +905,7 @@ func (hc *handleCache) commitBarrierLocked(ctx context.Context) (retry bool) {
 		ctx = hc.flushCtx
 	}
 	hc.mu.Unlock()
-	attr, ver, err := hc.c.nfs.Commit(ctx, hc.h)
+	attr, ver, err := hc.sh.nfsc(ctx).Commit(ctx, hc.h)
 	hc.mu.Lock()
 	if err != nil {
 		if hc.werr == nil {

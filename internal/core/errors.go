@@ -41,6 +41,11 @@ var (
 	// transport refused it while saturated or draining (ServerBusy).
 	// The operation did not run; back off and retry.
 	ErrThrottled = errors.New("discfs: request throttled by server")
+	// ErrXDev reports an operation spanning two federation shards that
+	// must stay on one server — the EXDEV contract at a mount boundary.
+	// Rename across shards fails with it; callers fall back to
+	// copy-and-delete.
+	ErrXDev = errors.New("discfs: cross-shard operation")
 )
 
 // wireError translates an error observed through the RPC boundary into
@@ -68,6 +73,8 @@ func (c *Client) wireError(err error) error {
 		return fmt.Errorf("%w: %w", ErrNotExist, err)
 	case nfs.ErrTryLater:
 		return fmt.Errorf("%w: %w", ErrThrottled, err)
+	case nfs.ErrXDev:
+		return fmt.Errorf("%w: %w", ErrXDev, err)
 	}
 	return err
 }

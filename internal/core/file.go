@@ -35,6 +35,7 @@ import (
 // runs in parallel without touching the cursor.
 type File struct {
 	c    *Client
+	sh   *shard // the shard owning h; every RPC the File issues goes there
 	ctx  context.Context
 	h    vfs.Handle
 	path string
@@ -78,7 +79,8 @@ func (c *Client) Open(ctx context.Context, path string, flag int) (*File, error)
 	if err != nil {
 		return nil, err
 	}
-	attr, err := c.nfs.Lookup(ctx, dir, name)
+	sh := c.shardOf(dir)
+	attr, err := sh.nfsc(ctx).Lookup(ctx, dir, name)
 	switch {
 	case err == nil:
 		if flag&(os.O_CREATE|os.O_EXCL) == os.O_CREATE|os.O_EXCL {
@@ -90,7 +92,7 @@ func (c *Client) Open(ctx context.Context, path string, flag int) (*File, error)
 		if flag&os.O_TRUNC != 0 && f.writable {
 			sa := nfs.NewSAttr()
 			sa.Size = 0
-			if attr, err = c.nfs.SetAttr(ctx, attr.Handle, sa); err != nil {
+			if attr, err = sh.nfsc(ctx).SetAttr(ctx, attr.Handle, sa); err != nil {
 				return nil, c.wireError(err)
 			}
 		}
@@ -122,7 +124,7 @@ func (c *Client) OpenHandle(ctx context.Context, h vfs.Handle, flag int) (*File,
 		writable: acc == os.O_WRONLY || acc == os.O_RDWR,
 		append_:  flag&os.O_APPEND != 0,
 	}
-	attr, err := c.nfs.GetAttr(ctx, h)
+	attr, err := c.shardOf(h).nfsc(ctx).GetAttr(ctx, h)
 	if err != nil {
 		return nil, c.wireError(err)
 	}
@@ -142,12 +144,13 @@ func (c *Client) OpenHandle(ctx context.Context, h vfs.Handle, flag int) (*File,
 // stale blocks.
 func (c *Client) finishOpen(ctx context.Context, f *File, attr vfs.Attr) error {
 	f.h = attr.Handle
+	f.sh = c.shardOf(attr.Handle)
 	if c.dataCache.disabled {
 		f.size.Store(int64(attr.Size))
 	} else {
 		hc := c.handleCacheFor(attr.Handle)
 		seq := hc.flushSeqNow()
-		fresh, err := c.attrs.Revalidate(ctx, attr.Handle)
+		fresh, err := f.sh.attrc(ctx).Revalidate(ctx, attr.Handle)
 		if err != nil {
 			return c.wireError(err)
 		}
@@ -191,9 +194,9 @@ func (f *File) Stat() (vfs.Attr, error) {
 	var attr vfs.Attr
 	var err error
 	if f.dc != nil {
-		attr, err = f.c.attrs.GetAttr(f.ctx, f.h)
+		attr, err = f.sh.attrc(f.ctx).GetAttr(f.ctx, f.h)
 	} else {
-		attr, err = f.c.nfs.GetAttr(f.ctx, f.h)
+		attr, err = f.sh.nfsc(f.ctx).GetAttr(f.ctx, f.h)
 	}
 	if err != nil {
 		return vfs.Attr{}, f.c.wireError(err)
@@ -269,10 +272,11 @@ func (f *File) readChunk(p []byte, off int64) (int, error) {
 		return 0, fmt.Errorf("core: offset %d beyond NFSv2 range: %w", off, vfs.ErrFBig)
 	}
 	count := uint32(len(p))
-	if max := f.c.nfs.MaxData(); count > max {
+	nc := f.sh.nfsc(f.ctx)
+	if max := nc.MaxData(); count > max {
 		count = max
 	}
-	n, attr, err := f.c.nfs.ReadInto(f.ctx, f.h, uint32(off), p[:count])
+	n, attr, err := nc.ReadInto(f.ctx, f.h, uint32(off), p[:count])
 	if err != nil {
 		return 0, f.c.wireError(err)
 	}
@@ -319,7 +323,8 @@ func (f *File) writeAt(p []byte, off int64) (int, error) {
 	if f.dc != nil {
 		return f.dc.writeAt(f.ctx, p, off)
 	}
-	step := int(f.c.nfs.MaxData())
+	nc := f.sh.nfsc(f.ctx)
+	step := int(nc.MaxData())
 	total := 0
 	for total < len(p) {
 		end := total + step
@@ -330,7 +335,7 @@ func (f *File) writeAt(p []byte, off int64) (int, error) {
 		if at > math.MaxUint32 {
 			return total, fmt.Errorf("core: offset %d beyond NFSv2 range: %w", at, vfs.ErrFBig)
 		}
-		attr, err := f.c.nfs.Write(f.ctx, f.h, uint32(at), p[total:end])
+		attr, err := nc.Write(f.ctx, f.h, uint32(at), p[total:end])
 		if err != nil {
 			return total, f.c.wireError(err)
 		}
@@ -348,7 +353,7 @@ func (f *File) commitUncached() error {
 	if !f.wrote.Swap(false) {
 		return nil
 	}
-	if _, _, err := f.c.nfs.Commit(f.ctx, f.h); err != nil {
+	if _, _, err := f.sh.nfsc(f.ctx).Commit(f.ctx, f.h); err != nil {
 		// The barrier did not happen: re-arm so a retried Sync/Close
 		// issues the COMMIT again instead of reporting durability it
 		// never got.
@@ -375,7 +380,7 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	case io.SeekCurrent:
 		base = f.pos
 	case io.SeekEnd:
-		attr, err := f.c.nfs.GetAttr(f.ctx, f.h)
+		attr, err := f.sh.nfsc(f.ctx).GetAttr(f.ctx, f.h)
 		if err != nil {
 			return 0, f.c.wireError(err)
 		}
@@ -433,7 +438,7 @@ func (f *File) Truncate(size int64) error {
 	}
 	sa := nfs.NewSAttr()
 	sa.Size = uint32(size)
-	attr, err := f.c.nfs.SetAttr(f.ctx, f.h, sa)
+	attr, err := f.sh.nfsc(f.ctx).SetAttr(f.ctx, f.h, sa)
 	if err != nil {
 		return f.c.wireError(err)
 	}

@@ -1,0 +1,115 @@
+package fed
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := New(Spec{Grafts: map[string]int{"/a": 3}}); err == nil {
+		t.Fatal("graft to out-of-range shard accepted")
+	}
+	if _, err := New(Spec{Grafts: map[string]int{"/": 0}, Extra: []string{"x"}}); err == nil {
+		t.Fatal("root graft accepted")
+	}
+	if _, err := New(Spec{ShardSubtree: "/"}); err == nil {
+		t.Fatal("sharding the root accepted")
+	}
+	if _, err := New(Spec{
+		Extra:        []string{"x"},
+		Grafts:       map[string]int{"/archive": 1},
+		ShardSubtree: "/archive/data",
+	}); err == nil {
+		t.Fatal("shard subtree under a graft accepted")
+	}
+	tab, err := New(Spec{
+		Extra:        []string{"x", "y"},
+		Grafts:       map[string]int{"archive": 2, "/pub/mirror": 1},
+		ShardSubtree: "data/",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", tab.NumShards())
+	}
+	if got := tab.ShardSubtree(); got != "/data" {
+		t.Fatalf("ShardSubtree = %q, want /data", got)
+	}
+	if sh, ok := tab.Graft("/archive"); !ok || sh != 2 {
+		t.Fatalf("Graft(/archive) = %d,%v", sh, ok)
+	}
+	if _, ok := tab.Graft("/archive/sub"); ok {
+		t.Fatal("Graft matched a descendant of the graft point")
+	}
+	if !tab.Sharded("/data") || tab.Sharded("/data/x") || tab.Sharded("/") {
+		t.Fatal("Sharded predicate wrong")
+	}
+	if got := tab.GraftsUnder("/"); len(got) != 1 || got[0] != "archive" {
+		t.Fatalf("GraftsUnder(/) = %v", got)
+	}
+	if got := tab.GraftsUnder("/pub"); len(got) != 1 || got[0] != "mirror" {
+		t.Fatalf("GraftsUnder(/pub) = %v", got)
+	}
+}
+
+// TestRingDeterministicAndBalanced pins the two properties routing
+// relies on: Owner depends only on (shard count, name) so separate
+// processes agree on placement, and names spread roughly evenly.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	a, _ := New(Spec{Extra: []string{"b", "c"}})
+	b, _ := New(Spec{Extra: []string{"different", "addresses"}})
+	counts := make([]int, 3)
+	const names = 3000
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("file-%04d.dat", i)
+		sh := a.Owner(name)
+		if sh < 0 || sh >= 3 {
+			t.Fatalf("Owner(%s) = %d out of range", name, sh)
+		}
+		if b.Owner(name) != sh {
+			t.Fatalf("Owner(%s) differs between equal-sized rings", name)
+		}
+		counts[sh]++
+	}
+	for sh, n := range counts {
+		if n < names/3/2 || n > names/3*2 {
+			t.Fatalf("shard %d owns %d of %d names: ring badly unbalanced %v", sh, n, names, counts)
+		}
+	}
+}
+
+// TestRingStability: growing the ring by one shard must not reshuffle
+// the whole keyspace — consistent hashing moves only a minority of
+// names.
+func TestRingStability(t *testing.T) {
+	three, _ := New(Spec{Extra: []string{"b", "c"}})
+	four, _ := New(Spec{Extra: []string{"b", "c", "d"}})
+	moved := 0
+	const names = 3000
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("file-%04d.dat", i)
+		if three.Owner(name) != four.Owner(name) {
+			moved++
+		}
+	}
+	// Ideal is 1/4 of names; allow generous slack but far below a full
+	// reshuffle (which would move ~2/3).
+	if moved > names/2 {
+		t.Fatalf("adding one shard moved %d/%d names", moved, names)
+	}
+}
+
+func TestCleanPaths(t *testing.T) {
+	for in, want := range map[string]string{
+		"data":     "/data",
+		"/data/":   "/data",
+		"//a//b/.": "/a/b",
+		"/":        "/",
+		"":         "/",
+	} {
+		if got := Clean(in); got != want {
+			t.Errorf("Clean(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

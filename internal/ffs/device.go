@@ -46,6 +46,14 @@ type DiskModel struct {
 	SeekLatency time.Duration
 	// BytesPerSecond bounds transfer bandwidth; 0 means unlimited.
 	BytesPerSecond int64
+	// Exclusive serializes the modeled delay like one spindle: the
+	// device lock is held while the cost elapses, so concurrent
+	// accesses queue instead of overlapping their delays. Without it
+	// the model bounds per-access latency but not aggregate bandwidth —
+	// N goroutines extract N times BytesPerSecond. Scale-out
+	// experiments set it so a server's throughput is genuinely
+	// device-bound and adding servers adds real aggregate bandwidth.
+	Exclusive bool
 }
 
 // MemDevice is a RAM-backed block device with lazy allocation.
@@ -57,7 +65,18 @@ type MemDevice struct {
 	mu     sync.Mutex
 	blocks map[uint32][]byte
 	lastBn uint32
+	// debt accumulates Exclusive-mode delay not yet slept. Per-block
+	// delays at realistic bandwidths are tens of microseconds — far
+	// below what time.Sleep can honor accurately — so the model sleeps
+	// in coarser quanta and settles against the measured sleep time
+	// (overshoot carries forward as credit).
+	debt time.Duration
 }
+
+// exclusiveQuantum is the Exclusive-mode sleep granularity: large
+// enough that scheduler overshoot is a small relative error, small
+// enough that devices stay smoothly paced.
+const exclusiveQuantum = 2 * time.Millisecond
 
 // NewMemDevice creates a device with numBlocks blocks of blockSize bytes.
 func NewMemDevice(blockSize int, numBlocks uint32, model DiskModel) *MemDevice {
@@ -87,6 +106,17 @@ func (d *MemDevice) charge(bn uint32, n int) {
 		delay += time.Duration(int64(n) * int64(time.Second) / m.BytesPerSecond)
 	}
 	d.lastBn = bn
+	if m.Exclusive {
+		// Hold d.mu while the cost elapses: one access at a time, like
+		// one head. The sleep itself is batched through a debt account.
+		d.debt += delay
+		if d.debt >= exclusiveQuantum {
+			start := time.Now()
+			time.Sleep(d.debt)
+			d.debt -= time.Since(start)
+		}
+		return
+	}
 	if delay > 0 {
 		d.mu.Unlock()
 		time.Sleep(delay)

@@ -24,6 +24,51 @@ type Client struct {
 	// READDIRPLUS, so later bulk listings skip straight to the legacy
 	// READDIR + per-name LOOKUP fallback.
 	plusUnavail atomic.Bool
+	// shardTag is the federation shard id this connection belongs to,
+	// pre-shifted to the handle tag position (see ShardShift). Handles
+	// passed in carry the tag in Ino; it is stripped before encoding
+	// and re-applied after decoding, so the server only ever sees its
+	// own untagged inos. Zero (shard 0, or no federation) makes both
+	// transforms the identity. Set once at connection setup, before
+	// concurrent use.
+	shardTag uint64
+}
+
+// SetShard assigns the connection's federation shard id. Must be
+// called before the client is shared between goroutines.
+func (c *Client) SetShard(id int) { c.shardTag = uint64(id) << ShardShift }
+
+// WireFH returns h's on-the-wire form: the shard tag is verified
+// against this connection's shard and stripped. A handle tagged for a
+// different shard yields ErrXDev — the op was about to address the
+// wrong server, which under federation means a cross-shard operation.
+func (c *Client) WireFH(h vfs.Handle) ([FHSize]byte, error) {
+	if h.Ino&^MaxServerIno != c.shardTag {
+		return [FHSize]byte{}, &Error{Stat: ErrXDev}
+	}
+	return EncodeFH(vfs.Handle{Ino: h.Ino & MaxServerIno, Gen: h.Gen}), nil
+}
+
+// DecodeWireFH decodes a handle received from the server and applies
+// this connection's shard tag. A tagged connection refuses server inos
+// that would overflow into the tag space.
+func (c *Client) DecodeWireFH(raw []byte) (vfs.Handle, error) {
+	h, err := DecodeFH(raw)
+	if err != nil {
+		return vfs.Handle{}, err
+	}
+	return c.tagHandle(h)
+}
+
+func (c *Client) tagHandle(h vfs.Handle) (vfs.Handle, error) {
+	if c.shardTag == 0 {
+		return h, nil
+	}
+	if h.Ino > MaxServerIno {
+		return vfs.Handle{}, fmt.Errorf("nfs: server ino %#x overflows the federation tag space", h.Ino)
+	}
+	h.Ino |= c.shardTag
+	return h, nil
 }
 
 // NewClient wraps an RPC client. The connection starts at the v2
@@ -99,7 +144,7 @@ func (c *Client) Mount(ctx context.Context, dirpath string) (vfs.Handle, error) 
 	if d.Err() != nil {
 		return vfs.Handle{}, d.Err()
 	}
-	return DecodeFH(raw)
+	return c.DecodeWireFH(raw)
 }
 
 // Unmount issues MOUNTPROC_UMNT.
@@ -183,12 +228,12 @@ func decodeAttr(d *xdr.Decoder, h vfs.Handle) (vfs.Attr, FAttr, error) {
 }
 
 // decodeDiropres reads (fhandle, fattr).
-func decodeDiropres(d *xdr.Decoder) (vfs.Attr, error) {
+func (c *Client) decodeDiropres(d *xdr.Decoder) (vfs.Attr, error) {
 	raw := d.OpaqueFixed(FHSize)
 	if err := d.Err(); err != nil {
 		return vfs.Attr{}, err
 	}
-	h, err := DecodeFH(raw)
+	h, err := c.DecodeWireFH(raw)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
@@ -199,7 +244,10 @@ func decodeDiropres(d *xdr.Decoder) (vfs.Attr, error) {
 // GetAttr issues GETATTR.
 func (c *Client) GetAttr(ctx context.Context, h vfs.Handle) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(h)
+	fh, err := c.WireFH(h)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	d, err := c.call(ctx, ProcGetattr, e.Bytes())
 	if err != nil {
@@ -213,7 +261,10 @@ func (c *Client) GetAttr(ctx context.Context, h vfs.Handle) (vfs.Attr, error) {
 // SetAttr issues SETATTR.
 func (c *Client) SetAttr(ctx context.Context, h vfs.Handle, sa SAttr) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(h)
+	fh, err := c.WireFH(h)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	sa.Encode(e)
 	d, err := c.call(ctx, ProcSetattr, e.Bytes())
@@ -228,7 +279,10 @@ func (c *Client) SetAttr(ctx context.Context, h vfs.Handle, sa SAttr) (vfs.Attr,
 // Lookup issues LOOKUP.
 func (c *Client) Lookup(ctx context.Context, dir vfs.Handle, name string) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(dir)
+	fh, err := c.WireFH(dir)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	e.String(name)
 	d, err := c.call(ctx, ProcLookup, e.Bytes())
@@ -236,13 +290,16 @@ func (c *Client) Lookup(ctx context.Context, dir vfs.Handle, name string) (vfs.A
 		return vfs.Attr{}, err
 	}
 	defer recycleReply(d)
-	return decodeDiropres(d)
+	return c.decodeDiropres(d)
 }
 
 // Readlink issues READLINK.
 func (c *Client) Readlink(ctx context.Context, h vfs.Handle) (string, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(h)
+	fh, err := c.WireFH(h)
+	if err != nil {
+		return "", err
+	}
 	e.OpaqueFixed(fh[:])
 	d, err := c.call(ctx, ProcReadlink, e.Bytes())
 	if err != nil {
@@ -262,7 +319,10 @@ func (c *Client) Read(ctx context.Context, h vfs.Handle, offset uint32, count ui
 		count = max
 	}
 	e := xdr.NewEncoder()
-	fh := EncodeFH(h)
+	fh, err := c.WireFH(h)
+	if err != nil {
+		return nil, vfs.Attr{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	e.Uint32(offset)
 	e.Uint32(count)
@@ -294,7 +354,10 @@ func (c *Client) ReadInto(ctx context.Context, h vfs.Handle, offset uint32, dst 
 		count = max
 	}
 	e := xdr.NewEncoder()
-	fh := EncodeFH(h)
+	fh, err := c.WireFH(h)
+	if err != nil {
+		return 0, vfs.Attr{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	e.Uint32(offset)
 	e.Uint32(count)
@@ -320,8 +383,11 @@ func (c *Client) ReadInto(ctx context.Context, h vfs.Handle, offset uint32, dst 
 // is encoded directly into the outgoing record — one copy between the
 // caller's buffer and the wire.
 func (c *Client) Write(ctx context.Context, h vfs.Handle, offset uint32, data []byte) (vfs.Attr, error) {
+	fh, err := c.WireFH(h)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
 	d, err := c.rpc.CallAppend(ctx, Prog, Vers, ProcWrite, len(data)+64, func(e *xdr.Encoder) {
-		fh := EncodeFH(h)
 		e.OpaqueFixed(fh[:])
 		e.Uint32(0) // beginoffset
 		e.Uint32(offset)
@@ -350,7 +416,10 @@ func (c *Client) Write(ctx context.Context, h vfs.Handle, offset uint32, data []
 // caller must replay.
 func (c *Client) Commit(ctx context.Context, h vfs.Handle) (vfs.Attr, uint64, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(h)
+	fh, err := c.WireFH(h)
+	if err != nil {
+		return vfs.Attr{}, 0, err
+	}
 	e.OpaqueFixed(fh[:])
 	e.Uint32(0) // offset: whole file
 	e.Uint32(0) // count: whole file
@@ -370,7 +439,10 @@ func (c *Client) Commit(ctx context.Context, h vfs.Handle) (vfs.Attr, uint64, er
 // Create issues CREATE.
 func (c *Client) Create(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(dir)
+	fh, err := c.WireFH(dir)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	e.String(name)
 	sa := NewSAttr()
@@ -381,13 +453,16 @@ func (c *Client) Create(ctx context.Context, dir vfs.Handle, name string, mode u
 		return vfs.Attr{}, err
 	}
 	defer recycleReply(d)
-	return decodeDiropres(d)
+	return c.decodeDiropres(d)
 }
 
 // Remove issues REMOVE.
 func (c *Client) Remove(ctx context.Context, dir vfs.Handle, name string) error {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(dir)
+	fh, err := c.WireFH(dir)
+	if err != nil {
+		return err
+	}
 	e.OpaqueFixed(fh[:])
 	e.String(name)
 	d, err := c.call(ctx, ProcRemove, e.Bytes())
@@ -395,13 +470,21 @@ func (c *Client) Remove(ctx context.Context, dir vfs.Handle, name string) error 
 	return err
 }
 
-// Rename issues RENAME.
+// Rename issues RENAME. Under federation a source and destination on
+// different shards cannot be renamed atomically: the mismatched handle
+// tag surfaces as ErrXDev before anything reaches the wire.
 func (c *Client) Rename(ctx context.Context, fromDir vfs.Handle, fromName string, toDir vfs.Handle, toName string) error {
 	e := xdr.NewEncoder()
-	f1 := EncodeFH(fromDir)
+	f1, err := c.WireFH(fromDir)
+	if err != nil {
+		return err
+	}
 	e.OpaqueFixed(f1[:])
 	e.String(fromName)
-	f2 := EncodeFH(toDir)
+	f2, err := c.WireFH(toDir)
+	if err != nil {
+		return err
+	}
 	e.OpaqueFixed(f2[:])
 	e.String(toName)
 	d, err := c.call(ctx, ProcRename, e.Bytes())
@@ -412,9 +495,15 @@ func (c *Client) Rename(ctx context.Context, fromDir vfs.Handle, fromName string
 // Link issues LINK.
 func (c *Client) Link(ctx context.Context, target vfs.Handle, dir vfs.Handle, name string) error {
 	e := xdr.NewEncoder()
-	ft := EncodeFH(target)
+	ft, err := c.WireFH(target)
+	if err != nil {
+		return err
+	}
 	e.OpaqueFixed(ft[:])
-	fd := EncodeFH(dir)
+	fd, err := c.WireFH(dir)
+	if err != nil {
+		return err
+	}
 	e.OpaqueFixed(fd[:])
 	e.String(name)
 	d, err := c.call(ctx, ProcLink, e.Bytes())
@@ -425,7 +514,10 @@ func (c *Client) Link(ctx context.Context, target vfs.Handle, dir vfs.Handle, na
 // Symlink issues SYMLINK.
 func (c *Client) Symlink(ctx context.Context, dir vfs.Handle, name, target string, mode uint32) error {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(dir)
+	fh, err := c.WireFH(dir)
+	if err != nil {
+		return err
+	}
 	e.OpaqueFixed(fh[:])
 	e.String(name)
 	e.String(target)
@@ -440,7 +532,10 @@ func (c *Client) Symlink(ctx context.Context, dir vfs.Handle, name, target strin
 // Mkdir issues MKDIR.
 func (c *Client) Mkdir(ctx context.Context, dir vfs.Handle, name string, mode uint32) (vfs.Attr, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(dir)
+	fh, err := c.WireFH(dir)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	e.String(name)
 	sa := NewSAttr()
@@ -451,13 +546,16 @@ func (c *Client) Mkdir(ctx context.Context, dir vfs.Handle, name string, mode ui
 		return vfs.Attr{}, err
 	}
 	defer recycleReply(d)
-	return decodeDiropres(d)
+	return c.decodeDiropres(d)
 }
 
 // Rmdir issues RMDIR.
 func (c *Client) Rmdir(ctx context.Context, dir vfs.Handle, name string) error {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(dir)
+	fh, err := c.WireFH(dir)
+	if err != nil {
+		return err
+	}
 	e.OpaqueFixed(fh[:])
 	e.String(name)
 	d, err := c.call(ctx, ProcRmdir, e.Bytes())
@@ -468,7 +566,10 @@ func (c *Client) Rmdir(ctx context.Context, dir vfs.Handle, name string) error {
 // ReadDirPage issues one READDIR call from cookie.
 func (c *Client) ReadDirPage(ctx context.Context, dir vfs.Handle, cookie, count uint32) ([]DirEntry, bool, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(dir)
+	fh, err := c.WireFH(dir)
+	if err != nil {
+		return nil, false, err
+	}
 	e.OpaqueFixed(fh[:])
 	e.Uint32(cookie)
 	e.Uint32(count)
@@ -564,7 +665,10 @@ type ReadDirPlusPage struct {
 // longer holds the walk's cursor: restart from 0.
 func (c *Client) ReadDirPlus(ctx context.Context, dir vfs.Handle, verf, cookie uint64, count uint32) (ReadDirPlusPage, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(dir)
+	fh, err := c.WireFH(dir)
+	if err != nil {
+		return ReadDirPlusPage{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	e.Uint64(verf)
 	e.Uint64(cookie)
@@ -592,7 +696,7 @@ func (c *Client) ReadDirPlus(ctx context.Context, dir vfs.Handle, verf, cookie u
 			if err := d.Err(); err != nil {
 				return pg, err
 			}
-			h, err := DecodeFH(raw)
+			h, err := c.DecodeWireFH(raw)
 			if err != nil {
 				return pg, err
 			}
@@ -712,7 +816,10 @@ type LookupPlusResult struct {
 // PROC_UNAVAIL (see isProcUnavail); callers fall back to Lookup.
 func (c *Client) LookupPlus(ctx context.Context, dir vfs.Handle, name string) (LookupPlusResult, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(dir)
+	fh, err := c.WireFH(dir)
+	if err != nil {
+		return LookupPlusResult{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	e.String(name)
 	d, err := c.rpc.Call(ctx, Prog, Vers, ProcLookupPlus, e.Bytes())
@@ -745,7 +852,7 @@ func (c *Client) LookupPlus(ctx context.Context, dir vfs.Handle, name string) (L
 	if err := d.Err(); err != nil {
 		return LookupPlusResult{}, err
 	}
-	h, err := DecodeFH(raw)
+	h, err := c.DecodeWireFH(raw)
 	if err != nil {
 		return LookupPlusResult{}, err
 	}
@@ -770,7 +877,10 @@ type StatFSResult struct {
 // StatFS issues STATFS.
 func (c *Client) StatFS(ctx context.Context, h vfs.Handle) (StatFSResult, error) {
 	e := xdr.NewEncoder()
-	fh := EncodeFH(h)
+	fh, err := c.WireFH(h)
+	if err != nil {
+		return StatFSResult{}, err
+	}
 	e.OpaqueFixed(fh[:])
 	d, err := c.call(ctx, ProcStatfs, e.Bytes())
 	if err != nil {

@@ -149,6 +149,14 @@ const (
 // surface a generic error rather than misreading a v2 code.
 const ErrTryLater Stat = 10008
 
+// ErrXDev reports a cross-device operation: under federation, a RENAME
+// or LINK whose two handles live on different shards (servers) cannot
+// be performed atomically and is rejected client-side before anything
+// touches the wire. The value matches NFS3ERR_XDEV (and errno EXDEV);
+// no NFSv2 code collides with it. Servers never emit it — a single
+// server is a single device.
+const ErrXDev Stat = 18
+
 // ErrBadCookie is a protocol extension paired with ProcReaddirPlus: the
 // cookie verifier no longer names a live directory cursor (evicted from
 // the server's bounded snapshot LRU, or issued before a restart), so
@@ -188,6 +196,8 @@ func (s Stat) String() string {
 		return "quota exceeded"
 	case ErrStale:
 		return "stale file handle"
+	case ErrXDev:
+		return "cross-shard operation"
 	case ErrTryLater:
 		return "request throttled, try again later"
 	case ErrBadCookie:
@@ -289,6 +299,33 @@ const (
 	MaxPath = 1024
 	MaxName = 255
 )
+
+// Federation shard tags. A federated client stamps the shard id of the
+// owning server into the top byte of every handle's inode number, so
+// any operation on the handle routes to the right server without a
+// table lookup. The tag exists only inside the client process: it is
+// stripped before a handle is encoded onto the wire and applied as
+// handles are decoded off it, so servers — including pre-federation
+// ones — only ever see untagged inos. Shard 0's tag is zero, making
+// the transform the identity for a single-server (legacy) deployment:
+// a fed-aware client against a stock server leaks no prefix bytes.
+const (
+	// ShardShift is the bit position of the shard tag within Ino.
+	ShardShift = 56
+	// MaxServerIno bounds server-assigned inode numbers; anything
+	// larger would collide with the tag space. FFS inode numbers are
+	// dense small integers, far below this.
+	MaxServerIno = uint64(1)<<ShardShift - 1
+)
+
+// TagIno stamps a shard id into an untagged inode number.
+func TagIno(shard int, ino uint64) uint64 { return ino | uint64(shard)<<ShardShift }
+
+// UntagIno strips the shard tag from an inode number.
+func UntagIno(ino uint64) uint64 { return ino & MaxServerIno }
+
+// ShardOfIno extracts the shard id from a (possibly tagged) inode.
+func ShardOfIno(ino uint64) int { return int(ino >> ShardShift) }
 
 // fhMagic distinguishes handles minted by this server.
 var fhMagic = [4]byte{'D', 'F', 'S', '2'}

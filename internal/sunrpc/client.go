@@ -19,10 +19,11 @@ type Client struct {
 	conn io.ReadWriteCloser
 
 	wmu  sync.Mutex // serializes record writes
-	mu   sync.Mutex // guards xid, pending, err
+	mu   sync.Mutex // guards xid, pending, err, obs
 	xid  uint32
 	pend map[uint32]chan clientReply
 	err  error // sticky connection failure
+	obs  func(d time.Duration, err error)
 }
 
 type clientReply struct {
@@ -44,6 +45,33 @@ func NewClient(conn io.ReadWriteCloser) *Client {
 
 // Close tears down the connection; outstanding calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Broken reports whether the connection has failed: once the read loop
+// or a write poisons the client, every further call returns the sticky
+// error, so the owner should redial rather than retry.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+// SetObserver installs a per-call hook invoked with each call's
+// duration and outcome (nil on success). Used for per-connection
+// request/latency metrics; pass nil to disable.
+func (c *Client) SetObserver(obs func(d time.Duration, err error)) {
+	c.mu.Lock()
+	c.obs = obs
+	c.mu.Unlock()
+}
+
+func (c *Client) observe(start time.Time, err error) {
+	c.mu.Lock()
+	obs := c.obs
+	c.mu.Unlock()
+	if obs != nil {
+		obs(time.Since(start), err)
+	}
+}
 
 func (c *Client) readLoop() {
 	br := bufio.NewReaderSize(c.conn, 64<<10)
@@ -106,6 +134,13 @@ func (c *Client) Call(ctx context.Context, prog, vers, proc uint32, args []byte)
 // payloads (a WRITE's data is copied exactly once, into the wire
 // record). sizeHint presizes the record buffer (0 is fine).
 func (c *Client) CallAppend(ctx context.Context, prog, vers, proc uint32, sizeHint int, encodeArgs func(*xdr.Encoder)) (*xdr.Decoder, error) {
+	start := time.Now()
+	d, err := c.callAppend(ctx, prog, vers, proc, sizeHint, encodeArgs)
+	c.observe(start, err)
+	return d, err
+}
+
+func (c *Client) callAppend(ctx context.Context, prog, vers, proc uint32, sizeHint int, encodeArgs func(*xdr.Encoder)) (*xdr.Decoder, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -222,6 +222,29 @@ func WithMaxTransfer(n int) ClientOption { return core.WithMaxTransfer(n) }
 // see remote changes sooner at the cost of more metadata RPCs.
 func WithNameCacheTTL(d time.Duration) ClientOption { return core.WithNameCacheTTL(d) }
 
+// WithServers federates the namespace across additional servers: the
+// dialed address is shard 0 (the primary, exporting the logical root)
+// and each address here becomes the next shard. Partition the
+// namespace with WithShardSubtree and WithGraft. The same identity and
+// credential chain are presented to every shard — KeyNote credentials
+// are self-certifying, so authority (and revocation) spans servers
+// with no shared session state between them.
+func WithServers(addrs ...string) ClientOption { return core.WithServers(addrs...) }
+
+// WithShardSubtree spreads the children of one directory across all
+// shards by consistent hashing of the child name. Every shard must
+// export the same directory path; a child lives on the shard its name
+// hashes to, and listing the directory merges all shards. With a
+// single server this is the identity configuration and changes nothing
+// on the wire.
+func WithShardSubtree(path string) ClientOption { return core.WithShardSubtree(path) }
+
+// WithGraft statically binds an absolute path to a shard, mount-style:
+// the path resolves to that shard's exported root and everything
+// beneath it lives there. The shard index counts the primary as 0 and
+// the WithServers addresses as 1..N; grafting to 0 is rejected.
+func WithGraft(path string, shard int) ClientOption { return core.WithGraft(path, shard) }
+
 // DefaultMaxTransfer is the default negotiated transfer size (bytes).
 const DefaultMaxTransfer = nfs.DefaultMaxTransfer
 
