@@ -240,6 +240,9 @@ func runSoak(dur time.Duration, workers int, hotRPS float64) {
 	fmt.Printf("  /metrics scrape:      %10d bytes mid-run\n", res.ScrapeLen)
 	fmt.Printf("  audit dropped:        %10d (leak gate)\n", res.AuditDropped)
 	fmt.Printf("  bufpool outstanding:  %10d (leak gate)\n", res.BufpoolOutstanding)
+	fmt.Printf("  fed victims fenced:   %10d on every server via the feed\n", res.FedRevoked)
+	fmt.Printf("  feed propagated:      %10d entries pushed to peers\n", res.FeedPropagated)
+	fmt.Printf("  feed lag:             %10d unacked at drain (convergence gate)\n", res.FeedLag)
 	if res.DrainErr != "" {
 		check(fmt.Errorf("soak: %s", res.DrainErr))
 	}
@@ -257,6 +260,9 @@ func runSoak(dur time.Duration, workers int, hotRPS float64) {
 		{Name: "scrape_bytes", Value: float64(res.ScrapeLen)},
 		{Name: "audit_dropped", Value: float64(res.AuditDropped)},
 		{Name: "bufpool_outstanding", Value: float64(res.BufpoolOutstanding)},
+		{Name: "fed_revoked", Value: float64(res.FedRevoked)},
+		{Name: "revocations_propagated", Value: float64(res.FeedPropagated)},
+		{Name: "feed_lag", Value: float64(res.FeedLag)},
 	})
 }
 

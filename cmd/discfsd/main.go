@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"discfs"
+	"discfs/internal/fed"
 	"discfs/internal/metrics"
 )
 
@@ -48,6 +49,8 @@ func main() {
 		limitInfl    = flag.Int("limit-inflight", 0, "per-principal in-flight request cap (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: how long in-flight calls may finish on SIGTERM")
 		fedSubtree   = flag.String("fed-subtree", "", "federation: pre-create this directory path at startup (every shard of a federated deployment must export the shard subtree; see the client's WithShardSubtree)")
+		fedPeers     = flag.String("fed-peers", "", "federation: comma-separated peer server addresses for the server-to-server revocation feed (each peer must accept this server's key as an administrator; see -admins)")
+		admins       = flag.String("admins", "", "comma-separated additional administrator principals (grant peer server keys admin so their revocation-feed pushes are accepted)")
 	)
 	flag.Parse()
 
@@ -125,6 +128,22 @@ func main() {
 	}
 	if *limitRPS > 0 || *limitInfl > 0 {
 		opts = append(opts, discfs.WithServerLimits(*limitRPS, 0, *limitInfl))
+	}
+	if *fedPeers != "" {
+		peers, err := fed.ParsePeers(*fedPeers)
+		if err != nil {
+			log.Fatalf("discfsd: -fed-peers: %v", err)
+		}
+		opts = append(opts, discfs.WithServerPeers(peers...))
+	}
+	if *admins != "" {
+		var ps []discfs.Principal
+		for _, p := range strings.Split(*admins, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				ps = append(ps, discfs.Principal(p))
+			}
+		}
+		opts = append(opts, discfs.WithAdmins(ps...))
 	}
 
 	srv, err := discfs.NewServer(key, opts...)

@@ -41,4 +41,16 @@ var (
 	// (the EXDEV contract at a mount boundary) and callers fall back to
 	// copy-and-delete.
 	ErrXDev = core.ErrXDev
+	// ErrPartialFence reports a revocation fan-out that could not
+	// confirm on every shard: the reachable shards applied it (and the
+	// server-to-server revocation feed converges the rest), but the
+	// shards named in the PartialFenceError did not confirm. Match with
+	// errors.Is; errors.As a *PartialFenceError for per-shard detail.
+	ErrPartialFence = core.ErrPartialFence
 )
+
+// PartialFenceError carries per-shard fence status for a RevokeKey or
+// RevokeCredential that could not confirm on every shard: the addresses
+// that applied the revocation, the addresses that did not, and the
+// per-shard errors.
+type PartialFenceError = core.PartialFenceError

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -78,6 +79,14 @@ type SoakResult struct {
 	AuditDropped        uint64 `json:"audit_dropped"`       // leak gate: must be 0
 	BufpoolOutstanding  int64  `json:"bufpool_outstanding"` // leak gate: must be 0 after teardown
 	DrainErr            string `json:"drain_err,omitempty"`
+
+	// Federated revocation churn phase: a 3-server feed mesh where every
+	// revocation is applied on one server and must reach the other two
+	// through the revocation feed while victims churn sessions against
+	// those lagging servers.
+	FedRevoked     int    `json:"fed_revoked"`            // victims fenced on every server
+	FeedPropagated uint64 `json:"revocations_propagated"` // feed entries pushed to peers, summed: must be > 0
+	FeedLag        uint64 `json:"feed_lag"`               // unacked feed entries at the end, summed: must be 0
 }
 
 // RunSoak builds a server, runs the churn, and tears everything down.
@@ -194,7 +203,11 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 			for iter := 0; time.Now().Before(deadline); iter++ {
 				c, err := core.Dial(ctx, addr, key)
 				if err != nil {
-					if victim && revoked.Load() && errors.Is(err, core.ErrRevoked) {
+					// Once revoked, any dial failure is expected: usually
+					// ErrRevoked from the handshake, but a fence that cuts
+					// the connection mid-negotiate surfaces as a bare
+					// transport error.
+					if victim && revoked.Load() {
 						revokedErrs.Add(1)
 						time.Sleep(10 * time.Millisecond)
 						continue
@@ -297,6 +310,13 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 		drainErr = scrapeErr
 	}
 
+	// Federated revocation churn, after the single-server drain but
+	// before the bufpool gate is sampled so a leak here fails CI too.
+	fed, fedErr := runFedRevocationChurn(logf)
+	if fedErr != nil && drainErr == nil {
+		drainErr = fedErr
+	}
+
 	res := &SoakResult{
 		Duration:            opts.Duration.Seconds(),
 		Workers:             opts.Workers,
@@ -316,6 +336,9 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 		ServerThrottledConc: conc,
 		AuditDropped:        st.AuditDropped,
 		BufpoolOutstanding:  bufpool.Outstanding() - bufBase,
+		FedRevoked:          fed.revoked,
+		FeedPropagated:      fed.propagated,
+		FeedLag:             fed.lag,
 	}
 	if drainErr != nil {
 		res.DrainErr = drainErr.Error()
@@ -324,4 +347,203 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 		res.ErrSample = s
 	}
 	return res, nil
+}
+
+// fedChurnStats is what the federated revocation phase reports back.
+type fedChurnStats struct {
+	revoked    int    // victims fenced on every server
+	propagated uint64 // feed entries pushed to peers, summed across servers
+	lag        uint64 // unacked feed entries at the end, summed
+}
+
+// runFedRevocationChurn exercises the server-to-server revocation feed
+// under load: three servers in a full feed mesh, a dozen victim
+// principals churning sessions against servers 1 and 2, and an admin
+// connected only to server 0 revoking every victim. The revocations
+// must ride the feed to the other two servers, cut the victims there,
+// and leave the feed fully acknowledged (lag 0) — the soak's
+// convergence gate.
+func runFedRevocationChurn(logf func(format string, args ...any)) (fedChurnStats, error) {
+	const (
+		nServers = 3
+		nVictims = 12
+		deadline = 15 * time.Second
+	)
+	var stats fedChurnStats
+	ctx := context.Background()
+
+	// Pre-listen so every server knows its peers' addresses up front.
+	lns := make([]net.Listener, nServers)
+	addrs := make([]string, nServers)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return stats, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	// One shared server key: each server automatically accepts its
+	// peers' feed connections as admin, the same deployment shape the
+	// -fed-peers flag documents.
+	adminKey := keynote.DeterministicKey("soak-fed-admin")
+	srvs := make([]*core.Server, 0, nServers)
+	defer func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}()
+	victims := make([]*keynote.KeyPair, nVictims)
+	for i := range victims {
+		victims[i] = keynote.DeterministicKey(fmt.Sprintf("soak-fed-victim-%d", i))
+	}
+	for i := 0; i < nServers; i++ {
+		backing, err := ffs.New(ffs.Config{BlockSize: 8192, NumBlocks: 1 << 14})
+		if err != nil {
+			return stats, err
+		}
+		ne, err := cfs.New(backing, "", false)
+		if err != nil {
+			return stats, err
+		}
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		srv, err := core.NewServer(core.ServerConfig{
+			Backing:   ne,
+			ServerKey: adminKey,
+			Peers:     peers,
+		})
+		if err != nil {
+			return stats, err
+		}
+		srvs = append(srvs, srv)
+		for _, v := range victims {
+			if _, err := srv.IssueCredential(v.Principal, ne.Root().Ino, "RWX", "fed soak victim"); err != nil {
+				return stats, err
+			}
+		}
+		go srv.Serve(lns[i])
+	}
+	logf("soak: fed revocation churn across %v", addrs)
+
+	// Victims churn sessions against the servers that will only learn
+	// of their revocation through the feed. A goroutine exits once its
+	// server refuses it with ErrRevoked.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var churnErrs atomic.Uint64
+	for _, v := range victims {
+		for _, si := range []int{1, 2} {
+			wg.Add(1)
+			go func(key *keynote.KeyPair, addr string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c, err := core.Dial(ctx, addr, key)
+					if err != nil {
+						if errors.Is(err, core.ErrRevoked) {
+							return // fenced: done
+						}
+						churnErrs.Add(1)
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					for {
+						if _, err := c.List(ctx, "/"); err != nil {
+							break // cut or revoked: redial decides which
+						}
+						select {
+						case <-stop:
+							c.Close()
+							return
+						default:
+						}
+						time.Sleep(time.Millisecond)
+					}
+					c.Close()
+				}
+			}(v, addrs[si])
+		}
+	}
+
+	// The admin talks to server 0 only; everything else is the feed's
+	// problem.
+	revokeAll := func() error {
+		admin, err := core.Dial(ctx, addrs[0], adminKey)
+		if err != nil {
+			return fmt.Errorf("fed churn: admin dial: %w", err)
+		}
+		defer admin.Close()
+		for _, v := range victims {
+			if _, err := admin.RevokeKey(ctx, v.Principal); err != nil {
+				return fmt.Errorf("fed churn: revoke %s: %w", v.Principal, err)
+			}
+		}
+		return nil
+	}
+	err := revokeAll()
+
+	if err == nil {
+		// Convergence: every server must fence every victim, then the
+		// feed must drain to zero unacknowledged entries.
+		limit := time.Now().Add(deadline)
+		for time.Now().Before(limit) {
+			n := 0
+			for _, v := range victims {
+				all := true
+				for _, srv := range srvs {
+					if !srv.Session().Revoked(v.Principal) {
+						all = false
+						break
+					}
+				}
+				if all {
+					n++
+				}
+			}
+			stats.revoked = n
+			if n == nVictims {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if stats.revoked != nVictims {
+			err = fmt.Errorf("fed churn: only %d/%d victims fenced on every server within %v",
+				stats.revoked, nVictims, deadline)
+		}
+		for time.Now().Before(limit) {
+			var lag uint64
+			for _, srv := range srvs {
+				l, _, _ := srv.RevocationFeed()
+				lag += l
+			}
+			stats.lag = lag
+			if lag == 0 {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err == nil && stats.lag != 0 {
+			err = fmt.Errorf("fed churn: feed lag still %d after %v", stats.lag, deadline)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	for _, srv := range srvs {
+		_, p, _ := srv.RevocationFeed()
+		stats.propagated += p
+	}
+	logf("soak: fed churn: %d/%d victims fenced, %d feed entries propagated, lag %d, %d transient churn errors",
+		stats.revoked, nVictims, stats.propagated, stats.lag, churnErrs.Load())
+	return stats, err
 }

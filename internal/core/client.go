@@ -425,66 +425,130 @@ func (c *Client) MkdirWithCredential(ctx context.Context, dir vfs.Handle, name s
 	return c.createLike(ctx, ExtMkdirCred, dir, name, mode)
 }
 
-// RevokeKey asks every shard to revoke a principal (administrators
-// only) — revocation, like authority, must span the federation. It
-// returns the total number of credentials dropped.
-func (c *Client) RevokeKey(ctx context.Context, target keynote.Principal) (int, error) {
-	total := 0
-	for _, sh := range c.shards {
-		e := xdr.NewEncoder()
-		e.String(string(target))
-		d, err := sh.live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtRevokeKey, e.Bytes())
-		if err != nil {
-			return total, err
-		}
-		status := d.Uint32()
-		n := d.Uint32()
-		err = d.Err()
-		nfs.RecycleReply(d)
-		if err != nil {
-			return total, err
-		}
-		if status == extNotAdmin {
-			return total, ErrNotAdmin
-		}
-		total += int(n)
+// revokeOn runs one shard's leg of a revocation fan-out and returns the
+// count/found word of its reply.
+func (c *Client) revokeOn(ctx context.Context, sh *shard, proc uint32, arg string) (uint32, error) {
+	e := xdr.NewEncoder()
+	e.String(arg)
+	d, err := sh.live(ctx).rpc.Call(ctx, ExtProg, ExtVers, proc, e.Bytes())
+	if err != nil {
+		return 0, c.wireError(err)
 	}
-	return total, nil
+	status := d.Uint32()
+	n := d.Uint32()
+	err = d.Err()
+	nfs.RecycleReply(d)
+	if err != nil {
+		return 0, err
+	}
+	if status == extNotAdmin {
+		return 0, ErrNotAdmin
+	}
+	return n, nil
+}
+
+// fenceFanout visits every shard with a revocation procedure —
+// continuing past per-shard errors, never aborting early — and
+// aggregates the replies. When any shard could not confirm, it returns
+// a *PartialFenceError naming the unfenced shard addresses (unless
+// every shard refused with ErrNotAdmin, which is reported as plain
+// ErrNotAdmin). The fan-out is a hint for latency: servers configured
+// with revocation-feed peers replicate the entry to the shards this
+// client could not reach.
+func (c *Client) fenceFanout(ctx context.Context, proc uint32, arg string) (uint32, error) {
+	var agg uint32
+	var pf PartialFenceError
+	notAdmin := 0
+	for _, sh := range c.shards {
+		n, err := c.revokeOn(ctx, sh, proc, arg)
+		if err != nil {
+			if errors.Is(err, ErrNotAdmin) {
+				notAdmin++
+			}
+			pf.Unfenced = append(pf.Unfenced, sh.addr)
+			pf.Errs = append(pf.Errs, fmt.Errorf("shard %d (%s): %w", sh.id, sh.addr, err))
+			continue
+		}
+		pf.Fenced = append(pf.Fenced, sh.addr)
+		agg += n
+	}
+	if len(pf.Errs) == 0 {
+		return agg, nil
+	}
+	if notAdmin == len(c.shards) {
+		return agg, ErrNotAdmin
+	}
+	return agg, &pf
+}
+
+// RevokeKey asks every shard to revoke a principal (administrators
+// only) — revocation, like authority, must span the federation. Every
+// shard is visited even when some fail; the total number of credentials
+// dropped on the shards that confirmed is returned alongside a
+// *PartialFenceError (errors.Is(err, ErrPartialFence)) naming any shard
+// that did not. Unfenced shards converge through the server-to-server
+// revocation feed when the federation is configured with peers, but
+// until then the admin must treat them as open.
+func (c *Client) RevokeKey(ctx context.Context, target keynote.Principal) (int, error) {
+	n, err := c.fenceFanout(ctx, ExtRevokeKey, string(target))
+	return int(n), err
 }
 
 // RevokeCredential revokes one credential by its signature value on
-// every shard (administrators only). It reports whether any shard held
-// the credential.
+// every shard (administrators only). It reports whether any confirming
+// shard held the credential; per-shard failures aggregate into a
+// *PartialFenceError exactly as with RevokeKey.
 func (c *Client) RevokeCredential(ctx context.Context, signatureValue string) (bool, error) {
-	found := false
-	for _, sh := range c.shards {
-		e := xdr.NewEncoder()
-		e.String(signatureValue)
-		d, err := sh.live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtRevokeCred, e.Bytes())
-		if err != nil {
-			return found, err
-		}
-		status := d.Uint32()
-		f := d.Bool()
-		err = d.Err()
-		nfs.RecycleReply(d)
-		if err != nil {
-			return found, err
-		}
-		if status == extNotAdmin {
-			return found, ErrNotAdmin
-		}
-		found = found || f
-	}
-	return found, nil
+	n, err := c.fenceFanout(ctx, ExtRevokeCred, signatureValue)
+	return n != 0, err
 }
 
-// ListCredentials returns the text of every credential in the primary
-// server's session (administrators only).
+// ListCredentials returns the text of every credential in the
+// federation, merged across all shards and deduplicated by signature
+// value (administrators only) — the view an admin audits to see what
+// the revocation feed actually converged. Any unreachable shard fails
+// the listing, wrapped with the shard address, so a partial audit is
+// never mistaken for a complete one.
 func (c *Client) ListCredentials(ctx context.Context) ([]string, error) {
-	d, err := c.primary().live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtListCreds, nil)
+	seen := make(map[string]bool)
+	var out []string
+	for _, sh := range c.shards {
+		texts, err := c.listCredentialsOn(ctx, sh)
+		if err != nil {
+			if errors.Is(err, ErrNotAdmin) {
+				return nil, err
+			}
+			return nil, fmt.Errorf("shard %d (%s): %w", sh.id, sh.addr, err)
+		}
+		for _, text := range texts {
+			key := text
+			if as, perr := keynote.ParseAssertions(text); perr == nil && len(as) == 1 && as[0].SignatureValue != "" {
+				key = as[0].SignatureValue
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, text)
+		}
+	}
+	return out, nil
+}
+
+// ListCredentialsOn lists one shard's session credentials by shard
+// index (administrators only) — the per-shard view for auditing how a
+// specific server's session differs from the federation's merged set.
+func (c *Client) ListCredentialsOn(ctx context.Context, shard int) ([]string, error) {
+	if shard < 0 || shard >= len(c.shards) {
+		return nil, fmt.Errorf("discfs: no shard %d", shard)
+	}
+	return c.listCredentialsOn(ctx, c.shards[shard])
+}
+
+func (c *Client) listCredentialsOn(ctx context.Context, sh *shard) ([]string, error) {
+	d, err := sh.live(ctx).rpc.Call(ctx, ExtProg, ExtVers, ExtListCreds, nil)
 	if err != nil {
-		return nil, err
+		return nil, c.wireError(err)
 	}
 	defer nfs.RecycleReply(d)
 	status := d.Uint32()
@@ -841,6 +905,29 @@ type walkEnt struct {
 	parent vfs.Handle
 }
 
+// shardDenied reports errors on which a merged walk drops the shard's
+// contribution instead of failing: the shard denied access, or this
+// identity has been revoked there (the server cuts a revoked
+// principal's connections, and the redial's poisoned link surfaces
+// ErrRevoked).
+func shardDenied(err error) bool {
+	return nfs.StatOf(err) == nfs.ErrAcces || errors.Is(err, ErrRevoked)
+}
+
+// readDirRetry lists dir on sh, retrying once when the shard's link
+// died mid-call — a revocation landing on the server cuts the
+// connection under the walk's feet. The retry goes through the redial
+// path, which either restores the link or (when the server refuses the
+// handshake for a revoked identity) poisons it with ErrRevoked, the
+// error the walk's drop conditions understand.
+func (c *Client) readDirRetry(ctx context.Context, sh *shard, dir vfs.Handle) ([]nfs.DirEntryPlus, error) {
+	ents, err := sh.attrc(ctx).ReadDirPlusAll(ctx, dir)
+	if err != nil && ctx.Err() == nil && sh.link.Load().rpc.Broken() {
+		ents, err = sh.attrc(ctx).ReadDirPlusAll(ctx, dir)
+	}
+	return ents, err
+}
+
 func (c *Client) walkDir(ctx context.Context, dir vfs.Handle, prefix string, fn WalkFunc) error {
 	ents, err := c.walkList(ctx, dir, prefix)
 	if err != nil {
@@ -853,10 +940,11 @@ func (c *Client) walkDir(ctx context.Context, dir vfs.Handle, prefix string, fn 
 			var err error
 			attr, err = we.sh.attrc(ctx).Lookup(ctx, we.parent, e.Name)
 			if err != nil {
-				if st := nfs.StatOf(err); st == nfs.ErrAcces || st == nfs.ErrNoEnt {
+				werr := c.wireError(err)
+				if st := nfs.StatOf(err); st == nfs.ErrAcces || st == nfs.ErrNoEnt || errors.Is(werr, ErrRevoked) {
 					continue
 				}
-				return c.wireError(err)
+				return werr
 			}
 		}
 		path := prefix + "/" + e.Name
@@ -891,14 +979,14 @@ func (c *Client) walkList(ctx context.Context, dir vfs.Handle, prefix string) ([
 		for id := range c.shards {
 			sdir, err := c.subtreeDir(ctx, id)
 			if err != nil {
-				if errors.Is(err, ErrAccessDenied) {
+				if errors.Is(err, ErrAccessDenied) || errors.Is(err, ErrRevoked) {
 					continue
 				}
 				return nil, err
 			}
-			ents, err := c.shards[id].attrc(ctx).ReadDirPlusAll(ctx, sdir)
+			ents, err := c.readDirRetry(ctx, c.shards[id], sdir)
 			if err != nil {
-				if nfs.StatOf(err) == nfs.ErrAcces {
+				if shardDenied(err) {
 					continue
 				}
 				return nil, c.wireError(err)
@@ -915,9 +1003,9 @@ func (c *Client) walkList(ctx context.Context, dir vfs.Handle, prefix string) ([
 		return out, nil
 	}
 	sh := c.shardOf(dir)
-	ents, err := sh.attrc(ctx).ReadDirPlusAll(ctx, dir)
+	ents, err := c.readDirRetry(ctx, sh, dir)
 	if err != nil {
-		if nfs.StatOf(err) == nfs.ErrAcces {
+		if shardDenied(err) {
 			return nil, nil
 		}
 		return nil, c.wireError(err)
@@ -934,7 +1022,7 @@ func (c *Client) walkList(ctx context.Context, dir vfs.Handle, prefix string) ([
 			groot := gsh.root(ctx)
 			a, err := gsh.attrc(ctx).GetAttr(ctx, groot)
 			if err != nil {
-				if nfs.StatOf(err) == nfs.ErrAcces {
+				if shardDenied(err) {
 					continue
 				}
 				return nil, c.wireError(err)

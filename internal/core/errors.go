@@ -46,7 +46,36 @@ var (
 	// Rename across shards fails with it; callers fall back to
 	// copy-and-delete.
 	ErrXDev = errors.New("discfs: cross-shard operation")
+	// ErrPartialFence reports an administrative revocation that did not
+	// reach every shard directly: the reachable shards applied it (and
+	// their revocation feed will converge the rest), but the named
+	// shards could not confirm. Match with errors.Is; errors.As a
+	// *PartialFenceError for the per-shard detail.
+	ErrPartialFence = errors.New("discfs: revocation did not reach every shard")
 )
+
+// PartialFenceError carries per-shard fence status for a RevokeKey or
+// RevokeCredential fan-out that could not confirm on every shard:
+// which shard addresses applied the revocation, which did not, and the
+// per-shard errors (each wrapped with its shard address). The client
+// fan-out is a hint — servers configured with feed peers replicate the
+// entry to the unfenced shards — but until convergence is confirmed the
+// admin must treat the named shards as open.
+type PartialFenceError struct {
+	Fenced   []string // shard addresses that applied the revocation
+	Unfenced []string // shard addresses that did not confirm
+	Errs     []error  // one per unfenced shard, wrapped with its address
+}
+
+func (e *PartialFenceError) Error() string {
+	return fmt.Sprintf("%v: unfenced shards %v: %v", ErrPartialFence, e.Unfenced, errors.Join(e.Errs...))
+}
+
+// Is matches the ErrPartialFence sentinel.
+func (e *PartialFenceError) Is(target error) bool { return target == ErrPartialFence }
+
+// Unwrap exposes the per-shard errors to errors.Is/errors.As.
+func (e *PartialFenceError) Unwrap() []error { return e.Errs }
 
 // wireError translates an error observed through the RPC boundary into
 // the taxonomy, preserving the original error in the chain so transport
@@ -54,6 +83,11 @@ var (
 func (c *Client) wireError(err error) error {
 	if err == nil {
 		return nil
+	}
+	if errors.Is(err, ErrRevoked) {
+		// Already classified — a poisoned shard link surfaces the
+		// ErrRevoked-wrapped connect failure on every call.
+		return err
 	}
 	if errors.Is(err, secchan.ErrKeyRevoked) {
 		return fmt.Errorf("%w: %w", ErrRevoked, err)

@@ -25,14 +25,16 @@ const (
 // Extension procedures.
 const (
 	ExtNull       = 0
-	ExtSubmitCred = 1 // submit credential assertions to the session
-	ExtCreateCred = 2 // CREATE returning the creator's credential
-	ExtMkdirCred  = 3 // MKDIR returning the creator's credential
-	ExtWhoAmI     = 4 // echo the authenticated principal
-	ExtRevokeKey  = 5 // admin: revoke a principal
-	ExtRevokeCred = 6 // admin: revoke one credential by signature
-	ExtListCreds  = 7 // admin: list session credentials
-	ExtStats      = 8 // policy-engine statistics
+	ExtSubmitCred = 1  // submit credential assertions to the session
+	ExtCreateCred = 2  // CREATE returning the creator's credential
+	ExtMkdirCred  = 3  // MKDIR returning the creator's credential
+	ExtWhoAmI     = 4  // echo the authenticated principal
+	ExtRevokeKey  = 5  // admin: revoke a principal
+	ExtRevokeCred = 6  // admin: revoke one credential by signature
+	ExtListCreds  = 7  // admin: list session credentials
+	ExtStats      = 8  // policy-engine statistics
+	ExtRevPush    = 9  // peer server: deliver revocation feed entries
+	ExtRevPull    = 10 // peer server: fetch the revocation log (anti-entropy)
 )
 
 // Extension status codes.
@@ -133,6 +135,10 @@ func (s *Server) dispatchExt(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder
 		}
 		removed := s.session.RevokeKey(keynote.Principal(target))
 		s.cache.Purge()
+		// Cut the revoked principal's live sessions on this server now,
+		// and hand the entry to the feed so every peer converges too.
+		s.fencePeerConns(keynote.Principal(target))
+		s.feed.noteLocal()
 		res.Uint32(extOK)
 		res.Uint32(uint32(removed))
 		return sunrpc.Success, nil
@@ -149,6 +155,7 @@ func (s *Server) dispatchExt(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder
 		}
 		found := s.session.RevokeCredential(sig)
 		s.cache.Purge()
+		s.feed.noteLocal()
 		res.Uint32(extOK)
 		res.Bool(found)
 		return sunrpc.Success, nil
@@ -165,6 +172,43 @@ func (s *Server) dispatchExt(ctx *sunrpc.Context, proc uint32, args *xdr.Decoder
 		for _, c := range creds {
 			res.String(c.Source)
 		}
+		return sunrpc.Success, nil
+
+	case ExtRevPush:
+		// A peer server delivering feed entries. Peers authenticate with
+		// their server key, which must be an admin here (federations
+		// share the admin key, or cross-register keys via -admins).
+		_ = args.Uint64() // sender's feed epoch (observability)
+		entries, ok := decodeFeedEntries(args)
+		if args.Err() != nil || !ok {
+			return sunrpc.GarbageArgs, nil
+		}
+		if !s.admins[peer] {
+			res.Uint32(extNotAdmin)
+			res.Uint32(0)
+			return sunrpc.Success, nil
+		}
+		applied := s.feed.absorb(entries)
+		res.Uint32(extOK)
+		res.Uint32(uint32(applied))
+		return sunrpc.Success, nil
+
+	case ExtRevPull:
+		// A peer server running anti-entropy on (re)connect.
+		since := args.Uint64()
+		if args.Err() != nil {
+			return sunrpc.GarbageArgs, nil
+		}
+		if !s.admins[peer] {
+			res.Uint32(extNotAdmin)
+			res.Uint64(0)
+			res.Uint32(0)
+			return sunrpc.Success, nil
+		}
+		epoch, entries := s.feed.snapshotLog(since)
+		res.Uint32(extOK)
+		res.Uint64(epoch)
+		encodeFeedEntries(res, entries)
 		return sunrpc.Success, nil
 
 	case ExtStats:

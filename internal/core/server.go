@@ -128,6 +128,27 @@ type ServerConfig struct {
 	// LimitMaxWait bounds how long a request is shaped (delayed)
 	// before being rejected; 0 means limiter.DefaultMaxWait.
 	LimitMaxWait time.Duration
+
+	// Peers lists the other servers of a federation ("host:port") for
+	// the server-to-server revocation feed: revocations applied here
+	// are pushed to every peer (capped exponential backoff,
+	// anti-entropy replay on reconnect), so one admin action fences the
+	// whole federation even when the admin's client cannot reach every
+	// shard. The peers must accept this server's key as an admin
+	// (federations typically share the admin key; otherwise
+	// cross-register keys via Admins / discfsd -admins). Validated with
+	// fed.ValidatePeers. Empty disables pushing — entries pushed BY
+	// peers are always accepted.
+	Peers []string
+	// PeerSyncWait bounds the handshake-time anti-entropy gate: while
+	// the feed is stale (a reachable peer not yet pulled from), a new
+	// non-admin session waits up to this long for the sync before its
+	// revocation check runs, so a server rejoining after a partition
+	// converges before serving its next session. 0 means
+	// DefaultPeerSyncWait; negative disables the gate. When every peer
+	// is unreachable the gate releases after one failed dial attempt —
+	// the server stays available under partition.
+	PeerSyncWait time.Duration
 }
 
 // Limits configures one principal's admission budget (rate + in-flight
@@ -227,6 +248,12 @@ type Server struct {
 
 	// lim is per-principal admission control; nil when unconfigured.
 	lim *limiter.Limiter
+
+	// feed is the server-to-server revocation feed. Always non-nil: a
+	// server with no configured peers still accepts pushed entries and
+	// keeps the log, it just pushes to nobody.
+	feed     *revFeed
+	peerWait time.Duration
 
 	draining  atomic.Bool
 	closeOnce sync.Once
@@ -347,6 +374,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			MaxWait:   cfg.LimitMaxWait,
 		})
 	}
+	feed, err := newRevFeed(s, cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	s.feed = feed
+	s.peerWait = cfg.PeerSyncWait
+	if s.peerWait == 0 {
+		s.peerWait = DefaultPeerSyncWait
+	}
 	ns := nfs.NewServer(s)
 	s.ns = ns
 	ns.SetMaxTransfer(int(maxTransfer))
@@ -360,6 +396,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.initMetrics()
 	ns.RegisterAll(s.rpc)
 	s.registerExt(s.rpc)
+	s.feed.start()
 	return s, nil
 }
 
@@ -471,6 +508,15 @@ func (s *Server) initMetrics() {
 			return float64(s.lim.Principals())
 		})
 	}
+	r.GaugeFunc("discfs_revocation_feed_lag", "Revocation log entries not yet acknowledged by the slowest feed peer (unsynced peers owe the whole log).", func() float64 {
+		return float64(s.feed.Lag())
+	})
+	r.CounterFunc("discfs_revocations_propagated_total", "Revocation feed entries delivered to peer servers.", func() uint64 {
+		return s.feed.propagated.Load()
+	})
+	r.CounterFunc("discfs_revocations_applied_total", "Revocation feed entries received from peer servers and applied.", func() uint64 {
+		return s.feed.applied.Load()
+	})
 	r.GaugeFunc("discfs_draining", "1 while the server is draining (refusing new work), else 0.", func() float64 {
 		if s.draining.Load() {
 			return 1
@@ -767,11 +813,30 @@ func (s *Server) IssueCredential(holder keynote.Principal, ino uint64, value, co
 // Authorize rejects connections from revoked keys at handshake time. The
 // secchan sentinel tells the transport to report the revocation to the
 // peer, where Dial surfaces it as ErrRevoked.
+//
+// When the revocation feed is stale — a peer server is reachable but
+// this server has not yet pulled its log, the state a server is in just
+// after rejoining a partition — non-admin handshakes first wait (up to
+// PeerSyncWait) for anti-entropy, so a principal revoked while this
+// server was down is refused before its first post-reconnect session
+// rather than after. Admins skip the gate: peer servers pushing feed
+// entries authenticate as admins, and gating them would deadlock the
+// very sync the gate waits for.
 func (s *Server) Authorize(peer keynote.Principal) error {
+	if !s.admins[peer] {
+		s.feed.waitFresh(s.peerWait)
+	}
 	if s.session.Revoked(peer) {
 		return secchan.ErrKeyRevoked
 	}
 	return nil
+}
+
+// RevocationFeed reports the feed's replication counters: lag (log
+// entries the slowest peer has not acknowledged), propagated (entries
+// delivered to peers), applied (entries received from peers).
+func (s *Server) RevocationFeed() (lag, propagated, applied uint64) {
+	return s.feed.Lag(), s.feed.propagated.Load(), s.feed.applied.Load()
 }
 
 // Serve accepts secure-channel connections on ln until Close.
@@ -859,6 +924,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // is fenced off: the coarse clock, the write-gather queue (flushing
 // acknowledged-unstable data to the backing store), and the audit ring.
 func (s *Server) teardown(err error) error {
+	if s.feed != nil {
+		s.feed.Close()
+	}
 	if s.clock != nil {
 		s.clock.Stop()
 	}

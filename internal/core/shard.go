@@ -166,6 +166,13 @@ func (sh *shard) live(ctx context.Context) *shardLink {
 	nl, _, err := sh.connect(ctx, sh.xfer)
 	if err != nil {
 		sh.redial.fail(time.Now())
+		if errors.Is(err, ErrRevoked) {
+			// The server refused the handshake because this identity is
+			// revoked: the link can never come back, so poison it — every
+			// call on the shard now surfaces the revocation instead of
+			// the stale transport error of the cut connection.
+			ln.rpc.Fail(err)
+		}
 		return ln
 	}
 	// Keep the original grant: the server-side bound is global, and the

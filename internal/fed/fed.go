@@ -28,6 +28,7 @@ package fed
 import (
 	"fmt"
 	"hash/fnv"
+	"net"
 	"path"
 	"sort"
 	"strings"
@@ -193,4 +194,41 @@ func hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	return h.Sum64()
+}
+
+// ParsePeers parses a comma-separated revocation-feed peer list
+// ("host:port,host:port") into validated addresses. Entries are
+// trimmed; empty entries and duplicates are rejected.
+func ParsePeers(list string) ([]string, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(list, ",")
+	addrs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		addrs = append(addrs, strings.TrimSpace(p))
+	}
+	if err := ValidatePeers(addrs); err != nil {
+		return nil, err
+	}
+	return addrs, nil
+}
+
+// ValidatePeers checks a revocation-feed peer list: every address must
+// be a non-empty host:port, and no address may repeat.
+func ValidatePeers(addrs []string) error {
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if strings.TrimSpace(a) == "" {
+			return fmt.Errorf("fed: empty peer address")
+		}
+		if _, _, err := net.SplitHostPort(a); err != nil {
+			return fmt.Errorf("fed: peer %q: %v", a, err)
+		}
+		if seen[a] {
+			return fmt.Errorf("fed: duplicate peer %q", a)
+		}
+		seen[a] = true
+	}
+	return nil
 }

@@ -113,3 +113,27 @@ func TestCleanPaths(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers(" a:1 , b:2,c:3 ")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	if len(got) != 3 || got[0] != "a:1" || got[1] != "b:2" || got[2] != "c:3" {
+		t.Fatalf("ParsePeers = %v, want trimmed [a:1 b:2 c:3]", got)
+	}
+	if got, err = ParsePeers("   "); err != nil || got != nil {
+		t.Fatalf("ParsePeers(blank) = %v, %v, want nil, nil", got, err)
+	}
+	for _, bad := range []string{"a:1,,b:2", "nohostport", "a:1,a:1"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+	if err := ValidatePeers([]string{"x:1", "y:2"}); err != nil {
+		t.Errorf("ValidatePeers(valid) = %v", err)
+	}
+	if err := ValidatePeers([]string{""}); err == nil {
+		t.Error("ValidatePeers(empty entry) accepted")
+	}
+}

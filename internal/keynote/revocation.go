@@ -1,0 +1,67 @@
+package keynote
+
+// RevocationKind identifies what a revocation log entry withdraws.
+type RevocationKind uint8
+
+const (
+	// RevokedKey withdraws a principal's entire authority: existing
+	// credentials it authorized are dropped and future ones refused.
+	RevokedKey RevocationKind = 1
+	// RevokedCredential withdraws one credential, named by its
+	// signature value. The signature stays refused permanently, so the
+	// entry is meaningful even on a session that never held the
+	// credential.
+	RevokedCredential RevocationKind = 2
+)
+
+// Revocation is one entry of a session's monotonic revocation log: the
+// durable record of a RevokeKey or RevokeCredential. The log is
+// append-only with dense 1-based sequence numbers, exported so a
+// replication layer (the DisCFS server-to-server revocation feed) can
+// ship withdrawals between sessions with a plain position cursor.
+// Entries are idempotent: re-applying one to a session that has already
+// seen its target changes nothing.
+type Revocation struct {
+	Seq    uint64
+	Kind   RevocationKind
+	Target string // canonical principal text, or credential signature value
+}
+
+// Revocations returns the session's revocation log entries with
+// Seq > since (pass 0 for the whole log).
+func (s *Session) Revocations(since uint64) []Revocation {
+	return s.Snapshot().Revocations(since)
+}
+
+// RevocationSeq returns the sequence number of the newest revocation
+// log entry (0 when nothing has been revoked).
+func (s *Session) RevocationSeq() uint64 {
+	return s.Snapshot().RevocationSeq()
+}
+
+// RevokedCredential reports whether a credential signature has been
+// revoked in the session.
+func (s *Session) RevokedCredential(sig string) bool {
+	return s.Snapshot().RevokedCredential(sig)
+}
+
+// CanonicalPrincipal normalizes a principal the same way the session's
+// revocation bookkeeping does: keys are rewritten to lowercase
+// "<alg>-hex:" form, opaque names pass through. Unparseable input is
+// returned unchanged, matching RevokeKey's fallback.
+func CanonicalPrincipal(p Principal) Principal {
+	c, err := canonicalPrincipal(string(p))
+	if err != nil {
+		return p
+	}
+	return c
+}
+
+// appendRevocation records one log entry on a snapshot under mutation.
+func (sn *Snapshot) appendRevocation(kind RevocationKind, target string) {
+	sn.revlog = append(sn.revlog, Revocation{
+		Seq:    uint64(len(sn.revlog)) + 1,
+		Kind:   kind,
+		Target: target,
+	})
+}

@@ -1,0 +1,135 @@
+package keynote
+
+import "testing"
+
+// TestRevocationLogDense: every applied revocation appends exactly one
+// log entry with a dense 1-based sequence, and Revocations(since)
+// returns exactly the suffix past the cursor — the contract the
+// server-to-server revocation feed replicates on.
+func TestRevocationLogDense(t *testing.T) {
+	s, admin, bob, alice := newTestSession(t)
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" -> "R";`,
+	})
+	if err := s.AddCredential(cred); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RevocationSeq(); got != 0 {
+		t.Fatalf("RevocationSeq before any revocation = %d, want 0", got)
+	}
+
+	if !s.RevokeCredential(cred.SignatureValue) {
+		t.Fatal("RevokeCredential: not found")
+	}
+	s.RevokeKey(alice.Principal)
+	s.RevokeKey(bob.Principal)
+
+	revs := s.Revocations(0)
+	if len(revs) != 3 {
+		t.Fatalf("Revocations(0) = %d entries, want 3", len(revs))
+	}
+	for i, r := range revs {
+		if r.Seq != uint64(i)+1 {
+			t.Errorf("entry %d: Seq = %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	want := []struct {
+		kind   RevocationKind
+		target string
+	}{
+		{RevokedCredential, cred.SignatureValue},
+		{RevokedKey, string(alice.Principal)},
+		{RevokedKey, string(bob.Principal)},
+	}
+	for i, w := range want {
+		if revs[i].Kind != w.kind || revs[i].Target != w.target {
+			t.Errorf("entry %d = (%d, %.20q), want (%d, %.20q)",
+				i, revs[i].Kind, revs[i].Target, w.kind, w.target)
+		}
+	}
+	if got := s.RevocationSeq(); got != 3 {
+		t.Errorf("RevocationSeq = %d, want 3", got)
+	}
+	if tail := s.Revocations(2); len(tail) != 1 || tail[0].Seq != 3 {
+		t.Errorf("Revocations(2) = %v, want the single Seq-3 entry", tail)
+	}
+	if tail := s.Revocations(3); len(tail) != 0 {
+		t.Errorf("Revocations(3) = %v, want empty", tail)
+	}
+}
+
+// TestRevokedSignaturePermanent: a revoked credential signature stays
+// refused forever, even when the revocation arrived before the
+// credential was ever submitted — the property that lets a feed entry
+// fence shards that never saw the credential.
+func TestRevokedSignaturePermanent(t *testing.T) {
+	s, admin, bob, _ := newTestSession(t)
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" -> "R";`,
+	})
+	if err := s.AddCredential(cred); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RevokeCredential(cred.SignatureValue) {
+		t.Fatal("RevokeCredential: not found")
+	}
+	if err := s.AddCredential(cred); err == nil {
+		t.Error("revoked credential re-added")
+	}
+	if _, err := s.AddCredentialText(cred.Source); err == nil {
+		t.Error("revoked credential re-added as text")
+	}
+
+	// Revocation ahead of submission: the shard never held the
+	// credential, the feed entry lands first, submission is refused.
+	other := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" -> "RW";`,
+	})
+	if s.RevokeCredential(other.SignatureValue) {
+		t.Error("RevokeCredential reported an absent credential as removed")
+	}
+	if err := s.AddCredential(other); err == nil {
+		t.Error("pre-revoked credential accepted")
+	}
+	if !s.Snapshot().RevokedCredential(other.SignatureValue) {
+		t.Error("pre-revoked signature not recorded")
+	}
+}
+
+// TestRevokeKeyIdempotent: revoking the same principal again drops
+// nothing, appends no log entry, and bumps no generation — replayed
+// feed entries must be free.
+func TestRevokeKeyIdempotent(t *testing.T) {
+	s, admin, bob, alice := newTestSession(t)
+	cred := mustSign(t, admin, AssertionSpec{
+		Licensees:  LicenseesOr(bob.Principal),
+		Conditions: `app_domain == "DisCFS" -> "RW";`,
+	})
+	// A delegation issued by bob: revoking bob's key must drop it.
+	deleg := mustSign(t, bob, AssertionSpec{
+		Licensees:  LicenseesOr(alice.Principal),
+		Conditions: `app_domain == "DisCFS" -> "R";`,
+	})
+	if err := s.AddCredential(cred); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddCredential(deleg); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.RevokeKey(bob.Principal); n != 1 {
+		t.Fatalf("RevokeKey dropped %d credentials, want 1", n)
+	}
+	seq, gen := s.RevocationSeq(), s.Generation()
+	if n := s.RevokeKey(bob.Principal); n != 0 {
+		t.Errorf("repeat RevokeKey dropped %d credentials, want 0", n)
+	}
+	if s.RevocationSeq() != seq {
+		t.Errorf("repeat RevokeKey grew the log: %d -> %d", seq, s.RevocationSeq())
+	}
+	if s.Generation() != gen {
+		t.Errorf("repeat RevokeKey bumped the generation: %d -> %d", gen, s.Generation())
+	}
+}

@@ -33,10 +33,11 @@ func NewSession(values []string) (*Session, error) {
 	copy(vals, values)
 	s := &Session{}
 	s.snap.Store(&Snapshot{
-		values:     vals,
-		bySig:      make(map[string]*Assertion),
-		byLicensee: make(map[Principal][]*Assertion),
-		revoked:    make(map[Principal]bool),
+		values:      vals,
+		bySig:       make(map[string]*Assertion),
+		byLicensee:  make(map[Principal][]*Assertion),
+		revoked:     make(map[Principal]bool),
+		revokedSigs: make(map[string]bool),
 	})
 	return s, nil
 }
@@ -145,6 +146,9 @@ func (s *Session) AddCredentialText(text string) ([]*Assertion, error) {
 			if next.revoked[a.Authorizer] {
 				return len(added) > 0, fmt.Errorf("keynote: credential authorizer %s is revoked", a.Authorizer.Short())
 			}
+			if next.revokedSigs[a.SignatureValue] {
+				return len(added) > 0, fmt.Errorf("keynote: credential signature is revoked")
+			}
 			if _, dup := next.bySig[a.SignatureValue]; dup {
 				continue // idempotent re-submission
 			}
@@ -168,6 +172,9 @@ func (s *Session) AddCredential(a *Assertion) error {
 		if next.revoked[a.Authorizer] {
 			return false, fmt.Errorf("keynote: credential authorizer %s is revoked", a.Authorizer.Short())
 		}
+		if next.revokedSigs[a.SignatureValue] {
+			return false, fmt.Errorf("keynote: credential signature is revoked")
+		}
 		if _, dup := next.bySig[a.SignatureValue]; dup {
 			return false, nil
 		}
@@ -179,14 +186,24 @@ func (s *Session) AddCredential(a *Assertion) error {
 	})
 }
 
-// RevokeCredential removes the credential with the given signature value.
-// It reports whether a credential was removed.
+// RevokeCredential withdraws the credential with the given signature
+// value and reports whether a credential was removed. The signature is
+// recorded permanently (and logged in the revocation log) the first
+// time, whether or not the credential is currently installed, so a
+// later resubmission — or a replicated copy arriving on another server
+// — is refused rather than silently reinstated.
 func (s *Session) RevokeCredential(signatureValue string) bool {
 	removed := false
 	s.mutate(func(next *Snapshot) (bool, error) {
+		changed := false
+		if !next.revokedSigs[signatureValue] {
+			next.revokedSigs[signatureValue] = true
+			next.appendRevocation(RevokedCredential, signatureValue)
+			changed = true
+		}
 		a, ok := next.bySig[signatureValue]
 		if !ok {
-			return false, nil
+			return changed, nil
 		}
 		delete(next.bySig, signatureValue)
 		for i, c := range next.creds {
@@ -204,8 +221,10 @@ func (s *Session) RevokeCredential(signatureValue string) bool {
 }
 
 // RevokeKey marks a principal as bad: all its existing credentials are
-// dropped and future submissions are refused. It returns the number of
-// credentials removed.
+// dropped, future submissions are refused, and a revocation log entry
+// is appended. It returns the number of credentials removed. Revoking
+// an already-revoked principal is a no-op (no generation bump, no new
+// log entry), which keeps replicated re-application convergent.
 func (s *Session) RevokeKey(p Principal) int {
 	c, err := canonicalPrincipal(string(p))
 	if err != nil {
@@ -213,7 +232,11 @@ func (s *Session) RevokeKey(p Principal) int {
 	}
 	removed := 0
 	s.mutate(func(next *Snapshot) (bool, error) {
+		if next.revoked[c] {
+			return false, nil
+		}
 		next.revoked[c] = true
+		next.appendRevocation(RevokedKey, string(c))
 		kept := next.creds[:0]
 		for _, a := range next.creds {
 			if a.Authorizer == c {

@@ -18,7 +18,17 @@ type Snapshot struct {
 	// never changes the result.
 	byLicensee map[Principal][]*Assertion
 	revoked    map[Principal]bool
-	gen        uint64
+	// revokedSigs records every credential signature ever revoked.
+	// Unlike bySig removal, this set is permanent: a revoked credential
+	// stays refused on resubmission, so a replication layer can apply a
+	// signature revocation before (or after) the credential itself
+	// arrives and the outcome is the same.
+	revokedSigs map[string]bool
+	// revlog is the append-only revocation log: one entry per RevokeKey
+	// or (first) RevokeCredential, in application order. Seq is 1-based
+	// and monotonic, so replication cursors are just log positions.
+	revlog []Revocation
+	gen    uint64
 	// volatile records whether any assertion's conditions reference one
 	// of the session's volatile attributes (e.g. time of day). Decision
 	// caches use it to bound how long a result may be reused.
@@ -64,6 +74,25 @@ func (sn *Snapshot) Revoked(p Principal) bool {
 	}
 	return sn.revoked[c]
 }
+
+// RevokedCredential reports whether a credential signature has been
+// revoked in this snapshot. Signature revocations are permanent: the
+// credential is refused on resubmission even after removal.
+func (sn *Snapshot) RevokedCredential(sig string) bool { return sn.revokedSigs[sig] }
+
+// Revocations returns a copy of the log entries with Seq > since (pass
+// 0 for the whole log). Entries are ordered and Seq is dense, so a
+// replication cursor is simply the last Seq it has consumed.
+func (sn *Snapshot) Revocations(since uint64) []Revocation {
+	if since >= uint64(len(sn.revlog)) {
+		return nil
+	}
+	return append([]Revocation(nil), sn.revlog[since:]...)
+}
+
+// RevocationSeq returns the sequence number of the newest revocation
+// log entry (0 when nothing has been revoked).
+func (sn *Snapshot) RevocationSeq() uint64 { return uint64(len(sn.revlog)) }
 
 // relevant collects the assertions on delegation paths from the
 // requesters toward POLICY: breadth-first over the licensee index,
@@ -131,14 +160,16 @@ func (sn *Snapshot) Query(attributes map[string]string, requesters ...Principal)
 // themselves are immutable and shared.
 func (sn *Snapshot) clone() *Snapshot {
 	next := &Snapshot{
-		values:     sn.values,
-		policies:   append([]*Assertion(nil), sn.policies...),
-		creds:      append([]*Assertion(nil), sn.creds...),
-		bySig:      make(map[string]*Assertion, len(sn.bySig)+1),
-		byLicensee: make(map[Principal][]*Assertion, len(sn.byLicensee)+1),
-		revoked:    make(map[Principal]bool, len(sn.revoked)),
-		gen:        sn.gen,
-		volatile:   sn.volatile,
+		values:      sn.values,
+		policies:    append([]*Assertion(nil), sn.policies...),
+		creds:       append([]*Assertion(nil), sn.creds...),
+		bySig:       make(map[string]*Assertion, len(sn.bySig)+1),
+		byLicensee:  make(map[Principal][]*Assertion, len(sn.byLicensee)+1),
+		revoked:     make(map[Principal]bool, len(sn.revoked)),
+		revokedSigs: make(map[string]bool, len(sn.revokedSigs)),
+		revlog:      append([]Revocation(nil), sn.revlog...),
+		gen:         sn.gen,
+		volatile:    sn.volatile,
 	}
 	for k, v := range sn.bySig {
 		next.bySig[k] = v
@@ -149,6 +180,9 @@ func (sn *Snapshot) clone() *Snapshot {
 	}
 	for k := range sn.revoked {
 		next.revoked[k] = true
+	}
+	for k := range sn.revokedSigs {
+		next.revokedSigs[k] = true
 	}
 	return next
 }

@@ -260,17 +260,26 @@ func TestGenerationCountsMutations(t *testing.T) {
 	if s.Generation() != g0+1 {
 		t.Errorf("gen after duplicate add = %d, want %d", s.Generation(), g0+1)
 	}
-	// Failed revocation of an unknown signature: no change.
+	// Revoking an unknown signature: nothing removed, but the signature
+	// is recorded permanently (and logged for the feed) so a later
+	// submission is refused — recording it is a mutation.
 	if s.RevokeCredential("sig-ed25519-hex:nope") {
 		t.Error("revoked a nonexistent credential")
 	}
-	if s.Generation() != g0+1 {
-		t.Errorf("gen after no-op revoke = %d, want %d", s.Generation(), g0+1)
+	if s.Generation() != g0+2 {
+		t.Errorf("gen after unknown-sig revoke = %d, want %d", s.Generation(), g0+2)
+	}
+	// Revoking the same signature again: no change.
+	if s.RevokeCredential("sig-ed25519-hex:nope") {
+		t.Error("revoked a nonexistent credential twice")
+	}
+	if s.Generation() != g0+2 {
+		t.Errorf("gen after repeat revoke = %d, want %d", s.Generation(), g0+2)
 	}
 	if !s.RevokeCredential(cred.SignatureValue) {
 		t.Error("revoke failed")
 	}
-	if s.Generation() != g0+2 {
-		t.Errorf("gen after revoke = %d, want %d", s.Generation(), g0+2)
+	if s.Generation() != g0+3 {
+		t.Errorf("gen after revoke = %d, want %d", s.Generation(), g0+3)
 	}
 }

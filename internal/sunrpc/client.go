@@ -55,6 +55,23 @@ func (c *Client) Broken() bool {
 	return c.err != nil
 }
 
+// Fail poisons the client: the connection is closed and every current
+// and future call fails with err. Owners use it when a redial learns
+// the link can never come back (the server refused the handshake for a
+// revoked identity), so callers see the cause rather than the stale
+// transport error of the cut connection. Unlike internal poisoning,
+// Fail overrides an earlier sticky error.
+func (c *Client) Fail(err error) {
+	c.mu.Lock()
+	c.err = err
+	for xid, ch := range c.pend {
+		delete(c.pend, xid)
+		ch <- clientReply{err: err}
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
 // SetObserver installs a per-call hook invoked with each call's
 // duration and outcome (nil on success). Used for per-connection
 // request/latency metrics; pass nil to disable.
@@ -105,10 +122,14 @@ func (c *Client) failAll(err error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.err = err
+	if c.err == nil {
+		// First failure wins: a Fail-installed cause is not clobbered by
+		// the read loop observing the connection it just closed.
+		c.err = err
+	}
 	for xid, ch := range c.pend {
 		delete(c.pend, xid)
-		ch <- clientReply{err: err}
+		ch <- clientReply{err: c.err}
 	}
 }
 

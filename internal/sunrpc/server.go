@@ -215,12 +215,19 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops every listener and waits for in-flight connections.
+// Close stops every listener, cuts live connections, and waits for
+// their handlers to wind down. It is the hard stop — connections are
+// not drained (that is Drain's job), so a federated server whose peers
+// hold long-lived feed connections into it still terminates.
 func (s *Server) Close() error {
 	s.lnMu.Lock()
 	s.closed = true
 	lns := s.listeners
 	s.listeners = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.lnMu.Unlock()
 	var err error
 	for _, ln := range lns {
@@ -228,8 +235,31 @@ func (s *Server) Close() error {
 			err = e
 		}
 	}
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return err
+}
+
+// ClosePeer closes every live connection whose transport identifies its
+// peer (PeerIdentifier) as id, and returns how many it closed. The
+// authorization layer uses it to cut a revoked principal's sessions the
+// moment the revocation is applied, instead of waiting for the next
+// call to fail its credential check.
+func (s *Server) ClosePeer(id string) int {
+	s.lnMu.Lock()
+	var victims []net.Conn
+	for conn := range s.conns {
+		if pi, ok := conn.(PeerIdentifier); ok && pi.PeerID() == id {
+			victims = append(victims, conn)
+		}
+	}
+	s.lnMu.Unlock()
+	for _, conn := range victims {
+		conn.Close()
+	}
+	return len(victims)
 }
 
 func (s *Server) logf(format string, args ...any) {

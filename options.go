@@ -143,6 +143,30 @@ func WithServerLimitMaxWait(d time.Duration) ServerOption {
 	return func(o *serverOptions) { o.cfg.LimitMaxWait = d }
 }
 
+// WithServerPeers joins this server to a federation revocation feed:
+// every revocation applied here (locally by an admin, or learned from
+// a peer) is pushed to each listed peer server, with anti-entropy on
+// (re)connect so a peer that was down during the admin action converges
+// before serving its next authenticated session. Each peer must accept
+// this server's key as an administrator (federations either share the
+// server key or cross-register keys with WithAdmins). An empty list
+// disables pushing; pushes from peers are always accepted (admin-gated).
+func WithServerPeers(addrs ...string) ServerOption {
+	return func(o *serverOptions) { o.cfg.Peers = append(o.cfg.Peers, addrs...) }
+}
+
+// WithServerPeerSyncWait bounds how long the secure-channel handshake
+// gate waits for the revocation feed to sync with unsynced peers before
+// admitting a non-admin principal (default 2s). After a partition heals,
+// the gate holds the rejoining server's first handshakes until it has
+// pulled the log from its peers — so a principal revoked during the
+// partition is refused before it is served a single operation. Peers
+// that stay unreachable release the gate after one failed attempt
+// (availability wins under partition). Negative disables the gate.
+func WithServerPeerSyncWait(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.cfg.PeerSyncWait = d }
+}
+
 // NewServer constructs a DisCFS server anchored on the administrator key
 // serverKey, configured by functional options. With no options the
 // server exports a fresh in-memory store (the "mem" backend):
