@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"discfs/internal/cfs"
+	"discfs/internal/dedup"
 	"discfs/internal/ffs"
 )
 
@@ -19,21 +20,33 @@ type BackendFactory func(cfg StoreConfig) (FS, error)
 // is named: the paper's FFS-on-RAM store wrapped in the CFS layer.
 const DefaultBackend = "mem"
 
+// ErrBackendRegistered is returned by RegisterBackend when the name is
+// already taken. Registration is first-wins: a name collision is a
+// wiring bug (two packages claiming the same backend), not something to
+// resolve silently by load order.
+var ErrBackendRegistered = fmt.Errorf("discfs: backend already registered")
+
 var (
 	backendMu sync.RWMutex
 	backends  = map[string]BackendFactory{}
 )
 
 // RegisterBackend makes a storage backend available to OpenBackend and
-// WithBackend under name, replacing any previous registration. Typically
-// called from an init function in the backend's package.
-func RegisterBackend(name string, f BackendFactory) {
+// WithBackend under name. Typically called from an init function in the
+// backend's package. Registering a name twice fails with
+// ErrBackendRegistered (check with errors.Is); an empty name or nil
+// factory is rejected outright.
+func RegisterBackend(name string, f BackendFactory) error {
 	if name == "" || f == nil {
-		panic("discfs: RegisterBackend with empty name or nil factory")
+		return fmt.Errorf("discfs: RegisterBackend with empty name or nil factory")
 	}
 	backendMu.Lock()
 	defer backendMu.Unlock()
+	if _, dup := backends[name]; dup {
+		return fmt.Errorf("%w: %q", ErrBackendRegistered, name)
+	}
 	backends[name] = f
+	return nil
 }
 
 // Backends returns the registered backend names, sorted.
@@ -59,11 +72,19 @@ func OpenBackend(name string, opts ...StoreOption) (FS, error) {
 	return f(storeConfig(opts))
 }
 
+// mustRegister is the init-time form: the built-in names cannot collide
+// unless the package itself is broken.
+func mustRegister(name string, f BackendFactory) {
+	if err := RegisterBackend(name, f); err != nil {
+		panic(err)
+	}
+}
+
 func init() {
 	// "mem": the paper's storage stack — an FFS-style inode filesystem on
 	// a RAM-backed block device, wrapped in a CFS layer (encrypting if
 	// requested, CFS-NE otherwise).
-	RegisterBackend(DefaultBackend, func(cfg StoreConfig) (FS, error) {
+	mustRegister(DefaultBackend, func(cfg StoreConfig) (FS, error) {
 		under, err := ffs.New(ffs.Config{BlockSize: cfg.BlockSize, NumBlocks: cfg.NumBlocks})
 		if err != nil {
 			return nil, err
@@ -72,7 +93,29 @@ func init() {
 	})
 	// "ffs": the bare FFS substrate with no CFS layer — the paper's local
 	// baseline, useful when the cryptographic layer is provided elsewhere.
-	RegisterBackend("ffs", func(cfg StoreConfig) (FS, error) {
+	mustRegister("ffs", func(cfg StoreConfig) (FS, error) {
 		return ffs.New(ffs.Config{BlockSize: cfg.BlockSize, NumBlocks: cfg.NumBlocks})
+	})
+	// "+dedup" variants stack the content-addressed deduplicating store
+	// over the base backend: identical data written through any file
+	// lands in the chunk store once. The server recognizes the layer and
+	// exports its counters (discfs_dedup_*).
+	mustRegister("ffs+dedup", func(cfg StoreConfig) (FS, error) {
+		under, err := ffs.New(ffs.Config{BlockSize: cfg.BlockSize, NumBlocks: cfg.NumBlocks})
+		if err != nil {
+			return nil, err
+		}
+		return dedup.Wrap(under)
+	})
+	mustRegister("mem+dedup", func(cfg StoreConfig) (FS, error) {
+		under, err := ffs.New(ffs.Config{BlockSize: cfg.BlockSize, NumBlocks: cfg.NumBlocks})
+		if err != nil {
+			return nil, err
+		}
+		cfsFS, err := cfs.New(under, cfg.Passphrase, cfg.Encrypt)
+		if err != nil {
+			return nil, err
+		}
+		return dedup.Wrap(cfsFS)
 	})
 }

@@ -71,11 +71,19 @@ func main() {
 		soakDur   = flag.Duration("soak-duration", 10*time.Second, "soak measurement window (with -soak)")
 		soakWk    = flag.Int("soak-workers", 32, "soak concurrent session-churning workers (with -soak)")
 		soakHot   = flag.Float64("soak-hot-rps", 50, "soak hot-principal rate cap in req/s (with -soak)")
+		dedupOnly = flag.Bool("dedup", false, "run only the dedup table (CI gate + artifact)")
+		dedupPct  = flag.Int("dedup-dup-pct", 90, "dedup table: duplicate fraction of the headline stream, in percent")
+		dedupMB   = flag.Int("dedup-size", 8, "dedup table: MiB streamed per writer")
 	)
 	flag.StringVar(&jsonDir, "json-dir", ".", "directory for BENCH_<figure>.json files (empty disables)")
 	flag.Parse()
 	if *soak {
 		runSoak(*soakDur, *soakWk, *soakHot)
+		return
+	}
+	if *dedupOnly {
+		printDedupHeader()
+		dedupTable(*dedupPct, int64(*dedupMB)<<20)
 		return
 	}
 	size := int64(*sizeMB) << 20
@@ -194,6 +202,11 @@ func main() {
 	fedTable()
 	fmt.Println()
 
+	// ---- Dedup: content-addressed store vs raw at varying duplication ----
+	printDedupHeader()
+	dedupTable(*dedupPct, int64(*dedupMB)<<20)
+	fmt.Println()
+
 	// ---- Parallel multi-client write scaling ----
 	fmt.Println("Parallel write throughput (8 KiB blocks, one file per writer, seek-model disk)")
 	fmt.Println("  Setup            Writers   Aggregate KB/s")
@@ -243,6 +256,9 @@ func runSoak(dur time.Duration, workers int, hotRPS float64) {
 	fmt.Printf("  fed victims fenced:   %10d on every server via the feed\n", res.FedRevoked)
 	fmt.Printf("  feed propagated:      %10d entries pushed to peers\n", res.FeedPropagated)
 	fmt.Printf("  feed lag:             %10d unacked at drain (convergence gate)\n", res.FeedLag)
+	fmt.Printf("  dedup churn ops:      %10d (%d chunks live, %d hits, %d reclaimed)\n",
+		res.DedupOps, res.DedupChunks, res.DedupHits, res.DedupReclaimed)
+	fmt.Printf("  dedup ref leaks:      %10d (leak gate)\n", res.DedupRefLeaks)
 	if res.DrainErr != "" {
 		check(fmt.Errorf("soak: %s", res.DrainErr))
 	}
@@ -263,6 +279,10 @@ func runSoak(dur time.Duration, workers int, hotRPS float64) {
 		{Name: "fed_revoked", Value: float64(res.FedRevoked)},
 		{Name: "revocations_propagated", Value: float64(res.FeedPropagated)},
 		{Name: "feed_lag", Value: float64(res.FeedLag)},
+		{Name: "dedup_ops", Value: float64(res.DedupOps)},
+		{Name: "dedup_hits", Value: float64(res.DedupHits)},
+		{Name: "dedup_gc_reclaimed", Value: float64(res.DedupReclaimed)},
+		{Name: "dedup_ref_leaks", Value: float64(res.DedupRefLeaks)},
 	})
 }
 
@@ -391,6 +411,55 @@ func fedTable() {
 		jrows = append(jrows, benchRow{Name: "speedup3", Value: results[len(results)-1].AggregateMBps / single})
 	}
 	emitJSON("fed", "Federation scale-out: aggregate write throughput vs servers", "MB/s", jrows)
+}
+
+func printDedupHeader() {
+	fmt.Println("Dedup streaming write (content-addressed store vs raw, device-bound server, shared-segment streams)")
+	fmt.Println("  Config            Dup%   Writers   Aggregate MB/s      Stored/Logical")
+}
+
+// dedupTable prints (and emits as BENCH_dedup.json) the dedup table:
+// aggregate streaming write throughput through the full write-behind
+// stack onto one exclusive modeled disk, without the content-addressed
+// layer (baseline, measured on the duplicate-heavy stream) and with it
+// at 0%, 50% and dupPct% duplicate segments. The acceptance bound is
+// the dedup config at dupPct (default 90) reaching 3x the baseline —
+// duplicate chunks never touch the spindle, so saved writes are saved
+// wall-clock time.
+func dedupTable(dupPct int, perWriter int64) {
+	pcts := []int{0, 50}
+	if dupPct != 0 && dupPct != 50 {
+		pcts = append(pcts, dupPct)
+	}
+	const writers = 3
+	results, err := bench.RunDedup(pcts, writers, perWriter)
+	check(err)
+	var jrows []benchRow
+	base := results[0].AggregateMBps
+	for _, r := range results {
+		name := "raw"
+		note := ""
+		ratio := "-"
+		if r.Dedup {
+			name = "dedup"
+			if base > 0 {
+				note = fmt.Sprintf("   (%.2fx)", r.AggregateMBps/base)
+			}
+		}
+		if r.BytesLogical > 0 {
+			ratio = fmt.Sprintf("%.0f%%", float64(r.BytesStored)/float64(r.BytesLogical)*100)
+		}
+		fmt.Printf("  %-16s %5d %9d %16.1f%-10s %8s\n", name, r.DupPct, r.Writers, r.AggregateMBps, note, ratio)
+		jrows = append(jrows, benchRow{Name: fmt.Sprintf("%s/%dpct", name, r.DupPct), Value: r.AggregateMBps})
+	}
+	last := results[len(results)-1]
+	if base > 0 {
+		jrows = append(jrows, benchRow{Name: "speedup", Value: last.AggregateMBps / base})
+	}
+	if last.BytesLogical > 0 {
+		jrows = append(jrows, benchRow{Name: "stored_ratio", Value: float64(last.BytesStored) / float64(last.BytesLogical)})
+	}
+	emitJSON("dedup", "Dedup streaming write: content-addressed store vs raw", "MB/s", jrows)
 }
 
 // metaTable prints (and emits as BENCH_meta.json) the metadata-plane

@@ -38,6 +38,7 @@ func main() {
 		numBlocks    = flag.Uint("blocks", 1<<18, "FFS device size in blocks")
 		auditFlag    = flag.Bool("audit", false, "write the audit log to stderr")
 		writeBehind  = flag.Bool("write-behind", false, "server-side unstable writes: gather WRITEs and flush via COMMIT")
+		dedupFlag    = flag.Bool("dedup", false, "content-addressed deduplicating store: chunk file data, store each unique chunk once (or pick a '+dedup' backend)")
 		wbQueue      = flag.Int("wb-queue", 1024, "write-behind queue bound in 8 KiB blocks (with -write-behind)")
 		wbCommitters = flag.Int("wb-committers", 2, "write-behind committer pool size (with -write-behind)")
 		maxTransfer  = flag.Int("max-transfer", discfs.DefaultMaxTransfer, "largest negotiated READ/WRITE payload in bytes (8192 pins NFSv2-era transfers)")
@@ -115,6 +116,9 @@ func main() {
 	}
 	if *writeBehind {
 		opts = append(opts, discfs.WithServerWriteBehind(*wbQueue, *wbCommitters))
+	}
+	if *dedupFlag {
+		opts = append(opts, discfs.WithServerDedup())
 	}
 	if *policyPath != "" {
 		text, err := os.ReadFile(*policyPath)

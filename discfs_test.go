@@ -7,6 +7,7 @@ package discfs_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"path/filepath"
 	"testing"
 
@@ -127,7 +128,7 @@ func TestPublicAPIEncryptedStore(t *testing.T) {
 
 func TestBackendRegistry(t *testing.T) {
 	names := discfs.Backends()
-	want := map[string]bool{"mem": false, "ffs": false}
+	want := map[string]bool{"mem": false, "ffs": false, "ffs+dedup": false, "mem+dedup": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -153,9 +154,22 @@ func TestBackendRegistry(t *testing.T) {
 	}
 
 	// A custom backend plugs in through the registry.
-	discfs.RegisterBackend("test-custom", func(cfg discfs.StoreConfig) (discfs.FS, error) {
+	if err := discfs.RegisterBackend("test-custom", func(cfg discfs.StoreConfig) (discfs.FS, error) {
 		return discfs.NewMemStore(discfs.WithBlockSize(cfg.BlockSize), discfs.WithNumBlocks(cfg.NumBlocks))
+	}); err != nil {
+		t.Fatalf("RegisterBackend: %v", err)
+	}
+	// Names are first-wins: a second claim on the same name is a typed
+	// error, not a silent overwrite.
+	err = discfs.RegisterBackend("test-custom", func(cfg discfs.StoreConfig) (discfs.FS, error) {
+		return nil, nil
 	})
+	if !errors.Is(err, discfs.ErrBackendRegistered) {
+		t.Fatalf("duplicate registration: got %v, want ErrBackendRegistered", err)
+	}
+	if err := discfs.RegisterBackend("", nil); err == nil {
+		t.Fatal("empty-name registration accepted")
+	}
 	ctx := context.Background()
 	key := discfs.DeterministicKey("backend-admin")
 	srv, err := discfs.NewServer(key, discfs.WithBackend("test-custom", discfs.WithBlockSize(4096)))

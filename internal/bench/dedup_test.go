@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestDedupSpeedup is the dedup acceptance gate: on a duplicate-heavy
+// stream (90% shared segments) over the same modeled exclusive disk,
+// the content-addressed store must deliver at least 3x the non-dedup
+// baseline's aggregate write throughput — duplicate chunks become index
+// mutations instead of spindle traffic, and the hashing stays off the
+// acknowledgment path.
+func TestDedupSpeedup(t *testing.T) {
+	const (
+		writers   = 3
+		perWriter = 16 << 20
+		dupPct    = 90
+	)
+	base, err := RunDedupOne(false, dupPct, writers, perWriter)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	dd, err := RunDedupOne(true, dupPct, writers, perWriter)
+	if err != nil {
+		t.Fatalf("dedup: %v", err)
+	}
+	t.Logf("aggregate write MB/s at %d%% duplicates: raw %.1f, dedup %.1f (%.2fx); stored %d of %d logical bytes in %d chunks, %d hits",
+		dupPct, base.AggregateMBps, dd.AggregateMBps, dd.AggregateMBps/base.AggregateMBps,
+		dd.BytesStored, dd.BytesLogical, dd.Chunks, dd.Hits)
+	if base.AggregateMBps <= 0 || dd.AggregateMBps <= 0 {
+		t.Fatalf("degenerate throughput: base %+v dedup %+v", base, dd)
+	}
+	if dd.BytesStored >= dd.BytesLogical/2 {
+		t.Fatalf("dedup stored %d bytes for %d logical — the duplicate stream did not deduplicate",
+			dd.BytesStored, dd.BytesLogical)
+	}
+	if speedup := dd.AggregateMBps / base.AggregateMBps; speedup < 3.0 {
+		t.Fatalf("dedup speedup %.2fx, want >= 3x (raw %.1f MB/s, dedup %.1f MB/s)",
+			speedup, base.AggregateMBps, dd.AggregateMBps)
+	}
+}

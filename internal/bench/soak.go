@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 	"discfs/internal/bufpool"
 	"discfs/internal/cfs"
 	"discfs/internal/core"
+	"discfs/internal/dedup"
 	"discfs/internal/ffs"
 	"discfs/internal/keynote"
 	"discfs/internal/metrics"
@@ -87,6 +89,15 @@ type SoakResult struct {
 	FedRevoked     int    `json:"fed_revoked"`            // victims fenced on every server
 	FeedPropagated uint64 `json:"revocations_propagated"` // feed entries pushed to peers, summed: must be > 0
 	FeedLag        uint64 `json:"feed_lag"`               // unacked feed entries at the end, summed: must be 0
+
+	// Dedup churn phase: overwrite/truncate/unlink churn against the
+	// content-addressed store with the background sweeper racing the
+	// writers, then a refcount fsck after drain.
+	DedupOps       uint64 `json:"dedup_ops"`          // churn operations completed
+	DedupChunks    int64  `json:"dedup_chunks"`       // unique chunks surviving the final sweep
+	DedupHits      uint64 `json:"dedup_hits"`         // writes absorbed as index mutations: must be > 0
+	DedupReclaimed uint64 `json:"dedup_gc_reclaimed"` // chunks the sweeper reclaimed over the phase
+	DedupRefLeaks  int    `json:"dedup_ref_leaks"`    // leak gate: must be 0 (fsck mismatches + post-sweep orphans)
 }
 
 // RunSoak builds a server, runs the churn, and tears everything down.
@@ -317,6 +328,13 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 		drainErr = fedErr
 	}
 
+	// Dedup churn, likewise inside the bufpool-gate window: the chunker
+	// borrows pooled buffers, so a leak there must fail the same gate.
+	ded, dedErr := runDedupChurn(logf)
+	if dedErr != nil && drainErr == nil {
+		drainErr = dedErr
+	}
+
 	res := &SoakResult{
 		Duration:            opts.Duration.Seconds(),
 		Workers:             opts.Workers,
@@ -339,6 +357,11 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 		FedRevoked:          fed.revoked,
 		FeedPropagated:      fed.propagated,
 		FeedLag:             fed.lag,
+		DedupOps:            ded.ops,
+		DedupChunks:         ded.chunks,
+		DedupHits:           ded.hits,
+		DedupReclaimed:      ded.reclaimed,
+		DedupRefLeaks:       ded.refLeaks,
 	}
 	if drainErr != nil {
 		res.DrainErr = drainErr.Error()
@@ -545,5 +568,186 @@ func runFedRevocationChurn(logf func(format string, args ...any)) (fedChurnStats
 	}
 	logf("soak: fed churn: %d/%d victims fenced, %d feed entries propagated, lag %d, %d transient churn errors",
 		stats.revoked, nVictims, stats.propagated, stats.lag, churnErrs.Load())
+	return stats, err
+}
+
+// dedupChurnStats is what the dedup churn phase reports back.
+type dedupChurnStats struct {
+	ops       uint64 // churn operations completed
+	chunks    int64  // unique chunks surviving the final sweep
+	hits      uint64 // writes absorbed as pure index mutations
+	reclaimed uint64 // chunks the sweeper reclaimed over the phase
+	refLeaks  int    // fsck mismatches + post-sweep orphans: must be 0
+}
+
+// runDedupChurn exercises the content-addressed store's refcount
+// machinery under the kind of churn the steady-state server sees:
+// several clients rewriting, truncating and unlinking duplicate-heavy
+// files through the full write-behind stack while the background
+// sweeper races them on a short interval. After a graceful drain (which
+// closes the dedup layer, final sweep included) it recomputes every
+// chunk's reference count from the on-disk manifests and compares with
+// the live index — any disagreement, missing chunk, or chunk the
+// sweeper should have reclaimed counts as a leak and fails CI.
+func runDedupChurn(logf func(format string, args ...any)) (dedupChurnStats, error) {
+	const (
+		nWorkers    = 6
+		nIters      = 10
+		segment     = 64 << 10
+		segsPerFile = 6
+	)
+	var stats dedupChurnStats
+	ctx := context.Background()
+
+	backing, err := ffs.New(ffs.Config{BlockSize: 8192, NumBlocks: 1 << 15})
+	if err != nil {
+		return stats, err
+	}
+	dd, err := dedup.Wrap(backing,
+		dedup.WithAvgChunkSize(32<<10),
+		// Aggressive sweeping on purpose: the GC's quiesce handshake
+		// must hold up with writers constantly in flight.
+		dedup.WithSweepInterval(25*time.Millisecond))
+	if err != nil {
+		return stats, err
+	}
+	adminKey := keynote.DeterministicKey("soak-dedup-admin")
+	srv, err := core.NewServer(core.ServerConfig{
+		Backing:     dd,
+		ServerKey:   adminKey,
+		WriteBehind: true,
+		Dedup:       true,
+	})
+	if err != nil {
+		return stats, err
+	}
+	addr, err := srv.Start()
+	if err != nil {
+		srv.Close()
+		return stats, err
+	}
+	logf("soak: dedup churn: %d workers x %d iterations against %s", nWorkers, nIters, addr)
+
+	// The shared pool: segments every worker rewrites, so cross-file
+	// refcounts climb well past one and every unlink is a decref, not
+	// a delete.
+	shared := make([][]byte, 3)
+	for i := range shared {
+		shared[i] = make([]byte, segment)
+		dedupFill(shared[i], uint64(0xC0FFEE+i))
+	}
+
+	var ops atomic.Uint64
+	errs := make([]error, nWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := core.Dial(ctx, addr, adminKey)
+			if err != nil {
+				errs[w] = fmt.Errorf("dedup churn: dial: %w", err)
+				return
+			}
+			defer c.Close()
+			unique := make([]byte, segment)
+			fail := func(step string, err error) {
+				errs[w] = fmt.Errorf("dedup churn worker %d: %s: %w", w, step, err)
+			}
+			for iter := 0; iter < nIters; iter++ {
+				// Three filenames per worker, cycled, so every generation
+				// overwrites a live manifest rather than starting fresh.
+				name := fmt.Sprintf("dedup-churn-w%d-%d", w, iter%3)
+				f, err := c.Open(ctx, "/"+name, os.O_CREATE|os.O_RDWR|os.O_TRUNC)
+				if err != nil {
+					fail("open", err)
+					return
+				}
+				for s := 0; s < segsPerFile; s++ {
+					seg := shared[(w+s)%len(shared)]
+					if s%3 == 2 { // one unique segment in three
+						dedupFill(unique, uint64(w)<<40|uint64(iter)<<20|uint64(s))
+						seg = unique
+					}
+					if _, err := f.Write(seg); err != nil {
+						fail("write", err)
+						f.Close()
+						return
+					}
+				}
+				if err := f.Sync(); err != nil {
+					fail("sync", err)
+					f.Close()
+					return
+				}
+				switch iter % 3 {
+				case 1: // shrink: every truncated-away chunk is a decref
+					if err := f.Truncate(2 * segment); err != nil {
+						fail("truncate", err)
+						f.Close()
+						return
+					}
+				case 2: // unaligned overwrite: shifts chunk boundaries mid-file
+					if _, err := f.WriteAt(shared[w%len(shared)], segment/2); err != nil {
+						fail("overwrite", err)
+						f.Close()
+						return
+					}
+				}
+				if err := f.Sync(); err != nil {
+					fail("resync", err)
+					f.Close()
+					return
+				}
+				if err := f.Close(); err != nil {
+					fail("close", err)
+					return
+				}
+				if iter%4 == 3 { // unlink: the file's chunk refs must drop and GC
+					if err := c.NFS().Remove(ctx, c.Root(), name); err != nil {
+						fail("remove", err)
+						return
+					}
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	err = nil
+	for _, e := range errs {
+		if e != nil {
+			err = e
+			break
+		}
+	}
+
+	// Graceful drain: Shutdown flushes the gather plane and closes the
+	// dedup layer, whose shutdown path runs a final unlinking sweep.
+	shCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	if derr := srv.Shutdown(shCtx); derr != nil && err == nil {
+		err = fmt.Errorf("dedup churn: drain: %w", derr)
+	}
+	cancel()
+
+	// The fsck: recompute every refcount from the on-disk manifests and
+	// compare with the live index. After the shutdown sweep there must
+	// be no orphans either — a zero-ref chunk still on disk means the
+	// sweeper lost track of it.
+	v, verr := dd.Verify()
+	if verr != nil && err == nil {
+		err = fmt.Errorf("dedup churn: verify: %w", verr)
+	}
+	st := dd.Stats()
+	stats.ops = ops.Load()
+	stats.chunks = st.Chunks
+	stats.hits = st.Hits
+	stats.reclaimed = st.GCChunks
+	stats.refLeaks = v.RefMismatch + v.MissingChunk + v.Orphans
+	logf("soak: dedup churn: %d ops, %d chunks live, %d hits, %d reclaimed, %d ref leaks",
+		stats.ops, stats.chunks, stats.hits, stats.reclaimed, stats.refLeaks)
+	if err == nil && stats.hits == 0 {
+		err = fmt.Errorf("dedup churn: duplicate-heavy workload produced zero dedup hits")
+	}
 	return stats, err
 }

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Bytes is a byte-budget LRU keyed by 32-byte content addresses — the
+// dedup layer's chunk read cache. Unlike Cache it bounds total stored
+// bytes rather than entry count, because chunk sizes vary by an order
+// of magnitude. It shares the sharding rationale: 16 independent LRUs
+// so concurrent readers of different chunks never contend on one lock.
+//
+// Values are content-addressed, so entries can never go stale; there is
+// no generation or expiry machinery. Put transfers ownership of the
+// slice to the cache; Get returns a shared read-only view that callers
+// must copy out of, never write through.
+type Bytes struct {
+	shards [bytesShards]bytesShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+const bytesShards = 16
+
+type bytesShard struct {
+	mu    sync.Mutex
+	cap   int // byte budget for this shard
+	bytes int // bytes currently held
+	ll    *list.List
+	m     map[[32]byte]*list.Element
+}
+
+type bytesEntry struct {
+	key [32]byte
+	val []byte
+}
+
+// NewBytes returns a cache bounded to roughly capacity bytes in total
+// (each shard gets an equal slice of the budget). capacity must be
+// positive.
+func NewBytes(capacity int) *Bytes {
+	per := capacity / bytesShards
+	if per < 1 {
+		per = 1
+	}
+	b := &Bytes{}
+	for i := range b.shards {
+		b.shards[i] = bytesShard{
+			cap: per,
+			ll:  list.New(),
+			m:   make(map[[32]byte]*list.Element),
+		}
+	}
+	return b
+}
+
+// shardForSum picks a shard from the key's own entropy; content
+// addresses are uniformly distributed already, so no extra hashing.
+func (b *Bytes) shardForSum(key [32]byte) *bytesShard {
+	return &b.shards[int(key[0])%bytesShards]
+}
+
+// Get returns the cached value for key. The returned slice is shared:
+// read-only, valid until the caller stops using it (eviction only drops
+// the cache's reference).
+func (b *Bytes) Get(key [32]byte) ([]byte, bool) {
+	s := b.shardForSum(key)
+	s.mu.Lock()
+	el, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		b.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	v := el.Value.(*bytesEntry).val
+	s.mu.Unlock()
+	b.hits.Add(1)
+	return v, true
+}
+
+// Put inserts val under key, taking ownership of the slice. Values
+// larger than a shard's whole budget are declined (caching them would
+// evict everything else for one entry that can't recur often enough to
+// pay for it).
+func (b *Bytes) Put(key [32]byte, val []byte) {
+	s := b.shardForSum(key)
+	if len(val) > s.cap {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.m[key]; ok {
+		// Content-addressed: same key ⇒ same bytes. Just refresh.
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.m[key] = s.ll.PushFront(&bytesEntry{key: key, val: val})
+	s.bytes += len(val)
+	for s.bytes > s.cap {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*bytesEntry)
+		s.ll.Remove(back)
+		delete(s.m, ent.key)
+		s.bytes -= len(ent.val)
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (b *Bytes) Stats() (hits, misses uint64) {
+	return b.hits.Load(), b.misses.Load()
+}
+
+// Len returns the number of cached entries.
+func (b *Bytes) Len() int {
+	n := 0
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the number of cached bytes.
+func (b *Bytes) Bytes() int {
+	n := 0
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}

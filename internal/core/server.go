@@ -26,6 +26,7 @@ import (
 	"discfs/internal/audit"
 	"discfs/internal/bufpool"
 	"discfs/internal/cache"
+	"discfs/internal/dedup"
 	"discfs/internal/keynote"
 	"discfs/internal/limiter"
 	"discfs/internal/metrics"
@@ -97,6 +98,17 @@ type ServerConfig struct {
 	WriteBehindQueue int
 	// Committers sizes the background committer pool; 0 means 2.
 	Committers int
+
+	// Dedup wraps Backing in the content-addressed deduplicating store
+	// layer (internal/dedup): file data is split into content-defined
+	// chunks indexed by SHA-256, each unique chunk is written to the
+	// backing store exactly once, and duplicate WRITEs become pure index
+	// mutations. Stacks *under* the write-gathering queue, so committers
+	// hand whole coalesced runs to the chunker. The average chunk size
+	// tracks the negotiated transfer size (MaxTransfer/8). If Backing is
+	// already a *dedup.FS (the "+dedup" backend variants), that layer is
+	// adopted instead of double-wrapping. Off by default.
+	Dedup bool
 
 	// MaxTransfer bounds the READ/WRITE payload this server grants
 	// during per-connection transfer-size negotiation (and accepts on
@@ -217,7 +229,13 @@ type Server struct {
 	backing vfs.FS
 	// gather is the server-side write-behind layer (non-nil only with
 	// ServerConfig.WriteBehind); backing points at it when enabled.
-	gather   *nfs.GatherFS
+	gather *nfs.GatherFS
+	// dedup is the content-addressed store layer (non-nil when the
+	// server enabled it or adopted a pre-wrapped backing); it sits
+	// between gather and the raw store. Teardown closes it — Close is
+	// idempotent, so an owner that also closes a layer it supplied via
+	// WithBacking is harmless.
+	dedup    *dedup.FS
 	key      *keynote.KeyPair
 	session  *keynote.Session
 	cache    *cache.Cache
@@ -334,6 +352,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		maxTransfer = nfs.DefaultMaxTransfer
 	}
 	backing := cfg.Backing
+	dedupFS, _ := backing.(*dedup.FS)
+	if cfg.Dedup && dedupFS == nil {
+		var derr error
+		dedupFS, derr = dedup.Wrap(backing,
+			dedup.WithAvgChunkSize(int(maxTransfer)/8))
+		if derr != nil {
+			return nil, fmt.Errorf("core: dedup layer: %w", derr)
+		}
+		backing = dedupFS
+	}
 	var gather *nfs.GatherFS
 	if cfg.WriteBehind {
 		gather = nfs.NewGatherFS(backing, nfs.GatherConfig{
@@ -348,6 +376,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		backing:  backing,
 		gather:   gather,
+		dedup:    dedupFS,
 		key:      cfg.ServerKey,
 		session:  session,
 		cache:    cache.New(size),
@@ -461,6 +490,23 @@ func (s *Server) initMetrics() {
 		})
 		r.CounterFunc("discfs_writegather_commits_total", "COMMIT durability barriers served.", func() uint64 {
 			return s.gather.Stats().Commits
+		})
+	}
+	if s.dedup != nil {
+		r.GaugeFunc("discfs_dedup_chunks", "Unique chunks held by the content-addressed store.", func() float64 {
+			return float64(s.dedup.Stats().Chunks)
+		})
+		r.GaugeFunc("discfs_dedup_bytes_logical", "Bytes addressable through dedup manifests.", func() float64 {
+			return float64(s.dedup.Stats().BytesLogical)
+		})
+		r.GaugeFunc("discfs_dedup_bytes_stored", "Bytes physically held in chunk files.", func() float64 {
+			return float64(s.dedup.Stats().BytesStored)
+		})
+		r.CounterFunc("discfs_dedup_hits_total", "Chunk stores absorbed as pure index mutations (no data written).", func() uint64 {
+			return s.dedup.Stats().Hits
+		})
+		r.CounterFunc("discfs_dedup_gc_reclaimed_total", "Zero-reference chunks reclaimed by the sweeper.", func() uint64 {
+			return s.dedup.Stats().GCChunks
 		})
 	}
 	r.GaugeFunc("discfs_bufpool_outstanding", "Pooled buffers currently checked out (gets minus puts, process-wide).", func() float64 {
@@ -937,6 +983,13 @@ func (s *Server) teardown(err error) error {
 			err = gerr
 		}
 	}
+	if s.dedup != nil {
+		// After the gather drain: manifests flush and the final sweep
+		// compacts the chunk namespace.
+		if derr := s.dedup.Close(); derr != nil && err == nil {
+			err = derr
+		}
+	}
 	var aerr error
 	if s.ownAudit {
 		aerr = s.audit.Close()
@@ -970,6 +1023,13 @@ type Stats struct {
 	WritesGathered  uint64 // WRITE RPCs absorbed by the queue
 	BackendWrites   uint64 // coalesced writes issued to the backing store
 	Commits         uint64 // COMMIT durability barriers served
+
+	// Content-addressed store (zero when ServerConfig.Dedup is off).
+	DedupChunks       int64  // unique chunks held
+	DedupBytesLogical int64  // bytes addressable through manifests
+	DedupBytesStored  int64  // bytes physically stored in chunk files
+	DedupHits         uint64 // chunk stores absorbed as index mutations
+	DedupGCReclaimed  uint64 // zero-reference chunks swept
 }
 
 // Stats returns a snapshot.
@@ -981,11 +1041,21 @@ func (s *Server) Stats() Stats {
 	if s.gather != nil {
 		gst = s.gather.Stats()
 	}
+	var dst dedup.Stats
+	if s.dedup != nil {
+		dst = s.dedup.Stats()
+	}
 	return Stats{
 		WriteQueueDepth: gst.QueueDepth,
 		WritesGathered:  gst.WritesGathered,
 		BackendWrites:   gst.BackendWrites,
 		Commits:         gst.Commits,
+
+		DedupChunks:       dst.Chunks,
+		DedupBytesLogical: dst.BytesLogical,
+		DedupBytesStored:  dst.BytesStored,
+		DedupHits:         dst.Hits,
+		DedupGCReclaimed:  dst.GCChunks,
 
 		Queries:         s.met.queries.Value(),
 		CacheHits:       hits,

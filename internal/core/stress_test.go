@@ -178,10 +178,24 @@ func verifyRegions(t *testing.T, c *Client, path string, first int, models [][]b
 	}
 }
 
-func stressServer(t *testing.T, writeBehind bool) string {
+// stressModes are the server configurations every stress test runs
+// under: classic synchronous writes, the write-behind pipeline, and
+// write-behind over the content-addressed dedup store (whose chunker,
+// refcounting and open-chunk tail buffer must survive the same
+// concurrent read-modify-write traffic).
+var stressModes = []struct {
+	name      string
+	wb, dedup bool
+}{
+	{"syncWrites", false, false},
+	{"serverWriteBehind", true, false},
+	{"serverWriteBehindDedup", true, true},
+}
+
+func stressServer(t *testing.T, wb, dedup bool) string {
 	t.Helper()
 	serverKey := keynote.DeterministicKey("stress-admin")
-	_, addr := testServer(t, ServerConfig{ServerKey: serverKey, WriteBehind: writeBehind})
+	_, addr := testServer(t, ServerConfig{ServerKey: serverKey, WriteBehind: wb, Dedup: dedup})
 	return addr
 }
 
@@ -200,10 +214,10 @@ func newModels(n int) [][]byte {
 // twice: against the classic synchronous-write server and against the
 // server-side write-behind pipeline (unstable WRITE + COMMIT).
 func TestStressSingleClient(t *testing.T) {
-	for _, wb := range []bool{false, true} {
-		t.Run(wbName(wb), func(t *testing.T) {
+	for _, mode := range stressModes {
+		t.Run(mode.name, func(t *testing.T) {
 			ctx := context.Background()
-			addr := stressServer(t, wb)
+			addr := stressServer(t, mode.wb, mode.dedup)
 			c := dialAs(t, addr, "stress-admin")
 
 			const workers, ops = 8, 150
@@ -222,23 +236,16 @@ func TestStressSingleClient(t *testing.T) {
 	}
 }
 
-func wbName(wb bool) string {
-	if wb {
-		return "serverWriteBehind"
-	}
-	return "syncWrites"
-}
-
 // TestStressTwoClientsSharedServer alternates two clients over one
 // shared file in write-close / open-verify rounds: everything a client
 // wrote and closed must be visible to the other client's next open
 // (close-to-open across clients), with both clients running concurrent
 // workers internally.
 func TestStressTwoClientsSharedServer(t *testing.T) {
-	for _, wb := range []bool{false, true} {
-		t.Run(wbName(wb), func(t *testing.T) {
+	for _, mode := range stressModes {
+		t.Run(mode.name, func(t *testing.T) {
 			ctx := context.Background()
-			addr := stressServer(t, wb)
+			addr := stressServer(t, mode.wb, mode.dedup)
 			a := dialAs(t, addr, "stress-admin")
 			b := dialAs(t, addr, "stress-admin")
 

