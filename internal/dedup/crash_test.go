@@ -334,6 +334,140 @@ func TestDedupCrashConsistencySweep(t *testing.T) {
 	t.Logf("verified dedup commit durability across %d power-cut points", fired)
 }
 
+// flakySyncFS passes everything through to the wrapped FS but fails
+// the Nth Sync call after arming with a transient error — without
+// flushing, so writes issued before the failure stay in the volatile
+// caches below. It models an fsync error the server survives.
+type flakySyncFS struct {
+	vfs.FS
+	mu     sync.Mutex
+	failIn int
+}
+
+var errFlakySync = errors.New("flaky: injected sync failure")
+
+func (f *flakySyncFS) armSyncFail(n int) {
+	f.mu.Lock()
+	f.failIn = n
+	f.mu.Unlock()
+}
+
+func (f *flakySyncFS) Sync() error {
+	f.mu.Lock()
+	if f.failIn > 0 {
+		f.failIn--
+		if f.failIn == 0 {
+			f.mu.Unlock()
+			return errFlakySync
+		}
+	}
+	f.mu.Unlock()
+	return vfs.SyncFS(f.FS)
+}
+
+// TestSyncFailureThenCrashKeepsManifestAtomic covers the failed-flush
+// slot hazard: Sync #2 dies at its final device sync, after writing
+// flipped manifest headers whose durability was never acknowledged.
+// The next Sync's leading device sync then makes those headers durable
+// — so its record writes must not target the slot the (now durable)
+// flipped header governs, or a power cut mid-rewrite tears the
+// manifest. The sweep cuts power at every early write position of that
+// third Sync and requires each recovery to decode to exactly one of
+// the three Sync-attempt states.
+func TestSyncFailureThenCrashKeepsManifestAtomic(t *testing.T) {
+	fired := 0
+	for run := 1; run <= 120; run++ {
+		// The retry Sync issues only a handful of device writes, so sweep
+		// a small cut range under many randomization seeds: each seed
+		// draws a different surviving subset of the torn write cache.
+		cut := 1 + (run-1)%8
+		dev := newCrashDevice(8192, 4096, int64(run)*977+5)
+		backing, err := ffs.New(ffs.Config{Device: dev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flaky := &flakySyncFS{FS: backing}
+		wrapOpts := []Option{WithAvgChunkSize(4096), WithSweepInterval(0)}
+		dd, err := Wrap(flaky, wrapOpts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// v1: a multi-chunk file, committed cleanly.
+		v1 := randBytes(int64(run)*13+1, 48<<10)
+		a, err := dd.Create(dd.Root(), "f", 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dd.Write(a.Handle, 0, v1); err != nil {
+			t.Fatal(err)
+		}
+		if err := dd.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		// v2: overwrite committed chunks, then a Sync that dies at phase
+		// E — its third and last device sync — leaving flipped headers
+		// unacknowledged in the volatile cache.
+		v2 := append([]byte(nil), v1...)
+		copy(v2, randBytes(int64(run)*13+2, 6000))
+		if _, err := dd.Write(a.Handle, 0, v2[:6000]); err != nil {
+			t.Fatal(err)
+		}
+		flaky.armSyncFail(3)
+		if err := dd.Sync(); !errors.Is(err, errFlakySync) {
+			t.Fatalf("cut@%d: injected sync failure not surfaced: %v", cut, err)
+		}
+		// v3: dirty the committed records again, then cut power during
+		// the retry Sync's record/header traffic.
+		v3 := append([]byte(nil), v2...)
+		copy(v3, randBytes(int64(run)*13+3, 5000))
+		if _, err := dd.Write(a.Handle, 0, v3[:5000]); err != nil {
+			t.Fatal(err)
+		}
+		dev.Arm(cut)
+		dd.Sync() // expected to die at the cut; error irrelevant
+		if !dev.Cut() {
+			dd.Close()
+			continue
+		}
+		fired++
+		dd.abort()
+		dev.Recover()
+		if errs := backing.Check(); len(errs) != 0 {
+			t.Fatalf("cut@%d: fsck after power cut: %v", cut, errs[0])
+		}
+		d2, err := Wrap(backing, wrapOpts...)
+		if err != nil {
+			t.Fatalf("cut@%d: remount after failed-flush crash: %v", cut, err)
+		}
+		ra, err := d2.Lookup(d2.Root(), "f")
+		if err != nil {
+			t.Fatalf("cut@%d: file lost: %v", cut, err)
+		}
+		got := make([]byte, ra.Size)
+		if ra.Size > 0 {
+			if _, _, err := d2.ReadInto(ra.Handle, 0, got); err != nil {
+				t.Fatalf("cut@%d: read: %v", cut, err)
+			}
+		}
+		if !bytes.Equal(got, v1) && !bytes.Equal(got, v2) && !bytes.Equal(got, v3) {
+			t.Fatalf("cut@%d: recovered content (%d bytes) matches no Sync-attempt state — manifest torn across slots", cut, ra.Size)
+		}
+		d2.SweepNow()
+		res, err := d2.Verify()
+		if err != nil {
+			t.Fatalf("cut@%d: verify: %v", cut, err)
+		}
+		if res.Orphans != 0 || res.RefMismatch != 0 || res.MissingChunk != 0 {
+			t.Fatalf("cut@%d: leaked chunks after failed-flush crash: %+v", cut, res)
+		}
+		d2.Close()
+	}
+	if fired == 0 {
+		t.Fatal("no cut fired; workload too small for the sweep range")
+	}
+	t.Logf("verified slot atomicity across %d failed-flush power cuts", fired)
+}
+
 // TestDedupCrashDuringGC arms the cut around heavy sweep traffic
 // specifically: every iteration deletes files, then sweeps repeatedly
 // under write churn, so cuts land inside chunk reclamation and the

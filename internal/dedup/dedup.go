@@ -130,7 +130,19 @@ type fileState struct {
 	// dirtyFrom is the lowest entry index whose committed record is
 	// stale (== len(ents) when only appends are pending).
 	dirtyFrom int
-	mtime     time.Time
+	// diskUnknown means a failed Sync wrote manifest headers whose
+	// durability was never acknowledged, so disk may not describe the
+	// header the backing store actually holds. The next Sync re-reads
+	// the header (after its leading device sync pins it down) before
+	// choosing a slot, so record writes never land in the region the
+	// committed header governs.
+	diskUnknown bool
+	// gone marks a state dropped by releaseIfGoneLocked (last link
+	// removed). A writer that fetched the state before the drop must
+	// fail with ErrStale instead of mutating the orphan — chunk refs
+	// added to a dropped state are never flushed or released.
+	gone  bool
+	mtime time.Time
 	// tail buffers the file's logical suffix past the last chunk
 	// boundary — the "open chunk". Appends accumulate here and reach the
 	// chunk store only when a cut finalizes (or Sync forces one), so the
@@ -385,6 +397,39 @@ func encodeRec(buf []byte, e entry) {
 // the slot pair to the file.
 func emptyLayout() manLayout { return manLayout{start: hdrSize, base: hdrSize} }
 
+// decodeHeader parses and validates a manifest header against the
+// backing file's size. empty reports an all-zero header (a manifest
+// whose first flush never committed). A cap-0 layout is accepted when
+// the count is also 0 — headers committed for files truncated to empty
+// before their first record flush look like this.
+func decodeHeader(hdr []byte, backingSize uint64) (size uint64, l manLayout, empty bool, err error) {
+	mg := binary.LittleEndian.Uint64(hdr[0:])
+	if mg == 0 {
+		return 0, emptyLayout(), true, nil
+	}
+	if mg != magic {
+		return 0, manLayout{}, false, fmt.Errorf("%w: bad manifest magic", vfs.ErrIO)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != verCurr {
+		return 0, manLayout{}, false, fmt.Errorf("%w: manifest version %d", vfs.ErrIO, v)
+	}
+	size = binary.LittleEndian.Uint64(hdr[16:])
+	l = manLayout{
+		count: int(binary.LittleEndian.Uint32(hdr[24:])),
+		start: binary.LittleEndian.Uint64(hdr[28:]),
+		base:  binary.LittleEndian.Uint64(hdr[36:]),
+		cap:   int(binary.LittleEndian.Uint32(hdr[44:])),
+	}
+	switch {
+	case l.count > maxChunks || l.cap > 2*maxChunks || l.count > l.cap,
+		l.base < hdrSize,
+		l.start != l.base && l.start != l.base+uint64(l.cap)*recSize,
+		l.count > 0 && l.start+uint64(l.count)*recSize > backingSize:
+		return 0, manLayout{}, false, fmt.Errorf("%w: manifest geometry corrupt", vfs.ErrIO)
+	}
+	return size, l, false, nil
+}
+
 // readManifest parses h's on-disk manifest. An empty file and an
 // all-zero header both decode as an empty manifest (the latter is a
 // manifest whose first flush never committed — the file's durable
@@ -397,29 +442,12 @@ func (d *FS) readManifest(a vfs.Attr) (*manifest, manLayout, error) {
 	if _, _, err := vfs.ReadFSInto(d.backing, a.Handle, 0, hdr[:]); err != nil {
 		return nil, manLayout{}, err
 	}
-	mg := binary.LittleEndian.Uint64(hdr[0:])
-	if mg == 0 {
+	size, l, empty, err := decodeHeader(hdr[:], a.Size)
+	if err != nil {
+		return nil, manLayout{}, err
+	}
+	if empty {
 		return emptyManifest(), emptyLayout(), nil
-	}
-	if mg != magic {
-		return nil, manLayout{}, fmt.Errorf("%w: bad manifest magic", vfs.ErrIO)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[8:]); v != verCurr {
-		return nil, manLayout{}, fmt.Errorf("%w: manifest version %d", vfs.ErrIO, v)
-	}
-	size := binary.LittleEndian.Uint64(hdr[16:])
-	l := manLayout{
-		count: int(binary.LittleEndian.Uint32(hdr[24:])),
-		start: binary.LittleEndian.Uint64(hdr[28:]),
-		base:  binary.LittleEndian.Uint64(hdr[36:]),
-		cap:   int(binary.LittleEndian.Uint32(hdr[44:])),
-	}
-	switch {
-	case l.count > maxChunks || l.cap > 2*maxChunks || l.cap < 1 || l.count > l.cap,
-		l.base < hdrSize,
-		l.start != l.base && l.start != l.base+uint64(l.cap)*recSize,
-		l.count > 0 && l.start+uint64(l.count)*recSize > a.Size:
-		return nil, manLayout{}, fmt.Errorf("%w: manifest geometry corrupt", vfs.ErrIO)
 	}
 	n := l.count
 	m := &manifest{size: size, ents: make([]entry, n)}
@@ -452,6 +480,26 @@ func (d *FS) readManifest(a vfs.Attr) (*manifest, manLayout, error) {
 	m.offs = make([]uint64, n+1)
 	m.rebuildOffs(0)
 	return m, l, nil
+}
+
+// readLayout reads just h's committed header geometry, without the
+// records. Sync uses it to resynchronize fst.disk with the header the
+// backing store actually holds after a failed flush left the on-disk
+// header state unknown.
+func (d *FS) readLayout(h vfs.Handle) (manLayout, error) {
+	a, err := d.backing.GetAttr(h)
+	if err != nil {
+		return manLayout{}, err
+	}
+	if a.Size == 0 {
+		return emptyLayout(), nil
+	}
+	var hdr [hdrSize]byte
+	if _, _, err := vfs.ReadFSInto(d.backing, h, 0, hdr[:]); err != nil {
+		return manLayout{}, err
+	}
+	_, l, _, err := decodeHeader(hdr[:], a.Size)
+	return l, err
 }
 
 // ---- per-file state ----
@@ -661,6 +709,9 @@ func (d *FS) ReadInto(h vfs.Handle, off uint64, dst []byte) (int, bool, error) {
 	}
 	fst.mu.RLock()
 	defer fst.mu.RUnlock()
+	if fst.gone {
+		return 0, false, vfs.ErrStale
+	}
 	man := fst.man
 	if off >= man.size {
 		return 0, true, nil
@@ -717,6 +768,9 @@ func (d *FS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
 	}
 	fst.mu.Lock()
 	defer fst.mu.Unlock()
+	if fst.gone {
+		return vfs.Attr{}, vfs.ErrStale
+	}
 	if len(data) > 0 {
 		if err := d.writeLocked(h, fst, off, data); err != nil {
 			return vfs.Attr{}, err
@@ -730,6 +784,12 @@ func (d *FS) Write(h vfs.Handle, off uint64, data []byte) (vfs.Attr, error) {
 // streaming-append hot path — go through the in-memory tail buffer;
 // overwrites of committed chunks take the re-chunk/resync path below.
 func (d *FS) writeLocked(h vfs.Handle, fst *fileState, off uint64, data []byte) error {
+	if fst.gone {
+		// A Remove dropped this state between the writer's state fetch
+		// and its lock: mutating the orphan would pin chunk refs no Sync
+		// or sweep can ever see again.
+		return vfs.ErrStale
+	}
 	if off >= fst.man.offs[len(fst.man.ents)] {
 		return d.writeTailLocked(h, fst, off, data)
 	}
@@ -1009,21 +1069,19 @@ func (d *FS) hashCuts(region []byte, cuts []int) []sha {
 }
 
 // SetAttr implements vfs.FS; size changes are logical truncates against
-// the manifest, everything else passes through.
+// the manifest, everything else passes through to the backing store —
+// with the cached mtime kept in step, so a SETATTR(mtime) (tar/rsync
+// timestamp restore) survives the attribute overlay.
 func (d *FS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
 	a, err := d.backing.GetAttr(h)
 	if err != nil {
 		return vfs.Attr{}, err
 	}
-	if a.Type != vfs.TypeRegular || s.Size == nil {
+	if a.Type != vfs.TypeRegular {
 		if s.Size != nil {
 			return vfs.Attr{}, vfs.ErrInval
 		}
-		na, err := d.backing.SetAttr(h, s)
-		if err != nil {
-			return vfs.Attr{}, err
-		}
-		return d.attrOf(na)
+		return d.backing.SetAttr(h, s)
 	}
 	d.gate.RLock()
 	defer d.gate.RUnlock()
@@ -1036,8 +1094,13 @@ func (d *FS) SetAttr(h vfs.Handle, s vfs.SetAttr) (vfs.Attr, error) {
 	}
 	fst.mu.Lock()
 	defer fst.mu.Unlock()
-	if err := d.truncateLocked(h, fst, *s.Size); err != nil {
-		return vfs.Attr{}, err
+	if fst.gone {
+		return vfs.Attr{}, vfs.ErrStale
+	}
+	if s.Size != nil {
+		if err := d.truncateLocked(h, fst, *s.Size); err != nil {
+			return vfs.Attr{}, err
+		}
 	}
 	rest := s
 	rest.Size = nil
@@ -1209,6 +1272,7 @@ func (d *FS) releaseIfGoneLocked(h vfs.Handle, fst *fileState) {
 	fst.forced = false
 	fst.dirty = false
 	fst.dirtyFrom = 0
+	fst.gone = true
 	d.dropState(h)
 }
 
@@ -1339,15 +1403,25 @@ func (d *FS) Sync() error {
 		buf       [hdrSize]byte
 	}
 	var hdrs []pendingHdr
+	// flipped is set once phase D starts writing headers: from then on
+	// an aborted flush leaves the on-disk headers in an unknown state
+	// (some written, none acknowledged durable), which fail records on
+	// the affected files so their next flush resynchronizes first.
+	flipped := false
 	// fail undoes an aborted flush: every file processed so far goes
-	// back to dirty (its header was not flipped, so the committed state
-	// is still the old one) with its pre-flush dirtyFrom restored.
+	// back to dirty with its pre-flush dirtyFrom restored. Before the
+	// header phase the committed state is provably still the old one
+	// (records only ever land outside the governed region); after it,
+	// fst.disk can no longer be trusted to match the on-disk header.
 	fail := func(err error) error {
 		for _, ph := range hdrs {
 			ph.fst.mu.Lock()
 			ph.fst.dirty = true
 			if ph.prevDirty < ph.fst.dirtyFrom {
 				ph.fst.dirtyFrom = ph.prevDirty
+			}
+			if flipped {
+				ph.fst.diskUnknown = true
 			}
 			ph.fst.mu.Unlock()
 		}
@@ -1370,6 +1444,26 @@ func (d *FS) Sync() error {
 			fst.mu.Unlock()
 			continue
 		}
+		if fst.diskUnknown {
+			// A previous Sync died after writing headers it never saw
+			// acknowledged. The phase-A device sync above made whatever
+			// header the backing holds durable, so re-reading it is the
+			// ground truth for which slot the committed header governs —
+			// without it a rewrite could target the governed slot and a
+			// crash mid-rewrite would tear the manifest.
+			l, lerr := d.readLayout(h)
+			if errors.Is(lerr, vfs.ErrStale) || errors.Is(lerr, vfs.ErrNotExist) {
+				fst.dirty = false
+				fst.mu.Unlock()
+				continue // file is gone; nothing to persist
+			}
+			if lerr != nil {
+				fst.mu.Unlock()
+				return fail(lerr)
+			}
+			fst.disk = l
+			fst.diskUnknown = false
+		}
 		// Force the open tail chunk out: the manifest about to commit
 		// must cover every acknowledged byte. The chunk write lands
 		// before the phase-C sync below, so the ordering invariant (no
@@ -1385,24 +1479,28 @@ func (d *FS) Sync() error {
 		next := manLayout{start: fst.disk.start, base: fst.disk.base, cap: fst.disk.cap, count: n}
 		writeFrom := 0
 		switch {
-		case n <= fst.disk.cap && fst.dirtyFrom >= fst.disk.count:
-			// Committed records untouched: append past them in place.
-			writeFrom = fst.disk.count
-		case n <= fst.disk.cap:
-			// A committed record changed: full array into the other slot.
-			if fst.disk.start == fst.disk.base {
-				next.start = fst.disk.base + uint64(fst.disk.cap)*recSize
-			} else {
-				next.start = fst.disk.base
-			}
-		default:
-			// Outgrown the slots: fresh doubled pair past both.
+		case fst.disk.cap < 1 || n > fst.disk.cap:
+			// Outgrown the slots — or a fresh file's first commit (the
+			// emptyLayout's zero-capacity slots), which must size a real
+			// slot pair even when the manifest itself is empty (a file
+			// truncated to zero before its first flush): a committed
+			// header never carries cap 0.
 			next.cap = 2 * n
 			if next.cap < 64 {
 				next.cap = 64
 			}
 			next.base = fst.disk.base + 2*uint64(fst.disk.cap)*recSize
 			next.start = next.base
+		case fst.dirtyFrom >= fst.disk.count:
+			// Committed records untouched: append past them in place.
+			writeFrom = fst.disk.count
+		default:
+			// A committed record changed: full array into the other slot.
+			if fst.disk.start == fst.disk.base {
+				next.start = fst.disk.base + uint64(fst.disk.cap)*recSize
+			} else {
+				next.start = fst.disk.base
+			}
 		}
 		if cnt := n - writeFrom; cnt > 0 {
 			buf := bufpool.Get(cnt * recSize)
@@ -1431,6 +1529,7 @@ func (d *FS) Sync() error {
 	if err := vfs.SyncFS(d.backing); err != nil {
 		return fail(err)
 	}
+	flipped = true
 	for _, ph := range hdrs {
 		if _, err := d.backing.Write(ph.h, 0, ph.buf[:]); err != nil &&
 			!errors.Is(err, vfs.ErrStale) && !errors.Is(err, vfs.ErrNotExist) {

@@ -593,3 +593,154 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestTruncateToZeroCommitRemount commits a file whose manifest went
+// empty before its first record flush (create → write → truncate to 0 →
+// COMMIT). The committed header must decode on remount — a regression
+// here used to write a cap-0 header that the mount scan rejected as
+// corrupt, failing the remount of the entire filesystem.
+func TestTruncateToZeroCommitRemount(t *testing.T) {
+	d, backing := newTestFS(t)
+	h := mkfile(t, d, "f")
+	writeAt(t, d, h, 0, randBytes(41, 20_000))
+	var zero uint64
+	if _, err := d.SetAttr(h, vfs.SetAttr{Size: &zero}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Wrap(backing, WithAvgChunkSize(4096), WithSweepInterval(0))
+	if err != nil {
+		t.Fatalf("remount after committing an empty manifest: %v", err)
+	}
+	defer d2.Close()
+	a, err := d2.Lookup(d2.Root(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size != 0 {
+		t.Fatalf("size %d after truncate-to-zero commit, want 0", a.Size)
+	}
+	// The file is still fully usable: write, commit, remount again.
+	data := randBytes(42, 30_000)
+	if _, err := d2.Write(a.Handle, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := Wrap(backing, WithAvgChunkSize(4096), WithSweepInterval(0))
+	if err != nil {
+		t.Fatalf("second remount: %v", err)
+	}
+	defer d3.Close()
+	a, err = d3.Lookup(d3.Root(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, d3, a.Handle); !bytes.Equal(got, data) {
+		t.Fatal("content lost across rewrite of a truncated-to-zero file")
+	}
+}
+
+// TestRemountAcceptsLegacyEmptyManifest plants the header an older
+// build committed for a truncated-to-empty file — valid magic, count 0,
+// cap 0 — and checks the mount scan decodes it as an empty manifest
+// instead of refusing the mount.
+func TestRemountAcceptsLegacyEmptyManifest(t *testing.T) {
+	backing := newBacking(t)
+	a, err := backing.Create(backing.Root(), "legacy", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [hdrSize]byte
+	encodeHeader(hdr[:], 0, emptyLayout())
+	if _, err := backing.Write(a.Handle, 0, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Wrap(backing, WithAvgChunkSize(4096), WithSweepInterval(0))
+	if err != nil {
+		t.Fatalf("remount with legacy cap-0 empty header: %v", err)
+	}
+	defer d.Close()
+	la, err := d.Lookup(d.Root(), "legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Size != 0 {
+		t.Fatalf("legacy empty manifest decodes to size %d, want 0", la.Size)
+	}
+}
+
+// TestSetAttrMtimeOnly restores a timestamp without touching the size
+// (the tar/rsync SETATTR shape): both the SETATTR reply and subsequent
+// GETATTRs must report the new mtime, not the cached overlay value.
+func TestSetAttrMtimeOnly(t *testing.T) {
+	d, _ := newTestFS(t)
+	h := mkfile(t, d, "f")
+	writeAt(t, d, h, 0, randBytes(43, 10_000))
+	want := time.Date(2001, 2, 3, 4, 5, 6, 0, time.UTC)
+	na, err := d.SetAttr(h, vfs.SetAttr{Mtime: &want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !na.Mtime.Equal(want) {
+		t.Fatalf("SETATTR reply mtime %v, want %v", na.Mtime, want)
+	}
+	ga, err := d.GetAttr(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ga.Mtime.Equal(want) {
+		t.Fatalf("GETATTR mtime %v after SETATTR, want %v", ga.Mtime, want)
+	}
+	// The restored timestamp survives the attribute overlay even with
+	// dirty write state on the file.
+	writeAt(t, d, h, 0, randBytes(44, 100))
+	if _, err := d.SetAttr(h, vfs.SetAttr{Mtime: &want}); err != nil {
+		t.Fatal(err)
+	}
+	if ga, err = d.GetAttr(h); err != nil || !ga.Mtime.Equal(want) {
+		t.Fatalf("GETATTR mtime %v (err %v) with dirty state, want %v", ga.Mtime, err, want)
+	}
+}
+
+// TestWriteRacingRemoveFailsStale replays the Write/Remove race: a
+// writer that fetched the fileState before Remove dropped it must fail
+// with ErrStale once it gets the lock, instead of pinning chunk refs in
+// an orphaned state no Sync or sweep will ever visit.
+func TestWriteRacingRemoveFailsStale(t *testing.T) {
+	d, _ := newTestFS(t)
+	h := mkfile(t, d, "f")
+	writeAt(t, d, h, 0, randBytes(45, 20_000))
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fst, err := d.state(h) // the racing writer's state fetch…
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Remove(d.Root(), "f"); err != nil { // …loses to Remove
+		t.Fatal(err)
+	}
+	fst.mu.Lock()
+	werr := d.writeLocked(h, fst, 0, randBytes(46, 8192))
+	fst.mu.Unlock()
+	if !errors.Is(werr, vfs.ErrStale) {
+		t.Fatalf("write into a dropped state: err %v, want ErrStale", werr)
+	}
+	// Nothing leaked: after a sweep the chunk index agrees exactly with
+	// the manifests.
+	d.SweepNow()
+	res, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefMismatch != 0 || res.Orphans != 0 || res.MissingChunk != 0 {
+		t.Fatalf("orphaned-state write leaked chunk refs: %+v", res)
+	}
+}
